@@ -1,0 +1,252 @@
+//! BAIX: the paper's index over a BAMX shard.
+//!
+//! Stores `(starting position, alignment index)` pairs sorted by starting
+//! position (Figure 4 of the paper). A region query binary-searches the
+//! sorted keys, mapping a genomic interval to a *BAIX region* — a
+//! contiguous range of index entries — which is then split evenly across
+//! processors for partial conversion.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use ngs_formats::error::{Error, Result};
+
+use crate::file::BamxFile;
+use crate::region::Region;
+
+/// BAIX file magic.
+pub const MAGIC: [u8; 5] = *b"BAIX\x01";
+
+/// One index entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaixEntry {
+    /// Sortable position key: `(ref_id, pos0)` packed so unmapped records
+    /// (`ref_id = -1`) order last.
+    pub key: u64,
+    /// Index of the alignment inside the BAMX shard.
+    pub index: u64,
+}
+
+/// Packs a `(ref_id, pos0)` pair into a sortable key. Unmapped records
+/// (negative ids/positions) sort after every mapped record.
+#[inline]
+pub fn position_key(ref_id: i32, pos0: i32) -> u64 {
+    ((ref_id as u32 as u64) << 32) | (pos0 as u32 as u64)
+}
+
+/// The in-memory BAIX index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baix {
+    /// Entries sorted by `key` (ties broken by shard index).
+    pub entries: Vec<BaixEntry>,
+}
+
+impl Baix {
+    /// Builds the index for a BAMX shard by scanning its position columns.
+    pub fn build(file: &BamxFile) -> Result<Self> {
+        let positions = file.positions()?;
+        let mut entries: Vec<BaixEntry> = positions
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ref_id, pos0))| BaixEntry { key: position_key(ref_id, pos0), index: i as u64 })
+            .collect();
+        entries.sort_by_key(|e| (e.key, e.index));
+        Ok(Baix { entries })
+    }
+
+    /// Number of indexed alignments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no alignments are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maps a genomic region to the *BAIX region*: the `lo..hi` range of
+    /// index entries whose alignment start positions fall inside it.
+    pub fn locate(&self, ref_id: i32, region: &Region) -> std::ops::Range<usize> {
+        let lo_key = position_key(ref_id, region.start0 as i32);
+        let hi_key = position_key(ref_id, region.end0 as i32);
+        let lo = self.entries.partition_point(|e| e.key < lo_key);
+        let hi = self.entries.partition_point(|e| e.key < hi_key);
+        lo..hi
+    }
+
+    /// The shard record indices for a BAIX region (entries `lo..hi`).
+    pub fn shard_indices(&self, range: std::ops::Range<usize>) -> Vec<u64> {
+        self.entries[range].iter().map(|e| e.index).collect()
+    }
+
+    /// Serializes the index to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&MAGIC)?;
+        w.write_all(&(self.entries.len() as u64).to_le_bytes())?;
+        for e in &self.entries {
+            w.write_all(&e.key.to_le_bytes())?;
+            w.write_all(&e.index.to_le_bytes())?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Loads an index from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let mut f = File::open(path)?;
+        let mut magic = [0u8; 5];
+        f.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(Error::InvalidRecord("bad BAIX magic".into()));
+        }
+        let mut nb = [0u8; 8];
+        f.read_exact(&mut nb)?;
+        let n = u64::from_le_bytes(nb) as usize;
+        let mut body = vec![0u8; n * 16];
+        f.read_exact(&mut body)?;
+        let mut entries = Vec::with_capacity(n);
+        for chunk in body.chunks_exact(16) {
+            entries.push(BaixEntry {
+                key: u64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes")),
+                index: u64::from_le_bytes(chunk[8..16].try_into().expect("8 bytes")),
+            });
+        }
+        // Defensive: entries must be sorted for binary search to be valid.
+        if !entries.windows(2).all(|w| (w[0].key, w[0].index) <= (w[1].key, w[1].index)) {
+            return Err(Error::InvalidRecord("BAIX entries not sorted".into()));
+        }
+        Ok(Baix { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::{write_bamx_file, BamxCompression};
+    use ngs_formats::header::{ReferenceSequence, SamHeader};
+    use ngs_formats::record::AlignmentRecord;
+    use ngs_formats::sam;
+    use tempfile::tempdir;
+
+    fn header() -> SamHeader {
+        SamHeader::from_references(vec![
+            ReferenceSequence { name: b"chr1".to_vec(), length: 1_000_000 },
+            ReferenceSequence { name: b"chr2".to_vec(), length: 1_000_000 },
+        ])
+    }
+
+    /// Records deliberately NOT in coordinate order, to prove the index
+    /// sorts (Figure 4 of the paper shows shuffled alignment indices).
+    fn shuffled_records() -> Vec<AlignmentRecord> {
+        let positions = [500i64, 100, 900, 300, 700, 200, 800, 400, 600, 1000];
+        positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let chrom = if i % 3 == 2 { "chr2" } else { "chr1" };
+                let line = format!(
+                    "r{i}\t0\t{chrom}\t{p}\t60\t10M\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII"
+                );
+                sam::parse_record(line.as_bytes(), 1).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_sorts_by_position() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.bamx");
+        let recs = shuffled_records();
+        write_bamx_file(&path, &header(), &recs, BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        let baix = Baix::build(&f).unwrap();
+        assert_eq!(baix.len(), recs.len());
+        assert!(baix.entries.windows(2).all(|w| w[0].key <= w[1].key));
+    }
+
+    #[test]
+    fn locate_finds_starts_in_region() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.bamx");
+        let recs = shuffled_records();
+        write_bamx_file(&path, &header(), &recs, BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        let baix = Baix::build(&f).unwrap();
+
+        // chr1 records (1-based positions): r0@500, r1@100, r3@300,
+        // r4@700, r6@800, r7@400, r9@1000 → 0-based starts
+        // 499,99,299,699,799,399,999.
+        let region = Region::new("chr1", 250, 650).unwrap();
+        let range = baix.locate(0, &region);
+        let indices = baix.shard_indices(range);
+        // Starts inside [250,650): 299(r3), 399(r7), 499(r0).
+        let mut names: Vec<String> = indices
+            .iter()
+            .map(|&i| String::from_utf8(f.read_record(i).unwrap().qname).unwrap())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["r0", "r3", "r7"]);
+    }
+
+    #[test]
+    fn locate_respects_chromosome() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.bamx");
+        let recs = shuffled_records();
+        write_bamx_file(&path, &header(), &recs, BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        let baix = Baix::build(&f).unwrap();
+
+        let whole_chr2 = Region::new("chr2", 0, 1_000_000).unwrap();
+        let range = baix.locate(1, &whole_chr2);
+        assert_eq!(range.len(), 3); // records 2, 5, 8 are on chr2... indices 2,5,8 → i%3==2
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tempdir().unwrap();
+        let bamx_path = dir.path().join("t.bamx");
+        let baix_path = dir.path().join("t.baix");
+        let recs = shuffled_records();
+        write_bamx_file(&bamx_path, &header(), &recs, BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&bamx_path).unwrap();
+        let baix = Baix::build(&f).unwrap();
+        baix.save(&baix_path).unwrap();
+        let loaded = Baix::load(&baix_path).unwrap();
+        assert_eq!(loaded, baix);
+    }
+
+    #[test]
+    fn unmapped_sort_last() {
+        assert!(position_key(-1, -1) > position_key(1_000, i32::MAX));
+        assert!(position_key(0, 5) < position_key(0, 6));
+        assert!(position_key(0, i32::MAX) < position_key(1, 0));
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let dir = tempdir().unwrap();
+        let p = dir.path().join("bad.baix");
+        std::fs::write(&p, b"WRONG").unwrap();
+        assert!(Baix::load(&p).is_err());
+        // Unsorted entries rejected.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&9u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(Baix::load(&p).is_err());
+    }
+
+    #[test]
+    fn empty_region_empty_range() {
+        let baix = Baix { entries: vec![] };
+        let region = Region::new("chr1", 0, 100).unwrap();
+        assert!(baix.locate(0, &region).is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Binned (UCSC-scheme) index over a BAMX shard — the paper's future-work
+//! item ("more sophisticated indexing techniques to the BAIX structure").
+//!
+//! Where plain BAIX answers *"which alignments start inside the region"*,
+//! the binned index answers the stronger *overlap* query — alignments
+//! whose interval intersects the region even if they start before it —
+//! by bucketing each alignment's `[start, end)` span into R-tree bins.
+
+use ngs_formats::binning::{reg2bin, reg2bins};
+use ngs_formats::error::Result;
+
+use crate::file::BamxFile;
+use crate::region::Region;
+
+/// One indexed alignment interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BinnedEntry {
+    /// Shard record index.
+    index: u64,
+    /// 0-based start.
+    start: i32,
+    /// 0-based exclusive end.
+    end: i32,
+}
+
+/// Binned overlap index: per (reference, bin) lists of intervals.
+#[derive(Debug, Clone, Default)]
+pub struct BinnedIndex {
+    /// `(ref_id, bin)` keys sorted; parallel to `buckets`.
+    keys: Vec<(i32, u16)>,
+    /// Bucket per key.
+    buckets: Vec<Vec<BinnedEntry>>,
+}
+
+impl BinnedIndex {
+    /// Builds the index by decoding record coordinates from the shard.
+    ///
+    /// Uses the full records (not just `positions()`) because the reference
+    /// span depends on the CIGAR.
+    pub fn build(file: &BamxFile) -> Result<Self> {
+        let mut map: std::collections::BTreeMap<(i32, u16), Vec<BinnedEntry>> =
+            std::collections::BTreeMap::new();
+        const CHUNK: u64 = 2048;
+        let mut lo = 0u64;
+        while lo < file.len() {
+            let hi = (lo + CHUNK).min(file.len());
+            for (off, rec) in file.read_range(lo, hi)?.into_iter().enumerate() {
+                let (Some(start), Some(end)) = (rec.start0(), rec.end0()) else {
+                    continue; // unmapped: not in the overlap index
+                };
+                let ref_id = match rec.rname.as_slice() {
+                    b"*" => continue,
+                    name => match file.header().reference_id(name) {
+                        Some(id) => id as i32,
+                        None => continue,
+                    },
+                };
+                let bin = reg2bin(start, end);
+                map.entry((ref_id, bin)).or_default().push(BinnedEntry {
+                    index: lo + off as u64,
+                    start: start as i32,
+                    end: end as i32,
+                });
+            }
+            lo = hi;
+        }
+        let mut keys = Vec::with_capacity(map.len());
+        let mut buckets = Vec::with_capacity(map.len());
+        for (k, v) in map {
+            keys.push(k);
+            buckets.push(v);
+        }
+        Ok(BinnedIndex { keys, buckets })
+    }
+
+    /// Returns shard indices of alignments whose span overlaps `region`
+    /// (sorted, deduplicated).
+    pub fn query(&self, ref_id: i32, region: &Region) -> Vec<u64> {
+        let mut out = Vec::new();
+        for bin in reg2bins(region.start0, region.end0.max(region.start0 + 1)) {
+            if let Ok(slot) = self.keys.binary_search(&(ref_id, bin)) {
+                for e in &self.buckets[slot] {
+                    if region.overlaps(e.start as i64, e.end as i64) {
+                        out.push(e.index);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total indexed intervals.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::{write_bamx_file, BamxCompression};
+    use ngs_formats::header::{ReferenceSequence, SamHeader};
+    use ngs_formats::record::AlignmentRecord;
+    use ngs_formats::sam;
+    use tempfile::tempdir;
+
+    fn header() -> SamHeader {
+        SamHeader::from_references(vec![ReferenceSequence {
+            name: b"chr1".to_vec(),
+            length: 10_000_000,
+        }])
+    }
+
+    fn rec(name: &str, pos: i64, cigar: &str) -> AlignmentRecord {
+        let line = format!("{name}\t0\tchr1\t{pos}\t60\t{cigar}\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII");
+        sam::parse_record(line.as_bytes(), 1).unwrap()
+    }
+
+    fn build(recs: &[AlignmentRecord]) -> (tempfile::TempDir, BamxFile, BinnedIndex) {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.bamx");
+        write_bamx_file(&path, &header(), recs, BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        let idx = BinnedIndex::build(&f).unwrap();
+        (dir, f, idx)
+    }
+
+    #[test]
+    fn overlap_query_catches_spanning_reads() {
+        // A read starting before the region but overlapping it — missed by
+        // plain BAIX start-position search, caught by the binned index.
+        let recs =
+            vec![rec("before", 100, "10M"), rec("spanning", 995, "10M"), rec("inside", 1005, "4M"), rec("after", 2000, "10M")];
+        let (_d, _f, idx) = build(&recs);
+        let region = Region::new("chr1", 1000, 1500).unwrap();
+        let hits = idx.query(0, &region);
+        assert_eq!(hits, vec![1, 2]);
+    }
+
+    #[test]
+    fn long_cigar_span_counts() {
+        // 10M100000N10M spans far right: starts at 999, ends past 101000.
+        let recs = vec![rec("gapped", 1000, "10M100000N10M")];
+        let (_d, _f, idx) = build(&recs);
+        let region = Region::new("chr1", 100_500, 100_600).unwrap();
+        assert_eq!(idx.query(0, &region), vec![0]);
+    }
+
+    #[test]
+    fn unmapped_excluded() {
+        let u = sam::parse_record(b"u\t4\t*\t0\t0\t*\t*\t0\t0\tACGT\tIIII", 1).unwrap();
+        let recs = vec![rec("m", 100, "4M"), u];
+        let (_d, _f, idx) = build(&recs);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn query_other_reference_empty() {
+        let recs = vec![rec("m", 100, "4M")];
+        let (_d, _f, idx) = build(&recs);
+        let region = Region::new("chrX", 0, 1000).unwrap();
+        assert!(idx.query(7, &region).is_empty());
+    }
+
+    #[test]
+    fn results_sorted_and_unique() {
+        let recs: Vec<_> = (0..50).map(|i| rec(&format!("r{i}"), 1000 + i, "10M")).collect();
+        let (_d, _f, idx) = build(&recs);
+        let region = Region::new("chr1", 990, 1100).unwrap();
+        let hits = idx.query(0, &region);
+        assert_eq!(hits.len(), 50);
+        assert!(hits.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,479 @@
+//! BAMX shard files: fixed-width records with O(1) random access, plus the
+//! optionally BGZF-compressed body (the paper's future-work item).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+use ngs_formats::bam::{decode_header, encode_header};
+use ngs_formats::error::{Error, Result};
+use ngs_formats::header::SamHeader;
+use ngs_formats::record::AlignmentRecord;
+
+use crate::layout::BamxLayout;
+use crate::record_codec;
+
+/// BAMX file magic.
+pub const MAGIC: [u8; 5] = *b"BAMX\x01";
+
+/// Body compression of a BAMX shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BamxCompression {
+    /// Raw fixed-width records; random access is a single `pread`.
+    Plain,
+    /// BGZF-compressed body with whole records per block; random access
+    /// decompresses one 64 KiB block.
+    Bgzf,
+}
+
+impl BamxCompression {
+    fn to_byte(self) -> u8 {
+        match self {
+            BamxCompression::Plain => 0,
+            BamxCompression::Bgzf => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self> {
+        match b {
+            0 => Ok(BamxCompression::Plain),
+            1 => Ok(BamxCompression::Bgzf),
+            other => Err(Error::InvalidRecord(format!("unknown BAMX compression {other}"))),
+        }
+    }
+}
+
+/// Streaming BAMX writer. The caller must provide the layout up front
+/// (compute it with a first pass, or merge per-rank layouts).
+pub struct BamxWriter<W: Write> {
+    sink: Sink<W>,
+    header: SamHeader,
+    layout: BamxLayout,
+    n_records: u64,
+    scratch: Vec<u8>,
+}
+
+enum Sink<W: Write> {
+    Plain(W),
+    Bgzf { inner: ngs_bgzf::BgzfWriter<W>, records_per_block: usize, in_block: usize },
+}
+
+impl BamxWriter<BufWriter<File>> {
+    /// Creates a BAMX file at `path`.
+    pub fn create(
+        path: impl AsRef<Path>,
+        header: SamHeader,
+        layout: BamxLayout,
+        compression: BamxCompression,
+    ) -> Result<Self> {
+        let file = BufWriter::new(File::create(path)?);
+        Self::new(file, header, layout, compression)
+    }
+}
+
+impl<W: Write> BamxWriter<W> {
+    /// Wraps an arbitrary sink.
+    pub fn new(
+        mut inner: W,
+        header: SamHeader,
+        layout: BamxLayout,
+        compression: BamxCompression,
+    ) -> Result<Self> {
+        let mut prologue = Vec::new();
+        encode_header(&header, &mut prologue);
+
+        inner.write_all(&MAGIC)?;
+        inner.write_all(&[compression.to_byte()])?;
+        inner.write_all(&(prologue.len() as u32).to_le_bytes())?;
+        inner.write_all(&prologue)?;
+        inner.write_all(&layout.encode())?;
+        // n_records is unknown while streaming; written as a trailer by
+        // finish() for plain files and carried in the trailer for BGZF too.
+        let sink = match compression {
+            BamxCompression::Plain => Sink::Plain(inner),
+            BamxCompression::Bgzf => {
+                if layout.record_size() > ngs_bgzf::block::MAX_PAYLOAD {
+                    return Err(Error::InvalidRecord(
+                        "record size exceeds one BGZF block; use BamxCompression::Plain".into(),
+                    ));
+                }
+                let rp = ngs_bgzf::block::MAX_PAYLOAD / layout.record_size();
+                Sink::Bgzf { inner: ngs_bgzf::BgzfWriter::new(inner), records_per_block: rp, in_block: 0 }
+            }
+        };
+        Ok(BamxWriter { sink, header, layout, n_records: 0, scratch: Vec::new() })
+    }
+
+    /// The layout this writer pads to.
+    pub fn layout(&self) -> &BamxLayout {
+        &self.layout
+    }
+
+    /// Appends one record.
+    pub fn write_record(&mut self, record: &AlignmentRecord) -> Result<()> {
+        self.scratch.clear();
+        record_codec::encode(record, &self.header, &self.layout, &mut self.scratch)?;
+        match &mut self.sink {
+            Sink::Plain(w) => w.write_all(&self.scratch)?,
+            Sink::Bgzf { inner, records_per_block, in_block } => {
+                inner.write_all(&self.scratch)?;
+                *in_block += 1;
+                if *in_block == *records_per_block {
+                    // Force a block boundary so every block holds whole
+                    // records and block index arithmetic stays trivial.
+                    inner.flush()?;
+                    *in_block = 0;
+                }
+            }
+        }
+        self.n_records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn record_count(&self) -> u64 {
+        self.n_records
+    }
+
+    /// Finalizes the file (appends the record-count trailer) and returns
+    /// the sink.
+    pub fn finish(self) -> Result<W> {
+        let n = self.n_records;
+        let mut inner = match self.sink {
+            Sink::Plain(w) => w,
+            Sink::Bgzf { inner, .. } => inner.finish()?,
+        };
+        inner.write_all(&n.to_le_bytes())?;
+        inner.flush()?;
+        Ok(inner)
+    }
+}
+
+/// A BAMX shard opened for random access. Cloning is cheap-ish (re-opens
+/// nothing; the `File` handle is duplicated via `try_clone` when needed) —
+/// in practice each worker thread opens its own `BamxFile`.
+pub struct BamxFile {
+    file: File,
+    header: SamHeader,
+    layout: BamxLayout,
+    compression: BamxCompression,
+    /// Offset of the first body byte.
+    body_offset: u64,
+    n_records: u64,
+    /// For BGZF bodies: compressed offset of each block + records/block.
+    block_offsets: Vec<u64>,
+    records_per_block: usize,
+}
+
+impl BamxFile {
+    /// Opens a BAMX file and reads its metadata.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = File::open(path)?;
+        let total_len = file.metadata()?.len();
+
+        let mut head = vec![0u8; 10];
+        file.read_exact_at(&mut head, 0)?;
+        if head[..5] != MAGIC {
+            return Err(Error::InvalidRecord("bad BAMX magic".into()));
+        }
+        let compression = BamxCompression::from_byte(head[5])?;
+        let prologue_len = u32::from_le_bytes([head[6], head[7], head[8], head[9]]) as usize;
+
+        let mut prologue = vec![0u8; prologue_len];
+        file.read_exact_at(&mut prologue, 10)?;
+        let header = decode_header(&mut &prologue[..])?;
+
+        let mut layout_bytes = [0u8; 12];
+        file.read_exact_at(&mut layout_bytes, 10 + prologue_len as u64)?;
+        let layout = BamxLayout::decode(&layout_bytes)?;
+
+        let body_offset = 10 + prologue_len as u64 + 12;
+
+        if total_len < body_offset + 8 {
+            return Err(Error::InvalidRecord("BAMX file truncated".into()));
+        }
+        let mut trailer = [0u8; 8];
+        file.read_exact_at(&mut trailer, total_len - 8)?;
+        let n_records = u64::from_le_bytes(trailer);
+
+        let mut this = BamxFile {
+            file,
+            header,
+            layout,
+            compression,
+            body_offset,
+            n_records,
+            block_offsets: Vec::new(),
+            records_per_block: 0,
+        };
+        if compression == BamxCompression::Bgzf {
+            this.records_per_block =
+                (ngs_bgzf::block::MAX_PAYLOAD / this.layout.record_size()).max(1);
+            this.build_block_index(total_len - 8)?;
+        } else {
+            let body = total_len - 8 - body_offset;
+            let expect = (this.layout.record_size() as u64)
+                .checked_mul(n_records)
+                .ok_or_else(|| Error::InvalidRecord("implausible BAMX record count".into()))?;
+            if body != expect {
+                return Err(Error::InvalidRecord(format!(
+                    "BAMX body size {body} != {expect} implied by trailer"
+                )));
+            }
+        }
+        Ok(this)
+    }
+
+    /// Walks BGZF block headers (no decompression) to build the block
+    /// offset table.
+    fn build_block_index(&mut self, body_end: u64) -> Result<()> {
+        let mut pos = self.body_offset;
+        let mut head = [0u8; ngs_bgzf::block::HEADER_SIZE];
+        while pos < body_end {
+            self.file.read_exact_at(&mut head, pos)?;
+            let bsize = ngs_bgzf::block::peek_block_size(&head)? as u64;
+            self.block_offsets.push(pos);
+            pos += bsize;
+        }
+        Ok(())
+    }
+
+    /// The embedded header (reference dictionary).
+    pub fn header(&self) -> &SamHeader {
+        &self.header
+    }
+
+    /// The record layout.
+    pub fn layout(&self) -> &BamxLayout {
+        &self.layout
+    }
+
+    /// Number of records in the shard.
+    pub fn len(&self) -> u64 {
+        self.n_records
+    }
+
+    /// True when the shard holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.n_records == 0
+    }
+
+    /// The body compression mode.
+    pub fn compression(&self) -> BamxCompression {
+        self.compression
+    }
+
+    /// Reads the raw fixed-width bytes of records `lo..hi` into a buffer.
+    pub fn read_raw_range(&self, lo: u64, hi: u64) -> Result<Vec<u8>> {
+        if lo > hi || hi > self.n_records {
+            return Err(Error::InvalidRecord(format!("record range {lo}..{hi} out of bounds")));
+        }
+        let rsz = self.layout.record_size() as u64;
+        match self.compression {
+            BamxCompression::Plain => {
+                let mut buf = vec![0u8; ((hi - lo) * rsz) as usize];
+                self.file.read_exact_at(&mut buf, self.body_offset + lo * rsz)?;
+                Ok(buf)
+            }
+            BamxCompression::Bgzf => {
+                if hi == lo {
+                    return Ok(Vec::new());
+                }
+                let rpb = self.records_per_block as u64;
+                let first_block = (lo / rpb) as usize;
+                let last_block = if hi == lo { first_block } else { ((hi - 1) / rpb) as usize };
+                let mut out = Vec::with_capacity(((hi - lo) * rsz) as usize);
+                let mut scratch = Vec::new();
+                for b in first_block..=last_block.min(self.block_offsets.len().saturating_sub(1)) {
+                    let start = self.block_offsets[b];
+                    let end = self
+                        .block_offsets
+                        .get(b + 1)
+                        .copied()
+                        .unwrap_or(start + 65536);
+                    let mut comp = vec![0u8; (end - start) as usize];
+                    // The final block may be followed by EOF marker bytes we
+                    // sized past; read what exists.
+                    let got = self.file.read_at(&mut comp, start)?;
+                    comp.truncate(got);
+                    let (payload, _) = ngs_bgzf::block::decompress_block(&comp)?;
+                    scratch.clear();
+                    scratch.extend_from_slice(&payload);
+                    let block_first_rec = b as u64 * rpb;
+                    let s = lo.max(block_first_rec);
+                    let e = hi.min(block_first_rec + (payload.len() as u64 / rsz));
+                    if e > s {
+                        let off = ((s - block_first_rec) * rsz) as usize;
+                        out.extend_from_slice(&scratch[off..off + ((e - s) * rsz) as usize]);
+                    }
+                }
+                if out.len() != ((hi - lo) * rsz) as usize {
+                    return Err(Error::InvalidRecord("compressed BAMX range short read".into()));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Decodes records `lo..hi`.
+    pub fn read_range(&self, lo: u64, hi: u64) -> Result<Vec<AlignmentRecord>> {
+        let raw = self.read_raw_range(lo, hi)?;
+        let rsz = self.layout.record_size();
+        raw.chunks_exact(rsz).map(|c| record_codec::decode(c, &self.header, &self.layout)).collect()
+    }
+
+    /// Decodes a single record by index.
+    pub fn read_record(&self, index: u64) -> Result<AlignmentRecord> {
+        let mut v = self.read_range(index, index + 1)?;
+        Ok(v.pop().expect("range of length one"))
+    }
+
+    /// Streams `(ref_id, pos0)` keys for every record in file order —
+    /// used by BAIX construction without full decodes.
+    pub fn positions(&self) -> Result<Vec<(i32, i32)>> {
+        let mut out = Vec::with_capacity(self.n_records as usize);
+        const CHUNK: u64 = 4096;
+        let mut lo = 0u64;
+        while lo < self.n_records {
+            let hi = (lo + CHUNK).min(self.n_records);
+            let raw = self.read_raw_range(lo, hi)?;
+            for rec in raw.chunks_exact(self.layout.record_size()) {
+                out.push(record_codec::peek_position(rec)?);
+            }
+            lo = hi;
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience: writes `records` (two passes: layout, then records) to
+/// `path`, returning the record count.
+pub fn write_bamx_file(
+    path: impl AsRef<Path>,
+    header: &SamHeader,
+    records: &[AlignmentRecord],
+    compression: BamxCompression,
+) -> Result<u64> {
+    let layout = BamxLayout::compute(records)?;
+    let mut w = BamxWriter::create(path, header.clone(), layout, compression)?;
+    for r in records {
+        w.write_record(r)?;
+    }
+    let n = w.record_count();
+    w.finish()?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_formats::header::ReferenceSequence;
+    use ngs_formats::sam;
+    use tempfile::tempdir;
+
+    fn header() -> SamHeader {
+        SamHeader::from_references(vec![ReferenceSequence {
+            name: b"chr1".to_vec(),
+            length: 1_000_000,
+        }])
+    }
+
+    fn records(n: usize) -> Vec<AlignmentRecord> {
+        (0..n)
+            .map(|i| {
+                let line = format!(
+                    "read{i}\t0\tchr1\t{}\t60\t10M\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII\tNM:i:{}",
+                    100 + i * 7,
+                    i % 4
+                );
+                sam::parse_record(line.as_bytes(), 1).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_roundtrip() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.bamx");
+        let recs = records(100);
+        write_bamx_file(&path, &header(), &recs, BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        assert_eq!(f.len(), 100);
+        assert_eq!(f.read_range(0, 100).unwrap(), recs);
+        assert_eq!(f.read_record(42).unwrap(), recs[42]);
+        assert_eq!(f.compression(), BamxCompression::Plain);
+    }
+
+    #[test]
+    fn bgzf_roundtrip() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.bamxz");
+        let recs = records(5000);
+        write_bamx_file(&path, &header(), &recs, BamxCompression::Bgzf).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        assert_eq!(f.len(), 5000);
+        assert_eq!(f.compression(), BamxCompression::Bgzf);
+        // Whole-range and point reads agree with the source.
+        assert_eq!(f.read_range(0, 5000).unwrap(), recs);
+        for i in [0u64, 1, 999, 2500, 4999] {
+            assert_eq!(f.read_record(i).unwrap(), recs[i as usize], "record {i}");
+        }
+        // A range crossing block boundaries.
+        assert_eq!(f.read_range(100, 3100).unwrap(), recs[100..3100]);
+    }
+
+    #[test]
+    fn compressed_is_smaller() {
+        let dir = tempdir().unwrap();
+        let plain = dir.path().join("p.bamx");
+        let comp = dir.path().join("c.bamx");
+        let recs = records(2000);
+        write_bamx_file(&plain, &header(), &recs, BamxCompression::Plain).unwrap();
+        write_bamx_file(&comp, &header(), &recs, BamxCompression::Bgzf).unwrap();
+        let ps = std::fs::metadata(&plain).unwrap().len();
+        let cs = std::fs::metadata(&comp).unwrap().len();
+        assert!(cs < ps, "compressed {cs} must beat plain {ps}");
+    }
+
+    #[test]
+    fn positions_stream() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.bamx");
+        let recs = records(300);
+        write_bamx_file(&path, &header(), &recs, BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        let pos = f.positions().unwrap();
+        assert_eq!(pos.len(), 300);
+        assert_eq!(pos[0], (0, 99));
+        assert_eq!(pos[299], (0, 99 + 299 * 7));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.bamx");
+        write_bamx_file(&path, &header(), &records(10), BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        assert!(f.read_range(5, 11).is_err());
+        assert!(f.read_range(7, 3).is_err());
+    }
+
+    #[test]
+    fn empty_file() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("e.bamx");
+        write_bamx_file(&path, &header(), &[], BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        assert!(f.is_empty());
+        assert!(f.read_range(0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("bad.bamx");
+        std::fs::write(&path, b"NOTBAMX-really-not").unwrap();
+        assert!(BamxFile::open(&path).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # ngs-bamx
+//!
+//! The paper's BAMX/BAIX preprocessing formats, implemented in full:
+//!
+//! * [`layout`] — per-dataset field maxima defining the fixed record width
+//!   (the padding that makes records randomly addressable);
+//! * [`record_codec`] — fixed-width record encode/decode;
+//! * [`mod@file`] — BAMX shard writer/reader with O(1) random access, plus
+//!   optional BGZF body compression (the paper's future-work item);
+//! * [`baix`] — the `(starting position, alignment index)` index of
+//!   Figure 4, with binary-search region → record-range mapping used by
+//!   partial conversion;
+//! * [`binned`] — a UCSC-binning overlap index (the second future-work
+//!   item: "more sophisticated indexing techniques");
+//! * [`region`] — `chr:start-end` genomic region parsing.
+
+pub mod baix;
+pub mod bam_bai;
+pub mod binned;
+pub mod file;
+pub mod layout;
+pub mod record_codec;
+pub mod region;
+
+pub use baix::{position_key, Baix, BaixEntry};
+pub use bam_bai::{fetch, BamIndex, Chunk};
+pub use binned::BinnedIndex;
+pub use file::{write_bamx_file, BamxCompression, BamxFile, BamxWriter};
+pub use layout::BamxLayout;
+pub use region::Region;

@@ -1,0 +1,277 @@
+//! Fixed-width BAMX record encode/decode.
+//!
+//! Unlike BAM, every field slot has a layout-determined width; actual
+//! lengths are stored in the fixed prefix and the remainder of each slot
+//! is zero padding.
+
+use ngs_formats::bam::{decode_tags, encode_tags};
+use ngs_formats::cigar::{Cigar, CigarOp};
+use ngs_formats::error::{Error, Result};
+use ngs_formats::flags::Flags;
+use ngs_formats::header::SamHeader;
+use ngs_formats::record::AlignmentRecord;
+use ngs_formats::seq;
+
+use crate::layout::BamxLayout;
+
+/// Encodes `record` into exactly `layout.record_size()` bytes appended to
+/// `out`.
+pub fn encode(record: &AlignmentRecord, header: &SamHeader, layout: &BamxLayout, out: &mut Vec<u8>) -> Result<()> {
+    let start = out.len();
+
+    let ref_id = resolve_ref(header, &record.rname)?;
+    let next_ref_id =
+        if record.rnext == b"=" { ref_id } else { resolve_ref(header, &record.rnext)? };
+
+    let qname: &[u8] = if record.qname.is_empty() { b"*" } else { &record.qname };
+    if qname.len() > layout.max_qname as usize {
+        return Err(Error::InvalidRecord("qname exceeds BAMX layout".into()));
+    }
+    if record.cigar.len() > layout.max_cigar_ops as usize {
+        return Err(Error::InvalidRecord("CIGAR exceeds BAMX layout".into()));
+    }
+    if record.seq.len() > layout.max_seq as usize {
+        return Err(Error::InvalidRecord("sequence exceeds BAMX layout".into()));
+    }
+    let tag_bytes = encode_tags(&record.tags)?;
+    if tag_bytes.len() > layout.max_tags as usize {
+        return Err(Error::InvalidRecord("tags exceed BAMX layout".into()));
+    }
+    for (what, v) in [("POS", record.pos - 1), ("PNEXT", record.pnext - 1)] {
+        if v < i32::MIN as i64 || v > i32::MAX as i64 {
+            return Err(Error::InvalidRecord(format!("{what} {v} unrepresentable (i32)")));
+        }
+    }
+
+    out.extend_from_slice(&record.flag.0.to_le_bytes());
+    out.push(record.mapq);
+    out.push(0); // reserved
+    out.extend_from_slice(&ref_id.to_le_bytes());
+    out.extend_from_slice(&((record.pos - 1) as i32).to_le_bytes());
+    out.extend_from_slice(&next_ref_id.to_le_bytes());
+    out.extend_from_slice(&((record.pnext - 1) as i32).to_le_bytes());
+    out.extend_from_slice(&record.tlen.to_le_bytes());
+    out.extend_from_slice(&(qname.len() as u16).to_le_bytes());
+    out.extend_from_slice(&(record.cigar.len() as u16).to_le_bytes());
+    out.extend_from_slice(&(record.seq.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(tag_bytes.len() as u32).to_le_bytes());
+    out.push(u8::from(!record.qual.is_empty()));
+
+    // qname slot
+    out.extend_from_slice(qname);
+    out.extend(std::iter::repeat_n(0u8, layout.max_qname as usize - qname.len()));
+    // cigar slot
+    for &(len, op) in &record.cigar.0 {
+        out.extend_from_slice(&((len << 4) | op.to_bam_code()).to_le_bytes());
+    }
+    out.extend(std::iter::repeat_n(0u8, (layout.max_cigar_ops as usize - record.cigar.len()) * 4));
+    // seq slot (packed)
+    let packed = seq::pack(&record.seq);
+    out.extend_from_slice(&packed);
+    out.extend(std::iter::repeat_n(0u8, layout.seq_bytes() - packed.len()));
+    // qual slot
+    if record.qual.is_empty() {
+        out.extend(std::iter::repeat_n(0u8, layout.max_seq as usize));
+    } else {
+        if record.qual.len() != record.seq.len() {
+            return Err(Error::InvalidRecord("SEQ/QUAL length mismatch".into()));
+        }
+        out.extend_from_slice(&record.qual);
+        out.extend(std::iter::repeat_n(0u8, layout.max_seq as usize - record.qual.len()));
+    }
+    // tags slot
+    out.extend_from_slice(&tag_bytes);
+    out.extend(std::iter::repeat_n(0u8, layout.max_tags as usize - tag_bytes.len()));
+
+    debug_assert_eq!(out.len() - start, layout.record_size());
+    Ok(())
+}
+
+fn resolve_ref(header: &SamHeader, name: &[u8]) -> Result<i32> {
+    if name == b"*" || name.is_empty() {
+        return Ok(-1);
+    }
+    header
+        .reference_id(name)
+        .map(|i| i as i32)
+        .ok_or_else(|| Error::UnknownReference(String::from_utf8_lossy(name).into_owned()))
+}
+
+/// Reads the (ref_id, pos0) key of an encoded record without full decode —
+/// the hot path for BAIX index construction.
+pub fn peek_position(buf: &[u8]) -> Result<(i32, i32)> {
+    if buf.len() < 12 {
+        return Err(Error::InvalidRecord("BAMX record too short".into()));
+    }
+    let ref_id = i32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let pos0 = i32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    Ok((ref_id, pos0))
+}
+
+/// Decodes one fixed-width record from `buf` (which must be exactly one
+/// record of the given layout).
+pub fn decode(buf: &[u8], header: &SamHeader, layout: &BamxLayout) -> Result<AlignmentRecord> {
+    if buf.len() < layout.record_size() {
+        return Err(Error::InvalidRecord("BAMX record truncated".into()));
+    }
+    let flag = Flags(u16::from_le_bytes([buf[0], buf[1]]));
+    let mapq = buf[2];
+    let ref_id = i32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let pos0 = i32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    let next_ref_id = i32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]);
+    let next_pos0 = i32::from_le_bytes([buf[16], buf[17], buf[18], buf[19]]);
+    let tlen = i64::from_le_bytes(buf[20..28].try_into().expect("8 bytes"));
+    let qname_len = u16::from_le_bytes([buf[28], buf[29]]) as usize;
+    let n_cigar = u16::from_le_bytes([buf[30], buf[31]]) as usize;
+    let seq_len = u32::from_le_bytes([buf[32], buf[33], buf[34], buf[35]]) as usize;
+    let tag_len = u32::from_le_bytes([buf[36], buf[37], buf[38], buf[39]]) as usize;
+    let qual_present = buf[40] != 0;
+
+    if qname_len > layout.max_qname as usize
+        || n_cigar > layout.max_cigar_ops as usize
+        || seq_len > layout.max_seq as usize
+        || tag_len > layout.max_tags as usize
+    {
+        return Err(Error::InvalidRecord("BAMX lengths exceed layout".into()));
+    }
+
+    let mut off = crate::layout::FIXED_FIELDS_SIZE;
+    let qname = buf[off..off + qname_len].to_vec();
+    off += layout.max_qname as usize;
+
+    let mut cigar_ops = Vec::with_capacity(n_cigar);
+    for i in 0..n_cigar {
+        let p = off + i * 4;
+        let enc = u32::from_le_bytes([buf[p], buf[p + 1], buf[p + 2], buf[p + 3]]);
+        cigar_ops.push((enc >> 4, CigarOp::from_bam_code(enc & 0xF)?));
+    }
+    off += layout.max_cigar_ops as usize * 4;
+
+    let seq_bases = seq::unpack(&buf[off..off + layout.seq_bytes()], seq_len)?;
+    off += layout.seq_bytes();
+
+    let qual =
+        if qual_present { buf[off..off + seq_len].to_vec() } else { Vec::new() };
+    off += layout.max_seq as usize;
+
+    let tags = decode_tags(&buf[off..off + tag_len])?;
+
+    let rname = match header.reference_name(ref_id) {
+        Some(n) => n.to_vec(),
+        None => b"*".to_vec(),
+    };
+    let rnext = if next_ref_id < 0 {
+        b"*".to_vec()
+    } else if next_ref_id == ref_id {
+        b"=".to_vec()
+    } else {
+        header
+            .reference_name(next_ref_id)
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| Error::InvalidRecord("next_ref_id out of range".into()))?
+    };
+
+    Ok(AlignmentRecord {
+        qname: if qname == b"*" { Vec::new() } else { qname },
+        flag,
+        rname,
+        pos: pos0 as i64 + 1,
+        mapq,
+        cigar: Cigar(cigar_ops),
+        rnext,
+        pnext: next_pos0 as i64 + 1,
+        tlen,
+        seq: seq_bases,
+        qual,
+        tags,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_formats::header::ReferenceSequence;
+    use ngs_formats::sam;
+
+    fn header() -> SamHeader {
+        SamHeader::from_references(vec![
+            ReferenceSequence { name: b"chr1".to_vec(), length: 100_000 },
+            ReferenceSequence { name: b"chr2".to_vec(), length: 100_000 },
+        ])
+    }
+
+    fn rec(line: &str) -> AlignmentRecord {
+        sam::parse_record(line.as_bytes(), 1).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_mixed_records() {
+        let h = header();
+        let records = vec![
+            rec("read1\t99\tchr1\t100\t60\t40M2I48M\t=\t300\t290\tACGTACGTAC\tIIIIIIIIII\tNM:i:2\tRG:Z:g"),
+            rec("r2\t4\t*\t0\t0\t*\t*\t0\t0\t*\t*"),
+            rec("alignment-with-a-very-long-name\t16\tchr2\t5000\t37\t90M\tchr1\t100\t0\tACGT\t*"),
+        ];
+        let layout = BamxLayout::compute(&records).unwrap();
+        let mut buf = Vec::new();
+        for r in &records {
+            encode(r, &h, &layout, &mut buf).unwrap();
+        }
+        assert_eq!(buf.len(), layout.record_size() * records.len());
+        for (i, r) in records.iter().enumerate() {
+            let slice = &buf[i * layout.record_size()..(i + 1) * layout.record_size()];
+            assert_eq!(&decode(slice, &h, &layout).unwrap(), r, "record {i}");
+        }
+    }
+
+    #[test]
+    fn peek_matches_decode() {
+        let h = header();
+        let r = rec("x\t0\tchr2\t4321\t60\t4M\t*\t0\t0\tACGT\tIIII");
+        let layout = BamxLayout::compute([&r]).unwrap();
+        let mut buf = Vec::new();
+        encode(&r, &h, &layout, &mut buf).unwrap();
+        let (ref_id, pos0) = peek_position(&buf).unwrap();
+        assert_eq!(ref_id, 1);
+        assert_eq!(pos0, 4320);
+    }
+
+    #[test]
+    fn layout_violations_rejected() {
+        let h = header();
+        let small = BamxLayout { max_qname: 2, max_cigar_ops: 1, max_seq: 2, max_tags: 0 };
+        let r = rec("toolong\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII");
+        let mut buf = Vec::new();
+        assert!(encode(&r, &h, &small, &mut buf).is_err());
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let h = header();
+        let r = rec("x\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII");
+        let layout = BamxLayout::compute([&r]).unwrap();
+        let mut buf = Vec::new();
+        encode(&r, &h, &layout, &mut buf).unwrap();
+        assert!(decode(&buf[..buf.len() - 1], &h, &layout).is_err());
+    }
+
+    #[test]
+    fn all_records_same_size() {
+        let h = header();
+        let records = vec![
+            rec("a\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\tNM:i:1"),
+            rec("ridiculous-name\t0\tchr1\t2\t60\t1M1I1M1D1M\t*\t0\t0\tACGTA\tIIIII"),
+        ];
+        let layout = BamxLayout::compute(&records).unwrap();
+        let sizes: Vec<usize> = records
+            .iter()
+            .map(|r| {
+                let mut b = Vec::new();
+                encode(r, &h, &layout, &mut b).unwrap();
+                b.len()
+            })
+            .collect();
+        assert_eq!(sizes[0], sizes[1]);
+        assert_eq!(sizes[0], layout.record_size());
+    }
+}

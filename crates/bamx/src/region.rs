@@ -1,0 +1,197 @@
+//! Genomic regions ("chr1:1000-2000") used to drive partial conversion.
+
+use std::fmt;
+
+use ngs_formats::error::{Error, Result};
+use ngs_formats::header::SamHeader;
+
+/// A half-open genomic interval on one reference sequence.
+///
+/// Coordinates are 0-based internally; the text form uses the customary
+/// 1-based inclusive convention (`chr1:1000-2000`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Reference sequence name.
+    pub name: Vec<u8>,
+    /// 0-based inclusive start.
+    pub start0: i64,
+    /// 0-based exclusive end.
+    pub end0: i64,
+}
+
+impl Region {
+    /// Builds a region, validating the interval.
+    pub fn new(name: impl Into<Vec<u8>>, start0: i64, end0: i64) -> Result<Self> {
+        if start0 < 0 || end0 < start0 {
+            return Err(Error::InvalidRecord(format!("bad region interval {start0}..{end0}")));
+        }
+        Ok(Region { name: name.into(), start0, end0 })
+    }
+
+    /// Parses `name`, `name:start`, or `name:start-end` (1-based inclusive
+    /// text coordinates). A bare name covers the whole sequence, resolved
+    /// against `header`.
+    pub fn parse(text: &str, header: &SamHeader) -> Result<Self> {
+        let (name, range) = match text.rsplit_once(':') {
+            // Guard against colons inside the sequence name: only split if
+            // the suffix looks numeric.
+            Some((n, r)) if r.chars().next().is_some_and(|c| c.is_ascii_digit()) => {
+                (n, Some(r))
+            }
+            _ => (text, None),
+        };
+        let ref_len = header
+            .reference_id(name.as_bytes())
+            .map(|id| header.references[id].length as i64)
+            .ok_or_else(|| Error::UnknownReference(name.to_string()))?;
+        let (start0, end0) = match range {
+            None => (0, ref_len),
+            Some(r) => {
+                let parse_num = |s: &str| -> Result<i64> {
+                    s.replace(',', "")
+                        .parse()
+                        .map_err(|_| Error::InvalidRecord(format!("bad coordinate {s:?}")))
+                };
+                match r.split_once('-') {
+                    None => {
+                        let s = parse_num(r)?;
+                        (s - 1, ref_len)
+                    }
+                    Some((a, b)) => {
+                        let s = parse_num(a)?;
+                        let e = parse_num(b)?;
+                        (s - 1, e)
+                    }
+                }
+            }
+        };
+        if start0 < 0 || end0 < start0 {
+            return Err(Error::InvalidRecord(format!("bad region {text:?}")));
+        }
+        Ok(Region { name: name.as_bytes().to_vec(), start0, end0: end0.min(ref_len) })
+    }
+
+    /// The reference id of this region under `header`.
+    pub fn resolve(&self, header: &SamHeader) -> Result<i32> {
+        header
+            .reference_id(&self.name)
+            .map(|i| i as i32)
+            .ok_or_else(|| Error::UnknownReference(String::from_utf8_lossy(&self.name).into()))
+    }
+
+    /// Interval length in bases.
+    pub fn len(&self) -> i64 {
+        self.end0 - self.start0
+    }
+
+    /// True for zero-length regions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a record starting at `pos0` starts inside the region.
+    pub fn contains_start(&self, pos0: i64) -> bool {
+        (self.start0..self.end0).contains(&pos0)
+    }
+
+    /// Whether `[s, e)` overlaps the region at all.
+    pub fn overlaps(&self, s: i64, e: i64) -> bool {
+        s < self.end0 && self.start0 < e
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}-{}",
+            String::from_utf8_lossy(&self.name),
+            self.start0 + 1,
+            self.end0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_formats::header::ReferenceSequence;
+
+    fn header() -> SamHeader {
+        SamHeader::from_references(vec![
+            ReferenceSequence { name: b"chr1".to_vec(), length: 10_000 },
+            ReferenceSequence { name: b"HLA:A-1".to_vec(), length: 500 },
+        ])
+    }
+
+    #[test]
+    fn parse_full_forms() {
+        let h = header();
+        let r = Region::parse("chr1:1001-2000", &h).unwrap();
+        assert_eq!(r.start0, 1000);
+        assert_eq!(r.end0, 2000);
+        assert_eq!(r.len(), 1000);
+        assert_eq!(r.to_string(), "chr1:1001-2000");
+    }
+
+    #[test]
+    fn parse_bare_name() {
+        let h = header();
+        let r = Region::parse("chr1", &h).unwrap();
+        assert_eq!(r.start0, 0);
+        assert_eq!(r.end0, 10_000);
+    }
+
+    #[test]
+    fn parse_open_end() {
+        let h = header();
+        let r = Region::parse("chr1:5001", &h).unwrap();
+        assert_eq!(r.start0, 5000);
+        assert_eq!(r.end0, 10_000);
+    }
+
+    #[test]
+    fn parse_with_commas() {
+        let h = header();
+        let r = Region::parse("chr1:1,001-2,000", &h).unwrap();
+        assert_eq!((r.start0, r.end0), (1000, 2000));
+    }
+
+    #[test]
+    fn name_containing_colon() {
+        let h = header();
+        let r = Region::parse("HLA:A-1", &h).unwrap();
+        assert_eq!(r.name, b"HLA:A-1");
+        assert_eq!(r.end0, 500);
+    }
+
+    #[test]
+    fn end_clamped_to_reference() {
+        let h = header();
+        let r = Region::parse("chr1:9000-99999", &h).unwrap();
+        assert_eq!(r.end0, 10_000);
+    }
+
+    #[test]
+    fn errors() {
+        let h = header();
+        assert!(Region::parse("chrZ", &h).is_err());
+        assert!(Region::parse("chr1:abc-10", &h).is_err());
+        assert!(Region::parse("chr1:2000-1000", &h).is_err());
+        assert!(Region::new("x", -1, 5).is_err());
+        assert!(Region::new("x", 10, 5).is_err());
+    }
+
+    #[test]
+    fn geometry_predicates() {
+        let r = Region::new("chr1", 100, 200).unwrap();
+        assert!(r.contains_start(100));
+        assert!(r.contains_start(199));
+        assert!(!r.contains_start(200));
+        assert!(!r.contains_start(99));
+        assert!(r.overlaps(50, 101));
+        assert!(r.overlaps(199, 300));
+        assert!(!r.overlaps(200, 300));
+        assert!(!r.overlaps(0, 100));
+    }
+}

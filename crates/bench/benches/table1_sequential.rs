@@ -1,0 +1,74 @@
+//! Table I bench: sequential SAM→FASTQ and BAM→SAM conversion time for
+//! the three sequential systems (ours without preprocessing, ours with
+//! preprocessing, the Picard-like baseline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ngs_bench::{DataCache, Scale};
+use ngs_converter::{BamConverter, ConvertConfig, PicardLikeConverter, SamConverter, SamxConverter, TargetFormat};
+
+fn bench(c: &mut Criterion) {
+    let cache = DataCache::default_location().unwrap();
+    let records = Scale(0.05).table1_records();
+    let sam = cache.sam(records, 1).unwrap();
+    let bam = cache.bam(records, 1).unwrap();
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    g.bench_function("sam_to_fastq/ours_without_preprocess", |b| {
+        b.iter(|| {
+            let out = cache.scratch("t1-b1").unwrap();
+            SamConverter::new(ConvertConfig::with_ranks(1))
+                .convert_file(&sam, TargetFormat::Fastq, out)
+                .unwrap()
+        })
+    });
+
+    let samx = SamxConverter::new(ConvertConfig::with_ranks(1));
+    let shards_dir = cache.scratch("t1-shards").unwrap();
+    let prep = samx.preprocess_file(&sam, &shards_dir).unwrap();
+    g.bench_function("sam_to_fastq/ours_with_preprocess", |b| {
+        b.iter(|| {
+            let out = cache.scratch("t1-b2").unwrap();
+            samx.convert_shards(&prep.shards, TargetFormat::Fastq, out).unwrap()
+        })
+    });
+
+    g.bench_function("sam_to_fastq/picard_like", |b| {
+        b.iter(|| {
+            let out = cache.scratch("t1-b3").unwrap();
+            PicardLikeConverter.sam_to_fastq(&sam, out.join("o.fastq")).unwrap()
+        })
+    });
+
+    let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+    g.bench_function("bam_to_sam/ours_without_preprocess", |b| {
+        b.iter(|| {
+            let out = cache.scratch("t1-b4").unwrap();
+            conv.convert_direct(&bam, TargetFormat::Sam, out).unwrap()
+        })
+    });
+
+    let prep_dir = cache.scratch("t1-bamx").unwrap();
+    let bprep = conv.preprocess(&bam, &prep_dir).unwrap();
+    g.bench_function("bam_to_sam/ours_with_preprocess", |b| {
+        b.iter(|| {
+            let out = cache.scratch("t1-b5").unwrap();
+            conv.convert_bamx(&bprep.bamx_path, TargetFormat::Sam, out).unwrap()
+        })
+    });
+
+    g.bench_function("bam_to_sam/picard_like", |b| {
+        b.iter(|| {
+            let out = cache.scratch("t1-b6").unwrap();
+            PicardLikeConverter.bam_to_sam(&bam, out.join("o.sam")).unwrap()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,468 @@
+//! One function per table/figure of the paper's evaluation (Section V).
+//!
+//! All parallel timings use the *simulated-cluster* execution mode (each
+//! rank's loop timed alone; makespan = max) so the speedup shapes are
+//! observable regardless of host core count — see DESIGN.md §3 and the
+//! `ngs-converter::simulate` module docs. Results are returned as
+//! [`Figure`]/[`Table1`] values whose `Display` renders the same
+//! rows/series the paper reports.
+
+use std::time::{Duration, Instant};
+
+use ngs_bamx::Region;
+use ngs_converter::{
+    BamConverter, ConvertConfig, PicardLikeConverter, SamConverter, SamxConverter, TargetFormat,
+};
+use ngs_formats::error::Result;
+use ngs_stats::{
+    build_fdr_input, fdr_simulated, fdr_simulated_two_phase, nlmeans_simulated, NlMeansParams,
+    NullModel,
+};
+
+use crate::data::{DataCache, Scale};
+use crate::series::{to_speedup, Figure, Series, Table1};
+
+/// Shared experiment configuration.
+pub struct ExperimentConfig {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Core-count axis for the speedup figures.
+    pub cores: Vec<usize>,
+    /// Dataset cache.
+    pub cache: DataCache,
+    /// Repetitions per timing (best-of-N damps timer noise on the tiny
+    /// per-rank chunks that high rank counts produce).
+    pub repeats: usize,
+}
+
+impl ExperimentConfig {
+    /// Defaults: scale 1.0, the paper's 1–128 core axis, cache under
+    /// `target/`.
+    pub fn new(scale: Scale) -> Result<Self> {
+        Ok(ExperimentConfig {
+            scale,
+            cores: vec![1, 2, 4, 8, 16, 32, 64, 128],
+            cache: DataCache::default_location()?,
+            repeats: 3,
+        })
+    }
+
+    fn config(&self, ranks: usize) -> ConvertConfig {
+        ConvertConfig::with_ranks(ranks)
+    }
+
+    /// Best-of-`repeats` timing of a fallible measurement.
+    fn best_of(&self, mut f: impl FnMut() -> Result<Duration>) -> Result<Duration> {
+        let mut best = f()?;
+        for _ in 1..self.repeats.max(1) {
+            best = best.min(f()?);
+        }
+        Ok(best)
+    }
+}
+
+/// The three conversions the SAM-side figures sweep.
+const LINE_TARGETS: [(TargetFormat, &str); 3] = [
+    (TargetFormat::Bed, "BED"),
+    (TargetFormat::BedGraph, "BEDGRAPH"),
+    (TargetFormat::Fasta, "FASTA"),
+];
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+/// Table I: sequential SAM→FASTQ and BAM→SAM against the Picard-like
+/// baseline. "With preprocessing" reports the conversion phase running
+/// off preprocessed BAMX (the preprocessing cost itself is amortizable
+/// and reported by Fig 10).
+pub fn table1(cfg: &ExperimentConfig) -> Result<Table1> {
+    let records = cfg.scale.table1_records();
+    // The paper's Table I datasets are restricted to chr1.
+    let sam = cfg.cache.sam(records, 1)?;
+    let bam = cfg.cache.bam(records, 1)?;
+    let mut rows = Vec::new();
+
+    // --- SAM → FASTQ ---
+    let out = cfg.cache.scratch("table1-sam")?;
+    let t = Instant::now();
+    let plain = SamConverter::new(cfg.config(1));
+    plain.convert_file(&sam, TargetFormat::Fastq, out.join("without"))?;
+    let without = t.elapsed();
+
+    let samx = SamxConverter::new(cfg.config(1));
+    let prep = samx.preprocess_file(&sam, out.join("shards"))?;
+    let t = Instant::now();
+    samx.convert_shards(&prep.shards, TargetFormat::Fastq, out.join("with"))?;
+    let with = t.elapsed();
+
+    let t = Instant::now();
+    PicardLikeConverter.sam_to_fastq(&sam, out.join("picard.fastq"))?;
+    let picard = t.elapsed();
+    rows.push(("SAM→FASTQ".to_string(), without, with, picard));
+
+    // --- BAM → SAM ---
+    let out = cfg.cache.scratch("table1-bam")?;
+    let conv = BamConverter::new(cfg.config(1));
+    let t = Instant::now();
+    conv.convert_direct(&bam, TargetFormat::Sam, out.join("without"))?;
+    let without = t.elapsed();
+
+    let prep = conv.preprocess(&bam, out.join("bamx"))?;
+    let t = Instant::now();
+    conv.convert_bamx(&prep.bamx_path, TargetFormat::Sam, out.join("with"))?;
+    let with = t.elapsed();
+
+    let t = Instant::now();
+    PicardLikeConverter.bam_to_sam(&bam, out.join("picard.sam"))?;
+    let picard = t.elapsed();
+    rows.push(("BAM→SAM".to_string(), without, with, picard));
+
+    Ok(Table1 { rows })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------------
+
+/// Figure 6: conversion speedup of the SAM format converter into BED,
+/// BEDGRAPH and FASTA.
+pub fn fig6(cfg: &ExperimentConfig) -> Result<Figure> {
+    let sam = cfg.cache.sam(cfg.scale.fig6_records(), 3)?;
+    let source = ngs_converter::FileSource::open(&sam)?;
+    let mut fig =
+        Figure::new("Figure 6: Conversion Speedup of SAM Format Converter", "speedup");
+    for (target, name) in LINE_TARGETS {
+        let mut timings = Vec::new();
+        for &n in &cfg.cores {
+            let conv = SamConverter::new(cfg.config(n));
+            let t = cfg.best_of(|| {
+                let out = cfg.cache.scratch(&format!("fig6-{name}-{n}"))?;
+                let report = conv.convert_source_simulated(&source, target, &out, "x")?;
+                Ok(report.partition_time + report.convert_time)
+            })?;
+            timings.push((n, t));
+        }
+        fig.series.push(to_speedup(&format!("SAM→{name}"), &timings));
+    }
+    Ok(fig)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------------
+
+/// Figure 7: full-conversion speedup of the BAM format converter
+/// (conversion phase over the preprocessed BAMX, as in the paper).
+pub fn fig7(cfg: &ExperimentConfig) -> Result<Figure> {
+    let bam = cfg.cache.bam(cfg.scale.fig7_records(), 3)?;
+    let prep_dir = cfg.cache.scratch("fig7-prep")?;
+    let conv = BamConverter::new(cfg.config(1));
+    let prep = conv.preprocess(&bam, &prep_dir)?;
+
+    let mut fig =
+        Figure::new("Figure 7: Full Conversion Speedup of BAM Format Converter", "speedup");
+    for (target, name) in LINE_TARGETS {
+        let mut timings = Vec::new();
+        for &n in &cfg.cores {
+            let conv = BamConverter::new(cfg.config(n));
+            let t = cfg.best_of(|| {
+                let out = cfg.cache.scratch(&format!("fig7-{name}-{n}"))?;
+                let report = conv.convert_bamx_simulated(&prep.bamx_path, target, &out)?;
+                Ok(report.convert_time)
+            })?;
+            timings.push((n, t));
+        }
+        fig.series.push(to_speedup(&format!("BAM→{name}"), &timings));
+    }
+    Ok(fig)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------------
+
+/// Figure 8: partial-conversion times of the BAM format converter for
+/// region subsets of 20–100 % of the dataset (BAM→SAM, as in the paper).
+pub fn fig8(cfg: &ExperimentConfig) -> Result<Figure> {
+    // Single-chromosome dataset so a chr1 interval maps linearly to a
+    // fraction of the records.
+    let bam = cfg.cache.bam(cfg.scale.fig7_records(), 1)?;
+    let prep_dir = cfg.cache.scratch("fig8-prep")?;
+    let conv = BamConverter::new(cfg.config(1));
+    let prep = conv.preprocess(&bam, &prep_dir)?;
+    let header = ngs_bamx::BamxFile::open(&prep.bamx_path)?.header().clone();
+    let chr_len = header.references[0].length as i64;
+
+    let mut fig = Figure::new(
+        "Figure 8: Partial Conversion Times of BAM Format Converter (BAM→SAM)",
+        "milliseconds",
+    );
+    let cores: Vec<usize> = cfg.cores.iter().copied().filter(|&c| c >= 8).collect();
+    let cores = if cores.is_empty() { vec![8, 16, 32, 64, 128] } else { cores };
+    for pct in [20u32, 40, 60, 80, 100] {
+        let region = Region::new("chr1", 0, chr_len * pct as i64 / 100)?;
+        let mut series = Series::new(format!("{pct}% region"));
+        for &n in &cores {
+            let conv = BamConverter::new(cfg.config(n));
+            let t = cfg.best_of(|| {
+                let out = cfg.cache.scratch(&format!("fig8-{pct}-{n}"))?;
+                let report = conv.convert_partial_simulated(
+                    &prep.bamx_path,
+                    &prep.baix_path,
+                    &region,
+                    TargetFormat::Sam,
+                    &out,
+                )?;
+                Ok(report.convert_time)
+            })?;
+            series.push(n, t.as_secs_f64() * 1e3);
+        }
+        fig.series.push(series);
+    }
+    Ok(fig)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9
+// ---------------------------------------------------------------------------
+
+/// Figure 9: speedups of the preprocessing-optimized SAM converter
+/// (suffix `_P`, conversion phase only) against the original SAM
+/// converter, for BED/BEDGRAPH/FASTA.
+pub fn fig9(cfg: &ExperimentConfig) -> Result<Figure> {
+    let sam = cfg.cache.sam(cfg.scale.fig9_records(), 3)?;
+    let source = ngs_converter::FileSource::open(&sam)?;
+    let mut fig = Figure::new(
+        "Figure 9: Preprocessing-Optimized (\"_P\") vs Original SAM Format Converter",
+        "speedup (each family normalized to the original converter's 1-core time)",
+    );
+
+    // One-core reference time: the ORIGINAL converter, so the _P series
+    // also expose their absolute advantage.
+    let base_out = cfg.cache.scratch("fig9-base")?;
+    let base_report = SamConverter::new(cfg.config(1)).convert_source_simulated(
+        &source,
+        TargetFormat::Bed,
+        &base_out,
+        "b",
+    )?;
+    let _ = base_report;
+
+    for (target, name) in LINE_TARGETS {
+        // Original converter series.
+        let mut plain_timings = Vec::new();
+        for &n in &cfg.cores {
+            let t = cfg.best_of(|| {
+                let out = cfg.cache.scratch(&format!("fig9-plain-{name}-{n}"))?;
+                let report = SamConverter::new(cfg.config(n))
+                    .convert_source_simulated(&source, target, &out, "x")?;
+                Ok(report.partition_time + report.convert_time)
+            })?;
+            plain_timings.push((n, t));
+        }
+        let base = plain_timings[0].1.as_secs_f64();
+        let mut plain = Series::new(format!("SAM→{name}"));
+        for (n, t) in &plain_timings {
+            plain.push(*n, base / t.as_secs_f64().max(1e-12));
+        }
+        fig.series.push(plain);
+
+        // Preprocessing-optimized series (conversion only, preprocessing
+        // excluded as in the paper's "_P" bars), normalized against the
+        // same original-converter 1-core base.
+        let samx = SamxConverter::new(cfg.config(1));
+        let shards_dir = cfg.cache.scratch(&format!("fig9-shards-{name}"))?;
+        let prep = samx.preprocess_source_simulated(&source, &shards_dir, "x")?;
+        let mut opt = Series::new(format!("SAM→{name}_P"));
+        for &n in &cfg.cores {
+            let samx_n = SamxConverter::new(cfg.config(n));
+            let t = cfg.best_of(|| {
+                let out = cfg.cache.scratch(&format!("fig9-opt-{name}-{n}"))?;
+                let report = samx_n.convert_shards_simulated(&prep.shards, target, &out)?;
+                Ok(report.convert_time)
+            })?;
+            opt.push(n, base / t.as_secs_f64().max(1e-12));
+        }
+        fig.series.push(opt);
+    }
+    Ok(fig)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10
+// ---------------------------------------------------------------------------
+
+/// Figure 10: speedup of the (parallelized) SAM preprocessing step.
+pub fn fig10(cfg: &ExperimentConfig) -> Result<Figure> {
+    let sam = cfg.cache.sam(cfg.scale.fig9_records(), 3)?;
+    let source = ngs_converter::FileSource::open(&sam)?;
+    let mut fig = Figure::new(
+        "Figure 10: Preprocessing Speedup of Preprocessing-Optimized SAM Format Converter",
+        "speedup",
+    );
+    let mut timings = Vec::new();
+    for &n in &cfg.cores {
+        let samx = SamxConverter::new(cfg.config(n));
+        let t = cfg.best_of(|| {
+            let out = cfg.cache.scratch(&format!("fig10-{n}"))?;
+            let prep = samx.preprocess_source_simulated(&source, &out, "x")?;
+            Ok(prep.elapsed)
+        })?;
+        timings.push((n, t));
+    }
+    fig.series.push(to_speedup("SAM preprocessing", &timings));
+    Ok(fig)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11
+// ---------------------------------------------------------------------------
+
+/// Figure 11: NL-means speedup for search radii r ∈ {20, 80, 320}
+/// (l = 15, σ = 10, 25 bp bins — the paper's settings).
+pub fn fig11(cfg: &ExperimentConfig) -> Result<Figure> {
+    let bins = cfg.scale.nlmeans_bins();
+    // A coverage-like histogram: Poisson noise around peaky enrichment.
+    let mut rng = ngs_simgen::Rng::seed_from_u64(0x11);
+    let data: Vec<f64> = (0..bins)
+        .map(|i| {
+            let enrich = if i % 997 < 40 { 30.0 } else { 0.0 };
+            rng.poisson(8.0 + enrich) as f64
+        })
+        .collect();
+
+    let mut fig = Figure::new("Figure 11: Speedup of NL-means Processing", "speedup");
+    for r in [20usize, 80, 320] {
+        let params = NlMeansParams { search_radius: r, half_patch: 15, sigma: 10.0 };
+        let mut timings = Vec::new();
+        for &n in &cfg.cores {
+            let t = cfg.best_of(|| {
+                let (_, timing) = nlmeans_simulated(&data, &params, n);
+                Ok(timing.makespan())
+            })?;
+            timings.push((n, t));
+        }
+        fig.series.push(to_speedup(&format!("r = {r}"), &timings));
+    }
+    Ok(fig)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12
+// ---------------------------------------------------------------------------
+
+/// Figure 12: FDR computation speedup (1 histogram + B simulations),
+/// including the summation-permutation ablation (fused single-reduction
+/// Algorithm 2 vs the two-barrier unfused version).
+pub fn fig12(cfg: &ExperimentConfig) -> Result<Figure> {
+    let bins = cfg.scale.fdr_bins();
+    let rounds = cfg.scale.fdr_rounds();
+    let mut rng = ngs_simgen::Rng::seed_from_u64(0x12);
+    let observed: Vec<f64> = (0..bins)
+        .map(|i| {
+            let enrich = if i % 499 < 12 { 25.0 } else { 0.0 };
+            rng.poisson(6.0 + enrich) as f64
+        })
+        .collect();
+    let input = build_fdr_input(observed, rounds, NullModel::Poisson, 0x1214);
+    let p_t = rounds as f64 * 0.05;
+
+    // The paper scales FDR to 256 cores.
+    let mut cores = cfg.cores.clone();
+    if cores.last().copied() == Some(128) {
+        cores.push(256);
+    }
+
+    let mut fig = Figure::new(
+        format!("Figure 12: Speedup of FDR Computation (B = {rounds} simulations)"),
+        "speedup",
+    );
+    let mut fused_timings = Vec::new();
+    let mut unfused_timings = Vec::new();
+    for &n in &cores {
+        let tf = cfg.best_of(|| Ok(fdr_simulated(&input, p_t, n).1.makespan()))?;
+        fused_timings.push((n, tf));
+        let tu = cfg.best_of(|| Ok(fdr_simulated_two_phase(&input, p_t, n).1.makespan()))?;
+        unfused_timings.push((n, tu));
+    }
+    // Both normalized to the fused 1-core time so the ablation's cost is
+    // visible as a lower curve.
+    let base = fused_timings[0].1;
+    let mut fused = Series::new("Algorithm 2 (fused reduction)");
+    for (n, t) in &fused_timings {
+        fused.push(*n, base.as_secs_f64() / t.as_secs_f64().max(1e-12));
+    }
+    let mut unfused = Series::new("two-phase (ablation)");
+    for (n, t) in &unfused_timings {
+        unfused.push(*n, base.as_secs_f64() / t.as_secs_f64().max(1e-12));
+    }
+    fig.series.push(fused);
+    fig.series.push(unfused);
+    Ok(fig)
+}
+
+/// Times one closure (utility shared with the criterion benches).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let v = f();
+    (v, t.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+
+    fn tiny_config() -> ExperimentConfig {
+        let dir = tempdir().unwrap();
+        let cache = DataCache::new(dir.path().join("cache")).unwrap();
+        // Leak the tempdir so the cache survives for the test body.
+        std::mem::forget(dir);
+        ExperimentConfig { scale: Scale(0.02), cores: vec![1, 2, 4], cache, repeats: 1 }
+    }
+
+    #[test]
+    fn table1_produces_two_rows() {
+        let cfg = tiny_config();
+        let t = table1(&cfg).unwrap();
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows.iter().all(|r| r.1 > Duration::ZERO));
+        let text = t.to_string();
+        assert!(text.contains("SAM→FASTQ") && text.contains("BAM→SAM"));
+    }
+
+    #[test]
+    fn fig6_has_three_series_over_axis() {
+        let cfg = tiny_config();
+        let fig = fig6(&cfg).unwrap();
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 3);
+            assert!((s.at(1).unwrap() - 1.0).abs() < 1e-9, "speedup(1) == 1");
+        }
+    }
+
+    #[test]
+    fn fig8_times_grow_with_region() {
+        let cfg = tiny_config();
+        let fig = fig8(&cfg).unwrap();
+        assert_eq!(fig.series.len(), 5);
+        // At the same core count, a bigger region must not be faster
+        // (modulo tiny-jitter tolerance).
+        let cores = fig.cores_axis()[0];
+        let t20 = fig.series[0].at(cores).unwrap();
+        let t100 = fig.series[4].at(cores).unwrap();
+        assert!(t100 >= t20 * 0.8, "t20={t20}, t100={t100}");
+    }
+
+    #[test]
+    fn fig11_and_fig12_speedups_normalized() {
+        let cfg = tiny_config();
+        let f11 = fig11(&cfg).unwrap();
+        assert_eq!(f11.series.len(), 3);
+        let f12 = fig12(&cfg).unwrap();
+        assert_eq!(f12.series.len(), 2);
+        assert!((f12.series[0].at(1).unwrap() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,16 @@
+//! # ngs-bench
+//!
+//! The evaluation harness: regenerates every table and figure of the
+//! paper (Table I, Figures 6–12) over synthetic datasets, with a
+//! `repro` binary (`cargo run -p ngs-bench --release --bin repro -- all`)
+//! and criterion micro/macro benches (one per table/figure).
+
+pub mod data;
+pub mod experiments;
+pub mod series;
+
+pub use data::{DataCache, Scale};
+pub use experiments::{
+    fig10, fig11, fig12, fig6, fig7, fig8, fig9, table1, ExperimentConfig,
+};
+pub use series::{to_speedup, Figure, Series, Table1};

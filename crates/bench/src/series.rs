@@ -1,0 +1,187 @@
+//! Result containers for the experiments, with paper-style text
+//! rendering.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One labelled `(cores → value)` series (a line in a paper figure).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label, e.g. `SAM→BED`.
+    pub label: String,
+    /// `(cores, value)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, cores: usize, value: f64) {
+        self.points.push((cores, value));
+    }
+
+    /// Value at a core count, if present.
+    pub fn at(&self, cores: usize) -> Option<f64> {
+        self.points.iter().find(|(c, _)| *c == cores).map(|(_, v)| *v)
+    }
+}
+
+/// A figure: several series over the same core axis.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure title (e.g. `Figure 6: Conversion Speedup of SAM Format
+    /// Converter`).
+    pub title: String,
+    /// What the values mean (`speedup`, `seconds`).
+    pub unit: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(title: impl Into<String>, unit: impl Into<String>) -> Self {
+        Figure { title: title.into(), unit: unit.into(), series: Vec::new() }
+    }
+
+    /// The sorted union of core counts across series.
+    pub fn cores_axis(&self) -> Vec<usize> {
+        let mut cores: Vec<usize> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|(c, _)| *c)).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        cores
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "  (values: {})", self.unit)?;
+        let cores = self.cores_axis();
+        write!(f, "  {:<28}", "series \\ cores")?;
+        for c in &cores {
+            write!(f, "{c:>9}")?;
+        }
+        writeln!(f)?;
+        for s in &self.series {
+            write!(f, "  {:<28}", s.label)?;
+            for c in &cores {
+                match s.at(*c) {
+                    Some(v) if v.is_finite() => write!(f, "{v:>9.2}")?,
+                    Some(_) => write!(f, "{:>9}", "inf")?,
+                    None => write!(f, "{:>9}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Table I: sequential comparison rows.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// `(conversion, ours-without-preprocessing, ours-with, picard-like)`
+    /// times.
+    pub rows: Vec<(String, Duration, Duration, Duration)>,
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I: Sequential Comparison against the Picard-like baseline")?;
+        writeln!(
+            f,
+            "  {:<16}{:>22}{:>19}{:>14}",
+            "Avg. Conversion", "Ours w/o preprocess", "Ours w/ preprocess", "Picard-like"
+        )?;
+        for (name, without, with, picard) in &self.rows {
+            writeln!(
+                f,
+                "  {:<16}{:>21.3}s{:>18.3}s{:>13.3}s",
+                name,
+                without.as_secs_f64(),
+                with.as_secs_f64(),
+                picard.as_secs_f64()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes a speedup series from `(cores, seconds)` timings relative to
+/// the smallest core count present.
+pub fn to_speedup(label: &str, timings: &[(usize, Duration)]) -> Series {
+    let base = timings
+        .iter()
+        .min_by_key(|(c, _)| *c)
+        .map(|(_, t)| t.as_secs_f64())
+        .unwrap_or(1.0);
+    let mut s = Series::new(label);
+    for (c, t) in timings {
+        s.push(*c, base / t.as_secs_f64().max(1e-12));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_relative_to_one_core() {
+        let timings = vec![
+            (1, Duration::from_millis(800)),
+            (2, Duration::from_millis(400)),
+            (4, Duration::from_millis(220)),
+        ];
+        let s = to_speedup("x", &timings);
+        assert!((s.at(1).unwrap() - 1.0).abs() < 1e-9);
+        assert!((s.at(2).unwrap() - 2.0).abs() < 1e-9);
+        assert!(s.at(4).unwrap() > 3.0);
+    }
+
+    #[test]
+    fn figure_renders_table() {
+        let mut fig = Figure::new("Figure X", "speedup");
+        let mut s = Series::new("SAM→BED");
+        s.push(1, 1.0);
+        s.push(2, 1.9);
+        fig.series.push(s);
+        let text = fig.to_string();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("SAM→BED"));
+        assert!(text.contains("1.90"));
+    }
+
+    #[test]
+    fn table1_renders() {
+        let t = Table1 {
+            rows: vec![(
+                "SAM→FASTQ".into(),
+                Duration::from_millis(3214),
+                Duration::from_millis(2804),
+                Duration::from_millis(3121),
+            )],
+        };
+        let text = t.to_string();
+        assert!(text.contains("SAM→FASTQ"));
+        assert!(text.contains("3.214"));
+    }
+
+    #[test]
+    fn cores_axis_is_union() {
+        let mut fig = Figure::new("f", "u");
+        let mut a = Series::new("a");
+        a.push(1, 1.0);
+        a.push(4, 2.0);
+        let mut b = Series::new("b");
+        b.push(2, 1.0);
+        fig.series.extend([a, b]);
+        assert_eq!(fig.cores_axis(), vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,265 @@
+//! LSB-first bit-level I/O used by the DEFLATE codec (RFC 1951 packs bits
+//! starting from the least significant bit of each byte).
+
+use crate::error::{Error, Result};
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte to refill from.
+    pos: usize,
+    /// Bit accumulator; bits are consumed from the low end.
+    acc: u64,
+    /// Number of valid bits in `acc`.
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.data.len() {
+            self.acc |= (self.data[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Reads `n` bits (0..=32), returning them in the low bits of the result.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u32> {
+        debug_assert!(n <= 32);
+        if self.nbits < n {
+            self.refill();
+            if self.nbits < n {
+                return Err(Error::UnexpectedEof);
+            }
+        }
+        let mask = if n == 32 { u64::MAX >> 32 } else { (1u64 << n) - 1 };
+        let v = (self.acc & mask) as u32;
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<u32> {
+        self.read_bits(1)
+    }
+
+    /// Peeks up to `n` bits without consuming them, zero-padded past EOF.
+    /// Returns `(bits, available)` where `available ≤ n` is how many of
+    /// the returned bits are real.
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> (u32, u32) {
+        debug_assert!(n <= 32);
+        if self.nbits < n {
+            self.refill();
+        }
+        let avail = self.nbits.min(n);
+        let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        ((self.acc & mask) as u32, avail)
+    }
+
+    /// Consumes `n` bits previously seen via [`Self::peek_bits`].
+    #[inline]
+    pub fn consume(&mut self, n: u32) {
+        debug_assert!(self.nbits >= n, "consume past peeked bits");
+        self.acc >>= n;
+        self.nbits -= n;
+    }
+
+    /// Discards bits so the reader is aligned to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        let drop = self.nbits % 8;
+        self.acc >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Copies `len` bytes from the (byte-aligned) stream into `out`.
+    ///
+    /// Must be called on a byte boundary (after [`Self::align_to_byte`]).
+    pub fn read_aligned_bytes(&mut self, out: &mut Vec<u8>, len: usize) -> Result<()> {
+        debug_assert_eq!(self.nbits % 8, 0, "reader must be byte-aligned");
+        let mut remaining = len;
+        // Drain whole bytes buffered in the accumulator first.
+        while remaining > 0 && self.nbits >= 8 {
+            out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+            remaining -= 1;
+        }
+        if remaining > 0 {
+            let avail = self.data.len() - self.pos;
+            if avail < remaining {
+                return Err(Error::UnexpectedEof);
+            }
+            out.extend_from_slice(&self.data[self.pos..self.pos + remaining]);
+            self.pos += remaining;
+        }
+        Ok(())
+    }
+
+    /// Number of whole bytes consumed from the underlying slice, counting
+    /// buffered-but-unread bits as consumed only when fully used.
+    pub fn bytes_consumed(&self) -> usize {
+        self.pos - (self.nbits as usize) / 8
+    }
+}
+
+/// Writes bits LSB-first into an owned byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with pre-reserved output capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BitWriter { out: Vec::with_capacity(cap), acc: 0, nbits: 0 }
+    }
+
+    #[inline]
+    fn flush_acc(&mut self) {
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Writes the low `n` bits of `v` (LSB-first), `n <= 32`.
+    #[inline]
+    pub fn write_bits(&mut self, v: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || (v as u64) < (1u64 << n), "value {v} wider than {n} bits");
+        self.acc |= (v as u64) << self.nbits;
+        self.nbits += n;
+        if self.nbits >= 32 {
+            self.flush_acc();
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        let pad = (8 - self.nbits % 8) % 8;
+        if pad > 0 {
+            self.write_bits(0, pad);
+        }
+        self.flush_acc();
+    }
+
+    /// Appends raw bytes; the writer must be byte-aligned.
+    pub fn write_aligned_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(self.nbits, 0, "writer must be byte-aligned");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Flushes any partial byte (zero-padded) and returns the buffer.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.out
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        let fields: &[(u32, u32)] = &[
+            (1, 1),
+            (0, 1),
+            (0b101, 3),
+            (0xFF, 8),
+            (0x1234, 16),
+            (0, 7),
+            (0x0FFF_FFFF, 28),
+            (1, 1),
+        ];
+        for &(v, n) in fields {
+            w.write_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in fields {
+            assert_eq!(r.read_bits(n).unwrap(), v, "field {v}:{n}");
+        }
+    }
+
+    #[test]
+    fn lsb_first_layout() {
+        let mut w = BitWriter::new();
+        // 0b1 then 0b01 then 0b10010 => byte = 10010_01_1 = 0x93.
+        w.write_bits(1, 1);
+        w.write_bits(1, 2);
+        w.write_bits(0b10010, 5);
+        assert_eq!(w.into_bytes(), vec![0x93]);
+    }
+
+    #[test]
+    fn eof_detection() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn align_and_aligned_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.align_to_byte();
+        w.write_aligned_bytes(b"xyz");
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x03, b'x', b'y', b'z']);
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        r.align_to_byte();
+        let mut out = Vec::new();
+        r.read_aligned_bytes(&mut out, 3).unwrap();
+        assert_eq!(out, b"xyz");
+    }
+
+    #[test]
+    fn aligned_bytes_partially_buffered() {
+        // Force bytes into the accumulator before asking for aligned reads.
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.read_bits(8).unwrap(), 1);
+        let mut out = Vec::new();
+        r.read_aligned_bytes(&mut out, 9).unwrap();
+        assert_eq!(out, &data[1..]);
+    }
+
+    #[test]
+    fn thirty_two_bit_write() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_bits(0xF00D_CAFE, 32);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_bits(32).unwrap(), 0xF00D_CAFE);
+    }
+}

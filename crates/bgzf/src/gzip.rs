@@ -1,0 +1,223 @@
+//! Plain gzip (RFC 1952) member framing on top of the DEFLATE codec.
+//!
+//! BGZF builds on this: a BGZF block is a gzip member carrying a mandatory
+//! FEXTRA subfield (see [`crate::block`]).
+
+use crate::crc32::crc32;
+use crate::deflate::{deflate, Options};
+use crate::error::{Error, Result};
+use crate::inflate::inflate_into;
+
+/// gzip magic bytes.
+pub const MAGIC: [u8; 2] = [0x1F, 0x8B];
+/// Compression method: DEFLATE.
+pub const CM_DEFLATE: u8 = 8;
+
+/// FLG bits.
+pub mod flags {
+    /// File is probably ASCII text (advisory).
+    pub const FTEXT: u8 = 1 << 0;
+    /// A CRC16 of the header is present.
+    pub const FHCRC: u8 = 1 << 1;
+    /// An extra field is present.
+    pub const FEXTRA: u8 = 1 << 2;
+    /// An original file name is present.
+    pub const FNAME: u8 = 1 << 3;
+    /// A comment is present.
+    pub const FCOMMENT: u8 = 1 << 4;
+}
+
+/// A parsed gzip member header.
+#[derive(Debug, Clone, Default)]
+pub struct Header {
+    /// Raw FLG byte.
+    pub flg: u8,
+    /// Modification time (Unix seconds, 0 = unknown).
+    pub mtime: u32,
+    /// Extra flags (2 = max compression, 4 = fastest).
+    pub xfl: u8,
+    /// Operating system code (255 = unknown).
+    pub os: u8,
+    /// Contents of the FEXTRA field if present.
+    pub extra: Option<Vec<u8>>,
+    /// Original file name if present.
+    pub name: Option<Vec<u8>>,
+    /// Comment if present.
+    pub comment: Option<Vec<u8>>,
+}
+
+/// Serializes a member with the given header fields and payload.
+pub fn compress_member(payload: &[u8], extra: Option<&[u8]>, opts: Options) -> Vec<u8> {
+    let body = deflate(payload, opts);
+    let mut out = Vec::with_capacity(body.len() + 32 + extra.map_or(0, <[u8]>::len));
+    out.extend_from_slice(&MAGIC);
+    out.push(CM_DEFLATE);
+    out.push(if extra.is_some() { flags::FEXTRA } else { 0 });
+    out.extend_from_slice(&0u32.to_le_bytes()); // MTIME
+    out.push(0); // XFL
+    out.push(255); // OS unknown
+    if let Some(x) = extra {
+        assert!(x.len() <= u16::MAX as usize, "FEXTRA too large");
+        out.extend_from_slice(&(x.len() as u16).to_le_bytes());
+        out.extend_from_slice(x);
+    }
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out
+}
+
+/// Parses a member header starting at `data[0]`. Returns the header and the
+/// offset of the DEFLATE body.
+pub fn parse_header(data: &[u8]) -> Result<(Header, usize)> {
+    if data.len() < 10 {
+        return Err(Error::UnexpectedEof);
+    }
+    if data[0..2] != MAGIC {
+        return Err(Error::BadHeader("missing gzip magic"));
+    }
+    if data[2] != CM_DEFLATE {
+        return Err(Error::BadHeader("unsupported compression method"));
+    }
+    let flg = data[3];
+    let mtime = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+    let xfl = data[8];
+    let os = data[9];
+    let mut pos = 10usize;
+
+    let mut header =
+        Header { flg, mtime, xfl, os, extra: None, name: None, comment: None };
+
+    if flg & flags::FEXTRA != 0 {
+        if data.len() < pos + 2 {
+            return Err(Error::UnexpectedEof);
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2;
+        if data.len() < pos + xlen {
+            return Err(Error::UnexpectedEof);
+        }
+        header.extra = Some(data[pos..pos + xlen].to_vec());
+        pos += xlen;
+    }
+    for (flag, slot) in [(flags::FNAME, 0usize), (flags::FCOMMENT, 1)] {
+        if flg & flag != 0 {
+            let end = data[pos..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or(Error::UnexpectedEof)?;
+            let bytes = data[pos..pos + end].to_vec();
+            if slot == 0 {
+                header.name = Some(bytes);
+            } else {
+                header.comment = Some(bytes);
+            }
+            pos += end + 1;
+        }
+    }
+    if flg & flags::FHCRC != 0 {
+        if data.len() < pos + 2 {
+            return Err(Error::UnexpectedEof);
+        }
+        pos += 2; // header CRC not verified (rarely used)
+    }
+    Ok((header, pos))
+}
+
+/// Decompresses one member starting at `data[0]`, verifying CRC-32 and
+/// ISIZE. Returns `(payload, total_member_size)`.
+pub fn decompress_member(data: &[u8]) -> Result<(Vec<u8>, usize)> {
+    let (_header, body_off) = parse_header(data)?;
+    let mut payload = Vec::new();
+    let body_used = inflate_into(&data[body_off..], &mut payload)?;
+    let trailer_off = body_off + body_used;
+    if data.len() < trailer_off + 8 {
+        return Err(Error::UnexpectedEof);
+    }
+    let t = &data[trailer_off..trailer_off + 8];
+    let expected_crc = u32::from_le_bytes([t[0], t[1], t[2], t[3]]);
+    let expected_size = u32::from_le_bytes([t[4], t[5], t[6], t[7]]);
+    let actual_crc = crc32(&payload);
+    if actual_crc != expected_crc {
+        return Err(Error::ChecksumMismatch { expected: expected_crc, actual: actual_crc });
+    }
+    if payload.len() as u32 != expected_size {
+        return Err(Error::SizeMismatch { expected: expected_size, actual: payload.len() as u32 });
+    }
+    Ok((payload, trailer_off + 8))
+}
+
+/// Decompresses a concatenation of gzip members (a valid `.gz` file may
+/// contain several; a BGZF file always does).
+pub fn decompress_all(mut data: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    while !data.is_empty() {
+        let (payload, used) = decompress_member(data)?;
+        out.extend_from_slice(&payload);
+        data = &data[used..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_roundtrip() {
+        let payload = b"gzip member payload \x00\x01\x02".repeat(100);
+        let member = compress_member(&payload, None, Options::default());
+        let (out, used) = decompress_member(&member).unwrap();
+        assert_eq!(out, payload);
+        assert_eq!(used, member.len());
+    }
+
+    #[test]
+    fn member_with_extra_field() {
+        let extra = [b'B', b'C', 2, 0, 0xAB, 0xCD];
+        let member = compress_member(b"x", Some(&extra), Options::default());
+        let (header, _) = parse_header(&member).unwrap();
+        assert_eq!(header.extra.as_deref(), Some(&extra[..]));
+        let (out, _) = decompress_member(&member).unwrap();
+        assert_eq!(out, b"x");
+    }
+
+    #[test]
+    fn crc_mismatch_detected() {
+        let mut member = compress_member(b"payload", None, Options::default());
+        let n = member.len();
+        member[n - 8] ^= 0xFF; // flip a CRC byte
+        assert!(matches!(decompress_member(&member), Err(Error::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn isize_mismatch_detected() {
+        let mut member = compress_member(b"payload", None, Options::default());
+        let n = member.len();
+        member[n - 1] ^= 0x01;
+        assert!(matches!(decompress_member(&member), Err(Error::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut member = compress_member(b"p", None, Options::default());
+        member[0] = 0;
+        assert!(matches!(decompress_member(&member), Err(Error::BadHeader(_))));
+    }
+
+    #[test]
+    fn concatenated_members() {
+        let mut file = compress_member(b"first ", None, Options::default());
+        file.extend(compress_member(b"second", None, Options::from_level(1)));
+        file.extend(compress_member(b"", None, Options::default()));
+        assert_eq!(decompress_all(&file).unwrap(), b"first second");
+    }
+
+    #[test]
+    fn empty_payload_member() {
+        let member = compress_member(b"", None, Options::default());
+        let (out, used) = decompress_member(&member).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(used, member.len());
+    }
+}

@@ -1,0 +1,524 @@
+//! Canonical Huffman coding used by DEFLATE.
+//!
+//! Both directions are implemented from scratch:
+//! * building *length-limited* code lengths from symbol frequencies
+//!   (heap-based Huffman with zlib-style overflow repair, limit 15);
+//! * assigning canonical codes from lengths (RFC 1951 §3.2.2);
+//! * decoding with the counts/offsets method, which needs no per-block
+//!   table allocation beyond a few hundred bytes.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::error::{Error, Result};
+
+/// Maximum code length permitted by DEFLATE.
+pub const MAX_BITS: usize = 15;
+
+/// A canonical Huffman *encoder*: per-symbol code + length.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    /// Bit-reversed (ready-to-emit LSB-first) codes per symbol.
+    codes: Vec<u16>,
+    /// Code length per symbol; 0 means the symbol is unused.
+    lengths: Vec<u8>,
+}
+
+impl Encoder {
+    /// Builds an encoder from canonical code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self> {
+        let codes = assign_codes(lengths)?;
+        Ok(Encoder { codes, lengths: lengths.to_vec() })
+    }
+
+    /// Emits `symbol` into `w`.
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, symbol: usize) {
+        let len = self.lengths[symbol];
+        debug_assert!(len > 0, "encoding symbol {symbol} with zero length");
+        w.write_bits(self.codes[symbol] as u32, len as u32);
+    }
+
+    /// Code length for `symbol` (0 = unused).
+    #[inline]
+    pub fn length(&self, symbol: usize) -> u8 {
+        self.lengths[symbol]
+    }
+
+    /// The code lengths this encoder was built from.
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+}
+
+/// A canonical Huffman *decoder* using the counts/offsets technique: for
+/// each length we know the first canonical code and the index of its first
+/// symbol, so decoding walks lengths 1..=15 accumulating bits.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// Number of codes of each length (index 0 unused).
+    count: [u16; MAX_BITS + 1],
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u16>,
+    /// One-level lookup table over the next [`FAST_BITS`] input bits:
+    /// `(symbol, code_length)`; length 0 marks codes longer than the
+    /// table, which fall back to the counts/offsets walk.
+    fast: Vec<(u16, u8)>,
+}
+
+/// Width of the fast decode table (covers the overwhelming majority of
+/// literal/length codes in real DEFLATE streams).
+const FAST_BITS: u32 = 9;
+
+impl Decoder {
+    /// Builds a decoder from canonical code lengths.
+    ///
+    /// Returns an error for oversubscribed length sets. Incomplete sets are
+    /// accepted (DEFLATE allows a single-code distance tree), decoding
+    /// simply fails if an unassigned code is encountered.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self> {
+        let mut count = [0u16; MAX_BITS + 1];
+        for &l in lengths {
+            if l as usize > MAX_BITS {
+                return Err(Error::InvalidHuffman("code length exceeds 15"));
+            }
+            count[l as usize] += 1;
+        }
+        count[0] = 0;
+
+        // Check for oversubscription: sum of count[l] * 2^(MAX-l) must not
+        // exceed 2^MAX.
+        let mut left: i64 = 1;
+        for &c in &count[1..=MAX_BITS] {
+            left <<= 1;
+            left -= c as i64;
+            if left < 0 {
+                return Err(Error::InvalidHuffman("oversubscribed code set"));
+            }
+        }
+
+        // offsets[l] = index in `symbols` of first symbol with length l.
+        let mut offsets = [0usize; MAX_BITS + 2];
+        for l in 1..=MAX_BITS {
+            offsets[l + 1] = offsets[l] + count[l] as usize;
+        }
+        let total = offsets[MAX_BITS + 1];
+        let mut symbols = vec![0u16; total];
+        let mut next = offsets;
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[next[l as usize]] = sym as u16;
+                next[l as usize] += 1;
+            }
+        }
+
+        // Fast table: canonical code per symbol, bit-reversed to match
+        // the LSB-first stream, replicated across all table slots whose
+        // low bits equal the code.
+        let mut fast = vec![(0u16, 0u8); 1 << FAST_BITS];
+        let mut code = 0u16;
+        let mut next_code = [0u16; MAX_BITS + 1];
+        for bits in 1..=MAX_BITS {
+            code = (code + count[bits - 1]) << 1;
+            next_code[bits] = code;
+        }
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l == 0 || l as u32 > FAST_BITS {
+                if l > 0 {
+                    next_code[l as usize] += 1;
+                }
+                continue;
+            }
+            let canonical = next_code[l as usize];
+            next_code[l as usize] += 1;
+            let rev = canonical.reverse_bits() >> (16 - l as u32);
+            let stride = 1u32 << l;
+            let mut slot = rev as u32;
+            while slot < (1 << FAST_BITS) {
+                fast[slot as usize] = (sym as u16, l);
+                slot += stride;
+            }
+        }
+        Ok(Decoder { count, symbols, fast })
+    }
+
+    /// Decodes one symbol from `r`.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        // Fast path: one table probe resolves codes up to FAST_BITS long.
+        let (peek, avail) = r.peek_bits(FAST_BITS);
+        let (sym, len) = self.fast[peek as usize];
+        if len != 0 && (len as u32) <= avail {
+            r.consume(len as u32);
+            return Ok(sym);
+        }
+        self.decode_slow(r)
+    }
+
+    /// Canonical counts/offsets decode (codes longer than the fast table,
+    /// or near end-of-stream).
+    fn decode_slow(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        let mut code: u32 = 0;
+        let mut first: u32 = 0;
+        let mut index: usize = 0;
+        for len in 1..=MAX_BITS {
+            code |= r.read_bit()?;
+            let count = self.count[len] as u32;
+            if code < first + count {
+                return Ok(self.symbols[index + (code - first) as usize]);
+            }
+            index += count as usize;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(Error::InvalidHuffman("code not in table"))
+    }
+}
+
+/// Assigns canonical codes (already bit-reversed for LSB-first emission)
+/// from code lengths.
+fn assign_codes(lengths: &[u8]) -> Result<Vec<u16>> {
+    let mut count = [0u16; MAX_BITS + 1];
+    for &l in lengths {
+        if l as usize > MAX_BITS {
+            return Err(Error::InvalidHuffman("code length exceeds 15"));
+        }
+        count[l as usize] += 1;
+    }
+    count[0] = 0;
+    let mut next_code = [0u16; MAX_BITS + 1];
+    let mut code = 0u16;
+    for bits in 1..=MAX_BITS {
+        code = (code + count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    let mut codes = vec![0u16; lengths.len()];
+    for (sym, &l) in lengths.iter().enumerate() {
+        if l > 0 {
+            let c = next_code[l as usize];
+            next_code[l as usize] += 1;
+            codes[sym] = reverse_bits(c, l);
+        }
+    }
+    Ok(codes)
+}
+
+/// Reverses the low `len` bits of `code`.
+#[inline]
+fn reverse_bits(code: u16, len: u8) -> u16 {
+    code.reverse_bits() >> (16 - len as u32)
+}
+
+/// Builds length-limited (≤ `max_bits`) Huffman code lengths for the given
+/// symbol frequencies. Symbols with zero frequency get length 0.
+///
+/// Uses a binary-heap Huffman construction followed by the classic overflow
+/// repair: codes deeper than the limit are raised to the limit and paid for
+/// by deepening the shallowest leaves, preserving the Kraft sum.
+pub fn build_lengths(freqs: &[u64], max_bits: usize) -> Vec<u8> {
+    assert!(max_bits <= MAX_BITS);
+    let n = freqs.len();
+    let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    assert!(
+        used.len() <= 1 << max_bits,
+        "{} symbols cannot fit in {max_bits}-bit codes",
+        used.len()
+    );
+    let mut lengths = vec![0u8; n];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            // DEFLATE requires at least a 1-bit code for a lone symbol.
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Heap-based Huffman over (freq, node). Internal nodes get indices >= n.
+    #[derive(PartialEq, Eq)]
+    struct Item {
+        freq: u64,
+        node: usize,
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap: reverse compare; tie-break on node id for
+            // determinism.
+            other.freq.cmp(&self.freq).then(other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = std::collections::BinaryHeap::with_capacity(used.len());
+    for &i in &used {
+        heap.push(Item { freq: freqs[i], node: i });
+    }
+    // parent[k] for every node; leaves are 0..n, internals n..
+    let mut parent = vec![usize::MAX; n + used.len()];
+    let mut next_internal = n;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        parent[a.node] = next_internal;
+        parent[b.node] = next_internal;
+        heap.push(Item { freq: a.freq.saturating_add(b.freq), node: next_internal });
+        next_internal += 1;
+    }
+    let root = heap.pop().unwrap().node;
+
+    // Depth of each used leaf.
+    let mut bl_count = vec![0u64; 64];
+    let mut depths = vec![0u8; n];
+    for &i in &used {
+        let mut d = 0usize;
+        let mut node = i;
+        while node != root {
+            node = parent[node];
+            d += 1;
+        }
+        let d = d.max(1);
+        depths[i] = d.min(63) as u8;
+        bl_count[d.min(63)] += 1;
+    }
+
+    // Overflow repair if any depth exceeds max_bits.
+    let overflow: u64 = bl_count[(max_bits + 1)..64.min(bl_count.len())].iter().sum();
+    if overflow > 0 {
+        // Move overflowed leaves to max_bits.
+        let deep: u64 = bl_count[(max_bits + 1)..].iter().sum();
+        bl_count[max_bits] += deep;
+        bl_count[(max_bits + 1)..].fill(0);
+        // Restore the Kraft equality with zlib's repair move: take one leaf
+        // at the deepest level `bits < max_bits`, turn it into an internal
+        // node whose children are that leaf and one leaf pulled up from
+        // `max_bits`. Each move lowers the Kraft sum (in units of
+        // 2^-max_bits) by exactly 1, so the loop lands on equality.
+        let mut kraft: i64 = 0;
+        for (d, &c) in bl_count.iter().enumerate().take(max_bits + 1).skip(1) {
+            kraft += (c as i64) << (max_bits - d);
+        }
+        let capacity: i64 = 1i64 << max_bits;
+        while kraft > capacity {
+            let mut bits = max_bits - 1;
+            while bl_count[bits] == 0 {
+                bits -= 1;
+            }
+            debug_assert!(bl_count[max_bits] > 0, "repair needs a max-depth leaf");
+            bl_count[bits] -= 1;
+            bl_count[bits + 1] += 2;
+            bl_count[max_bits] -= 1;
+            kraft -= 1;
+        }
+
+        // Reassign depths: sort used symbols by (original depth, freq desc)
+        // then deal lengths from shortest to longest.
+        let mut order: Vec<usize> = used.clone();
+        order.sort_by(|&a, &b| {
+            depths[a]
+                .cmp(&depths[b])
+                .then(freqs[b].cmp(&freqs[a]))
+                .then(a.cmp(&b))
+        });
+        let mut idx = 0;
+        for (d, &c) in bl_count.iter().enumerate().take(max_bits + 1).skip(1) {
+            for _ in 0..c {
+                depths[order[idx]] = d as u8;
+                idx += 1;
+            }
+        }
+        debug_assert_eq!(idx, order.len());
+    }
+
+    for &i in &used {
+        lengths[i] = depths[i];
+    }
+    lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(lengths: &[u8], stream: &[u16]) {
+        let enc = Encoder::from_lengths(lengths).unwrap();
+        let dec = Decoder::from_lengths(lengths).unwrap();
+        let mut w = BitWriter::new();
+        for &s in stream {
+            enc.encode(&mut w, s as usize);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in stream {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn fixed_tree_roundtrip() {
+        // Fixed literal/length lengths from RFC 1951.
+        let mut lengths = vec![8u8; 288];
+        lengths[144..256].iter_mut().for_each(|l| *l = 9);
+        lengths[256..280].iter_mut().for_each(|l| *l = 7);
+        let stream: Vec<u16> = vec![0, 143, 144, 255, 256, 279, 280, 287, 65, 66];
+        roundtrip(&lengths, &stream);
+    }
+
+    #[test]
+    fn canonical_code_assignment_matches_rfc_example() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) ->
+        // codes 010,011,100,101,110,00,1110,1111.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let enc = Encoder::from_lengths(&lengths).unwrap();
+        // Code for symbol F (index 5, length 2) is 00.
+        let mut w = BitWriter::new();
+        enc.encode(&mut w, 5);
+        w.write_bits(0, 6); // pad
+        assert_eq!(w.into_bytes()[0] & 0b11, 0b00);
+        // Symbol H (index 7) -> 1111 (bit-reversed is also 1111).
+        let mut w = BitWriter::new();
+        enc.encode(&mut w, 7);
+        w.write_bits(0, 4);
+        assert_eq!(w.into_bytes()[0] & 0xF, 0xF);
+    }
+
+    #[test]
+    fn build_lengths_prefers_frequent_symbols() {
+        let freqs = [100u64, 1, 1, 1, 1, 1, 1, 1];
+        let lengths = build_lengths(&freqs, 15);
+        assert!(lengths[0] < lengths[1]);
+        // Kraft equality for a complete code.
+        let kraft: f64 = lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+        assert!((kraft - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_lengths_zero_and_single() {
+        assert_eq!(build_lengths(&[0, 0, 0], 15), vec![0, 0, 0]);
+        assert_eq!(build_lengths(&[0, 7, 0], 15), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn length_limit_is_enforced() {
+        // Fibonacci-ish frequencies force deep trees without a limit.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        for limit in [7usize, 9, 15] {
+            let lengths = build_lengths(&freqs, limit);
+            assert!(lengths.iter().all(|&l| (l as usize) <= limit), "limit {limit}");
+            // Kraft inequality must hold (complete or under-complete).
+            let kraft: f64 =
+                lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+            assert!(kraft <= 1.0 + 1e-9, "kraft {kraft} at limit {limit}");
+            // All non-zero frequencies must have codes.
+            for (i, &f) in freqs.iter().enumerate() {
+                assert_eq!(f > 0, lengths[i] > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn limited_lengths_still_roundtrip() {
+        let mut freqs = vec![0u64; 30];
+        let (mut a, mut b) = (1u64, 2u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_lengths(&freqs, 9);
+        let stream: Vec<u16> = (0..30u16).chain((0..30u16).rev()).collect();
+        roundtrip(&lengths, &stream);
+    }
+
+    #[test]
+    fn oversubscribed_set_rejected() {
+        // Five 2-bit codes cannot exist.
+        assert!(Decoder::from_lengths(&[2, 2, 2, 2, 2]).is_err());
+    }
+
+    #[test]
+    fn incomplete_set_accepted_for_decoder() {
+        // One 1-bit code: valid (used by DEFLATE single-distance trees).
+        let d = Decoder::from_lengths(&[1]).unwrap();
+        let mut w = BitWriter::new();
+        w.write_bits(0, 1);
+        w.write_bits(0, 7);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(d.decode(&mut r).unwrap(), 0);
+    }
+}
+
+#[cfg(test)]
+mod fast_table_tests {
+    use super::*;
+    use crate::bits::{BitReader, BitWriter};
+
+    /// The fast table and the canonical walk must agree on every symbol of
+    /// randomized streams, including codes longer than the table width.
+    #[test]
+    fn fast_path_agrees_with_slow_walk() {
+        // A skewed tree that produces both short (<9) and long (>9) codes.
+        let mut freqs = vec![0u64; 60];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a.saturating_add(b);
+            a = b;
+            b = c;
+        }
+        let lengths = build_lengths(&freqs, 15);
+        assert!(lengths.iter().any(|&l| l as u32 > 9), "need long codes");
+        assert!(lengths.iter().any(|&l| l > 0 && (l as u32) <= 9), "need short codes");
+
+        let enc = Encoder::from_lengths(&lengths).unwrap();
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let stream: Vec<u16> =
+            (0..3000u32).map(|i| (i.wrapping_mul(2654435761) >> 16) as u16 % 60).collect();
+        let mut w = BitWriter::new();
+        for &s in &stream {
+            enc.encode(&mut w, s as usize);
+        }
+        let bytes = w.into_bytes();
+
+        // Decode with the public path (fast + fallback).
+        let mut r = BitReader::new(&bytes);
+        for &expected in &stream {
+            assert_eq!(dec.decode(&mut r).unwrap(), expected);
+        }
+        // Decode again forcing the slow path only.
+        let mut r = BitReader::new(&bytes);
+        for &expected in &stream {
+            assert_eq!(dec.decode_slow(&mut r).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn fast_path_handles_stream_tail() {
+        // Near EOF fewer than FAST_BITS real bits remain; decoding must
+        // still resolve short codes and error (not panic) past the end.
+        let lengths = [2u8, 2, 2, 2];
+        let enc = Encoder::from_lengths(&lengths).unwrap();
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let mut w = BitWriter::new();
+        enc.encode(&mut w, 3); // 2 bits + 6 pad bits in one byte
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode(&mut r).unwrap(), 3);
+        // Remaining 6 zero-pad bits decode as symbol 0 three times, then EOF.
+        for _ in 0..3 {
+            assert_eq!(dec.decode(&mut r).unwrap(), 0);
+        }
+        assert!(dec.decode(&mut r).is_err());
+    }
+}

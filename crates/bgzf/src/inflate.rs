@@ -1,0 +1,326 @@
+//! DEFLATE decompression (RFC 1951): stored, fixed-Huffman and
+//! dynamic-Huffman blocks.
+
+use crate::bits::BitReader;
+use crate::error::{Error, Result};
+use crate::huffman::Decoder;
+
+/// End-of-block symbol in the literal/length alphabet.
+pub(crate) const END_OF_BLOCK: u16 = 256;
+
+/// Base match lengths for length codes 257..=285.
+pub(crate) const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+
+/// Extra bits for length codes 257..=285.
+pub(crate) const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+
+/// Base distances for distance codes 0..=29.
+pub(crate) const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+
+/// Extra bits for distance codes 0..=29.
+pub(crate) const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+/// Order in which code-length code lengths are stored in a dynamic header.
+pub(crate) const CLC_ORDER: [usize; 19] =
+    [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+/// Fixed literal/length code lengths (RFC 1951 §3.2.6).
+pub(crate) fn fixed_lit_lengths() -> Vec<u8> {
+    let mut l = vec![8u8; 288];
+    l[144..256].iter_mut().for_each(|x| *x = 9);
+    l[256..280].iter_mut().for_each(|x| *x = 7);
+    l
+}
+
+/// Fixed distance code lengths: thirty 5-bit codes.
+pub(crate) fn fixed_dist_lengths() -> Vec<u8> {
+    vec![5u8; 30]
+}
+
+/// Decompresses a complete DEFLATE stream from `input` into a new buffer.
+///
+/// `size_hint` pre-reserves output capacity (BGZF callers know the exact
+/// decompressed size from the gzip ISIZE field).
+pub fn inflate(input: &[u8], size_hint: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(size_hint);
+    inflate_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a complete DEFLATE stream, appending to `out`. Returns the
+/// number of *input* bytes consumed, so callers can locate a trailer that
+/// follows the compressed data.
+pub fn inflate_into(input: &[u8], out: &mut Vec<u8>) -> Result<usize> {
+    let mut r = BitReader::new(input);
+    loop {
+        let bfinal = r.read_bit()?;
+        let btype = r.read_bits(2)?;
+        match btype {
+            0b00 => inflate_stored(&mut r, out)?,
+            0b01 => {
+                let lit = Decoder::from_lengths(&fixed_lit_lengths())?;
+                let dist = Decoder::from_lengths(&fixed_dist_lengths())?;
+                inflate_block(&mut r, &lit, &dist, out)?;
+            }
+            0b10 => {
+                let (lit, dist) = read_dynamic_header(&mut r)?;
+                inflate_block(&mut r, &lit, &dist, out)?;
+            }
+            _ => return Err(Error::Corrupt("reserved BTYPE 11")),
+        }
+        if bfinal == 1 {
+            break;
+        }
+    }
+    r.align_to_byte();
+    Ok(r.bytes_consumed())
+}
+
+fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<()> {
+    r.align_to_byte();
+    let len = r.read_bits(16)?;
+    let nlen = r.read_bits(16)?;
+    if len != !nlen & 0xFFFF {
+        return Err(Error::Corrupt("stored block LEN/NLEN mismatch"));
+    }
+    r.read_aligned_bytes(out, len as usize)
+}
+
+/// Parses the dynamic block header and returns (literal/length, distance)
+/// decoders.
+fn read_dynamic_header(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
+    let hlit = r.read_bits(5)? as usize + 257;
+    let hdist = r.read_bits(5)? as usize + 1;
+    let hclen = r.read_bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(Error::Corrupt("dynamic header symbol counts out of range"));
+    }
+
+    let mut clc_lengths = [0u8; 19];
+    for &idx in CLC_ORDER.iter().take(hclen) {
+        clc_lengths[idx] = r.read_bits(3)? as u8;
+    }
+    let clc = Decoder::from_lengths(&clc_lengths)?;
+
+    // Literal/length and distance code lengths share one RLE-coded stream.
+    let mut lengths = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        let sym = clc.decode(r)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let prev = *lengths.last().ok_or(Error::Corrupt("repeat with no prior length"))?;
+                let n = 3 + r.read_bits(2)?;
+                for _ in 0..n {
+                    lengths.push(prev);
+                }
+            }
+            17 => {
+                let n = 3 + r.read_bits(3)?;
+                lengths.extend(std::iter::repeat_n(0u8, n as usize));
+            }
+            18 => {
+                let n = 11 + r.read_bits(7)?;
+                lengths.extend(std::iter::repeat_n(0u8, n as usize));
+            }
+            _ => return Err(Error::Corrupt("invalid code-length symbol")),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err(Error::Corrupt("code length run overflows header counts"));
+    }
+    if lengths[END_OF_BLOCK as usize] == 0 {
+        return Err(Error::Corrupt("dynamic block lacks end-of-block code"));
+    }
+    let lit = Decoder::from_lengths(&lengths[..hlit])?;
+    let dist = Decoder::from_lengths(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+/// Decodes one Huffman-coded block body.
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    lit: &Decoder,
+    dist: &Decoder,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            END_OF_BLOCK => return Ok(()),
+            257..=285 => {
+                let li = (sym - 257) as usize;
+                let len =
+                    LENGTH_BASE[li] as usize + r.read_bits(LENGTH_EXTRA[li] as u32)? as usize;
+                let dsym = dist.decode(r)? as usize;
+                if dsym >= 30 {
+                    return Err(Error::Corrupt("invalid distance symbol"));
+                }
+                let d = DIST_BASE[dsym] as usize + r.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
+                if d > out.len() {
+                    return Err(Error::Corrupt("back-reference before start of output"));
+                }
+                copy_match(out, d, len);
+            }
+            _ => return Err(Error::Corrupt("invalid literal/length symbol")),
+        }
+    }
+}
+
+/// Copies a length/distance match; overlapping copies (distance < length)
+/// replicate previously written bytes, per DEFLATE semantics.
+#[inline]
+fn copy_match(out: &mut Vec<u8>, distance: usize, length: usize) {
+    let start = out.len() - distance;
+    if distance >= length {
+        out.extend_from_within(start..start + length);
+    } else {
+        out.reserve(length);
+        for i in 0..length {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+
+    /// Builds a raw stored-block stream by hand.
+    fn stored_stream(payload: &[u8], final_block: bool) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.write_bits(final_block as u32, 1);
+        w.write_bits(0b00, 2);
+        w.align_to_byte();
+        let len = payload.len() as u32;
+        w.write_bits(len & 0xFFFF, 16);
+        w.write_bits(!len & 0xFFFF, 16);
+        w.write_aligned_bytes(payload);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn stored_block() {
+        let data = stored_stream(b"hello stored world", true);
+        assert_eq!(inflate(&data, 0).unwrap(), b"hello stored world");
+    }
+
+    #[test]
+    fn stored_block_bad_nlen() {
+        let mut data = stored_stream(b"abc", true);
+        data[3] ^= 0xFF; // corrupt NLEN
+        assert!(inflate(&data, 0).is_err());
+    }
+
+    #[test]
+    fn multiple_stored_blocks() {
+        let mut data = stored_stream(b"first|", false);
+        data.extend(stored_stream(b"second", true));
+        assert_eq!(inflate(&data, 0).unwrap(), b"first|second");
+    }
+
+    #[test]
+    fn fixed_block_literals_only() {
+        // Hand-assemble a fixed block containing "AB" + EOB.
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(0b01, 2); // fixed
+        let enc = crate::huffman::Encoder::from_lengths(&fixed_lit_lengths()).unwrap();
+        enc.encode(&mut w, b'A' as usize);
+        enc.encode(&mut w, b'B' as usize);
+        enc.encode(&mut w, 256);
+        let data = w.into_bytes();
+        assert_eq!(inflate(&data, 0).unwrap(), b"AB");
+    }
+
+    #[test]
+    fn fixed_block_with_match() {
+        // "abcabc": literals a,b,c then match len 3 dist 3.
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        let lit = crate::huffman::Encoder::from_lengths(&fixed_lit_lengths()).unwrap();
+        let dst = crate::huffman::Encoder::from_lengths(&fixed_dist_lengths()).unwrap();
+        for &b in b"abc" {
+            lit.encode(&mut w, b as usize);
+        }
+        lit.encode(&mut w, 257); // length code for len=3, no extra bits
+        dst.encode(&mut w, 2); // distance code for d=3, no extra bits
+        lit.encode(&mut w, 256);
+        let data = w.into_bytes();
+        assert_eq!(inflate(&data, 0).unwrap(), b"abcabc");
+    }
+
+    #[test]
+    fn overlapping_match_replicates() {
+        // "aaaaaa": literal 'a' then match len 5 dist 1.
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        let lit = crate::huffman::Encoder::from_lengths(&fixed_lit_lengths()).unwrap();
+        let dst = crate::huffman::Encoder::from_lengths(&fixed_dist_lengths()).unwrap();
+        lit.encode(&mut w, b'a' as usize);
+        lit.encode(&mut w, 259); // len=5
+        dst.encode(&mut w, 0); // d=1
+        lit.encode(&mut w, 256);
+        let data = w.into_bytes();
+        assert_eq!(inflate(&data, 0).unwrap(), b"aaaaaa");
+    }
+
+    #[test]
+    fn distance_too_far_rejected() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        let lit = crate::huffman::Encoder::from_lengths(&fixed_lit_lengths()).unwrap();
+        let dst = crate::huffman::Encoder::from_lengths(&fixed_dist_lengths()).unwrap();
+        lit.encode(&mut w, b'a' as usize);
+        lit.encode(&mut w, 257);
+        dst.encode(&mut w, 3); // d=4 > 1 byte of history
+        lit.encode(&mut w, 256);
+        let data = w.into_bytes();
+        assert!(inflate(&data, 0).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let data = stored_stream(b"hello", true);
+        assert!(inflate(&data[..data.len() - 2], 0).is_err());
+    }
+
+    #[test]
+    fn empty_fixed_block() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        let lit = crate::huffman::Encoder::from_lengths(&fixed_lit_lengths()).unwrap();
+        lit.encode(&mut w, 256);
+        let data = w.into_bytes();
+        assert_eq!(inflate(&data, 0).unwrap(), b"");
+    }
+
+    #[test]
+    fn consumed_reports_trailer_position() {
+        let mut data = stored_stream(b"xyz", true);
+        let body = data.len();
+        data.extend_from_slice(&[0xDE, 0xAD]); // fake trailer
+        let mut out = Vec::new();
+        let used = inflate_into(&data, &mut out).unwrap();
+        assert_eq!(used, body);
+        assert_eq!(out, b"xyz");
+    }
+}

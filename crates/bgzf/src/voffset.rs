@@ -1,0 +1,95 @@
+//! BGZF virtual file offsets.
+//!
+//! A virtual offset packs the compressed-file offset of a BGZF block
+//! (`coffset`, 48 bits) with the offset of a record inside that block's
+//! decompressed payload (`uoffset`, 16 bits). Virtual offsets order exactly
+//! like file positions, which is what makes BAI-style indexing work.
+
+use std::fmt;
+
+/// A 64-bit BGZF virtual offset: `coffset << 16 | uoffset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualOffset(pub u64);
+
+impl VirtualOffset {
+    /// Packs a compressed block offset and an intra-block offset.
+    ///
+    /// # Panics
+    /// Panics if `coffset` does not fit in 48 bits.
+    #[inline]
+    pub fn new(coffset: u64, uoffset: u16) -> Self {
+        assert!(coffset < (1 << 48), "compressed offset exceeds 48 bits");
+        VirtualOffset(coffset << 16 | uoffset as u64)
+    }
+
+    /// The compressed-file offset of the containing block.
+    #[inline]
+    pub fn coffset(self) -> u64 {
+        self.0 >> 16
+    }
+
+    /// The offset within the decompressed block payload.
+    #[inline]
+    pub fn uoffset(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// The maximum representable offset; used as a sentinel.
+    pub const MAX: VirtualOffset = VirtualOffset(u64::MAX);
+}
+
+impl fmt::Display for VirtualOffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.coffset(), self.uoffset())
+    }
+}
+
+impl From<u64> for VirtualOffset {
+    fn from(v: u64) -> Self {
+        VirtualOffset(v)
+    }
+}
+
+impl From<VirtualOffset> for u64 {
+    fn from(v: VirtualOffset) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack() {
+        let v = VirtualOffset::new(123_456_789, 4321);
+        assert_eq!(v.coffset(), 123_456_789);
+        assert_eq!(v.uoffset(), 4321);
+    }
+
+    #[test]
+    fn ordering_matches_file_order() {
+        let a = VirtualOffset::new(10, 65535);
+        let b = VirtualOffset::new(11, 0);
+        let c = VirtualOffset::new(11, 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(VirtualOffset::new(7, 9).to_string(), "7:9");
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bits")]
+    fn oversized_coffset_panics() {
+        let _ = VirtualOffset::new(1 << 48, 0);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let v = VirtualOffset::new(42, 7);
+        let raw: u64 = v.into();
+        assert_eq!(VirtualOffset::from(raw), v);
+    }
+}

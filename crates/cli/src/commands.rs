@@ -1,0 +1,463 @@
+//! `ngsp` subcommand implementations.
+
+use std::io::{BufReader, Write};
+use std::path::Path;
+
+use ngs_bamx::Region;
+use ngs_converter::{
+    BamConverter, ConvertConfig, ConvertReport, SamConverter, SamxConverter, TargetFormat,
+};
+use ngs_core::sam_header_of;
+use ngs_formats::bam::BamReader;
+use ngs_formats::sam::SamReader;
+use ngs_formats::record::AlignmentRecord;
+use ngs_simgen::{Dataset, DatasetSpec};
+use ngs_stats::{
+    build_fdr_input, fdr_fused, nlmeans_sequential, CoverageHistogram, NlMeansParams, NullModel,
+};
+use ngs_tools::{cat_bam_parts, cat_sam_parts, depth, flagstat, sort_records, SortOrder};
+
+use crate::args::{ArgError, Args};
+
+/// Boxed error type shared by the subcommands.
+pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(ArgError(msg.into()))
+}
+
+/// Reads all records (and the header) from a `.sam` or `.bam` path.
+pub fn read_alignments(path: &str) -> Result<(ngs_formats::SamHeader, Vec<AlignmentRecord>), Box<dyn std::error::Error>> {
+    if path.ends_with(".bam") {
+        let mut reader = BamReader::new(BufReader::new(std::fs::File::open(path)?))?;
+        let header = reader.header().clone();
+        let records: Result<Vec<_>, _> = reader.records().collect();
+        Ok((header, records?))
+    } else {
+        let mut reader = SamReader::new(BufReader::new(std::fs::File::open(path)?))?;
+        let header = reader.header().clone();
+        let records: Result<Vec<_>, _> = reader.records().collect();
+        Ok((header, records?))
+    }
+}
+
+fn print_report(report: &ConvertReport) {
+    println!(
+        "records: {} in, {} out; output bytes: {}; convert time: {:?} (+{:?} preprocess)",
+        report.records_in(),
+        report.records_out(),
+        report.bytes_out(),
+        report.convert_time,
+        report.preprocess_time,
+    );
+    for p in &report.outputs {
+        println!("  {}", p.display());
+    }
+}
+
+/// `ngsp generate --records N --out FILE [--chroms C] [--sorted] [--seed S]`
+pub fn generate(args: &Args) -> CmdResult {
+    let records: usize = args.get_required("records")?;
+    let out = args.required("out")?;
+    let spec = DatasetSpec {
+        n_records: records,
+        n_chroms: args.get_or("chroms", 3usize)?,
+        chr1_len: args.get_or("chr1-len", (records as u64 * 40).max(100_000))?,
+        seed: args.get_or("seed", 20140519u64)?,
+        coordinate_sorted: args.switch("sorted"),
+        ..Default::default()
+    };
+    let ds = Dataset::generate(&spec);
+    let bytes = if out.ends_with(".bam") {
+        ds.write_bam(out)?
+    } else {
+        ds.write_sam(out)?
+    };
+    println!("wrote {records} records ({bytes} bytes) to {out}");
+    Ok(())
+}
+
+/// `ngsp convert INPUT --to FORMAT --out DIR [--ranks N] [--region R]
+///  [--instance sam|bam|samx]`
+pub fn convert(args: &Args) -> CmdResult {
+    let input = args.one_positional("input file")?;
+    let to = args.required("to")?;
+    let target = TargetFormat::parse(to).ok_or_else(|| err(format!("unknown format {to:?}")))?;
+    let out_dir = args.required("out")?;
+    let ranks: usize = args.get_or("ranks", 4)?;
+    let config = ConvertConfig::with_ranks(ranks);
+
+    let default_instance = if input.ends_with(".bam") { "bam" } else { "sam" };
+    let instance = args.optional("instance").unwrap_or(default_instance);
+    let region = args.optional("region");
+
+    let report = match (instance, region) {
+        ("sam", None) => SamConverter::new(config).convert_file(input, target, out_dir)?,
+        ("samx", None) => {
+            let (prep, mut report) =
+                SamxConverter::new(config).convert_file(input, target, out_dir)?;
+            report.preprocess_time = prep.elapsed;
+            report
+        }
+        ("bam", maybe_region) => {
+            let conv = BamConverter::new(config);
+            let prep = conv.preprocess(input, Path::new(out_dir).join("bamx"))?;
+            let mut report = match maybe_region {
+                None => conv.convert_bamx(&prep.bamx_path, target, out_dir)?,
+                Some(r) => {
+                    let header = ngs_bamx::BamxFile::open(&prep.bamx_path)?.header().clone();
+                    let region = Region::parse(r, &header)?;
+                    conv.convert_partial(&prep.bamx_path, &prep.baix_path, &region, target, out_dir)?
+                }
+            };
+            report.preprocess_time = prep.elapsed;
+            report
+        }
+        ("sam" | "samx", Some(_)) => {
+            return Err(err("--region requires the bam instance (preprocess first)"))
+        }
+        (other, _) => return Err(err(format!("unknown instance {other:?}"))),
+    };
+    print_report(&report);
+    Ok(())
+}
+
+/// `ngsp preprocess INPUT --out DIR [--ranks N] [--compress]`
+pub fn preprocess(args: &Args) -> CmdResult {
+    let input = args.one_positional("input file")?;
+    let out_dir = args.required("out")?;
+    let ranks: usize = args.get_or("ranks", 4)?;
+    let compression = if args.switch("compress") {
+        ngs_bamx::BamxCompression::Bgzf
+    } else {
+        ngs_bamx::BamxCompression::Plain
+    };
+
+    if input.ends_with(".bam") {
+        let mut conv = BamConverter::new(ConvertConfig::with_ranks(ranks));
+        conv.bamx_compression = compression;
+        let prep = conv.preprocess(input, out_dir)?;
+        println!(
+            "{} records -> {} + {} in {:?} (record size {} bytes)",
+            prep.records,
+            prep.bamx_path.display(),
+            prep.baix_path.display(),
+            prep.elapsed,
+            prep.layout.record_size()
+        );
+    } else {
+        let mut conv = SamxConverter::new(ConvertConfig::with_ranks(ranks));
+        conv.bamx_compression = compression;
+        let prep = conv.preprocess_file(input, out_dir)?;
+        println!("{} records -> {} shards in {:?}", prep.records(), prep.shards.len(), prep.elapsed);
+        for s in &prep.shards {
+            println!("  {} ({} records)", s.bamx_path.display(), s.records);
+        }
+    }
+    Ok(())
+}
+
+/// `ngsp flagstat INPUT`
+pub fn flagstat_cmd(args: &Args) -> CmdResult {
+    let input = args.one_positional("input file")?;
+    let (_, records) = read_alignments(input)?;
+    println!("{}", flagstat(&records));
+    Ok(())
+}
+
+/// `ngsp sort INPUT --out FILE [--by coord|name]`
+pub fn sort_cmd(args: &Args) -> CmdResult {
+    let input = args.one_positional("input file")?;
+    let out = args.required("out")?;
+    let order = match args.optional("by").unwrap_or("coord") {
+        "coord" | "coordinate" => SortOrder::Coordinate,
+        "name" | "queryname" => SortOrder::QueryName,
+        other => return Err(err(format!("unknown sort order {other:?}"))),
+    };
+    let (header, mut records) = read_alignments(input)?;
+    sort_records(&mut records, &header, order);
+
+    if out.ends_with(".bam") {
+        let mut w = ngs_formats::bam::BamWriter::new(
+            std::io::BufWriter::new(std::fs::File::create(out)?),
+            header,
+        )?;
+        for r in &records {
+            w.write_record(r)?;
+        }
+        w.finish()?;
+    } else {
+        let mut w = ngs_formats::sam::SamWriter::new(
+            std::io::BufWriter::new(std::fs::File::create(out)?),
+            &header,
+        )?;
+        for r in &records {
+            w.write_record(r)?;
+        }
+        w.finish()?;
+    }
+    println!("sorted {} records into {out}", records.len());
+    Ok(())
+}
+
+/// `ngsp merge --out FILE PART...`
+pub fn merge_cmd(args: &Args) -> CmdResult {
+    let out = args.required("out")?;
+    let parts = args.positional();
+    if parts.is_empty() {
+        return Err(err("expected part files to merge"));
+    }
+    let n = if out.ends_with(".bam") {
+        cat_bam_parts(parts, out)?
+    } else {
+        cat_sam_parts(parts, out)?
+    };
+    println!("merged {} records from {} parts into {out}", n, parts.len());
+    Ok(())
+}
+
+/// `ngsp depth INPUT [--window W]`
+pub fn depth_cmd(args: &Args) -> CmdResult {
+    let input = args.one_positional("input file")?;
+    let window: usize = args.get_or("window", 0)?;
+    let (header, records) = read_alignments(input)?;
+    for track in depth(&header, &records) {
+        let name = String::from_utf8_lossy(&track.chrom).into_owned();
+        println!(
+            "{name}: mean {:.3}, max {}, breadth(1x) {:.1}%",
+            track.mean(),
+            track.max(),
+            track.breadth(1) * 100.0
+        );
+        if window > 0 {
+            for (i, d) in ngs_tools::windowed_depth(&track, window).iter().enumerate() {
+                if *d > 0.0 {
+                    println!("  {name}\t{}\t{}\t{d:.2}", i * window, (i + 1) * window);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `ngsp histogram INPUT --out FILE [--bin 25]`
+pub fn histogram_cmd(args: &Args) -> CmdResult {
+    let input = args.one_positional("input file")?;
+    let out = args.required("out")?;
+    let bin: u32 = args.get_or("bin", 25)?;
+    let (header, records) = read_alignments(input)?;
+    let hist = CoverageHistogram::from_records(&header, bin, &records);
+    std::fs::write(out, hist.to_bedgraph())?;
+    println!(
+        "{} bins of {bin} bp (mean {:.3}) written to {out}",
+        hist.len(),
+        hist.mean()
+    );
+    Ok(())
+}
+
+/// `ngsp denoise INPUT.bedgraph --out FILE [--radius r] [--patch l]
+///  [--sigma s] [--bin 25]`
+pub fn denoise_cmd(args: &Args) -> CmdResult {
+    let input = args.one_positional("bedgraph file")?;
+    let out = args.required("out")?;
+    let bin: u32 = args.get_or("bin", 25)?;
+    let params = NlMeansParams {
+        search_radius: args.get_or("radius", 20)?,
+        half_patch: args.get_or("patch", 15)?,
+        sigma: args.get_or("sigma", 10.0)?,
+    };
+    let text = std::fs::read(input)?;
+    let mut hist = CoverageHistogram::from_bedgraph_auto(&text, bin)?;
+    let denoised = nlmeans_sequential(&hist.bins, &params);
+    hist.bins = denoised;
+    std::fs::write(out, hist.to_bedgraph())?;
+    println!(
+        "denoised {} bins (r={}, l={}, sigma={}) into {out}",
+        hist.len(),
+        params.search_radius,
+        params.half_patch,
+        params.sigma
+    );
+    Ok(())
+}
+
+/// `ngsp fdr INPUT.bedgraph [--rounds B] [--thresholds 1,2,4]
+///  [--model poisson|permutation] [--bin 25] [--seed S]`
+pub fn fdr_cmd(args: &Args) -> CmdResult {
+    let input = args.one_positional("bedgraph file")?;
+    let rounds: usize = args.get_or("rounds", 20)?;
+    let bin: u32 = args.get_or("bin", 25)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let model = match args.optional("model").unwrap_or("poisson") {
+        "poisson" => NullModel::Poisson,
+        "permutation" => NullModel::Permutation,
+        other => return Err(err(format!("unknown null model {other:?}"))),
+    };
+    let thresholds: Vec<f64> = args
+        .optional("thresholds")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|t| t.parse().map_err(|_| err(format!("bad threshold {t:?}"))))
+        .collect::<Result<_, _>>()?;
+
+    let text = std::fs::read(input)?;
+    let hist = CoverageHistogram::from_bedgraph_auto(&text, bin)?;
+    let fdr_input = build_fdr_input(hist.bins.clone(), rounds, model, seed);
+    println!("bins: {}, simulation rounds: {rounds}", hist.len());
+    println!("{:>10}{:>14}", "p_t", "FDR");
+    for t in thresholds {
+        let v = fdr_fused(&fdr_input, t);
+        if v.is_finite() {
+            println!("{t:>10.2}{v:>14.6}");
+        } else {
+            println!("{t:>10.2}{:>14}", "inf");
+        }
+    }
+    Ok(())
+}
+
+/// `ngsp index INPUT.bam [--out FILE]` — builds the binned BAM index.
+pub fn index_cmd(args: &Args) -> CmdResult {
+    let input = args.one_positional("BAM file")?;
+    if !input.ends_with(".bam") {
+        return Err(err("index requires a .bam input"));
+    }
+    let default_out = format!("{input}.nbai");
+    let out = args.optional("out").unwrap_or(&default_out);
+    let index = ngs_bamx::BamIndex::build(input)?;
+    index.save(out)?;
+    println!(
+        "indexed {input}: {} chunks across {} references ({} unmapped records) -> {out}",
+        index.chunk_count(),
+        index.refs.len(),
+        index.unmapped
+    );
+    Ok(())
+}
+
+/// `ngsp peaks INPUT.bedgraph [--rounds B] [--target-fdr F]
+///  [--thresholds 0,1,2,4] [--gap G] [--bin 25] [--out FILE.bed]`
+/// — FDR-thresholded enriched-region calling (Han et al. pipeline tail).
+pub fn peaks_cmd(args: &Args) -> CmdResult {
+    let input = args.one_positional("bedgraph file")?;
+    let bin: u32 = args.get_or("bin", 25)?;
+    let rounds: usize = args.get_or("rounds", 20)?;
+    let target_fdr: f64 = args.get_or("target-fdr", 0.05)?;
+    let gap: usize = args.get_or("gap", 1)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let thresholds: Vec<f64> = args
+        .optional("thresholds")
+        .unwrap_or("0,1,2,4,8")
+        .split(',')
+        .map(|t| t.parse().map_err(|_| err(format!("bad threshold {t:?}"))))
+        .collect::<Result<_, _>>()?;
+
+    let text = std::fs::read(input)?;
+    let hist = CoverageHistogram::from_bedgraph_auto(&text, bin)?;
+    let fdr_input = build_fdr_input(hist.bins.clone(), rounds, NullModel::Poisson, seed);
+    let Some(p_t) = ngs_stats::pick_threshold(&fdr_input, &thresholds, target_fdr) else {
+        return Err(err(format!(
+            "no threshold in {thresholds:?} reaches FDR <= {target_fdr}"
+        )));
+    };
+    let selected = ngs_stats::select_bins(&fdr_input, p_t);
+    let called = ngs_stats::call_peaks(&hist, &selected, gap);
+    println!(
+        "p_t = {p_t} (target FDR {target_fdr}, {rounds} simulation rounds): {} peaks",
+        called.len()
+    );
+    let mut bed = Vec::new();
+    for p in &called {
+        ngs_formats::bed::write_record(&p.to_bed(), &mut bed);
+    }
+    match args.optional("out") {
+        Some(path) => {
+            std::fs::write(path, &bed)?;
+            println!("peak BED written to {path}");
+        }
+        None => {
+            use std::io::Write as _;
+            std::io::stdout().write_all(&bed)?;
+        }
+    }
+    Ok(())
+}
+
+/// `ngsp view INPUT.bam [REGION] [--ranks N]` — prints SAM to stdout.
+pub fn view_cmd(args: &Args) -> CmdResult {
+    let positional = args.positional();
+    let (input, region) = match positional {
+        [input] => (input.as_str(), None),
+        [input, region] => (input.as_str(), Some(region.as_str())),
+        _ => return Err(err("usage: ngsp view INPUT.bam [REGION]")),
+    };
+    let header = if input.ends_with(".bam") {
+        BamReader::new(BufReader::new(std::fs::File::open(input)?))?.header().clone()
+    } else {
+        sam_header_of(input)?
+    };
+    // Validate the region before any stdout is produced, so failures
+    // leave no partial document behind.
+    let parsed_region = match region {
+        Some(r) => {
+            if !input.ends_with(".bam") {
+                return Err(err("region view requires a BAM input"));
+            }
+            Some(Region::parse(r, &header)?)
+        }
+        None => None,
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    out.write_all(header.text.as_bytes())?;
+
+    let mut line = Vec::new();
+    let mut write_rec = |rec: &AlignmentRecord| -> CmdResult {
+        line.clear();
+        ngs_formats::sam::write_record(rec, &mut line);
+        line.push(b'\n');
+        out.write_all(&line)?;
+        Ok(())
+    };
+
+    match parsed_region {
+        None => {
+            let (_, records) = read_alignments(input)?;
+            for rec in &records {
+                write_rec(rec)?;
+            }
+        }
+        Some(region) => {
+            let nbai = format!("{input}.nbai");
+            if std::path::Path::new(&nbai).exists() {
+                // Fast path: seek straight into the compressed file via
+                // the binned index (overlap semantics).
+                let index = ngs_bamx::BamIndex::load(&nbai)?;
+                let mut reader =
+                    BamReader::new(BufReader::new(std::fs::File::open(input)?))?;
+                for rec in ngs_bamx::fetch(&mut reader, &index, &region)? {
+                    write_rec(&rec)?;
+                }
+            } else {
+                // Fallback: preprocess into a temp dir and use BAIX
+                // (start-position semantics, as in the paper).
+                let tmp =
+                    std::env::temp_dir().join(format!("ngsp-view-{}", std::process::id()));
+                std::fs::create_dir_all(&tmp)?;
+                let conv =
+                    BamConverter::new(ConvertConfig::with_ranks(args.get_or("ranks", 2)?));
+                let prep = conv.preprocess(input, &tmp)?;
+                let shard = ngs_bamx::BamxFile::open(&prep.bamx_path)?;
+                let baix = ngs_bamx::Baix::load(&prep.baix_path)?;
+                let ref_id = region.resolve(shard.header())?;
+                for idx in baix.shard_indices(baix.locate(ref_id, &region)) {
+                    write_rec(&shard.read_record(idx)?)?;
+                }
+                let _ = std::fs::remove_dir_all(&tmp);
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! `ngsp` — the command-line face of the ngs-parallel framework.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+ngsp — parallel NGS format conversion and analysis
+
+USAGE:
+  ngsp <COMMAND> [ARGS]
+
+COMMANDS:
+  generate    synthesize a SAM/BAM dataset
+              --records N --out FILE [--chroms C] [--sorted] [--seed S]
+  convert     convert SAM/BAM into another format, in parallel
+              INPUT --to FMT --out DIR [--ranks N] [--region R]
+              [--instance sam|bam|samx]
+  preprocess  build BAMX + BAIX from SAM/BAM
+              INPUT --out DIR [--ranks N] [--compress]
+  index       build a binned region index for a BAM file
+              INPUT.bam [--out FILE.nbai]
+  view        print records as SAM, optionally region-restricted
+              INPUT [REGION]   (uses INPUT.nbai when present)
+  sort        sort records   INPUT --out FILE [--by coord|name]
+  merge       stitch converter part files   --out FILE PART...
+  flagstat    samtools-flagstat-style summary   INPUT
+  depth       per-chromosome coverage depth   INPUT [--window W]
+  histogram   binned coverage histogram to BEDGRAPH
+              INPUT --out FILE [--bin 25]
+  denoise     NL-means over a BEDGRAPH histogram
+              INPUT --out FILE [--radius r] [--patch l] [--sigma s]
+  fdr         FDR curve over a BEDGRAPH histogram
+              INPUT [--rounds B] [--thresholds 1,2,4] [--model poisson]
+  peaks       FDR-thresholded enriched-region calling to BED
+              INPUT [--target-fdr 0.05] [--gap G] [--out FILE.bed]
+
+Formats for --to: sam bam bed bedgraph fasta fastq json yaml wig gff3
+";
+
+fn main() {
+    // Unix CLI convention: die quietly on SIGPIPE (e.g. `ngsp view | head`)
+    // instead of panicking on a broken stdout.
+    #[cfg(unix)]
+    unsafe {
+        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    }
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ngsp {command}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.switch("help") {
+        eprint!("{USAGE}");
+        return;
+    }
+    let result = match command.as_str() {
+        "generate" => commands::generate(&args),
+        "convert" => commands::convert(&args),
+        "preprocess" => commands::preprocess(&args),
+        "index" => commands::index_cmd(&args),
+        "view" => commands::view_cmd(&args),
+        "sort" => commands::sort_cmd(&args),
+        "merge" => commands::merge_cmd(&args),
+        "flagstat" => commands::flagstat_cmd(&args),
+        "depth" => commands::depth_cmd(&args),
+        "histogram" => commands::histogram_cmd(&args),
+        "denoise" => commands::denoise_cmd(&args),
+        "fdr" => commands::fdr_cmd(&args),
+        "peaks" => commands::peaks_cmd(&args),
+        "help" | "--help" | "-h" => {
+            eprint!("{USAGE}");
+            return;
+        }
+        other => {
+            eprintln!("ngsp: unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("ngsp {command}: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,189 @@
+//! End-to-end tests driving the real `ngsp` binary.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+use tempfile::tempdir;
+
+fn ngsp(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ngsp"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn ngsp")
+}
+
+fn ok(dir: &Path, args: &[&str]) -> String {
+    let out = ngsp(dir, args);
+    assert!(
+        out.status.success(),
+        "ngsp {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn generate_convert_flagstat_chain() {
+    let dir = tempdir().unwrap();
+    let d = dir.path();
+    let text = ok(d, &["generate", "--records", "800", "--out", "in.sam"]);
+    assert!(text.contains("wrote 800 records"));
+
+    let text = ok(d, &["convert", "in.sam", "--to", "bed", "--out", "bed", "--ranks", "3"]);
+    assert!(text.contains("records: 800 in"));
+    assert!(d.join("bed/in.part0000.bed").exists());
+    assert!(d.join("bed/in.part0002.bed").exists());
+
+    let text = ok(d, &["flagstat", "in.sam"]);
+    assert!(text.contains("800 in total"));
+}
+
+#[test]
+fn bam_region_workflow() {
+    let dir = tempdir().unwrap();
+    let d = dir.path();
+    ok(d, &["generate", "--records", "600", "--out", "in.bam", "--sorted"]);
+    let text = ok(d, &[
+        "convert", "in.bam", "--to", "sam", "--out", "part", "--ranks", "2", "--region",
+        "chr1:1-10000",
+    ]);
+    assert!(text.contains("records:"));
+
+    // view with region prints header + only region records.
+    let sam = ok(d, &["view", "in.bam", "chr1:1-10000"]);
+    assert!(sam.starts_with("@HD"));
+    for line in sam.lines().filter(|l| !l.starts_with('@')) {
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields[2], "chr1");
+        let pos: i64 = fields[3].parse().unwrap();
+        assert!((1..=10_000).contains(&pos), "pos {pos}");
+    }
+}
+
+#[test]
+fn sort_merge_roundtrip() {
+    let dir = tempdir().unwrap();
+    let d = dir.path();
+    ok(d, &["generate", "--records", "400", "--out", "in.sam"]);
+    ok(d, &["sort", "in.sam", "--out", "sorted.sam", "--by", "coord"]);
+    ok(d, &["convert", "sorted.sam", "--to", "sam", "--out", "parts", "--ranks", "3"]);
+    let text = ok(d, &[
+        "merge",
+        "--out",
+        "merged.sam",
+        "parts/sorted.part0000.sam",
+        "parts/sorted.part0001.sam",
+        "parts/sorted.part0002.sam",
+    ]);
+    assert!(text.contains("merged 400 records"));
+    assert_eq!(
+        std::fs::read(d.join("merged.sam")).unwrap(),
+        std::fs::read(d.join("sorted.sam")).unwrap()
+    );
+}
+
+#[test]
+fn stats_chain_histogram_denoise_fdr() {
+    let dir = tempdir().unwrap();
+    let d = dir.path();
+    ok(d, &["generate", "--records", "2000", "--out", "in.sam"]);
+    let text = ok(d, &["histogram", "in.sam", "--out", "h.bedgraph", "--bin", "25"]);
+    assert!(text.contains("bins of 25 bp"));
+    let text = ok(d, &[
+        "denoise", "h.bedgraph", "--out", "s.bedgraph", "--radius", "4", "--patch", "2",
+        "--sigma", "5",
+    ]);
+    assert!(text.contains("denoised"));
+    let text = ok(d, &["fdr", "s.bedgraph", "--rounds", "6", "--thresholds", "0,2"]);
+    assert!(text.contains("p_t"));
+    assert!(text.lines().count() >= 4);
+}
+
+#[test]
+fn preprocess_reports_layout() {
+    let dir = tempdir().unwrap();
+    let d = dir.path();
+    ok(d, &["generate", "--records", "300", "--out", "in.bam", "--sorted"]);
+    let text = ok(d, &["preprocess", "in.bam", "--out", "x"]);
+    assert!(text.contains("record size"));
+    assert!(d.join("x/in.bamx").exists());
+    assert!(d.join("x/in.baix").exists());
+
+    // SAM preprocessing produces shards.
+    ok(d, &["generate", "--records", "300", "--out", "in.sam"]);
+    let text = ok(d, &["preprocess", "in.sam", "--out", "shards", "--ranks", "2"]);
+    assert!(text.contains("2 shards"));
+}
+
+#[test]
+fn error_paths_exit_nonzero() {
+    let dir = tempdir().unwrap();
+    let d = dir.path();
+    let out = ngsp(d, &["convert", "missing.sam", "--to", "bed", "--out", "o"]);
+    assert!(!out.status.success());
+    let out = ngsp(d, &["convert", "x.sam", "--to", "nonsense", "--out", "o"]);
+    assert!(!out.status.success());
+    let out = ngsp(d, &["bogus-command"]);
+    assert!(!out.status.success());
+    let out = ngsp(d, &["generate", "--records"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn usage_printed_without_args() {
+    let dir = tempdir().unwrap();
+    let out = ngsp(dir.path(), &[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn index_then_view_uses_overlap_semantics() {
+    let dir = tempdir().unwrap();
+    let d = dir.path();
+    ok(d, &["generate", "--records", "500", "--out", "in.bam", "--sorted"]);
+    let text = ok(d, &["index", "in.bam"]);
+    assert!(text.contains("chunks"));
+    assert!(d.join("in.bam.nbai").exists());
+
+    // Indexed view (overlap semantics) returns at least as many records
+    // as the BAIX fallback (start-inside semantics) for the same region.
+    let with_index = ok(d, &["view", "in.bam", "chr1:3001-9000"]);
+    std::fs::remove_file(d.join("in.bam.nbai")).unwrap();
+    let without_index = ok(d, &["view", "in.bam", "chr1:3001-9000"]);
+    let count = |s: &str| s.lines().filter(|l| !l.starts_with('@')).count();
+    assert!(count(&with_index) >= count(&without_index));
+    assert!(count(&with_index) > 0);
+}
+
+#[test]
+fn peaks_pipeline_finds_injected_enrichment() {
+    let dir = tempdir().unwrap();
+    let d = dir.path();
+    // Build a bedgraph with obvious enrichment islands by hand.
+    let mut text = String::new();
+    for i in 0..400 {
+        let v = if (100..110).contains(&i) { 60 } else { 2 };
+        text.push_str(&format!("chr1\t{}\t{}\t{}\n", i * 25, (i + 1) * 25, v));
+    }
+    std::fs::write(d.join("cov.bedgraph"), text).unwrap();
+
+    let out = ok(d, &[
+        "peaks", "cov.bedgraph", "--rounds", "12", "--target-fdr", "0.2", "--out",
+        "peaks.bed",
+    ]);
+    assert!(out.contains("peaks"), "got {out}");
+    let bed = std::fs::read_to_string(d.join("peaks.bed")).unwrap();
+    // The enrichment island 2500..2750 must be among the called peaks.
+    let mut hit = false;
+    for line in bed.lines() {
+        let f: Vec<&str> = line.split('\t').collect();
+        let (s, e): (i64, i64) = (f[1].parse().unwrap(), f[2].parse().unwrap());
+        if s <= 2500 && e >= 2750 {
+            hit = true;
+        }
+    }
+    assert!(hit, "island not called: {bed}");
+}

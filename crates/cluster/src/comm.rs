@@ -1,0 +1,327 @@
+//! The message-passing communicator: the paper ran on MPI across a
+//! 32-node cluster; this runtime reproduces the *communication structure*
+//! (point-to-point sends, barriers, gathers, reductions) with ranks as
+//! threads, so every algorithm keeps its distributed formulation.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Message queues keyed by `(from, to, tag)`.
+type QueueMap = HashMap<(usize, usize, u64), VecDeque<Vec<u8>>>;
+
+/// A typed point-to-point message queue shared by all ranks.
+struct Mailbox {
+    queues: Mutex<QueueMap>,
+    available: Condvar,
+}
+
+/// Reusable cyclic barrier (all ranks must call `wait`).
+struct RankBarrier {
+    lock: Mutex<BarrierState>,
+    cv: Condvar,
+    size: usize,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+}
+
+impl RankBarrier {
+    fn new(size: usize) -> Self {
+        RankBarrier {
+            lock: Mutex::new(BarrierState { count: 0, generation: 0 }),
+            cv: Condvar::new(),
+            size,
+        }
+    }
+
+    fn wait(&self) {
+        let mut st = self.lock.lock();
+        let gen = st.generation;
+        st.count += 1;
+        if st.count == self.size {
+            st.count = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+/// Shared state of one communicator "world".
+struct World {
+    mailbox: Mailbox,
+    barrier: RankBarrier,
+    size: usize,
+}
+
+/// A per-rank handle into the world. Clone-free: each rank owns exactly
+/// one, mirroring an MPI communicator.
+pub struct Communicator {
+    world: Arc<World>,
+    rank: usize,
+}
+
+impl Communicator {
+    /// Creates `n` connected communicators, one per rank.
+    pub fn create_world(n: usize) -> Vec<Communicator> {
+        assert!(n > 0, "world must have at least one rank");
+        let world = Arc::new(World {
+            mailbox: Mailbox { queues: Mutex::new(HashMap::new()), available: Condvar::new() },
+            barrier: RankBarrier::new(n),
+            size: n,
+        });
+        (0..n).map(|rank| Communicator { world: Arc::clone(&world), rank }).collect()
+    }
+
+    /// This rank's id (0-based).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.world.size
+    }
+
+    /// Blocks until every rank has reached the barrier.
+    pub fn barrier(&self) {
+        self.world.barrier.wait();
+    }
+
+    /// Sends `data` to rank `to` under `tag` (non-blocking, buffered).
+    pub fn send(&self, to: usize, tag: u64, data: Vec<u8>) {
+        assert!(to < self.world.size, "destination rank {to} out of range");
+        let mut q = self.world.mailbox.queues.lock();
+        q.entry((self.rank, to, tag)).or_default().push_back(data);
+        self.world.mailbox.available.notify_all();
+    }
+
+    /// Receives the next message from rank `from` under `tag` (blocking).
+    pub fn recv(&self, from: usize, tag: u64) -> Vec<u8> {
+        assert!(from < self.world.size, "source rank {from} out of range");
+        let mut q = self.world.mailbox.queues.lock();
+        loop {
+            if let Some(queue) = q.get_mut(&(from, self.rank, tag)) {
+                if let Some(msg) = queue.pop_front() {
+                    return msg;
+                }
+            }
+            self.world.mailbox.available.wait(&mut q);
+        }
+    }
+
+    /// Typed convenience: send one `u64`.
+    pub fn send_u64(&self, to: usize, tag: u64, value: u64) {
+        self.send(to, tag, value.to_le_bytes().to_vec());
+    }
+
+    /// Typed convenience: receive one `u64`.
+    pub fn recv_u64(&self, from: usize, tag: u64) -> u64 {
+        let bytes = self.recv(from, tag);
+        u64::from_le_bytes(bytes[..8].try_into().expect("u64 message"))
+    }
+
+    /// Typed convenience: send one `f64`.
+    pub fn send_f64(&self, to: usize, tag: u64, value: f64) {
+        self.send(to, tag, value.to_le_bytes().to_vec());
+    }
+
+    /// Typed convenience: receive one `f64`.
+    pub fn recv_f64(&self, from: usize, tag: u64) -> f64 {
+        let bytes = self.recv(from, tag);
+        f64::from_le_bytes(bytes[..8].try_into().expect("f64 message"))
+    }
+
+    /// Gathers every rank's `data` at rank 0 (returns `Some(all)` on rank
+    /// 0 in rank order, `None` elsewhere).
+    pub fn gather(&self, tag: u64, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        if self.rank == 0 {
+            let mut all = Vec::with_capacity(self.size());
+            all.push(data);
+            for r in 1..self.size() {
+                all.push(self.recv(r, tag));
+            }
+            Some(all)
+        } else {
+            self.send(0, tag, data);
+            None
+        }
+    }
+
+    /// Broadcasts rank 0's `data` to every rank; each rank passes its own
+    /// input and receives rank 0's.
+    pub fn broadcast(&self, tag: u64, data: Vec<u8>) -> Vec<u8> {
+        if self.rank == 0 {
+            for r in 1..self.size() {
+                self.send(r, tag, data.clone());
+            }
+            data
+        } else {
+            self.recv(0, tag)
+        }
+    }
+
+    /// Sum-reduction of one `f64` across all ranks; every rank receives
+    /// the total (allreduce).
+    pub fn all_reduce_sum_f64(&self, tag: u64, value: f64) -> f64 {
+        let gathered = self.gather(tag, value.to_le_bytes().to_vec());
+        let total = if let Some(all) = gathered {
+            let sum: f64 = all
+                .iter()
+                .map(|b| f64::from_le_bytes(b[..8].try_into().expect("f64")))
+                .sum();
+            self.broadcast(tag, sum.to_le_bytes().to_vec())
+        } else {
+            self.broadcast(tag, Vec::new())
+        };
+        f64::from_le_bytes(total[..8].try_into().expect("f64"))
+    }
+
+    /// Sum-reduction of one `u64` across all ranks (allreduce).
+    pub fn all_reduce_sum_u64(&self, tag: u64, value: u64) -> u64 {
+        let gathered = self.gather(tag, value.to_le_bytes().to_vec());
+        let total = if let Some(all) = gathered {
+            let sum: u64 = all
+                .iter()
+                .map(|b| u64::from_le_bytes(b[..8].try_into().expect("u64")))
+                .sum();
+            self.broadcast(tag, sum.to_le_bytes().to_vec())
+        } else {
+            self.broadcast(tag, Vec::new())
+        };
+        u64::from_le_bytes(total[..8].try_into().expect("u64"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::run_ranks;
+
+    #[test]
+    fn world_metadata() {
+        let world = Communicator::create_world(4);
+        assert_eq!(world.len(), 4);
+        for (i, c) in world.iter().enumerate() {
+            assert_eq!(c.rank(), i);
+            assert_eq!(c.size(), 4);
+        }
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let results = run_ranks(8, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send_u64(next, 1, comm.rank() as u64);
+            comm.recv_u64(prev, 1)
+        });
+        for (rank, got) in results.into_iter().enumerate() {
+            let prev = (rank + 8 - 1) % 8;
+            assert_eq!(got, prev as u64);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_ranks(6, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every increment must be visible.
+            assert_eq!(counter.load(Ordering::SeqCst), 6);
+        });
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        run_ranks(4, |comm| {
+            for _ in 0..50 {
+                comm.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = run_ranks(5, |comm| {
+            comm.gather(7, vec![comm.rank() as u8; comm.rank() + 1])
+        });
+        let at_root = results[0].as_ref().unwrap();
+        for (r, msg) in at_root.iter().enumerate() {
+            assert_eq!(msg, &vec![r as u8; r + 1]);
+        }
+        assert!(results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn broadcast_distributes_root_value() {
+        let results = run_ranks(5, |comm| {
+            let data = if comm.rank() == 0 { b"root".to_vec() } else { b"junk".to_vec() };
+            comm.broadcast(3, data)
+        });
+        assert!(results.iter().all(|r| r == b"root"));
+    }
+
+    #[test]
+    fn allreduce_sums() {
+        let results = run_ranks(7, |comm| {
+            (
+                comm.all_reduce_sum_u64(1, comm.rank() as u64 + 1),
+                comm.all_reduce_sum_f64(2, 0.5),
+            )
+        });
+        for (u, f) in results {
+            assert_eq!(u, 28);
+            assert!((f - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tags_are_independent_channels() {
+        run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_u64(1, 100, 1);
+                comm.send_u64(1, 200, 2);
+            } else {
+                // Receive in the opposite order of sending.
+                assert_eq!(comm.recv_u64(0, 200), 2);
+                assert_eq!(comm.recv_u64(0, 100), 1);
+            }
+        });
+    }
+
+    #[test]
+    fn messages_fifo_within_tag() {
+        run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u64 {
+                    comm.send_u64(1, 5, i);
+                }
+            } else {
+                for i in 0..100u64 {
+                    assert_eq!(comm.recv_u64(0, 5), i);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let results = run_ranks(1, |comm| {
+            comm.barrier();
+            comm.all_reduce_sum_u64(1, 42)
+        });
+        assert_eq!(results, vec![42]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # ngs-cluster
+//!
+//! A message-passing rank runtime over OS threads, standing in for the
+//! paper's MPI cluster (AMD Opteron, up to 256 cores / 32 nodes).
+//!
+//! **Substitution note (see DESIGN.md §2):** ranks share one address
+//! space, but algorithms communicate *only* through the [`Communicator`]
+//! API — point-to-point sends, barriers, gathers and reductions — so the
+//! boundary-exchange of the SAM partitioner (Algorithm 1), the halo
+//! replication of parallel NL-means, and the two-level reduction of
+//! Algorithm 2 all execute their distributed communication patterns
+//! faithfully.
+//!
+//! ```
+//! use ngs_cluster::run_ranks;
+//!
+//! let sums = run_ranks(4, |comm| {
+//!     comm.all_reduce_sum_u64(0, comm.rank() as u64)
+//! });
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//! ```
+
+pub mod comm;
+pub mod scope;
+
+pub use comm::Communicator;
+pub use scope::{run_ranks, time_ranks};

@@ -1,0 +1,74 @@
+//! Rank spawning: run one closure per rank on its own OS thread and
+//! collect results in rank order, like `mpirun` for a single binary.
+
+use crate::comm::Communicator;
+
+/// Runs `f(comm)` on `n` ranks (threads) and returns results in rank
+/// order. Panics in any rank propagate after every rank is joined.
+pub fn run_ranks<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Communicator) -> R + Sync,
+{
+    let comms = Communicator::create_world(n);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .iter()
+            .map(|comm| scope.spawn(|| f(comm)))
+            .collect();
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            match handle.join() {
+                Ok(v) => *slot = Some(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("every rank joined")).collect()
+}
+
+/// Measures the wall-clock time of an `n`-rank run; returns `(results,
+/// elapsed)`. The clock covers spawn to last join — the same "makespan"
+/// the paper's speedup figures report.
+pub fn time_ranks<R, F>(n: usize, f: F) -> (Vec<R>, std::time::Duration)
+where
+    R: Send,
+    F: Fn(&Communicator) -> R + Sync,
+{
+    let start = std::time::Instant::now();
+    let results = run_ranks(n, f);
+    (results, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let results = run_ranks(16, |c| c.rank() * 10);
+        assert_eq!(results, (0..16).map(|r| r * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_ranks_reports_duration() {
+        let (results, elapsed) = time_ranks(4, |c| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            c.rank()
+        });
+        assert_eq!(results.len(), 4);
+        assert!(elapsed >= std::time::Duration::from_millis(10));
+        // No upper bound: wall-clock assertions are flaky on loaded CI
+        // hosts; concurrency is covered by the communicator tests.
+    }
+
+    #[test]
+    #[should_panic(expected = "rank failure")]
+    fn panics_propagate() {
+        run_ranks(3, |c| {
+            if c.rank() == 1 {
+                panic!("rank failure");
+            }
+        });
+    }
+}

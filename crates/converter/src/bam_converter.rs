@@ -1,0 +1,611 @@
+//! Converter instance 2: the BAM format converter.
+//!
+//! BAM records carry no delimiter, so byte-even partitioning cannot work
+//! (Section III-B of the paper). Instead a *sequential preprocessing*
+//! pass rewrites the BAM into a BAMX file (fixed-width records → random
+//! access) plus a BAIX index, after which conversion — full or partial —
+//! is embarrassingly parallel.
+
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use ngs_bamx::{Baix, BamxCompression, BamxFile, BamxLayout, BamxWriter, Region};
+use ngs_cluster::run_ranks;
+use ngs_formats::bam::BamReader;
+use ngs_formats::error::{Error, Result};
+use ngs_formats::record::AlignmentRecord;
+
+use crate::runtime::{ConvertConfig, ConvertReport, RankOutput, RankStats};
+use crate::target::{builtin, TargetFormat};
+
+/// Result of the preprocessing phase.
+#[derive(Debug, Clone)]
+pub struct PreprocessReport {
+    /// Path of the BAMX file produced.
+    pub bamx_path: PathBuf,
+    /// Path of the BAIX index produced.
+    pub baix_path: PathBuf,
+    /// Records preprocessed.
+    pub records: u64,
+    /// Wall time of the (sequential) preprocessing.
+    pub elapsed: Duration,
+    /// The layout chosen.
+    pub layout: BamxLayout,
+}
+
+/// The BAM format converter.
+pub struct BamConverter {
+    /// Runtime configuration.
+    pub config: ConvertConfig,
+    /// Compression of generated BAMX shards.
+    pub bamx_compression: BamxCompression,
+}
+
+impl BamConverter {
+    /// Creates a converter with plain (uncompressed) BAMX output.
+    pub fn new(config: ConvertConfig) -> Self {
+        BamConverter { config, bamx_compression: BamxCompression::Plain }
+    }
+
+    /// Sequential preprocessing: BAM → BAMX + BAIX (Figure 3, left box).
+    ///
+    /// Two passes over the input: the first computes the padding layout,
+    /// the second writes aligned records. Both passes read through the
+    /// third-party-free `ngs-bgzf`/`ngs-formats` stack.
+    pub fn preprocess(
+        &self,
+        input_bam: impl AsRef<Path>,
+        out_dir: impl AsRef<Path>,
+    ) -> Result<PreprocessReport> {
+        let input_bam = input_bam.as_ref();
+        let out_dir = out_dir.as_ref();
+        std::fs::create_dir_all(out_dir)?;
+        let stem = input_bam
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "input".into());
+        let bamx_path = out_dir.join(format!("{stem}.bamx"));
+        let baix_path = out_dir.join(format!("{stem}.baix"));
+
+        let start = Instant::now();
+
+        // Pass 1: layout maxima.
+        let mut reader = BamReader::new(BufReader::new(std::fs::File::open(input_bam)?))?;
+        let mut layout = BamxLayout::empty();
+        let mut n = 0u64;
+        while let Some(rec) = reader.read_record()? {
+            layout.observe(&rec)?;
+            n += 1;
+        }
+
+        // Pass 2: write padded records.
+        let mut reader = BamReader::new(BufReader::new(std::fs::File::open(input_bam)?))?;
+        let header = reader.header().clone();
+        let mut writer =
+            BamxWriter::create(&bamx_path, header, layout, self.bamx_compression)?;
+        while let Some(rec) = reader.read_record()? {
+            writer.write_record(&rec)?;
+        }
+        debug_assert_eq!(writer.record_count(), n);
+        writer.finish()?;
+
+        // Index construction (part of preprocessing in the paper).
+        let bamx = BamxFile::open(&bamx_path)?;
+        let baix = Baix::build(&bamx)?;
+        baix.save(&baix_path)?;
+
+        Ok(PreprocessReport {
+            bamx_path,
+            baix_path,
+            records: n,
+            elapsed: start.elapsed(),
+            layout,
+        })
+    }
+
+    /// Parallel *full* conversion of a preprocessed BAMX file (Figure 3,
+    /// right box): each rank random-accesses an equal share of records.
+    pub fn convert_bamx(
+        &self,
+        bamx_path: impl AsRef<Path>,
+        target: TargetFormat,
+        out_dir: impl AsRef<Path>,
+    ) -> Result<ConvertReport> {
+        let bamx_path = bamx_path.as_ref();
+        let out_dir = out_dir.as_ref();
+        std::fs::create_dir_all(out_dir)?;
+        let stem = bamx_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "bamx".into());
+
+        let probe = BamxFile::open(bamx_path)?;
+        let n_records = probe.len();
+        drop(probe);
+
+        let t = Instant::now();
+        let results: Vec<Result<(RankStats, PathBuf)>> =
+            run_ranks(self.config.ranks, |comm| {
+                let rank = comm.rank();
+                let n = comm.size() as u64;
+                let lo = rank as u64 * n_records / n;
+                let hi = (rank as u64 + 1) * n_records / n;
+                // Each rank opens its own handle (independent preads).
+                let shard = BamxFile::open(bamx_path)?;
+                convert_record_range(&shard, lo, hi, target, out_dir, &stem, rank, rank == 0, &self.config)
+            });
+        let convert_time = t.elapsed();
+
+        collect_report(results, convert_time)
+    }
+
+    /// Parallel *partial* conversion: only alignments whose start falls
+    /// inside `region`, located via binary search over the BAIX file
+    /// (Section III-B, partial conversion).
+    pub fn convert_partial(
+        &self,
+        bamx_path: impl AsRef<Path>,
+        baix_path: impl AsRef<Path>,
+        region: &Region,
+        target: TargetFormat,
+        out_dir: impl AsRef<Path>,
+    ) -> Result<ConvertReport> {
+        let bamx_path = bamx_path.as_ref();
+        let out_dir = out_dir.as_ref();
+        std::fs::create_dir_all(out_dir)?;
+        let stem = format!(
+            "{}.{}",
+            bamx_path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "bamx".into()),
+            region.to_string().replace([':', '-'], "_")
+        );
+
+        let probe = BamxFile::open(bamx_path)?;
+        let ref_id = region.resolve(probe.header())?;
+        drop(probe);
+        let baix = Baix::load(baix_path)?;
+        // The BAIX region: binary search over sorted start positions.
+        let entry_range = baix.locate(ref_id, region);
+        let indices = baix.shard_indices(entry_range);
+
+        let t = Instant::now();
+        let results: Vec<Result<(RankStats, PathBuf)>> =
+            run_ranks(self.config.ranks, |comm| {
+                let rank = comm.rank();
+                let n = comm.size();
+                // Evenly split the BAIX subregion across ranks.
+                let lo = rank * indices.len() / n;
+                let hi = (rank + 1) * indices.len() / n;
+                let shard = BamxFile::open(bamx_path)?;
+                convert_index_list(
+                    &shard,
+                    &indices[lo..hi],
+                    target,
+                    out_dir,
+                    &stem,
+                    rank,
+                    rank == 0,
+                    &self.config,
+                )
+            });
+        let convert_time = t.elapsed();
+        collect_report(results, convert_time)
+    }
+
+    /// Sequential conversion *without* preprocessing (used by the Table I
+    /// comparison): stream the BAM once, convert records as they decode.
+    pub fn convert_direct(
+        &self,
+        input_bam: impl AsRef<Path>,
+        target: TargetFormat,
+        out_dir: impl AsRef<Path>,
+    ) -> Result<ConvertReport> {
+        let input_bam = input_bam.as_ref();
+        let out_dir = out_dir.as_ref();
+        std::fs::create_dir_all(out_dir)?;
+        let stem = input_bam
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "input".into());
+
+        let t = Instant::now();
+        let mut reader = BamReader::new(BufReader::new(std::fs::File::open(input_bam)?))?;
+        let header = reader.header().clone();
+
+        let mut stats = RankStats::default();
+        let converter = builtin(target)
+            .ok_or_else(|| Error::InvalidRecord("direct conversion targets line formats".into()))?;
+        let mut out =
+            RankOutput::create(out_dir, &stem, 0, converter.extension(), self.config.write_buffer)?;
+        let mut prologue = Vec::new();
+        converter.prologue(&header, &mut prologue);
+        out.write_all(&prologue)?;
+
+        let mut buf = Vec::with_capacity(64 * 1024);
+        while let Some(rec) = reader.read_record()? {
+            stats.records_in += 1;
+            if converter.convert(&rec, &mut buf) {
+                stats.records_out += 1;
+            }
+            if buf.len() >= 64 * 1024 {
+                out.write_all(&buf)?;
+                buf.clear();
+            }
+        }
+        out.write_all(&buf)?;
+        let (path, bytes) = out.finish()?;
+        stats.bytes_out = bytes;
+        stats.elapsed = t.elapsed();
+
+        Ok(ConvertReport {
+            convert_time: t.elapsed(),
+            per_rank: vec![stats],
+            outputs: vec![path],
+            ..Default::default()
+        })
+    }
+}
+
+fn collect_report(
+    results: Vec<Result<(RankStats, PathBuf)>>,
+    convert_time: Duration,
+) -> Result<ConvertReport> {
+    let mut report = ConvertReport { convert_time, ..Default::default() };
+    for r in results {
+        let (stats, path) = r?;
+        report.per_rank.push(stats);
+        report.outputs.push(path);
+    }
+    Ok(report)
+}
+
+/// Converts a contiguous record range of a BAMX shard. `write_prologue`
+/// is set for exactly one rank of one shard per conversion (the file that
+/// should carry the header/pragma).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn convert_record_range(
+    shard: &BamxFile,
+    lo: u64,
+    hi: u64,
+    target: TargetFormat,
+    out_dir: &Path,
+    stem: &str,
+    rank: usize,
+    write_prologue: bool,
+    config: &ConvertConfig,
+) -> Result<(RankStats, PathBuf)> {
+    let t = Instant::now();
+    let mut stats = RankStats { rank, ..Default::default() };
+    let mut sink = Emitter::create(shard, target, out_dir, stem, rank, write_prologue, config)?;
+
+    const BATCH: u64 = 2048;
+    let mut cur = lo;
+    while cur < hi {
+        let batch_hi = (cur + BATCH).min(hi);
+        for rec in shard.read_range(cur, batch_hi)? {
+            stats.records_in += 1;
+            sink.emit(&rec, &mut stats)?;
+        }
+        cur = batch_hi;
+    }
+    let path = sink.finish(&mut stats)?;
+    stats.elapsed = t.elapsed();
+    Ok((stats, path))
+}
+
+/// Converts an explicit (sorted) list of record indices.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn convert_index_list(
+    shard: &BamxFile,
+    indices: &[u64],
+    target: TargetFormat,
+    out_dir: &Path,
+    stem: &str,
+    rank: usize,
+    write_prologue: bool,
+    config: &ConvertConfig,
+) -> Result<(RankStats, PathBuf)> {
+    let t = Instant::now();
+    let mut stats = RankStats { rank, ..Default::default() };
+    let mut sink = Emitter::create(shard, target, out_dir, stem, rank, write_prologue, config)?;
+    // Coalesce consecutive runs of indices into range reads.
+    let mut i = 0usize;
+    while i < indices.len() {
+        let run_start = indices[i];
+        let mut j = i + 1;
+        while j < indices.len() && indices[j] == indices[j - 1] + 1 {
+            j += 1;
+        }
+        let run_end = indices[j - 1] + 1;
+        for rec in shard.read_range(run_start, run_end)? {
+            stats.records_in += 1;
+            sink.emit(&rec, &mut stats)?;
+        }
+        i = j;
+    }
+    let path = sink.finish(&mut stats)?;
+    stats.elapsed = t.elapsed();
+    Ok((stats, path))
+}
+
+/// Unified line/BAM output sink for BAMX-driven conversion.
+enum Emitter {
+    Line {
+        out: RankOutput,
+        converter: Box<dyn crate::target::RecordConverter>,
+        buf: Vec<u8>,
+    },
+    Bam {
+        writer: ngs_formats::bam::BamWriter<std::io::BufWriter<std::fs::File>>,
+        path: PathBuf,
+    },
+}
+
+impl Emitter {
+    fn create(
+        shard: &BamxFile,
+        target: TargetFormat,
+        out_dir: &Path,
+        stem: &str,
+        rank: usize,
+        write_prologue: bool,
+        config: &ConvertConfig,
+    ) -> Result<Self> {
+        Ok(match target {
+            TargetFormat::Bam => {
+                let path = out_dir.join(format!("{stem}.part{rank:04}.bam"));
+                let file = std::io::BufWriter::with_capacity(
+                    config.write_buffer,
+                    std::fs::File::create(&path)?,
+                );
+                Emitter::Bam {
+                    writer: ngs_formats::bam::BamWriter::new(file, shard.header().clone())?,
+                    path,
+                }
+            }
+            other => {
+                let converter = builtin(other).ok_or_else(|| {
+                    Error::InvalidRecord(format!("no line converter for {other:?}"))
+                })?;
+                let mut out = RankOutput::create(
+                    out_dir,
+                    stem,
+                    rank,
+                    converter.extension(),
+                    config.write_buffer,
+                )?;
+                if write_prologue {
+                    let mut prologue = Vec::new();
+                    converter.prologue(shard.header(), &mut prologue);
+                    out.write_all(&prologue)?;
+                }
+                Emitter::Line { out, converter, buf: Vec::with_capacity(64 * 1024) }
+            }
+        })
+    }
+
+    fn emit(&mut self, rec: &AlignmentRecord, stats: &mut RankStats) -> Result<()> {
+        match self {
+            Emitter::Line { out, converter, buf } => {
+                if converter.convert(rec, buf) {
+                    stats.records_out += 1;
+                }
+                if buf.len() >= 64 * 1024 {
+                    out.write_all(buf)?;
+                    buf.clear();
+                }
+            }
+            Emitter::Bam { writer, .. } => {
+                writer.write_record(rec)?;
+                stats.records_out += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, stats: &mut RankStats) -> Result<PathBuf> {
+        match self {
+            Emitter::Line { mut out, buf, .. } => {
+                if !buf.is_empty() {
+                    out.write_all(&buf)?;
+                }
+                let (path, bytes) = out.finish()?;
+                stats.bytes_out = bytes;
+                Ok(path)
+            }
+            Emitter::Bam { writer, path } => {
+                writer.finish()?;
+                stats.bytes_out = std::fs::metadata(&path)?.len();
+                Ok(path)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_simgen::{Dataset, DatasetSpec};
+    use tempfile::tempdir;
+
+    fn sorted_dataset(n: usize) -> Dataset {
+        Dataset::generate(&DatasetSpec {
+            n_records: n,
+            coordinate_sorted: true,
+            ..Default::default()
+        })
+    }
+
+    fn write_bam(ds: &Dataset, dir: &Path) -> PathBuf {
+        let path = dir.join("input.bam");
+        ds.write_bam(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn preprocess_then_full_conversion() {
+        let ds = sorted_dataset(600);
+        let dir = tempdir().unwrap();
+        let bam = write_bam(&ds, dir.path());
+        let conv = BamConverter::new(ConvertConfig::with_ranks(4));
+        let prep = conv.preprocess(&bam, dir.path()).unwrap();
+        assert_eq!(prep.records, 600);
+
+        let report = conv
+            .convert_bamx(&prep.bamx_path, TargetFormat::Sam, dir.path().join("out"))
+            .unwrap();
+        assert_eq!(report.records_in(), 600);
+
+        // Concatenated SAM parts parse back to the same records.
+        let mut all = Vec::new();
+        for p in &report.outputs {
+            all.extend_from_slice(&std::fs::read(p).unwrap());
+        }
+        let mut reader = ngs_formats::sam::SamReader::new(std::io::Cursor::new(&all)).unwrap();
+        let records: Vec<_> = reader.records().map(|r| r.unwrap()).collect();
+        assert_eq!(records, ds.records);
+    }
+
+    #[test]
+    fn parallel_counts_match_sequential() {
+        let ds = sorted_dataset(500);
+        let dir = tempdir().unwrap();
+        let bam = write_bam(&ds, dir.path());
+        let c1 = BamConverter::new(ConvertConfig::with_ranks(1));
+        let prep = c1.preprocess(&bam, dir.path()).unwrap();
+        let r1 =
+            c1.convert_bamx(&prep.bamx_path, TargetFormat::Bed, dir.path().join("a")).unwrap();
+        let c8 = BamConverter::new(ConvertConfig::with_ranks(8));
+        let r8 =
+            c8.convert_bamx(&prep.bamx_path, TargetFormat::Bed, dir.path().join("b")).unwrap();
+        assert_eq!(r1.records_out(), r8.records_out());
+        assert_eq!(r1.bytes_out(), r8.bytes_out());
+    }
+
+    #[test]
+    fn partial_conversion_selects_region() {
+        let ds = sorted_dataset(1000);
+        let dir = tempdir().unwrap();
+        let bam = write_bam(&ds, dir.path());
+        let conv = BamConverter::new(ConvertConfig::with_ranks(4));
+        let prep = conv.preprocess(&bam, dir.path()).unwrap();
+
+        let header = ds.header();
+        let chr1_len = header.references[0].length as i64;
+        let region = Region::new("chr1", 0, chr1_len / 2).unwrap();
+        let report = conv
+            .convert_partial(
+                &prep.bamx_path,
+                &prep.baix_path,
+                &region,
+                TargetFormat::Bed,
+                dir.path().join("out"),
+            )
+            .unwrap();
+
+        let expected = ds
+            .records
+            .iter()
+            .filter(|r| {
+                r.rname == b"chr1" && r.start0().map(|s| s < chr1_len / 2).unwrap_or(false)
+            })
+            .count() as u64;
+        assert_eq!(report.records_in(), expected);
+        assert!(expected > 0);
+    }
+
+    #[test]
+    fn partial_scales_with_region_size() {
+        let ds = sorted_dataset(2000);
+        let dir = tempdir().unwrap();
+        let bam = write_bam(&ds, dir.path());
+        let conv = BamConverter::new(ConvertConfig::with_ranks(2));
+        let prep = conv.preprocess(&bam, dir.path()).unwrap();
+        let chr1_len = ds.header().references[0].length as i64;
+
+        let mut last = 0;
+        for (i, frac) in [0.2, 0.6, 1.0].iter().enumerate() {
+            let region = Region::new("chr1", 0, (chr1_len as f64 * frac) as i64).unwrap();
+            let report = conv
+                .convert_partial(
+                    &prep.bamx_path,
+                    &prep.baix_path,
+                    &region,
+                    TargetFormat::BedGraph,
+                    dir.path().join(format!("o{i}")),
+                )
+                .unwrap();
+            assert!(report.records_in() >= last);
+            last = report.records_in();
+        }
+    }
+
+    #[test]
+    fn direct_conversion_without_preprocessing() {
+        let ds = sorted_dataset(300);
+        let dir = tempdir().unwrap();
+        let bam = write_bam(&ds, dir.path());
+        let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+        let report =
+            conv.convert_direct(&bam, TargetFormat::Sam, dir.path().join("direct")).unwrap();
+        assert_eq!(report.records_in(), 300);
+        let bytes = std::fs::read(&report.outputs[0]).unwrap();
+        let mut reader = ngs_formats::sam::SamReader::new(std::io::Cursor::new(&bytes)).unwrap();
+        let records: Vec<_> = reader.records().map(|r| r.unwrap()).collect();
+        assert_eq!(records, ds.records);
+    }
+
+    #[test]
+    fn compressed_bamx_conversion_agrees() {
+        let ds = sorted_dataset(400);
+        let dir = tempdir().unwrap();
+        let bam = write_bam(&ds, dir.path());
+
+        let plain = BamConverter::new(ConvertConfig::with_ranks(3));
+        let prep_p = plain.preprocess(&bam, dir.path().join("p")).unwrap();
+        let rp =
+            plain.convert_bamx(&prep_p.bamx_path, TargetFormat::Json, dir.path().join("po")).unwrap();
+
+        let mut comp = BamConverter::new(ConvertConfig::with_ranks(3));
+        comp.bamx_compression = BamxCompression::Bgzf;
+        let prep_c = comp.preprocess(&bam, dir.path().join("c")).unwrap();
+        let rc =
+            comp.convert_bamx(&prep_c.bamx_path, TargetFormat::Json, dir.path().join("co")).unwrap();
+
+        let cat = |r: &ConvertReport| {
+            let mut all = Vec::new();
+            for p in &r.outputs {
+                all.extend_from_slice(&std::fs::read(p).unwrap());
+            }
+            all
+        };
+        assert_eq!(cat(&rp), cat(&rc));
+        // The compressed shard really is smaller.
+        assert!(
+            std::fs::metadata(&prep_c.bamx_path).unwrap().len()
+                < std::fs::metadata(&prep_p.bamx_path).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn bam_to_bam_identity() {
+        let ds = sorted_dataset(250);
+        let dir = tempdir().unwrap();
+        let bam = write_bam(&ds, dir.path());
+        let conv = BamConverter::new(ConvertConfig::with_ranks(2));
+        let prep = conv.preprocess(&bam, dir.path()).unwrap();
+        let report = conv
+            .convert_bamx(&prep.bamx_path, TargetFormat::Bam, dir.path().join("out"))
+            .unwrap();
+        let mut all = Vec::new();
+        for p in &report.outputs {
+            let bytes = std::fs::read(p).unwrap();
+            let mut r = ngs_formats::bam::BamReader::new(std::io::Cursor::new(&bytes)).unwrap();
+            all.extend(r.records().map(|x| x.unwrap()));
+        }
+        assert_eq!(all, ds.records);
+    }
+}

@@ -1,0 +1,289 @@
+//! Converter instance 3: the preprocessing-optimized SAM format
+//! converter (Section III-C).
+//!
+//! Combines the two earlier strategies: the *preprocessing itself is
+//! parallel* — M ranks partition the SAM text with Algorithm 1 and each
+//! writes one BAMX(+BAIX) shard — and subsequent conversions run over the
+//! compact binary shards, skipping text parsing entirely.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use ngs_bamx::{Baix, BamxCompression, BamxFile, BamxLayout, BamxWriter};
+use ngs_cluster::run_ranks;
+use ngs_formats::error::Result;
+
+use crate::bam_converter::convert_record_range;
+use crate::partition::partition_distributed;
+use crate::runtime::{scan_sam_header, ConvertConfig, ConvertReport, RankStats};
+use crate::scan::scan_records;
+use crate::source::{ByteSource, FileSource};
+use crate::target::TargetFormat;
+
+/// One preprocessed shard (BAMX + BAIX pair).
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// The fixed-width record file.
+    pub bamx_path: PathBuf,
+    /// Its start-position index.
+    pub baix_path: PathBuf,
+    /// Records in the shard.
+    pub records: u64,
+}
+
+/// Result of parallel SAM preprocessing.
+#[derive(Debug, Clone)]
+pub struct SamxPreprocessReport {
+    /// One shard per preprocessing rank (the paper's M files).
+    pub shards: Vec<Shard>,
+    /// Makespan of the parallel preprocessing.
+    pub elapsed: Duration,
+}
+
+impl SamxPreprocessReport {
+    /// Total records across shards.
+    pub fn records(&self) -> u64 {
+        self.shards.iter().map(|s| s.records).sum()
+    }
+}
+
+/// The preprocessing-optimized SAM format converter.
+pub struct SamxConverter {
+    /// Runtime configuration (`ranks` = M for preprocessing, N for
+    /// conversion).
+    pub config: ConvertConfig,
+    /// Compression of generated shards.
+    pub bamx_compression: BamxCompression,
+}
+
+impl SamxConverter {
+    /// Creates a converter with plain shards.
+    pub fn new(config: ConvertConfig) -> Self {
+        SamxConverter { config, bamx_compression: BamxCompression::Plain }
+    }
+
+    /// Parallel preprocessing (Figure 5, left): M ranks partition the SAM
+    /// text and each writes one BAMX + BAIX shard.
+    ///
+    /// Each rank makes two streaming passes over its slice: the first
+    /// derives the padding layout, the second writes aligned records —
+    /// the paper's trade of extra preprocessing parsing for conversion
+    /// speed.
+    pub fn preprocess_file(
+        &self,
+        input: impl AsRef<Path>,
+        out_dir: impl AsRef<Path>,
+    ) -> Result<SamxPreprocessReport> {
+        let source = FileSource::open(input.as_ref())?;
+        let stem = input
+            .as_ref()
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "input".into());
+        self.preprocess_source(&source, out_dir.as_ref(), &stem)
+    }
+
+    /// Parallel preprocessing over any byte source.
+    pub fn preprocess_source<S: ByteSource + ?Sized>(
+        &self,
+        source: &S,
+        out_dir: &Path,
+        stem: &str,
+    ) -> Result<SamxPreprocessReport> {
+        std::fs::create_dir_all(out_dir)?;
+        let (header, _) = scan_sam_header(source)?;
+        let t = Instant::now();
+
+        let results: Vec<Result<Shard>> = run_ranks(self.config.ranks, |comm| {
+            let rank = comm.rank();
+            let range = partition_distributed(source, comm, self.config.variant)?;
+
+            // Pass 1: per-rank layout maxima.
+            let mut layout = BamxLayout::empty();
+            scan_records(source, range, self.config.read_buffer, |rec| {
+                layout.observe(&rec)
+            })?;
+
+            // Pass 2: write the padded shard.
+            let bamx_path = out_dir.join(format!("{stem}.shard{rank:04}.bamx"));
+            let baix_path = out_dir.join(format!("{stem}.shard{rank:04}.baix"));
+            let mut writer =
+                BamxWriter::create(&bamx_path, header.clone(), layout, self.bamx_compression)?;
+            scan_records(source, range, self.config.read_buffer, |rec| {
+                writer.write_record(&rec)
+            })?;
+            let records = writer.record_count();
+            writer.finish()?;
+
+            // Per-shard BAIX for partial conversion.
+            let shard_file = BamxFile::open(&bamx_path)?;
+            Baix::build(&shard_file)?.save(&baix_path)?;
+
+            Ok(Shard { bamx_path, baix_path, records })
+        });
+
+        let mut shards = Vec::with_capacity(self.config.ranks);
+        for r in results {
+            shards.push(r?);
+        }
+        Ok(SamxPreprocessReport { shards, elapsed: t.elapsed() })
+    }
+
+    /// Parallel conversion phase (Figure 5, right): converts each BAMX
+    /// shard with N ranks, producing the paper's M × N target files.
+    pub fn convert_shards(
+        &self,
+        shards: &[Shard],
+        target: TargetFormat,
+        out_dir: impl AsRef<Path>,
+    ) -> Result<ConvertReport> {
+        let out_dir = out_dir.as_ref();
+        std::fs::create_dir_all(out_dir)?;
+        let t = Instant::now();
+        let mut report = ConvertReport::default();
+
+        for (shard_idx, shard) in shards.iter().enumerate() {
+            let stem = shard
+                .bamx_path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "shard".into());
+            let n_records = BamxFile::open(&shard.bamx_path)?.len();
+            let results: Vec<Result<(RankStats, PathBuf)>> =
+                run_ranks(self.config.ranks, |comm| {
+                    let rank = comm.rank();
+                    let n = comm.size() as u64;
+                    let lo = rank as u64 * n_records / n;
+                    let hi = (rank as u64 + 1) * n_records / n;
+                    let file = BamxFile::open(&shard.bamx_path)?;
+                    // Only the very first output file carries the prologue.
+                    convert_record_range(
+                        &file,
+                        lo,
+                        hi,
+                        target,
+                        out_dir,
+                        &stem,
+                        rank,
+                        shard_idx == 0 && rank == 0,
+                        &self.config,
+                    )
+                });
+            for r in results {
+                let (stats, path) = r?;
+                report.per_rank.push(stats);
+                report.outputs.push(path);
+            }
+        }
+        report.convert_time = t.elapsed();
+        Ok(report)
+    }
+
+    /// End-to-end: preprocess then convert, reporting both phases.
+    pub fn convert_file(
+        &self,
+        input: impl AsRef<Path>,
+        target: TargetFormat,
+        out_dir: impl AsRef<Path>,
+    ) -> Result<(SamxPreprocessReport, ConvertReport)> {
+        let out_dir = out_dir.as_ref();
+        let prep = self.preprocess_file(input, out_dir.join("shards"))?;
+        let mut report = self.convert_shards(&prep.shards, target, out_dir)?;
+        report.preprocess_time = prep.elapsed;
+        Ok((prep, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MemSource;
+    use ngs_simgen::{Dataset, DatasetSpec};
+    use tempfile::tempdir;
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::generate(&DatasetSpec { n_records: n, ..Default::default() })
+    }
+
+    #[test]
+    fn preprocess_shards_cover_all_records() {
+        let ds = dataset(700);
+        let src = MemSource::new(ds.to_sam_bytes());
+        let dir = tempdir().unwrap();
+        let conv = SamxConverter::new(ConvertConfig::with_ranks(4));
+        let prep = conv.preprocess_source(&src, dir.path(), "x").unwrap();
+        assert_eq!(prep.shards.len(), 4);
+        assert_eq!(prep.records(), 700);
+        // Shards in rank order concatenate to the original records.
+        let mut all = Vec::new();
+        for s in &prep.shards {
+            let f = BamxFile::open(&s.bamx_path).unwrap();
+            all.extend(f.read_range(0, f.len()).unwrap());
+        }
+        assert_eq!(all, ds.records);
+    }
+
+    #[test]
+    fn per_shard_layouts_differ_from_global() {
+        // Each rank pads to its own maxima — shards may have different
+        // record sizes (less padding than a single global layout).
+        let ds = dataset(400);
+        let src = MemSource::new(ds.to_sam_bytes());
+        let dir = tempdir().unwrap();
+        let conv = SamxConverter::new(ConvertConfig::with_ranks(3));
+        let prep = conv.preprocess_source(&src, dir.path(), "x").unwrap();
+        for s in &prep.shards {
+            let f = BamxFile::open(&s.bamx_path).unwrap();
+            assert!(f.layout().record_size() > 0);
+        }
+    }
+
+    #[test]
+    fn convert_shards_produces_m_by_n_outputs() {
+        let ds = dataset(600);
+        let src = MemSource::new(ds.to_sam_bytes());
+        let dir = tempdir().unwrap();
+        let conv = SamxConverter::new(ConvertConfig::with_ranks(3)); // M = N = 3
+        let prep = conv.preprocess_source(&src, &dir.path().join("shards"), "x").unwrap();
+        let report =
+            conv.convert_shards(&prep.shards, TargetFormat::Bed, dir.path().join("out")).unwrap();
+        assert_eq!(report.outputs.len(), 9, "M × N = 3 × 3 files");
+        assert_eq!(report.records_in(), 600);
+    }
+
+    #[test]
+    fn end_to_end_matches_direct_sam_conversion() {
+        let ds = dataset(500);
+        let dir = tempdir().unwrap();
+        let input = dir.path().join("in.sam");
+        ds.write_sam(&input).unwrap();
+
+        let samx = SamxConverter::new(ConvertConfig::with_ranks(2));
+        let (_prep, report) =
+            samx.convert_file(&input, TargetFormat::Fastq, dir.path().join("samx")).unwrap();
+
+        let sam = crate::sam_converter::SamConverter::new(ConvertConfig::with_ranks(2));
+        let direct = sam.convert_file(&input, TargetFormat::Fastq, dir.path().join("sam")).unwrap();
+
+        let cat = |r: &ConvertReport| {
+            let mut all = Vec::new();
+            for p in &r.outputs {
+                all.extend_from_slice(&std::fs::read(p).unwrap());
+            }
+            all
+        };
+        assert_eq!(cat(&report), cat(&direct));
+        assert!(report.preprocess_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn single_rank_degenerates_gracefully() {
+        let ds = dataset(100);
+        let src = MemSource::new(ds.to_sam_bytes());
+        let dir = tempdir().unwrap();
+        let conv = SamxConverter::new(ConvertConfig::with_ranks(1));
+        let prep = conv.preprocess_source(&src, dir.path(), "x").unwrap();
+        assert_eq!(prep.shards.len(), 1);
+        assert_eq!(prep.records(), 100);
+    }
+}

@@ -1,0 +1,131 @@
+//! Record scanning: stream a byte range of SAM text and invoke a callback
+//! per parsed record (header and blank lines skipped).
+
+use ngs_formats::error::{Error, Result};
+use ngs_formats::record::AlignmentRecord;
+use ngs_formats::sam;
+
+use crate::partition::ByteRange;
+use crate::source::ByteSource;
+
+/// Streams `[start, end)` of `source`, parsing each line as a SAM record
+/// and calling `f`. Lines starting with `@` and blank lines are skipped.
+/// Returns the number of records parsed.
+pub fn scan_records<S: ByteSource + ?Sized>(
+    source: &S,
+    range: ByteRange,
+    read_buffer: usize,
+    mut f: impl FnMut(AlignmentRecord) -> Result<()>,
+) -> Result<u64> {
+    let (start, end) = range;
+    let mut pos = start;
+    let mut carry: Vec<u8> = Vec::new();
+    let mut buf = vec![0u8; read_buffer.max(1)];
+    let mut count = 0u64;
+    let mut line_no = 0u64;
+
+    let mut handle = |line: &[u8], line_no: u64, count: &mut u64| -> Result<()> {
+        let line = if line.last() == Some(&b'\r') { &line[..line.len() - 1] } else { line };
+        if line.is_empty() || line[0] == b'@' {
+            return Ok(());
+        }
+        let rec = sam::parse_record(line, line_no).map_err(|e| {
+            Error::InvalidRecord(format!(
+                "{e} (line is relative to the partition starting at byte {start})"
+            ))
+        })?;
+        *count += 1;
+        f(rec)
+    };
+
+    while pos < end {
+        let want = buf.len().min((end - pos) as usize);
+        let n = source.read_at(pos, &mut buf[..want])?;
+        if n == 0 {
+            return Err(Error::InvalidRecord("unexpected EOF inside partition".into()));
+        }
+        pos += n as u64;
+        let mut chunk = &buf[..n];
+        if !carry.is_empty() {
+            if let Some(i) = chunk.iter().position(|&b| b == b'\n') {
+                carry.extend_from_slice(&chunk[..i]);
+                chunk = &chunk[i + 1..];
+                line_no += 1;
+                let line = std::mem::take(&mut carry);
+                handle(&line, line_no, &mut count)?;
+            } else {
+                carry.extend_from_slice(chunk);
+                continue;
+            }
+        }
+        while let Some(i) = chunk.iter().position(|&b| b == b'\n') {
+            line_no += 1;
+            handle(&chunk[..i], line_no, &mut count)?;
+            chunk = &chunk[i + 1..];
+        }
+        carry.extend_from_slice(chunk);
+    }
+    if !carry.is_empty() {
+        line_no += 1;
+        let line = std::mem::take(&mut carry);
+        handle(&line, line_no, &mut count)?;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MemSource;
+
+    #[test]
+    fn scans_all_records() {
+        let text = "@HD\tVN:1.6\nr1\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\n\nr2\t0\tchr1\t2\t60\t4M\t*\t0\t0\tACGT\tIIII\n";
+        let src = MemSource::new(text.as_bytes().to_vec());
+        let mut names = Vec::new();
+        let n = scan_records(&src, (0, src.len()), 7, |r| {
+            names.push(String::from_utf8(r.qname).unwrap());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(names, vec!["r1", "r2"]);
+    }
+
+    #[test]
+    fn respects_range() {
+        let text = "r1\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\nr2\t0\tchr1\t2\t60\t4M\t*\t0\t0\tACGT\tIIII\n";
+        let first_len = text.find("\nr2").unwrap() as u64 + 1;
+        let src = MemSource::new(text.as_bytes().to_vec());
+        let mut names = Vec::new();
+        scan_records(&src, (first_len, src.len()), 1024, |r| {
+            names.push(String::from_utf8(r.qname).unwrap());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(names, vec!["r2"]);
+    }
+
+    #[test]
+    fn propagates_parse_errors() {
+        let src = MemSource::new(b"garbage line\n".to_vec());
+        assert!(scan_records(&src, (0, src.len()), 64, |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn callback_errors_stop_scan() {
+        let text = "r1\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\n".repeat(10);
+        let src = MemSource::new(text.into_bytes());
+        let mut seen = 0;
+        let result = scan_records(&src, (0, src.len()), 4096, |_| {
+            seen += 1;
+            if seen == 3 {
+                Err(Error::InvalidRecord("stop".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(result.is_err());
+        assert_eq!(seen, 3);
+    }
+}

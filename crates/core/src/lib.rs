@@ -1,0 +1,33 @@
+//! # ngs-core
+//!
+//! The top-level facade of the scalable sequence data analysis framework
+//! reproduced from *"Removing Sequential Bottlenecks in Analysis of
+//! Next-Generation Sequencing Data"* (IPPS 2014): parallel format
+//! conversion (SAM, BAM, and preprocessing-optimized SAM instances,
+//! full and partial) plus parallel statistical analysis (NL-means
+//! denoising and FDR computation) over one [`Framework`] object.
+//!
+//! ```no_run
+//! use ngs_core::{Framework, FrameworkConfig, TargetFormat};
+//!
+//! let fw = Framework::new(FrameworkConfig::with_ranks(8));
+//! let report = fw.convert_sam("reads.sam", TargetFormat::Bed, "out/").unwrap();
+//! println!("{} records converted", report.records_out());
+//! ```
+
+pub mod framework;
+
+pub use framework::{analyze_sam, sam_header_of, AnalysisOutputs, Framework, FrameworkConfig};
+
+// Re-export the component crates so downstream users need one dependency.
+pub use ngs_bamx as bamx;
+pub use ngs_bgzf as bgzf;
+pub use ngs_cluster as cluster;
+pub use ngs_converter as converter;
+pub use ngs_formats as formats;
+pub use ngs_simgen as simgen;
+pub use ngs_stats as stats;
+
+pub use ngs_bamx::Region;
+pub use ngs_converter::{ConvertConfig, ConvertReport, TargetFormat};
+pub use ngs_stats::{CoverageHistogram, NlMeansParams, NullModel};

@@ -1,0 +1,712 @@
+//! BAM binary format: record encode/decode (SAM spec §4.2) and
+//! BGZF-wrapped file reading/writing.
+
+use std::io::{Read, Seek, Write};
+
+use ngs_bgzf::{BgzfReader, BgzfWriter, VirtualOffset};
+
+use crate::binning::reg2bin;
+use crate::cigar::{Cigar, CigarOp};
+use crate::error::{Error, Result};
+use crate::flags::Flags;
+use crate::header::{ReferenceSequence, SamHeader};
+use crate::record::AlignmentRecord;
+use crate::seq;
+use crate::tags::{Tag, TagArray, TagValue};
+
+/// BAM file magic.
+pub const MAGIC: [u8; 4] = [b'B', b'A', b'M', 1];
+
+// ---------------------------------------------------------------------------
+// Record encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes `record` into the BAM wire format (including the leading
+/// `block_size` field), appending to `out`.
+pub fn encode_record(record: &AlignmentRecord, header: &SamHeader, out: &mut Vec<u8>) -> Result<()> {
+    let body_start = out.len() + 4;
+    out.extend_from_slice(&[0u8; 4]); // placeholder for block_size
+
+    let ref_id = resolve_ref(header, &record.rname)?;
+    let pos0 = record.pos - 1; // SAM 1-based (0 = missing) → BAM 0-based (-1)
+    let next_ref_id = if record.rnext == b"=" { ref_id } else { resolve_ref(header, &record.rnext)? };
+    let next_pos0 = record.pnext - 1;
+    // BAM coordinates are i32; SAM text allows wider values. Refuse to
+    // truncate silently.
+    for (what, v) in [("POS", pos0), ("PNEXT", next_pos0), ("TLEN", record.tlen)] {
+        if v < i32::MIN as i64 || v > i32::MAX as i64 {
+            return Err(Error::InvalidBam(format!("{what} {v} unrepresentable in BAM (i32)")));
+        }
+    }
+
+    let bin = if pos0 < 0 {
+        reg2bin(-1, 0)
+    } else {
+        let span = record.cigar.reference_len().max(1) as i64;
+        reg2bin(pos0, pos0 + span)
+    };
+
+    let name_len = record.qname.len().max(1) + 1; // NUL-terminated, '*' stored literally? no: store as-is
+    if name_len > 255 {
+        return Err(Error::InvalidBam("read name longer than 254 bytes".into()));
+    }
+
+    out.extend_from_slice(&(ref_id).to_le_bytes());
+    out.extend_from_slice(&(pos0 as i32).to_le_bytes());
+    out.push(name_len as u8);
+    out.push(record.mapq);
+    out.extend_from_slice(&bin.to_le_bytes());
+    out.extend_from_slice(&(record.cigar.len() as u16).to_le_bytes());
+    out.extend_from_slice(&record.flag.0.to_le_bytes());
+    out.extend_from_slice(&(record.seq.len() as u32).to_le_bytes());
+    out.extend_from_slice(&next_ref_id.to_le_bytes());
+    out.extend_from_slice(&(next_pos0 as i32).to_le_bytes());
+    out.extend_from_slice(&(record.tlen as i32).to_le_bytes());
+
+    if record.qname.is_empty() {
+        out.push(b'*');
+    } else {
+        out.extend_from_slice(&record.qname);
+    }
+    out.push(0);
+
+    for &(len, op) in &record.cigar.0 {
+        let enc = (len << 4) | op.to_bam_code();
+        out.extend_from_slice(&enc.to_le_bytes());
+    }
+
+    out.extend_from_slice(&seq::pack(&record.seq));
+    if record.qual.is_empty() {
+        // Missing qualities are stored as 0xFF × l_seq.
+        out.extend(std::iter::repeat_n(0xFFu8, record.seq.len()));
+    } else {
+        if record.qual.len() != record.seq.len() && !record.seq.is_empty() {
+            return Err(Error::InvalidBam("SEQ and QUAL lengths differ".into()));
+        }
+        out.extend_from_slice(&record.qual);
+    }
+
+    for tag in &record.tags {
+        encode_tag(tag, out)?;
+    }
+
+    let block_size = (out.len() - body_start) as u32;
+    out[body_start - 4..body_start].copy_from_slice(&block_size.to_le_bytes());
+    Ok(())
+}
+
+fn resolve_ref(header: &SamHeader, name: &[u8]) -> Result<i32> {
+    if name == b"*" || name.is_empty() {
+        return Ok(-1);
+    }
+    header
+        .reference_id(name)
+        .map(|i| i as i32)
+        .ok_or_else(|| Error::UnknownReference(String::from_utf8_lossy(name).into_owned()))
+}
+
+fn encode_tag(tag: &Tag, out: &mut Vec<u8>) -> Result<()> {
+    out.extend_from_slice(&tag.key);
+    match &tag.value {
+        TagValue::Char(c) => {
+            out.push(b'A');
+            out.push(*c);
+        }
+        TagValue::Int(v) => {
+            let v = *v;
+            if let Ok(x) = i8::try_from(v) {
+                out.push(b'c');
+                out.push(x as u8);
+            } else if let Ok(x) = u8::try_from(v) {
+                out.push(b'C');
+                out.push(x);
+            } else if let Ok(x) = i16::try_from(v) {
+                out.push(b's');
+                out.extend_from_slice(&x.to_le_bytes());
+            } else if let Ok(x) = u16::try_from(v) {
+                out.push(b'S');
+                out.extend_from_slice(&x.to_le_bytes());
+            } else if let Ok(x) = i32::try_from(v) {
+                out.push(b'i');
+                out.extend_from_slice(&x.to_le_bytes());
+            } else if let Ok(x) = u32::try_from(v) {
+                out.push(b'I');
+                out.extend_from_slice(&x.to_le_bytes());
+            } else {
+                return Err(Error::InvalidTag(format!("integer {v} unrepresentable in BAM")));
+            }
+        }
+        TagValue::Float(f) => {
+            out.push(b'f');
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        TagValue::String(s) => {
+            out.push(b'Z');
+            out.extend_from_slice(s);
+            out.push(0);
+        }
+        TagValue::Hex(s) => {
+            out.push(b'H');
+            out.extend_from_slice(s);
+            out.push(0);
+        }
+        TagValue::Array(a) => {
+            out.push(b'B');
+            out.push(a.subtype());
+            out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+            match a {
+                TagArray::I8(v) => out.extend(v.iter().map(|&x| x as u8)),
+                TagArray::U8(v) => out.extend_from_slice(v),
+                TagArray::I16(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+                TagArray::U16(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+                TagArray::I32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+                TagArray::U32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+                TagArray::F32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Encodes a tag list into the BAM tag wire format (used verbatim by the
+/// BAMX fixed-layout records).
+pub fn encode_tags(tags: &[Tag]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    for t in tags {
+        encode_tag(t, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Decodes a BAM tag block back into a tag list.
+pub fn decode_tags(bytes: &[u8]) -> Result<Vec<Tag>> {
+    let mut c = Cursor { data: bytes, pos: 0 };
+    let mut tags = Vec::new();
+    while c.remaining() > 0 {
+        tags.push(decode_tag(&mut c)?);
+    }
+    Ok(tags)
+}
+
+// ---------------------------------------------------------------------------
+// Record decoding
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(Error::InvalidBam("record truncated".into()));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn i32(&mut self) -> Result<i32> {
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn cstr(&mut self) -> Result<&'a [u8]> {
+        let rest = &self.data[self.pos..];
+        let end = rest
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or_else(|| Error::InvalidBam("unterminated string".into()))?;
+        let s = &rest[..end];
+        self.pos += end + 1;
+        Ok(s)
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+/// Decodes one BAM record *body* (excluding the `block_size` prefix).
+pub fn decode_record(body: &[u8], header: &SamHeader) -> Result<AlignmentRecord> {
+    let mut c = Cursor { data: body, pos: 0 };
+    let ref_id = c.i32()?;
+    let pos0 = c.i32()?;
+    let l_read_name = c.u8()? as usize;
+    let mapq = c.u8()?;
+    let _bin = c.u16()?;
+    let n_cigar = c.u16()? as usize;
+    let flag = Flags(c.u16()?);
+    let l_seq = c.u32()? as usize;
+    let next_ref_id = c.i32()?;
+    let next_pos0 = c.i32()?;
+    let tlen = c.i32()?;
+
+    if l_read_name == 0 {
+        return Err(Error::InvalidBam("zero-length read name".into()));
+    }
+    let name_bytes = c.take(l_read_name)?;
+    if name_bytes[l_read_name - 1] != 0 {
+        return Err(Error::InvalidBam("read name not NUL-terminated".into()));
+    }
+    let qname = name_bytes[..l_read_name - 1].to_vec();
+
+    let mut cigar_ops = Vec::with_capacity(n_cigar);
+    for _ in 0..n_cigar {
+        let enc = c.u32()?;
+        cigar_ops.push((enc >> 4, CigarOp::from_bam_code(enc & 0xF)?));
+    }
+
+    let packed = c.take(l_seq.div_ceil(2))?;
+    let seq_bases = seq::unpack(packed, l_seq)?;
+    let qual_raw = c.take(l_seq)?;
+    let qual = if qual_raw.iter().all(|&q| q == 0xFF) { Vec::new() } else { qual_raw.to_vec() };
+
+    let mut tags = Vec::new();
+    while c.remaining() > 0 {
+        tags.push(decode_tag(&mut c)?);
+    }
+
+    let rname = match header.reference_name(ref_id) {
+        Some(n) => n.to_vec(),
+        None => b"*".to_vec(),
+    };
+    let rnext = if next_ref_id < 0 {
+        b"*".to_vec()
+    } else if next_ref_id == ref_id && ref_id >= 0 {
+        b"=".to_vec()
+    } else {
+        header
+            .reference_name(next_ref_id)
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| Error::InvalidBam(format!("next_refID {next_ref_id} out of range")))?
+    };
+
+    Ok(AlignmentRecord {
+        qname: if qname == b"*" { Vec::new() } else { qname },
+        flag,
+        rname,
+        pos: pos0 as i64 + 1,
+        mapq,
+        cigar: Cigar(cigar_ops),
+        rnext,
+        pnext: next_pos0 as i64 + 1,
+        tlen: tlen as i64,
+        seq: if seq_bases.is_empty() { Vec::new() } else { seq_bases },
+        qual,
+        tags,
+    })
+}
+
+fn decode_tag(c: &mut Cursor<'_>) -> Result<Tag> {
+    let key_bytes = c.take(2)?;
+    let key = [key_bytes[0], key_bytes[1]];
+    let type_char = c.u8()?;
+    let value = match type_char {
+        b'A' => TagValue::Char(c.u8()?),
+        b'c' => TagValue::Int(c.u8()? as i8 as i64),
+        b'C' => TagValue::Int(c.u8()? as i64),
+        b's' => TagValue::Int(c.u16()? as i16 as i64),
+        b'S' => TagValue::Int(c.u16()? as i64),
+        b'i' => TagValue::Int(c.i32()? as i64),
+        b'I' => TagValue::Int(c.u32()? as i64),
+        b'f' => TagValue::Float(c.f32()?),
+        b'Z' => TagValue::String(c.cstr()?.to_vec()),
+        b'H' => TagValue::Hex(c.cstr()?.to_vec()),
+        b'B' => {
+            let subtype = c.u8()?;
+            let n = c.u32()? as usize;
+            let arr = match subtype {
+                b'c' => TagArray::I8(c.take(n)?.iter().map(|&b| b as i8).collect()),
+                b'C' => TagArray::U8(c.take(n)?.to_vec()),
+                b's' => {
+                    let raw = c.take(n * 2)?;
+                    TagArray::I16(raw.chunks_exact(2).map(|b| i16::from_le_bytes([b[0], b[1]])).collect())
+                }
+                b'S' => {
+                    let raw = c.take(n * 2)?;
+                    TagArray::U16(raw.chunks_exact(2).map(|b| u16::from_le_bytes([b[0], b[1]])).collect())
+                }
+                b'i' => {
+                    let raw = c.take(n * 4)?;
+                    TagArray::I32(raw.chunks_exact(4).map(|b| i32::from_le_bytes([b[0], b[1], b[2], b[3]])).collect())
+                }
+                b'I' => {
+                    let raw = c.take(n * 4)?;
+                    TagArray::U32(raw.chunks_exact(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])).collect())
+                }
+                b'f' => {
+                    let raw = c.take(n * 4)?;
+                    TagArray::F32(raw.chunks_exact(4).map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])).collect())
+                }
+                other => {
+                    return Err(Error::InvalidTag(format!("unknown array subtype {other}")))
+                }
+            };
+            TagValue::Array(arr)
+        }
+        other => return Err(Error::InvalidTag(format!("unknown tag type {other}"))),
+    };
+    Ok(Tag { key, value })
+}
+
+// ---------------------------------------------------------------------------
+// File-level header encode/decode
+// ---------------------------------------------------------------------------
+
+/// Serializes the BAM file prologue (magic + header text + dictionary).
+pub fn encode_header(header: &SamHeader, out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(header.text.len() as u32).to_le_bytes());
+    out.extend_from_slice(header.text.as_bytes());
+    out.extend_from_slice(&(header.references.len() as u32).to_le_bytes());
+    for r in &header.references {
+        out.extend_from_slice(&((r.name.len() + 1) as u32).to_le_bytes());
+        out.extend_from_slice(&r.name);
+        out.push(0);
+        out.extend_from_slice(&(r.length as u32).to_le_bytes());
+    }
+}
+
+fn read_exact_into<R: Read>(r: &mut R, n: usize) -> Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Parses the BAM prologue from a decompressed stream.
+pub fn decode_header<R: Read>(r: &mut R) -> Result<SamHeader> {
+    let magic = read_exact_into(r, 4)?;
+    if magic != MAGIC {
+        return Err(Error::InvalidBam("bad BAM magic".into()));
+    }
+    let l_text = {
+        let b = read_exact_into(r, 4)?;
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize
+    };
+    let text_bytes = read_exact_into(r, l_text)?;
+    let text = String::from_utf8_lossy(&text_bytes).into_owned();
+    let n_ref = {
+        let b = read_exact_into(r, 4)?;
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize
+    };
+    let mut references = Vec::with_capacity(n_ref);
+    for _ in 0..n_ref {
+        let l_name = {
+            let b = read_exact_into(r, 4)?;
+            u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize
+        };
+        if l_name == 0 {
+            return Err(Error::InvalidBam("zero-length reference name".into()));
+        }
+        let name_bytes = read_exact_into(r, l_name)?;
+        let l_ref = {
+            let b = read_exact_into(r, 4)?;
+            u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64
+        };
+        references.push(ReferenceSequence { name: name_bytes[..l_name - 1].to_vec(), length: l_ref });
+    }
+    // Trust the binary dictionary over the text (they should agree, but the
+    // dictionary is authoritative for refID resolution).
+    let parsed = SamHeader::parse(&text).unwrap_or_default();
+    let references = if references.is_empty() { parsed.references } else { references };
+    Ok(SamHeader { text, references })
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reader / writer
+// ---------------------------------------------------------------------------
+
+/// Streaming BAM reader over a BGZF-compressed source.
+pub struct BamReader<R> {
+    inner: BgzfReader<R>,
+    header: SamHeader,
+    scratch: Vec<u8>,
+}
+
+impl<R: Read> BamReader<R> {
+    /// Opens a BAM stream and parses its header.
+    pub fn new(inner: R) -> Result<Self> {
+        let mut bgzf = BgzfReader::new(inner);
+        let header = decode_header(&mut bgzf)?;
+        Ok(BamReader { inner: bgzf, header, scratch: Vec::with_capacity(1024) })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &SamHeader {
+        &self.header
+    }
+
+    /// Reads the next record; `None` at EOF.
+    pub fn read_record(&mut self) -> Result<Option<AlignmentRecord>> {
+        let mut size_buf = [0u8; 4];
+        // Detect clean EOF: zero bytes available.
+        let mut filled = 0usize;
+        while filled < 4 {
+            let n = self.inner.read(&mut size_buf[filled..])?;
+            if n == 0 {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(Error::InvalidBam("truncated block_size".into()));
+            }
+            filled += n;
+        }
+        let block_size = u32::from_le_bytes(size_buf) as usize;
+        self.scratch.clear();
+        self.scratch.resize(block_size, 0);
+        self.inner.read_exact(&mut self.scratch)?;
+        decode_record(&self.scratch, &self.header).map(Some)
+    }
+
+    /// Iterator-style adapter.
+    pub fn records(&mut self) -> impl Iterator<Item = Result<AlignmentRecord>> + '_ {
+        std::iter::from_fn(move || self.read_record().transpose())
+    }
+
+    /// The virtual offset of the next record (valid between records).
+    pub fn virtual_position(&self) -> VirtualOffset {
+        self.inner.virtual_position()
+    }
+}
+
+impl<R: Read + Seek> BamReader<R> {
+    /// Repositions the reader so the next [`Self::read_record`] starts at
+    /// `voffset` (which must point at a record boundary, e.g. one
+    /// previously returned by [`Self::virtual_position`]).
+    pub fn seek_virtual(&mut self, voffset: VirtualOffset) -> Result<()> {
+        self.inner.seek_virtual(voffset)?;
+        Ok(())
+    }
+}
+
+/// Streaming BAM writer over a BGZF-compressed sink.
+pub struct BamWriter<W: Write> {
+    inner: BgzfWriter<W>,
+    header: SamHeader,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> BamWriter<W> {
+    /// Creates a writer and emits the BAM prologue.
+    pub fn new(inner: W, header: SamHeader) -> Result<Self> {
+        let mut bgzf = BgzfWriter::new(inner);
+        let mut prologue = Vec::new();
+        encode_header(&header, &mut prologue);
+        bgzf.write_all(&prologue)?;
+        Ok(BamWriter { inner: bgzf, header, scratch: Vec::with_capacity(1024) })
+    }
+
+    /// Writes one record.
+    pub fn write_record(&mut self, record: &AlignmentRecord) -> Result<()> {
+        self.scratch.clear();
+        encode_record(record, &self.header, &mut self.scratch)?;
+        self.inner.write_all(&self.scratch)?;
+        Ok(())
+    }
+
+    /// Finishes the BGZF stream (EOF marker) and returns the sink.
+    pub fn finish(self) -> Result<W> {
+        Ok(self.inner.finish()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sam;
+    use std::io::Cursor as IoCursor;
+
+    fn test_header() -> SamHeader {
+        SamHeader::from_references(vec![
+            ReferenceSequence { name: b"chr1".to_vec(), length: 248_956_422 },
+            ReferenceSequence { name: b"chr2".to_vec(), length: 242_193_529 },
+        ])
+    }
+
+    fn rich_record() -> AlignmentRecord {
+        let line = "read1\t99\tchr1\t12345\t60\t40M2I48M\t=\t12500\t245\tACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTAC\tIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIII\tNM:i:2\tRG:Z:grp1\tXS:f:-3.5\tXB:B:s,-5,10,300\tXT:A:U\tXH:H:1A2B";
+        sam::parse_record(line.as_bytes(), 1).unwrap()
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let header = test_header();
+        let rec = rich_record();
+        let mut buf = Vec::new();
+        encode_record(&rec, &header, &mut buf).unwrap();
+        let block_size = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        assert_eq!(block_size, buf.len() - 4);
+        let decoded = decode_record(&buf[4..], &header).unwrap();
+        assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn unmapped_record_roundtrip() {
+        let header = test_header();
+        let rec = sam::parse_record(b"u1\t4\t*\t0\t0\t*\t*\t0\t0\tACGT\tIIII", 1).unwrap();
+        let mut buf = Vec::new();
+        encode_record(&rec, &header, &mut buf).unwrap();
+        let decoded = decode_record(&buf[4..], &header).unwrap();
+        assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn missing_qual_roundtrip() {
+        let header = test_header();
+        let rec = sam::parse_record(b"q1\t0\tchr1\t100\t60\t4M\t*\t0\t0\tACGT\t*", 1).unwrap();
+        let mut buf = Vec::new();
+        encode_record(&rec, &header, &mut buf).unwrap();
+        let decoded = decode_record(&buf[4..], &header).unwrap();
+        assert!(decoded.qual.is_empty());
+        assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn mate_on_other_chromosome() {
+        let header = test_header();
+        let rec =
+            sam::parse_record(b"m1\t1\tchr1\t100\t60\t4M\tchr2\t555\t0\tACGT\tIIII", 1).unwrap();
+        let mut buf = Vec::new();
+        encode_record(&rec, &header, &mut buf).unwrap();
+        let decoded = decode_record(&buf[4..], &header).unwrap();
+        assert_eq!(decoded.rnext, b"chr2");
+        assert_eq!(decoded.pnext, 555);
+    }
+
+    #[test]
+    fn unknown_reference_rejected() {
+        let header = test_header();
+        let rec = sam::parse_record(b"r\t0\tchrZ\t1\t60\t4M\t*\t0\t0\tACGT\tIIII", 1).unwrap();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            encode_record(&rec, &header, &mut buf),
+            Err(Error::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn all_int_tag_widths_roundtrip() {
+        let header = test_header();
+        for v in [0i64, -1, 127, -128, 255, 256, -32768, 65535, 65536, -2147483648, 2147483647, 4294967295] {
+            let mut rec = rich_record();
+            rec.tags = vec![Tag::new(*b"XV", TagValue::Int(v))];
+            let mut buf = Vec::new();
+            encode_record(&rec, &header, &mut buf).unwrap();
+            let decoded = decode_record(&buf[4..], &header).unwrap();
+            assert_eq!(decoded.tag(*b"XV"), Some(&TagValue::Int(v)), "value {v}");
+        }
+        // Out of range for BAM.
+        let mut rec = rich_record();
+        rec.tags = vec![Tag::new(*b"XV", TagValue::Int(1i64 << 40))];
+        let mut buf = Vec::new();
+        assert!(encode_record(&rec, &header, &mut buf).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let header = test_header();
+        let recs: Vec<AlignmentRecord> = (0..100)
+            .map(|i| {
+                let line = format!(
+                    "read{i}\t0\tchr{}\t{}\t60\t10M\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII\tNM:i:{}",
+                    i % 2 + 1,
+                    1000 + i * 10,
+                    i % 5
+                );
+                sam::parse_record(line.as_bytes(), 1).unwrap()
+            })
+            .collect();
+
+        let mut w = BamWriter::new(Vec::new(), header.clone()).unwrap();
+        for r in &recs {
+            w.write_record(r).unwrap();
+        }
+        let file = w.finish().unwrap();
+        assert!(ngs_bgzf::reader::validate(&file).unwrap());
+
+        let mut r = BamReader::new(IoCursor::new(&file)).unwrap();
+        assert_eq!(r.header().references, header.references);
+        let decoded: Vec<_> = r.records().map(|x| x.unwrap()).collect();
+        assert_eq!(decoded, recs);
+    }
+
+    #[test]
+    fn truncated_record_detected() {
+        let header = test_header();
+        let rec = rich_record();
+        let mut buf = Vec::new();
+        encode_record(&rec, &header, &mut buf).unwrap();
+        assert!(decode_record(&buf[4..buf.len() - 3], &header).is_err());
+    }
+
+    #[test]
+    fn header_prologue_roundtrip() {
+        let header = test_header();
+        let mut buf = Vec::new();
+        encode_header(&header, &mut buf);
+        let decoded = decode_header(&mut IoCursor::new(&buf)).unwrap();
+        assert_eq!(decoded.references, header.references);
+        assert_eq!(decoded.text, header.text);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = b"SAM\x01rest".to_vec();
+        buf.resize(32, 0);
+        assert!(decode_header(&mut IoCursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn empty_bam_file() {
+        let header = test_header();
+        let w = BamWriter::new(Vec::new(), header).unwrap();
+        let file = w.finish().unwrap();
+        let mut r = BamReader::new(IoCursor::new(&file)).unwrap();
+        assert!(r.read_record().unwrap().is_none());
+    }
+}
+
+#[cfg(test)]
+mod coordinate_range_tests {
+    use super::*;
+    use crate::sam;
+
+    #[test]
+    fn positions_beyond_i32_rejected_not_truncated() {
+        let header = SamHeader::from_references(vec![ReferenceSequence {
+            name: b"big".to_vec(),
+            length: 4_000_000_000,
+        }]);
+        let rec =
+            sam::parse_record(b"r\t0\tbig\t3000000000\t60\t4M\t*\t0\t0\tACGT\tIIII", 1).unwrap();
+        let mut buf = Vec::new();
+        let err = encode_record(&rec, &header, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("unrepresentable"), "{err}");
+        // Same guard on the mate position.
+        let rec =
+            sam::parse_record(b"r\t0\tbig\t1\t60\t4M\t=\t3000000000\t0\tACGT\tIIII", 1).unwrap();
+        let mut buf = Vec::new();
+        assert!(encode_record(&rec, &header, &mut buf).is_err());
+    }
+}

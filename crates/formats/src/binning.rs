@@ -1,0 +1,136 @@
+//! The UCSC binning scheme (Kent et al. 2002) used by BAM records and
+//! BAI-style indexes: intervals are assigned to a 5-level hierarchy of
+//! bins (an R-tree flattened into integers) so that any query region
+//! overlaps at most a few dozen bins.
+
+/// Maximum position supported by the 5-level scheme (2^29).
+pub const MAX_POS: i64 = 1 << 29;
+
+/// Total number of bins (`(8^6 - 1) / 7`).
+pub const BIN_COUNT: usize = 37449;
+
+/// Computes the smallest bin containing `[beg, end)` (0-based half-open).
+///
+/// Mirrors the reference `reg2bin` from the SAM specification.
+pub fn reg2bin(beg: i64, end: i64) -> u16 {
+    let end = end - 1;
+    if beg >> 14 == end >> 14 {
+        return (4681 + (beg >> 14)) as u16; // ((1<<15)-1)/7
+    }
+    if beg >> 17 == end >> 17 {
+        return (585 + (beg >> 17)) as u16; // ((1<<12)-1)/7
+    }
+    if beg >> 20 == end >> 20 {
+        return (73 + (beg >> 20)) as u16; // ((1<<9)-1)/7
+    }
+    if beg >> 23 == end >> 23 {
+        return (9 + (beg >> 23)) as u16; // ((1<<6)-1)/7
+    }
+    if beg >> 26 == end >> 26 {
+        return (1 + (beg >> 26)) as u16; // ((1<<3)-1)/7
+    }
+    0
+}
+
+/// Lists every bin that may contain records overlapping `[beg, end)`.
+///
+/// Mirrors the reference `reg2bins` from the SAM specification.
+pub fn reg2bins(beg: i64, end: i64) -> Vec<u16> {
+    let end = end - 1;
+    let mut bins = Vec::with_capacity(32);
+    bins.push(0u16);
+    for (shift, offset) in [(26, 1u32), (23, 9), (20, 73), (17, 585), (14, 4681)] {
+        let lo = offset + (beg >> shift) as u32;
+        let hi = offset + (end >> shift) as u32;
+        for b in lo..=hi {
+            bins.push(b as u16);
+        }
+    }
+    bins
+}
+
+/// Bin level (0..=5) of a bin number, 0 being the root.
+pub fn bin_level(bin: u16) -> u32 {
+    match bin {
+        0 => 0,
+        1..=8 => 1,
+        9..=72 => 2,
+        73..=584 => 3,
+        585..=4680 => 4,
+        _ => 5,
+    }
+}
+
+/// The position span covered by a bin, `[start, end)`.
+pub fn bin_span(bin: u16) -> (i64, i64) {
+    let level = bin_level(bin);
+    let first_in_level: u16 = match level {
+        0 => 0,
+        1 => 1,
+        2 => 9,
+        3 => 73,
+        4 => 585,
+        _ => 4681,
+    };
+    let size = MAX_POS >> (3 * level);
+    let idx = (bin - first_in_level) as i64;
+    (idx * size, (idx + 1) * size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg2bin_known_values() {
+        // A small interval fully inside the first 16 kb window.
+        assert_eq!(reg2bin(0, 100), 4681);
+        // An interval spanning two 16 kb windows promotes one level.
+        assert_eq!(bin_level(reg2bin(16_000, 17_000)), 4);
+        // The whole range maps to the root.
+        assert_eq!(reg2bin(0, MAX_POS), 0);
+    }
+
+    #[test]
+    fn reg2bins_contains_reg2bin() {
+        for (beg, end) in [(0i64, 100i64), (12_345, 67_890), (1 << 20, (1 << 20) + 1), (0, MAX_POS)] {
+            let bin = reg2bin(beg, end);
+            let bins = reg2bins(beg, end);
+            assert!(bins.contains(&bin), "bins for [{beg},{end}) must contain {bin}");
+            assert!(bins.contains(&0), "root bin always overlaps");
+        }
+    }
+
+    #[test]
+    fn bin_span_contains_assigned_intervals() {
+        for (beg, end) in [(0i64, 50i64), (99_000, 99_500), (5_000_000, 5_000_090)] {
+            let bin = reg2bin(beg, end);
+            let (s, e) = bin_span(bin);
+            assert!(s <= beg && end <= e, "span ({s},{e}) must cover [{beg},{end})");
+        }
+    }
+
+    #[test]
+    fn levels_partition_bins() {
+        assert_eq!(bin_level(0), 0);
+        assert_eq!(bin_level(1), 1);
+        assert_eq!(bin_level(8), 1);
+        assert_eq!(bin_level(9), 2);
+        assert_eq!(bin_level(4681), 5);
+        assert_eq!(bin_level(37448), 5);
+    }
+
+    #[test]
+    fn disjoint_regions_in_same_window_share_bin() {
+        let a = reg2bin(100, 200);
+        let b = reg2bin(300, 400);
+        assert_eq!(a, b); // same 16 kb leaf
+    }
+
+    #[test]
+    fn reg2bins_small_region_has_six_bins() {
+        // A region inside one leaf overlaps exactly one bin per level.
+        let bins = reg2bins(1000, 2000);
+        assert_eq!(bins.len(), 6);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for format parsing and serialization.
+
+use std::fmt;
+
+/// Errors produced while reading or writing sequence data formats.
+#[derive(Debug)]
+pub enum Error {
+    /// A SAM text line violated the format.
+    InvalidSam { line: u64, msg: String },
+    /// A BAM binary structure violated the format.
+    InvalidBam(String),
+    /// A record referenced a sequence absent from the header dictionary.
+    UnknownReference(String),
+    /// A CIGAR string was malformed.
+    InvalidCigar(String),
+    /// An optional tag was malformed.
+    InvalidTag(String),
+    /// A FASTA/FASTQ/BED structure violated the format.
+    InvalidRecord(String),
+    /// The BGZF/compression layer failed.
+    Compression(ngs_bgzf::Error),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSam { line, msg } => write!(f, "invalid SAM at line {line}: {msg}"),
+            Error::InvalidBam(msg) => write!(f, "invalid BAM: {msg}"),
+            Error::UnknownReference(name) => write!(f, "unknown reference sequence: {name}"),
+            Error::InvalidCigar(msg) => write!(f, "invalid CIGAR: {msg}"),
+            Error::InvalidTag(msg) => write!(f, "invalid tag: {msg}"),
+            Error::InvalidRecord(msg) => write!(f, "invalid record: {msg}"),
+            Error::Compression(e) => write!(f, "compression error: {e}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Compression(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<ngs_bgzf::Error> for Error {
+    fn from(e: ngs_bgzf::Error) -> Self {
+        Error::Compression(e)
+    }
+}
+
+impl Error {
+    /// Helper for SAM parse errors.
+    pub fn sam(line: u64, msg: impl Into<String>) -> Self {
+        Error::InvalidSam { line, msg: msg.into() }
+    }
+}

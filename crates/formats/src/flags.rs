@@ -1,0 +1,147 @@
+//! SAM FLAG field (bitwise record properties).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// The 16-bit SAM FLAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags(pub u16);
+
+impl Flags {
+    /// Template has multiple segments (paired).
+    pub const PAIRED: Flags = Flags(0x1);
+    /// Each segment properly aligned according to the aligner.
+    pub const PROPER_PAIR: Flags = Flags(0x2);
+    /// Segment unmapped.
+    pub const UNMAPPED: Flags = Flags(0x4);
+    /// Next segment in the template unmapped.
+    pub const MATE_UNMAPPED: Flags = Flags(0x8);
+    /// SEQ is reverse complemented.
+    pub const REVERSE: Flags = Flags(0x10);
+    /// SEQ of the next segment reversed.
+    pub const MATE_REVERSE: Flags = Flags(0x20);
+    /// First segment in the template (read 1).
+    pub const FIRST_IN_PAIR: Flags = Flags(0x40);
+    /// Last segment in the template (read 2).
+    pub const SECOND_IN_PAIR: Flags = Flags(0x80);
+    /// Secondary alignment.
+    pub const SECONDARY: Flags = Flags(0x100);
+    /// Did not pass quality controls.
+    pub const QC_FAIL: Flags = Flags(0x200);
+    /// PCR or optical duplicate.
+    pub const DUPLICATE: Flags = Flags(0x400);
+    /// Supplementary alignment.
+    pub const SUPPLEMENTARY: Flags = Flags(0x800);
+
+    /// Tests whether every bit of `other` is set.
+    #[inline]
+    pub fn contains(self, other: Flags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if the record itself is unmapped.
+    #[inline]
+    pub fn is_unmapped(self) -> bool {
+        self.contains(Flags::UNMAPPED)
+    }
+
+    /// True if SEQ is stored reverse-complemented.
+    #[inline]
+    pub fn is_reverse(self) -> bool {
+        self.contains(Flags::REVERSE)
+    }
+
+    /// True for paired-end records.
+    #[inline]
+    pub fn is_paired(self) -> bool {
+        self.contains(Flags::PAIRED)
+    }
+
+    /// True for secondary or supplementary alignments.
+    #[inline]
+    pub fn is_non_primary(self) -> bool {
+        self.0 & (Flags::SECONDARY.0 | Flags::SUPPLEMENTARY.0) != 0
+    }
+
+    /// The strand symbol used by BED output.
+    #[inline]
+    pub fn strand(self) -> char {
+        if self.is_reverse() {
+            '-'
+        } else {
+            '+'
+        }
+    }
+}
+
+impl BitOr for Flags {
+    type Output = Flags;
+    fn bitor(self, rhs: Flags) -> Flags {
+        Flags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Flags {
+    fn bitor_assign(&mut self, rhs: Flags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Flags {
+    type Output = Flags;
+    fn bitand(self, rhs: Flags) -> Flags {
+        Flags(self.0 & rhs.0)
+    }
+}
+
+impl From<u16> for Flags {
+    fn from(v: u16) -> Self {
+        Flags(v)
+    }
+}
+
+impl From<Flags> for u16 {
+    fn from(f: Flags) -> Self {
+        f.0
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combination_and_contains() {
+        let f = Flags::PAIRED | Flags::PROPER_PAIR | Flags::FIRST_IN_PAIR;
+        assert_eq!(f.0, 0x43);
+        assert!(f.contains(Flags::PAIRED));
+        assert!(f.contains(Flags::PAIRED | Flags::FIRST_IN_PAIR));
+        assert!(!f.contains(Flags::REVERSE));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Flags::UNMAPPED.is_unmapped());
+        assert!(!Flags::PAIRED.is_unmapped());
+        assert!(Flags::REVERSE.is_reverse());
+        assert_eq!(Flags::REVERSE.strand(), '-');
+        assert_eq!(Flags::default().strand(), '+');
+        assert!(Flags::SECONDARY.is_non_primary());
+        assert!(Flags::SUPPLEMENTARY.is_non_primary());
+        assert!(!(Flags::PAIRED | Flags::REVERSE).is_non_primary());
+    }
+
+    #[test]
+    fn u16_roundtrip() {
+        let f: Flags = 99u16.into();
+        let v: u16 = f.into();
+        assert_eq!(v, 99);
+        assert_eq!(f.to_string(), "99");
+    }
+}

@@ -1,0 +1,151 @@
+//! SAM header model: the `@`-prefixed comment lines, including the `@SQ`
+//! reference-sequence dictionary required by BAM and region queries.
+
+use crate::error::{Error, Result};
+
+/// One reference sequence (`@SQ` line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReferenceSequence {
+    /// Sequence name (`SN`).
+    pub name: Vec<u8>,
+    /// Sequence length in bases (`LN`).
+    pub length: u64,
+}
+
+/// A parsed SAM header.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SamHeader {
+    /// Raw header text, one `@` line per entry, each newline-terminated.
+    pub text: String,
+    /// Parsed `@SQ` dictionary in file order.
+    pub references: Vec<ReferenceSequence>,
+}
+
+impl SamHeader {
+    /// An empty header.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a header from a reference dictionary, synthesizing the
+    /// `@HD`/`@SQ` text.
+    pub fn from_references(refs: Vec<ReferenceSequence>) -> Self {
+        let mut text = String::from("@HD\tVN:1.6\tSO:coordinate\n");
+        for r in &refs {
+            text.push_str(&format!("@SQ\tSN:{}\tLN:{}\n", String::from_utf8_lossy(&r.name), r.length));
+        }
+        SamHeader { text, references: refs }
+    }
+
+    /// Parses header text (every line must start with `@`).
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut references = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            if !line.starts_with('@') {
+                return Err(Error::sam(i as u64 + 1, "header line must start with '@'"));
+            }
+            if let Some(rest) = line.strip_prefix("@SQ") {
+                let mut name = None;
+                let mut length = None;
+                for field in rest.split('\t').filter(|f| !f.is_empty()) {
+                    if let Some(v) = field.strip_prefix("SN:") {
+                        name = Some(v.as_bytes().to_vec());
+                    } else if let Some(v) = field.strip_prefix("LN:") {
+                        length = Some(v.parse::<u64>().map_err(|_| {
+                            Error::sam(i as u64 + 1, format!("bad @SQ LN value {v:?}"))
+                        })?);
+                    }
+                }
+                match (name, length) {
+                    (Some(name), Some(length)) => {
+                        references.push(ReferenceSequence { name, length })
+                    }
+                    _ => return Err(Error::sam(i as u64 + 1, "@SQ requires SN and LN")),
+                }
+            }
+        }
+        // Normalize: keep the text exactly as given (plus trailing newline).
+        let mut text = text.to_string();
+        if !text.is_empty() && !text.ends_with('\n') {
+            text.push('\n');
+        }
+        Ok(SamHeader { text, references })
+    }
+
+    /// Index of a reference by name.
+    pub fn reference_id(&self, name: &[u8]) -> Option<usize> {
+        self.references.iter().position(|r| r.name == name)
+    }
+
+    /// Name of a reference by id (`-1` and out-of-range give `None`).
+    pub fn reference_name(&self, id: i32) -> Option<&[u8]> {
+        if id < 0 {
+            None
+        } else {
+            self.references.get(id as usize).map(|r| r.name.as_slice())
+        }
+    }
+
+    /// Total number of reference sequences.
+    pub fn reference_count(&self) -> usize {
+        self.references.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "@HD\tVN:1.6\tSO:coordinate\n@SQ\tSN:chr1\tLN:197195432\n@SQ\tSN:chr2\tLN:181748087\n@PG\tID:bwa\tPN:bwa\n@CO\tgenerated for tests\n";
+
+    #[test]
+    fn parse_references() {
+        let h = SamHeader::parse(SAMPLE).unwrap();
+        assert_eq!(h.reference_count(), 2);
+        assert_eq!(h.references[0].name, b"chr1");
+        assert_eq!(h.references[0].length, 197195432);
+        assert_eq!(h.reference_id(b"chr2"), Some(1));
+        assert_eq!(h.reference_id(b"chrX"), None);
+        assert_eq!(h.reference_name(0), Some(&b"chr1"[..]));
+        assert_eq!(h.reference_name(-1), None);
+        assert_eq!(h.reference_name(5), None);
+    }
+
+    #[test]
+    fn text_preserved() {
+        let h = SamHeader::parse(SAMPLE).unwrap();
+        assert_eq!(h.text, SAMPLE);
+    }
+
+    #[test]
+    fn from_references_roundtrip() {
+        let h = SamHeader::from_references(vec![
+            ReferenceSequence { name: b"chr1".to_vec(), length: 1000 },
+            ReferenceSequence { name: b"chrM".to_vec(), length: 16571 },
+        ]);
+        let reparsed = SamHeader::parse(&h.text).unwrap();
+        assert_eq!(reparsed.references, h.references);
+    }
+
+    #[test]
+    fn rejects_non_header_lines() {
+        assert!(SamHeader::parse("@HD\tVN:1.6\nread1\t0\tchr1\t1\t60\t*\t*\t0\t0\t*\t*").is_err());
+    }
+
+    #[test]
+    fn rejects_incomplete_sq() {
+        assert!(SamHeader::parse("@SQ\tSN:chr1").is_err());
+        assert!(SamHeader::parse("@SQ\tLN:100").is_err());
+        assert!(SamHeader::parse("@SQ\tSN:chr1\tLN:abc").is_err());
+    }
+
+    #[test]
+    fn empty_header_ok() {
+        let h = SamHeader::parse("").unwrap();
+        assert_eq!(h.reference_count(), 0);
+        assert!(h.text.is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! SAM text format: parsing alignment lines into [`AlignmentRecord`]s and
+//! serializing records back to text.
+
+use std::io::{BufRead, Write};
+
+use crate::cigar::{itoa_buffer, write_i64, write_u64, Cigar};
+use crate::error::{Error, Result};
+use crate::flags::Flags;
+use crate::header::SamHeader;
+use crate::record::AlignmentRecord;
+use crate::tags::Tag;
+
+/// Parses one tab-delimited SAM alignment line (no trailing newline).
+///
+/// `line_no` is used only for error reporting.
+pub fn parse_record(line: &[u8], line_no: u64) -> Result<AlignmentRecord> {
+    let mut fields = line.split(|&b| b == b'\t');
+    let mut next = |name: &'static str| {
+        fields.next().ok_or_else(|| Error::sam(line_no, format!("missing field {name}")))
+    };
+
+    let qname_field = next("QNAME")?;
+    // "*" is the reserved "unavailable" name; normalize to empty, matching
+    // the BAM decoder so records agree across formats.
+    let qname = if qname_field == b"*" { Vec::new() } else { qname_field.to_vec() };
+    let flag_text = next("FLAG")?;
+    let rname = next("RNAME")?.to_vec();
+    let pos_text = next("POS")?;
+    let mapq_text = next("MAPQ")?;
+    let cigar_text = next("CIGAR")?;
+    let rnext = next("RNEXT")?.to_vec();
+    let pnext_text = next("PNEXT")?;
+    let tlen_text = next("TLEN")?;
+    let seq_text = next("SEQ")?;
+    let qual_text = next("QUAL")?;
+
+    let flag = Flags(parse_int(flag_text, line_no, "FLAG")? as u16);
+    let pos = parse_int(pos_text, line_no, "POS")?;
+    let mapq_v = parse_int(mapq_text, line_no, "MAPQ")?;
+    if !(0..=255).contains(&mapq_v) {
+        return Err(Error::sam(line_no, "MAPQ out of range"));
+    }
+    let cigar = Cigar::parse(cigar_text)
+        .map_err(|e| Error::sam(line_no, format!("{e}")))?;
+    let pnext = parse_int(pnext_text, line_no, "PNEXT")?;
+    let tlen = parse_int(tlen_text, line_no, "TLEN")?;
+
+    let seq = if seq_text == b"*" { Vec::new() } else { seq_text.to_vec() };
+    let qual = if qual_text == b"*" {
+        Vec::new()
+    } else {
+        // SAM stores Phred+33.
+        let mut q = Vec::with_capacity(qual_text.len());
+        for &c in qual_text {
+            if c < 33 {
+                return Err(Error::sam(line_no, "QUAL character below '!'"));
+            }
+            q.push(c - 33);
+        }
+        q
+    };
+    if !seq.is_empty() && !qual.is_empty() && seq.len() != qual.len() {
+        return Err(Error::sam(line_no, "SEQ and QUAL lengths differ"));
+    }
+
+    let mut tags = Vec::new();
+    for field in fields {
+        tags.push(Tag::parse_sam(field).map_err(|e| Error::sam(line_no, format!("{e}")))?);
+    }
+
+    Ok(AlignmentRecord {
+        qname,
+        flag,
+        rname,
+        pos,
+        mapq: mapq_v as u8,
+        cigar,
+        rnext,
+        pnext,
+        tlen,
+        seq,
+        qual,
+        tags,
+    })
+}
+
+fn parse_int(text: &[u8], line_no: u64, field: &str) -> Result<i64> {
+    if text.is_empty() {
+        return Err(Error::sam(line_no, format!("empty {field}")));
+    }
+    let (neg, digits) = if text[0] == b'-' { (true, &text[1..]) } else { (false, text) };
+    if digits.is_empty() {
+        return Err(Error::sam(line_no, format!("bad integer in {field}")));
+    }
+    let mut v: i64 = 0;
+    for &c in digits {
+        if !c.is_ascii_digit() {
+            return Err(Error::sam(line_no, format!("bad integer in {field}")));
+        }
+        v = v
+            .checked_mul(10)
+            .and_then(|v| v.checked_add((c - b'0') as i64))
+            .ok_or_else(|| Error::sam(line_no, format!("integer overflow in {field}")))?;
+    }
+    Ok(if neg { -v } else { v })
+}
+
+/// Serializes `record` as one SAM line (without trailing newline) into
+/// `out`. The buffer is appended to, not cleared.
+pub fn write_record(record: &AlignmentRecord, out: &mut Vec<u8>) {
+    let mut buf = itoa_buffer();
+    let push_star_or = |out: &mut Vec<u8>, bytes: &[u8]| {
+        if bytes.is_empty() {
+            out.push(b'*');
+        } else {
+            out.extend_from_slice(bytes);
+        }
+    };
+
+    push_star_or(out, &record.qname);
+    out.push(b'\t');
+    out.extend_from_slice(write_u64(&mut buf, record.flag.0 as u64));
+    out.push(b'\t');
+    push_star_or(out, &record.rname);
+    out.push(b'\t');
+    out.extend_from_slice(write_i64(&mut buf, record.pos));
+    out.push(b'\t');
+    out.extend_from_slice(write_u64(&mut buf, record.mapq as u64));
+    out.push(b'\t');
+    record.cigar.write_sam(out);
+    out.push(b'\t');
+    push_star_or(out, &record.rnext);
+    out.push(b'\t');
+    out.extend_from_slice(write_i64(&mut buf, record.pnext));
+    out.push(b'\t');
+    out.extend_from_slice(write_i64(&mut buf, record.tlen));
+    out.push(b'\t');
+    push_star_or(out, &record.seq);
+    out.push(b'\t');
+    if record.qual.is_empty() {
+        out.push(b'*');
+    } else {
+        out.extend(record.qual.iter().map(|&q| q + 33));
+    }
+    for tag in &record.tags {
+        out.push(b'\t');
+        tag.write_sam(out);
+    }
+}
+
+/// Streaming SAM reader: consumes header lines eagerly, then yields one
+/// record per alignment line.
+pub struct SamReader<R> {
+    inner: R,
+    header: SamHeader,
+    line: Vec<u8>,
+    line_no: u64,
+}
+
+impl<R: BufRead> SamReader<R> {
+    /// Wraps `inner` and parses the header block.
+    pub fn new(mut inner: R) -> Result<Self> {
+        let mut header_text = String::new();
+        let mut line = Vec::new();
+        let mut line_no = 0u64;
+        loop {
+            let buf = inner.fill_buf()?;
+            if buf.is_empty() || buf[0] != b'@' {
+                break;
+            }
+            line.clear();
+            inner.read_until(b'\n', &mut line)?;
+            line_no += 1;
+            header_text.push_str(&String::from_utf8_lossy(&line));
+        }
+        let header = SamHeader::parse(&header_text)?;
+        Ok(SamReader { inner, header, line, line_no })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &SamHeader {
+        &self.header
+    }
+
+    /// Reads the next record; `None` at EOF.
+    pub fn read_record(&mut self) -> Result<Option<AlignmentRecord>> {
+        loop {
+            self.line.clear();
+            let n = self.inner.read_until(b'\n', &mut self.line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let mut end = self.line.len();
+            while end > 0 && (self.line[end - 1] == b'\n' || self.line[end - 1] == b'\r') {
+                end -= 1;
+            }
+            if end == 0 {
+                continue; // skip blank lines
+            }
+            return parse_record(&self.line[..end], self.line_no).map(Some);
+        }
+    }
+
+    /// Iterator-style adapter.
+    pub fn records(&mut self) -> impl Iterator<Item = Result<AlignmentRecord>> + '_ {
+        std::iter::from_fn(move || self.read_record().transpose())
+    }
+}
+
+/// Streaming SAM writer.
+pub struct SamWriter<W> {
+    inner: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> SamWriter<W> {
+    /// Wraps `inner` and writes `header` text immediately.
+    pub fn new(mut inner: W, header: &SamHeader) -> Result<Self> {
+        inner.write_all(header.text.as_bytes())?;
+        Ok(SamWriter { inner, buf: Vec::with_capacity(1024) })
+    }
+
+    /// Writes one record (newline-terminated).
+    pub fn write_record(&mut self, record: &AlignmentRecord) -> Result<()> {
+        self.buf.clear();
+        write_record(record, &mut self.buf);
+        self.buf.push(b'\n');
+        self.inner.write_all(&self.buf)?;
+        Ok(())
+    }
+
+    /// Flushes and returns the sink.
+    pub fn finish(mut self) -> Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const LINE: &str = "read1\t99\tchr1\t12345\t60\t90M\t=\t12500\t245\tACGTACGTAC\tIIIIIIIIII\tNM:i:2\tRG:Z:grp1";
+
+    #[test]
+    fn parse_and_serialize_roundtrip() {
+        let rec = parse_record(LINE.as_bytes(), 1).unwrap();
+        assert_eq!(rec.qname, b"read1");
+        assert_eq!(rec.flag.0, 99);
+        assert_eq!(rec.rname, b"chr1");
+        assert_eq!(rec.pos, 12345);
+        assert_eq!(rec.mapq, 60);
+        assert_eq!(rec.cigar.to_string(), "90M");
+        assert_eq!(rec.rnext, b"=");
+        assert_eq!(rec.pnext, 12500);
+        assert_eq!(rec.tlen, 245);
+        assert_eq!(rec.seq, b"ACGTACGTAC");
+        assert_eq!(rec.qual, vec![40; 10]); // 'I' = 73 - 33
+        assert_eq!(rec.tags.len(), 2);
+
+        let mut out = Vec::new();
+        write_record(&rec, &mut out);
+        assert_eq!(out, LINE.as_bytes());
+    }
+
+    #[test]
+    fn unmapped_record_roundtrip() {
+        let line = "read2\t4\t*\t0\t0\t*\t*\t0\t0\t*\t*";
+        let rec = parse_record(line.as_bytes(), 1).unwrap();
+        assert!(rec.is_unmapped());
+        assert!(rec.seq.is_empty());
+        assert!(rec.qual.is_empty());
+        let mut out = Vec::new();
+        write_record(&rec, &mut out);
+        assert_eq!(out, line.as_bytes());
+    }
+
+    #[test]
+    fn negative_tlen() {
+        let line = "r\t147\tchr1\t500\t60\t10M\t=\t100\t-410\tACGTACGTAC\t!!!!!!!!!!";
+        let rec = parse_record(line.as_bytes(), 1).unwrap();
+        assert_eq!(rec.tlen, -410);
+        let mut out = Vec::new();
+        write_record(&rec, &mut out);
+        assert_eq!(out, line.as_bytes());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_record(b"too\tfew\tfields", 1).is_err());
+        assert!(parse_record("r\tx\tchr1\t1\t60\t*\t*\t0\t0\t*\t*".as_bytes(), 1).is_err());
+        assert!(parse_record("r\t0\tchr1\t1\t999\t*\t*\t0\t0\t*\t*".as_bytes(), 1).is_err());
+        assert!(parse_record("r\t0\tchr1\t1\t60\t*\t*\t0\t0\tACGT\tII".as_bytes(), 1).is_err());
+    }
+
+    #[test]
+    fn reader_with_header() {
+        let text = "@HD\tVN:1.6\n@SQ\tSN:chr1\tLN:1000\nr1\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\nr2\t16\tchr1\t10\t60\t4M\t*\t0\t0\tTTTT\tIIII\n";
+        let mut reader = SamReader::new(Cursor::new(text)).unwrap();
+        assert_eq!(reader.header().reference_count(), 1);
+        let r1 = reader.read_record().unwrap().unwrap();
+        assert_eq!(r1.qname, b"r1");
+        let r2 = reader.read_record().unwrap().unwrap();
+        assert_eq!(r2.qname, b"r2");
+        assert!(r2.flag.is_reverse());
+        assert!(reader.read_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn reader_headerless() {
+        let text = "r1\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\n";
+        let mut reader = SamReader::new(Cursor::new(text)).unwrap();
+        assert_eq!(reader.header().reference_count(), 0);
+        assert!(reader.read_record().unwrap().is_some());
+    }
+
+    #[test]
+    fn reader_skips_blank_lines_and_handles_crlf() {
+        let text = "r1\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\r\n\nr2\t0\tchr1\t2\t60\t4M\t*\t0\t0\tACGT\tIIII";
+        let mut reader = SamReader::new(Cursor::new(text)).unwrap();
+        let r1 = reader.read_record().unwrap().unwrap();
+        assert_eq!(r1.qname, b"r1");
+        assert_eq!(r1.seq, b"ACGT");
+        let r2 = reader.read_record().unwrap().unwrap();
+        assert_eq!(r2.qname, b"r2");
+        assert!(reader.read_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let header = SamHeader::parse("@SQ\tSN:chr1\tLN:1000\n").unwrap();
+        let rec = parse_record(LINE.as_bytes(), 1).unwrap();
+        let mut w = SamWriter::new(Vec::new(), &header).unwrap();
+        w.write_record(&rec).unwrap();
+        let bytes = w.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("@SQ"));
+        assert!(text.ends_with(&format!("{LINE}\n")));
+
+        let mut reader = SamReader::new(Cursor::new(text)).unwrap();
+        let rec2 = reader.read_record().unwrap().unwrap();
+        assert_eq!(rec2, rec);
+    }
+
+    #[test]
+    fn records_iterator() {
+        let text = "r1\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\nr2\t0\tchr1\t2\t60\t4M\t*\t0\t0\tACGT\tIIII\n";
+        let mut reader = SamReader::new(Cursor::new(text)).unwrap();
+        let names: Vec<_> =
+            reader.records().map(|r| String::from_utf8(r.unwrap().qname).unwrap()).collect();
+        assert_eq!(names, vec!["r1", "r2"]);
+    }
+}

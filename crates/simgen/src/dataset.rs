@@ -1,0 +1,211 @@
+//! Dataset materialization: write simulated reads as SAM or BAM files of
+//! a target size or record count.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use ngs_formats::error::Result;
+use ngs_formats::record::AlignmentRecord;
+use ngs_formats::sam;
+
+use crate::reads::{ReadProfile, ReadSimulator};
+use crate::reference::Genome;
+
+/// Specification of a generated dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Genome shape: chr1 length in bases.
+    pub chr1_len: u64,
+    /// Number of chromosomes (mm9-shaped).
+    pub n_chroms: usize,
+    /// Number of alignment records (not pairs).
+    pub n_records: usize,
+    /// Read profile.
+    pub profile: ReadProfile,
+    /// Master seed.
+    pub seed: u64,
+    /// Sort records by coordinate (the paper's BAM inputs are sorted).
+    pub coordinate_sorted: bool,
+}
+
+impl Default for DatasetSpec {
+    fn default() -> Self {
+        DatasetSpec {
+            chr1_len: 2_000_000,
+            n_chroms: 3,
+            n_records: 10_000,
+            profile: ReadProfile::default(),
+            seed: 20140519, // IPPS 2014
+            coordinate_sorted: false,
+        }
+    }
+}
+
+/// A fully materialized in-memory dataset.
+pub struct Dataset {
+    /// The genome used for simulation.
+    pub genome: Genome,
+    /// All alignment records.
+    pub records: Vec<AlignmentRecord>,
+}
+
+impl Dataset {
+    /// Generates the dataset described by `spec`.
+    pub fn generate(spec: &DatasetSpec) -> Self {
+        let genome = Genome::mm9_scaled(spec.chr1_len, spec.n_chroms, spec.seed);
+        let mut sim = ReadSimulator::new(&genome, spec.profile.clone(), spec.seed ^ 0xDA7A);
+        let mut records = sim.take_records(spec.n_records);
+        if spec.coordinate_sorted {
+            let header = genome.header();
+            records.sort_by_key(|r| {
+                let tid = header
+                    .reference_id(&r.rname)
+                    .map(|i| i as i64)
+                    .unwrap_or(i64::MAX); // unmapped last
+                (tid, r.pos)
+            });
+        }
+        Dataset { genome, records }
+    }
+
+    /// The SAM header.
+    pub fn header(&self) -> ngs_formats::header::SamHeader {
+        self.genome.header()
+    }
+
+    /// Serializes to SAM text (header + records).
+    pub fn to_sam_bytes(&self) -> Vec<u8> {
+        let header = self.header();
+        let mut out = Vec::new();
+        out.extend_from_slice(header.text.as_bytes());
+        for r in &self.records {
+            sam::write_record(r, &mut out);
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Serializes to BAM bytes (BGZF-compressed).
+    pub fn to_bam_bytes(&self) -> Result<Vec<u8>> {
+        let mut w = ngs_formats::bam::BamWriter::new(Vec::new(), self.header())?;
+        for r in &self.records {
+            w.write_record(r)?;
+        }
+        w.finish()
+    }
+
+    /// Writes a SAM file.
+    pub fn write_sam(&self, path: impl AsRef<Path>) -> Result<u64> {
+        let mut f = BufWriter::new(File::create(path)?);
+        let bytes = self.to_sam_bytes();
+        f.write_all(&bytes)?;
+        f.flush()?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Writes a BAM file.
+    pub fn write_bam(&self, path: impl AsRef<Path>) -> Result<u64> {
+        let bytes = self.to_bam_bytes()?;
+        std::fs::write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+/// Generates a SAM file of approximately `target_bytes` (within one
+/// record's tolerance), returning the record count used.
+pub fn write_sam_of_size(
+    path: impl AsRef<Path>,
+    spec: &DatasetSpec,
+    target_bytes: u64,
+) -> Result<usize> {
+    // Estimate bytes/record from a small probe, then generate.
+    let probe_spec = DatasetSpec { n_records: 200.min(spec.n_records.max(2)), ..spec.clone() };
+    let probe = Dataset::generate(&probe_spec);
+    let probe_bytes = probe.to_sam_bytes().len() as u64;
+    let header_bytes = probe.header().text.len() as u64;
+    let per_record = (probe_bytes - header_bytes).max(1) / probe_spec.n_records as u64;
+    let n_records = ((target_bytes.saturating_sub(header_bytes)) / per_record.max(1)) as usize;
+    let spec = DatasetSpec { n_records: n_records.max(2), ..spec.clone() };
+    let ds = Dataset::generate(&spec);
+    ds.write_sam(path)?;
+    Ok(spec.n_records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use tempfile::tempdir;
+
+    #[test]
+    fn sam_file_parses_back() {
+        let spec = DatasetSpec { n_records: 500, ..Default::default() };
+        let ds = Dataset::generate(&spec);
+        let bytes = ds.to_sam_bytes();
+        let mut reader = sam::SamReader::new(Cursor::new(&bytes)).unwrap();
+        assert_eq!(reader.header().reference_count(), 3);
+        let records: Vec<_> = reader.records().map(|r| r.unwrap()).collect();
+        assert_eq!(records, ds.records);
+    }
+
+    #[test]
+    fn bam_file_parses_back() {
+        let spec = DatasetSpec { n_records: 300, ..Default::default() };
+        let ds = Dataset::generate(&spec);
+        let bytes = ds.to_bam_bytes().unwrap();
+        let mut reader = ngs_formats::bam::BamReader::new(Cursor::new(&bytes)).unwrap();
+        let records: Vec<_> = reader.records().map(|r| r.unwrap()).collect();
+        assert_eq!(records, ds.records);
+    }
+
+    #[test]
+    fn coordinate_sorting() {
+        let spec =
+            DatasetSpec { n_records: 400, coordinate_sorted: true, ..Default::default() };
+        let ds = Dataset::generate(&spec);
+        let header = ds.header();
+        let keys: Vec<(i64, i64)> = ds
+            .records
+            .iter()
+            .map(|r| {
+                let tid =
+                    header.reference_id(&r.rname).map(|i| i as i64).unwrap_or(i64::MAX);
+                (tid, r.pos)
+            })
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec { n_records: 100, ..Default::default() };
+        let a = Dataset::generate(&spec);
+        let b = Dataset::generate(&spec);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn sized_sam_close_to_target() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("sized.sam");
+        let spec = DatasetSpec::default();
+        let target = 512 * 1024;
+        write_sam_of_size(&path, &spec, target).unwrap();
+        let actual = std::fs::metadata(&path).unwrap().len();
+        let ratio = actual as f64 / target as f64;
+        assert!((0.8..1.2).contains(&ratio), "actual {actual} vs target {target}");
+    }
+
+    #[test]
+    fn files_written_to_disk() {
+        let dir = tempdir().unwrap();
+        let spec = DatasetSpec { n_records: 100, ..Default::default() };
+        let ds = Dataset::generate(&spec);
+        let sam_len = ds.write_sam(dir.path().join("d.sam")).unwrap();
+        let bam_len = ds.write_bam(dir.path().join("d.bam")).unwrap();
+        assert_eq!(std::fs::metadata(dir.path().join("d.sam")).unwrap().len(), sam_len);
+        assert_eq!(std::fs::metadata(dir.path().join("d.bam")).unwrap().len(), bam_len);
+        assert!(bam_len < sam_len, "BAM must compress smaller than SAM text");
+    }
+}

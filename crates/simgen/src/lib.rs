@@ -1,0 +1,29 @@
+//! # ngs-simgen
+//!
+//! Deterministic synthetic NGS dataset generation, substituting for the
+//! paper's proprietary 37–117 GB mouse WGS data (Illumina HiSeq 2000,
+//! 90 bp paired-end, BWA-aligned to mm9):
+//!
+//! * [`rng`] — from-scratch xoshiro256++ so datasets are bit-for-bit
+//!   reproducible;
+//! * [`mod@reference`] — mm9-shaped synthetic genomes with position-keyed
+//!   base synthesis (no whole-chromosome materialization);
+//! * [`reads`] — paired-end read simulation (errors, indels, soft clips,
+//!   HiSeq-like quality decay, NM/RG/AS tags);
+//! * [`dataset`] — SAM/BAM dataset writers with target sizes and
+//!   coordinate sorting.
+//!
+//! The converter and statistics experiments are throughput-bound on
+//! record count and field sizes, not biological content, so these
+//! datasets preserve every performance-relevant property of the paper's
+//! inputs (see DESIGN.md §2).
+
+pub mod dataset;
+pub mod reads;
+pub mod reference;
+pub mod rng;
+
+pub use dataset::{write_sam_of_size, Dataset, DatasetSpec};
+pub use reads::{ReadProfile, ReadSimulator};
+pub use reference::Genome;
+pub use rng::Rng;

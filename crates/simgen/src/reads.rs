@@ -1,0 +1,328 @@
+//! Paired-end read simulation: Illumina-HiSeq-shaped 90 bp pairs with
+//! base errors, occasional indels, Phred quality profiles, and the common
+//! optional tags — the statistical shape of the paper's mouse WGS data.
+
+use ngs_formats::cigar::{Cigar, CigarOp};
+use ngs_formats::flags::Flags;
+use ngs_formats::record::AlignmentRecord;
+use ngs_formats::seq::reverse_complement;
+use ngs_formats::tags::{Tag, TagValue};
+
+use crate::reference::Genome;
+use crate::rng::Rng;
+
+/// Read-simulation parameters (defaults mirror the paper's dataset:
+/// Illumina HiSeq 2000, paired-end, 90 bp).
+#[derive(Debug, Clone)]
+pub struct ReadProfile {
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Mean outer distance between mates.
+    pub mean_insert: f64,
+    /// Standard deviation of the insert size.
+    pub insert_sd: f64,
+    /// Per-base substitution error probability.
+    pub error_rate: f64,
+    /// Probability a read carries an indel (1–3 bp).
+    pub indel_rate: f64,
+    /// Probability a read is soft-clipped at one end.
+    pub softclip_rate: f64,
+    /// Fraction of reads left unmapped.
+    pub unmapped_rate: f64,
+    /// Read-group name written in the `RG` tag.
+    pub read_group: String,
+}
+
+impl Default for ReadProfile {
+    fn default() -> Self {
+        ReadProfile {
+            read_len: 90,
+            mean_insert: 300.0,
+            insert_sd: 30.0,
+            error_rate: 0.005,
+            indel_rate: 0.02,
+            softclip_rate: 0.03,
+            unmapped_rate: 0.01,
+            read_group: "sim1".to_string(),
+        }
+    }
+}
+
+/// Simulates paired-end reads over a genome.
+pub struct ReadSimulator<'g> {
+    genome: &'g Genome,
+    profile: ReadProfile,
+    rng: Rng,
+    next_pair: u64,
+}
+
+impl<'g> ReadSimulator<'g> {
+    /// Creates a simulator with its own RNG stream.
+    pub fn new(genome: &'g Genome, profile: ReadProfile, seed: u64) -> Self {
+        ReadSimulator { genome, profile, rng: Rng::seed_from_u64(seed), next_pair: 0 }
+    }
+
+    /// Generates the next read *pair* (two records).
+    pub fn next_pair(&mut self) -> [AlignmentRecord; 2] {
+        let pair_id = self.next_pair;
+        self.next_pair += 1;
+        let qname = format!("sim.{:09}", pair_id).into_bytes();
+
+        if self.rng.chance(self.profile.unmapped_rate) {
+            return self.unmapped_pair(qname);
+        }
+
+        let rl = self.profile.read_len as u64;
+        let insert = (self.profile.mean_insert + self.profile.insert_sd * self.rng.normal())
+            .max(rl as f64 * 1.1) as u64;
+        let (chrom, start1) = self.genome.sample_position(&mut self.rng, insert.max(rl));
+        let start2 = (start1 + insert).saturating_sub(rl);
+        let chrom_name = self.genome.references[chrom].name.clone();
+        let chrom_len = self.genome.references[chrom].length;
+        let start2 = start2.min(chrom_len.saturating_sub(rl));
+
+        let mut r1 = self.mapped_read(&qname, chrom, &chrom_name, start1);
+        let mut r2 = self.mapped_read(&qname, chrom, &chrom_name, start2);
+
+        // Pair bookkeeping: forward/reverse, mate fields, TLEN.
+        r1.flag |= Flags::PAIRED | Flags::PROPER_PAIR | Flags::FIRST_IN_PAIR | Flags::MATE_REVERSE;
+        r2.flag |= Flags::PAIRED | Flags::PROPER_PAIR | Flags::SECOND_IN_PAIR | Flags::REVERSE;
+        r2.seq = reverse_complement(&r2.seq);
+        r2.qual.reverse();
+        r1.rnext = b"=".to_vec();
+        r2.rnext = b"=".to_vec();
+        r1.pnext = r2.pos;
+        r2.pnext = r1.pos;
+        let tlen = (r2.end0().unwrap_or(r2.pos) - r1.start0().unwrap_or(0)).max(0);
+        r1.tlen = tlen;
+        r2.tlen = -tlen;
+        [r1, r2]
+    }
+
+    /// Generates `n` single records (pairs flattened in order).
+    pub fn take_records(&mut self, n: usize) -> Vec<AlignmentRecord> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let [a, b] = self.next_pair();
+            out.push(a);
+            if out.len() < n {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    fn unmapped_pair(&mut self, qname: Vec<u8>) -> [AlignmentRecord; 2] {
+        let mk = |rng: &mut Rng, read_len: usize, flag_extra: Flags, qname: &[u8]| {
+            let seq: Vec<u8> =
+                (0..read_len).map(|_| *rng.pick(b"ACGT")).collect();
+            let qual: Vec<u8> = (0..read_len).map(|_| rng.range_u64(2, 35) as u8).collect();
+            AlignmentRecord {
+                qname: qname.to_vec(),
+                flag: Flags::PAIRED | Flags::UNMAPPED | Flags::MATE_UNMAPPED | flag_extra,
+                rname: b"*".to_vec(),
+                pos: 0,
+                mapq: 0,
+                cigar: Cigar::empty(),
+                rnext: b"*".to_vec(),
+                pnext: 0,
+                tlen: 0,
+                seq,
+                qual,
+                tags: Vec::new(),
+            }
+        };
+        let r1 = mk(&mut self.rng, self.profile.read_len, Flags::FIRST_IN_PAIR, &qname);
+        let r2 = mk(&mut self.rng, self.profile.read_len, Flags::SECOND_IN_PAIR, &qname);
+        [r1, r2]
+    }
+
+    fn mapped_read(
+        &mut self,
+        qname: &[u8],
+        chrom: usize,
+        chrom_name: &[u8],
+        pos0: u64,
+    ) -> AlignmentRecord {
+        let rl = self.profile.read_len;
+        let mut seq = self.genome.bases(chrom, pos0, rl);
+        let mut nm = 0i64;
+
+        // Substitution errors.
+        for b in seq.iter_mut() {
+            if self.rng.chance(self.profile.error_rate) {
+                let orig = *b;
+                loop {
+                    let cand = *self.rng.pick(b"ACGT");
+                    if cand != orig {
+                        *b = cand;
+                        break;
+                    }
+                }
+                nm += 1;
+            }
+        }
+
+        // CIGAR synthesis: mostly 90M, sometimes with an indel or clip.
+        let cigar = if self.rng.chance(self.profile.indel_rate) && rl > 20 {
+            let ind_len = self.rng.range_u64(1, 4) as u32;
+            let split = self.rng.range_u64(5, rl as u64 - 5) as u32;
+            nm += ind_len as i64;
+            if self.rng.chance(0.5) {
+                // Insertion: read has extra bases vs reference.
+                let right = rl as u32 - split - ind_len.min(rl as u32 - split - 1);
+                let mid = rl as u32 - split - right;
+                Cigar(vec![
+                    (split, CigarOp::Match),
+                    (mid, CigarOp::Insertion),
+                    (right, CigarOp::Match),
+                ])
+            } else {
+                Cigar(vec![
+                    (split, CigarOp::Match),
+                    (ind_len, CigarOp::Deletion),
+                    (rl as u32 - split, CigarOp::Match),
+                ])
+            }
+        } else if self.rng.chance(self.profile.softclip_rate) && rl > 20 {
+            let clip = self.rng.range_u64(2, 12) as u32;
+            Cigar(vec![(clip, CigarOp::SoftClip), (rl as u32 - clip, CigarOp::Match)])
+        } else {
+            Cigar(vec![(rl as u32, CigarOp::Match)])
+        };
+
+        // HiSeq-like quality profile: high plateau, sagging tail.
+        let mut qual = Vec::with_capacity(rl);
+        for i in 0..rl {
+            let base_q = 37.0 - 12.0 * (i as f64 / rl as f64).powi(2);
+            let q = (base_q + 2.5 * self.rng.normal()).clamp(2.0, 41.0);
+            qual.push(q as u8);
+        }
+
+        let mapq = if self.rng.chance(0.05) {
+            self.rng.range_u64(0, 30) as u8
+        } else {
+            self.rng.range_u64(40, 61) as u8
+        };
+
+        let tags = vec![
+            Tag::new(*b"NM", TagValue::Int(nm)),
+            Tag::new(*b"RG", TagValue::String(self.profile.read_group.clone().into_bytes())),
+            Tag::new(*b"AS", TagValue::Int((rl as i64 - 2 * nm).max(0))),
+        ];
+
+        AlignmentRecord {
+            qname: qname.to_vec(),
+            flag: Flags::default(),
+            rname: chrom_name.to_vec(),
+            pos: pos0 as i64 + 1,
+            mapq,
+            cigar,
+            rnext: b"*".to_vec(),
+            pnext: 0,
+            tlen: 0,
+            seq,
+            qual,
+            tags,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn genome() -> Genome {
+        Genome::mm9_scaled(200_000, 3, 42)
+    }
+
+    #[test]
+    fn pairs_share_name_and_flags() {
+        let g = genome();
+        let mut sim = ReadSimulator::new(&g, ReadProfile::default(), 1);
+        for _ in 0..50 {
+            let [r1, r2] = sim.next_pair();
+            assert_eq!(r1.qname, r2.qname);
+            assert!(r1.flag.is_paired() && r2.flag.is_paired());
+            if !r1.is_unmapped() {
+                assert!(r1.flag.contains(Flags::FIRST_IN_PAIR));
+                assert!(r2.flag.contains(Flags::SECOND_IN_PAIR));
+                assert!(r2.flag.is_reverse());
+                assert_eq!(r1.pnext, r2.pos);
+                assert_eq!(r1.tlen, -r2.tlen);
+            }
+        }
+    }
+
+    #[test]
+    fn reads_have_profile_length() {
+        let g = genome();
+        let mut sim = ReadSimulator::new(&g, ReadProfile::default(), 2);
+        for rec in sim.take_records(200) {
+            assert_eq!(rec.seq.len(), 90);
+            assert_eq!(rec.qual.len(), 90);
+            if !rec.is_unmapped() {
+                assert_eq!(rec.cigar.query_len(), 90);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = genome();
+        let a = ReadSimulator::new(&g, ReadProfile::default(), 7).take_records(100);
+        let b = ReadSimulator::new(&g, ReadProfile::default(), 7).take_records(100);
+        assert_eq!(a, b);
+        let c = ReadSimulator::new(&g, ReadProfile::default(), 8).take_records(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unmapped_fraction_reasonable() {
+        let g = genome();
+        let profile = ReadProfile { unmapped_rate: 0.2, ..Default::default() };
+        let mut sim = ReadSimulator::new(&g, profile, 3);
+        let records = sim.take_records(2000);
+        let unmapped = records.iter().filter(|r| r.is_unmapped()).count();
+        // 20% of pairs → ~400 of 2000, generous tolerance.
+        assert!((200..700).contains(&unmapped), "unmapped {unmapped}");
+    }
+
+    #[test]
+    fn mapped_reads_respect_chromosome_bounds() {
+        let g = genome();
+        let mut sim = ReadSimulator::new(&g, ReadProfile::default(), 4);
+        for rec in sim.take_records(500) {
+            if let (Some(_), Some(end)) = (rec.start0(), rec.end0()) {
+                let chrom = g.references.iter().find(|r| r.name == rec.rname).unwrap();
+                assert!(end as u64 <= chrom.length + 12, "read end {end} beyond {}", chrom.length);
+            }
+        }
+    }
+
+    #[test]
+    fn nm_tag_present_on_mapped() {
+        let g = genome();
+        let mut sim = ReadSimulator::new(&g, ReadProfile::default(), 5);
+        let recs = sim.take_records(100);
+        for r in recs.iter().filter(|r| !r.is_unmapped()) {
+            assert!(matches!(r.tag(*b"NM"), Some(TagValue::Int(_))));
+            assert!(matches!(r.tag(*b"RG"), Some(TagValue::String(_))));
+        }
+    }
+
+    #[test]
+    fn bam_encodable() {
+        // Every simulated record must survive the BAM codec.
+        let g = genome();
+        let header = g.header();
+        let mut sim = ReadSimulator::new(&g, ReadProfile::default(), 6);
+        let mut buf = Vec::new();
+        for rec in sim.take_records(300) {
+            buf.clear();
+            ngs_formats::bam::encode_record(&rec, &header, &mut buf).unwrap();
+            let back = ngs_formats::bam::decode_record(&buf[4..], &header).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+}

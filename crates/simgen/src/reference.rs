@@ -1,0 +1,183 @@
+//! Synthetic reference genomes.
+//!
+//! Substitutes for the mouse reference (mm9) the paper aligned against:
+//! a deterministic, mm9-*shaped* chromosome table (scaled lengths, same
+//! naming) plus base-level sequence synthesis when FASTA output is
+//! needed.
+
+use ngs_formats::header::{ReferenceSequence, SamHeader};
+
+use crate::rng::Rng;
+
+/// A synthetic genome: named chromosomes with deterministic sequences.
+#[derive(Debug, Clone)]
+pub struct Genome {
+    /// Chromosome dictionary in file order.
+    pub references: Vec<ReferenceSequence>,
+    /// Seed from which chromosome sequences are derived.
+    pub seed: u64,
+}
+
+/// Relative chromosome sizes of mm9 (chr1..chr19, chrX, chrY), used to
+/// shape scaled-down genomes.
+const MM9_PROPORTIONS: [(&str, f64); 21] = [
+    ("chr1", 1.000), ("chr2", 0.920), ("chr3", 0.810), ("chr4", 0.789),
+    ("chr5", 0.769), ("chr6", 0.757), ("chr7", 0.773), ("chr8", 0.665),
+    ("chr9", 0.631), ("chr10", 0.661), ("chr11", 0.622), ("chr12", 0.614),
+    ("chr13", 0.610), ("chr14", 0.633), ("chr15", 0.527), ("chr16", 0.497),
+    ("chr17", 0.483), ("chr18", 0.461), ("chr19", 0.311), ("chrX", 0.846),
+    ("chrY", 0.081),
+];
+
+impl Genome {
+    /// Builds an mm9-shaped genome whose largest chromosome has
+    /// `chr1_len` bases and which contains the first `n_chroms`
+    /// chromosomes of the mm9 table.
+    pub fn mm9_scaled(chr1_len: u64, n_chroms: usize, seed: u64) -> Self {
+        let n = n_chroms.clamp(1, MM9_PROPORTIONS.len());
+        let references = MM9_PROPORTIONS[..n]
+            .iter()
+            .map(|&(name, frac)| ReferenceSequence {
+                name: name.as_bytes().to_vec(),
+                length: ((chr1_len as f64 * frac) as u64).max(1_000),
+            })
+            .collect();
+        Genome { references, seed }
+    }
+
+    /// A single-chromosome genome (the paper's chr1-restricted datasets).
+    pub fn single(name: &str, length: u64, seed: u64) -> Self {
+        Genome {
+            references: vec![ReferenceSequence { name: name.as_bytes().to_vec(), length }],
+            seed,
+        }
+    }
+
+    /// The SAM header for this genome.
+    pub fn header(&self) -> SamHeader {
+        SamHeader::from_references(self.references.clone())
+    }
+
+    /// Total genome length.
+    pub fn total_len(&self) -> u64 {
+        self.references.iter().map(|r| r.length).sum()
+    }
+
+    /// Deterministically synthesizes `len` reference bases starting at
+    /// 0-based `pos` on chromosome `chrom_idx`. The same coordinates
+    /// always yield the same bases, without materializing whole
+    /// chromosomes.
+    pub fn bases(&self, chrom_idx: usize, pos: u64, len: usize) -> Vec<u8> {
+        const ALPHABET: [u8; 4] = [b'A', b'C', b'G', b'T'];
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len as u64 {
+            // Position-keyed hash → base. splitmix-style mixing keeps
+            // neighbouring positions decorrelated.
+            let mut key = self
+                .seed
+                .wrapping_add((chrom_idx as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F))
+                .wrapping_add((pos + i).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+            key = (key ^ (key >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            key = (key ^ (key >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            key ^= key >> 31;
+            out.push(ALPHABET[(key & 3) as usize]);
+        }
+        out
+    }
+
+    /// Writes the genome as FASTA (wrapped at 70 columns).
+    pub fn to_fasta(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (idx, r) in self.references.iter().enumerate() {
+            let seq = self.bases(idx, 0, r.length as usize);
+            ngs_formats::fasta::write_sequence(&r.name, &seq, 70, &mut out);
+        }
+        out
+    }
+
+    /// Samples a random mapped position able to hold a read of
+    /// `read_len`, returning `(chrom_idx, pos0)`. Longer chromosomes are
+    /// proportionally likelier, matching uniform whole-genome coverage.
+    pub fn sample_position(&self, rng: &mut Rng, read_len: u64) -> (usize, u64) {
+        let eligible: Vec<u64> =
+            self.references.iter().map(|r| r.length.saturating_sub(read_len)).collect();
+        let total: u64 = eligible.iter().sum();
+        assert!(total > 0, "genome too small for read length {read_len}");
+        let mut target = rng.next_below(total);
+        for (idx, &span) in eligible.iter().enumerate() {
+            if target < span {
+                return (idx, target);
+            }
+            target -= span;
+        }
+        unreachable!("target within total span")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm9_shape() {
+        let g = Genome::mm9_scaled(1_000_000, 21, 1);
+        assert_eq!(g.references.len(), 21);
+        assert_eq!(g.references[0].name, b"chr1");
+        assert_eq!(g.references[0].length, 1_000_000);
+        assert!(g.references[20].length < g.references[0].length / 10); // chrY tiny
+        assert!(g.header().text.contains("@SQ\tSN:chr1\tLN:1000000"));
+    }
+
+    #[test]
+    fn bases_deterministic_and_consistent_across_windows() {
+        let g = Genome::single("chr1", 10_000, 7);
+        let a = g.bases(0, 100, 50);
+        let b = g.bases(0, 100, 50);
+        assert_eq!(a, b);
+        // Overlapping windows agree on shared positions.
+        let c = g.bases(0, 120, 50);
+        assert_eq!(&a[20..], &c[..30]);
+        // Different seeds differ.
+        let g2 = Genome::single("chr1", 10_000, 8);
+        assert_ne!(g.bases(0, 0, 100), g2.bases(0, 0, 100));
+    }
+
+    #[test]
+    fn bases_are_nucleotides() {
+        let g = Genome::single("chr1", 1000, 3);
+        assert!(g.bases(0, 0, 1000).iter().all(|b| b"ACGT".contains(b)));
+    }
+
+    #[test]
+    fn fasta_roundtrip() {
+        let g = Genome::mm9_scaled(5_000, 2, 9);
+        let fasta = g.to_fasta();
+        let mut reader = ngs_formats::fasta::FastaReader::new(std::io::Cursor::new(&fasta));
+        let e1 = reader.read_entry().unwrap().unwrap();
+        assert_eq!(e1.name, b"chr1");
+        assert_eq!(e1.seq.len(), 5_000);
+        assert_eq!(e1.seq, g.bases(0, 0, 5_000));
+    }
+
+    #[test]
+    fn sample_position_fits_reads() {
+        let g = Genome::mm9_scaled(100_000, 3, 5);
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let (chrom, pos) = g.sample_position(&mut rng, 90);
+            assert!(pos + 90 <= g.references[chrom].length);
+        }
+    }
+
+    #[test]
+    fn sample_position_covers_chromosomes() {
+        let g = Genome::mm9_scaled(50_000, 4, 5);
+        let mut rng = Rng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..2000 {
+            let (chrom, _) = g.sample_position(&mut rng, 90);
+            seen[chrom] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

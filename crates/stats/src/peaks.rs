@@ -1,0 +1,214 @@
+//! Enriched-region ("peak") selection — the downstream purpose of the
+//! paper's statistical module: Han et al.'s pipeline denoises the
+//! histogram, chooses a threshold by FDR, then reports the regions whose
+//! bins clear it.
+
+use ngs_formats::bed::BedRecord;
+
+use crate::fdr::{fdr_fused, FdrInput};
+use crate::histogram::CoverageHistogram;
+
+/// One enriched region in bin space plus summary stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Peak {
+    /// Chromosome name.
+    pub chrom: Vec<u8>,
+    /// 0-based start (bp).
+    pub start: i64,
+    /// 0-based exclusive end (bp).
+    pub end: i64,
+    /// Highest bin value inside the peak.
+    pub summit_value: f64,
+    /// Number of bins merged into this peak.
+    pub bins: usize,
+}
+
+impl Peak {
+    /// The peak as a BED6 record (score = summit, capped at 1000).
+    pub fn to_bed(&self) -> BedRecord {
+        BedRecord {
+            chrom: self.chrom.clone(),
+            start: self.start,
+            end: self.end,
+            name: b"peak".to_vec(),
+            score: (self.summit_value.round() as i64).clamp(0, 1000),
+            strand: b'.',
+        }
+    }
+}
+
+/// Selects the bins whose `p_i` (Eq. 4) clears `p_t`, i.e. bins where at
+/// most `p_t` simulation rounds matched or exceeded the observation.
+pub fn select_bins(input: &FdrInput, p_t: f64) -> Vec<bool> {
+    (0..input.bins())
+        .map(|i| {
+            let p_i = input
+                .simulations
+                .iter()
+                .filter(|sim| input.observed[i] <= sim[i])
+                .count() as f64;
+            p_i <= p_t
+        })
+        .collect()
+}
+
+/// Picks the loosest threshold in `candidates` whose estimated FDR stays
+/// at or below `target_fdr`; `None` if none qualifies.
+pub fn pick_threshold(input: &FdrInput, candidates: &[f64], target_fdr: f64) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for &t in candidates {
+        let fdr = fdr_fused(input, t);
+        if fdr.is_finite() && fdr <= target_fdr {
+            best = Some(best.map_or(t, |b: f64| b.max(t)));
+        }
+    }
+    best
+}
+
+/// Merges selected bins of a histogram into peaks, bridging gaps of up to
+/// `max_gap` unselected bins (Han et al. merge nearby enriched windows).
+pub fn call_peaks(
+    histogram: &CoverageHistogram,
+    selected: &[bool],
+    max_gap: usize,
+) -> Vec<Peak> {
+    assert_eq!(selected.len(), histogram.len());
+    let bin = histogram.bin_size as i64;
+    let mut peaks = Vec::new();
+    for (chrom, first_bin, n_bins) in &histogram.chroms {
+        let mut i = 0usize;
+        while i < *n_bins {
+            if !selected[first_bin + i] {
+                i += 1;
+                continue;
+            }
+            // Extend the run, bridging small gaps.
+            let run_start = i;
+            let mut run_end = i + 1; // exclusive, in chromosome-local bins
+            let mut gap = 0usize;
+            let mut j = i + 1;
+            while j < *n_bins {
+                if selected[first_bin + j] {
+                    run_end = j + 1;
+                    gap = 0;
+                } else {
+                    gap += 1;
+                    if gap > max_gap {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let slice = &histogram.bins[first_bin + run_start..first_bin + run_end];
+            let summit = slice.iter().cloned().fold(f64::MIN, f64::max);
+            peaks.push(Peak {
+                chrom: chrom.clone(),
+                start: run_start as i64 * bin,
+                end: run_end as i64 * bin,
+                summit_value: summit,
+                bins: run_end - run_start,
+            });
+            i = run_end + gap;
+        }
+    }
+    peaks
+}
+
+/// Full pipeline step: select bins at `p_t`, merge into peaks, return
+/// them as BED text.
+pub fn peaks_to_bed(
+    histogram: &CoverageHistogram,
+    input: &FdrInput,
+    p_t: f64,
+    max_gap: usize,
+) -> Vec<u8> {
+    let selected = select_bins(input, p_t);
+    let peaks = call_peaks(histogram, &selected, max_gap);
+    let mut out = Vec::new();
+    for p in &peaks {
+        ngs_formats::bed::write_record(&p.to_bed(), &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{build_fdr_input, NullModel};
+    use ngs_formats::header::{ReferenceSequence, SamHeader};
+
+    fn histogram_with_peaks() -> CoverageHistogram {
+        let header = SamHeader::from_references(vec![ReferenceSequence {
+            name: b"chr1".to_vec(),
+            length: 25 * 1000,
+        }]);
+        let mut h = CoverageHistogram::new(&header, 25);
+        for (i, v) in h.bins.iter_mut().enumerate() {
+            *v = if (100..110).contains(&i) || (500..520).contains(&i) { 50.0 } else { 2.0 };
+        }
+        h
+    }
+
+    #[test]
+    fn peaks_found_at_enriched_bins() {
+        let h = histogram_with_peaks();
+        let input = build_fdr_input(h.bins.clone(), 20, NullModel::Poisson, 1);
+        let selected = select_bins(&input, 0.0);
+        let peaks = call_peaks(&h, &selected, 1);
+        assert_eq!(peaks.len(), 2, "{peaks:?}");
+        assert_eq!(peaks[0].start, 100 * 25);
+        assert_eq!(peaks[0].end, 110 * 25);
+        assert_eq!(peaks[1].start, 500 * 25);
+        assert!((peaks[0].summit_value - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_bridging_merges_split_runs() {
+        let h = histogram_with_peaks();
+        let mut selected = vec![false; h.len()];
+        selected[100..105].fill(true);
+        selected[107..110].fill(true); // 2-bin gap
+
+        let no_bridge = call_peaks(&h, &selected, 0);
+        assert_eq!(no_bridge.len(), 2);
+        let bridged = call_peaks(&h, &selected, 2);
+        assert_eq!(bridged.len(), 1);
+        assert_eq!(bridged[0].start, 100 * 25);
+        assert_eq!(bridged[0].end, 110 * 25);
+    }
+
+    #[test]
+    fn threshold_picking() {
+        let h = histogram_with_peaks();
+        let input = build_fdr_input(h.bins.clone(), 20, NullModel::Poisson, 2);
+        // p_t = 0 selects only bins never reached by simulation: the
+        // spikes. Its FDR is tiny, so it must qualify at target 0.1.
+        let picked = pick_threshold(&input, &[0.0, 1.0, 2.0], 0.1);
+        assert!(picked.is_some());
+        let selected = select_bins(&input, picked.unwrap());
+        let n_selected = selected.iter().filter(|&&s| s).count();
+        assert!((20..=60).contains(&n_selected), "selected {n_selected}");
+    }
+
+    #[test]
+    fn bed_output_parses() {
+        let h = histogram_with_peaks();
+        let input = build_fdr_input(h.bins.clone(), 10, NullModel::Poisson, 3);
+        let bed = peaks_to_bed(&h, &input, 0.0, 1);
+        let mut count = 0;
+        for line in bed.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            let rec = ngs_formats::bed::parse_record(line).unwrap();
+            assert_eq!(rec.chrom, b"chr1");
+            assert!(rec.score > 0);
+            count += 1;
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn empty_selection_no_peaks() {
+        let h = histogram_with_peaks();
+        let selected = vec![false; h.len()];
+        assert!(call_peaks(&h, &selected, 3).is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Simulated-cluster execution of the statistics kernels (see
+//! `ngs-converter`'s `simulate` module for the rationale): each rank's
+//! compute loop runs alone and is timed; the parallel makespan is
+//! `max(rank durations)` plus the (measured) reduction cost.
+
+use std::time::{Duration, Instant};
+
+use crate::fdr::FdrInput;
+use crate::nlmeans::NlMeansParams;
+
+/// Per-run timing of a simulated parallel execution.
+#[derive(Debug, Clone)]
+pub struct SimTiming {
+    /// Per-rank compute durations.
+    pub rank_times: Vec<Duration>,
+    /// Serial overhead outside rank loops (reductions, stitching).
+    pub serial_time: Duration,
+}
+
+impl SimTiming {
+    /// Simulated parallel makespan.
+    pub fn makespan(&self) -> Duration {
+        self.rank_times.iter().max().copied().unwrap_or_default() + self.serial_time
+    }
+
+    /// Sum of rank work (≈ the 1-rank time, used for speedup checks).
+    pub fn total_work(&self) -> Duration {
+        self.rank_times.iter().sum::<Duration>() + self.serial_time
+    }
+}
+
+/// Simulated parallel NL-means: identical output to
+/// [`crate::nlmeans::nlmeans_sequential`], with per-rank timing over
+/// halo-extended chunks.
+pub fn nlmeans_simulated(
+    data: &[f64],
+    params: &NlMeansParams,
+    ranks: usize,
+) -> (Vec<f64>, SimTiming) {
+    assert!(ranks > 0);
+    let n = data.len();
+    let halo = params.search_radius + params.half_patch;
+    let mut out = Vec::with_capacity(n);
+    let mut rank_times = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let lo = rank * n / ranks;
+        let hi = (rank + 1) * n / ranks;
+        let t = Instant::now();
+        // The halo-extended window this rank would hold after exchange.
+        let ext_lo = lo.saturating_sub(halo);
+        let ext_hi = (hi + halo).min(n);
+        let extended = &data[ext_lo..ext_hi];
+        let mut part = vec![0.0; hi - lo];
+        if hi > lo {
+            crate::nlmeans::denoise_range_pub(extended, lo - ext_lo, hi - ext_lo, params, &mut part);
+        }
+        rank_times.push(t.elapsed());
+        out.extend_from_slice(&part);
+    }
+    (out, SimTiming { rank_times, serial_time: Duration::ZERO })
+}
+
+/// Simulated Algorithm 2 (fused single-reduction FDR).
+pub fn fdr_simulated(input: &FdrInput, p_t: f64, ranks: usize) -> (f64, SimTiming) {
+    assert!(ranks > 0);
+    let m = input.bins();
+    let b_count = input.rounds();
+    let mut rank_times = Vec::with_capacity(ranks);
+    let mut partials = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let lo = rank * m / ranks;
+        let hi = (rank + 1) * m / ranks;
+        let t = Instant::now();
+        let mut diamond = 0u64;
+        let mut star = 0u64;
+        for i in lo..hi {
+            let (d, s) = crate::fdr::fused_bin_sums_pub(input, i, p_t);
+            diamond += d;
+            star += s;
+        }
+        rank_times.push(t.elapsed());
+        partials.push((diamond, star));
+    }
+    let t = Instant::now();
+    let diamond: u64 = partials.iter().map(|p| p.0).sum();
+    let star: u64 = partials.iter().map(|p| p.1).sum();
+    let fdr = if star == 0 {
+        f64::INFINITY
+    } else {
+        diamond as f64 / (b_count as f64 * star as f64)
+    };
+    let serial_time = t.elapsed();
+    (fdr, SimTiming { rank_times, serial_time })
+}
+
+/// Simulated two-phase (unfused) FDR for the Figure 12 ablation: two
+/// sweeps per rank and two reductions.
+pub fn fdr_simulated_two_phase(input: &FdrInput, p_t: f64, ranks: usize) -> (f64, SimTiming) {
+    assert!(ranks > 0);
+    let m = input.bins();
+    let b_count = input.rounds();
+    let mut rank_times = vec![Duration::ZERO; ranks];
+    let mut diamonds = Vec::with_capacity(ranks);
+    let mut stars = Vec::with_capacity(ranks);
+    // Phase 1 sweep.
+    #[allow(clippy::needless_range_loop)] // rank drives both the slice and its timer slot
+    for rank in 0..ranks {
+        let lo = rank * m / ranks;
+        let hi = (rank + 1) * m / ranks;
+        let t = Instant::now();
+        let mut diamond = 0u64;
+        for i in lo..hi {
+            for b in &input.simulations {
+                let rank_count =
+                    input.simulations.iter().filter(|other| b[i] <= other[i]).count() as f64;
+                if rank_count <= p_t {
+                    diamond += 1;
+                }
+            }
+        }
+        rank_times[rank] += t.elapsed();
+        diamonds.push(diamond);
+    }
+    // Phase 2 sweep (after the extra barrier).
+    #[allow(clippy::needless_range_loop)]
+    for rank in 0..ranks {
+        let lo = rank * m / ranks;
+        let hi = (rank + 1) * m / ranks;
+        let t = Instant::now();
+        let mut star = 0u64;
+        for i in lo..hi {
+            let p_i = input
+                .simulations
+                .iter()
+                .filter(|sim| input.observed[i] <= sim[i])
+                .count() as f64;
+            if p_i <= p_t {
+                star += 1;
+            }
+        }
+        rank_times[rank] += t.elapsed();
+        stars.push(star);
+    }
+    let t = Instant::now();
+    let diamond: u64 = diamonds.iter().sum();
+    let star: u64 = stars.iter().sum();
+    let fdr = if star == 0 {
+        f64::INFINITY
+    } else {
+        diamond as f64 / (b_count as f64 * star as f64)
+    };
+    let serial_time = t.elapsed();
+    (fdr, SimTiming { rank_times, serial_time })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nlmeans::nlmeans_sequential;
+    use crate::simulate::{build_fdr_input, NullModel};
+    use ngs_simgen::Rng;
+
+    fn params() -> NlMeansParams {
+        NlMeansParams { search_radius: 8, half_patch: 3, sigma: 5.0 }
+    }
+
+    #[test]
+    fn nlmeans_simulated_matches_sequential() {
+        let mut rng = Rng::seed_from_u64(1);
+        let data: Vec<f64> = (0..800).map(|_| rng.poisson(10.0) as f64).collect();
+        let seq = nlmeans_sequential(&data, &params());
+        for ranks in [1, 2, 5, 8] {
+            let (sim, timing) = nlmeans_simulated(&data, &params(), ranks);
+            assert_eq!(sim, seq, "ranks {ranks}");
+            assert_eq!(timing.rank_times.len(), ranks);
+        }
+    }
+
+    #[test]
+    fn fdr_simulated_matches_fused() {
+        let input = build_fdr_input(
+            (0..300).map(|i| (i % 13) as f64).collect(),
+            8,
+            NullModel::Poisson,
+            2,
+        );
+        let reference = crate::fdr::fdr_fused(&input, 2.0);
+        for ranks in [1, 3, 7] {
+            let (v, t) = fdr_simulated(&input, 2.0, ranks);
+            assert_eq!(v.to_bits(), reference.to_bits());
+            assert_eq!(t.rank_times.len(), ranks);
+            let (v2, t2) = fdr_simulated_two_phase(&input, 2.0, ranks);
+            assert_eq!(v2.to_bits(), reference.to_bits());
+            // Two-phase does two sweeps: at equal rank counts its work is
+            // at least the fused version's.
+            assert!(t2.total_work() >= t.total_work() / 2);
+        }
+    }
+
+    #[test]
+    fn makespan_below_total_work_for_multirank() {
+        let input = build_fdr_input(
+            (0..2000).map(|i| (i % 9) as f64).collect(),
+            10,
+            NullModel::Poisson,
+            3,
+        );
+        let (_, t) = fdr_simulated(&input, 3.0, 8);
+        assert!(t.makespan() <= t.total_work());
+        assert!(t.makespan() >= *t.rank_times.iter().max().unwrap());
+    }
+}

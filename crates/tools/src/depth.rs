@@ -1,0 +1,176 @@
+//! Per-base / per-window depth computation (`samtools depth` analogue)
+//! over alignment records, used to sanity-check coverage claims and feed
+//! ad-hoc analyses that don't want full histograms.
+
+use ngs_formats::header::SamHeader;
+use ngs_formats::record::AlignmentRecord;
+
+/// Depth over one chromosome, at single-base resolution, computed with a
+/// difference array (O(reads + length)).
+#[derive(Debug, Clone)]
+pub struct DepthTrack {
+    /// Chromosome name.
+    pub chrom: Vec<u8>,
+    /// Depth per base (0-based coordinates).
+    pub depth: Vec<u32>,
+}
+
+impl DepthTrack {
+    /// Maximum depth.
+    pub fn max(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean depth.
+    pub fn mean(&self) -> f64 {
+        if self.depth.is_empty() {
+            0.0
+        } else {
+            self.depth.iter().map(|&d| d as u64).sum::<u64>() as f64 / self.depth.len() as f64
+        }
+    }
+
+    /// Fraction of bases with depth ≥ `threshold` ("breadth of coverage").
+    pub fn breadth(&self, threshold: u32) -> f64 {
+        if self.depth.is_empty() {
+            return 0.0;
+        }
+        self.depth.iter().filter(|&&d| d >= threshold).count() as f64 / self.depth.len() as f64
+    }
+}
+
+/// Computes per-base depth for every chromosome in the header.
+///
+/// Each record contributes +1 over its reference span (CIGAR-derived);
+/// deletions/skips inside the span are counted as covered, matching the
+/// simple `samtools depth -a` approximation the paper's histogram uses.
+pub fn depth(header: &SamHeader, records: &[AlignmentRecord]) -> Vec<DepthTrack> {
+    // Difference arrays per chromosome.
+    let mut diffs: Vec<Vec<i32>> = header
+        .references
+        .iter()
+        .map(|r| vec![0i32; r.length as usize + 1])
+        .collect();
+
+    for rec in records {
+        let (Some(start), Some(end)) = (rec.start0(), rec.end0()) else {
+            continue;
+        };
+        let Some(tid) = header.reference_id(&rec.rname) else {
+            continue;
+        };
+        let len = header.references[tid].length as i64;
+        let s = start.clamp(0, len) as usize;
+        let e = end.clamp(0, len) as usize;
+        if e > s {
+            diffs[tid][s] += 1;
+            diffs[tid][e] -= 1;
+        }
+    }
+
+    header
+        .references
+        .iter()
+        .zip(diffs)
+        .map(|(r, diff)| {
+            let mut depth = Vec::with_capacity(r.length as usize);
+            let mut cur = 0i32;
+            for d in &diff[..r.length as usize] {
+                cur += d;
+                depth.push(cur.max(0) as u32);
+            }
+            DepthTrack { chrom: r.name.clone(), depth }
+        })
+        .collect()
+}
+
+/// Window-averaged depth (bin size `window`), the compact form for
+/// reporting.
+pub fn windowed_depth(track: &DepthTrack, window: usize) -> Vec<f64> {
+    assert!(window > 0);
+    track
+        .depth
+        .chunks(window)
+        .map(|w| w.iter().map(|&d| d as u64).sum::<u64>() as f64 / w.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_formats::header::ReferenceSequence;
+    use ngs_formats::sam;
+
+    fn header() -> SamHeader {
+        SamHeader::from_references(vec![ReferenceSequence {
+            name: b"chr1".to_vec(),
+            length: 1000,
+        }])
+    }
+
+    fn rec(pos: i64, cigar: &str) -> AlignmentRecord {
+        sam::parse_record(
+            format!("r\t0\tchr1\t{pos}\t60\t{cigar}\t*\t0\t0\t*\t*").as_bytes(),
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_read_depth() {
+        let tracks = depth(&header(), &[rec(11, "10M")]);
+        let t = &tracks[0];
+        assert_eq!(t.depth[9], 0);
+        assert!(t.depth[10..20].iter().all(|&d| d == 1));
+        assert_eq!(t.depth[20], 0);
+        assert_eq!(t.max(), 1);
+    }
+
+    #[test]
+    fn overlapping_reads_stack() {
+        let tracks = depth(&header(), &[rec(1, "20M"), rec(11, "20M"), rec(21, "20M")]);
+        let t = &tracks[0];
+        assert_eq!(t.depth[5], 1);
+        assert_eq!(t.depth[12], 2);
+        assert_eq!(t.depth[25], 2);
+        assert_eq!(t.max(), 2);
+    }
+
+    #[test]
+    fn deletion_spans_counted() {
+        let tracks = depth(&header(), &[rec(1, "5M10D5M")]);
+        let t = &tracks[0];
+        // Span = 20 reference bases from 0.
+        assert!(t.depth[..20].iter().all(|&d| d == 1));
+        assert_eq!(t.depth[20], 0);
+    }
+
+    #[test]
+    fn read_past_chromosome_end_clamped() {
+        let tracks = depth(&header(), &[rec(995, "20M")]);
+        let t = &tracks[0];
+        assert_eq!(t.depth[994], 1);
+        assert_eq!(t.depth[999], 1);
+        assert_eq!(t.depth.len(), 1000);
+    }
+
+    #[test]
+    fn stats_and_windows() {
+        let tracks = depth(&header(), &[rec(1, "500M")]);
+        let t = &tracks[0];
+        assert!((t.mean() - 0.5).abs() < 1e-9);
+        assert!((t.breadth(1) - 0.5).abs() < 1e-9);
+        let w = windowed_depth(t, 250);
+        assert_eq!(w.len(), 4);
+        assert!((w[0] - 1.0).abs() < 1e-9);
+        assert!((w[3] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmapped_and_unknown_ignored() {
+        let u = sam::parse_record(b"u\t4\t*\t0\t0\t*\t*\t0\t0\t*\t*", 1).unwrap();
+        let x = sam::parse_record(b"x\t0\tchrX\t5\t60\t4M\t*\t0\t0\t*\t*", 1).unwrap();
+        let tracks = depth(&header(), &[u, x]);
+        assert_eq!(tracks[0].max(), 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! `flagstat`-style summary statistics over alignment records, computed
+//! in parallel over record chunks with rayon.
+
+use std::fmt;
+
+use ngs_formats::flags::Flags;
+use ngs_formats::record::AlignmentRecord;
+use rayon::prelude::*;
+
+/// Category counts in the style of `samtools flagstat`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlagStats {
+    /// Total records.
+    pub total: u64,
+    /// Secondary alignments.
+    pub secondary: u64,
+    /// Supplementary alignments.
+    pub supplementary: u64,
+    /// PCR/optical duplicates.
+    pub duplicates: u64,
+    /// Mapped records (not UNMAPPED).
+    pub mapped: u64,
+    /// Paired-in-sequencing records.
+    pub paired: u64,
+    /// First-of-pair records.
+    pub read1: u64,
+    /// Second-of-pair records.
+    pub read2: u64,
+    /// Properly paired records.
+    pub properly_paired: u64,
+    /// Paired records with both mates mapped.
+    pub with_mate_mapped: u64,
+    /// Paired records whose mate is unmapped.
+    pub singletons: u64,
+    /// Records whose mate maps to a different chromosome.
+    pub mate_diff_chr: u64,
+    /// As above with MAPQ ≥ 5.
+    pub mate_diff_chr_mapq5: u64,
+    /// QC-failed records.
+    pub qc_fail: u64,
+}
+
+impl FlagStats {
+    /// Accumulates one record.
+    pub fn add(&mut self, rec: &AlignmentRecord) {
+        self.total += 1;
+        let f = rec.flag;
+        if f.contains(Flags::SECONDARY) {
+            self.secondary += 1;
+        }
+        if f.contains(Flags::SUPPLEMENTARY) {
+            self.supplementary += 1;
+        }
+        if f.contains(Flags::DUPLICATE) {
+            self.duplicates += 1;
+        }
+        if f.contains(Flags::QC_FAIL) {
+            self.qc_fail += 1;
+        }
+        if !f.is_unmapped() {
+            self.mapped += 1;
+        }
+        if f.is_paired() {
+            self.paired += 1;
+            if f.contains(Flags::FIRST_IN_PAIR) {
+                self.read1 += 1;
+            }
+            if f.contains(Flags::SECOND_IN_PAIR) {
+                self.read2 += 1;
+            }
+            if f.contains(Flags::PROPER_PAIR) && !f.is_unmapped() {
+                self.properly_paired += 1;
+            }
+            if !f.is_unmapped() && !f.contains(Flags::MATE_UNMAPPED) {
+                self.with_mate_mapped += 1;
+                if rec.rnext != b"=" && rec.rnext != b"*" && rec.rnext != rec.rname {
+                    self.mate_diff_chr += 1;
+                    if rec.mapq >= 5 {
+                        self.mate_diff_chr_mapq5 += 1;
+                    }
+                }
+            }
+            if !f.is_unmapped() && f.contains(Flags::MATE_UNMAPPED) {
+                self.singletons += 1;
+            }
+        }
+    }
+
+    /// Merges two partial summaries (for parallel reduction).
+    pub fn merge(&self, other: &FlagStats) -> FlagStats {
+        FlagStats {
+            total: self.total + other.total,
+            secondary: self.secondary + other.secondary,
+            supplementary: self.supplementary + other.supplementary,
+            duplicates: self.duplicates + other.duplicates,
+            mapped: self.mapped + other.mapped,
+            paired: self.paired + other.paired,
+            read1: self.read1 + other.read1,
+            read2: self.read2 + other.read2,
+            properly_paired: self.properly_paired + other.properly_paired,
+            with_mate_mapped: self.with_mate_mapped + other.with_mate_mapped,
+            singletons: self.singletons + other.singletons,
+            mate_diff_chr: self.mate_diff_chr + other.mate_diff_chr,
+            mate_diff_chr_mapq5: self.mate_diff_chr_mapq5 + other.mate_diff_chr_mapq5,
+            qc_fail: self.qc_fail + other.qc_fail,
+        }
+    }
+
+    /// Percentage helper.
+    fn pct(part: u64, whole: u64) -> f64 {
+        if whole == 0 {
+            0.0
+        } else {
+            part as f64 * 100.0 / whole as f64
+        }
+    }
+}
+
+/// Computes flag statistics over a record slice (parallel).
+pub fn flagstat(records: &[AlignmentRecord]) -> FlagStats {
+    records
+        .par_chunks(8192)
+        .map(|chunk| {
+            let mut s = FlagStats::default();
+            for r in chunk {
+                s.add(r);
+            }
+            s
+        })
+        .reduce(FlagStats::default, |a, b| a.merge(&b))
+}
+
+impl fmt::Display for FlagStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} in total", self.total)?;
+        writeln!(f, "{} secondary", self.secondary)?;
+        writeln!(f, "{} supplementary", self.supplementary)?;
+        writeln!(f, "{} duplicates", self.duplicates)?;
+        writeln!(
+            f,
+            "{} mapped ({:.2}%)",
+            self.mapped,
+            FlagStats::pct(self.mapped, self.total)
+        )?;
+        writeln!(f, "{} paired in sequencing", self.paired)?;
+        writeln!(f, "{} read1", self.read1)?;
+        writeln!(f, "{} read2", self.read2)?;
+        writeln!(
+            f,
+            "{} properly paired ({:.2}%)",
+            self.properly_paired,
+            FlagStats::pct(self.properly_paired, self.paired)
+        )?;
+        writeln!(f, "{} with itself and mate mapped", self.with_mate_mapped)?;
+        writeln!(
+            f,
+            "{} singletons ({:.2}%)",
+            self.singletons,
+            FlagStats::pct(self.singletons, self.paired)
+        )?;
+        writeln!(f, "{} with mate mapped to a different chr", self.mate_diff_chr)?;
+        writeln!(
+            f,
+            "{} with mate mapped to a different chr (mapQ>=5)",
+            self.mate_diff_chr_mapq5
+        )?;
+        write!(f, "{} QC-failed", self.qc_fail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_formats::sam;
+    use ngs_simgen::{Dataset, DatasetSpec};
+
+    fn rec(line: &str) -> AlignmentRecord {
+        sam::parse_record(line.as_bytes(), 1).unwrap()
+    }
+
+    #[test]
+    fn categories_counted() {
+        let records = vec![
+            rec("a\t99\tchr1\t100\t60\t4M\t=\t200\t104\tACGT\tIIII"), // paired, proper, r1
+            rec("a\t147\tchr1\t200\t60\t4M\t=\t100\t-104\tACGT\tIIII"), // paired, proper, r2
+            rec("b\t4\t*\t0\t0\t*\t*\t0\t0\tACGT\tIIII"),             // unmapped
+            rec("c\t1025\tchr1\t5\t60\t4M\t=\t50\t0\tACGT\tIIII"),    // dup + paired (0x401)
+            rec("d\t73\tchr1\t9\t60\t4M\t*\t0\t0\tACGT\tIIII"),       // mate unmapped → singleton
+            rec("e\t353\tchr1\t9\t60\t4M\tchr2\t7\t0\tACGT\tIIII"),   // secondary + mate diff chr
+        ];
+        let s = flagstat(&records);
+        assert_eq!(s.total, 6);
+        assert_eq!(s.mapped, 5);
+        assert_eq!(s.secondary, 1);
+        assert_eq!(s.duplicates, 1);
+        assert_eq!(s.properly_paired, 2);
+        assert_eq!(s.singletons, 1);
+        assert_eq!(s.mate_diff_chr, 1);
+        assert_eq!(s.mate_diff_chr_mapq5, 1);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let ds = Dataset::generate(&DatasetSpec { n_records: 5000, ..Default::default() });
+        let par = flagstat(&ds.records);
+        let mut ser = FlagStats::default();
+        for r in &ds.records {
+            ser.add(r);
+        }
+        assert_eq!(par, ser);
+        assert_eq!(par.total, 5000);
+        assert_eq!(par.read1 + par.read2, par.paired);
+    }
+
+    #[test]
+    fn display_is_samtools_shaped() {
+        let ds = Dataset::generate(&DatasetSpec { n_records: 100, ..Default::default() });
+        let text = flagstat(&ds.records).to_string();
+        assert!(text.contains("in total"));
+        assert!(text.contains("properly paired"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = flagstat(&[]);
+        assert_eq!(s, FlagStats::default());
+        assert!(s.to_string().contains("0 in total"));
+    }
+}

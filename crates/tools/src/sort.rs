@@ -1,0 +1,269 @@
+//! Alignment sorting: coordinate order (the order BAM indexes and the
+//! paper's sorted 117 GB input assume) and queryname order, with a
+//! parallel merge-sort over record batches.
+
+use std::cmp::Ordering;
+
+use ngs_formats::header::SamHeader;
+use ngs_formats::record::AlignmentRecord;
+use rayon::prelude::*;
+
+/// Sort orders understood by the `@HD SO:` header field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// `(reference id, position)`, unmapped records last — `SO:coordinate`.
+    Coordinate,
+    /// Lexicographic read name, mate 1 before mate 2 — `SO:queryname`.
+    QueryName,
+}
+
+/// The coordinate sort key of a record under a header dictionary.
+fn coordinate_key(rec: &AlignmentRecord, header: &SamHeader) -> (i64, i64) {
+    let tid = header
+        .reference_id(&rec.rname)
+        .map(|i| i as i64)
+        .unwrap_or(i64::MAX); // unknown/unmapped references last
+    (tid, rec.pos)
+}
+
+fn queryname_cmp(a: &AlignmentRecord, b: &AlignmentRecord) -> Ordering {
+    a.qname.cmp(&b.qname).then_with(|| {
+        // First-of-pair before second-of-pair for equal names.
+        let fa = a.flag.contains(ngs_formats::Flags::SECOND_IN_PAIR);
+        let fb = b.flag.contains(ngs_formats::Flags::SECOND_IN_PAIR);
+        fa.cmp(&fb)
+    })
+}
+
+/// Sorts records in place. Stable, parallel (rayon).
+pub fn sort_records(records: &mut [AlignmentRecord], header: &SamHeader, order: SortOrder) {
+    match order {
+        SortOrder::Coordinate => {
+            // Precompute keys to avoid re-deriving tid per comparison.
+            let mut keyed: Vec<(i64, i64, usize)> = records
+                .par_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let (tid, pos) = coordinate_key(r, header);
+                    (tid, pos, i)
+                })
+                .collect();
+            keyed.par_sort();
+            apply_permutation(records, keyed.into_iter().map(|(_, _, i)| i).collect());
+        }
+        SortOrder::QueryName => {
+            records.par_sort_by(queryname_cmp);
+        }
+    }
+}
+
+/// Reorders `records` according to `perm` (perm[k] = old index of the
+/// record that belongs at position k).
+fn apply_permutation(records: &mut [AlignmentRecord], perm: Vec<usize>) {
+    let mut scratch: Vec<AlignmentRecord> = Vec::with_capacity(records.len());
+    for &old in &perm {
+        scratch.push(records[old].clone());
+    }
+    for (slot, rec) in records.iter_mut().zip(scratch) {
+        *slot = rec;
+    }
+}
+
+/// True if `records` are in the given order.
+pub fn is_sorted(records: &[AlignmentRecord], header: &SamHeader, order: SortOrder) -> bool {
+    match order {
+        SortOrder::Coordinate => records
+            .windows(2)
+            .all(|w| coordinate_key(&w[0], header) <= coordinate_key(&w[1], header)),
+        SortOrder::QueryName => {
+            records.windows(2).all(|w| queryname_cmp(&w[0], &w[1]) != Ordering::Greater)
+        }
+    }
+}
+
+/// Merges already-sorted runs into one sorted stream (k-way merge) —
+/// the building block for merging per-rank converter outputs.
+pub fn merge_sorted(
+    runs: Vec<Vec<AlignmentRecord>>,
+    header: &SamHeader,
+    order: SortOrder,
+) -> Vec<AlignmentRecord> {
+    // Binary-heap k-way merge keyed per order.
+    use std::collections::BinaryHeap;
+
+    struct Item {
+        key: (i64, i64),
+        name_key: Vec<u8>,
+        second: bool,
+        run: usize,
+        idx: usize,
+    }
+    impl PartialEq for Item {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp_key(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Item {}
+    impl Item {
+        fn cmp_key(&self, other: &Self) -> Ordering {
+            self.key
+                .cmp(&other.key)
+                .then_with(|| self.name_key.cmp(&other.name_key))
+                .then_with(|| self.second.cmp(&other.second))
+                .then_with(|| self.run.cmp(&other.run))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other.cmp_key(self) // reversed: min-heap
+        }
+    }
+
+    let make_item = |run: usize, idx: usize, rec: &AlignmentRecord| match order {
+        SortOrder::Coordinate => Item {
+            key: coordinate_key(rec, header),
+            name_key: Vec::new(),
+            second: false,
+            run,
+            idx,
+        },
+        SortOrder::QueryName => Item {
+            key: (0, 0),
+            name_key: rec.qname.clone(),
+            second: rec.flag.contains(ngs_formats::Flags::SECOND_IN_PAIR),
+            run,
+            idx,
+        },
+    };
+
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut heap = BinaryHeap::with_capacity(runs.len());
+    for (r, run) in runs.iter().enumerate() {
+        if let Some(rec) = run.first() {
+            heap.push(make_item(r, 0, rec));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(item) = heap.pop() {
+        out.push(runs[item.run][item.idx].clone());
+        let next = item.idx + 1;
+        if next < runs[item.run].len() {
+            heap.push(make_item(item.run, next, &runs[item.run][next]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_formats::header::ReferenceSequence;
+    use ngs_simgen::{Dataset, DatasetSpec};
+
+    fn header() -> SamHeader {
+        SamHeader::from_references(vec![
+            ReferenceSequence { name: b"chr1".to_vec(), length: 1_000_000 },
+            ReferenceSequence { name: b"chr2".to_vec(), length: 1_000_000 },
+        ])
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::generate(&DatasetSpec { n_records: n, ..Default::default() })
+    }
+
+    #[test]
+    fn coordinate_sort_orders_by_tid_then_pos() {
+        let ds = dataset(500);
+        let header = ds.header();
+        let mut records = ds.records.clone();
+        sort_records(&mut records, &header, SortOrder::Coordinate);
+        assert!(is_sorted(&records, &header, SortOrder::Coordinate));
+        // Content preserved (same multiset).
+        assert_eq!(records.len(), ds.records.len());
+        let mut a: Vec<_> = records.iter().map(|r| r.qname.clone()).collect();
+        let mut b: Vec<_> = ds.records.iter().map(|r| r.qname.clone()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn queryname_sort_pairs_adjacent() {
+        let ds = dataset(400);
+        let header = ds.header();
+        let mut records = ds.records.clone();
+        sort_records(&mut records, &header, SortOrder::QueryName);
+        assert!(is_sorted(&records, &header, SortOrder::QueryName));
+        // Paired reads share names: each name appears in a contiguous run
+        // with first-of-pair leading.
+        for w in records.windows(2) {
+            if w[0].qname == w[1].qname {
+                // Within one name, second-of-pair never precedes
+                // first-of-pair.
+                let a_second = w[0].flag.contains(ngs_formats::Flags::SECOND_IN_PAIR);
+                let b_second = w[1].flag.contains(ngs_formats::Flags::SECOND_IN_PAIR);
+                assert!(!a_second || b_second, "pair order violated");
+            }
+        }
+    }
+
+    #[test]
+    fn unmapped_sort_last_in_coordinate_order() {
+        let ds = dataset(300);
+        let header = ds.header();
+        let mut records = ds.records.clone();
+        sort_records(&mut records, &header, SortOrder::Coordinate);
+        let first_unmapped = records.iter().position(|r| r.rname == b"*");
+        if let Some(i) = first_unmapped {
+            assert!(records[i..].iter().all(|r| r.rname == b"*"));
+        }
+    }
+
+    #[test]
+    fn merge_equals_global_sort() {
+        let ds = dataset(600);
+        let header = ds.header();
+        // Split into 4 runs, sort each, merge.
+        let mut runs: Vec<Vec<_>> = ds.records.chunks(150).map(<[_]>::to_vec).collect();
+        for run in &mut runs {
+            sort_records(run, &header, SortOrder::Coordinate);
+        }
+        let merged = merge_sorted(runs, &header, SortOrder::Coordinate);
+
+        let mut global = ds.records.clone();
+        sort_records(&mut global, &header, SortOrder::Coordinate);
+        // Keys must agree (ties may order differently; compare keys).
+        let keys = |v: &[AlignmentRecord]| -> Vec<(i64, i64)> {
+            v.iter().map(|r| coordinate_key(r, &header)).collect()
+        };
+        assert_eq!(keys(&merged), keys(&global));
+        assert!(is_sorted(&merged, &header, SortOrder::Coordinate));
+    }
+
+    #[test]
+    fn merge_queryname_runs() {
+        let ds = dataset(300);
+        let header = ds.header();
+        let mut runs: Vec<Vec<_>> = ds.records.chunks(100).map(<[_]>::to_vec).collect();
+        for run in &mut runs {
+            sort_records(run, &header, SortOrder::QueryName);
+        }
+        let merged = merge_sorted(runs, &header, SortOrder::QueryName);
+        assert!(is_sorted(&merged, &header, SortOrder::QueryName));
+        assert_eq!(merged.len(), 300);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let h = header();
+        let mut empty: Vec<AlignmentRecord> = Vec::new();
+        sort_records(&mut empty, &h, SortOrder::Coordinate);
+        assert!(merge_sorted(vec![], &h, SortOrder::Coordinate).is_empty());
+        assert!(is_sorted(&[], &h, SortOrder::QueryName));
+    }
+}

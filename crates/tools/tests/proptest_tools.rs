@@ -1,0 +1,103 @@
+//! Property tests over the tools crate: sorting and merging must be
+//! permutation-stable, and flagstat must be invariant under reordering.
+
+use proptest::prelude::*;
+
+use ngs_formats::cigar::{Cigar, CigarOp};
+use ngs_formats::flags::Flags;
+use ngs_formats::header::{ReferenceSequence, SamHeader};
+use ngs_formats::record::AlignmentRecord;
+use ngs_tools::{flagstat, is_sorted, merge_sorted, sort_records, SortOrder};
+
+fn header() -> SamHeader {
+    SamHeader::from_references(vec![
+        ReferenceSequence { name: b"chr1".to_vec(), length: 10_000_000 },
+        ReferenceSequence { name: b"chr2".to_vec(), length: 10_000_000 },
+    ])
+}
+
+prop_compose! {
+    fn arb_record()(
+        name_num in 0u32..500,
+        chrom in 0usize..3, // 2 == unmapped
+        pos in 1i64..1_000_000,
+        flag_bits in 0u16..0x800,
+    ) -> AlignmentRecord {
+        let mut rec = AlignmentRecord {
+            qname: format!("r{name_num}").into_bytes(),
+            flag: Flags(flag_bits),
+            rname: b"*".to_vec(),
+            pos: 0,
+            mapq: 60,
+            cigar: Cigar::empty(),
+            rnext: b"*".to_vec(),
+            pnext: 0,
+            tlen: 0,
+            seq: b"ACGT".to_vec(),
+            qual: vec![30; 4],
+            tags: Vec::new(),
+        };
+        if chrom < 2 {
+            rec.flag = Flags(flag_bits & !0x4);
+            rec.rname = if chrom == 0 { b"chr1".to_vec() } else { b"chr2".to_vec() };
+            rec.pos = pos;
+            rec.cigar = Cigar(vec![(4, CigarOp::Match)]);
+        } else {
+            rec.flag = Flags(flag_bits | 0x4);
+        }
+        rec
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sort_is_idempotent_and_content_preserving(mut records in proptest::collection::vec(arb_record(), 0..120)) {
+        let h = header();
+        let original = records.clone();
+        for order in [SortOrder::Coordinate, SortOrder::QueryName] {
+            sort_records(&mut records, &h, order);
+            prop_assert!(is_sorted(&records, &h, order));
+            let once = records.clone();
+            sort_records(&mut records, &h, order);
+            prop_assert_eq!(&records, &once, "idempotent");
+            // Same multiset of records.
+            let key = |r: &AlignmentRecord| (r.qname.clone(), r.flag.0, r.rname.clone(), r.pos);
+            let mut a: Vec<_> = records.iter().map(key).collect();
+            let mut b: Vec<_> = original.iter().map(key).collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn merge_of_sorted_chunks_is_sorted(records in proptest::collection::vec(arb_record(), 0..150),
+                                        chunks in 1usize..6) {
+        let h = header();
+        let mut runs: Vec<Vec<AlignmentRecord>> = Vec::new();
+        let size = records.len().div_ceil(chunks).max(1);
+        for chunk in records.chunks(size) {
+            let mut run = chunk.to_vec();
+            sort_records(&mut run, &h, SortOrder::Coordinate);
+            runs.push(run);
+        }
+        let merged = merge_sorted(runs, &h, SortOrder::Coordinate);
+        prop_assert_eq!(merged.len(), records.len());
+        prop_assert!(is_sorted(&merged, &h, SortOrder::Coordinate));
+    }
+
+    #[test]
+    fn flagstat_is_order_invariant(records in proptest::collection::vec(arb_record(), 0..200)) {
+        let base = flagstat(&records);
+        let mut reversed = records.clone();
+        reversed.reverse();
+        prop_assert_eq!(flagstat(&reversed), base);
+        // Invariants that must always hold.
+        prop_assert!(base.mapped <= base.total);
+        prop_assert!(base.read1 + base.read2 <= 2 * base.paired);
+        prop_assert!(base.properly_paired <= base.paired);
+        prop_assert!(base.singletons <= base.paired);
+    }
+}

@@ -1,0 +1,116 @@
+//! Extending the framework: the paper's programmability claim is that a
+//! user adds a new target format by writing only a conversion function —
+//! "all the low-level details such as parallelization, concurrency
+//! control, resource management ... are abstracted within the runtime".
+//!
+//! This example defines a custom tab-separated "insert-size report"
+//! format as one `RecordConverter` impl and runs it through the same
+//! parallel runtime as the built-in formats, then does a small
+//! distributed analysis directly on the rank communicator.
+//!
+//! ```text
+//! cargo run --release --example custom_format
+//! ```
+
+use ngs_cluster::run_ranks;
+use ngs_converter::{ConvertConfig, MemSource, RecordConverter, SamConverter, TargetFormat};
+use ngs_formats::record::AlignmentRecord;
+use ngs_formats::header::SamHeader;
+use ngs_simgen::{Dataset, DatasetSpec};
+
+/// The user program: one line per properly-paired first-of-pair record,
+/// reporting name, chromosome and observed insert size.
+struct InsertSizeReport;
+
+impl RecordConverter for InsertSizeReport {
+    fn convert(&self, rec: &AlignmentRecord, out: &mut Vec<u8>) -> bool {
+        use ngs_formats::Flags;
+        if !rec.flag.contains(Flags::PROPER_PAIR)
+            || !rec.flag.contains(Flags::FIRST_IN_PAIR)
+            || rec.tlen <= 0
+        {
+            return false;
+        }
+        out.extend_from_slice(&rec.qname);
+        out.push(b'\t');
+        out.extend_from_slice(&rec.rname);
+        out.push(b'\t');
+        out.extend_from_slice(rec.tlen.to_string().as_bytes());
+        out.push(b'\n');
+        true
+    }
+
+    fn prologue(&self, _header: &SamHeader, out: &mut Vec<u8>) {
+        out.extend_from_slice(b"#name\tchrom\tinsert_size\n");
+    }
+
+    fn extension(&self) -> &'static str {
+        "tsv"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_root = std::env::temp_dir().join("ngs-custom-format");
+    std::fs::create_dir_all(&out_root)?;
+
+    let ds = Dataset::generate(&DatasetSpec { n_records: 20_000, ..Default::default() });
+    let source = MemSource::new(ds.to_sam_bytes());
+
+    // The runtime pieces are public: partition with Algorithm 1, then run
+    // the custom user program per rank. (The built-in TargetFormat path
+    // wraps exactly this; here we drive it manually to show the seam.)
+    let config = ConvertConfig::with_ranks(4);
+    let conv = SamConverter::new(config.clone());
+    // Built-in target for comparison:
+    let bed = conv.convert_source(&source, TargetFormat::Bed, &out_root.join("bed"), "x")?;
+    println!("built-in BED: {} records", bed.records_out());
+
+    // Custom target through the same partition + scan machinery:
+    let (header, _) = ngs_converter::runtime::scan_sam_header(&source)?;
+    let ranges = ngs_converter::partition_serial(&source, 4, Default::default())?;
+    let reporter = InsertSizeReport;
+    let mut outputs = Vec::new();
+    for (rank, &range) in ranges.iter().enumerate() {
+        let mut buf = Vec::new();
+        if rank == 0 {
+            reporter.prologue(&header, &mut buf);
+        }
+        let mut emitted = 0u64;
+        ngs_converter::scan::scan_records(&source, range, 1 << 20, |rec| {
+            if reporter.convert(&rec, &mut buf) {
+                emitted += 1;
+            }
+            Ok(())
+        })?;
+        let path = out_root.join(format!("inserts.part{rank:04}.{}", reporter.extension()));
+        std::fs::write(&path, &buf)?;
+        outputs.push((path, emitted));
+    }
+    let total: u64 = outputs.iter().map(|(_, n)| n).sum();
+    println!("custom insert-size report: {total} rows across {} parts", outputs.len());
+
+    // And a custom distributed analysis over the communicator: the mean
+    // insert size via one allreduce, exactly how the paper's statistics
+    // module is built.
+    let records = std::sync::Arc::new(ds.records);
+    let sums = run_ranks(4, |comm| {
+        let n = records.len();
+        let lo = comm.rank() * n / comm.size();
+        let hi = (comm.rank() + 1) * n / comm.size();
+        let (mut local_sum, mut local_n) = (0f64, 0u64);
+        for rec in &records[lo..hi] {
+            if rec.tlen > 0 {
+                local_sum += rec.tlen as f64;
+                local_n += 1;
+            }
+        }
+        let sum = comm.all_reduce_sum_f64(1, local_sum);
+        let count = comm.all_reduce_sum_u64(2, local_n);
+        sum / count as f64
+    });
+    println!("distributed mean insert size: {:.1} bp (every rank agrees: {})",
+        sums[0],
+        sums.iter().all(|&v| (v - sums[0]).abs() < 1e-9)
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+pub use ngs_core as core_api;

@@ -1,0 +1,151 @@
+//! Cross-crate integration: the three converter instances must agree
+//! with each other on every target format, end to end through real
+//! files (simgen → SAM/BAM on disk → converter → target files).
+
+use std::path::Path;
+
+use ngs_converter::{
+    BamConverter, ConvertConfig, ConvertReport, SamConverter, SamxConverter, TargetFormat,
+};
+use ngs_simgen::{Dataset, DatasetSpec};
+use tempfile::tempdir;
+
+fn dataset(n: usize, sorted: bool) -> Dataset {
+    Dataset::generate(&DatasetSpec {
+        n_records: n,
+        coordinate_sorted: sorted,
+        ..Default::default()
+    })
+}
+
+fn cat_outputs(report: &ConvertReport) -> Vec<u8> {
+    let mut all = Vec::new();
+    let mut outputs = report.outputs.clone();
+    outputs.sort();
+    for p in outputs {
+        all.extend_from_slice(&std::fs::read(p).unwrap());
+    }
+    all
+}
+
+/// SAM and BAM encodings of the same records must convert into identical
+/// line-format outputs via their respective converter instances.
+#[test]
+fn sam_and_bam_instances_agree_on_all_line_targets() {
+    let ds = dataset(1200, false);
+    let dir = tempdir().unwrap();
+    let sam_path = dir.path().join("in.sam");
+    let bam_path = dir.path().join("in.bam");
+    ds.write_sam(&sam_path).unwrap();
+    ds.write_bam(&bam_path).unwrap();
+
+    let sam_conv = SamConverter::new(ConvertConfig::with_ranks(3));
+    let bam_conv = BamConverter::new(ConvertConfig::with_ranks(3));
+    let prep = bam_conv.preprocess(&bam_path, dir.path().join("bamx")).unwrap();
+
+    for target in [
+        TargetFormat::Bed,
+        TargetFormat::BedGraph,
+        TargetFormat::Fastq,
+        TargetFormat::Json,
+    ] {
+        let from_sam = sam_conv
+            .convert_file(&sam_path, target, dir.path().join(format!("sam-{target:?}")))
+            .unwrap();
+        let from_bam = bam_conv
+            .convert_bamx(&prep.bamx_path, target, dir.path().join(format!("bam-{target:?}")))
+            .unwrap();
+        // Identical records in identical order, so identical bytes modulo
+        // partition boundaries — compare concatenations.
+        assert_eq!(
+            cat_outputs(&from_sam),
+            cat_outputs(&from_bam),
+            "target {target:?}"
+        );
+    }
+}
+
+/// The preprocessing-optimized instance is a drop-in replacement for the
+/// plain SAM instance at every rank count.
+#[test]
+fn samx_instance_is_dropin_for_sam_instance() {
+    let ds = dataset(900, false);
+    let dir = tempdir().unwrap();
+    let sam_path = dir.path().join("in.sam");
+    ds.write_sam(&sam_path).unwrap();
+
+    for ranks in [1usize, 2, 5] {
+        let plain = SamConverter::new(ConvertConfig::with_ranks(ranks))
+            .convert_file(&sam_path, TargetFormat::Fasta, dir.path().join(format!("p{ranks}")))
+            .unwrap();
+        let (prep, opt) = SamxConverter::new(ConvertConfig::with_ranks(ranks))
+            .convert_file(&sam_path, TargetFormat::Fasta, dir.path().join(format!("o{ranks}")))
+            .unwrap();
+        assert_eq!(prep.records(), 900);
+        assert_eq!(cat_outputs(&plain), cat_outputs(&opt), "ranks {ranks}");
+        assert_eq!(opt.outputs.len(), ranks * ranks, "M × N output files");
+    }
+}
+
+/// Full chain: SAM → BAM (via converter) → BAMX → SAM recovers the
+/// original records byte-for-byte.
+#[test]
+fn full_format_cycle_is_lossless() {
+    let ds = dataset(700, false);
+    let dir = tempdir().unwrap();
+    let sam_path = dir.path().join("in.sam");
+    ds.write_sam(&sam_path).unwrap();
+
+    // SAM → BAM parts.
+    let sam_conv = SamConverter::new(ConvertConfig::with_ranks(2));
+    let to_bam = sam_conv.convert_file(&sam_path, TargetFormat::Bam, dir.path().join("bam")).unwrap();
+
+    // Each BAM part → SAM via the BAM instance; stitch in rank order.
+    let bam_conv = BamConverter::new(ConvertConfig::with_ranks(2));
+    let mut recovered = Vec::new();
+    for (i, part) in to_bam.outputs.iter().enumerate() {
+        let prep = bam_conv.preprocess(part, dir.path().join(format!("x{i}"))).unwrap();
+        let report = bam_conv
+            .convert_bamx(&prep.bamx_path, TargetFormat::Sam, dir.path().join(format!("s{i}")))
+            .unwrap();
+        let bytes = cat_outputs(&report);
+        let mut reader =
+            ngs_formats::sam::SamReader::new(std::io::Cursor::new(&bytes)).unwrap();
+        recovered.extend(reader.records().map(|r| r.unwrap()));
+    }
+    assert_eq!(recovered, ds.records);
+}
+
+/// Boundary torture: many ranks over a file whose lines straddle every
+/// possible initial partition boundary.
+#[test]
+fn partitioning_never_loses_or_duplicates_records() {
+    let ds = dataset(333, false);
+    let dir = tempdir().unwrap();
+    let sam_path = dir.path().join("in.sam");
+    ds.write_sam(&sam_path).unwrap();
+
+    for ranks in [1usize, 2, 3, 7, 13, 32, 64] {
+        let report = SamConverter::new(ConvertConfig::with_ranks(ranks))
+            .convert_file(&sam_path, TargetFormat::Json, dir.path().join(format!("r{ranks}")))
+            .unwrap();
+        assert_eq!(report.records_in(), 333, "ranks {ranks}");
+        assert_eq!(report.records_out(), 333, "ranks {ranks}");
+    }
+}
+
+/// Outputs concatenate deterministically across repeated runs.
+#[test]
+fn conversion_is_deterministic() {
+    let ds = dataset(400, true);
+    let dir = tempdir().unwrap();
+    let bam_path = dir.path().join("in.bam");
+    ds.write_bam(&bam_path).unwrap();
+    let conv = BamConverter::new(ConvertConfig::with_ranks(4));
+    let prep = conv.preprocess(&bam_path, dir.path().join("x")).unwrap();
+    let a = conv.convert_bamx(&prep.bamx_path, TargetFormat::Yaml, dir.path().join("a")).unwrap();
+    let b = conv.convert_bamx(&prep.bamx_path, TargetFormat::Yaml, dir.path().join("b")).unwrap();
+    assert_eq!(cat_outputs(&a), cat_outputs(&b));
+}
+
+fn _assert_path_helper(_: &Path) {}

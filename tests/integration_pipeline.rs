@@ -1,0 +1,140 @@
+//! End-to-end pipeline integration: framework facade, statistics over
+//! converter output, and partial conversion correctness against a
+//! brute-force reference.
+
+use ngs_core::{Framework, FrameworkConfig, NlMeansParams, NullModel, TargetFormat};
+use ngs_simgen::{Dataset, DatasetSpec};
+use ngs_stats::{fdr_fused, nlmeans_sequential, CoverageHistogram};
+use tempfile::tempdir;
+
+fn small_framework(ranks: usize) -> Framework {
+    let mut config = FrameworkConfig::with_ranks(ranks);
+    config.nlmeans = NlMeansParams { search_radius: 6, half_patch: 2, sigma: 5.0 };
+    Framework::new(config)
+}
+
+#[test]
+fn histogram_pipeline_equals_ground_truth() {
+    let dir = tempdir().unwrap();
+    let ds = Dataset::generate(&DatasetSpec { n_records: 600, ..Default::default() });
+    let sam = dir.path().join("in.sam");
+    ds.write_sam(&sam).unwrap();
+
+    let fw = small_framework(3);
+    let via_pipeline = fw.histogram_from_sam(&sam).unwrap();
+    let truth = CoverageHistogram::from_records(&ds.header(), 25, &ds.records);
+    assert_eq!(via_pipeline.len(), truth.len());
+    let max_err = via_pipeline
+        .bins
+        .iter()
+        .zip(&truth.bins)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 1e-6, "max bin error {max_err}");
+}
+
+#[test]
+fn denoise_and_fdr_through_facade_match_kernels() {
+    let dir = tempdir().unwrap();
+    let ds = Dataset::generate(&DatasetSpec { n_records: 500, ..Default::default() });
+    let sam = dir.path().join("in.sam");
+    ds.write_sam(&sam).unwrap();
+
+    let fw = small_framework(4);
+    let hist = fw.histogram_from_sam(&sam).unwrap();
+
+    let facade = fw.denoise(&hist);
+    let kernel = nlmeans_sequential(&hist.bins, &fw.config.nlmeans);
+    assert_eq!(facade, kernel);
+
+    let input = ngs_stats::build_fdr_input(facade.clone(), 6, NullModel::Poisson, 11);
+    let via_facade = fw.fdr_with_input(&input, 2.0);
+    let via_kernel = fdr_fused(&input, 2.0);
+    assert_eq!(via_facade.to_bits(), via_kernel.to_bits());
+}
+
+#[test]
+fn partial_conversion_matches_bruteforce_filter() {
+    let dir = tempdir().unwrap();
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: 1500,
+        coordinate_sorted: true,
+        ..Default::default()
+    });
+    let bam = dir.path().join("in.bam");
+    ds.write_bam(&bam).unwrap();
+
+    let fw = small_framework(4);
+    let chr1_len = ds.header().references[0].length as i64;
+    let (lo, hi) = (chr1_len / 5, chr1_len / 2);
+    let region = format!("chr1:{}-{}", lo + 1, hi);
+    let (_prep, report) = fw
+        .convert_bam_partial(&bam, &region, TargetFormat::Bed, dir.path().join("out"))
+        .unwrap();
+
+    let expected: u64 = ds
+        .records
+        .iter()
+        .filter(|r| {
+            r.rname == b"chr1"
+                && r.start0().map(|s| s >= lo && s < hi).unwrap_or(false)
+        })
+        .count() as u64;
+    assert_eq!(report.records_in(), expected);
+    assert!(expected > 0, "test region must contain reads");
+
+    // The BED output intervals all start inside the region.
+    for path in &report.outputs {
+        let text = std::fs::read(path).unwrap();
+        for line in text.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            let rec = ngs_formats::bed::parse_record(line).unwrap();
+            assert!(rec.start >= lo && rec.start < hi, "start {} outside", rec.start);
+        }
+    }
+}
+
+#[test]
+fn whole_chromosome_partial_equals_chromosome_filter() {
+    let dir = tempdir().unwrap();
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: 800,
+        coordinate_sorted: true,
+        ..Default::default()
+    });
+    let bam = dir.path().join("in.bam");
+    ds.write_bam(&bam).unwrap();
+
+    let fw = small_framework(2);
+    let (_, report) = fw
+        .convert_bam_partial(&bam, "chr2", TargetFormat::Json, dir.path().join("out"))
+        .unwrap();
+    let expected =
+        ds.records.iter().filter(|r| r.rname == b"chr2" && !r.is_unmapped()).count() as u64;
+    assert_eq!(report.records_in(), expected);
+}
+
+#[test]
+fn facade_bam_roundtrip_preserves_records() {
+    let dir = tempdir().unwrap();
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: 400,
+        coordinate_sorted: true,
+        ..Default::default()
+    });
+    let bam = dir.path().join("in.bam");
+    ds.write_bam(&bam).unwrap();
+
+    let fw = small_framework(3);
+    let (prep, report) = fw.convert_bam(&bam, TargetFormat::Sam, dir.path().join("out")).unwrap();
+    assert_eq!(prep.records, 400);
+
+    let mut outputs = report.outputs.clone();
+    outputs.sort();
+    let mut all = Vec::new();
+    for p in outputs {
+        all.extend_from_slice(&std::fs::read(p).unwrap());
+    }
+    let mut reader = ngs_formats::sam::SamReader::new(std::io::Cursor::new(&all)).unwrap();
+    let records: Vec<_> = reader.records().map(|r| r.unwrap()).collect();
+    assert_eq!(records, ds.records);
+}

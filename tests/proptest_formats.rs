@@ -1,0 +1,179 @@
+//! Property-based tests over the whole format stack: arbitrary records
+//! must survive SAM text, BAM binary, and BAMX fixed-width round trips,
+//! and Algorithm 1 must tile arbitrary line files for any rank count.
+
+use proptest::prelude::*;
+
+use ngs_bamx::{BamxLayout, Region};
+use ngs_converter::{partition_serial, MemSource, Variant};
+use ngs_formats::cigar::{Cigar, CigarOp};
+use ngs_formats::flags::Flags;
+use ngs_formats::header::{ReferenceSequence, SamHeader};
+use ngs_formats::record::AlignmentRecord;
+use ngs_formats::tags::{Tag, TagValue};
+
+fn header() -> SamHeader {
+    SamHeader::from_references(vec![
+        ReferenceSequence { name: b"chr1".to_vec(), length: 1 << 28 },
+        ReferenceSequence { name: b"chr2".to_vec(), length: 1 << 27 },
+    ])
+}
+
+prop_compose! {
+    fn arb_qname()(s in "[!-?A-~]{1,40}") -> Vec<u8> {
+        // "*" alone is the reserved missing-name sentinel.
+        if s == "*" { b"star".to_vec() } else { s.into_bytes() }
+    }
+}
+
+prop_compose! {
+    fn arb_seq_qual()(len in 1usize..150, seed in any::<u64>()) -> (Vec<u8>, Vec<u8>) {
+        let bases = b"ACGTN";
+        let mut s = Vec::with_capacity(len);
+        let mut q = Vec::with_capacity(len);
+        let mut x = seed | 1;
+        for _ in 0..len {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s.push(bases[(x >> 33) as usize % bases.len()]);
+            q.push(((x >> 40) % 42) as u8);
+        }
+        (s, q)
+    }
+}
+
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    prop_oneof![
+        (any::<i32>()).prop_map(|v| Tag::new(*b"XI", TagValue::Int(v as i64))),
+        ("[ -~&&[^\\\\]]{0,20}").prop_map(|s| Tag::new(*b"XZ", TagValue::String(s.into_bytes()))),
+        (any::<u8>()).prop_map(|c| Tag::new(*b"XA", TagValue::Char(c.clamp(b'!', b'~')))),
+        proptest::collection::vec(any::<i16>(), 0..8)
+            .prop_map(|v| Tag::new(*b"XB", TagValue::Array(ngs_formats::TagArray::I16(v)))),
+    ]
+}
+
+prop_compose! {
+    fn arb_record()(
+        qname in arb_qname(),
+        mapped in any::<bool>(),
+        chrom in 0usize..2,
+        pos in 1i64..100_000_000,
+        mapq in 0u8..=254,
+        flag_bits in 0u16..0x800,
+        (seq, qual) in arb_seq_qual(),
+        tags in proptest::collection::vec(arb_tag(), 0..4),
+    ) -> AlignmentRecord {
+        let mut flag = Flags(flag_bits & !0x4); // clear unmapped; set below
+        let names: [&[u8]; 2] = [b"chr1", b"chr2"];
+        if mapped {
+            AlignmentRecord {
+                qname,
+                flag,
+                rname: names[chrom].to_vec(),
+                pos,
+                mapq,
+                cigar: Cigar(vec![(seq.len() as u32, CigarOp::Match)]),
+                rnext: b"*".to_vec(),
+                pnext: 0,
+                tlen: 0,
+                seq,
+                qual,
+                tags,
+            }
+        } else {
+            flag |= Flags::UNMAPPED;
+            AlignmentRecord {
+                qname,
+                flag,
+                rname: b"*".to_vec(),
+                pos: 0,
+                mapq: 0,
+                cigar: Cigar::empty(),
+                rnext: b"*".to_vec(),
+                pnext: 0,
+                tlen: 0,
+                seq,
+                qual,
+                tags,
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sam_text_roundtrip(rec in arb_record()) {
+        let mut line = Vec::new();
+        ngs_formats::sam::write_record(&rec, &mut line);
+        let parsed = ngs_formats::sam::parse_record(&line, 1).unwrap();
+        prop_assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn bam_binary_roundtrip(rec in arb_record()) {
+        let h = header();
+        let mut buf = Vec::new();
+        ngs_formats::bam::encode_record(&rec, &h, &mut buf).unwrap();
+        let decoded = ngs_formats::bam::decode_record(&buf[4..], &h).unwrap();
+        prop_assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn bamx_fixed_width_roundtrip(recs in proptest::collection::vec(arb_record(), 1..20)) {
+        let h = header();
+        let layout = BamxLayout::compute(&recs).unwrap();
+        let mut buf = Vec::new();
+        for r in &recs {
+            ngs_bamx::record_codec::encode(r, &h, &layout, &mut buf).unwrap();
+        }
+        prop_assert_eq!(buf.len(), layout.record_size() * recs.len());
+        for (i, r) in recs.iter().enumerate() {
+            let slice = &buf[i * layout.record_size()..(i + 1) * layout.record_size()];
+            let decoded = ngs_bamx::record_codec::decode(slice, &h, &layout).unwrap();
+            prop_assert_eq!(&decoded, r);
+        }
+    }
+
+    #[test]
+    fn partition_tiles_arbitrary_line_files(
+        lines in proptest::collection::vec("[a-z]{0,60}", 0..200),
+        n in 1usize..24,
+        forward in any::<bool>(),
+    ) {
+        let mut data = Vec::new();
+        for l in &lines {
+            data.extend_from_slice(l.as_bytes());
+            data.push(b'\n');
+        }
+        let src = MemSource::new(data.clone());
+        let variant = if forward { Variant::Forward } else { Variant::Backward };
+        let ranges = partition_serial(&src, n, variant).unwrap();
+        prop_assert_eq!(ranges.len(), n);
+        // Tiling: concatenation reproduces the input.
+        let mut rebuilt = Vec::new();
+        for &(s, e) in &ranges {
+            prop_assert!(s <= e);
+            rebuilt.extend_from_slice(&data[s as usize..e as usize]);
+        }
+        prop_assert_eq!(rebuilt, data.clone());
+        // Alignment: every interior boundary sits right after a newline.
+        for w in ranges.windows(2) {
+            let b = w[0].1;
+            prop_assert_eq!(w[1].0, b);
+            if b > 0 && b < data.len() as u64 {
+                prop_assert_eq!(data[b as usize - 1], b'\n');
+            }
+        }
+    }
+
+    #[test]
+    fn region_parse_display_roundtrip(start in 0i64..1_000_000, len in 1i64..1_000_000) {
+        let h = header();
+        let end = (start + len).min((1 << 28) as i64);
+        prop_assume!(end > start);
+        let r = Region::new("chr1", start, end).unwrap();
+        let reparsed = Region::parse(&r.to_string(), &h).unwrap();
+        prop_assert_eq!(reparsed, r);
+    }
+}
