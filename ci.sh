@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Offline CI gate: everything must pass before merging.
+#
+#   ./ci.sh            # build + test + clippy (warnings are errors)
+#   ./ci.sh --quick    # skip the release build
+#
+# The workspace is fully vendored (shims/* stand in for crates.io
+# dependencies), so this runs with no network access.
+set -eu
+
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+echo "==> cargo build --workspace --all-targets"
+cargo build --workspace --all-targets
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> cargo build --workspace --release"
+    cargo build --workspace --release
+fi
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> cargo clippy --workspace --all-targets (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

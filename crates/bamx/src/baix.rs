@@ -249,4 +249,70 @@ mod tests {
         let region = Region::new("chr1", 0, 100).unwrap();
         assert!(baix.locate(0, &region).is_empty());
     }
+
+    #[test]
+    fn region_past_last_alignment() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.bamx");
+        let recs = shuffled_records();
+        write_bamx_file(&path, &header(), &recs, BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        let baix = Baix::build(&f).unwrap();
+
+        // Last chr1 start is 0-based 999; querying beyond it must yield an
+        // empty range anchored where chr1 entries end (not 0..0), so
+        // downstream even-splitting sees zero work without special cases.
+        let region = Region::new("chr1", 2_000, 3_000).unwrap();
+        let range = baix.locate(0, &region);
+        assert!(range.is_empty());
+        let chr1_end = baix.entries.partition_point(|e| e.key < position_key(1, 0));
+        assert_eq!(range, chr1_end..chr1_end);
+        assert!(baix.shard_indices(range).is_empty());
+
+        // Past everything on the last chromosome: empty range at len().
+        let region = Region::new("chr2", 500_000, 600_000).unwrap();
+        let range = baix.locate(1, &region);
+        assert_eq!(range, baix.len()..baix.len());
+    }
+
+    #[test]
+    fn gap_between_alignments_is_empty() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.bamx");
+        let recs = shuffled_records();
+        write_bamx_file(&path, &header(), &recs, BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        let baix = Baix::build(&f).unwrap();
+
+        // chr1 0-based starts: 99,299,399,499,699,799,999. [100,299) falls
+        // in the gap after the first start.
+        let region = Region::new("chr1", 100, 299).unwrap();
+        let range = baix.locate(0, &region);
+        assert!(range.is_empty());
+        assert_eq!(range, 1..1);
+    }
+
+    #[test]
+    fn single_record_shard_boundaries() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("one.bamx");
+        let rec =
+            sam::parse_record(b"solo\t0\tchr1\t500\t60\t10M\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII", 1)
+                .unwrap();
+        write_bamx_file(&path, &header(), std::slice::from_ref(&rec), BamxCompression::Plain)
+            .unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        let baix = Baix::build(&f).unwrap();
+        assert_eq!(baix.len(), 1);
+
+        // 1-based 500 → 0-based 499. Regions covering, touching, and
+        // just missing the record on either side.
+        let hit = |s, e| baix.locate(0, &Region::new("chr1", s, e).unwrap()).len();
+        assert_eq!(hit(0, 1_000_000), 1); // whole chromosome
+        assert_eq!(hit(499, 500), 1); // exactly the start base
+        assert_eq!(hit(0, 499), 0); // half-open end excludes the start
+        assert_eq!(hit(500, 1_000), 0); // begins one past the start
+        // Wrong chromosome never matches.
+        assert_eq!(baix.locate(1, &Region::new("chr2", 0, 1_000_000).unwrap()).len(), 0);
+    }
 }

@@ -32,6 +32,12 @@ impl Region {
     /// text coordinates). A bare name covers the whole sequence, resolved
     /// against `header`.
     pub fn parse(text: &str, header: &SamHeader) -> Result<Self> {
+        // A reference whose name happens to end in `:<digits>` (e.g. the
+        // ALT contig "HLA:1") must stay addressable: an exact whole-string
+        // match against the header wins over coordinate splitting.
+        if header.reference_id(text.as_bytes()).is_some() {
+            return Self::parse_parts(text, None, header, text);
+        }
         let (name, range) = match text.rsplit_once(':') {
             // Guard against colons inside the sequence name: only split if
             // the suffix looks numeric.
@@ -40,6 +46,15 @@ impl Region {
             }
             _ => (text, None),
         };
+        Self::parse_parts(name, range, header, text)
+    }
+
+    fn parse_parts(
+        name: &str,
+        range: Option<&str>,
+        header: &SamHeader,
+        text: &str,
+    ) -> Result<Self> {
         let ref_len = header
             .reference_id(name.as_bytes())
             .map(|id| header.references[id].length as i64)
@@ -67,6 +82,14 @@ impl Region {
         };
         if start0 < 0 || end0 < start0 {
             return Err(Error::InvalidRecord(format!("bad region {text:?}")));
+        }
+        // Ends are clamped to the reference, but a start beyond it is an
+        // error: clamping it too would silently turn the request into an
+        // empty interval at the end of the sequence.
+        if start0 >= ref_len {
+            return Err(Error::InvalidRecord(format!(
+                "region {text:?} starts past the end of the reference ({ref_len} bp)"
+            )));
         }
         Ok(Region { name: name.as_bytes().to_vec(), start0, end0: end0.min(ref_len) })
     }
@@ -121,6 +144,7 @@ mod tests {
         SamHeader::from_references(vec![
             ReferenceSequence { name: b"chr1".to_vec(), length: 10_000 },
             ReferenceSequence { name: b"HLA:A-1".to_vec(), length: 500 },
+            ReferenceSequence { name: b"HLA:1".to_vec(), length: 300 },
         ])
     }
 
@@ -173,11 +197,49 @@ mod tests {
     }
 
     #[test]
+    fn name_with_numeric_colon_suffix() {
+        // "HLA:1" would split into name "HLA" + start 1; the exact header
+        // match must win so ALT contigs stay addressable.
+        let h = header();
+        let r = Region::parse("HLA:1", &h).unwrap();
+        assert_eq!(r.name, b"HLA:1");
+        assert_eq!((r.start0, r.end0), (0, 300));
+        // Coordinates on such a name still parse past the last colon.
+        let r = Region::parse("HLA:1:10-20", &h).unwrap();
+        assert_eq!(r.name, b"HLA:1");
+        assert_eq!((r.start0, r.end0), (9, 20));
+    }
+
+    #[test]
+    fn single_base_interval() {
+        let h = header();
+        let r = Region::parse("chr1:500-500", &h).unwrap();
+        assert_eq!((r.start0, r.end0), (499, 500));
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn start_past_reference_is_an_error() {
+        let h = header();
+        // Clamping the end must not rescue a start beyond the reference.
+        assert!(Region::parse("chr1:20000-30000", &h).is_err());
+        // Open-ended form, start exactly one past the last base.
+        assert!(Region::parse("chr1:10001", &h).is_err());
+        // Last valid base is fine.
+        let r = Region::parse("chr1:10000", &h).unwrap();
+        assert_eq!((r.start0, r.end0), (9999, 10_000));
+    }
+
+    #[test]
     fn errors() {
         let h = header();
         assert!(Region::parse("chrZ", &h).is_err());
         assert!(Region::parse("chr1:abc-10", &h).is_err());
         assert!(Region::parse("chr1:2000-1000", &h).is_err());
+        // 1-based text coordinates start at 1; 0 underflows.
+        assert!(Region::parse("chr1:0-10", &h).is_err());
+        assert!(Region::parse("chr1:-5-10", &h).is_err());
         assert!(Region::new("x", -1, 5).is_err());
         assert!(Region::new("x", 10, 5).is_err());
     }

@@ -10,10 +10,12 @@
 
 use std::io::Write;
 
-use ngs_bench::{fig10, fig11, fig12, fig6, fig7, fig8, fig9, table1, ExperimentConfig, Scale};
+use ngs_bench::{
+    fig10, fig11, fig12, fig6, fig7, fig8, fig9, query_bench, table1, ExperimentConfig, Scale,
+};
 
-const ALL: [&str; 8] =
-    ["table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"];
+const ALL: [&str; 9] =
+    ["table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "query"];
 
 fn usage() -> ! {
     eprintln!(
@@ -83,6 +85,7 @@ fn main() {
             "fig10" => fig10(&cfg).expect("fig10").to_string(),
             "fig11" => fig11(&cfg).expect("fig11").to_string(),
             "fig12" => fig12(&cfg).expect("fig12").to_string(),
+            "query" => query_bench(&cfg).expect("query"),
             _ => unreachable!(),
         };
         eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());

@@ -51,6 +51,11 @@ impl Scale {
     pub fn fdr_rounds(&self) -> usize {
         ((80.0 * self.0.min(1.0)) as usize).clamp(8, 80)
     }
+
+    /// Records per dataset in the query-engine throughput experiment.
+    pub fn query_records(&self) -> usize {
+        self.n(8_000)
+    }
 }
 
 impl Default for Scale {

@@ -409,6 +409,138 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (v, t.elapsed())
 }
 
+// ---------------------------------------------------------------------------
+// Query-engine throughput (BENCH_query.json)
+// ---------------------------------------------------------------------------
+
+/// Serving-side experiment (no corresponding paper figure): throughput
+/// of the long-lived `ngs-query` engine over a worker axis, cold cache
+/// vs warm. Unlike the figures, timings here are real concurrent
+/// threads — the engine's parallelism *is* its worker pool, so
+/// simulated-cluster timing would not exercise the system under test.
+/// Writes `BENCH_query.json` into the working directory and returns a
+/// rendered table.
+pub fn query_bench(cfg: &ExperimentConfig) -> Result<String> {
+    use ngs_query::{EngineConfig, QueryEngine, QueryKind, QueryRequest};
+    use std::path::Path;
+
+    const DATASETS: usize = 4;
+    const REQUESTS: usize = 64;
+    const WORKER_AXIS: [usize; 5] = [1, 2, 4, 8, 16];
+    let records = cfg.scale.query_records();
+
+    // Preprocess DATASETS distinct BAMs into one shard directory.
+    let shard_dir = cfg.cache.scratch("query-shards")?;
+    let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+    let mut names = Vec::new();
+    let mut chr1_len = 0u64;
+    for i in 0..DATASETS {
+        let n = records + i * 97;
+        let bam = cfg.cache.bam(n, 3)?;
+        let prep = conv.preprocess(&bam, &shard_dir)?;
+        chr1_len = chr1_len.max((n as u64 * 40).max(100_000));
+        names.push(
+            prep.bamx_path
+                .file_stem()
+                .expect("bamx stem")
+                .to_string_lossy()
+                .into_owned(),
+        );
+    }
+    // Eight chr1 windows the requests cycle through.
+    let windows: Vec<String> = (0..8)
+        .map(|w| {
+            let span = chr1_len / 8;
+            format!("chr1:{}-{}", w * span + 1, (w + 1) * span)
+        })
+        .collect();
+
+    let run_pass = |engine: &QueryEngine, out_root: &Path| -> Result<Duration> {
+        let t = Instant::now();
+        let mut tickets = Vec::with_capacity(REQUESTS);
+        for r in 0..REQUESTS {
+            let request = QueryRequest {
+                dataset: names[r % DATASETS].clone(),
+                region: windows[r % windows.len()].clone(),
+                kind: QueryKind::Convert {
+                    format: TargetFormat::Bed,
+                    // Unique directory per request: identical requests
+                    // must not race on one part file.
+                    out_dir: out_root.join(r.to_string()),
+                },
+                deadline: None,
+            };
+            // The queue is sized to the pass, so submit never overloads.
+            let ticket = engine.submit(request).map_err(|e| {
+                ngs_formats::error::Error::InvalidRecord(format!("submit failed: {e}"))
+            })?;
+            tickets.push(ticket);
+        }
+        for ticket in tickets {
+            if let Err(e) = ticket.wait().outcome {
+                return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                    "query failed: {e}"
+                )));
+            }
+        }
+        Ok(t.elapsed())
+    };
+
+    let mut table = String::from(
+        "Query engine throughput (cold vs warm shard cache; real worker threads)\n",
+    );
+    table.push_str(&format!(
+        "{DATASETS} datasets x {records}+ records, {REQUESTS} region->BED requests per pass\n",
+    ));
+    table.push_str("workers  cold req/s  warm req/s  speedup  warm hit%\n");
+    let mut json_rows = Vec::new();
+    for &workers in &WORKER_AXIS {
+        let out = cfg.cache.scratch(&format!("query-out-{workers}"))?;
+        let engine = QueryEngine::new(
+            &shard_dir,
+            EngineConfig {
+                workers,
+                queue_capacity: REQUESTS,
+                cache_capacity: DATASETS,
+                convert: ConvertConfig::with_ranks(1),
+            },
+        )?;
+        // The cold pass runs exactly once — repeating it would measure a
+        // warm cache. Only the warm pass is best-of-N.
+        let cold = run_pass(&engine, &out.join("cold"))?;
+        let after_cold = engine.stats();
+        let warm = cfg.best_of(|| run_pass(&engine, &out.join("warm")))?;
+        let stats = engine.drain();
+        let warm_hits = stats.cache_hits - after_cold.cache_hits;
+        let warm_misses = stats.cache_misses - after_cold.cache_misses;
+        let warm_hit_rate = warm_hits as f64 / (warm_hits + warm_misses).max(1) as f64;
+        let cold_hit_rate = after_cold.cache_hit_rate();
+        let cold_rps = REQUESTS as f64 / cold.as_secs_f64();
+        let warm_rps = REQUESTS as f64 / warm.as_secs_f64();
+        table.push_str(&format!(
+            "{workers:>7}  {cold_rps:>10.1}  {warm_rps:>10.1}  {:>6.2}x  {:>8.0}\n",
+            warm_rps / cold_rps,
+            warm_hit_rate * 100.0,
+        ));
+        json_rows.push(format!(
+            "    {{\"workers\": {workers}, \
+             \"cold\": {{\"seconds\": {:.6}, \"requests_per_sec\": {cold_rps:.2}, \"cache_hit_rate\": {cold_hit_rate:.4}}}, \
+             \"warm\": {{\"seconds\": {:.6}, \"requests_per_sec\": {warm_rps:.2}, \"cache_hit_rate\": {warm_hit_rate:.4}}}}}",
+            cold.as_secs_f64(),
+            warm.as_secs_f64(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"query_engine_throughput\",\n  \"datasets\": {DATASETS},\n  \
+         \"records_per_dataset\": {records},\n  \"requests_per_pass\": {REQUESTS},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_query.json", json)?;
+    table.push_str("JSON written to BENCH_query.json\n");
+    Ok(table)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

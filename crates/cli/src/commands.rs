@@ -461,3 +461,138 @@ pub fn view_cmd(args: &Args) -> CmdResult {
     }
     Ok(())
 }
+
+/// `ngsp query SHARD_DIR [--requests FILE] [--out DIR] [--workers N]
+/// [--queue N] [--cache N] [--deadline-ms D]`
+///
+/// Batch mode over the long-lived query engine: one
+/// `DATASET REGION FORMAT` request per line (`#` starts a comment;
+/// FORMAT is a target name or `coverage[:BIN]`), read from `--requests`
+/// or stdin. When the admission queue fills, the oldest in-flight
+/// request is settled before retrying — bounded memory, no blocking
+/// submits.
+pub fn query_cmd(args: &Args) -> CmdResult {
+    use ngs_query::{
+        EngineConfig, QueryEngine, QueryError, QueryKind, QueryOutcome, QueryRequest,
+        Ticket,
+    };
+    use std::collections::VecDeque;
+    use std::io::Read;
+
+    let shard_dir = args.one_positional("shard directory")?;
+    let out_dir = std::path::PathBuf::from(args.optional("out").unwrap_or("query-out"));
+    let deadline_ms: Option<u64> = match args.optional("deadline-ms") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| err(format!("bad --deadline-ms {v:?}")))?),
+    };
+    let config = EngineConfig {
+        workers: args.get_or("workers", 4usize)?,
+        queue_capacity: args.get_or("queue", 64usize)?,
+        cache_capacity: args.get_or("cache", 8usize)?,
+        ..EngineConfig::default()
+    };
+    let engine = QueryEngine::new(shard_dir, config)?;
+
+    let text = match args.optional("requests") {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path)?,
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let settle = |out: &mut dyn Write,
+                      (line_no, desc, ticket): (usize, String, Ticket)|
+     -> CmdResult {
+        let resp = ticket.wait();
+        match resp.outcome {
+            Ok(QueryOutcome::Converted { output, records_in, bytes_out, .. }) => writeln!(
+                out,
+                "#{line_no} {desc}: {} ({records_in} records, {bytes_out} bytes, {}, wait {:?}, service {:?})",
+                output.display(),
+                if resp.metrics.cache_hit { "hit" } else { "miss" },
+                resp.metrics.queue_wait,
+                resp.metrics.service_time,
+            )?,
+            Ok(QueryOutcome::Coverage { bins, bin_size, records }) => writeln!(
+                out,
+                "#{line_no} {desc}: coverage {} bins x {bin_size} bp, {records} records, total {:.1}",
+                bins.len(),
+                bins.iter().sum::<f64>(),
+            )?,
+            Err(e) => writeln!(out, "#{line_no} {desc}: ERROR {e}")?,
+        }
+        Ok(())
+    };
+
+    let mut pending: VecDeque<(usize, String, Ticket)> = VecDeque::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let line_no = idx + 1;
+        let mut parts = line.split_whitespace();
+        let (Some(dataset), Some(region), Some(format)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(err(format!("line {line_no}: expected DATASET REGION FORMAT")));
+        };
+        let kind = if let Some(rest) = format.strip_prefix("coverage") {
+            let bin_size = match rest.strip_prefix(':') {
+                Some(b) => b.parse().map_err(|_| err(format!("line {line_no}: bad bin size {b:?}")))?,
+                None if rest.is_empty() => 25,
+                None => return Err(err(format!("line {line_no}: unknown format {format:?}"))),
+            };
+            QueryKind::Coverage { bin_size }
+        } else {
+            let target = TargetFormat::parse(format)
+                .ok_or_else(|| err(format!("line {line_no}: unknown format {format:?}")))?;
+            QueryKind::Convert { format: target, out_dir: out_dir.clone() }
+        };
+        let request = QueryRequest {
+            dataset: dataset.to_string(),
+            region: region.to_string(),
+            kind,
+            deadline: deadline_ms
+                .map(|ms| engine.clock().now() + std::time::Duration::from_millis(ms)),
+        };
+        loop {
+            match engine.submit(request.clone()) {
+                Ok(ticket) => {
+                    pending.push_back((line_no, line.to_string(), ticket));
+                    break;
+                }
+                Err(QueryError::Overloaded) => {
+                    let oldest = pending
+                        .pop_front()
+                        .ok_or_else(|| err("query queue full with nothing in flight"))?;
+                    settle(&mut out, oldest)?;
+                }
+                Err(e) => return Err(Box::new(e)),
+            }
+        }
+    }
+    for entry in pending {
+        settle(&mut out, entry)?;
+    }
+
+    let stats = engine.drain();
+    writeln!(
+        out,
+        "{} submitted, {} completed, {} failed, {} deadline-missed, {} overload-retries; \
+         cache hit rate {:.0}%; mean latency {:?}, max {:?}",
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.deadline_missed,
+        stats.rejected,
+        stats.cache_hit_rate() * 100.0,
+        stats.mean_latency(),
+        stats.max_latency,
+    )?;
+    Ok(())
+}

@@ -35,6 +35,11 @@ COMMANDS:
               INPUT [--rounds B] [--thresholds 1,2,4] [--model poisson]
   peaks       FDR-thresholded enriched-region calling to BED
               INPUT [--target-fdr 0.05] [--gap G] [--out FILE.bed]
+  query       batch region queries over preprocessed BAMX/BAIX shards
+              SHARD_DIR [--requests FILE] [--out DIR] [--workers N]
+              [--queue N] [--cache N] [--deadline-ms D]
+              one request per line: DATASET REGION FORMAT
+              (FORMAT: a --to format, or coverage[:BIN])
 
 Formats for --to: sam bam bed bedgraph fasta fastq json yaml wig gff3
 ";
@@ -76,6 +81,7 @@ fn main() {
         "denoise" => commands::denoise_cmd(&args),
         "fdr" => commands::fdr_cmd(&args),
         "peaks" => commands::peaks_cmd(&args),
+        "query" => commands::query_cmd(&args),
         "help" | "--help" | "-h" => {
             eprint!("{USAGE}");
             return;

@@ -296,9 +296,12 @@ pub(crate) fn convert_record_range(
     Ok((stats, path))
 }
 
-/// Converts an explicit (sorted) list of record indices.
+/// Converts an explicit (sorted) list of record indices — the unit of
+/// work behind [`BamConverter::convert_partial`], exposed so long-lived
+/// services (`ngs-query`) can drive it against cached shard handles and
+/// produce byte-identical part files.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn convert_index_list(
+pub fn convert_index_list(
     shard: &BamxFile,
     indices: &[u64],
     target: TargetFormat,

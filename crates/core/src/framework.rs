@@ -130,6 +130,30 @@ impl Framework {
         SamxConverter::new(self.config.convert.clone()).convert_file(input, target, out_dir)
     }
 
+    // -- Interactive querying ---------------------------------------------
+
+    /// Starts a long-lived region-query engine over a directory of
+    /// preprocessed BAMX+BAIX shards (as produced by
+    /// [`BamConverter::preprocess`](ngs_converter::BamConverter::preprocess)).
+    /// The engine runs `ranks` workers and serves concurrent
+    /// region→format conversion and coverage-histogram requests with
+    /// admission control, deadlines, and cached shard handles — see
+    /// `ngs-query`.
+    pub fn query_engine(
+        &self,
+        shard_dir: impl AsRef<Path>,
+    ) -> Result<ngs_query::QueryEngine> {
+        let config = ngs_query::EngineConfig {
+            workers: self.config.ranks,
+            convert: ConvertConfig {
+                ranks: 1,
+                ..self.config.convert.clone()
+            },
+            ..ngs_query::EngineConfig::default()
+        };
+        ngs_query::QueryEngine::new(shard_dir, config)
+    }
+
     // -- Statistical analysis ---------------------------------------------
 
     /// Builds the coverage histogram of a SAM file by converting to
@@ -257,6 +281,32 @@ mod tests {
             .unwrap();
         assert!(partial.records_in() > 0);
         assert!(partial.records_in() <= 400);
+    }
+
+    #[test]
+    fn facade_query_engine() {
+        let dir = tempdir().unwrap();
+        let input = make_bam(dir.path(), 300);
+        let fw = Framework::new(FrameworkConfig::with_ranks(2));
+        // Preprocess once, then serve queries off the shard directory.
+        let conv = ngs_converter::BamConverter::new(fw.config.convert.clone());
+        let prep = conv.preprocess(&input, dir.path().join("shards")).unwrap();
+        let engine = fw.query_engine(prep.bamx_path.parent().unwrap()).unwrap();
+        assert_eq!(engine.store().datasets().unwrap(), vec!["input"]);
+        let ticket = engine
+            .submit(ngs_query::QueryRequest {
+                dataset: "input".into(),
+                region: "chr1".into(),
+                kind: ngs_query::QueryKind::Coverage { bin_size: 25 },
+                deadline: None,
+            })
+            .unwrap();
+        match ticket.wait().outcome.unwrap() {
+            ngs_query::QueryOutcome::Coverage { records, .. } => assert!(records > 0),
+            other => panic!("expected Coverage, got {other:?}"),
+        }
+        let stats = engine.drain();
+        assert_eq!(stats.completed, 1);
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! The long-lived concurrent query engine: a bounded worker pool over a
+//! [`ShardStore`], with admission control, per-request deadlines, a
+//! metrics ledger, and graceful drain.
+//!
+//! Architecture: `submit` `try_send`s a job onto one bounded crossbeam
+//! channel shared by all workers (MPMC work queue). A full queue is a
+//! typed [`QueryError::Overloaded`] rejection, never a block — the
+//! paper's design point of keeping the interactive path latency-bounded
+//! instead of piling work behind a sequential bottleneck. Each worker
+//! resolves the region through the cached BAIX index and either
+//! converts the located records (same code path as partial conversion,
+//! so output bytes are identical to a one-shot single-rank
+//! `BamConverter::convert_partial`) or accumulates them into an
+//! `ngs_stats` coverage histogram.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ngs_bamx::Region;
+use ngs_converter::bam_converter::convert_index_list;
+use ngs_converter::ConvertConfig;
+use ngs_formats::error::Result;
+use ngs_stats::CoverageHistogram;
+
+use crate::clock::{Clock, SystemClock};
+use crate::metrics::{Completion, Ledger, QueryStats, RequestMetrics};
+use crate::request::{QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse};
+use crate::store::ShardStore;
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads. Zero is allowed (nothing executes; useful for
+    /// deterministic admission-control tests).
+    pub workers: usize,
+    /// Bound of the shared request queue; `submit` rejects with
+    /// [`QueryError::Overloaded`] when it is full.
+    pub queue_capacity: usize,
+    /// Datasets the shard cache may hold open at once.
+    pub cache_capacity: usize,
+    /// Converter runtime settings for `Convert` requests. Each request
+    /// converts on the one worker that picked it up (rank 0);
+    /// parallelism comes from concurrent requests, so `ranks` is
+    /// ignored.
+    pub convert: ConvertConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism().map(usize::from).unwrap_or(4),
+            queue_capacity: 64,
+            cache_capacity: 8,
+            convert: ConvertConfig::with_ranks(1),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with `workers` workers and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig { workers, ..Default::default() }
+    }
+}
+
+struct Job {
+    request: QueryRequest,
+    submitted_at: Duration,
+    reply: Sender<QueryResponse>,
+}
+
+/// Handle to one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<QueryResponse>,
+}
+
+impl Ticket {
+    /// Blocks until the request finishes. If the engine drained before
+    /// the request ran, the response carries
+    /// [`QueryError::ShuttingDown`].
+    pub fn wait(self) -> QueryResponse {
+        self.rx.recv().unwrap_or_else(|_| QueryResponse {
+            outcome: Err(QueryError::ShuttingDown),
+            metrics: RequestMetrics::default(),
+        })
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<QueryResponse> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The query engine. Dropping it drains gracefully: queued requests
+/// finish, then the workers exit.
+pub struct QueryEngine {
+    store: Arc<ShardStore>,
+    ledger: Arc<Ledger>,
+    clock: Arc<dyn Clock>,
+    tx: Option<Sender<Job>>,
+    // Keeps the queue alive when `workers == 0`, so admission control
+    // still reports Full (not Disconnected) with no consumers.
+    _rx_keepalive: Receiver<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryEngine {
+    /// Starts an engine over `shard_dir` with the system clock.
+    pub fn new(shard_dir: impl AsRef<std::path::Path>, config: EngineConfig) -> Result<Self> {
+        Self::with_clock(shard_dir, config, Arc::new(SystemClock::new()))
+    }
+
+    /// Starts an engine with an injected clock (deterministic tests).
+    pub fn with_clock(
+        shard_dir: impl AsRef<std::path::Path>,
+        config: EngineConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
+        let store = Arc::new(ShardStore::open(shard_dir, config.cache_capacity)?);
+        let ledger = Arc::new(Ledger::default());
+        let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let rx = rx.clone();
+            let store = Arc::clone(&store);
+            let ledger = Arc::clone(&ledger);
+            let clock = Arc::clone(&clock);
+            let convert = config.convert.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ngs-query-{i}"))
+                    .spawn(move || worker_loop(rx, store, ledger, clock, convert))?,
+            );
+        }
+        Ok(QueryEngine { store, ledger, clock, tx: Some(tx), _rx_keepalive: rx, workers })
+    }
+
+    /// The underlying shard store (for cache counters or discovery).
+    pub fn store(&self) -> &ShardStore {
+        &self.store
+    }
+
+    /// The engine's clock (deadlines are absolute on its axis).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Submits a request without blocking. A full queue returns
+    /// [`QueryError::Overloaded`]; a draining engine returns
+    /// [`QueryError::ShuttingDown`].
+    pub fn submit(&self, request: QueryRequest) -> std::result::Result<Ticket, QueryError> {
+        let tx = self.tx.as_ref().ok_or(QueryError::ShuttingDown)?;
+        let (reply, rx) = bounded(1);
+        let job = Job { submitted_at: self.clock.now(), request, reply };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.ledger.record_submitted();
+                Ok(Ticket { rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.ledger.record_rejected();
+                Err(QueryError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(QueryError::ShuttingDown),
+        }
+    }
+
+    /// Aggregated statistics so far.
+    pub fn stats(&self) -> QueryStats {
+        self.ledger.snapshot()
+    }
+
+    /// Graceful drain: stops admission, lets the workers finish every
+    /// queued request, joins them, and returns the final statistics.
+    pub fn drain(mut self) -> QueryStats {
+        self.shutdown();
+        self.stats()
+    }
+
+    fn shutdown(&mut self) {
+        self.tx.take(); // close the queue: workers drain it, then exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    store: Arc<ShardStore>,
+    ledger: Arc<Ledger>,
+    clock: Arc<dyn Clock>,
+    convert: ConvertConfig,
+) {
+    while let Ok(Job { request, submitted_at, reply }) = rx.recv() {
+        let started_at = clock.now();
+        let queue_wait = started_at.saturating_sub(submitted_at);
+        let mut metrics = RequestMetrics {
+            submitted_at,
+            started_at,
+            finished_at: started_at,
+            queue_wait,
+            ..Default::default()
+        };
+        if let Some(deadline) = request.deadline {
+            if started_at > deadline {
+                ledger.record_finished(&metrics, Completion::DeadlineMissed);
+                let _ = reply.send(QueryResponse {
+                    outcome: Err(QueryError::DeadlineExceeded { deadline, now: started_at }),
+                    metrics,
+                });
+                continue;
+            }
+        }
+        let executed = execute(&store, &request, &convert);
+        metrics.finished_at = clock.now();
+        metrics.service_time = metrics.finished_at.saturating_sub(started_at);
+        let outcome = match executed {
+            Ok((outcome, cache_hit)) => {
+                metrics.cache_hit = cache_hit;
+                metrics.bytes_out = match &outcome {
+                    QueryOutcome::Converted { bytes_out, .. } => *bytes_out,
+                    QueryOutcome::Coverage { bins, .. } => {
+                        (bins.len() * std::mem::size_of::<f64>()) as u64
+                    }
+                };
+                ledger.record_finished(&metrics, Completion::Completed);
+                Ok(outcome)
+            }
+            Err(e) => {
+                ledger.record_finished(&metrics, Completion::Failed);
+                Err(QueryError::Failed(e.to_string()))
+            }
+        };
+        let _ = reply.send(QueryResponse { outcome, metrics });
+    }
+}
+
+/// Resolves and runs one request against the store. Returns the outcome
+/// and whether the dataset lookup was a cache hit.
+fn execute(
+    store: &ShardStore,
+    request: &QueryRequest,
+    convert: &ConvertConfig,
+) -> Result<(QueryOutcome, bool)> {
+    let (shard, cache_hit) = store.get(&request.dataset)?;
+    let region = Region::parse(&request.region, shard.bamx.header())?;
+    let ref_id = region.resolve(shard.bamx.header())?;
+    let indices = shard.baix.shard_indices(shard.baix.locate(ref_id, &region));
+    let outcome = match &request.kind {
+        QueryKind::Convert { format, out_dir } => {
+            std::fs::create_dir_all(out_dir)?;
+            // Same stem formula as `BamConverter::convert_partial`, so a
+            // request's part file is byte-identical (name and content)
+            // to the single-rank one-shot path.
+            let stem = format!(
+                "{}.{}",
+                request.dataset,
+                region.to_string().replace([':', '-'], "_")
+            );
+            let (stats, path) = convert_index_list(
+                &shard.bamx,
+                &indices,
+                *format,
+                out_dir,
+                &stem,
+                0,
+                true,
+                convert,
+            )?;
+            QueryOutcome::Converted {
+                output: path,
+                records_in: stats.records_in,
+                records_out: stats.records_out,
+                bytes_out: stats.bytes_out,
+            }
+        }
+        QueryKind::Coverage { bin_size } => {
+            let mut hist = CoverageHistogram::new(shard.bamx.header(), *bin_size);
+            let mut records = 0u64;
+            // Coalesce consecutive indices into range reads, exactly as
+            // conversion does.
+            let mut i = 0usize;
+            while i < indices.len() {
+                let run_start = indices[i];
+                let mut j = i + 1;
+                while j < indices.len() && indices[j] == indices[j - 1] + 1 {
+                    j += 1;
+                }
+                let run_end = indices[j - 1] + 1;
+                for rec in shard.bamx.read_range(run_start, run_end)? {
+                    records += 1;
+                    hist.add_alignment(&rec);
+                }
+                i = j;
+            }
+            QueryOutcome::Coverage { bins: hist.bins, bin_size: *bin_size, records }
+        }
+    };
+    Ok((outcome, cache_hit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::testutil::write_shard;
+    use ngs_converter::TargetFormat;
+
+    fn convert_request(dataset: &str, region: &str, out_dir: &std::path::Path) -> QueryRequest {
+        QueryRequest {
+            dataset: dataset.into(),
+            region: region.into(),
+            kind: QueryKind::Convert {
+                format: TargetFormat::Bed,
+                out_dir: out_dir.to_path_buf(),
+            },
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn convert_and_coverage_requests_execute() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100, 300, 500, 700, 900]);
+        let engine =
+            QueryEngine::new(dir.path(), EngineConfig::with_workers(2)).unwrap();
+
+        let out = dir.path().join("out");
+        let t1 = engine.submit(convert_request("d", "chr1:1-600", &out)).unwrap();
+        let t2 = engine
+            .submit(QueryRequest {
+                dataset: "d".into(),
+                region: "chr1".into(),
+                kind: QueryKind::Coverage { bin_size: 25 },
+                deadline: None,
+            })
+            .unwrap();
+
+        match t1.wait().outcome.unwrap() {
+            QueryOutcome::Converted { records_in, output, .. } => {
+                // Starts (0-based) inside [0,600): 99, 299, 499.
+                assert_eq!(records_in, 3);
+                assert!(output.is_file());
+            }
+            other => panic!("expected Converted, got {other:?}"),
+        }
+        match t2.wait().outcome.unwrap() {
+            QueryOutcome::Coverage { records, bins, .. } => {
+                assert_eq!(records, 5);
+                assert!(bins.iter().sum::<f64>() > 0.0);
+            }
+            other => panic!("expected Coverage, got {other:?}"),
+        }
+        let stats = engine.drain();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 2);
+    }
+
+    #[test]
+    fn queue_full_is_typed_rejection() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100]);
+        // No workers: the queue can only fill, deterministically.
+        let config = EngineConfig {
+            workers: 0,
+            queue_capacity: 2,
+            ..EngineConfig::default()
+        };
+        let engine = QueryEngine::new(dir.path(), config).unwrap();
+        let out = dir.path().join("out");
+        let _t1 = engine.submit(convert_request("d", "chr1", &out)).unwrap();
+        let _t2 = engine.submit(convert_request("d", "chr1", &out)).unwrap();
+        let err = engine.submit(convert_request("d", "chr1", &out)).unwrap_err();
+        assert_eq!(err, QueryError::Overloaded);
+        assert_eq!(engine.stats().rejected, 1);
+        // Tickets of never-run requests resolve to ShuttingDown on drain.
+        let t = _t1;
+        drop(engine);
+        assert_eq!(t.wait().outcome.unwrap_err(), QueryError::ShuttingDown);
+    }
+
+    #[test]
+    fn expired_deadline_is_not_executed() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100]);
+        let clock = Arc::new(ManualClock::new());
+        clock.set(Duration::from_secs(10));
+        let engine = QueryEngine::with_clock(
+            dir.path(),
+            EngineConfig::with_workers(1),
+            clock.clone(),
+        )
+        .unwrap();
+        let mut req = convert_request("d", "chr1", &dir.path().join("out"));
+        req.deadline = Some(Duration::from_secs(5)); // already past
+        let resp = engine.submit(req).unwrap().wait();
+        match resp.outcome.unwrap_err() {
+            QueryError::DeadlineExceeded { deadline, now } => {
+                assert_eq!(deadline, Duration::from_secs(5));
+                assert_eq!(now, Duration::from_secs(10));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = engine.drain();
+        assert_eq!(stats.deadline_missed, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn future_deadline_executes_and_clock_is_injected() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100, 200]);
+        let clock = Arc::new(ManualClock::new());
+        clock.set(Duration::from_secs(3));
+        let engine = QueryEngine::with_clock(
+            dir.path(),
+            EngineConfig::with_workers(1),
+            clock.clone(),
+        )
+        .unwrap();
+        let mut req = convert_request("d", "chr1", &dir.path().join("out"));
+        req.deadline = Some(Duration::from_secs(30));
+        let resp = engine.submit(req).unwrap().wait();
+        assert!(resp.outcome.is_ok());
+        // The manual clock never advanced, so timing fields are exact.
+        assert_eq!(resp.metrics.submitted_at, Duration::from_secs(3));
+        assert_eq!(resp.metrics.queue_wait, Duration::ZERO);
+        assert_eq!(resp.metrics.service_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn failures_are_reported_not_fatal() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100]);
+        let engine = QueryEngine::new(dir.path(), EngineConfig::with_workers(1)).unwrap();
+        let out = dir.path().join("out");
+        // Unknown dataset.
+        let r1 = engine.submit(convert_request("nope", "chr1", &out)).unwrap().wait();
+        assert!(matches!(r1.outcome, Err(QueryError::Failed(_))));
+        // Bad region on a known dataset.
+        let r2 = engine.submit(convert_request("d", "chrZ:1-2", &out)).unwrap().wait();
+        assert!(matches!(r2.outcome, Err(QueryError::Failed(_))));
+        // The engine still works afterwards.
+        let r3 = engine.submit(convert_request("d", "chr1", &out)).unwrap().wait();
+        assert!(r3.outcome.is_ok());
+        let stats = engine.drain();
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn drain_finishes_queued_work() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100, 200, 300, 400]);
+        let engine = QueryEngine::new(dir.path(), EngineConfig::with_workers(2)).unwrap();
+        let out = dir.path().join("out");
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                engine
+                    .submit(convert_request("d", "chr1", &out.join(i.to_string())))
+                    .unwrap()
+            })
+            .collect();
+        let stats = engine.drain();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+        for t in tickets {
+            assert!(t.wait().outcome.is_ok());
+        }
+        // Same dataset every time: exactly one miss, the rest hits.
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 7);
+    }
+}

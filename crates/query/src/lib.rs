@@ -1,0 +1,43 @@
+//! # ngs-query
+//!
+//! A long-lived concurrent region-query engine over preprocessed
+//! BAMX/BAIX shards — the serving-side complement to the paper's batch
+//! partial conversion (Section III-B). Where `BamConverter::convert_partial`
+//! pays shard-open and index-load costs on every call, this engine keeps
+//! datasets open in a capacity-bounded LRU [`ShardStore`] and answers a
+//! stream of region requests from a bounded worker pool:
+//!
+//! * **Admission control** — the request queue is bounded; a full queue
+//!   rejects with the typed [`QueryError::Overloaded`] instead of
+//!   blocking the caller.
+//! * **Deadlines** — each request may carry an absolute deadline on the
+//!   engine's injected [`Clock`]; expired requests are dropped with
+//!   [`QueryError::DeadlineExceeded`] without touching the disk.
+//!   Injecting a [`ManualClock`] makes deadline tests deterministic.
+//! * **Two request kinds** — region→format conversion (byte-identical
+//!   to single-rank `convert_partial`, sharing its code path) and
+//!   region coverage histograms feeding `ngs-stats`.
+//! * **Metrics** — every finished request lands in a ledger (queue
+//!   wait, service time, cache hit, bytes out) aggregated into a
+//!   [`QueryStats`] snapshot.
+//! * **Graceful drain** — [`QueryEngine::drain`] stops admission,
+//!   finishes all queued work, joins the workers, and returns the final
+//!   statistics.
+//!
+//! Entry points: [`QueryEngine`] directly, `Framework::query_engine()`
+//! in `ngs-core`, or the `ngsp query` batch subcommand.
+
+pub mod clock;
+pub mod engine;
+pub mod metrics;
+pub mod request;
+pub mod store;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use engine::{EngineConfig, QueryEngine, Ticket};
+pub use metrics::{QueryStats, RequestMetrics};
+pub use request::{QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse};
+pub use store::{CacheCounters, CachedShard, ShardStore};

@@ -1,0 +1,202 @@
+//! The per-request metrics ledger and its aggregated snapshot.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Timing and cache measurements of one finished request. All instants
+/// are on the engine clock's axis.
+#[derive(Debug, Clone, Default)]
+pub struct RequestMetrics {
+    /// When `submit` accepted the request.
+    pub submitted_at: Duration,
+    /// When a worker dequeued it.
+    pub started_at: Duration,
+    /// When the worker finished (successfully or not).
+    pub finished_at: Duration,
+    /// Time spent queued (`started_at - submitted_at`).
+    pub queue_wait: Duration,
+    /// Time spent executing (`finished_at - started_at`).
+    pub service_time: Duration,
+    /// Whether the dataset lookup hit the shard cache.
+    pub cache_hit: bool,
+    /// Output bytes produced (conversion bytes, or bin bytes for
+    /// coverage requests).
+    pub bytes_out: u64,
+}
+
+impl RequestMetrics {
+    /// End-to-end latency (`finished_at - submitted_at`).
+    pub fn latency(&self) -> Duration {
+        self.finished_at.saturating_sub(self.submitted_at)
+    }
+}
+
+/// How a dequeued request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// Executed and produced an outcome.
+    Completed,
+    /// Execution returned an error.
+    Failed,
+    /// Dropped because its deadline had passed.
+    DeadlineMissed,
+}
+
+/// Aggregated engine statistics; see [`Ledger::snapshot`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that executed successfully.
+    pub completed: u64,
+    /// Requests whose execution failed.
+    pub failed: u64,
+    /// Requests dropped for missing their deadline.
+    pub deadline_missed: u64,
+    /// Requests rejected at admission (queue full).
+    pub rejected: u64,
+    /// Completed requests whose dataset lookup hit the cache.
+    pub cache_hits: u64,
+    /// Completed requests whose dataset lookup missed.
+    pub cache_misses: u64,
+    /// Total output bytes across finished requests.
+    pub bytes_out: u64,
+    /// Sum of queue waits.
+    pub total_queue_wait: Duration,
+    /// Sum of service times.
+    pub total_service: Duration,
+    /// Sum of end-to-end latencies.
+    pub total_latency: Duration,
+    /// Largest end-to-end latency seen.
+    pub max_latency: Duration,
+}
+
+impl QueryStats {
+    /// Requests that reached a worker and finished, one way or another.
+    pub fn finished(&self) -> u64 {
+        self.completed + self.failed + self.deadline_missed
+    }
+
+    /// Cache hit rate over completed requests (0 when none completed).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean end-to-end latency over finished requests.
+    pub fn mean_latency(&self) -> Duration {
+        let n = self.finished();
+        if n == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / n as u32
+        }
+    }
+}
+
+/// Thread-safe accumulator the workers write into.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    stats: Mutex<QueryStats>,
+}
+
+impl Ledger {
+    /// Counts an accepted submission.
+    pub fn record_submitted(&self) {
+        self.stats.lock().submitted += 1;
+    }
+
+    /// Counts an admission-control rejection.
+    pub fn record_rejected(&self) {
+        self.stats.lock().rejected += 1;
+    }
+
+    /// Folds one finished request into the aggregate.
+    pub fn record_finished(&self, metrics: &RequestMetrics, completion: Completion) {
+        let mut s = self.stats.lock();
+        match completion {
+            Completion::Completed => s.completed += 1,
+            Completion::Failed => s.failed += 1,
+            Completion::DeadlineMissed => s.deadline_missed += 1,
+        }
+        // Cache accounting only makes sense for requests that actually
+        // completed a lookup: deadline drops never touch the store and
+        // failures may have died before (or during) it.
+        if completion == Completion::Completed {
+            if metrics.cache_hit {
+                s.cache_hits += 1;
+            } else {
+                s.cache_misses += 1;
+            }
+        }
+        s.bytes_out += metrics.bytes_out;
+        s.total_queue_wait += metrics.queue_wait;
+        s.total_service += metrics.service_time;
+        let latency = metrics.latency();
+        s.total_latency += latency;
+        s.max_latency = s.max_latency.max(latency);
+    }
+
+    /// A copy of the aggregate at this moment.
+    pub fn snapshot(&self) -> QueryStats {
+        self.stats.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(wait_ms: u64, service_ms: u64, hit: bool, bytes: u64) -> RequestMetrics {
+        let submitted = Duration::from_millis(10);
+        let started = submitted + Duration::from_millis(wait_ms);
+        RequestMetrics {
+            submitted_at: submitted,
+            started_at: started,
+            finished_at: started + Duration::from_millis(service_ms),
+            queue_wait: Duration::from_millis(wait_ms),
+            service_time: Duration::from_millis(service_ms),
+            cache_hit: hit,
+            bytes_out: bytes,
+        }
+    }
+
+    #[test]
+    fn ledger_aggregates() {
+        let ledger = Ledger::default();
+        ledger.record_submitted();
+        ledger.record_submitted();
+        ledger.record_submitted();
+        ledger.record_rejected();
+        ledger.record_finished(&metrics(5, 20, false, 100), Completion::Completed);
+        ledger.record_finished(&metrics(1, 4, true, 50), Completion::Completed);
+        ledger.record_finished(&metrics(9, 0, false, 0), Completion::DeadlineMissed);
+        let s = ledger.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.deadline_missed, 1);
+        assert_eq!(s.finished(), 3);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1); // deadline drop counts neither way
+        assert!((s.cache_hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(s.bytes_out, 150);
+        assert_eq!(s.total_queue_wait, Duration::from_millis(15));
+        assert_eq!(s.total_service, Duration::from_millis(24));
+        assert_eq!(s.max_latency, Duration::from_millis(25));
+        assert_eq!(s.mean_latency(), Duration::from_millis(13));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = QueryStats::default();
+        assert_eq!(s.finished(), 0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.mean_latency(), Duration::ZERO);
+    }
+}

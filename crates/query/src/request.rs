@@ -1,0 +1,135 @@
+//! Request and response types of the query engine.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ngs_converter::TargetFormat;
+
+use crate::metrics::RequestMetrics;
+
+/// What a request asks the engine to do with the located records.
+#[derive(Debug, Clone)]
+pub enum QueryKind {
+    /// Convert the region's records into `format`, writing the part
+    /// file into `out_dir` (same naming and byte layout as a one-shot
+    /// single-rank `BamConverter::convert_partial`).
+    Convert {
+        /// Target format of the conversion.
+        format: TargetFormat,
+        /// Directory receiving the output part file.
+        out_dir: PathBuf,
+    },
+    /// Accumulate the region's records into a genome-wide coverage
+    /// histogram (`ngs_stats::CoverageHistogram`) with `bin_size`-bp
+    /// bins.
+    Coverage {
+        /// Histogram bin size in bp (the paper uses 25).
+        bin_size: u32,
+    },
+}
+
+/// One unit of work submitted to the engine.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Dataset name (the `NAME` of `NAME.bamx`/`NAME.baix` in the shard
+    /// directory).
+    pub dataset: String,
+    /// Region text, e.g. `chr1:1,000-2,000` (anything `Region::parse`
+    /// accepts; resolved against the dataset's header).
+    pub region: String,
+    /// The operation to perform.
+    pub kind: QueryKind,
+    /// Optional absolute deadline on the engine clock's axis. A request
+    /// still queued when its deadline passes is answered with
+    /// [`QueryError::DeadlineExceeded`] instead of being executed.
+    pub deadline: Option<Duration>,
+}
+
+/// Successful result of a request.
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// Result of a [`QueryKind::Convert`] request.
+    Converted {
+        /// The part file written.
+        output: PathBuf,
+        /// Records read from the shard.
+        records_in: u64,
+        /// Target objects emitted.
+        records_out: u64,
+        /// Output bytes written.
+        bytes_out: u64,
+    },
+    /// Result of a [`QueryKind::Coverage`] request.
+    Coverage {
+        /// Genome-wide coverage bins (ready for `ngs_stats` denoising
+        /// or FDR).
+        bins: Vec<f64>,
+        /// Bin size used.
+        bin_size: u32,
+        /// Records accumulated.
+        records: u64,
+    },
+}
+
+/// Typed failure modes of the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The admission queue was full; the request was rejected without
+    /// blocking. Retry after draining some tickets.
+    Overloaded,
+    /// The engine is draining (or has drained); no new work is accepted
+    /// and pending replies may be dropped.
+    ShuttingDown,
+    /// The request's deadline had already passed when a worker picked
+    /// it up.
+    DeadlineExceeded {
+        /// The deadline the request carried.
+        deadline: Duration,
+        /// The engine-clock time when the request was dequeued.
+        now: Duration,
+    },
+    /// Execution failed (unknown dataset, bad region, I/O, ...).
+    Failed(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Overloaded => write!(f, "query queue full (overloaded)"),
+            QueryError::ShuttingDown => write!(f, "query engine shutting down"),
+            QueryError::DeadlineExceeded { deadline, now } => write!(
+                f,
+                "deadline exceeded: due {deadline:?}, dequeued at {now:?}"
+            ),
+            QueryError::Failed(msg) => write!(f, "query failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Everything the engine says about one finished request.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The result, or why there is none.
+    pub outcome: Result<QueryOutcome, QueryError>,
+    /// Per-request timing and cache measurements.
+    pub metrics: RequestMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_variant() {
+        assert!(QueryError::Overloaded.to_string().contains("full"));
+        assert!(QueryError::ShuttingDown.to_string().contains("shutting down"));
+        let d = QueryError::DeadlineExceeded {
+            deadline: Duration::from_millis(5),
+            now: Duration::from_millis(9),
+        };
+        assert!(d.to_string().contains("deadline"));
+        assert!(QueryError::Failed("boom".into()).to_string().contains("boom"));
+    }
+}

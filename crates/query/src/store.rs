@@ -1,0 +1,235 @@
+//! The shard store: dataset discovery plus a capacity-bounded LRU cache
+//! of open BAMX handles and decoded BAIX indexes.
+//!
+//! Opening a BAMX shard walks its (possibly BGZF-compressed) block
+//! structure and loading a BAIX deserializes the whole index, so a
+//! long-lived engine amortizes both across requests. `BamxFile` reads
+//! are positional (`read_at` on `&self`), which is what makes sharing
+//! one cached handle across worker threads sound.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ngs_bamx::{Baix, BamxFile};
+use ngs_formats::error::{Error, Result};
+use parking_lot::Mutex;
+
+/// An open dataset: the shared BAMX handle plus its decoded BAIX index.
+#[derive(Clone)]
+pub struct CachedShard {
+    /// Open BAMX shard (thread-safe positional reads).
+    pub bamx: Arc<BamxFile>,
+    /// Decoded BAIX index for the shard.
+    pub baix: Arc<Baix>,
+}
+
+/// Snapshot of the store's cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to open and index a dataset.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// `hits / (hits + misses)`; zero when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct StoreState {
+    /// name → (shard, last-use stamp). Eviction removes the smallest
+    /// stamp — O(n), fine for the single-digit capacities used here.
+    cache: HashMap<String, (CachedShard, u64)>,
+    tick: u64,
+}
+
+/// Discovers and caches the BAMX+BAIX datasets of one directory.
+pub struct ShardStore {
+    dir: PathBuf,
+    capacity: usize,
+    state: Mutex<StoreState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardStore {
+    /// Opens a store over `dir`, holding at most `capacity` datasets
+    /// open at once (minimum 1).
+    pub fn open(dir: impl AsRef<Path>, capacity: usize) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        if !dir.is_dir() {
+            return Err(Error::InvalidRecord(format!(
+                "shard directory {} does not exist",
+                dir.display()
+            )));
+        }
+        Ok(ShardStore {
+            dir,
+            capacity: capacity.max(1),
+            state: Mutex::new(StoreState { cache: HashMap::new(), tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory being served.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cache capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Dataset names in the directory: every `NAME.bamx` with a sibling
+    /// `NAME.baix`, sorted.
+    pub fn datasets(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "bamx")
+                && path.with_extension("baix").is_file()
+            {
+                if let Some(stem) = path.file_stem() {
+                    names.push(stem.to_string_lossy().into_owned());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Fetches a dataset, opening it on a miss. Returns the shard and
+    /// whether the lookup hit the cache.
+    pub fn get(&self, name: &str) -> Result<(CachedShard, bool)> {
+        if name.contains(['/', '\\']) || name.is_empty() {
+            return Err(Error::InvalidRecord(format!("bad dataset name {name:?}")));
+        }
+        let mut state = self.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some((shard, stamp)) = state.cache.get_mut(name) {
+            *stamp = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((shard.clone(), true));
+        }
+        // Miss: open under the lock. This serializes cold opens, which
+        // keeps a thundering herd from opening the same dataset twice.
+        let bamx_path = self.dir.join(format!("{name}.bamx"));
+        if !bamx_path.is_file() {
+            return Err(Error::InvalidRecord(format!(
+                "unknown dataset {name:?} in {}",
+                self.dir.display()
+            )));
+        }
+        let bamx = Arc::new(BamxFile::open(&bamx_path)?);
+        let baix = Arc::new(Baix::load(bamx_path.with_extension("baix"))?);
+        let shard = CachedShard { bamx, baix };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        state.cache.insert(name.to_string(), (shard.clone(), tick));
+        if state.cache.len() > self.capacity {
+            if let Some(victim) = state
+                .cache
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                state.cache.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok((shard, false))
+    }
+
+    /// Number of datasets currently open.
+    pub fn cached(&self) -> usize {
+        self.state.lock().cache.len()
+    }
+
+    /// Current hit/miss/eviction counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::write_shard;
+
+    #[test]
+    fn discovery_lists_paired_shards_only() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "b", &[100, 200]);
+        write_shard(dir.path(), "a", &[300]);
+        // An orphan .bamx without .baix is not a dataset.
+        std::fs::write(dir.path().join("orphan.bamx"), b"junk").unwrap();
+        let store = ShardStore::open(dir.path(), 4).unwrap();
+        assert_eq!(store.datasets().unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100, 200, 300]);
+        let store = ShardStore::open(dir.path(), 2).unwrap();
+        let (_, hit) = store.get("d").unwrap();
+        assert!(!hit);
+        let (shard, hit) = store.get("d").unwrap();
+        assert!(hit);
+        assert_eq!(shard.bamx.len(), 3);
+        assert_eq!(shard.baix.len(), 3);
+        assert_eq!(
+            store.counters(),
+            CacheCounters { hits: 1, misses: 1, evictions: 0 }
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let dir = tempfile::tempdir().unwrap();
+        for name in ["a", "b", "c"] {
+            write_shard(dir.path(), name, &[100]);
+        }
+        let store = ShardStore::open(dir.path(), 2).unwrap();
+        store.get("a").unwrap();
+        store.get("b").unwrap();
+        store.get("a").unwrap(); // refresh a; b is now LRU
+        store.get("c").unwrap(); // evicts b
+        assert_eq!(store.cached(), 2);
+        let (_, hit) = store.get("a").unwrap();
+        assert!(hit, "refreshed entry must survive eviction");
+        let (_, hit) = store.get("b").unwrap();
+        assert!(!hit, "LRU entry must have been evicted");
+        assert_eq!(store.counters().evictions, 2); // c's insert + b's re-insert
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let dir = tempfile::tempdir().unwrap();
+        assert!(ShardStore::open(dir.path().join("missing"), 1).is_err());
+        let store = ShardStore::open(dir.path(), 1).unwrap();
+        assert!(store.get("nope").is_err());
+        assert!(store.get("../escape").is_err());
+        assert!(store.get("").is_err());
+    }
+}

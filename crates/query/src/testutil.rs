@@ -1,0 +1,29 @@
+//! Test-only helpers: tiny deterministic BAMX+BAIX fixtures.
+
+use std::path::Path;
+
+use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
+use ngs_formats::header::{ReferenceSequence, SamHeader};
+use ngs_formats::sam;
+
+/// Writes `NAME.bamx` + `NAME.baix` under `dir` with one 10-bp chr1
+/// record per 1-based start position in `starts`.
+pub fn write_shard(dir: &Path, name: &str, starts: &[i64]) {
+    let header = SamHeader::from_references(vec![ReferenceSequence {
+        name: b"chr1".to_vec(),
+        length: 100_000,
+    }]);
+    let records: Vec<_> = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let line =
+                format!("r{i}\t0\tchr1\t{p}\t60\t10M\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII");
+            sam::parse_record(line.as_bytes(), 1).unwrap()
+        })
+        .collect();
+    let bamx_path = dir.join(format!("{name}.bamx"));
+    write_bamx_file(&bamx_path, &header, &records, BamxCompression::Plain).unwrap();
+    let baix = Baix::build(&BamxFile::open(&bamx_path).unwrap()).unwrap();
+    baix.save(dir.join(format!("{name}.baix"))).unwrap();
+}

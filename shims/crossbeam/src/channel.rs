@@ -1,0 +1,413 @@
+//! Multi-producer multi-consumer channels with crossbeam's API shape.
+//!
+//! A channel is a `Mutex<VecDeque>` plus two condvars (`not_empty`,
+//! `not_full`) and sender/receiver reference counts so each side
+//! observes disconnection of the other. Cloned receivers share one
+//! queue, so N workers pulling from one receiver form a work queue —
+//! exactly the pattern `ngs-query`'s worker pool needs.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// All receivers have been dropped.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders have been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the timeout elapsed.
+    Timeout,
+    /// The channel is empty and all senders have been dropped.
+    Disconnected,
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    /// `None` means unbounded.
+    capacity: Option<usize>,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half of a channel. Clone freely; the channel disconnects
+/// for receivers when the last sender drops.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Clone freely; all clones drain the
+/// same queue (MPMC work-queue semantics).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Creates a channel holding at most `cap` in-flight messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    new_channel(Some(cap))
+}
+
+/// Creates a channel with no capacity bound.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    new_channel(None)
+}
+
+fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while the channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.shared.capacity {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self
+                        .shared
+                        .not_full
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Sends without blocking; rejects with [`TrySendError::Full`] when
+    /// the channel is at capacity (the admission-control path).
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking until one arrives or every sender
+    /// is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Receives without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.lock();
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receives, blocking at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (g, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains and returns all currently queued messages.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            // Wake blocked receivers so they observe disconnection.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.receivers -= 1;
+        let last = st.receivers == 0;
+        drop(st);
+        if last {
+            // Wake blocked senders so they observe disconnection.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn recv_reports_disconnect_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+        assert!(tx.send(2).is_err());
+    }
+
+    #[test]
+    fn cloned_receivers_share_one_queue() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut seen = Vec::new();
+        let h = {
+            let rx2 = rx2;
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx2.recv() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        while let Ok(v) = rx.recv() {
+            seen.push(v);
+        }
+        seen.extend(h.join().unwrap());
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_empty_channel() {
+        let (tx, rx) = bounded::<i32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn mpmc_stress_delivers_every_message_once() {
+        let (tx, rx) = bounded(8);
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let tx = tx.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        let mut all = Vec::new();
+        for p in producers {
+            p.join().unwrap();
+        }
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let mut expect: Vec<i32> = (0..4).flat_map(|p| (0..250).map(move |i| p * 1000 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+}

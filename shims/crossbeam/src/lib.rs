@@ -1,0 +1,9 @@
+//! Minimal in-tree `crossbeam` shim.
+//!
+//! Provides the `crossbeam::channel` MPMC subset the workspace uses
+//! (bounded/unbounded channels, cloneable senders *and* receivers,
+//! non-blocking `try_send` for admission control), implemented over
+//! `std::sync::{Mutex, Condvar}`. Built because the environment cannot
+//! fetch crates.io (see DESIGN.md §4).
+
+pub mod channel;

@@ -1,0 +1,38 @@
+//! Minimal in-tree `libc` shim.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors tiny API-compatible shims for its external
+//! dependencies (see DESIGN.md §4). The CLI only needs `signal(2)` to
+//! restore default `SIGPIPE` behaviour; everything else is omitted.
+
+/// C `int`.
+#[allow(non_camel_case_types)]
+pub type c_int = i32;
+
+/// Signal-handler value as passed to `signal(2)`.
+#[allow(non_camel_case_types)]
+pub type sighandler_t = usize;
+
+/// Broken-pipe signal number (Linux and macOS both use 13).
+pub const SIGPIPE: c_int = 13;
+
+/// Default signal disposition.
+pub const SIG_DFL: sighandler_t = 0;
+
+extern "C" {
+    /// Installs `handler` for `signum`; returns the previous handler.
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn signal_installs_default_handler() {
+        // SIGPIPE/SIG_DFL is exactly the call the CLI makes; it must not
+        // crash and must return a previous-handler value.
+        unsafe {
+            let prev = super::signal(super::SIGPIPE, super::SIG_DFL);
+            super::signal(super::SIGPIPE, prev);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Minimal in-tree `proptest` shim.
+//!
+//! The build environment cannot fetch crates.io, so the workspace
+//! vendors a small property-testing harness exposing the proptest API
+//! subset its tests use (see DESIGN.md §4): the `proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert*!` and `prop_assume!`
+//! macros, `Strategy` with `prop_map`/`boxed`, integer-range and
+//! regex-character-class string strategies, `Just`, `any::<T>()`, and
+//! `collection::vec`.
+//!
+//! Differences from real proptest, by design:
+//! - **Deterministic**: the RNG is seeded from the test's module path
+//!   and name, so every run generates the same cases (CLAUDE.md
+//!   requires tests independent of wall-clock and scheduling).
+//! - **No shrinking**: a failing case reports its assertion message
+//!   immediately instead of minimizing the input first.
+//! - String strategies support only `[class]{m,n}` patterns (char
+//!   ranges, literals, and one `&&[^…]` subtraction), which covers
+//!   every pattern in this repo.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; generate a replacement.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The common imports proptest users expect.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn` runs `config.cases` deterministic
+/// generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.cases.saturating_mul(16).max(1024),
+                                "proptest '{}': too many prop_assume! rejections",
+                                stringify!($name),
+                            );
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed (after {} passing cases): {}",
+                                stringify!($name), accepted, msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Defines a function returning a composed strategy:
+/// `fn name()(x in sx, y in sy) -> T { expr }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ( $(#[$meta:meta])* $vis:vis fn $name:ident ()
+      ( $($pat:pat in $strat:expr),+ $(,)? ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice between heterogeneous strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure reports the generated
+/// case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal (by `PartialEq`), reporting both
+/// values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`", left, right,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`", left, right,
+            )));
+        }
+    }};
+}
+
+/// Filters the current case out (regenerated, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..100, b in 0u32..100) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn addition_commutes((a, b) in arb_pair()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5usize..10, y in 0i64..=3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0..=3).contains(&y), "y was {y}");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u8..20) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_just_and_map(v in prop_oneof![
+            Just(7u64),
+            (0u64..3).prop_map(|x| x + 100),
+            any::<bool>().prop_map(|b| if b { 1 } else { 2 }),
+        ]) {
+            prop_assert!(v == 7 || (100..103).contains(&v) || v == 1 || v == 2);
+        }
+
+        #[test]
+        fn string_pattern_class(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn string_pattern_subtraction(s in "[ -~&&[^\\\\]]{0,20}") {
+            prop_assert!(s.len() <= 20);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c) && c != '\\'));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(any::<u8>(), 3..6)) {
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::deterministic("seed-name");
+        let mut b = crate::test_runner::TestRng::deterministic("seed-name");
+        let s = crate::collection::vec(any::<u64>(), 0..50);
+        for _ in 0..10 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

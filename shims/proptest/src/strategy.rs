@@ -1,0 +1,423 @@
+//! Value-generation strategies (no shrinking; see crate docs).
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values of `Self::Value` from an RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { src: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.src.generate(rng))
+    }
+}
+
+/// Strategy from a generation closure (used by `prop_compose!`).
+pub struct FnStrategy<T, F> {
+    f: F,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> FnStrategy<T, F> {
+    /// Wraps `f` as a strategy.
+    pub fn new(f: F) -> Self {
+        FnStrategy { f, _marker: PhantomData }
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    variants: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `variants`; must be non-empty.
+    pub fn new(variants: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        Union { variants }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.variants.len() as u64) as usize;
+        self.variants[i].generate(rng)
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Full-domain strategy for `T` (use as `any::<T>()`).
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// The canonical strategy generating any `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => { $(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+ };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => { $(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                // span == 0 would mean a full u64 domain, which no
+                // in-repo strategy uses; `below` needs a non-zero bound.
+                (*self.start() as i128 + rng.below(span.max(1)) as i128) as $t
+            }
+        }
+    )+ };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => { $(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+ };
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// `[class]{m,n}` regex subset for string strategies.
+struct CharClassPattern {
+    allowed: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Parses the supported pattern subset: one bracketed character class
+/// (literals, `a-z` ranges, `\x` escapes, optional `&&[^…]`
+/// subtraction) followed by an optional `{m}` / `{m,n}` repetition.
+fn parse_pattern(pattern: &str) -> CharClassPattern {
+    let bytes: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    assert!(
+        bytes.first() == Some(&'['),
+        "unsupported string strategy pattern (want [class]{{m,n}}): {pattern:?}"
+    );
+    i += 1;
+    let mut include: Vec<(char, char)> = Vec::new();
+    let mut exclude: Vec<(char, char)> = Vec::new();
+    let mut target = &mut include;
+    loop {
+        match bytes.get(i) {
+            None => panic!("unterminated character class in {pattern:?}"),
+            Some(']') => {
+                i += 1;
+                break;
+            }
+            Some('&') if bytes.get(i + 1) == Some(&'&') => {
+                assert!(
+                    bytes.get(i + 2) == Some(&'[') && bytes.get(i + 3) == Some(&'^'),
+                    "only `&&[^…]` subtraction is supported in {pattern:?}"
+                );
+                i += 4;
+                target = &mut exclude;
+                // The subtracted class has its own closing ']'.
+                loop {
+                    match bytes.get(i) {
+                        None => panic!("unterminated subtraction class in {pattern:?}"),
+                        Some(']') => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {
+                            let (item, next) = parse_class_item(&bytes, i, pattern);
+                            target.push(item);
+                            i = next;
+                        }
+                    }
+                }
+                target = &mut include;
+            }
+            _ => {
+                let (item, next) = parse_class_item(&bytes, i, pattern);
+                target.push(item);
+                i = next;
+            }
+        }
+    }
+    let (min_len, max_len) = if bytes.get(i) == Some(&'{') {
+        let close = bytes[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"))
+            + i;
+        let body: String = bytes[i + 1..close].iter().collect();
+        i = close + 1;
+        match body.split_once(',') {
+            Some((m, n)) => (
+                m.trim().parse().expect("bad repetition min"),
+                n.trim().parse().expect("bad repetition max"),
+            ),
+            None => {
+                let m: usize = body.trim().parse().expect("bad repetition count");
+                (m, m)
+            }
+        }
+    } else {
+        (1, 1)
+    };
+    assert!(i == bytes.len(), "trailing pattern syntax unsupported: {pattern:?}");
+    assert!(min_len <= max_len, "bad repetition bounds in {pattern:?}");
+    let allowed: Vec<char> = (0u8..128)
+        .map(char::from)
+        .filter(|&c| {
+            include.iter().any(|&(lo, hi)| (lo..=hi).contains(&c))
+                && !exclude.iter().any(|&(lo, hi)| (lo..=hi).contains(&c))
+        })
+        .collect();
+    assert!(!allowed.is_empty(), "character class matches nothing: {pattern:?}");
+    CharClassPattern { allowed, min_len, max_len }
+}
+
+/// Parses one class item (literal, escape, or `a-b` range) starting at
+/// `i`; returns the covered range and the next index.
+fn parse_class_item(bytes: &[char], i: usize, pattern: &str) -> ((char, char), usize) {
+    let read = |k: usize| -> (char, usize) {
+        match bytes.get(k) {
+            Some('\\') => {
+                let c = *bytes
+                    .get(k + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                let c = match c {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                (c, k + 2)
+            }
+            Some(&c) => (c, k + 1),
+            None => panic!("unterminated character class in {pattern:?}"),
+        }
+    };
+    let (lo, next) = read(i);
+    if bytes.get(next) == Some(&'-') && bytes.get(next + 1).is_some_and(|&c| c != ']') {
+        let (hi, next2) = read(next + 1);
+        assert!(lo <= hi, "inverted range {lo:?}-{hi:?} in {pattern:?}");
+        ((lo, hi), next2)
+    } else {
+        ((lo, lo), next)
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let p = parse_pattern(self);
+        let len = p.min_len + rng.below((p.max_len - p.min_len + 1) as u64) as usize;
+        (0..len)
+            .map(|_| p.allowed[rng.below(p.allowed.len() as u64) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn range_strategies_cover_bounds() {
+        let mut r = rng();
+        let s = 3u8..6;
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut r));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn inclusive_range_hits_upper_bound() {
+        let mut r = rng();
+        let s = 0u8..=1;
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn negative_ranges_work() {
+        let mut r = rng();
+        let s = -5i64..5;
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pattern_with_ranges_and_literals() {
+        let p = parse_pattern("[a-cxZ]{2,3}");
+        let set: String = p.allowed.iter().collect();
+        assert_eq!(set, "Zabcx");
+        assert_eq!((p.min_len, p.max_len), (2, 3));
+    }
+
+    #[test]
+    fn pattern_subtraction_removes_chars() {
+        // Printable ASCII minus backslash — the pattern the format
+        // tests use for SAM tag strings.
+        let p = parse_pattern("[ -~&&[^\\\\]]{0,20}");
+        assert!(p.allowed.contains(&'A'));
+        assert!(!p.allowed.contains(&'\\'));
+        assert_eq!((p.min_len, p.max_len), (0, 20));
+    }
+
+    #[test]
+    fn pattern_punctuation_ranges() {
+        // The qname pattern from the format tests.
+        let p = parse_pattern("[!-?A-~]{1,40}");
+        assert!(p.allowed.contains(&'!'));
+        assert!(p.allowed.contains(&'?'));
+        assert!(!p.allowed.contains(&'@')); // between the two ranges
+        assert!(p.allowed.contains(&'~'));
+    }
+
+    #[test]
+    fn union_only_emits_variant_values() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(1u8).boxed(), Just(9u8).boxed()]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..60 {
+            seen.insert(u.generate(&mut r));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 9]);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let s = (0u8..4, 10u16..12);
+        for _ in 0..50 {
+            let (a, b) = s.generate(&mut r);
+            assert!(a < 4 && (10..12).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Minimal in-tree `rayon` shim.
+//!
+//! The build environment cannot fetch crates.io, so the workspace
+//! vendors an API-compatible subset of rayon (see DESIGN.md §4). This
+//! is **not** a work-stealing pool: each consuming operation splits its
+//! input into one contiguous range per available core and runs them on
+//! `std::thread::scope` threads. For the coarse-grained block/chunk
+//! parallelism this repo uses (BGZF block codecs, flagstat chunks,
+//! NL-means tiles) that matches rayon's performance shape; there is no
+//! global pool to configure and no nested-parallelism balancing.
+//!
+//! Supported surface (exactly what the workspace calls):
+//! `slice.par_iter()`, `slice.par_chunks(n)`, `slice.par_chunks_mut(n)`,
+//! `slice.par_sort()`, `slice.par_sort_by(cmp)`, adapter chains of
+//! `.map(..)` / `.enumerate(..)` ending in `.collect()`, `.for_each(..)`
+//! or `.reduce(..)`, and `rayon::current_num_threads()`.
+
+use std::cmp::Ordering;
+
+/// Everything needed for `use rayon::prelude::*` call sites.
+pub mod prelude {
+    pub use crate::{ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `0..len` into at most `current_num_threads()` contiguous
+/// ranges of near-equal size.
+fn split_ranges(len: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(len);
+    let chunk = len.div_ceil(threads);
+    (0..len).step_by(chunk).map(|lo| lo..(lo + chunk).min(len)).collect()
+}
+
+/// A data source whose items can be produced by index, concurrently
+/// from multiple threads.
+///
+/// # Safety
+///
+/// Implementations may hand out aliasing-sensitive items (e.g. `&mut`
+/// chunks); callers must request each index at most once per run.
+pub unsafe trait IndexedSource: Sync + Sized {
+    /// The per-index item type.
+    type Item: Send;
+    /// Total number of items.
+    fn length(&self) -> usize;
+    /// Produces the item at `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < self.length()`, and each `i` is requested at most once
+    /// across all threads of one consuming operation.
+    unsafe fn item(&self, i: usize) -> Self::Item;
+}
+
+/// Consuming operations available on every parallel iterator.
+pub trait ParallelIterator: IndexedSource {
+    /// Maps each item through `f` (lazily; runs at the consumer).
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { src: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { src: self }
+    }
+
+    /// Runs `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let ranges = split_ranges(self.length());
+        let src = &self;
+        let f = &f;
+        std::thread::scope(|s| {
+            for r in ranges {
+                s.spawn(move || {
+                    for i in r {
+                        // SAFETY: ranges are disjoint, i < length.
+                        f(unsafe { src.item(i) });
+                    }
+                });
+            }
+        });
+    }
+
+    /// Collects all items, preserving input order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        let ranges = split_ranges(self.length());
+        let src = &self;
+        let parts: Vec<Vec<Self::Item>> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| {
+                    s.spawn(move || {
+                        // SAFETY: ranges are disjoint, i < length.
+                        r.map(|i| unsafe { src.item(i) }).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rayon shim worker panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(self.length());
+        for p in parts {
+            out.extend(p);
+        }
+        C::from(out)
+    }
+
+    /// Folds each thread's range from `identity()`, then combines the
+    /// per-thread results with `op` in input order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let ranges = split_ranges(self.length());
+        let src = &self;
+        let identity = &identity;
+        let op = &op;
+        let parts: Vec<Self::Item> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| {
+                    s.spawn(move || {
+                        let mut acc = identity();
+                        for i in r {
+                            // SAFETY: ranges are disjoint, i < length.
+                            acc = op(acc, unsafe { src.item(i) });
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rayon shim worker panicked")).collect()
+        });
+        parts.into_iter().fold(identity(), op)
+    }
+}
+
+impl<S: IndexedSource> ParallelIterator for S {}
+
+/// `.map(f)` adapter.
+pub struct Map<S, F> {
+    src: S,
+    f: F,
+}
+
+// SAFETY: forwards the at-most-once index contract to `src`.
+unsafe impl<S, R, F> IndexedSource for Map<S, F>
+where
+    S: IndexedSource,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync,
+{
+    type Item = R;
+    fn length(&self) -> usize {
+        self.src.length()
+    }
+    unsafe fn item(&self, i: usize) -> R {
+        (self.f)(self.src.item(i))
+    }
+}
+
+/// `.enumerate()` adapter.
+pub struct Enumerate<S> {
+    src: S,
+}
+
+// SAFETY: forwards the at-most-once index contract to `src`.
+unsafe impl<S: IndexedSource> IndexedSource for Enumerate<S> {
+    type Item = (usize, S::Item);
+    fn length(&self) -> usize {
+        self.src.length()
+    }
+    unsafe fn item(&self, i: usize) -> (usize, S::Item) {
+        (i, self.src.item(i))
+    }
+}
+
+/// Borrowed parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+// SAFETY: shared references may be produced any number of times.
+unsafe impl<'a, T: Sync> IndexedSource for ParIter<'a, T> {
+    type Item = &'a T;
+    fn length(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn item(&self, i: usize) -> &'a T {
+        self.slice.get_unchecked(i)
+    }
+}
+
+/// Parallel iterator over `&[T]` in chunks of `size`.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+// SAFETY: shared sub-slices may be produced any number of times.
+unsafe impl<'a, T: Sync> IndexedSource for ParChunks<'a, T> {
+    type Item = &'a [T];
+    fn length(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    unsafe fn item(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        self.slice.get_unchecked(lo..hi)
+    }
+}
+
+/// Parallel iterator over `&mut [T]` in disjoint mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the raw pointer is only used to construct disjoint `&mut`
+// chunks (the IndexedSource contract guarantees each index once).
+unsafe impl<T: Send> Sync for ParChunksMut<'_, T> {}
+
+// SAFETY: chunk `i` covers exactly `[i*size, min((i+1)*size, len))`;
+// distinct indices yield non-overlapping mutable slices.
+unsafe impl<'a, T: Send> IndexedSource for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn length(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    unsafe fn item(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+/// Parallel operations on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel counterpart of `slice.iter()`.
+    fn par_iter(&self) -> ParIter<'_, T>;
+    /// Parallel counterpart of `slice.chunks(size)` (`size > 0`).
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunks { slice: self, size }
+    }
+}
+
+/// Parallel operations on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel counterpart of `slice.chunks_mut(size)` (`size > 0`).
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    /// Stable parallel sort.
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    /// Stable parallel sort with a comparator.
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.par_sort_by(T::cmp);
+    }
+
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        let threads = current_num_threads();
+        if self.len() < 8192 || threads < 2 {
+            self.sort_by(|a, b| compare(a, b));
+            return;
+        }
+        // Sort one contiguous run per core in parallel, then let std's
+        // adaptive stable sort merge the pre-sorted runs (it detects
+        // ascending runs, so the final pass is the cheap merge phase).
+        let run = self.len().div_ceil(threads);
+        let compare = &compare;
+        std::thread::scope(|s| {
+            let mut rest = &mut *self;
+            while !rest.is_empty() {
+                let take = run.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                s.spawn(move || head.sort_by(|a, b| compare(a, b)));
+            }
+        });
+        self.sort_by(|a, b| compare(a, b));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_enumerate_matches_sequential() {
+        let v = vec![5u8; 1000];
+        let out: Vec<(usize, u8)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out[42], (42, 5));
+        assert_eq!(out[999], (999, 5));
+    }
+
+    #[test]
+    fn par_chunks_reduce_sums_everything() {
+        let v: Vec<u64> = (1..=100_000).collect();
+        let total = v
+            .par_chunks(1024)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 100_000u64 * 100_001 / 2);
+    }
+
+    #[test]
+    fn par_chunks_mut_for_each_writes_disjoint_chunks() {
+        let mut v = vec![0u32; 4096];
+        v.par_chunks_mut(100).enumerate().for_each(|(ci, chunk)| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = (ci * 100 + k) as u32;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        let mut v: Vec<i64> = (0..50_000).map(|i| (i * 2_654_435_761u64 as i64) % 1000).collect();
+        let mut expect = v.clone();
+        expect.sort();
+        v.par_sort();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_sort_by_is_stable() {
+        // Pair (key, original index); sort by key only and verify ties
+        // keep their original order.
+        let mut v: Vec<(u8, usize)> =
+            (0..20_000).map(|i| ((i % 7) as u8, i)).collect();
+        v.par_sort_by(|a, b| a.0.cmp(&b.0));
+        for w in v.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let sum = v.par_chunks(8).map(|c| c.len()).reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimal in-tree `tempfile` shim.
+//!
+//! Provides the `tempdir()` / [`TempDir`] subset the workspace uses,
+//! implemented on `std` only (the build environment cannot reach
+//! crates.io; see DESIGN.md §4). Directories are created under
+//! `std::env::temp_dir()` with a process-unique name and removed on
+//! drop.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory on disk that is deleted (recursively) when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+    /// `true` once ownership of the path has been released via
+    /// [`TempDir::keep`]; suppresses the drop-time delete.
+    released: bool,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Releases ownership: the directory is no longer deleted on drop.
+    pub fn keep(mut self) -> PathBuf {
+        self.released = true;
+        self.path.clone()
+    }
+
+    /// Deletes the directory now, reporting any I/O error.
+    pub fn close(mut self) -> io::Result<()> {
+        self.released = true;
+        std::fs::remove_dir_all(&self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.released {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// Creates a new process-unique temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    tempdir_in(std::env::temp_dir())
+}
+
+/// Creates a new temporary directory under `base`.
+pub fn tempdir_in<P: AsRef<Path>>(base: P) -> io::Result<TempDir> {
+    let pid = std::process::id();
+    loop {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = base.as_ref().join(format!(".ngs-tmp-{pid}-{n}"));
+        match std::fs::create_dir_all(&path) {
+            Ok(()) => return Ok(TempDir { path, released: false }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdir_is_created_and_removed_on_drop() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        std::fs::write(path.join("f.txt"), b"x").unwrap();
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn two_tempdirs_are_distinct() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn keep_suppresses_deletion() {
+        let dir = tempdir().unwrap();
+        let path = dir.keep();
+        assert!(path.is_dir());
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+}

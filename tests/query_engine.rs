@@ -1,0 +1,142 @@
+//! Cross-crate integration: the long-lived query engine must be a
+//! drop-in for one-shot partial conversion — for the same region and
+//! target format it produces byte-identical part files, because both
+//! drive the same `convert_index_list` work unit.
+
+use std::sync::Arc;
+
+use ngs_bamx::Region;
+use ngs_converter::{BamConverter, ConvertConfig, TargetFormat};
+use ngs_query::{
+    EngineConfig, ManualClock, QueryEngine, QueryKind, QueryOutcome, QueryRequest,
+};
+use ngs_simgen::{Dataset, DatasetSpec};
+use tempfile::tempdir;
+
+/// Engine output vs `BamConverter::convert_partial` at one rank, across
+/// several regions and target formats.
+#[test]
+fn engine_matches_one_shot_partial_conversion_byte_for_byte() {
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: 1_500,
+        n_chroms: 2,
+        coordinate_sorted: true,
+        ..Default::default()
+    });
+    let dir = tempdir().unwrap();
+    let bam_path = dir.path().join("input.bam");
+    ds.write_bam(&bam_path).unwrap();
+
+    let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+    let shard_dir = dir.path().join("shards");
+    let prep = conv.preprocess(&bam_path, &shard_dir).unwrap();
+
+    let engine = QueryEngine::new(
+        &shard_dir,
+        EngineConfig { workers: 2, convert: ConvertConfig::with_ranks(1), ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(engine.store().datasets().unwrap(), vec!["input".to_string()]);
+
+    let header_probe = ngs_bamx::BamxFile::open(&prep.bamx_path).unwrap();
+    let regions = ["chr1:1-2000", "chr1:5001-9000", "chr2:1-100000"];
+    let formats = [TargetFormat::Bed, TargetFormat::Sam, TargetFormat::Json];
+
+    for (i, (region_text, target)) in
+        regions.iter().flat_map(|r| formats.iter().map(move |t| (*r, *t))).enumerate()
+    {
+        // One-shot path.
+        let oneshot_dir = dir.path().join(format!("oneshot-{i}"));
+        let region = Region::parse(region_text, header_probe.header()).unwrap();
+        let oneshot =
+            conv.convert_partial(&prep.bamx_path, &prep.baix_path, &region, target, &oneshot_dir)
+                .unwrap();
+        assert_eq!(oneshot.outputs.len(), 1, "one rank → one part file");
+
+        // Engine path.
+        let engine_dir = dir.path().join(format!("engine-{i}"));
+        let ticket = engine
+            .submit(QueryRequest {
+                dataset: "input".into(),
+                region: region_text.into(),
+                kind: QueryKind::Convert { format: target, out_dir: engine_dir },
+                deadline: None,
+            })
+            .unwrap();
+        let response = ticket.wait();
+        let outcome = response.outcome.expect("engine request should succeed");
+        let QueryOutcome::Converted { output, records_in, records_out, .. } = outcome else {
+            panic!("expected a conversion outcome");
+        };
+
+        // Same part file name, same bytes.
+        assert_eq!(
+            output.file_name(),
+            oneshot.outputs[0].file_name(),
+            "{region_text} as {target:?}"
+        );
+        assert_eq!(
+            std::fs::read(&output).unwrap(),
+            std::fs::read(&oneshot.outputs[0]).unwrap(),
+            "{region_text} as {target:?}"
+        );
+        assert_eq!(records_in, oneshot.records_in());
+        assert_eq!(records_out, oneshot.records_out());
+    }
+
+    let stats = engine.drain();
+    assert_eq!(stats.completed, (regions.len() * formats.len()) as u64);
+    assert_eq!(stats.failed, 0);
+    // One dataset, capacity-bounded cache: exactly one miss, rest hits.
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, stats.completed - 1);
+}
+
+/// Coverage requests agree with a direct histogram over the same region,
+/// and deadline bookkeeping stays deterministic under a manual clock.
+#[test]
+fn engine_coverage_and_deadlines_are_deterministic() {
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: 400,
+        coordinate_sorted: true,
+        ..Default::default()
+    });
+    let dir = tempdir().unwrap();
+    let bam_path = dir.path().join("input.bam");
+    ds.write_bam(&bam_path).unwrap();
+    let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+    let shard_dir = dir.path().join("shards");
+    conv.preprocess(&bam_path, &shard_dir).unwrap();
+
+    let clock = Arc::new(ManualClock::new());
+    let engine = QueryEngine::with_clock(
+        &shard_dir,
+        EngineConfig { workers: 1, ..Default::default() },
+        clock.clone(),
+    )
+    .unwrap();
+
+    let ticket = engine
+        .submit(QueryRequest {
+            dataset: "input".into(),
+            region: "chr1".into(),
+            kind: QueryKind::Coverage { bin_size: 100 },
+            deadline: None,
+        })
+        .unwrap();
+    let response = ticket.wait();
+    let QueryOutcome::Coverage { bins, bin_size, records } =
+        response.outcome.expect("coverage should succeed")
+    else {
+        panic!("expected a coverage outcome");
+    };
+    assert_eq!(bin_size, 100);
+    assert!(!bins.is_empty());
+    assert!(records > 0);
+    // Every mapped base lands in some bin: total coverage is positive.
+    assert!(bins.iter().sum::<f64>() > 0.0);
+
+    let stats = engine.drain();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.deadline_missed, 0);
+}
