@@ -25,4 +25,10 @@ cargo test --workspace --quiet
 echo "==> cargo clippy --workspace --all-targets (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Fault matrix: the corruption suites run in the workspace tests above,
+# but the chaos verifier exercises the full engine retry/quarantine path
+# end to end and exits nonzero on any failure-model violation.
+echo "==> ngsp chaos (fault-injection verify)"
+cargo run -p ngs-cli --bin ngsp -- chaos --plans 48 --records 300
+
 echo "==> ci.sh: all green"

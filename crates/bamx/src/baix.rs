@@ -5,12 +5,19 @@
 //! sorted keys, mapping a genomic interval to a *BAIX region* — a
 //! contiguous range of index entries — which is then split evenly across
 //! processors for partial conversion.
+//!
+//! Loading goes through [`ReadAt`] so indexes can come from files, memory,
+//! or fault-injecting wrappers; malformed bytes surface as structured
+//! [`Error::Decode`] values, never panics or unbounded allocations.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::fs::File;
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
-use ngs_formats::error::{Error, Result};
+use ngs_bgzf::ReadAt;
+use ngs_formats::error::{DecodeErrorKind, Error, Result};
 
 use crate::file::BamxFile;
 use crate::region::Region;
@@ -95,33 +102,87 @@ impl Baix {
 
     /// Loads an index from `path`.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
-        let mut f = File::open(path)?;
-        let mut magic = [0u8; 5];
-        f.read_exact(&mut magic)?;
-        if magic != MAGIC {
-            return Err(Error::InvalidRecord("bad BAIX magic".into()));
+        let context = path.as_ref().display().to_string();
+        let file = File::open(path)?;
+        Self::load_with(&file, &context)
+    }
+
+    /// Loads an index from an arbitrary positional-read source. `context`
+    /// names the index in decode errors (usually its path).
+    pub fn load_with(source: &dyn ReadAt, context: &str) -> Result<Self> {
+        let total_len = source.len()?;
+        const HEADER_LEN: u64 = 5 + 8;
+        if total_len < HEADER_LEN {
+            return Err(Error::decode(
+                DecodeErrorKind::Truncated,
+                total_len,
+                context,
+                format!("file is {total_len} bytes, below the {HEADER_LEN}-byte BAIX header"),
+            ));
+        }
+        let mut head = [0u8; HEADER_LEN as usize];
+        source.read_exact_at(&mut head, 0)?;
+        if head[..5] != MAGIC {
+            return Err(Error::decode(DecodeErrorKind::BadMagic, 0, context, "bad BAIX magic"));
         }
         let mut nb = [0u8; 8];
-        f.read_exact(&mut nb)?;
-        let n = u64::from_le_bytes(nb) as usize;
-        let mut body = vec![0u8; n * 16];
-        f.read_exact(&mut body)?;
-        let mut entries = Vec::with_capacity(n);
+        nb.copy_from_slice(&head[5..13]);
+        let n = u64::from_le_bytes(nb);
+        // A BAIX file is *exactly* header + n 16-byte entries; validate the
+        // count against the real size before reserving a single byte, so a
+        // corrupt count can neither overflow arithmetic nor size a buffer.
+        match n.checked_mul(16).and_then(|b| b.checked_add(HEADER_LEN)) {
+            Some(need) if need == total_len => {}
+            Some(need) => {
+                let kind = if need > total_len {
+                    DecodeErrorKind::Truncated
+                } else {
+                    DecodeErrorKind::Corrupt
+                };
+                return Err(Error::decode(
+                    kind,
+                    5,
+                    context,
+                    format!("entry count {n} implies {need} bytes but the file has {total_len}"),
+                ));
+            }
+            None => {
+                return Err(Error::decode(
+                    DecodeErrorKind::Implausible,
+                    5,
+                    context,
+                    format!("entry count {n} overflows the index size"),
+                ));
+            }
+        }
+        let mut body = vec![0u8; (total_len - HEADER_LEN) as usize];
+        source.read_exact_at(&mut body, HEADER_LEN)?;
+        let mut entries = Vec::with_capacity(n as usize);
         for chunk in body.chunks_exact(16) {
+            let mut k = [0u8; 8];
+            let mut i = [0u8; 8];
+            k.copy_from_slice(&chunk[0..8]);
+            i.copy_from_slice(&chunk[8..16]);
             entries.push(BaixEntry {
-                key: u64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes")),
-                index: u64::from_le_bytes(chunk[8..16].try_into().expect("8 bytes")),
+                key: u64::from_le_bytes(k),
+                index: u64::from_le_bytes(i),
             });
         }
         // Defensive: entries must be sorted for binary search to be valid.
         if !entries.windows(2).all(|w| (w[0].key, w[0].index) <= (w[1].key, w[1].index)) {
-            return Err(Error::InvalidRecord("BAIX entries not sorted".into()));
+            return Err(Error::decode(
+                DecodeErrorKind::Corrupt,
+                HEADER_LEN,
+                context,
+                "BAIX entries not sorted",
+            ));
         }
         Ok(Baix { entries })
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::file::{write_bamx_file, BamxCompression};

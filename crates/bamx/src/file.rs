@@ -1,13 +1,20 @@
 //! BAMX shard files: fixed-width records with O(1) random access, plus the
 //! optionally BGZF-compressed body (the paper's future-work item).
+//!
+//! Reading goes through the [`ReadAt`] abstraction so shards can be served
+//! from files, in-memory buffers, or fault-injecting wrappers (`ngs-fault`).
+//! Every malformation of untrusted shard bytes surfaces as a structured
+//! [`Error::Decode`] — never a panic, never an attacker-sized allocation.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 
+use ngs_bgzf::ReadAt;
 use ngs_formats::bam::{decode_header, encode_header};
-use ngs_formats::error::{Error, Result};
+use ngs_formats::error::{DecodeErrorKind, Error, Result};
 use ngs_formats::header::SamHeader;
 use ngs_formats::record::AlignmentRecord;
 
@@ -150,11 +157,13 @@ impl<W: Write> BamxWriter<W> {
     }
 }
 
-/// A BAMX shard opened for random access. Cloning is cheap-ish (re-opens
-/// nothing; the `File` handle is duplicated via `try_clone` when needed) —
-/// in practice each worker thread opens its own `BamxFile`.
+/// A BAMX shard opened for random access over any [`ReadAt`] source —
+/// a plain `File`, an in-memory buffer, or a fault-injecting wrapper.
+/// In practice each worker thread opens its own `BamxFile`.
 pub struct BamxFile {
-    file: File,
+    source: Box<dyn ReadAt>,
+    /// Shard identity carried into every decode error.
+    context: String,
     header: SamHeader,
     layout: BamxLayout,
     compression: BamxCompression,
@@ -169,36 +178,70 @@ pub struct BamxFile {
 impl BamxFile {
     /// Opens a BAMX file and reads its metadata.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let context = path.as_ref().display().to_string();
         let file = File::open(path)?;
-        let total_len = file.metadata()?.len();
+        Self::open_with(Box::new(file), context)
+    }
 
-        let mut head = vec![0u8; 10];
-        file.read_exact_at(&mut head, 0)?;
-        if head[..5] != MAGIC {
-            return Err(Error::InvalidRecord("bad BAMX magic".into()));
+    /// Opens a BAMX shard over an arbitrary positional-read source.
+    /// `context` names the shard in decode errors (usually its path).
+    pub fn open_with(source: Box<dyn ReadAt>, context: impl Into<String>) -> Result<Self> {
+        let context = context.into();
+        let bad = |kind, offset, detail: String| Error::decode(kind, offset, &context, detail);
+
+        let total_len = source.len()?;
+        // Fixed framing: magic(5) + compression(1) + prologue_len(4) +
+        // layout(12) + trailer(8). Anything shorter cannot be a shard.
+        const MIN_LEN: u64 = 10 + 12 + 8;
+        if total_len < MIN_LEN {
+            return Err(bad(
+                DecodeErrorKind::Truncated,
+                total_len,
+                format!("file is {total_len} bytes, below the {MIN_LEN}-byte BAMX minimum"),
+            ));
         }
-        let compression = BamxCompression::from_byte(head[5])?;
-        let prologue_len = u32::from_le_bytes([head[6], head[7], head[8], head[9]]) as usize;
+        let mut head = [0u8; 10];
+        source.read_exact_at(&mut head, 0)?;
+        if head[..5] != MAGIC {
+            return Err(bad(DecodeErrorKind::BadMagic, 0, "bad BAMX magic".into()));
+        }
+        let compression = BamxCompression::from_byte(head[5]).map_err(|e| {
+            bad(DecodeErrorKind::Corrupt, 5, e.to_string())
+        })?;
+        let prologue_len = u32::from_le_bytes([head[6], head[7], head[8], head[9]]) as u64;
+        // The prologue must leave room for layout + trailer; validate by
+        // arithmetic before allocating or attempting the implied read.
+        if prologue_len > total_len - MIN_LEN {
+            return Err(bad(
+                DecodeErrorKind::Implausible,
+                6,
+                format!("prologue length {prologue_len} exceeds file size {total_len}"),
+            ));
+        }
 
-        let mut prologue = vec![0u8; prologue_len];
-        file.read_exact_at(&mut prologue, 10)?;
-        let header = decode_header(&mut &prologue[..])?;
+        let mut prologue = vec![0u8; prologue_len as usize];
+        source.read_exact_at(&mut prologue, 10)?;
+        // The prologue is an in-memory buffer here, so any failure —
+        // including an EOF-shaped one — is structural, not transient I/O.
+        let header = decode_header(&mut &prologue[..]).map_err(|e| {
+            bad(DecodeErrorKind::Corrupt, 10, format!("BAMX prologue: {e}"))
+        })?;
 
         let mut layout_bytes = [0u8; 12];
-        file.read_exact_at(&mut layout_bytes, 10 + prologue_len as u64)?;
-        let layout = BamxLayout::decode(&layout_bytes)?;
+        source.read_exact_at(&mut layout_bytes, 10 + prologue_len)?;
+        let layout = BamxLayout::decode(&layout_bytes).map_err(|e| {
+            bad(DecodeErrorKind::Corrupt, 10 + prologue_len, e.to_string())
+        })?;
 
-        let body_offset = 10 + prologue_len as u64 + 12;
+        let body_offset = 10 + prologue_len + 12;
 
-        if total_len < body_offset + 8 {
-            return Err(Error::InvalidRecord("BAMX file truncated".into()));
-        }
         let mut trailer = [0u8; 8];
-        file.read_exact_at(&mut trailer, total_len - 8)?;
+        source.read_exact_at(&mut trailer, total_len - 8)?;
         let n_records = u64::from_le_bytes(trailer);
 
         let mut this = BamxFile {
-            file,
+            source,
+            context,
             header,
             layout,
             compression,
@@ -211,15 +254,40 @@ impl BamxFile {
             this.records_per_block =
                 (ngs_bgzf::block::MAX_PAYLOAD / this.layout.record_size()).max(1);
             this.build_block_index(total_len - 8)?;
+            // Every record must live in some block; a trailer claiming more
+            // records than the blocks can hold is corruption, caught here so
+            // read paths never index past the block table.
+            let needed = n_records.div_ceil(this.records_per_block as u64);
+            if (this.block_offsets.len() as u64) < needed {
+                return Err(Error::decode(
+                    DecodeErrorKind::Corrupt,
+                    total_len - 8,
+                    &this.context,
+                    format!(
+                        "trailer claims {n_records} records but body holds {} BGZF blocks ({needed} needed)",
+                        this.block_offsets.len()
+                    ),
+                ));
+            }
         } else {
             let body = total_len - 8 - body_offset;
             let expect = (this.layout.record_size() as u64)
                 .checked_mul(n_records)
-                .ok_or_else(|| Error::InvalidRecord("implausible BAMX record count".into()))?;
+                .ok_or_else(|| {
+                    Error::decode(
+                        DecodeErrorKind::Implausible,
+                        total_len - 8,
+                        &this.context,
+                        format!("record count {n_records} overflows the body size"),
+                    )
+                })?;
             if body != expect {
-                return Err(Error::InvalidRecord(format!(
-                    "BAMX body size {body} != {expect} implied by trailer"
-                )));
+                return Err(Error::decode(
+                    DecodeErrorKind::Corrupt,
+                    total_len - 8,
+                    &this.context,
+                    format!("BAMX body size {body} != {expect} implied by trailer"),
+                ));
             }
         }
         Ok(this)
@@ -231,12 +299,27 @@ impl BamxFile {
         let mut pos = self.body_offset;
         let mut head = [0u8; ngs_bgzf::block::HEADER_SIZE];
         while pos < body_end {
-            self.file.read_exact_at(&mut head, pos)?;
-            let bsize = ngs_bgzf::block::peek_block_size(&head)? as u64;
+            if pos + ngs_bgzf::block::HEADER_SIZE as u64 > body_end {
+                return Err(Error::decode(
+                    DecodeErrorKind::Truncated,
+                    pos,
+                    &self.context,
+                    "BGZF block header straddles the record-count trailer",
+                ));
+            }
+            self.source.read_exact_at(&mut head, pos)?;
+            let bsize = ngs_bgzf::block::peek_block_size(&head).map_err(|e| {
+                Error::decode(DecodeErrorKind::Corrupt, pos, &self.context, e.to_string())
+            })? as u64;
             self.block_offsets.push(pos);
             pos += bsize;
         }
         Ok(())
+    }
+
+    /// The shard identity used in decode errors (usually the file path).
+    pub fn context(&self) -> &str {
+        &self.context
     }
 
     /// The embedded header (reference dictionary).
@@ -273,7 +356,7 @@ impl BamxFile {
         match self.compression {
             BamxCompression::Plain => {
                 let mut buf = vec![0u8; ((hi - lo) * rsz) as usize];
-                self.file.read_exact_at(&mut buf, self.body_offset + lo * rsz)?;
+                self.source.read_exact_at(&mut buf, self.body_offset + lo * rsz)?;
                 Ok(buf)
             }
             BamxCompression::Bgzf => {
@@ -282,10 +365,24 @@ impl BamxFile {
                 }
                 let rpb = self.records_per_block as u64;
                 let first_block = (lo / rpb) as usize;
-                let last_block = if hi == lo { first_block } else { ((hi - 1) / rpb) as usize };
+                let last_block = ((hi - 1) / rpb) as usize;
+                // Open-time validation guarantees the block table covers
+                // every record the trailer claims; keep a typed guard so a
+                // logic slip can never become an index panic.
+                if last_block >= self.block_offsets.len() {
+                    return Err(Error::decode(
+                        DecodeErrorKind::Corrupt,
+                        self.body_offset,
+                        &self.context,
+                        format!(
+                            "records {lo}..{hi} need block {last_block} but only {} exist",
+                            self.block_offsets.len()
+                        ),
+                    ));
+                }
                 let mut out = Vec::with_capacity(((hi - lo) * rsz) as usize);
                 let mut scratch = Vec::new();
-                for b in first_block..=last_block.min(self.block_offsets.len().saturating_sub(1)) {
+                for b in first_block..=last_block {
                     let start = self.block_offsets[b];
                     let end = self
                         .block_offsets
@@ -294,9 +391,18 @@ impl BamxFile {
                         .unwrap_or(start + 65536);
                     let mut comp = vec![0u8; (end - start) as usize];
                     // The final block may be followed by EOF marker bytes we
-                    // sized past; read what exists.
-                    let got = self.file.read_at(&mut comp, start)?;
-                    comp.truncate(got);
+                    // sized past; read until the buffer fills or the source
+                    // truly ends. A single read_at is not enough: short
+                    // reads are legal mid-file and must not fake an EOF.
+                    let mut filled = 0usize;
+                    while filled < comp.len() {
+                        let got = self.source.read_at(&mut comp[filled..], start + filled as u64)?;
+                        if got == 0 {
+                            break;
+                        }
+                        filled += got;
+                    }
+                    comp.truncate(filled);
                     let (payload, _) = ngs_bgzf::block::decompress_block(&comp)?;
                     scratch.clear();
                     scratch.extend_from_slice(&payload);
@@ -309,7 +415,12 @@ impl BamxFile {
                     }
                 }
                 if out.len() != ((hi - lo) * rsz) as usize {
-                    return Err(Error::InvalidRecord("compressed BAMX range short read".into()));
+                    return Err(Error::decode(
+                        DecodeErrorKind::Truncated,
+                        self.block_offsets[first_block],
+                        &self.context,
+                        "compressed BAMX range short read",
+                    ));
                 }
                 Ok(out)
             }
@@ -326,7 +437,7 @@ impl BamxFile {
     /// Decodes a single record by index.
     pub fn read_record(&self, index: u64) -> Result<AlignmentRecord> {
         let mut v = self.read_range(index, index + 1)?;
-        Ok(v.pop().expect("range of length one"))
+        v.pop().ok_or_else(|| Error::InvalidRecord("empty read of a length-one range".into()))
     }
 
     /// Streams `(ref_id, pos0)` keys for every record in file order —
@@ -366,6 +477,7 @@ pub fn write_bamx_file(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ngs_formats::header::ReferenceSequence;

@@ -6,6 +6,8 @@
 //! addressable at `header + i * record_size` — which is what enables
 //! embarrassingly-parallel partitioning and partial conversion.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use ngs_formats::error::{Error, Result};
 use ngs_formats::record::AlignmentRecord;
 use ngs_formats::bam::encode_tags;
@@ -121,6 +123,7 @@ impl BamxLayout {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ngs_formats::sam;

@@ -4,6 +4,8 @@
 //! lengths are stored in the fixed prefix and the remainder of each slot
 //! is zero padding.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use ngs_formats::bam::{decode_tags, encode_tags};
 use ngs_formats::cigar::{Cigar, CigarOp};
 use ngs_formats::error::{Error, Result};
@@ -120,7 +122,11 @@ pub fn decode(buf: &[u8], header: &SamHeader, layout: &BamxLayout) -> Result<Ali
     let pos0 = i32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
     let next_ref_id = i32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]);
     let next_pos0 = i32::from_le_bytes([buf[16], buf[17], buf[18], buf[19]]);
-    let tlen = i64::from_le_bytes(buf[20..28].try_into().expect("8 bytes"));
+    let tlen = {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&buf[20..28]);
+        i64::from_le_bytes(b)
+    };
     let qname_len = u16::from_le_bytes([buf[28], buf[29]]) as usize;
     let n_cigar = u16::from_le_bytes([buf[30], buf[31]]) as usize;
     let seq_len = u32::from_le_bytes([buf[32], buf[33], buf[34], buf[35]]) as usize;
@@ -188,6 +194,7 @@ pub fn decode(buf: &[u8], header: &SamHeader, layout: &BamxLayout) -> Result<Ali
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ngs_formats::header::ReferenceSequence;

@@ -1,0 +1,152 @@
+//! Corrupt-input regression suite for BAMX shards and BAIX indexes: every
+//! malformed byte pattern must surface as a typed error, never a panic or
+//! an attacker-chosen allocation. Each named test records a concrete
+//! corrupt-input panic found during the fault-injection audit (ISSUE 2).
+
+use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
+use ngs_formats::header::{ReferenceSequence, SamHeader};
+use ngs_formats::sam;
+use tempfile::tempdir;
+
+fn header() -> SamHeader {
+    SamHeader::from_references(vec![ReferenceSequence {
+        name: b"chr1".to_vec(),
+        length: 1_000_000,
+    }])
+}
+
+fn records(n: usize) -> Vec<ngs_formats::record::AlignmentRecord> {
+    (0..n)
+        .map(|i| {
+            let line = format!(
+                "read{i}\t0\tchr1\t{}\t60\t10M\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII",
+                100 + i * 7
+            );
+            sam::parse_record(line.as_bytes(), 1).unwrap()
+        })
+        .collect()
+}
+
+/// Audit finding #2: `Baix::load` trusted the entry count in the header
+/// and computed `vec![0u8; n * 16]` — a corrupt count of `u64::MAX`
+/// was a multiply-overflow / capacity-overflow panic (and any large
+/// count was an attacker-chosen allocation). The count must be validated
+/// against the actual file size first.
+#[test]
+fn baix_implausible_entry_count_is_typed_error() {
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("bomb.baix");
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&ngs_bamx::baix::MAGIC);
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd entry count
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(Baix::load(&path).is_err());
+
+    // A merely-huge (allocatable but bogus) count is equally rejected.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&ngs_bamx::baix::MAGIC);
+    bytes.extend_from_slice(&(1u64 << 40).to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(Baix::load(&path).is_err());
+}
+
+/// ISSUE 2 example case: a BAIX file cut inside its fixed header.
+#[test]
+fn baix_truncated_header_is_typed_error() {
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("cut.baix");
+    for cut in 0..13 {
+        std::fs::write(&path, &b"BAIX\x01\x02\x00\x00\x00\x00\x00\x00\x00"[..cut]).unwrap();
+        assert!(Baix::load(&path).is_err(), "cut at {cut}");
+    }
+}
+
+/// A BAIX whose entry array stops short of the count in its header.
+#[test]
+fn baix_truncated_body_is_typed_error() {
+    let dir = tempdir().unwrap();
+    let bamx = dir.path().join("t.bamx");
+    let baix = dir.path().join("t.baix");
+    write_bamx_file(&bamx, &header(), &records(8), BamxCompression::Plain).unwrap();
+    Baix::build(&BamxFile::open(&bamx).unwrap()).unwrap().save(&baix).unwrap();
+    let good = std::fs::read(&baix).unwrap();
+    for cut in [good.len() - 1, good.len() - 15, 14] {
+        std::fs::write(&baix, &good[..cut]).unwrap();
+        assert!(Baix::load(&baix).is_err(), "cut at {cut}");
+    }
+}
+
+/// Audit finding #3: a BGZF-bodied BAMX whose record-count trailer claims
+/// records but whose block area is empty made `read_raw_range` index
+/// `block_offsets[0]` on an empty table — an index-out-of-bounds panic.
+/// (ISSUE 2's "record length pointing past EOF" class.)
+#[test]
+fn bgzf_trailer_past_empty_body_is_typed_error() {
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("t.bamx");
+    // Start from a valid *empty* plain shard, then lie twice: flag the
+    // body as BGZF (byte 5) and claim one record in the trailer.
+    write_bamx_file(&path, &header(), &[], BamxCompression::Plain).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[5] = 1; // BamxCompression::Bgzf
+    let n = bytes.len();
+    bytes[n - 8..].copy_from_slice(&1u64.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    let f = match BamxFile::open(&path) {
+        Ok(f) => f,
+        Err(_) => return, // rejecting at open is equally acceptable
+    };
+    assert!(f.read_record(0).is_err());
+    assert!(f.positions().is_err());
+    assert!(Baix::build(&f).is_err());
+}
+
+/// A plain-body trailer that disagrees with the body size (the classic
+/// "record count pointing past EOF") stays a typed error.
+#[test]
+fn plain_trailer_body_mismatch_is_typed_error() {
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("t.bamx");
+    write_bamx_file(&path, &header(), &records(4), BamxCompression::Plain).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let n = bytes.len();
+    bytes[n - 8..].copy_from_slice(&1_000_000u64.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(BamxFile::open(&path).is_err());
+}
+
+/// A BAMX prologue length pointing past EOF must be rejected by bounds
+/// arithmetic, not by attempting the implied multi-gigabyte read.
+#[test]
+fn bamx_prologue_past_eof_is_typed_error() {
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("t.bamx");
+    write_bamx_file(&path, &header(), &records(4), BamxCompression::Plain).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(BamxFile::open(&path).is_err());
+}
+
+/// Single-byte corruption sweep across a whole small shard: open and full
+/// decode must return `Ok` or `Err`, never panic. (Flips in record bodies
+/// may decode "successfully" into different records — that is fine; the
+/// property under test is panic-freedom plus bounded allocation.)
+#[test]
+fn bamx_single_byte_flips_never_panic() {
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("t.bamx");
+    write_bamx_file(&path, &header(), &records(6), BamxCompression::Plain).unwrap();
+    let good = std::fs::read(&path).unwrap();
+    let bad_path = dir.path().join("bad.bamx");
+    for pos in 0..good.len() {
+        let mut bad = good.clone();
+        bad[pos] ^= 0xFF;
+        std::fs::write(&bad_path, &bad).unwrap();
+        if let Ok(f) = BamxFile::open(&bad_path) {
+            let _ = f.read_range(0, f.len());
+            let _ = f.positions();
+        }
+    }
+}

@@ -11,11 +11,12 @@
 use std::io::Write;
 
 use ngs_bench::{
-    fig10, fig11, fig12, fig6, fig7, fig8, fig9, query_bench, table1, ExperimentConfig, Scale,
+    fault_bench, fig10, fig11, fig12, fig6, fig7, fig8, fig9, query_bench, table1,
+    ExperimentConfig, Scale,
 };
 
-const ALL: [&str; 9] =
-    ["table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "query"];
+const ALL: [&str; 10] =
+    ["table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "query", "fault"];
 
 fn usage() -> ! {
     eprintln!(
@@ -86,6 +87,7 @@ fn main() {
             "fig11" => fig11(&cfg).expect("fig11").to_string(),
             "fig12" => fig12(&cfg).expect("fig12").to_string(),
             "query" => query_bench(&cfg).expect("query"),
+            "fault" => fault_bench(&cfg).expect("fault"),
             _ => unreachable!(),
         };
         eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());

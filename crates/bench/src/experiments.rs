@@ -541,6 +541,152 @@ pub fn query_bench(cfg: &ExperimentConfig) -> Result<String> {
     Ok(table)
 }
 
+// ---------------------------------------------------------------------------
+// Fault matrix (BENCH_fault.json)
+// ---------------------------------------------------------------------------
+
+/// Fault-matrix experiment (no corresponding paper figure): decode
+/// robustness and fault-detection latency per fault class. For each
+/// class, seeded `ngs-fault` plans are applied to one BGZF-bodied BAMX
+/// shard and the full decode path (open + read every record) runs over
+/// the damaged source. Byte-damaging classes must be *rejected* with a
+/// typed error or *survive* with a clean decode (a flip in compression
+/// slack) — never panic, never silently diverge. Delivery-only classes
+/// (short reads, transient errors) must *recover* to byte-identical
+/// records within the plan's retry budget. Writes `BENCH_fault.json`
+/// and returns a rendered table.
+pub fn fault_bench(cfg: &ExperimentConfig) -> Result<String> {
+    use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
+    use ngs_fault::{Fault, FaultPlan, FaultyFile};
+    use ngs_simgen::rng::Rng;
+
+    const PLANS_PER_KIND: u64 = 32;
+    let records = cfg.scale.query_records();
+
+    let dir = cfg.cache.scratch("fault-shards")?;
+    let ds = cfg.cache.dataset(records, 2, true);
+    let bamx_path = dir.join("f.bamx");
+    write_bamx_file(&bamx_path, &ds.header(), &ds.records, BamxCompression::Bgzf)?;
+    Baix::build(&BamxFile::open(&bamx_path)?)?.save(bamx_path.with_extension("baix"))?;
+    let pristine = std::fs::read(&bamx_path)?;
+    let len = pristine.len() as u64;
+
+    let clean_shard = BamxFile::open_with(Box::new(pristine.clone()), "clean")?;
+    let clean_records = clean_shard.read_range(0, clean_shard.len())?;
+    let (clean_scan, clean_time) = time_once(|| -> Result<usize> {
+        let f = BamxFile::open_with(Box::new(pristine.clone()), "clean")?;
+        Ok(f.read_range(0, f.len())?.len())
+    });
+    clean_scan?;
+
+    /// One fault of the named class, derived from a seeded RNG.
+    fn make_fault(kind: &str, rng: &mut Rng, len: u64) -> Fault {
+        let bound = len.max(1);
+        match kind {
+            "truncate" => Fault::TruncateAt { offset: rng.next_below(bound) },
+            "bitflip" => Fault::BitFlip {
+                offset: rng.next_below(bound),
+                mask: 1 << rng.next_below(8),
+            },
+            "zerorun" => Fault::ZeroRun {
+                offset: rng.next_below(bound),
+                len: 1 + rng.next_below(256),
+            },
+            "shortread" => Fault::ShortRead { max: 1 + rng.next_below(63) },
+            _ => Fault::TransientIo { failures: 1 + rng.next_below(4) as u32 },
+        }
+    }
+
+    let mut table = String::from("Fault matrix (BGZF-bodied BAMX shard, full open+scan per plan)\n");
+    table.push_str(&format!(
+        "{records} records, {PLANS_PER_KIND} seeded plans per class; clean decode {:?}\n",
+        clean_time
+    ));
+    table.push_str("class      rejected  survived  recovered  diverged  mean detect\n");
+    let mut json_rows = Vec::new();
+    for kind in ["truncate", "bitflip", "zerorun", "shortread", "transient"] {
+        let lossless = matches!(kind, "shortread" | "transient");
+        let (mut rejected, mut survived, mut recovered, mut diverged) = (0u64, 0u64, 0u64, 0u64);
+        let mut detect_total = Duration::ZERO;
+        for seed in 0..PLANS_PER_KIND {
+            let mut rng = Rng::seed_from_u64(0xFA17 ^ (seed << 8));
+            let plan = FaultPlan::new(vec![
+                make_fault(kind, &mut rng, len),
+                // A second fault of the same class stresses interactions.
+                make_fault(kind, &mut rng, len),
+            ]);
+            let budget = plan.total_transient_failures() as usize + 1;
+            let source = std::sync::Arc::new(FaultyFile::new(pristine.clone(), plan));
+            let (outcome, elapsed) = time_once(|| {
+                // Retry within the transient budget, exactly as the
+                // query engine's shard store does.
+                let attempt = || {
+                    let f = BamxFile::open_with(Box::new(source.clone()), "fault")?;
+                    let recs = f.read_range(0, f.len())?;
+                    Ok::<_, ngs_formats::error::Error>(recs)
+                };
+                let mut result = attempt();
+                for _ in 1..budget {
+                    if !matches!(&result, Err(e) if e.is_transient()) {
+                        break;
+                    }
+                    result = attempt();
+                }
+                result
+            });
+            match outcome {
+                Ok(recs) if recs == clean_records => {
+                    if lossless {
+                        recovered += 1;
+                    } else {
+                        survived += 1;
+                    }
+                }
+                Ok(_) if lossless => {
+                    return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                        "fault class {kind} seed {seed}: lossless plan changed decoded bytes"
+                    )));
+                }
+                // A flip or zero-run in an unchecksummed region (the plain
+                // prologue) is undetectable in principle; the matrix
+                // reports how often that happens rather than hiding it.
+                Ok(_) => diverged += 1,
+                Err(e) if lossless => {
+                    return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                        "fault class {kind} seed {seed}: lossless plan was rejected: {e}"
+                    )));
+                }
+                Err(_) => {
+                    rejected += 1;
+                    detect_total += elapsed;
+                }
+            }
+        }
+        let mean_detect = detect_total
+            .checked_div(rejected.max(1) as u32)
+            .unwrap_or(Duration::ZERO);
+        table.push_str(&format!(
+            "{kind:<9}  {rejected:>8}  {survived:>8}  {recovered:>9}  {diverged:>8}  {mean_detect:>11.2?}\n"
+        ));
+        json_rows.push(format!(
+            "    {{\"class\": \"{kind}\", \"plans\": {PLANS_PER_KIND}, \"rejected\": {rejected}, \
+             \"survived\": {survived}, \"recovered\": {recovered}, \"diverged\": {diverged}, \
+             \"mean_detect_seconds\": {:.6}}}",
+            mean_detect.as_secs_f64(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"fault_matrix\",\n  \"records\": {records},\n  \
+         \"plans_per_class\": {PLANS_PER_KIND},\n  \"clean_decode_seconds\": {:.6},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        clean_time.as_secs_f64(),
+        json_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_fault.json", json)?;
+    table.push_str("JSON written to BENCH_fault.json\n");
+    Ok(table)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,8 @@
 //! LSB-first bit-level I/O used by the DEFLATE codec (RFC 1951 packs bits
 //! starting from the least significant bit of each byte).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::error::{Error, Result};
 
 /// Reads bits LSB-first from a byte slice.
@@ -181,6 +183,7 @@ impl BitWriter {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

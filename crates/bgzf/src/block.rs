@@ -2,6 +2,8 @@
 //! FEXTRA carries a `BC` subfield holding `BSIZE` (total block size − 1),
 //! allowing a reader to hop block-to-block without inflating.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::crc32::crc32;
 use crate::deflate::{deflate, Options};
 use crate::error::{Error, Result};
@@ -99,6 +101,12 @@ pub fn decompress_block(data: &[u8]) -> Result<(Vec<u8>, usize)> {
     let block = &data[..bsize];
     let trailer = &block[bsize - TRAILER_SIZE..];
     let isize = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+    // The spec bounds a block's uncompressed payload to 64 KiB, so a larger
+    // ISIZE is corruption — reject it before reserving the inflate buffer
+    // rather than letting a flipped trailer drive a multi-GiB allocation.
+    if isize as usize > 65536 {
+        return Err(Error::Corrupt("ISIZE exceeds the 64 KiB BGZF block limit"));
+    }
     // The DEFLATE body sits between the fixed header and the trailer. The
     // header may in principle carry extra subfields, so re-parse its length.
     let xlen = u16::from_le_bytes([block[10], block[11]]) as usize;
@@ -121,6 +129,7 @@ pub fn has_eof_marker(data: &[u8]) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -3,6 +3,8 @@
 //! BGZF builds on this: a BGZF block is a gzip member carrying a mandatory
 //! FEXTRA subfield (see [`crate::block`]).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::crc32::crc32;
 use crate::deflate::{deflate, Options};
 use crate::error::{Error, Result};
@@ -160,6 +162,7 @@ pub fn decompress_all(mut data: &[u8]) -> Result<Vec<u8>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

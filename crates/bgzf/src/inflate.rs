@@ -1,6 +1,8 @@
 //! DEFLATE decompression (RFC 1951): stored, fixed-Huffman and
 //! dynamic-Huffman blocks.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::bits::BitReader;
 use crate::error::{Error, Result};
 use crate::huffman::Decoder;
@@ -196,6 +198,7 @@ fn copy_match(out: &mut Vec<u8>, distance: usize, length: usize) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::bits::BitWriter;

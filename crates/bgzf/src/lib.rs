@@ -44,6 +44,7 @@ pub mod gzip;
 pub mod huffman;
 pub mod inflate;
 pub mod lz77;
+pub mod read_at;
 pub mod reader;
 pub mod voffset;
 pub mod writer;
@@ -51,6 +52,7 @@ pub mod writer;
 pub use deflate::{deflate, Options, Strategy};
 pub use error::{Error, Result};
 pub use inflate::inflate;
+pub use read_at::ReadAt;
 pub use reader::{decompress_parallel, decompress_sequential, BgzfReader};
 pub use voffset::VirtualOffset;
 pub use writer::{compress_parallel, compress_sequential, BgzfWriter};

@@ -1,0 +1,173 @@
+//! Positional-read abstraction over shard byte sources.
+//!
+//! Decode layers (`ngs-bamx`, `ngs-query`) historically took `std::fs::File`
+//! directly, which made it impossible to interpose fault injection or serve
+//! from memory. [`ReadAt`] is the minimal `pread`-shaped surface those
+//! layers need: stateless offset reads plus a total length. Implementations
+//! exist for [`File`], byte slices/vectors (tests, in-memory shards), and
+//! smart pointers, and `ngs-fault` wraps any of them to inject deterministic
+//! failures.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs::File;
+use std::io;
+use std::sync::Arc;
+
+/// Stateless positional reads — the `pread(2)` shape.
+///
+/// All methods take `&self`; implementations must be safe to share across
+/// threads (worker pools read one shard concurrently).
+pub trait ReadAt: Send + Sync {
+    /// Total length of the underlying source in bytes.
+    fn len(&self) -> io::Result<u64>;
+
+    /// Reads at most `buf.len()` bytes starting at `offset`, returning the
+    /// number read (0 at or past end-of-source).
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize>;
+
+    /// Fills `buf` from `offset` exactly, or fails with `UnexpectedEof`.
+    fn read_exact_at(&self, mut buf: &mut [u8], mut offset: u64) -> io::Result<()> {
+        while !buf.is_empty() {
+            match self.read_at(buf, offset)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "source ended before the requested range",
+                    ))
+                }
+                n => {
+                    buf = &mut buf[n..];
+                    offset += n as u64;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the source holds no bytes.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+impl ReadAt for File {
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.metadata()?.len())
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        std::os::unix::fs::FileExt::read_at(self, buf, offset)
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        std::os::unix::fs::FileExt::read_exact_at(self, buf, offset)
+    }
+}
+
+impl ReadAt for [u8] {
+    fn len(&self) -> io::Result<u64> {
+        Ok(<[u8]>::len(self) as u64)
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        let start = usize::try_from(offset).unwrap_or(usize::MAX).min(<[u8]>::len(self));
+        let avail = &self[start..];
+        let n = avail.len().min(buf.len());
+        buf[..n].copy_from_slice(&avail[..n]);
+        Ok(n)
+    }
+}
+
+impl ReadAt for Vec<u8> {
+    fn len(&self) -> io::Result<u64> {
+        ReadAt::len(self.as_slice())
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        self.as_slice().read_at(buf, offset)
+    }
+}
+
+impl<T: ReadAt + ?Sized> ReadAt for &T {
+    fn len(&self) -> io::Result<u64> {
+        (**self).len()
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        (**self).read_at(buf, offset)
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        (**self).read_exact_at(buf, offset)
+    }
+}
+
+impl<T: ReadAt + ?Sized> ReadAt for Box<T> {
+    fn len(&self) -> io::Result<u64> {
+        (**self).len()
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        (**self).read_at(buf, offset)
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        (**self).read_exact_at(buf, offset)
+    }
+}
+
+impl<T: ReadAt + ?Sized> ReadAt for Arc<T> {
+    fn len(&self) -> io::Result<u64> {
+        (**self).len()
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        (**self).read_at(buf, offset)
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        (**self).read_exact_at(buf, offset)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_reads_are_positional() {
+        let data = (0u8..64).collect::<Vec<u8>>();
+        let mut buf = [0u8; 8];
+        data.read_exact_at(&mut buf, 16).unwrap();
+        assert_eq!(buf, [16, 17, 18, 19, 20, 21, 22, 23]);
+        assert_eq!(ReadAt::len(&data).unwrap(), 64);
+    }
+
+    #[test]
+    fn slice_short_read_past_end() {
+        let data = vec![1u8, 2, 3];
+        let mut buf = [0u8; 8];
+        assert_eq!(data.read_at(&mut buf, 2).unwrap(), 1);
+        assert_eq!(data.read_at(&mut buf, 3).unwrap(), 0);
+        assert_eq!(data.read_at(&mut buf, u64::MAX).unwrap(), 0);
+        assert!(data.read_exact_at(&mut buf, 0).is_err());
+    }
+
+    #[test]
+    fn file_impl_matches_slice() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("ra.bin");
+        let data = b"positional read test bytes".to_vec();
+        std::fs::write(&path, &data).unwrap();
+        let f = File::open(&path).unwrap();
+        assert_eq!(ReadAt::len(&f).unwrap(), data.len() as u64);
+        let mut buf = vec![0u8; 4];
+        f.read_exact_at(&mut buf, 11).unwrap();
+        assert_eq!(&buf, b"read");
+        let boxed: Box<dyn ReadAt> = Box::new(f);
+        boxed.read_exact_at(&mut buf, 16).unwrap();
+        assert_eq!(&buf, b"test");
+    }
+}

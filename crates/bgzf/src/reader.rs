@@ -1,5 +1,7 @@
 //! Streaming BGZF reader with virtual-offset seeking.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::{self, Read, Seek, SeekFrom};
 
 use crate::block::{decompress_block, has_eof_marker, peek_block_size, HEADER_SIZE};
@@ -153,6 +155,11 @@ pub fn decompress_parallel(data: &[u8]) -> Result<Vec<u8>> {
     let mut pos = 0usize;
     while pos < data.len() {
         let bsize = peek_block_size(&data[pos..])?;
+        // The announced BSIZE must fit in the remaining input; a truncated
+        // final block (or a lying header) is an error, not a bad slice.
+        if bsize > data.len() - pos {
+            return Err(crate::error::Error::UnexpectedEof);
+        }
         offsets.push((pos, bsize));
         pos += bsize;
     }
@@ -194,6 +201,7 @@ pub fn validate(data: &[u8]) -> Result<bool> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::writer::{compress_parallel, BgzfWriter};

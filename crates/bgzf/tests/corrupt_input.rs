@@ -1,0 +1,100 @@
+//! Corrupt-input regression suite: every malformed BGZF byte stream must
+//! surface as a typed [`ngs_bgzf::Error`], never a panic or an unbounded
+//! allocation. Each named test records a concrete panic found during the
+//! fault-injection audit (ISSUE 2) and pins the typed-error behaviour.
+
+use std::io::Read;
+
+use ngs_bgzf::block::{compress_block, decompress_block, HEADER_SIZE, TRAILER_SIZE};
+use ngs_bgzf::deflate::Options;
+use ngs_bgzf::{decompress_parallel, decompress_sequential, BgzfReader, BgzfWriter};
+
+fn sample_file(payload: &[u8]) -> Vec<u8> {
+    use std::io::Write;
+    let mut w = BgzfWriter::new(Vec::new());
+    w.write_all(payload).unwrap();
+    w.finish().unwrap()
+}
+
+/// Audit finding #1: `decompress_parallel` walked block headers without
+/// checking that the announced BSIZE fits in the remaining input, then
+/// sliced `data[off..off + size]` — a truncated final block was a
+/// slice-out-of-range panic instead of an error.
+#[test]
+fn truncated_final_block_is_typed_error_in_parallel_decode() {
+    let file = sample_file(&b"block payload ".repeat(2_000));
+    // Cut the file mid-block: the last header survives, its body does not.
+    let truncated = &file[..file.len() - 5];
+    assert!(decompress_parallel(truncated).is_err());
+    // The sequential path must agree (it always returned a typed error).
+    assert!(decompress_sequential(truncated).is_err());
+}
+
+/// Audit finding #1 (variant): a block whose BSIZE field *lies* — pointing
+/// past the end of the file — took the same panicking slice path.
+#[test]
+fn oversized_bsize_is_typed_error_in_parallel_decode() {
+    let mut file = sample_file(b"four score and seven years ago");
+    // BSIZE-1 lives at bytes 16..18 of the first block header.
+    let huge = (u16::MAX) .to_le_bytes();
+    file[16] = huge[0];
+    file[17] = huge[1];
+    assert!(decompress_parallel(&file).is_err());
+    assert!(decompress_sequential(&file).is_err());
+}
+
+/// A corrupt ISIZE trailer must not drive a multi-gigabyte allocation:
+/// BGZF payloads are capped at 64 KiB, so any larger ISIZE is rejected
+/// before the inflate buffer is reserved.
+#[test]
+fn implausible_isize_is_rejected_before_allocation() {
+    let mut block = compress_block(b"trailer bomb", Options::default());
+    let n = block.len();
+    block[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(decompress_block(&block).is_err());
+}
+
+/// Streaming reader over a mid-block truncation: typed I/O error, and the
+/// reader stays usable as a value (no poisoned state, no panic).
+#[test]
+fn streaming_reader_truncation_is_typed_error() {
+    let file = sample_file(&b"streaming bytes ".repeat(5_000));
+    let cut = &file[..file.len() / 2];
+    let mut r = BgzfReader::new(std::io::Cursor::new(cut));
+    let mut out = Vec::new();
+    assert!(r.read_to_end(&mut out).is_err());
+}
+
+/// Deterministic single-byte corruption sweep over a whole small file:
+/// every position, every decode entry point — outcomes may be Ok (the
+/// flip can be benign, e.g. in MTIME) or Err, but never a panic.
+#[test]
+fn single_byte_flips_never_panic() {
+    let file = sample_file(&b"ACGTacgt\n".repeat(400));
+    for pos in 0..file.len() {
+        let mut bad = file.clone();
+        bad[pos] ^= 0x55;
+        let _ = decompress_sequential(&bad);
+        let _ = decompress_parallel(&bad);
+        let _ = ngs_bgzf::reader::validate(&bad);
+        let mut r = BgzfReader::new(std::io::Cursor::new(&bad));
+        let mut out = Vec::new();
+        let _ = r.read_to_end(&mut out);
+    }
+}
+
+/// Truncation sweep around every framing boundary of the first block.
+#[test]
+fn truncation_sweep_never_panics() {
+    let file = sample_file(b"short payload");
+    let interesting: Vec<usize> = (0..HEADER_SIZE + 4)
+        .chain(file.len().saturating_sub(TRAILER_SIZE + 4)..file.len())
+        .collect();
+    for cut in interesting {
+        let bad = &file[..cut];
+        let _ = decompress_sequential(bad);
+        let _ = decompress_parallel(bad);
+        let _ = decompress_block(bad);
+        let _ = ngs_bgzf::block::peek_block_size(bad);
+    }
+}

@@ -596,3 +596,207 @@ pub fn query_cmd(args: &Args) -> CmdResult {
     )?;
     Ok(())
 }
+
+/// `ngsp chaos [--plans N] [--records R] [--seed S]`
+///
+/// Self-contained fault-injection verification. Builds a deterministic
+/// shard pair, then checks three layers of the failure model
+/// (DESIGN.md §7):
+///
+/// 1. **Byte level** — `--plans` seeded random [`ngs_fault::FaultPlan`]s
+///    corrupt the shard bytes; every decode must end in a typed error or
+///    a clean decode, never a panic or a silent divergence that a
+///    checksum could have caught.
+/// 2. **Delivery level** — lossless plans (short reads + transient
+///    errors) run through a full `QueryEngine` with a fault-injecting
+///    shard opener; the retried conversion must be byte-identical to
+///    the clean engine's output.
+/// 3. **Quarantine** — structurally corrupt shards on disk must be
+///    quarantined by the shard store on first decode failure and
+///    fail fast (without re-opening) afterwards.
+pub fn chaos_cmd(args: &Args) -> CmdResult {
+    use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
+    use ngs_fault::{Fault, FaultPlan, FaultyFile};
+    use ngs_query::{
+        EngineConfig, ManualClock, QueryEngine, QueryKind, QueryOutcome, QueryRequest,
+        RetryPolicy, ShardStore, SourceOpener,
+    };
+    use std::sync::Arc;
+
+    let plans: u64 = args.get_or("plans", 64u64)?;
+    let records: usize = args.get_or("records", 400usize)?;
+    let seed: u64 = args.get_or("seed", 20140519u64)?;
+
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: records,
+        n_chroms: 2,
+        coordinate_sorted: true,
+        seed,
+        ..Default::default()
+    });
+    let dir = tempfile::tempdir()?;
+    let shard_dir = dir.path().join("shards");
+    std::fs::create_dir_all(&shard_dir)?;
+    let bamx_path = shard_dir.join("chaos.bamx");
+    write_bamx_file(&bamx_path, &ds.header(), &ds.records, BamxCompression::Bgzf)?;
+    Baix::build(&BamxFile::open(&bamx_path)?)?.save(bamx_path.with_extension("baix"))?;
+    let pristine = std::fs::read(&bamx_path)?;
+    let len = pristine.len() as u64;
+
+    let clean = BamxFile::open_with(Box::new(pristine.clone()), "chaos")?;
+    let baseline_records = clean.read_range(0, clean.len())?;
+
+    // --- 1. Byte-level sweep ------------------------------------------------
+    let (mut rejected, mut decoded, mut diverged) = (0u64, 0u64, 0u64);
+    for p in 0..plans {
+        let plan = FaultPlan::random(seed.wrapping_add(p), len);
+        let bytes = plan.corrupt(&pristine);
+        match BamxFile::open_with(Box::new(bytes), "chaos") {
+            Err(_) => rejected += 1,
+            Ok(f) => {
+                let n = f.len();
+                let full = f.read_range(0, n);
+                let _ = f.read_record(n / 2);
+                let _ = f.positions();
+                let _ = Baix::build(&f);
+                match full {
+                    Err(_) => rejected += 1,
+                    Ok(recs) if recs == baseline_records => decoded += 1,
+                    Ok(_) => diverged += 1,
+                }
+            }
+        }
+    }
+    println!(
+        "byte level: {plans} plans -> {rejected} rejected (typed), {decoded} decoded clean, \
+         {diverged} diverged (unchecksummed region), 0 panics"
+    );
+
+    // --- 2. Delivery-level engine runs --------------------------------------
+    // Clean baseline conversion bytes, once.
+    let clean_engine = QueryEngine::new(&shard_dir, EngineConfig::with_workers(1))?;
+    let request = |out_dir: std::path::PathBuf| QueryRequest {
+        dataset: "chaos".into(),
+        region: "chr1".into(),
+        kind: QueryKind::Convert { format: TargetFormat::Sam, out_dir },
+        deadline: None,
+    };
+    let baseline_out = match clean_engine
+        .submit(request(dir.path().join("clean-out")))
+        .map_err(|e| err(format!("baseline submit: {e}")))?
+        .wait()
+        .outcome
+    {
+        Ok(QueryOutcome::Converted { output, .. }) => std::fs::read(output)?,
+        other => return Err(err(format!("baseline conversion failed: {other:?}"))),
+    };
+    drop(clean_engine);
+
+    const DELIVERY_RUNS: u64 = 6;
+    let mut retries_absorbed = 0u64;
+    for run in 0..DELIVERY_RUNS {
+        let plan = FaultPlan::new(vec![
+            Fault::TransientIo { failures: 1 + (run % 3) as u32 },
+            Fault::ShortRead { max: 1 + (seed ^ run) % 31 },
+        ]);
+        assert!(plan.is_lossless());
+        // One shared wrapper per path, so the transient budget drains
+        // across the store's retries like a recovering mount.
+        let budget = plan.total_transient_failures();
+        let sources: std::sync::Mutex<
+            std::collections::HashMap<std::path::PathBuf, Arc<FaultyFile<Vec<u8>>>>,
+        > = std::sync::Mutex::new(std::collections::HashMap::new());
+        let plan_for_opener = plan.clone();
+        let opener: Box<SourceOpener> = Box::new(move |path| {
+            let mut map = sources.lock().expect("chaos opener mutex");
+            let source = map.entry(path.to_path_buf()).or_insert_with(|| {
+                let bytes = std::fs::read(path).unwrap_or_default();
+                Arc::new(FaultyFile::new(bytes, plan_for_opener.clone()))
+            });
+            Ok(Box::new(Arc::clone(source)))
+        });
+        let clock = Arc::new(ManualClock::new());
+        let store = Arc::new(
+            ShardStore::open_with(
+                &shard_dir,
+                4,
+                clock.clone(),
+                // Both the .bamx and .baix wrappers carry the full budget;
+                // size attempts so one get always drains them.
+                RetryPolicy { attempts: budget * 2 + 1, ..RetryPolicy::default() },
+            )?
+            .with_opener(opener),
+        );
+        let engine = QueryEngine::with_store(store, EngineConfig::with_workers(1), clock)?;
+        let outcome = engine
+            .submit(request(dir.path().join(format!("chaos-out-{run}"))))
+            .map_err(|e| err(format!("delivery run {run} submit: {e}")))?
+            .wait()
+            .outcome;
+        let Ok(QueryOutcome::Converted { output, .. }) = outcome else {
+            return Err(err(format!(
+                "delivery run {run}: conversion failed under lossless plan {plan:?}: {outcome:?}"
+            )));
+        };
+        if std::fs::read(&output)? != baseline_out {
+            return Err(err(format!(
+                "delivery run {run}: output bytes diverged under lossless plan {plan:?}"
+            )));
+        }
+        retries_absorbed += engine.drain().transient_retries;
+    }
+    println!(
+        "delivery level: {DELIVERY_RUNS} engine runs -> {DELIVERY_RUNS} byte-identical \
+         conversions, {retries_absorbed} transient retries absorbed"
+    );
+
+    // --- 3. Quarantine ------------------------------------------------------
+    const QUARANTINE_RUNS: u64 = 8;
+    let clock = Arc::new(ManualClock::new());
+    let store =
+        ShardStore::open_with(&shard_dir, 4, clock, RetryPolicy::default())?;
+    let mut quarantined = 0u64;
+    let mut survived_corruption = 0u64;
+    for q in 0..QUARANTINE_RUNS {
+        // Damage that open-time validation sees: flipped magic/prologue
+        // bytes or a mid-file truncation. (Payload-only damage hides
+        // until a read decompresses the block, so it cannot exercise the
+        // open-failure quarantine this phase verifies.)
+        let plan = if q % 2 == 0 {
+            FaultPlan::new(vec![Fault::TruncateAt { offset: len / 2 + q }])
+        } else {
+            FaultPlan::new(vec![Fault::BitFlip { offset: q % 10, mask: 0x7F }])
+        };
+        let name = format!("corrupt-{q}");
+        std::fs::write(shard_dir.join(format!("{name}.bamx")), plan.corrupt(&pristine))?;
+        std::fs::copy(
+            bamx_path.with_extension("baix"),
+            shard_dir.join(format!("{name}.baix")),
+        )?;
+        match store.get(&name) {
+            Ok(_) => survived_corruption += 1, // damage landed in slack
+            Err(first) => {
+                if !store.is_quarantined(&name) {
+                    return Err(err(format!(
+                        "quarantine run {q}: structural failure did not quarantine: {first}"
+                    )));
+                }
+                let second = store.get(&name).expect_err("quarantined dataset must keep failing");
+                if !second.to_string().contains("quarantined") {
+                    return Err(err(format!(
+                        "quarantine run {q}: expected fail-fast quarantine error, got: {second}"
+                    )));
+                }
+                quarantined += 1;
+            }
+        }
+    }
+    println!(
+        "quarantine: {QUARANTINE_RUNS} corrupt shards -> {quarantined} quarantined + \
+         fail-fast verified, {survived_corruption} decoded clean (damage in slack); \
+         store counters: {:?}",
+        store.counters()
+    );
+    println!("chaos: all checks passed ({plans} plans, seed {seed}, {records} records)");
+    Ok(())
+}

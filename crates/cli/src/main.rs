@@ -40,6 +40,10 @@ COMMANDS:
               [--queue N] [--cache N] [--deadline-ms D]
               one request per line: DATASET REGION FORMAT
               (FORMAT: a --to format, or coverage[:BIN])
+  chaos       verify the failure model with seeded fault injection
+              [--plans N] [--records R] [--seed S]
+              (byte-level corruption, engine retry byte-identity,
+               shard-store quarantine; exits nonzero on any violation)
 
 Formats for --to: sam bam bed bedgraph fasta fastq json yaml wig gff3
 ";
@@ -82,6 +86,7 @@ fn main() {
         "fdr" => commands::fdr_cmd(&args),
         "peaks" => commands::peaks_cmd(&args),
         "query" => commands::query_cmd(&args),
+        "chaos" => commands::chaos_cmd(&args),
         "help" | "--help" | "-h" => {
             eprint!("{USAGE}");
             return;

@@ -1,0 +1,148 @@
+//! Fault-injecting positional reader: wraps any [`ReadAt`] source.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use ngs_bgzf::ReadAt;
+
+use crate::plan::{transient_error, FaultPlan};
+
+/// Wraps a [`ReadAt`] source and injects the faults of a [`FaultPlan`]:
+/// the observed bytes are truncated/flipped/zeroed per the plan, reads are
+/// capped by `ShortRead`, and the first `TransientIo` failures error out
+/// before the source recovers. Thread-safe, like the sources it wraps.
+pub struct FaultyFile<S> {
+    inner: S,
+    plan: FaultPlan,
+    remaining_failures: AtomicU32,
+}
+
+impl<S: ReadAt> FaultyFile<S> {
+    /// Wraps `inner`, injecting `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        let remaining_failures = AtomicU32::new(plan.total_transient_failures());
+        FaultyFile { inner, plan, remaining_failures }
+    }
+
+    /// Transient failures still pending before the source recovers.
+    pub fn remaining_failures(&self) -> u32 {
+        self.remaining_failures.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the wrapper, returning the pristine source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Decrements the transient-failure budget; `Some(err)` while faults
+    /// remain, `None` once the source has recovered.
+    fn take_transient_failure(&self) -> Option<std::io::Error> {
+        self.remaining_failures
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .ok()
+            .map(|before| transient_error(before - 1))
+    }
+}
+
+impl<S: ReadAt> ReadAt for FaultyFile<S> {
+    fn len(&self) -> std::io::Result<u64> {
+        Ok(self.plan.effective_len(self.inner.len()?))
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some(err) = self.take_transient_failure() {
+            return Err(err);
+        }
+        let limit = self.plan.effective_len(self.inner.len()?);
+        if offset >= limit {
+            return Ok(0);
+        }
+        let mut n = buf.len().min((limit - offset) as usize);
+        if let Some(cap) = self.plan.short_read_cap() {
+            n = n.min(cap as usize);
+        }
+        let got = self.inner.read_at(&mut buf[..n], offset)?;
+        self.plan.corrupt_window(&mut buf[..got], offset);
+        Ok(got)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+
+    fn source() -> Vec<u8> {
+        (0u8..128).collect()
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let f = FaultyFile::new(source(), FaultPlan::none());
+        assert_eq!(ReadAt::len(&f).unwrap(), 128);
+        let mut buf = [0u8; 16];
+        f.read_exact_at(&mut buf, 32).unwrap();
+        assert_eq!(buf[0], 32);
+        assert_eq!(buf[15], 47);
+    }
+
+    #[test]
+    fn truncation_moves_eof() {
+        let f = FaultyFile::new(
+            source(),
+            FaultPlan::new(vec![Fault::TruncateAt { offset: 10 }]),
+        );
+        assert_eq!(ReadAt::len(&f).unwrap(), 10);
+        let mut buf = [0u8; 16];
+        assert_eq!(f.read_at(&mut buf, 0).unwrap(), 10);
+        assert_eq!(f.read_at(&mut buf, 10).unwrap(), 0);
+        assert!(f.read_exact_at(&mut buf, 0).is_err());
+    }
+
+    #[test]
+    fn flips_and_zeros_apply_to_any_window() {
+        let plan = FaultPlan::new(vec![
+            Fault::BitFlip { offset: 5, mask: 0xFF },
+            Fault::ZeroRun { offset: 20, len: 4 },
+        ]);
+        let f = FaultyFile::new(source(), plan);
+        // Window covering both faults.
+        let mut buf = [0u8; 30];
+        f.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(buf[5], 5 ^ 0xFF);
+        assert_eq!(&buf[20..24], &[0, 0, 0, 0]);
+        assert_eq!(buf[24], 24);
+        // Window starting mid-zero-run observes the same bytes.
+        let mut buf = [0u8; 4];
+        f.read_exact_at(&mut buf, 22).unwrap();
+        assert_eq!(buf, [0, 0, 24, 25]);
+    }
+
+    #[test]
+    fn short_reads_cap_delivery_but_exact_reads_still_complete() {
+        let f = FaultyFile::new(source(), FaultPlan::new(vec![Fault::ShortRead { max: 3 }]));
+        let mut buf = [0u8; 64];
+        assert_eq!(f.read_at(&mut buf, 0).unwrap(), 3);
+        // read_exact_at loops, so it still completes.
+        f.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(buf[63], 63);
+    }
+
+    #[test]
+    fn transient_faults_fail_then_recover() {
+        let f = FaultyFile::new(
+            source(),
+            FaultPlan::new(vec![Fault::TransientIo { failures: 2 }]),
+        );
+        let mut buf = [0u8; 4];
+        assert!(f.read_at(&mut buf, 0).is_err());
+        assert_eq!(f.remaining_failures(), 1);
+        assert!(f.read_at(&mut buf, 0).is_err());
+        assert_eq!(f.remaining_failures(), 0);
+        f.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [0, 1, 2, 3]);
+    }
+}

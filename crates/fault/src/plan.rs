@@ -1,0 +1,260 @@
+//! Declarative fault plans: what to break, where, and how often.
+
+use ngs_simgen::rng::Rng;
+
+/// One injected fault. Byte-level faults (`TruncateAt`, `BitFlip`,
+/// `ZeroRun`) alter the bytes a consumer observes; I/O-level faults
+/// (`ShortRead`, `TransientIo`) alter the *delivery* of pristine bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The source appears to end at `offset` (no-op past the real end).
+    TruncateAt {
+        /// Apparent end-of-source in bytes.
+        offset: u64,
+    },
+    /// The byte at `offset` is XORed with `mask`.
+    BitFlip {
+        /// Position of the corrupted byte.
+        offset: u64,
+        /// XOR mask; a zero mask makes the fault a no-op.
+        mask: u8,
+    },
+    /// Bytes in `[offset, offset + len)` read as zero.
+    ZeroRun {
+        /// First zeroed byte.
+        offset: u64,
+        /// Number of zeroed bytes.
+        len: u64,
+    },
+    /// Every read delivers at most `max` bytes — legal under the `Read`
+    /// and `ReadAt` contracts, so correct consumers must loop.
+    ShortRead {
+        /// Per-call delivery cap in bytes (≥ 1 to guarantee progress).
+        max: u64,
+    },
+    /// The first `failures` read calls fail with an I/O error, then the
+    /// source recovers — modelling a flaky disk or network mount.
+    TransientIo {
+        /// Number of failed attempts before recovery.
+        failures: u32,
+    },
+}
+
+/// An ordered list of faults, applied in sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults, applied in order (earlier truncations clamp later
+    /// offsets naturally because they shrink the observed source).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan applying `faults` in order.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        FaultPlan { faults }
+    }
+
+    /// A plan with no faults (the identity wrapper).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Derives a random plan of 1–3 faults for a source of `len` bytes.
+    /// Deterministic in `seed`: the same seed always yields the same plan,
+    /// so every corpus failure is replayable from its seed.
+    pub fn random(seed: u64, len: u64) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = 1 + rng.next_below(3);
+        let bound = len.max(1);
+        let faults = (0..n)
+            .map(|_| match rng.next_below(5) {
+                0 => Fault::TruncateAt { offset: rng.next_below(bound) },
+                1 => Fault::BitFlip {
+                    offset: rng.next_below(bound),
+                    mask: 1 << rng.next_below(8),
+                },
+                2 => Fault::ZeroRun {
+                    offset: rng.next_below(bound),
+                    len: 1 + rng.next_below(64),
+                },
+                3 => Fault::ShortRead { max: 1 + rng.next_below(7) },
+                _ => Fault::TransientIo { failures: 1 + rng.next_below(3) as u32 },
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// True when the plan never alters observed bytes — only their
+    /// delivery (short reads, transient errors). A resilient consumer
+    /// must produce byte-identical output under a lossless plan.
+    pub fn is_lossless(&self) -> bool {
+        self.faults.iter().all(|f| {
+            matches!(f, Fault::ShortRead { .. } | Fault::TransientIo { .. })
+                || matches!(f, Fault::BitFlip { mask: 0, .. })
+                || matches!(f, Fault::ZeroRun { len: 0, .. })
+        })
+    }
+
+    /// Total transient failures the plan injects before recovery.
+    pub fn total_transient_failures(&self) -> u32 {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                Fault::TransientIo { failures } => *failures,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The apparent source length after truncation faults, given the real
+    /// length.
+    pub fn effective_len(&self, real_len: u64) -> u64 {
+        self.faults.iter().fold(real_len, |len, f| match f {
+            Fault::TruncateAt { offset } => len.min(*offset),
+            _ => len,
+        })
+    }
+
+    /// Applies the byte-level faults to a buffer, returning the corrupted
+    /// copy. I/O-level faults (short reads, transient errors) do not alter
+    /// bytes and are ignored here — use [`crate::FaultyFile`] /
+    /// [`crate::FaultyRead`] to exercise them.
+    pub fn corrupt(&self, bytes: &[u8]) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        for fault in &self.faults {
+            match *fault {
+                Fault::TruncateAt { offset } => {
+                    out.truncate(usize::try_from(offset).unwrap_or(usize::MAX).min(out.len()));
+                }
+                Fault::BitFlip { offset, mask } => {
+                    if let Ok(o) = usize::try_from(offset) {
+                        if let Some(b) = out.get_mut(o) {
+                            *b ^= mask;
+                        }
+                    }
+                }
+                Fault::ZeroRun { offset, len } => {
+                    let start = usize::try_from(offset).unwrap_or(usize::MAX).min(out.len());
+                    let end = usize::try_from(offset.saturating_add(len))
+                        .unwrap_or(usize::MAX)
+                        .min(out.len());
+                    out[start..end].fill(0);
+                }
+                Fault::ShortRead { .. } | Fault::TransientIo { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Applies byte-level faults to the window `[offset, offset + buf.len())`
+    /// of the observed source, in place — shared by the streaming and
+    /// positional wrappers so both observe identical corruption.
+    pub(crate) fn corrupt_window(&self, buf: &mut [u8], offset: u64) {
+        let win_len = buf.len() as u64;
+        for fault in &self.faults {
+            match *fault {
+                Fault::BitFlip { offset: fo, mask } => {
+                    if fo >= offset && fo < offset + win_len {
+                        buf[(fo - offset) as usize] ^= mask;
+                    }
+                }
+                Fault::ZeroRun { offset: fo, len } => {
+                    let start = fo.max(offset);
+                    let end = fo.saturating_add(len).min(offset + win_len);
+                    if start < end {
+                        buf[(start - offset) as usize..(end - offset) as usize].fill(0);
+                    }
+                }
+                Fault::TruncateAt { .. }
+                | Fault::ShortRead { .. }
+                | Fault::TransientIo { .. } => {}
+            }
+        }
+    }
+
+    /// The short-read delivery cap, if any (the tightest one wins).
+    pub(crate) fn short_read_cap(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ShortRead { max } => Some((*max).max(1)),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+/// The error produced for injected transient failures.
+pub(crate) fn transient_error(remaining: u32) -> std::io::Error {
+    std::io::Error::other(format!(
+        "injected transient I/O fault ({remaining} more before recovery)"
+    ))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_applies_faults_in_order() {
+        let plan = FaultPlan::new(vec![
+            Fault::BitFlip { offset: 1, mask: 0xFF },
+            Fault::ZeroRun { offset: 3, len: 2 },
+            Fault::TruncateAt { offset: 6 },
+        ]);
+        assert_eq!(plan.corrupt(&[1, 2, 3, 4, 5, 6, 7, 8]), vec![1, 0xFD, 3, 0, 0, 6]);
+    }
+
+    #[test]
+    fn out_of_range_faults_are_noops() {
+        let plan = FaultPlan::new(vec![
+            Fault::BitFlip { offset: 100, mask: 0xFF },
+            Fault::ZeroRun { offset: 100, len: 5 },
+            Fault::TruncateAt { offset: 100 },
+        ]);
+        assert_eq!(plan.corrupt(&[9, 9]), vec![9, 9]);
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        for seed in 0..50 {
+            assert_eq!(FaultPlan::random(seed, 4096), FaultPlan::random(seed, 4096));
+            let plan = FaultPlan::random(seed, 4096);
+            assert!(!plan.faults.is_empty() && plan.faults.len() <= 3);
+        }
+        assert_ne!(FaultPlan::random(1, 4096), FaultPlan::random(2, 4096));
+    }
+
+    #[test]
+    fn lossless_classification() {
+        assert!(FaultPlan::new(vec![
+            Fault::ShortRead { max: 3 },
+            Fault::TransientIo { failures: 2 }
+        ])
+        .is_lossless());
+        assert!(!FaultPlan::new(vec![Fault::TruncateAt { offset: 10 }]).is_lossless());
+        assert!(!FaultPlan::new(vec![Fault::BitFlip { offset: 0, mask: 1 }]).is_lossless());
+        assert!(FaultPlan::none().is_lossless());
+    }
+
+    #[test]
+    fn effective_len_takes_min_truncation() {
+        let plan = FaultPlan::new(vec![
+            Fault::TruncateAt { offset: 80 },
+            Fault::TruncateAt { offset: 40 },
+        ]);
+        assert_eq!(plan.effective_len(100), 40);
+        assert_eq!(plan.effective_len(20), 20);
+    }
+
+    #[test]
+    fn transient_total_sums_all_faults() {
+        let plan = FaultPlan::new(vec![
+            Fault::TransientIo { failures: 2 },
+            Fault::ShortRead { max: 1 },
+            Fault::TransientIo { failures: 3 },
+        ]);
+        assert_eq!(plan.total_transient_failures(), 5);
+    }
+}

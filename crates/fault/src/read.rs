@@ -1,0 +1,107 @@
+//! Fault-injecting streaming reader: wraps any [`std::io::Read`].
+
+use std::io::{self, Read};
+
+use crate::plan::{transient_error, FaultPlan};
+
+/// Wraps a sequential reader and injects the faults of a [`FaultPlan`] at
+/// the stream position, mirroring [`crate::FaultyFile`] for positional
+/// sources: both observe identical corrupted bytes for the same plan.
+pub struct FaultyRead<R> {
+    inner: R,
+    plan: FaultPlan,
+    /// Bytes delivered so far — the stream-position analogue of an offset.
+    pos: u64,
+    remaining_failures: u32,
+}
+
+impl<R: Read> FaultyRead<R> {
+    /// Wraps `inner`, injecting `plan`.
+    pub fn new(inner: R, plan: FaultPlan) -> Self {
+        let remaining_failures = plan.total_transient_failures();
+        FaultyRead { inner, plan, pos: 0, remaining_failures }
+    }
+
+    /// Transient failures still pending before the stream recovers.
+    pub fn remaining_failures(&self) -> u32 {
+        self.remaining_failures
+    }
+
+    /// Consumes the wrapper, returning the pristine reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for FaultyRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some(rest) = self.remaining_failures.checked_sub(1) {
+            self.remaining_failures = rest;
+            return Err(transient_error(rest));
+        }
+        let limit = self.plan.effective_len(u64::MAX);
+        if self.pos >= limit {
+            return Ok(0);
+        }
+        let mut n = buf.len().min((limit - self.pos).min(usize::MAX as u64) as usize);
+        if let Some(cap) = self.plan.short_read_cap() {
+            n = n.min(cap as usize);
+        }
+        let got = self.inner.read(&mut buf[..n])?;
+        self.plan.corrupt_window(&mut buf[..got], self.pos);
+        self.pos += got as u64;
+        Ok(got)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+
+    #[test]
+    fn matches_byte_level_corrupt() {
+        // Streaming through a plan must observe exactly plan.corrupt(bytes).
+        let data: Vec<u8> = (0u8..200).collect();
+        let plan = FaultPlan::new(vec![
+            Fault::BitFlip { offset: 7, mask: 0x20 },
+            Fault::ZeroRun { offset: 90, len: 30 },
+            Fault::TruncateAt { offset: 150 },
+            Fault::ShortRead { max: 11 },
+        ]);
+        let mut r = FaultyRead::new(&data[..], plan.clone());
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, plan.corrupt(&data));
+    }
+
+    #[test]
+    fn transient_faults_fail_then_recover() {
+        let data = b"recoverable".to_vec();
+        let mut r = FaultyRead::new(
+            &data[..],
+            FaultPlan::new(vec![Fault::TransientIo { failures: 3 }]),
+        );
+        let mut buf = [0u8; 4];
+        for expected_left in [2, 1, 0] {
+            assert!(r.read(&mut buf).is_err());
+            assert_eq!(r.remaining_failures(), expected_left);
+        }
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn short_reads_still_drain_fully() {
+        let data: Vec<u8> = (0u8..100).collect();
+        let mut r = FaultyRead::new(&data[..], FaultPlan::new(vec![Fault::ShortRead { max: 1 }]));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+}

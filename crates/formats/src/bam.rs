@@ -389,8 +389,19 @@ pub fn encode_header(header: &SamHeader, out: &mut Vec<u8>) {
 }
 
 fn read_exact_into<R: Read>(r: &mut R, n: usize) -> Result<Vec<u8>> {
-    let mut buf = vec![0u8; n];
-    r.read_exact(&mut buf)?;
+    // Grow in bounded steps: `n` comes from an untrusted length prefix, so
+    // reserving it up front would let a corrupt field drive a multi-GiB
+    // allocation before the read ever fails at EOF.
+    const STEP: usize = 1 << 20;
+    let mut buf = Vec::with_capacity(n.min(STEP));
+    let mut remaining = n;
+    while remaining > 0 {
+        let step = remaining.min(STEP);
+        let start = buf.len();
+        buf.resize(start + step, 0);
+        r.read_exact(&mut buf[start..])?;
+        remaining -= step;
+    }
     Ok(buf)
 }
 
@@ -410,7 +421,9 @@ pub fn decode_header<R: Read>(r: &mut R) -> Result<SamHeader> {
         let b = read_exact_into(r, 4)?;
         u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize
     };
-    let mut references = Vec::with_capacity(n_ref);
+    // `n_ref` is untrusted; cap the up-front reservation and let the vector
+    // grow naturally if a (legitimate) dictionary really is that large.
+    let mut references = Vec::with_capacity(n_ref.min(4096));
     for _ in 0..n_ref {
         let l_name = {
             let b = read_exact_into(r, 4)?;

@@ -2,6 +2,56 @@
 
 use std::fmt;
 
+/// What class of malformation a [`DecodeError`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeErrorKind {
+    /// The magic bytes identifying the format were wrong.
+    BadMagic,
+    /// The input ended before a structure it promised.
+    Truncated,
+    /// A field value contradicts another part of the input.
+    Corrupt,
+    /// A length or count field is beyond any plausible value (allocation
+    /// bombs are rejected under this kind before any buffer is reserved).
+    Implausible,
+}
+
+impl fmt::Display for DecodeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DecodeErrorKind::BadMagic => "bad magic",
+            DecodeErrorKind::Truncated => "truncated",
+            DecodeErrorKind::Corrupt => "corrupt",
+            DecodeErrorKind::Implausible => "implausible field",
+        })
+    }
+}
+
+/// A structured decode failure: what went wrong, at which byte offset, and
+/// in which shard or file. Decode paths over untrusted bytes (BAMX shards,
+/// BAIX indexes) return this instead of panicking — see DESIGN.md §7.
+#[derive(Debug)]
+pub struct DecodeError {
+    /// The malformation class (drives retry-vs-quarantine decisions).
+    pub kind: DecodeErrorKind,
+    /// Byte offset into the source where the malformation was detected.
+    pub offset: u64,
+    /// Which shard/file the bytes came from (path or logical name).
+    pub context: String,
+    /// Human-readable description of the specific violation.
+    pub detail: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at byte {} of {}: {}",
+            self.kind, self.offset, self.context, self.detail
+        )
+    }
+}
+
 /// Errors produced while reading or writing sequence data formats.
 #[derive(Debug)]
 pub enum Error {
@@ -17,6 +67,9 @@ pub enum Error {
     InvalidTag(String),
     /// A FASTA/FASTQ/BED structure violated the format.
     InvalidRecord(String),
+    /// Malformed bytes in a random-access binary structure (BAMX/BAIX),
+    /// with offset and shard context.
+    Decode(DecodeError),
     /// The BGZF/compression layer failed.
     Compression(ngs_bgzf::Error),
     /// An underlying I/O failure.
@@ -35,6 +88,7 @@ impl fmt::Display for Error {
             Error::InvalidCigar(msg) => write!(f, "invalid CIGAR: {msg}"),
             Error::InvalidTag(msg) => write!(f, "invalid tag: {msg}"),
             Error::InvalidRecord(msg) => write!(f, "invalid record: {msg}"),
+            Error::Decode(e) => write!(f, "decode error: {e}"),
             Error::Compression(e) => write!(f, "compression error: {e}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
         }
@@ -67,5 +121,29 @@ impl Error {
     /// Helper for SAM parse errors.
     pub fn sam(line: u64, msg: impl Into<String>) -> Self {
         Error::InvalidSam { line, msg: msg.into() }
+    }
+
+    /// Helper for structured decode errors.
+    pub fn decode(
+        kind: DecodeErrorKind,
+        offset: u64,
+        context: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Error::Decode(DecodeError {
+            kind,
+            offset,
+            context: context.into(),
+            detail: detail.into(),
+        })
+    }
+
+    /// True when the failure is plausibly transient (a retry against the
+    /// same bytes may succeed): I/O errors, including those surfaced
+    /// through the compression layer. Structural malformation is *not*
+    /// transient — the bytes themselves are wrong, so callers should
+    /// quarantine rather than retry (DESIGN.md §7).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Io(_) | Error::Compression(ngs_bgzf::Error::Io(_)))
     }
 }

@@ -114,12 +114,30 @@ impl QueryEngine {
     }
 
     /// Starts an engine with an injected clock (deterministic tests).
+    /// The clock is shared with the [`ShardStore`], so transient-failure
+    /// backoff deadlines live on the same axis as request deadlines.
     pub fn with_clock(
         shard_dir: impl AsRef<std::path::Path>,
         config: EngineConfig,
         clock: Arc<dyn Clock>,
     ) -> Result<Self> {
-        let store = Arc::new(ShardStore::open(shard_dir, config.cache_capacity)?);
+        let store = Arc::new(ShardStore::open_with(
+            shard_dir,
+            config.cache_capacity,
+            Arc::clone(&clock),
+            crate::store::RetryPolicy::default(),
+        )?);
+        Self::with_store(store, config, clock)
+    }
+
+    /// Starts an engine over a pre-built store — the seam through which
+    /// tests and `ngsp chaos` inject fault-wrapped shard sources (via
+    /// [`ShardStore::with_opener`]).
+    pub fn with_store(
+        store: Arc<ShardStore>,
+        config: EngineConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
         let ledger = Arc::new(Ledger::default());
         let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
         let mut workers = Vec::with_capacity(config.workers);
@@ -168,9 +186,15 @@ impl QueryEngine {
         }
     }
 
-    /// Aggregated statistics so far.
+    /// Aggregated statistics so far, including the store's shard-health
+    /// counters (retries, quarantines, backoff rejections).
     pub fn stats(&self) -> QueryStats {
-        self.ledger.snapshot()
+        let mut stats = self.ledger.snapshot();
+        let counters = self.store.counters();
+        stats.transient_retries = counters.transient_retries;
+        stats.quarantined = counters.quarantined;
+        stats.backoff_rejections = counters.backoff_rejections;
+        stats
     }
 
     /// Graceful drain: stops admission, lets the workers finish every
@@ -457,6 +481,73 @@ mod tests {
         let stats = engine.drain();
         assert_eq!(stats.failed, 2);
         assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn corrupt_shard_quarantines_and_surfaces_in_stats() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "good", &[100, 200]);
+        std::fs::write(dir.path().join("bad.bamx"), b"BAMJUNKJUNKJUNKJUNKJUNKJUNKJUNK")
+            .unwrap();
+        std::fs::write(dir.path().join("bad.baix"), b"JUNK").unwrap();
+        let engine = QueryEngine::new(dir.path(), EngineConfig::with_workers(1)).unwrap();
+        let out = dir.path().join("out");
+        // First request decodes the corrupt shard and quarantines it.
+        let r1 = engine.submit(convert_request("bad", "chr1", &out)).unwrap().wait();
+        assert!(matches!(r1.outcome, Err(QueryError::Failed(_))));
+        // Second fails fast from quarantine, reported the same way.
+        let r2 = engine.submit(convert_request("bad", "chr1", &out)).unwrap().wait();
+        match r2.outcome {
+            Err(QueryError::Failed(msg)) => assert!(msg.contains("quarantined"), "got: {msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(engine.store().is_quarantined("bad"));
+        // Healthy datasets still serve.
+        let r3 = engine.submit(convert_request("good", "chr1", &out)).unwrap().wait();
+        assert!(r3.outcome.is_ok());
+        let stats = engine.drain();
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.transient_retries, 0);
+        assert_eq!(stats.backoff_rejections, 0);
+    }
+
+    #[test]
+    fn engine_with_store_recovers_from_transient_faults() {
+        use crate::store::{RetryPolicy, ShardStore, SourceOpener};
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100, 200, 300]);
+        let clock = Arc::new(ManualClock::new());
+        // First two opens fail transiently; in-call retry absorbs both.
+        let remaining = AtomicU32::new(2);
+        let opener: Box<SourceOpener> = Box::new(move |path| {
+            if remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                return Err(std::io::Error::other("flaky mount"));
+            }
+            Ok(Box::new(std::fs::File::open(path)?))
+        });
+        let store = Arc::new(
+            ShardStore::open_with(dir.path(), 2, clock.clone(), RetryPolicy::default())
+                .unwrap()
+                .with_opener(opener),
+        );
+        let engine =
+            QueryEngine::with_store(store, EngineConfig::with_workers(1), clock).unwrap();
+        let resp = engine
+            .submit(convert_request("d", "chr1", &dir.path().join("out")))
+            .unwrap()
+            .wait();
+        assert!(resp.outcome.is_ok(), "retry must absorb transient faults: {resp:?}");
+        let stats = engine.drain();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.transient_retries, 2);
+        assert_eq!(stats.quarantined, 0);
     }
 
     #[test]

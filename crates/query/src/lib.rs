@@ -20,6 +20,12 @@
 //! * **Metrics** — every finished request lands in a ledger (queue
 //!   wait, service time, cache hit, bytes out) aggregated into a
 //!   [`QueryStats`] snapshot.
+//! * **Fault tolerance** — transient shard-open failures retry with a
+//!   capped, clock-driven backoff ([`RetryPolicy`]); structurally
+//!   corrupt shards are quarantined so they fail fast instead of being
+//!   hot-retried on every request. Both surface in [`QueryStats`], and
+//!   the store's opener seam ([`ShardStore::with_opener`]) lets tests
+//!   and `ngsp chaos` inject `ngs-fault` wrappers.
 //! * **Graceful drain** — [`QueryEngine::drain`] stops admission,
 //!   finishes all queued work, joins the workers, and returns the final
 //!   statistics.
@@ -40,4 +46,4 @@ pub use clock::{Clock, ManualClock, SystemClock};
 pub use engine::{EngineConfig, QueryEngine, Ticket};
 pub use metrics::{QueryStats, RequestMetrics};
 pub use request::{QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse};
-pub use store::{CacheCounters, CachedShard, ShardStore};
+pub use store::{CacheCounters, CachedShard, RetryPolicy, ShardStore, SourceOpener};

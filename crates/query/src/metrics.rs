@@ -70,6 +70,16 @@ pub struct QueryStats {
     pub total_latency: Duration,
     /// Largest end-to-end latency seen.
     pub max_latency: Duration,
+    /// Immediate in-store retries after transient shard-open failures.
+    /// Filled from the shard store by `QueryEngine::stats`, not by the
+    /// ledger (always zero in a bare [`Ledger::snapshot`]).
+    pub transient_retries: u64,
+    /// Datasets permanently quarantined after structural decode errors
+    /// (filled from the shard store, like `transient_retries`).
+    pub quarantined: u64,
+    /// Lookups refused because their dataset was in transient backoff
+    /// (filled from the shard store, like `transient_retries`).
+    pub backoff_rejections: u64,
 }
 
 impl QueryStats {

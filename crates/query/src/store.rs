@@ -6,15 +6,87 @@
 //! long-lived engine amortizes both across requests. `BamxFile` reads
 //! are positional (`read_at` on `&self`), which is what makes sharing
 //! one cached handle across worker threads sound.
+//!
+//! # Failure handling
+//!
+//! A failed open is classified by [`Error::is_transient`]:
+//!
+//! * **Transient** (I/O errors — a flaky disk or network mount): retried
+//!   up to [`RetryPolicy::attempts`] times within the same `get`, then
+//!   the dataset enters *backoff* — further lookups are refused without
+//!   touching the disk until a deadline on the injected [`Clock`]
+//!   passes. The backoff doubles per failed round, capped at
+//!   [`RetryPolicy::max_backoff`], and clears on the first success.
+//! * **Structural** ([`DecodeError`](ngs_formats::error::DecodeError)
+//!   and friends — corrupt bytes): the dataset is *quarantined*
+//!   permanently. Re-reading corrupt bytes can never succeed, so the
+//!   store refuses the dataset immediately instead of hot-retrying the
+//!   open on every request (the failure mode this design replaces).
+//!
+//! Both states are visible in [`CacheCounters`] and, through the
+//! engine, in [`QueryStats`](crate::QueryStats). The store never
+//! sleeps: in-call retries are immediate and backoff is enforced as a
+//! deadline comparison, so tests drive everything with a
+//! [`ManualClock`](crate::ManualClock).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use ngs_bamx::{Baix, BamxFile};
+use ngs_bgzf::ReadAt;
 use ngs_formats::error::{Error, Result};
 use parking_lot::Mutex;
+
+use crate::clock::{Clock, SystemClock};
+
+/// Opens a shard file as a positional read source. The indirection is
+/// what lets tests and the `ngsp chaos` harness substitute fault-
+/// injecting sources (`ngs_fault::FaultyFile`) for plain files.
+pub type SourceOpener = dyn Fn(&Path) -> std::io::Result<Box<dyn ReadAt>> + Send + Sync;
+
+/// How the store handles transient open failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Open attempts per `get` call (minimum 1). Retries are immediate —
+    /// transient faults of the "try again" kind, not "wait it out".
+    pub attempts: u32,
+    /// Backoff after the first round of exhausted attempts.
+    pub base_backoff: Duration,
+    /// Backoff ceiling; doubling stops here.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff after `failures` consecutive exhausted rounds:
+    /// `base * 2^(failures-1)`, capped at `max_backoff`.
+    fn backoff_after(&self, failures: u32) -> Duration {
+        let doublings = failures.saturating_sub(1).min(20);
+        self.base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff)
+    }
+}
+
+/// Per-dataset health, tracked across `get` calls.
+enum ShardHealth {
+    /// Transient failures so far; opens are refused until `retry_at`.
+    Backoff { consecutive_failures: u32, retry_at: Duration },
+    /// Structural decode failure: permanently refused.
+    Quarantined { reason: String },
+}
 
 /// An open dataset: the shared BAMX handle plus its decoded BAIX index.
 #[derive(Clone)]
@@ -25,7 +97,16 @@ pub struct CachedShard {
     pub baix: Arc<Baix>,
 }
 
-/// Snapshot of the store's cache counters.
+impl std::fmt::Debug for CachedShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedShard")
+            .field("records", &self.bamx.len())
+            .field("indexed", &self.baix.len())
+            .finish()
+    }
+}
+
+/// Snapshot of the store's cache and health counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     /// Lookups served from the cache.
@@ -34,6 +115,12 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Entries dropped to respect the capacity bound.
     pub evictions: u64,
+    /// Immediate in-call retries after transient open failures.
+    pub transient_retries: u64,
+    /// Datasets permanently quarantined after structural decode errors.
+    pub quarantined: u64,
+    /// Lookups refused because the dataset was in transient backoff.
+    pub backoff_rejections: u64,
 }
 
 impl CacheCounters {
@@ -52,6 +139,10 @@ struct StoreState {
     /// name → (shard, last-use stamp). Eviction removes the smallest
     /// stamp — O(n), fine for the single-digit capacities used here.
     cache: HashMap<String, (CachedShard, u64)>,
+    /// name → health for datasets whose last open failed. Disjoint from
+    /// `cache` (a successful open clears the entry) and bounded by the
+    /// number of distinct failing datasets, so it needs no eviction.
+    health: HashMap<String, ShardHealth>,
     tick: u64,
 }
 
@@ -59,16 +150,36 @@ struct StoreState {
 pub struct ShardStore {
     dir: PathBuf,
     capacity: usize,
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
+    opener: Box<SourceOpener>,
     state: Mutex<StoreState>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    transient_retries: AtomicU64,
+    quarantined: AtomicU64,
+    backoff_rejections: AtomicU64,
 }
 
 impl ShardStore {
-    /// Opens a store over `dir`, holding at most `capacity` datasets
-    /// open at once (minimum 1).
+    /// Opens a store over `dir` with the system clock and default
+    /// [`RetryPolicy`], holding at most `capacity` datasets open at once
+    /// (minimum 1).
     pub fn open(dir: impl AsRef<Path>, capacity: usize) -> Result<Self> {
+        Self::open_with(dir, capacity, Arc::new(SystemClock::new()), RetryPolicy::default())
+    }
+
+    /// Opens a store with an injected clock and retry policy. Backoff
+    /// deadlines live on the clock's axis, so a
+    /// [`ManualClock`](crate::ManualClock) makes retry behaviour fully
+    /// deterministic.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        capacity: usize,
+        clock: Arc<dyn Clock>,
+        policy: RetryPolicy,
+    ) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         if !dir.is_dir() {
             return Err(Error::InvalidRecord(format!(
@@ -79,11 +190,31 @@ impl ShardStore {
         Ok(ShardStore {
             dir,
             capacity: capacity.max(1),
-            state: Mutex::new(StoreState { cache: HashMap::new(), tick: 0 }),
+            policy,
+            clock,
+            opener: Box::new(|path: &Path| -> std::io::Result<Box<dyn ReadAt>> {
+                Ok(Box::new(std::fs::File::open(path)?))
+            }),
+            state: Mutex::new(StoreState {
+                cache: HashMap::new(),
+                health: HashMap::new(),
+                tick: 0,
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            transient_retries: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            backoff_rejections: AtomicU64::new(0),
         })
+    }
+
+    /// Replaces how shard files are opened — the fault-injection seam.
+    /// `ngsp chaos` and the store tests wrap real files in
+    /// `ngs_fault::FaultyFile` here.
+    pub fn with_opener(mut self, opener: Box<SourceOpener>) -> Self {
+        self.opener = opener;
+        self
     }
 
     /// The directory being served.
@@ -94,6 +225,11 @@ impl ShardStore {
     /// The cache capacity bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
     }
 
     /// Dataset names in the directory: every `NAME.bamx` with a sibling
@@ -115,7 +251,9 @@ impl ShardStore {
     }
 
     /// Fetches a dataset, opening it on a miss. Returns the shard and
-    /// whether the lookup hit the cache.
+    /// whether the lookup hit the cache. Transient open failures retry
+    /// per the [`RetryPolicy`]; structural decode failures quarantine
+    /// the dataset (see the module docs).
     pub fn get(&self, name: &str) -> Result<(CachedShard, bool)> {
         if name.contains(['/', '\\']) || name.is_empty() {
             return Err(Error::InvalidRecord(format!("bad dataset name {name:?}")));
@@ -128,8 +266,9 @@ impl ShardStore {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((shard.clone(), true));
         }
-        // Miss: open under the lock. This serializes cold opens, which
-        // keeps a thundering herd from opening the same dataset twice.
+        // An unknown dataset is a client error, not a shard failure: it
+        // must never create health state (a typo'd name is not a
+        // quarantine candidate).
         let bamx_path = self.dir.join(format!("{name}.bamx"));
         if !bamx_path.is_file() {
             return Err(Error::InvalidRecord(format!(
@@ -137,23 +276,106 @@ impl ShardStore {
                 self.dir.display()
             )));
         }
-        let bamx = Arc::new(BamxFile::open(&bamx_path)?);
-        let baix = Arc::new(Baix::load(bamx_path.with_extension("baix"))?);
-        let shard = CachedShard { bamx, baix };
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        state.cache.insert(name.to_string(), (shard.clone(), tick));
-        if state.cache.len() > self.capacity {
-            if let Some(victim) = state
-                .cache
-                .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
-                .map(|(k, _)| k.clone())
-            {
-                state.cache.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+        // Health gates, cheapest first: quarantine is permanent, backoff
+        // holds until its deadline on the injected clock.
+        match state.health.get(name) {
+            Some(ShardHealth::Quarantined { reason }) => {
+                return Err(Error::InvalidRecord(format!(
+                    "dataset {name:?} is quarantined after a decode failure: {reason}"
+                )));
+            }
+            Some(ShardHealth::Backoff { consecutive_failures, retry_at }) => {
+                let now = self.clock.now();
+                if now < *retry_at {
+                    self.backoff_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(Error::InvalidRecord(format!(
+                        "dataset {name:?} is backing off after {consecutive_failures} \
+                         transient failure(s); retry at {retry_at:?} (now {now:?})"
+                    )));
+                }
+            }
+            None => {}
+        }
+        // Miss: open under the lock. This serializes cold opens, which
+        // keeps a thundering herd from opening the same dataset twice.
+        let attempts = self.policy.attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.transient_retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match self.open_shard(&bamx_path) {
+                Ok(shard) => {
+                    state.health.remove(name);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    state.cache.insert(name.to_string(), (shard.clone(), tick));
+                    if state.cache.len() > self.capacity {
+                        if let Some(victim) = state
+                            .cache
+                            .iter()
+                            .min_by_key(|(_, (_, stamp))| *stamp)
+                            .map(|(k, _)| k.clone())
+                        {
+                            state.cache.remove(&victim);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    return Ok((shard, false));
+                }
+                Err(e) if e.is_transient() => last_err = Some(e),
+                Err(e) => {
+                    // Structural: corrupt bytes cannot heal. Quarantine so
+                    // later lookups fail fast instead of re-decoding.
+                    state
+                        .health
+                        .insert(name.to_string(), ShardHealth::Quarantined { reason: e.to_string() });
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
             }
         }
-        Ok((shard, false))
+        // All attempts failed transiently: enter (or escalate) backoff.
+        let failures = match state.health.get(name) {
+            Some(ShardHealth::Backoff { consecutive_failures, .. }) => consecutive_failures + 1,
+            _ => 1,
+        };
+        let retry_at = self.clock.now() + self.policy.backoff_after(failures);
+        state
+            .health
+            .insert(name.to_string(), ShardHealth::Backoff { consecutive_failures: failures, retry_at });
+        Err(last_err.unwrap_or_else(|| {
+            Error::InvalidRecord(format!("dataset {name:?} failed to open"))
+        }))
+    }
+
+    /// One open attempt: both the shard and its index, through the
+    /// injected opener.
+    fn open_shard(&self, bamx_path: &Path) -> Result<CachedShard> {
+        let context = bamx_path.display().to_string();
+        let source = (self.opener)(bamx_path)?;
+        let bamx = Arc::new(BamxFile::open_with(source, &context)?);
+        let baix_path = bamx_path.with_extension("baix");
+        let baix_source = (self.opener)(&baix_path)?;
+        let baix = Arc::new(Baix::load_with(&*baix_source, &baix_path.display().to_string())?);
+        Ok(CachedShard { bamx, baix })
+    }
+
+    /// Whether `name` is permanently quarantined.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        matches!(self.state.lock().health.get(name), Some(ShardHealth::Quarantined { .. }))
+    }
+
+    /// Names currently quarantined, sorted.
+    pub fn quarantined_datasets(&self) -> Vec<String> {
+        let state = self.state.lock();
+        let mut names: Vec<String> = state
+            .health
+            .iter()
+            .filter(|(_, h)| matches!(h, ShardHealth::Quarantined { .. }))
+            .map(|(k, _)| k.clone())
+            .collect();
+        names.sort();
+        names
     }
 
     /// Number of datasets currently open.
@@ -161,12 +383,15 @@ impl ShardStore {
         self.state.lock().cache.len()
     }
 
-    /// Current hit/miss/eviction counters.
+    /// Current cache and health counters.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            transient_retries: self.transient_retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            backoff_rejections: self.backoff_rejections.load(Ordering::Relaxed),
         }
     }
 }
@@ -174,7 +399,9 @@ impl ShardStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
     use crate::testutil::write_shard;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
     fn discovery_lists_paired_shards_only() {
@@ -200,7 +427,7 @@ mod tests {
         assert_eq!(shard.baix.len(), 3);
         assert_eq!(
             store.counters(),
-            CacheCounters { hits: 1, misses: 1, evictions: 0 }
+            CacheCounters { hits: 1, misses: 1, ..CacheCounters::default() }
         );
     }
 
@@ -231,5 +458,176 @@ mod tests {
         assert!(store.get("nope").is_err());
         assert!(store.get("../escape").is_err());
         assert!(store.get("").is_err());
+    }
+
+    /// An opener whose first `failures` calls fail with a retryable I/O
+    /// error, counting every invocation.
+    fn flaky_opener(failures: u32, calls: Arc<AtomicU32>) -> Box<SourceOpener> {
+        let remaining = AtomicU32::new(failures);
+        Box::new(move |path: &Path| -> std::io::Result<Box<dyn ReadAt>> {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                return Err(std::io::Error::other("injected transient open failure"));
+            }
+            Ok(Box::new(std::fs::File::open(path)?))
+        })
+    }
+
+    #[test]
+    fn transient_failures_retry_within_one_get() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100, 200]);
+        let calls = Arc::new(AtomicU32::new(0));
+        let store = ShardStore::open_with(
+            dir.path(),
+            2,
+            Arc::new(ManualClock::new()),
+            RetryPolicy { attempts: 3, ..RetryPolicy::default() },
+        )
+        .unwrap()
+        .with_opener(flaky_opener(2, calls.clone()));
+        // Two transient failures, then success — all inside one get.
+        let (shard, hit) = store.get("d").unwrap();
+        assert!(!hit);
+        assert_eq!(shard.bamx.len(), 2);
+        let c = store.counters();
+        assert_eq!(c.transient_retries, 2);
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.backoff_rejections, 0);
+        assert_eq!(c.quarantined, 0);
+        // 2 failed bamx opens + 1 good bamx + 1 good baix.
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn exhausted_transient_attempts_back_off_with_doubling_cap() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100]);
+        let clock = Arc::new(ManualClock::new());
+        let calls = Arc::new(AtomicU32::new(0));
+        let policy = RetryPolicy {
+            attempts: 1,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+        };
+        let store = ShardStore::open_with(dir.path(), 2, clock.clone(), policy)
+            .unwrap()
+            .with_opener(flaky_opener(u32::MAX, calls.clone()));
+
+        // Round 1: open fails, backoff = 10ms.
+        let err = store.get("d").unwrap_err();
+        assert!(err.is_transient(), "opener failure must surface as transient: {err}");
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        // Inside the window: refused without touching the opener.
+        assert!(store.get("d").is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(store.counters().backoff_rejections, 1);
+
+        // Deadline passes: the opener is consulted again (round 2 → 20ms).
+        clock.advance(Duration::from_millis(10));
+        assert!(store.get("d").is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        clock.advance(Duration::from_millis(10)); // only 10 of 20ms elapsed
+        assert!(store.get("d").is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(store.counters().backoff_rejections, 2);
+
+        // Rounds 3 and 4: 40ms cap reached and held.
+        clock.advance(Duration::from_millis(10));
+        assert!(store.get("d").is_err()); // round 3 → 40ms
+        clock.advance(Duration::from_millis(40));
+        assert!(store.get("d").is_err()); // round 4 → still 40ms (cap)
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        clock.advance(Duration::from_millis(39));
+        assert!(store.get("d").is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 4, "39 of 40ms: still backing off");
+        assert_eq!(store.counters().quarantined, 0);
+    }
+
+    #[test]
+    fn backoff_clears_on_recovery() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100, 200, 300]);
+        let clock = Arc::new(ManualClock::new());
+        let calls = Arc::new(AtomicU32::new(0));
+        let policy = RetryPolicy {
+            attempts: 1,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        };
+        let store = ShardStore::open_with(dir.path(), 2, clock.clone(), policy)
+            .unwrap()
+            .with_opener(flaky_opener(1, calls.clone()));
+        assert!(store.get("d").is_err());
+        clock.advance(Duration::from_millis(10));
+        let (_, hit) = store.get("d").unwrap();
+        assert!(!hit);
+        // Cached now; and the health entry is gone, so a (hypothetical)
+        // future miss starts from a clean slate.
+        let (_, hit) = store.get("d").unwrap();
+        assert!(hit);
+        assert_eq!(store.counters().backoff_rejections, 0);
+    }
+
+    #[test]
+    fn structural_decode_failure_quarantines_permanently() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "good", &[100]);
+        // A corrupt shard: valid pairing on disk, garbage bytes inside.
+        std::fs::write(dir.path().join("bad.bamx"), b"BAMJUNKJUNKJUNKJUNKJUNKJUNKJUNK").unwrap();
+        std::fs::write(dir.path().join("bad.baix"), b"JUNK").unwrap();
+        let calls = Arc::new(AtomicU32::new(0));
+        let store = ShardStore::open_with(
+            dir.path(),
+            2,
+            Arc::new(ManualClock::new()),
+            RetryPolicy::default(),
+        )
+        .unwrap()
+        .with_opener(flaky_opener(0, calls.clone()));
+
+        let err = store.get("bad").unwrap_err();
+        assert!(!err.is_transient(), "corrupt bytes must be structural: {err}");
+        assert!(store.is_quarantined("bad"));
+        assert_eq!(store.quarantined_datasets(), vec!["bad"]);
+        assert_eq!(store.counters().quarantined, 1);
+        let opens_after_quarantine = calls.load(Ordering::Relaxed);
+
+        // Quarantine is permanent and fail-fast: the opener is never
+        // consulted again, no matter how much time passes.
+        let err = store.get("bad").unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "got: {err}");
+        assert_eq!(calls.load(Ordering::Relaxed), opens_after_quarantine);
+        assert_eq!(store.counters().quarantined, 1, "counted once, not per lookup");
+
+        // Healthy datasets are unaffected.
+        assert!(store.get("good").is_ok());
+        assert_eq!(store.counters().transient_retries, 0);
+    }
+
+    #[test]
+    fn unknown_dataset_never_creates_health_state() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100]);
+        let calls = Arc::new(AtomicU32::new(0));
+        let store = ShardStore::open_with(
+            dir.path(),
+            2,
+            Arc::new(ManualClock::new()),
+            RetryPolicy::default(),
+        )
+        .unwrap()
+        .with_opener(flaky_opener(0, calls.clone()));
+        for _ in 0..3 {
+            assert!(store.get("missing").is_err());
+        }
+        assert!(!store.is_quarantined("missing"));
+        let c = store.counters();
+        assert_eq!(c.quarantined, 0);
+        assert_eq!(c.backoff_rejections, 0);
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "no open is ever attempted");
     }
 }

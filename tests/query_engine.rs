@@ -92,6 +92,112 @@ fn engine_matches_one_shot_partial_conversion_byte_for_byte() {
     assert_eq!(stats.cache_hits, stats.completed - 1);
 }
 
+/// Under injected *lossless* faults — transient open failures plus short
+/// reads — the engine's retry path must still produce part files
+/// byte-identical to one-shot partial conversion over pristine files:
+/// fault recovery is not allowed to change a single output byte.
+#[test]
+fn engine_retries_transient_faults_to_byte_identical_output() {
+    use std::collections::HashMap;
+    use std::path::PathBuf;
+    use std::sync::Mutex;
+
+    use ngs_fault::{Fault, FaultPlan, FaultyFile};
+    use ngs_query::{RetryPolicy, ShardStore, SourceOpener};
+
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: 900,
+        n_chroms: 2,
+        coordinate_sorted: true,
+        ..Default::default()
+    });
+    let dir = tempdir().unwrap();
+    let bam_path = dir.path().join("input.bam");
+    ds.write_bam(&bam_path).unwrap();
+    let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+    let shard_dir = dir.path().join("shards");
+    let prep = conv.preprocess(&bam_path, &shard_dir).unwrap();
+
+    // Every shard file is served through a FaultyFile whose first read
+    // fails transiently and whose deliveries are capped at 7 bytes. The
+    // wrapper is shared across open attempts (one per path), so the
+    // transient budget drains the way a real flaky mount would recover.
+    let sources: Mutex<HashMap<PathBuf, std::sync::Arc<FaultyFile<Vec<u8>>>>> =
+        Mutex::new(HashMap::new());
+    let opener: Box<SourceOpener> = Box::new(move |path| {
+        let mut map = sources.lock().unwrap();
+        let source = map.entry(path.to_path_buf()).or_insert_with(|| {
+            let bytes = std::fs::read(path).expect("shard fixture exists");
+            let plan = FaultPlan::new(vec![
+                Fault::TransientIo { failures: 1 },
+                Fault::ShortRead { max: 7 },
+            ]);
+            assert!(plan.is_lossless());
+            std::sync::Arc::new(FaultyFile::new(bytes, plan))
+        });
+        Ok(Box::new(std::sync::Arc::clone(source)))
+    });
+    let clock = Arc::new(ManualClock::new());
+    let store = Arc::new(
+        ShardStore::open_with(&shard_dir, 4, clock.clone(), RetryPolicy::default())
+            .unwrap()
+            .with_opener(opener),
+    );
+    let engine = QueryEngine::with_store(
+        store,
+        EngineConfig { workers: 1, convert: ConvertConfig::with_ranks(1), ..Default::default() },
+        clock,
+    )
+    .unwrap();
+
+    let header_probe = ngs_bamx::BamxFile::open(&prep.bamx_path).unwrap();
+    for (i, region_text) in ["chr1:1-4000", "chr2:1-100000"].iter().enumerate() {
+        let region = Region::parse(region_text, header_probe.header()).unwrap();
+        let oneshot_dir = dir.path().join(format!("oneshot-{i}"));
+        let oneshot = conv
+            .convert_partial(
+                &prep.bamx_path,
+                &prep.baix_path,
+                &region,
+                TargetFormat::Sam,
+                &oneshot_dir,
+            )
+            .unwrap();
+
+        let engine_dir = dir.path().join(format!("engine-{i}"));
+        let response = engine
+            .submit(QueryRequest {
+                dataset: "input".into(),
+                region: (*region_text).into(),
+                kind: QueryKind::Convert { format: TargetFormat::Sam, out_dir: engine_dir },
+                deadline: None,
+            })
+            .unwrap()
+            .wait();
+        let QueryOutcome::Converted { output, .. } =
+            response.outcome.expect("retry must absorb the injected transient faults")
+        else {
+            panic!("expected a conversion outcome");
+        };
+        assert_eq!(
+            std::fs::read(&output).unwrap(),
+            std::fs::read(&oneshot.outputs[0]).unwrap(),
+            "{region_text}: engine output under faults must match pristine one-shot bytes"
+        );
+    }
+
+    let stats = engine.drain();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.failed, 0);
+    // Attempt 1 hits the bamx wrapper's fault, attempt 2 the baix one's;
+    // attempt 3 opens clean. The second request is a cache hit.
+    assert_eq!(stats.transient_retries, 2);
+    assert_eq!(stats.quarantined, 0);
+    assert_eq!(stats.backoff_rejections, 0);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 1);
+}
+
 /// Coverage requests agree with a direct histogram over the same region,
 /// and deadline bookkeeping stays deterministic under a manual clock.
 #[test]
