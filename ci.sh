@@ -31,4 +31,24 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> ngsp chaos (fault-injection verify)"
 cargo run -p ngs-cli --bin ngsp -- chaos --plans 48 --records 300
 
+# Streaming pipeline smoke: a small seeded dataset through both graphs,
+# byte-identity against the batch converter, plus the quarantine /
+# transient-retry drain tests under injected faults (DESIGN.md §8).
+echo "==> ngsp pipeline smoke (both graphs, byte-identity, fault drain)"
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+cargo run -p ngs-cli --bin ngsp -- \
+    generate --records 1500 --out "$smoke/in.bam" --sorted
+cargo run -p ngs-cli --bin ngsp -- \
+    convert "$smoke/in.bam" --to sam --out "$smoke/batch" --ranks 1
+cargo run -p ngs-cli --bin ngsp -- \
+    pipeline "$smoke/in.bam" --to sam --out "$smoke/stream" \
+    --workers 2 --batch 128 --bound 2
+cmp "$smoke/batch/in.part0000.sam" "$smoke/stream/in.part0000.sam"
+cargo run -p ngs-cli --bin ngsp -- \
+    pipeline "$smoke/in.bam" --analyze --rounds 4 > /dev/null
+cargo test --quiet -p ngs-pipeline --test streaming_identity -- \
+    corrupt_shard_is_quarantined_and_graph_drains \
+    transient_faults_are_retried_to_identical_output
+
 echo "==> ci.sh: all green"

@@ -11,12 +11,14 @@
 use std::io::Write;
 
 use ngs_bench::{
-    fault_bench, fig10, fig11, fig12, fig6, fig7, fig8, fig9, query_bench, table1,
-    ExperimentConfig, Scale,
+    fault_bench, fig10, fig11, fig12, fig6, fig7, fig8, fig9, pipeline_bench, query_bench,
+    table1, ExperimentConfig, Scale,
 };
 
-const ALL: [&str; 10] =
-    ["table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "query", "fault"];
+const ALL: [&str; 11] = [
+    "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "query", "fault",
+    "pipeline",
+];
 
 fn usage() -> ! {
     eprintln!(
@@ -88,6 +90,7 @@ fn main() {
             "fig12" => fig12(&cfg).expect("fig12").to_string(),
             "query" => query_bench(&cfg).expect("query"),
             "fault" => fault_bench(&cfg).expect("fault"),
+            "pipeline" => pipeline_bench(&cfg).expect("pipeline"),
             _ => unreachable!(),
         };
         eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());

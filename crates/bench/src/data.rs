@@ -56,6 +56,11 @@ impl Scale {
     pub fn query_records(&self) -> usize {
         self.n(8_000)
     }
+
+    /// Records in the streaming-pipeline experiment.
+    pub fn pipeline_records(&self) -> usize {
+        self.n(24_000)
+    }
 }
 
 impl Default for Scale {

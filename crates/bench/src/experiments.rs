@@ -503,6 +503,7 @@ pub fn query_bench(cfg: &ExperimentConfig) -> Result<String> {
                 queue_capacity: REQUESTS,
                 cache_capacity: DATASETS,
                 convert: ConvertConfig::with_ranks(1),
+                ..EngineConfig::default()
             },
         )?;
         // The cold pass runs exactly once — repeating it would measure a
@@ -684,6 +685,243 @@ pub fn fault_bench(cfg: &ExperimentConfig) -> Result<String> {
     );
     std::fs::write("BENCH_fault.json", json)?;
     table.push_str("JSON written to BENCH_fault.json\n");
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming pipeline (BENCH_pipeline.json)
+// ---------------------------------------------------------------------------
+
+/// Streaming-pipeline experiment (no corresponding paper figure):
+/// throughput and peak buffered bytes of the bounded dataflow engine
+/// (`ngs-pipeline`, DESIGN.md §8) against the batch converter, over a
+/// worker axis plus batch-size and channel-bound sweeps.
+///
+/// Two timing modes, following the repo-wide convention:
+///
+/// * **Simulated overlap** — each stage's loop (decode, convert, emit)
+///   is timed alone; the streamed makespan is the bottleneck stage,
+///   `max(decode, convert/W, emit)`, against the batch total
+///   `decode + convert + emit` (which also materializes the record
+///   vector between phases). This is the number that shows the
+///   pipelining win regardless of host core count.
+/// * **Measured threads** — real concurrent runs of the graph, which
+///   verify byte-identity against the batch converter and measure the
+///   peak buffered bytes (the bounded-memory claim). On a one-core CI
+///   host these wall-clock numbers show scheduling overhead, not
+///   speedup, so they are reported but not normalized.
+///
+/// The batch baseline's memory proxy is the resident cost of the fully
+/// materialized record vector — exactly what the streaming graph never
+/// holds. Writes `BENCH_pipeline.json` into the working directory and
+/// returns a rendered table.
+pub fn pipeline_bench(cfg: &ExperimentConfig) -> Result<String> {
+    use ngs_pipeline::{AnalyzeOptions, Cost, Pipeline, PipelineConfig};
+
+    const TARGET: TargetFormat = TargetFormat::Json;
+    const WORKER_AXIS: [usize; 5] = [1, 2, 4, 8, 16];
+    const BATCH_AXIS: [usize; 4] = [64, 256, 1024, 4096];
+    const BOUND_AXIS: [usize; 4] = [1, 2, 4, 8];
+    let records = cfg.scale.pipeline_records();
+    let bam = cfg.cache.bam(records, 3)?;
+    let shard_dir = cfg.cache.scratch("pipeline-shards")?;
+    let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+    let prep = conv.preprocess(&bam, &shard_dir)?;
+    let out_root = cfg.cache.scratch("pipeline-out")?;
+
+    // Batch baseline: one-shot conversion materializes every record; its
+    // resident-set proxy is the cost of that vector.
+    let shard = ngs_bamx::BamxFile::open(&prep.bamx_path)?;
+    let all_records = shard.read_range(0, shard.len())?;
+    let batch_resident = ngs_formats::record::AlignmentRecord::slice_cost(&all_records);
+    let batch_dir = out_root.join("batch");
+    let batch_report = conv.convert_bamx(&prep.bamx_path, TARGET, &batch_dir)?;
+    let batch_bytes = std::fs::read(&batch_report.outputs[0])?;
+    let batch_time = cfg.best_of(|| {
+        let dir = out_root.join("batch-timed");
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        let t = Instant::now();
+        conv.convert_bamx(&prep.bamx_path, TARGET, &dir)?;
+        Ok(t.elapsed())
+    })?;
+    let batch_rps = records as f64 / batch_time.as_secs_f64().max(1e-12);
+
+    // Per-stage loops timed alone (simulated-cluster convention): decode
+    // every record, convert every record, emit every byte — each phase
+    // run by itself, best-of-N.
+    let converter = ngs_converter::target::builtin(TARGET)
+        .ok_or_else(|| ngs_formats::error::Error::InvalidRecord("no BED converter".into()))?;
+    let t_decode = cfg.best_of(|| {
+        let t = Instant::now();
+        std::hint::black_box(shard.read_range(0, shard.len())?);
+        Ok(t.elapsed())
+    })?;
+    let mut converted = Vec::new();
+    let t_convert = cfg.best_of(|| {
+        let t = Instant::now();
+        converted.clear();
+        converter.prologue(shard.header(), &mut converted);
+        for r in &all_records {
+            converter.convert(r, &mut converted);
+        }
+        Ok(t.elapsed())
+    })?;
+    let t_emit = cfg.best_of(|| {
+        let path = out_root.join("emit-phase.json");
+        let t = Instant::now();
+        std::fs::write(&path, &converted)?;
+        Ok(t.elapsed())
+    })?;
+    let phase_sum = t_decode + t_convert + t_emit;
+
+    // One streaming configuration: best-of-N elapsed, worst-of-N peak.
+    let stream = |workers: usize, batch_size: usize, channel_bound: usize, tag: &str|
+     -> Result<(Duration, u64)> {
+        let pipeline = Pipeline::new(PipelineConfig {
+            workers,
+            batch_size,
+            channel_bound,
+            ..PipelineConfig::default()
+        });
+        let (mut best, mut peak) = (Duration::MAX, 0u64);
+        for rep in 0..cfg.repeats.max(1) {
+            let dir = out_root.join(format!("{tag}-{rep}"));
+            let t = Instant::now();
+            let run = pipeline.convert_file(&prep.bamx_path, TARGET, &dir)?;
+            best = best.min(t.elapsed());
+            peak = peak.max(run.metrics.peak_buffered_bytes);
+            if rep == 0 && std::fs::read(&run.path)? != batch_bytes {
+                return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                    "streaming output diverged from batch at {tag}"
+                )));
+            }
+        }
+        Ok((best, peak))
+    };
+
+    let mut table = String::from(
+        "Streaming pipeline vs batch conversion (JSON target)\n",
+    );
+    table.push_str(&format!(
+        "{records} records; batch baseline {batch_rps:.0} rec/s holding {batch_resident} \
+         resident bytes\n",
+    ));
+
+    // Simulated overlap: the streamed makespan is the bottleneck stage.
+    table.push_str(&format!(
+        "phases timed alone: decode {t_decode:.2?}, convert {t_convert:.2?}, emit \
+         {t_emit:.2?} (sum {phase_sum:.2?})\n"
+    ));
+    table.push_str("simulated overlap (makespan = max stage, convert split over W workers):\n");
+    table.push_str("      workers  makespan   vs batch sum\n");
+    let mut simulated_rows = Vec::new();
+    for &w in &WORKER_AXIS {
+        let makespan_s = t_decode
+            .as_secs_f64()
+            .max(t_convert.as_secs_f64() / w as f64)
+            .max(t_emit.as_secs_f64());
+        let speedup = phase_sum.as_secs_f64() / makespan_s.max(1e-12);
+        table.push_str(&format!(
+            "{w:>13}  {:>8.2?}  {speedup:>11.2}x\n",
+            Duration::from_secs_f64(makespan_s),
+        ));
+        simulated_rows.push(format!(
+            "      {{\"workers\": {w}, \"makespan_seconds\": {makespan_s:.6}, \
+             \"speedup_vs_batch\": {speedup:.3}}}"
+        ));
+    }
+
+    let mut sections = Vec::new();
+    table.push_str("measured thread-parallel runs (byte-identity + bounded memory):\n");
+    for (axis_name, rows) in [
+        ("workers", WORKER_AXIS.iter().map(|&w| (w, 1024, 4)).collect::<Vec<_>>()),
+        ("batch_size", BATCH_AXIS.iter().map(|&b| (4, b, 4)).collect()),
+        ("channel_bound", BOUND_AXIS.iter().map(|&c| (4, 1024, c)).collect()),
+    ] {
+        table.push_str(&format!("{axis_name:>13}  rec/s    peak buffered\n"));
+        let mut json_rows = Vec::new();
+        for (workers, batch_size, channel_bound) in rows {
+            let tag = format!("{axis_name}-{workers}-{batch_size}-{channel_bound}");
+            let (elapsed, peak) = stream(workers, batch_size, channel_bound, &tag)?;
+            let rps = records as f64 / elapsed.as_secs_f64().max(1e-12);
+            let value = match axis_name {
+                "workers" => workers,
+                "batch_size" => batch_size,
+                _ => channel_bound,
+            };
+            table.push_str(&format!("{value:>13}  {rps:>7.0}  {peak:>10} B\n"));
+            json_rows.push(format!(
+                "      {{\"workers\": {workers}, \"batch_size\": {batch_size}, \
+                 \"channel_bound\": {channel_bound}, \"seconds\": {:.6}, \
+                 \"records_per_sec\": {rps:.2}, \"peak_buffered_bytes\": {peak}}}",
+                elapsed.as_secs_f64(),
+            ));
+        }
+        sections.push(format!(
+            "    \"{axis_name}\": [\n{}\n    ]",
+            json_rows.join(",\n")
+        ));
+    }
+
+    // Analysis graph: streaming coverage→FDR vs its batch equivalent
+    // (materialize all records, then accumulate + FDR sequentially).
+    let options = AnalyzeOptions { fdr_rounds: 4, ..AnalyzeOptions::default() };
+    let analyze_pipeline = Pipeline::new(PipelineConfig::with_workers(4));
+    let mut analyze_peak = 0u64;
+    let stream_analyze = cfg.best_of(|| {
+        let t = Instant::now();
+        let run = analyze_pipeline.analyze_file(&prep.bamx_path, options.clone())?;
+        analyze_peak = analyze_peak.max(run.metrics.peak_buffered_bytes);
+        Ok(t.elapsed())
+    })?;
+    let batch_analyze = cfg.best_of(|| {
+        let t = Instant::now();
+        let recs = shard.read_range(0, shard.len())?;
+        let mut counts = ngs_stats::BinnedCounts::new(shard.header(), options.bin_size);
+        for r in &recs {
+            counts.add_alignment(r);
+        }
+        let hist = counts.into_histogram();
+        let input = build_fdr_input(
+            hist.bins.clone(),
+            options.fdr_rounds,
+            options.null_model,
+            options.seed,
+        );
+        std::hint::black_box(ngs_stats::fdr_curve(&input, &options.fdr_thresholds, 1));
+        Ok(t.elapsed())
+    })?;
+    table.push_str(&format!(
+        "analysis graph: streaming {:.0} rec/s (peak {analyze_peak} B buffered) vs batch \
+         {:.0} rec/s (holding {batch_resident} B)\n",
+        records as f64 / stream_analyze.as_secs_f64().max(1e-12),
+        records as f64 / batch_analyze.as_secs_f64().max(1e-12),
+    ));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"streaming_pipeline\",\n  \"records\": {records},\n  \
+         \"target\": \"json\",\n  \"batch_baseline\": {{\"seconds\": {:.6}, \
+         \"records_per_sec\": {batch_rps:.2}, \"resident_bytes\": {batch_resident}}},\n  \
+         \"phases\": {{\"decode_seconds\": {:.6}, \"convert_seconds\": {:.6}, \
+         \"emit_seconds\": {:.6}, \"sum_seconds\": {:.6}}},\n  \
+         \"simulated_overlap\": [\n{}\n  ],\n  \
+         \"measured\": {{\n{}\n  }},\n  \
+         \"analysis\": {{\"streaming_seconds\": {:.6}, \"batch_seconds\": {:.6}, \
+         \"streaming_peak_buffered_bytes\": {analyze_peak}}}\n}}\n",
+        batch_time.as_secs_f64(),
+        t_decode.as_secs_f64(),
+        t_convert.as_secs_f64(),
+        t_emit.as_secs_f64(),
+        phase_sum.as_secs_f64(),
+        simulated_rows.join(",\n"),
+        sections.join(",\n"),
+        stream_analyze.as_secs_f64(),
+        batch_analyze.as_secs_f64(),
+    );
+    std::fs::write("BENCH_pipeline.json", json)?;
+    table.push_str("JSON written to BENCH_pipeline.json\n");
     Ok(table)
 }
 

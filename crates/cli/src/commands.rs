@@ -22,6 +22,17 @@ use crate::args::{ArgError, Args};
 /// Boxed error type shared by the subcommands.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
+/// Fallible `println!`: a closed stdout (`ngsp ... | head`) surfaces as
+/// an `io::Error` the subcommand propagates to `main`, which maps
+/// broken-pipe to a quiet, consistent exit — `println!` would panic
+/// instead, spraying a backtrace after possibly-partial output.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        writeln!(std::io::stdout(), $($arg)*)
+    }};
+}
+
 fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
     Box::new(ArgError(msg.into()))
 }
@@ -41,18 +52,19 @@ pub fn read_alignments(path: &str) -> Result<(ngs_formats::SamHeader, Vec<Alignm
     }
 }
 
-fn print_report(report: &ConvertReport) {
-    println!(
+fn print_report(report: &ConvertReport) -> CmdResult {
+    outln!(
         "records: {} in, {} out; output bytes: {}; convert time: {:?} (+{:?} preprocess)",
         report.records_in(),
         report.records_out(),
         report.bytes_out(),
         report.convert_time,
         report.preprocess_time,
-    );
+    )?;
     for p in &report.outputs {
-        println!("  {}", p.display());
+        outln!("  {}", p.display())?;
     }
+    Ok(())
 }
 
 /// `ngsp generate --records N --out FILE [--chroms C] [--sorted] [--seed S]`
@@ -73,7 +85,7 @@ pub fn generate(args: &Args) -> CmdResult {
     } else {
         ds.write_sam(out)?
     };
-    println!("wrote {records} records ({bytes} bytes) to {out}");
+    outln!("wrote {records} records ({bytes} bytes) to {out}")?;
     Ok(())
 }
 
@@ -118,7 +130,7 @@ pub fn convert(args: &Args) -> CmdResult {
         }
         (other, _) => return Err(err(format!("unknown instance {other:?}"))),
     };
-    print_report(&report);
+    print_report(&report)?;
     Ok(())
 }
 
@@ -137,21 +149,21 @@ pub fn preprocess(args: &Args) -> CmdResult {
         let mut conv = BamConverter::new(ConvertConfig::with_ranks(ranks));
         conv.bamx_compression = compression;
         let prep = conv.preprocess(input, out_dir)?;
-        println!(
+        outln!(
             "{} records -> {} + {} in {:?} (record size {} bytes)",
             prep.records,
             prep.bamx_path.display(),
             prep.baix_path.display(),
             prep.elapsed,
             prep.layout.record_size()
-        );
+        )?;
     } else {
         let mut conv = SamxConverter::new(ConvertConfig::with_ranks(ranks));
         conv.bamx_compression = compression;
         let prep = conv.preprocess_file(input, out_dir)?;
-        println!("{} records -> {} shards in {:?}", prep.records(), prep.shards.len(), prep.elapsed);
+        outln!("{} records -> {} shards in {:?}", prep.records(), prep.shards.len(), prep.elapsed)?;
         for s in &prep.shards {
-            println!("  {} ({} records)", s.bamx_path.display(), s.records);
+            outln!("  {} ({} records)", s.bamx_path.display(), s.records)?;
         }
     }
     Ok(())
@@ -161,7 +173,7 @@ pub fn preprocess(args: &Args) -> CmdResult {
 pub fn flagstat_cmd(args: &Args) -> CmdResult {
     let input = args.one_positional("input file")?;
     let (_, records) = read_alignments(input)?;
-    println!("{}", flagstat(&records));
+    outln!("{}", flagstat(&records))?;
     Ok(())
 }
 
@@ -196,7 +208,7 @@ pub fn sort_cmd(args: &Args) -> CmdResult {
         }
         w.finish()?;
     }
-    println!("sorted {} records into {out}", records.len());
+    outln!("sorted {} records into {out}", records.len())?;
     Ok(())
 }
 
@@ -212,7 +224,7 @@ pub fn merge_cmd(args: &Args) -> CmdResult {
     } else {
         cat_sam_parts(parts, out)?
     };
-    println!("merged {} records from {} parts into {out}", n, parts.len());
+    outln!("merged {} records from {} parts into {out}", n, parts.len())?;
     Ok(())
 }
 
@@ -223,16 +235,16 @@ pub fn depth_cmd(args: &Args) -> CmdResult {
     let (header, records) = read_alignments(input)?;
     for track in depth(&header, &records) {
         let name = String::from_utf8_lossy(&track.chrom).into_owned();
-        println!(
+        outln!(
             "{name}: mean {:.3}, max {}, breadth(1x) {:.1}%",
             track.mean(),
             track.max(),
             track.breadth(1) * 100.0
-        );
+        )?;
         if window > 0 {
             for (i, d) in ngs_tools::windowed_depth(&track, window).iter().enumerate() {
                 if *d > 0.0 {
-                    println!("  {name}\t{}\t{}\t{d:.2}", i * window, (i + 1) * window);
+                    outln!("  {name}\t{}\t{}\t{d:.2}", i * window, (i + 1) * window)?;
                 }
             }
         }
@@ -248,11 +260,11 @@ pub fn histogram_cmd(args: &Args) -> CmdResult {
     let (header, records) = read_alignments(input)?;
     let hist = CoverageHistogram::from_records(&header, bin, &records);
     std::fs::write(out, hist.to_bedgraph())?;
-    println!(
+    outln!(
         "{} bins of {bin} bp (mean {:.3}) written to {out}",
         hist.len(),
         hist.mean()
-    );
+    )?;
     Ok(())
 }
 
@@ -272,13 +284,13 @@ pub fn denoise_cmd(args: &Args) -> CmdResult {
     let denoised = nlmeans_sequential(&hist.bins, &params);
     hist.bins = denoised;
     std::fs::write(out, hist.to_bedgraph())?;
-    println!(
+    outln!(
         "denoised {} bins (r={}, l={}, sigma={}) into {out}",
         hist.len(),
         params.search_radius,
         params.half_patch,
         params.sigma
-    );
+    )?;
     Ok(())
 }
 
@@ -304,14 +316,14 @@ pub fn fdr_cmd(args: &Args) -> CmdResult {
     let text = std::fs::read(input)?;
     let hist = CoverageHistogram::from_bedgraph_auto(&text, bin)?;
     let fdr_input = build_fdr_input(hist.bins.clone(), rounds, model, seed);
-    println!("bins: {}, simulation rounds: {rounds}", hist.len());
-    println!("{:>10}{:>14}", "p_t", "FDR");
+    outln!("bins: {}, simulation rounds: {rounds}", hist.len())?;
+    outln!("{:>10}{:>14}", "p_t", "FDR")?;
     for t in thresholds {
         let v = fdr_fused(&fdr_input, t);
         if v.is_finite() {
-            println!("{t:>10.2}{v:>14.6}");
+            outln!("{t:>10.2}{v:>14.6}")?;
         } else {
-            println!("{t:>10.2}{:>14}", "inf");
+            outln!("{t:>10.2}{:>14}", "inf")?;
         }
     }
     Ok(())
@@ -327,12 +339,12 @@ pub fn index_cmd(args: &Args) -> CmdResult {
     let out = args.optional("out").unwrap_or(&default_out);
     let index = ngs_bamx::BamIndex::build(input)?;
     index.save(out)?;
-    println!(
+    outln!(
         "indexed {input}: {} chunks across {} references ({} unmapped records) -> {out}",
         index.chunk_count(),
         index.refs.len(),
         index.unmapped
-    );
+    )?;
     Ok(())
 }
 
@@ -363,10 +375,10 @@ pub fn peaks_cmd(args: &Args) -> CmdResult {
     };
     let selected = ngs_stats::select_bins(&fdr_input, p_t);
     let called = ngs_stats::call_peaks(&hist, &selected, gap);
-    println!(
+    outln!(
         "p_t = {p_t} (target FDR {target_fdr}, {rounds} simulation rounds): {} peaks",
         called.len()
-    );
+    )?;
     let mut bed = Vec::new();
     for p in &called {
         ngs_formats::bed::write_record(&p.to_bed(), &mut bed);
@@ -374,7 +386,7 @@ pub fn peaks_cmd(args: &Args) -> CmdResult {
     match args.optional("out") {
         Some(path) => {
             std::fs::write(path, &bed)?;
-            println!("peak BED written to {path}");
+            outln!("peak BED written to {path}")?;
         }
         None => {
             use std::io::Write as _;
@@ -459,6 +471,118 @@ pub fn view_cmd(args: &Args) -> CmdResult {
             }
         }
     }
+    Ok(())
+}
+
+/// `ngsp pipeline INPUT --to FMT --out DIR [--workers N] [--batch B]
+///  [--bound C] [--region R]`
+/// `ngsp pipeline INPUT --analyze [--bin 25] [--rounds B] [--workers N]`
+///
+/// Streams records through the bounded dataflow engine (`ngs-pipeline`,
+/// DESIGN.md §8) instead of materializing them: peak memory is
+/// proportional to `--bound × --batch`, not input size, and the
+/// converted bytes are identical to `ngsp convert`. Prints per-stage
+/// throughput/stall metrics afterwards. INPUT is a `.bamx` shard (with
+/// its `.baix` next to it for `--region`) or a `.bam`, which is
+/// preprocessed first.
+pub fn pipeline_cmd(args: &Args) -> CmdResult {
+    use ngs_core::pipeline::{AnalyzeOptions, Pipeline, PipelineConfig, PipelineMetrics};
+
+    let input = args.one_positional("input file")?;
+    let config = PipelineConfig {
+        workers: args.get_or("workers", 4usize)?,
+        batch_size: args.get_or("batch", 1024usize)?,
+        channel_bound: args.get_or("bound", 4usize)?,
+        ..PipelineConfig::default()
+    };
+    let pipeline = Pipeline::new(config);
+
+    let print_metrics = |m: &PipelineMetrics| -> std::io::Result<()> {
+        outln!(
+            "elapsed {:?}; sink throughput {:.0} items/s; peak buffered {} bytes",
+            m.elapsed,
+            m.sink_items_per_sec(),
+            m.peak_buffered_bytes
+        )?;
+        for s in &m.stages {
+            outln!(
+                "  {:<12} x{}: {} items in, {} out; busy {:?}, starved {:?}, backpressured {:?}, max queue {}",
+                s.name, s.workers, s.items_in, s.items_out, s.busy, s.recv_wait, s.send_wait,
+                s.max_queue_depth
+            )?;
+        }
+        Ok(())
+    };
+
+    // Resolve INPUT to a BAMX shard, preprocessing BAM first.
+    let analyze = args.switch("analyze");
+    let tmp;
+    let (bamx_path, baix_path) = if input.ends_with(".bam") {
+        let prep_dir = match args.optional("out") {
+            Some(out) => Path::new(out).join("bamx"),
+            None => {
+                tmp = tempfile::tempdir()?;
+                tmp.path().join("bamx")
+            }
+        };
+        let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+        let prep = conv.preprocess(input, prep_dir)?;
+        (prep.bamx_path, prep.baix_path)
+    } else {
+        let p = std::path::PathBuf::from(input);
+        let baix = p.with_extension("baix");
+        (p, baix)
+    };
+
+    if analyze {
+        let options = AnalyzeOptions {
+            bin_size: args.get_or("bin", 25u32)?,
+            fdr_rounds: args.get_or("rounds", 8usize)?,
+            seed: args.get_or("seed", 20140519u64)?,
+            ..AnalyzeOptions::default()
+        };
+        let run = pipeline.analyze_file(&bamx_path, options)?;
+        outln!(
+            "analyzed {} records ({} aligned bases) into {} bins",
+            run.records,
+            run.total_bases,
+            run.histogram.len()
+        )?;
+        outln!("{:>10}{:>14}", "p_t", "FDR")?;
+        for (t, v) in &run.fdr {
+            if v.is_finite() {
+                outln!("{t:>10.2}{v:>14.6}")?;
+            } else {
+                outln!("{t:>10.2}{:>14}", "inf")?;
+            }
+        }
+        for q in &run.quarantined {
+            outln!("quarantined shard {:?}: {}", q.shard, q.error)?;
+        }
+        print_metrics(&run.metrics)?;
+        return Ok(());
+    }
+
+    let to = args.required("to")?;
+    let target = TargetFormat::parse(to).ok_or_else(|| err(format!("unknown format {to:?}")))?;
+    let out_dir = args.required("out")?;
+    let run = match args.optional("region") {
+        None => pipeline.convert_file(&bamx_path, target, out_dir)?,
+        Some(r) => {
+            let header = ngs_bamx::BamxFile::open(&bamx_path)?.header().clone();
+            let region = Region::parse(r, &header)?;
+            pipeline.convert_region(&bamx_path, &baix_path, &region, target, out_dir)?
+        }
+    };
+    outln!(
+        "records: {} in, {} out; output bytes: {}; {} transient retries",
+        run.records_in, run.records_out, run.bytes_out, run.transient_retries
+    )?;
+    outln!("  {}", run.path.display())?;
+    for q in &run.quarantined {
+        outln!("quarantined shard {:?}: {}", q.shard, q.error)?;
+    }
+    print_metrics(&run.metrics)?;
     Ok(())
 }
 
@@ -667,10 +791,10 @@ pub fn chaos_cmd(args: &Args) -> CmdResult {
             }
         }
     }
-    println!(
+    outln!(
         "byte level: {plans} plans -> {rejected} rejected (typed), {decoded} decoded clean, \
          {diverged} diverged (unchecksummed region), 0 panics"
-    );
+    )?;
 
     // --- 2. Delivery-level engine runs --------------------------------------
     // Clean baseline conversion bytes, once.
@@ -745,10 +869,10 @@ pub fn chaos_cmd(args: &Args) -> CmdResult {
         }
         retries_absorbed += engine.drain().transient_retries;
     }
-    println!(
+    outln!(
         "delivery level: {DELIVERY_RUNS} engine runs -> {DELIVERY_RUNS} byte-identical \
          conversions, {retries_absorbed} transient retries absorbed"
-    );
+    )?;
 
     // --- 3. Quarantine ------------------------------------------------------
     const QUARANTINE_RUNS: u64 = 8;
@@ -791,12 +915,12 @@ pub fn chaos_cmd(args: &Args) -> CmdResult {
             }
         }
     }
-    println!(
+    outln!(
         "quarantine: {QUARANTINE_RUNS} corrupt shards -> {quarantined} quarantined + \
          fail-fast verified, {survived_corruption} decoded clean (damage in slack); \
          store counters: {:?}",
         store.counters()
-    );
-    println!("chaos: all checks passed ({plans} plans, seed {seed}, {records} records)");
+    )?;
+    outln!("chaos: all checks passed ({plans} plans, seed {seed}, {records} records)")?;
     Ok(())
 }

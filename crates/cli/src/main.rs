@@ -35,6 +35,12 @@ COMMANDS:
               INPUT [--rounds B] [--thresholds 1,2,4] [--model poisson]
   peaks       FDR-thresholded enriched-region calling to BED
               INPUT [--target-fdr 0.05] [--gap G] [--out FILE.bed]
+  pipeline    stream records through the bounded dataflow engine
+              INPUT --to FMT --out DIR [--workers N] [--batch B]
+              [--bound C] [--region R]
+              INPUT --analyze [--bin 25] [--rounds B]  (coverage+FDR)
+              (byte-identical to convert at bounded memory; prints
+               per-stage throughput and stall metrics)
   query       batch region queries over preprocessed BAMX/BAIX shards
               SHARD_DIR [--requests FILE] [--out DIR] [--workers N]
               [--queue N] [--cache N] [--deadline-ms D]
@@ -48,12 +54,34 @@ COMMANDS:
 Formats for --to: sam bam bed bedgraph fasta fastq json yaml wig gff3
 ";
 
+/// Exit code for a consumer that closed our stdout (`ngsp view | head`):
+/// 128 + SIGPIPE, what a shell reports for a signal death — but reached
+/// through an orderly unwind, so buffers flush and no partial line is
+/// torn mid-write.
+const EPIPE_EXIT: i32 = 141;
+
+/// Whether any error in the chain is a broken-pipe I/O error.
+fn is_broken_pipe(top: &(dyn std::error::Error + 'static)) -> bool {
+    let mut cur = Some(top);
+    while let Some(e) = cur {
+        if let Some(io) = e.downcast_ref::<std::io::Error>() {
+            if io.kind() == std::io::ErrorKind::BrokenPipe {
+                return true;
+            }
+        }
+        cur = e.source();
+    }
+    false
+}
+
 fn main() {
-    // Unix CLI convention: die quietly on SIGPIPE (e.g. `ngsp view | head`)
-    // instead of panicking on a broken stdout.
+    // Ignore SIGPIPE so writing to a closed pipe surfaces as an EPIPE
+    // error instead of killing the process mid-write; every emitting
+    // subcommand propagates that error here, where it becomes a quiet,
+    // consistent exit (no panic, no partial-line garbage).
     #[cfg(unix)]
     unsafe {
-        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+        libc::signal(libc::SIGPIPE, libc::SIG_IGN);
     }
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = raw.split_first() else {
@@ -85,6 +113,7 @@ fn main() {
         "denoise" => commands::denoise_cmd(&args),
         "fdr" => commands::fdr_cmd(&args),
         "peaks" => commands::peaks_cmd(&args),
+        "pipeline" => commands::pipeline_cmd(&args),
         "query" => commands::query_cmd(&args),
         "chaos" => commands::chaos_cmd(&args),
         "help" | "--help" | "-h" => {
@@ -98,6 +127,11 @@ fn main() {
         }
     };
     if let Err(e) = result {
+        if is_broken_pipe(e.as_ref()) {
+            // The reader went away; nothing useful to say and possibly
+            // nowhere to say it.
+            std::process::exit(EPIPE_EXIT);
+        }
         eprintln!("ngsp {command}: {e}");
         std::process::exit(1);
     }

@@ -118,6 +118,38 @@ fn preprocess_reports_layout() {
 }
 
 #[test]
+fn pipeline_streams_byte_identical_to_convert() {
+    let dir = tempdir().unwrap();
+    let d = dir.path();
+    ok(d, &["generate", "--records", "700", "--out", "in.bam", "--sorted"]);
+    ok(d, &["convert", "in.bam", "--to", "sam", "--out", "batch", "--ranks", "1"]);
+    let text = ok(d, &[
+        "pipeline", "in.bam", "--to", "sam", "--out", "stream", "--workers", "2", "--batch",
+        "64", "--bound", "2",
+    ]);
+    assert!(text.contains("records: 700 in"), "got {text}");
+    assert!(text.contains("items/s"), "metrics missing: {text}");
+    assert_eq!(
+        std::fs::read(d.join("batch/in.part0000.sam")).unwrap(),
+        std::fs::read(d.join("stream/in.part0000.sam")).unwrap(),
+        "streaming output must match batch conversion byte for byte"
+    );
+
+    // Region-restricted streaming over the already-preprocessed shard.
+    let text = ok(d, &[
+        "pipeline", "stream/bamx/in.bamx", "--to", "bed", "--out", "region", "--region",
+        "chr1:1-10000",
+    ]);
+    assert!(text.contains("records:"), "got {text}");
+
+    // Analysis graph: coverage + FDR with per-stage metrics.
+    let text = ok(d, &["pipeline", "in.bam", "--analyze", "--rounds", "4"]);
+    assert!(text.contains("analyzed 700 records"), "got {text}");
+    assert!(text.contains("p_t"), "got {text}");
+    assert!(text.contains("coverage"), "stage metrics missing: {text}");
+}
+
+#[test]
 fn error_paths_exit_nonzero() {
     let dir = tempdir().unwrap();
     let d = dir.path();
@@ -186,4 +218,55 @@ fn peaks_pipeline_finds_injected_enrichment() {
         }
     }
     assert!(hit, "island not called: {bed}");
+}
+
+#[test]
+fn closed_stdout_exits_quietly_with_sigpipe_code() {
+    use std::process::Stdio;
+
+    let dir = tempdir().unwrap();
+    let d = dir.path();
+    ok(d, &["generate", "--records", "6000", "--out", "in.sam"]);
+
+    // Emitting subcommands whose output can outrun a closed consumer.
+    for args in [
+        vec!["view", "in.sam"],
+        vec!["flagstat", "in.sam"],
+        vec!["convert", "in.sam", "--to", "bed", "--out", "bed", "--ranks", "2"],
+    ] {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_ngsp"))
+            .current_dir(d)
+            .args(&args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn ngsp");
+        // Close the read end immediately: the child's writes hit EPIPE.
+        drop(child.stdout.take());
+        let out = child.wait_with_output().expect("wait ngsp");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            out.status.success() || out.status.code() == Some(141),
+            "ngsp {args:?}: expected success or exit 141, got {:?}\nstderr: {stderr}",
+            out.status
+        );
+        // No panic backtrace, no error spray — a closed pipe is routine.
+        assert!(!stderr.contains("panic"), "ngsp {args:?} panicked:\n{stderr}");
+        assert!(!stderr.contains("Broken pipe") && !stderr.contains("ngsp"),
+            "ngsp {args:?} noisy on closed stdout:\n{stderr}");
+    }
+
+    // The 6000-record view overflows the pipe buffer, so at least that
+    // invocation must have taken the EPIPE path rather than finishing.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ngsp"))
+        .current_dir(d)
+        .args(["view", "in.sam"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ngsp");
+    drop(child.stdout.take());
+    let out = child.wait_with_output().expect("wait ngsp");
+    assert_eq!(out.status.code(), Some(141), "stderr: {}",
+        String::from_utf8_lossy(&out.stderr));
 }

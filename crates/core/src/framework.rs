@@ -154,6 +154,17 @@ impl Framework {
         ngs_query::QueryEngine::new(shard_dir, config)
     }
 
+    // -- Streaming pipeline -----------------------------------------------
+
+    /// A bounded streaming pipeline sized like this framework: `ranks`
+    /// stage workers over record batches in bounded channels, so peak
+    /// memory is proportional to the channel capacity rather than the
+    /// input size. Output is byte-identical to the one-shot converter
+    /// paths — see `ngs-pipeline` and DESIGN.md §8.
+    pub fn pipeline(&self) -> ngs_pipeline::Pipeline {
+        ngs_pipeline::Pipeline::new(ngs_pipeline::PipelineConfig::with_workers(self.config.ranks))
+    }
+
     // -- Statistical analysis ---------------------------------------------
 
     /// Builds the coverage histogram of a SAM file by converting to
@@ -307,6 +318,30 @@ mod tests {
         }
         let stats = engine.drain();
         assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn facade_streaming_pipeline_matches_batch_conversion() {
+        let dir = tempdir().unwrap();
+        let input = make_bam(dir.path(), 350);
+        let fw = Framework::new(FrameworkConfig::with_ranks(2));
+        let conv = ngs_converter::BamConverter::new(ConvertConfig::with_ranks(1));
+        let prep = conv.preprocess(&input, dir.path().join("shards")).unwrap();
+
+        let batch =
+            conv.convert_bamx(&prep.bamx_path, TargetFormat::Bed, dir.path().join("batch"))
+                .unwrap();
+        let run = fw
+            .pipeline()
+            .convert_file(&prep.bamx_path, TargetFormat::Bed, dir.path().join("stream"))
+            .unwrap();
+        assert_eq!(run.records_in, 350);
+        assert!(run.quarantined.is_empty());
+        assert_eq!(
+            std::fs::read(&run.path).unwrap(),
+            std::fs::read(&batch.outputs[0]).unwrap(),
+            "facade streaming output must match the batch converter"
+        );
     }
 
     #[test]

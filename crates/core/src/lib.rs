@@ -26,6 +26,7 @@ pub use ngs_cluster as cluster;
 pub use ngs_converter as converter;
 pub use ngs_fault as fault;
 pub use ngs_formats as formats;
+pub use ngs_pipeline as pipeline;
 pub use ngs_query as query;
 pub use ngs_simgen as simgen;
 pub use ngs_stats as stats;

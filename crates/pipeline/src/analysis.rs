@@ -1,0 +1,229 @@
+//! Graph (b): shard-decode → coverage-accumulate → fused NL-means/FDR
+//! sink.
+//!
+//! The statistics pipeline of the paper's Section IV as a streaming
+//! graph: the shared shard source feeds a worker pool that accumulates
+//! **integer** per-bin base-pair counts ([`BinnedCounts`]) worker-locally
+//! and flushes one partial per worker at end-of-stream. The sink merges
+//! the partials — an exact, commutative integer reduction, so the result
+//! is independent of worker scheduling — then runs NL-means denoising
+//! (Section IV-A) and the fused single-reduction FDR of Algorithm 2
+//! (Eq. 7–9) over the final histogram. Coverage never exists as floats
+//! until the single ÷bin_size conversion at the end, which is what makes
+//! the streaming histogram bit-identical to the sequential one.
+//!
+//! Fault model matches graph (a): transient reads retried in the source,
+//! structurally corrupt shards quarantined, graph always drained.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use ngs_formats::error::{Error, Result};
+use ngs_formats::header::SamHeader;
+use ngs_formats::record::AlignmentRecord;
+use ngs_stats::simulate::NullModel;
+use ngs_stats::{build_fdr_input, fdr_curve, nlmeans_sequential, BinnedCounts, CoverageHistogram, NlMeansParams};
+
+use crate::clock::{Clock, SystemClock};
+use crate::convert::{record_source, ShardInput, ShardQuarantine};
+use crate::engine::{Batch, Cost, Graph, PipelineConfig, Sink, Stage};
+use crate::metrics::PipelineMetrics;
+
+impl Cost for BinnedCounts {
+    fn cost_bytes(&self) -> u64 {
+        // One u64 per bin dominates; chrom metadata is negligible.
+        (self.len() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+/// Knobs for the streaming analysis graph. Defaults mirror
+/// `FrameworkConfig` (bin size 25) and the repro experiments.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Histogram bin size in base pairs.
+    pub bin_size: u32,
+    /// NL-means parameters; `None` skips denoising.
+    pub nlmeans: Option<NlMeansParams>,
+    /// Simulation rounds behind the FDR scores.
+    pub fdr_rounds: usize,
+    /// Peak-calling thresholds to score.
+    pub fdr_thresholds: Vec<f64>,
+    /// Null model generating the simulations.
+    pub null_model: NullModel,
+    /// Simulation RNG seed (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            bin_size: 25,
+            nlmeans: None,
+            fdr_rounds: 8,
+            fdr_thresholds: vec![1.0, 2.0, 4.0],
+            null_model: NullModel::Poisson,
+            seed: 20140519,
+        }
+    }
+}
+
+/// Result of one streaming analysis run.
+#[derive(Debug)]
+pub struct AnalyzeRun {
+    /// Final merged coverage histogram.
+    pub histogram: CoverageHistogram,
+    /// Denoised bins when [`AnalyzeOptions::nlmeans`] was set.
+    pub denoised: Option<Vec<f64>>,
+    /// `(threshold, FDR)` pairs from the fused Algorithm 2 reduction.
+    pub fdr: Vec<(f64, f64)>,
+    /// Records decoded from the shards.
+    pub records: u64,
+    /// Total covered base pairs (exact integer count).
+    pub total_bases: u64,
+    /// Per-stage metrics and the peak-working-set proxy.
+    pub metrics: PipelineMetrics,
+    /// Shards abandoned on structural corruption.
+    pub quarantined: Vec<ShardQuarantine>,
+    /// Transient read faults absorbed by in-source retries.
+    pub transient_retries: u64,
+}
+
+/// Drives graph (b) over one or more shards.
+pub struct StreamAnalyzer {
+    /// Engine sizing (workers, batch size, channel bound, retries).
+    pub config: PipelineConfig,
+    clock: Arc<dyn Clock>,
+}
+
+impl StreamAnalyzer {
+    /// An analyzer on the system clock.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self::with_clock(config, Arc::new(SystemClock::new()))
+    }
+
+    /// An analyzer on an injected clock (deterministic tests).
+    pub fn with_clock(config: PipelineConfig, clock: Arc<dyn Clock>) -> Self {
+        StreamAnalyzer { config, clock }
+    }
+
+    /// Streams `shards` through coverage accumulation and the fused
+    /// statistics sink.
+    pub fn analyze(&self, shards: Vec<ShardInput>, options: AnalyzeOptions) -> Result<AnalyzeRun> {
+        let header = shards
+            .first()
+            .map(|s| s.bamx.header().clone())
+            .ok_or_else(|| Error::InvalidRecord("streaming analysis needs at least one shard".into()))?;
+
+        let quarantined = Arc::new(Mutex::new(Vec::new()));
+        let retries = Arc::new(AtomicU64::new(0));
+        let source = record_source(
+            shards,
+            self.config.batch_size.max(1),
+            Arc::clone(&quarantined),
+            Arc::clone(&retries),
+        );
+
+        let bin_size = options.bin_size;
+        let stage_header = header.clone();
+        let (out, metrics) = Graph::source(
+            self.config.clone(),
+            Arc::clone(&self.clock),
+            "shard-decode",
+            source,
+        )
+        .stage("coverage", self.config.workers.max(1), move |_| {
+            Box::new(CoverageStage { counts: Some(BinnedCounts::new(&stage_header, bin_size)) })
+                as Box<dyn Stage<AlignmentRecord, BinnedCounts>>
+        })
+        // Partials arrive in arbitrary worker order; the integer merge is
+        // commutative so the run is unordered.
+        .run("reduce", false, ReduceSink { merged: BinnedCounts::new(&header, bin_size), options })?;
+
+        let records = metrics.stages.first().map(|s| s.items_out).unwrap_or(0);
+        let quarantined = quarantined.lock().map(|q| q.clone()).unwrap_or_default();
+        let (histogram, denoised, fdr, total_bases) = out;
+        Ok(AnalyzeRun {
+            histogram,
+            denoised,
+            fdr,
+            records,
+            total_bases,
+            metrics,
+            quarantined,
+            transient_retries: retries.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Worker-local integer coverage accumulation; flushes one partial per
+/// worker once the input channel closes.
+struct CoverageStage {
+    counts: Option<BinnedCounts>,
+}
+
+impl Stage<AlignmentRecord, BinnedCounts> for CoverageStage {
+    fn process(
+        &mut self,
+        batch: Batch<AlignmentRecord>,
+        _out: &mut Vec<Batch<BinnedCounts>>,
+    ) -> Result<()> {
+        if let Some(counts) = self.counts.as_mut() {
+            for rec in &batch.items {
+                counts.add_alignment(rec);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Batch<BinnedCounts>>) -> Result<()> {
+        if let Some(counts) = self.counts.take() {
+            out.push(Batch { seq: 0, items: vec![counts] });
+        }
+        Ok(())
+    }
+}
+
+/// Merges worker partials exactly, then runs NL-means and the fused
+/// Algorithm 2 FDR reduction over the final histogram.
+struct ReduceSink {
+    merged: BinnedCounts,
+    options: AnalyzeOptions,
+}
+
+impl Sink<BinnedCounts> for ReduceSink {
+    type Output = (CoverageHistogram, Option<Vec<f64>>, Vec<(f64, f64)>, u64);
+
+    fn absorb(&mut self, batch: Batch<BinnedCounts>) -> Result<()> {
+        for partial in &batch.items {
+            self.merged.merge(partial)?;
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Self::Output> {
+        let total_bases = self.merged.total_bases();
+        let histogram = self.merged.into_histogram();
+        let denoised = self
+            .options
+            .nlmeans
+            .as_ref()
+            .map(|p| nlmeans_sequential(&histogram.bins, p));
+        let scores = denoised.clone().unwrap_or_else(|| histogram.bins.clone());
+        let input = build_fdr_input(
+            scores,
+            self.options.fdr_rounds,
+            self.options.null_model,
+            self.options.seed,
+        );
+        let fdr = fdr_curve(&input, &self.options.fdr_thresholds, 1);
+        Ok((histogram, denoised, fdr, total_bases))
+    }
+}
+
+/// Builds the reference header both builders need; exposed so callers
+/// (CLI, bench) can shape expected histograms without opening shards
+/// twice.
+pub fn analysis_header(shards: &[ShardInput]) -> Option<SamHeader> {
+    shards.first().map(|s| s.bamx.header().clone())
+}

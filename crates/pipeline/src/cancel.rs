@@ -1,0 +1,50 @@
+//! Cooperative cancellation for pipeline graphs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Every stage of a graph polls the token
+/// between batches; setting it makes the whole graph wind down at the
+/// next batch boundary (no thread is ever killed mid-write).
+///
+/// Cancellation is *cooperative and edge-safe*: a blocked producer is
+/// released not by the token but by its consumers dropping their channel
+/// ends, so the runner always drains queues after cancelling (see
+/// `Graph::run`).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_is_shared_between_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(b.is_cancelled());
+    }
+}

@@ -21,7 +21,8 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use ngs_bamx::Region;
 use ngs_converter::bam_converter::convert_index_list;
 use ngs_converter::ConvertConfig;
-use ngs_formats::error::Result;
+use ngs_formats::error::{Error, Result};
+use ngs_pipeline::{PipelineConfig, ShardInput, StreamConverter};
 use ngs_stats::CoverageHistogram;
 
 use crate::clock::{Clock, SystemClock};
@@ -45,6 +46,12 @@ pub struct EngineConfig {
     /// parallelism comes from concurrent requests, so `ranks` is
     /// ignored.
     pub convert: ConvertConfig,
+    /// When set, `Convert` requests stream through the bounded
+    /// `ngs-pipeline` graph instead of the one-shot `convert_index_list`
+    /// call — same bytes (enforced by `tests/query_engine.rs`), but the
+    /// peak working set per request is bounded by the pipeline window
+    /// instead of the coalesced read-range size.
+    pub streaming: Option<PipelineConfig>,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +61,7 @@ impl Default for EngineConfig {
             queue_capacity: 64,
             cache_capacity: 8,
             convert: ConvertConfig::with_ranks(1),
+            streaming: None,
         }
     }
 }
@@ -147,10 +155,11 @@ impl QueryEngine {
             let ledger = Arc::clone(&ledger);
             let clock = Arc::clone(&clock);
             let convert = config.convert.clone();
+            let streaming = config.streaming.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ngs-query-{i}"))
-                    .spawn(move || worker_loop(rx, store, ledger, clock, convert))?,
+                    .spawn(move || worker_loop(rx, store, ledger, clock, convert, streaming))?,
             );
         }
         Ok(QueryEngine { store, ledger, clock, tx: Some(tx), _rx_keepalive: rx, workers })
@@ -224,6 +233,7 @@ fn worker_loop(
     ledger: Arc<Ledger>,
     clock: Arc<dyn Clock>,
     convert: ConvertConfig,
+    streaming: Option<PipelineConfig>,
 ) {
     while let Ok(Job { request, submitted_at, reply }) = rx.recv() {
         let started_at = clock.now();
@@ -245,7 +255,7 @@ fn worker_loop(
                 continue;
             }
         }
-        let executed = execute(&store, &request, &convert);
+        let executed = execute(&store, &request, &convert, streaming.as_ref(), &clock);
         metrics.finished_at = clock.now();
         metrics.service_time = metrics.finished_at.saturating_sub(started_at);
         let outcome = match executed {
@@ -275,6 +285,8 @@ fn execute(
     store: &ShardStore,
     request: &QueryRequest,
     convert: &ConvertConfig,
+    streaming: Option<&PipelineConfig>,
+    clock: &Arc<dyn Clock>,
 ) -> Result<(QueryOutcome, bool)> {
     let (shard, cache_hit) = store.get(&request.dataset)?;
     let region = Region::parse(&request.region, shard.bamx.header())?;
@@ -285,27 +297,60 @@ fn execute(
             std::fs::create_dir_all(out_dir)?;
             // Same stem formula as `BamConverter::convert_partial`, so a
             // request's part file is byte-identical (name and content)
-            // to the single-rank one-shot path.
+            // to the single-rank one-shot path — on BOTH branches below
+            // (`tests/query_engine.rs` enforces it).
             let stem = format!(
                 "{}.{}",
                 request.dataset,
                 region.to_string().replace([':', '-'], "_")
             );
-            let (stats, path) = convert_index_list(
-                &shard.bamx,
-                &indices,
-                *format,
-                out_dir,
-                &stem,
-                0,
-                true,
-                convert,
-            )?;
-            QueryOutcome::Converted {
-                output: path,
-                records_in: stats.records_in,
-                records_out: stats.records_out,
-                bytes_out: stats.bytes_out,
+            if let Some(pipeline) = streaming {
+                // Bounded streaming response path: same records, same
+                // bytes, working set capped by the pipeline window.
+                let converter = StreamConverter::with_clock(pipeline.clone(), Arc::clone(clock));
+                let run = converter.convert(
+                    vec![ShardInput {
+                        name: request.dataset.clone(),
+                        bamx: Arc::clone(&shard.bamx),
+                        indices: Some(indices),
+                    }],
+                    *format,
+                    out_dir,
+                    &stem,
+                    0,
+                    true,
+                )?;
+                // A single-shard request has no "other shards to keep
+                // serving": a quarantine here is the request failing.
+                if let Some(q) = run.quarantined.first() {
+                    return Err(Error::InvalidRecord(format!(
+                        "shard {:?} failed structurally mid-stream: {}",
+                        q.shard, q.error
+                    )));
+                }
+                QueryOutcome::Converted {
+                    output: run.path,
+                    records_in: run.records_in,
+                    records_out: run.records_out,
+                    bytes_out: run.bytes_out,
+                }
+            } else {
+                let (stats, path) = convert_index_list(
+                    &shard.bamx,
+                    &indices,
+                    *format,
+                    out_dir,
+                    &stem,
+                    0,
+                    true,
+                    convert,
+                )?;
+                QueryOutcome::Converted {
+                    output: path,
+                    records_in: stats.records_in,
+                    records_out: stats.records_out,
+                    bytes_out: stats.bytes_out,
+                }
             }
         }
         QueryKind::Coverage { bin_size } => {

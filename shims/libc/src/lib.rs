@@ -19,6 +19,11 @@ pub const SIGPIPE: c_int = 13;
 /// Default signal disposition.
 pub const SIG_DFL: sighandler_t = 0;
 
+/// Ignore-signal disposition. The CLI ignores `SIGPIPE` so writes to a
+/// closed pipe surface as `EPIPE` errors it can turn into a clean,
+/// consistent exit instead of an abrupt signal death.
+pub const SIG_IGN: sighandler_t = 1;
+
 extern "C" {
     /// Installs `handler` for `signum`; returns the previous handler.
     pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
