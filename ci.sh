@@ -31,6 +31,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> ngsp chaos (fault-injection verify)"
 cargo run -p ngs-cli --bin ngsp -- chaos --plans 48 --records 300
 
+# Power-cut matrix: kill preprocessing at evenly spaced (plus tail) byte
+# offsets of the publication stream, then assert the repository reopens
+# clean, resume restores a byte-identical shard set, and the query
+# engine serves identical bytes (DESIGN.md §7.5).
+echo "==> ngsp chaos --crash (power-cut recovery matrix)"
+cargo run -p ngs-cli --bin ngsp -- chaos --crash --points 8 --records 300
+
 # Streaming pipeline smoke: a small seeded dataset through both graphs,
 # byte-identity against the batch converter, plus the quarantine /
 # transient-retry drain tests under injected faults (DESIGN.md §8).

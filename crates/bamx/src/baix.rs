@@ -87,9 +87,9 @@ impl Baix {
         self.entries[range].iter().map(|e| e.index).collect()
     }
 
-    /// Serializes the index to `path`.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let mut w = BufWriter::new(File::create(path)?);
+    /// Serializes the index to a writer (the exact bytes of
+    /// [`Baix::save`], usable with a staged repository artifact).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
         w.write_all(&MAGIC)?;
         w.write_all(&(self.entries.len() as u64).to_le_bytes())?;
         for e in &self.entries {
@@ -97,6 +97,13 @@ impl Baix {
             w.write_all(&e.index.to_le_bytes())?;
         }
         w.flush()?;
+        Ok(())
+    }
+
+    /// Serializes the index to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)?;
         Ok(())
     }
 

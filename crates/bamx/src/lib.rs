@@ -12,7 +12,9 @@
 //!   partial conversion;
 //! * [`binned`] — a UCSC-binning overlap index (the second future-work
 //!   item: "more sophisticated indexing techniques");
-//! * [`region`] — `chr:start-end` genomic region parsing.
+//! * [`region`] — `chr:start-end` genomic region parsing;
+//! * [`repo`] — the crash-safe shard repository: checksummed per-directory
+//!   manifests and atomic temp→fsync→rename publication (DESIGN.md §7.5).
 
 pub mod baix;
 pub mod bam_bai;
@@ -21,6 +23,7 @@ pub mod file;
 pub mod layout;
 pub mod record_codec;
 pub mod region;
+pub mod repo;
 
 pub use baix::{position_key, Baix, BaixEntry};
 pub use bam_bai::{fetch, BamIndex, Chunk};
@@ -28,3 +31,4 @@ pub use binned::BinnedIndex;
 pub use file::{write_bamx_file, BamxCompression, BamxFile, BamxWriter};
 pub use layout::BamxLayout;
 pub use region::Region;
+pub use repo::{Manifest, ManifestEntry, RepoFs, RepoReport, ShardRepo, StdFs, MANIFEST_NAME};

@@ -1,0 +1,133 @@
+//! Manifest robustness suite (DESIGN.md §7.5): `Manifest::decode` must
+//! never panic on arbitrary bytes — every malformation is a typed
+//! `Error::Decode` — and encoding must be deterministic and involutive
+//! (decode ∘ encode = id, byte-for-byte) so resumed preprocessing can
+//! reproduce the MANIFEST exactly.
+
+use proptest::prelude::*;
+
+use ngs_bamx::repo::{valid_artifact_name, Manifest, ManifestEntry};
+use ngs_formats::error::{DecodeErrorKind, Error};
+
+fn arb_entry() -> impl Strategy<Value = ManifestEntry> {
+    ("[a-zA-Z0-9._-]{0,23}", any::<u64>(), any::<u32>(), any::<u32>()).prop_map(
+        |(suffix, len, crc32, fingerprint)| {
+            // A fixed leading letter keeps every generated name valid
+            // (non-empty, not dot-prefixed, not the MANIFEST itself).
+            let name = format!("a{suffix}");
+            assert!(valid_artifact_name(&name));
+            ManifestEntry { name, len, crc32, fingerprint }
+        },
+    )
+}
+
+fn arb_manifest() -> impl Strategy<Value = Manifest> {
+    (
+        proptest::collection::vec(("[a-z]{1,12}", "[ -~]{0,32}"), 0..4),
+        proptest::collection::vec(arb_entry(), 0..8),
+    )
+        .prop_map(|(meta, entries)| Manifest {
+            meta: meta.into_iter().collect(),
+            entries: entries.into_iter().map(|e| (e.name.clone(), e)).collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes never panic the parser; they either decode or
+    /// yield a typed decode error (never a raw I/O error — there is no
+    /// I/O here).
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        match Manifest::decode(&bytes, "prop") {
+            Ok(_) => {}
+            Err(Error::Decode(_)) => {}
+            Err(other) => prop_assert!(false, "non-decode error: {other:?}"),
+        }
+    }
+
+    /// Encode → decode is the identity, and re-encoding is byte-identical
+    /// (the determinism resumed preprocessing relies on).
+    #[test]
+    fn encode_decode_roundtrip_is_deterministic(m in arb_manifest()) {
+        let enc = m.encode();
+        match Manifest::decode(&enc, "prop") {
+            Ok(back) => {
+                prop_assert_eq!(&back, &m);
+                prop_assert_eq!(back.encode(), enc);
+            }
+            Err(e) => prop_assert!(false, "own encoding rejected: {e}"),
+        }
+    }
+
+    /// Any single corrupted byte inside the manifest is caught: decode
+    /// fails (almost always `ManifestMismatch` from the trailing CRC; a
+    /// flip inside the checksum line itself parses as a different stated
+    /// CRC or stops parsing — also an error). Silent acceptance of a
+    /// scribbled manifest is the one unacceptable outcome.
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        m in arb_manifest(),
+        pos_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let mut enc = m.encode();
+        let pos = (pos_seed % enc.len() as u64) as usize;
+        enc[pos] ^= xor;
+        match Manifest::decode(&enc, "prop") {
+            Err(Error::Decode(_)) => {}
+            Ok(decoded) => prop_assert!(
+                false,
+                "corrupt manifest decoded silently at byte {}: {:?}", pos, decoded
+            ),
+            Err(other) => prop_assert!(false, "non-decode error: {other:?}"),
+        }
+    }
+
+    /// Truncating a manifest anywhere strictly inside its bytes is
+    /// detected as a typed decode error. (Cutting only the final newline
+    /// is excluded: the parser deliberately tolerates a missing trailing
+    /// `\n` after the checksum line, and no bytes of content are lost.)
+    #[test]
+    fn truncation_is_always_detected(m in arb_manifest(), cut_seed in any::<u64>()) {
+        let enc = m.encode();
+        let cut = (cut_seed % (enc.len() as u64 - 1)) as usize;
+        match Manifest::decode(&enc[..cut], "prop") {
+            Err(Error::Decode(_)) => {}
+            Ok(decoded) => prop_assert!(
+                false,
+                "truncated manifest (cut {}/{}) decoded silently: {:?}",
+                cut, enc.len(), decoded
+            ),
+            Err(other) => prop_assert!(false, "non-decode error: {other:?}"),
+        }
+    }
+}
+
+/// The typed kinds the repair path dispatches on: a manifest cut
+/// mid-file is `Truncated`; a checksum-violating scribble is
+/// `ManifestMismatch` (or `Corrupt` when the flip breaks line syntax
+/// before the checksum is consulted).
+#[test]
+fn corruption_kinds_are_dispatchable() {
+    let mut m = Manifest::default();
+    m.meta.insert("ranks".into(), "4".into());
+    let enc = m.encode();
+
+    match Manifest::decode(&enc[..enc.len() / 2], "t") {
+        Err(Error::Decode(d)) => assert_eq!(d.kind, DecodeErrorKind::Truncated),
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+
+    let mut scribbled = enc.clone();
+    scribbled[enc.len() / 2] ^= 0x01;
+    match Manifest::decode(&scribbled, "t") {
+        Err(Error::Decode(d)) => assert!(
+            matches!(d.kind, DecodeErrorKind::ManifestMismatch | DecodeErrorKind::Corrupt),
+            "unexpected kind {:?}",
+            d.kind
+        ),
+        other => panic!("expected decode error, got {other:?}"),
+    }
+}

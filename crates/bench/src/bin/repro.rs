@@ -12,12 +12,12 @@ use std::io::Write;
 
 use ngs_bench::{
     fault_bench, fig10, fig11, fig12, fig6, fig7, fig8, fig9, pipeline_bench, query_bench,
-    table1, ExperimentConfig, Scale,
+    recovery_bench, table1, ExperimentConfig, Scale,
 };
 
-const ALL: [&str; 11] = [
+const ALL: [&str; 12] = [
     "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "query", "fault",
-    "pipeline",
+    "pipeline", "recovery",
 ];
 
 fn usage() -> ! {
@@ -91,6 +91,7 @@ fn main() {
             "query" => query_bench(&cfg).expect("query"),
             "fault" => fault_bench(&cfg).expect("fault"),
             "pipeline" => pipeline_bench(&cfg).expect("pipeline"),
+            "recovery" => recovery_bench(&cfg).expect("recovery"),
             _ => unreachable!(),
         };
         eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());

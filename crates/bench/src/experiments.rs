@@ -925,6 +925,142 @@ pub fn pipeline_bench(cfg: &ExperimentConfig) -> Result<String> {
     Ok(table)
 }
 
+// ---------------------------------------------------------------------------
+// Crash recovery (BENCH_recovery.json)
+// ---------------------------------------------------------------------------
+
+/// Crash-recovery experiment (no corresponding paper figure): the cost
+/// of repairing a shard repository after a mid-preprocessing power cut
+/// versus re-preprocessing from scratch (DESIGN.md §7.5).
+///
+/// A reference run through an instrumented [`ngs_fault::FaultyFs`]
+/// measures the total publication byte stream; preprocessing is then
+/// killed at several fractions of that stream with
+/// [`ngs_fault::Fault::CrashAtByte`], and for each crash the timed
+/// repair path runs: reopen the repository, verify (must be clean —
+/// the manifest never references a torn artifact), sweep stray temps,
+/// and resume — manifest-verified shards are skipped byte-for-byte,
+/// only the lost tail is rebuilt. Every recovered directory is checked
+/// byte-identical to the reference before its timing counts. Writes
+/// `BENCH_recovery.json` and returns a rendered table.
+pub fn recovery_bench(cfg: &ExperimentConfig) -> Result<String> {
+    use ngs_bamx::repo::ShardRepo;
+    use ngs_converter::MemSource;
+    use ngs_fault::{Fault, FaultPlan, FaultyFs};
+    use std::sync::Arc;
+
+    const RANKS: usize = 4;
+    // Crash fractions of the publication stream. The rank threads
+    // publish concurrently, so early fractions strike before any shard
+    // has sealed (full rebuild) while tail fractions leave most shards
+    // manifest-verified (cheap repair) — both regimes are reported.
+    const FRACTIONS: [f64; 5] = [0.25, 0.50, 0.75, 0.95, 0.9999];
+
+    let records = cfg.scale.query_records();
+    let ds = cfg.cache.dataset(records, 2, true);
+    let source = MemSource::new(ds.to_sam_bytes());
+    let conv = SamxConverter::new(cfg.config(RANKS));
+    let root = cfg.cache.scratch("recovery")?;
+
+    // Reference: full preprocess, instrumented to learn the stream
+    // length; the on-disk bytes are the recovery oracle.
+    let ref_dir = root.join("reference");
+    let fs = FaultyFs::new(FaultPlan::none());
+    let state = Arc::clone(fs.state());
+    let repo = ShardRepo::create_with(&ref_dir, Arc::new(fs))?;
+    conv.preprocess_source_repo(&source, &repo, "r", false)?;
+    let total = state.written();
+    let mut reference = Vec::new();
+    for entry in std::fs::read_dir(&ref_dir)? {
+        let path = entry?.path();
+        reference.push((path.clone(), std::fs::read(&path)?));
+    }
+
+    // Baseline: a clean full re-preprocess on the real filesystem — the
+    // cost a crash would incur without the manifest's resume path.
+    let full = cfg.best_of(|| {
+        let dir = root.join("full");
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        let repo = ShardRepo::create(&dir)?;
+        let (r, elapsed) = time_once(|| conv.preprocess_source_repo(&source, &repo, "r", false));
+        r?;
+        Ok(elapsed)
+    })?;
+
+    let mut table = String::from("Crash recovery: repair (resume) vs full re-preprocess\n");
+    table.push_str(&format!(
+        "{records} records, {RANKS} ranks, {total}-byte publication stream; \
+         full re-preprocess {full:.2?}\n"
+    ));
+    table.push_str("crash at   resumed  rebuilt     repair    speedup\n");
+    let mut json_rows = Vec::new();
+    for (i, frac) in FRACTIONS.iter().enumerate() {
+        let offset = ((total as f64 * frac) as u64).min(total.saturating_sub(1));
+        let dir = root.join(format!("crash-{i}"));
+        let plan = FaultPlan::new(vec![Fault::CrashAtByte { offset }]);
+        let crashed = ShardRepo::create_with(&dir, Arc::new(FaultyFs::new(plan)))
+            .and_then(|repo| conv.preprocess_source_repo(&source, &repo, "r", false));
+        if crashed.is_ok() {
+            return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                "crash at byte {offset} of {total}: run survived its own crash"
+            )));
+        }
+
+        // Timed repair: reopen, verify, sweep, resume.
+        let ((resumed, rebuilt), repair) = {
+            let (r, elapsed) = time_once(|| -> Result<(u64, u64)> {
+                let repo = ShardRepo::create(&dir)?;
+                let report = repo.verify()?;
+                if !report.is_clean() {
+                    return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                        "crash at byte {offset}: torn artifact behind the manifest: {:?}",
+                        report.damaged
+                    )));
+                }
+                repo.clean_stray_temps()?;
+                let prep = conv.preprocess_source_repo(&source, &repo, "r", true)?;
+                let resumed = prep.shards.iter().filter(|s| s.resumed).count() as u64;
+                Ok((resumed, prep.shards.len() as u64 - resumed))
+            });
+            (r?, elapsed)
+        };
+
+        // The timing only counts if recovery is byte-identical.
+        for (ref_path, bytes) in &reference {
+            let name = ref_path.file_name().unwrap_or_default();
+            if std::fs::read(dir.join(name))? != *bytes {
+                return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                    "crash at byte {offset}: {} diverged after repair",
+                    name.to_string_lossy()
+                )));
+            }
+        }
+
+        let speedup = full.as_secs_f64() / repair.as_secs_f64().max(1e-9);
+        table.push_str(&format!(
+            "{:>7.2}%  {resumed:>7}  {rebuilt:>7}  {repair:>9.2?}  {speedup:>6.2}x\n",
+            frac * 100.0
+        ));
+        json_rows.push(format!(
+            "    {{\"fraction\": {frac}, \"crash_byte\": {offset}, \"resumed_shards\": {resumed}, \
+             \"rebuilt_shards\": {rebuilt}, \"repair_seconds\": {:.6}, \"speedup_vs_full\": {speedup:.3}}}",
+            repair.as_secs_f64(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"crash_recovery\",\n  \"records\": {records},\n  \
+         \"ranks\": {RANKS},\n  \"publication_stream_bytes\": {total},\n  \
+         \"full_preprocess_seconds\": {:.6},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        full.as_secs_f64(),
+        json_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_recovery.json", json)?;
+    table.push_str("JSON written to BENCH_recovery.json\n");
+    Ok(table)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

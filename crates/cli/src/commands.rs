@@ -747,6 +747,10 @@ pub fn chaos_cmd(args: &Args) -> CmdResult {
     };
     use std::sync::Arc;
 
+    if args.switch("crash") {
+        return chaos_crash(args);
+    }
+
     let plans: u64 = args.get_or("plans", 64u64)?;
     let records: usize = args.get_or("records", 400usize)?;
     let seed: u64 = args.get_or("seed", 20140519u64)?;
@@ -922,5 +926,279 @@ pub fn chaos_cmd(args: &Args) -> CmdResult {
         store.counters()
     )?;
     outln!("chaos: all checks passed ({plans} plans, seed {seed}, {records} records)")?;
+    Ok(())
+}
+
+/// `ngsp chaos --crash [--points N] [--records R] [--ranks M] [--seed S]`
+///
+/// The power-cut matrix (DESIGN.md §7.5). A reference preprocessing run
+/// measures the total publication byte stream; then for `--points`
+/// evenly spaced offsets the run is killed at exactly that byte via
+/// [`ngs_fault::FaultyFs`], and after each simulated crash the harness
+/// asserts the crash-consistency invariant end to end:
+///
+/// 1. the repository reopens and `verify()` reports **no damaged
+///    artifact** (the manifest never references a torn file);
+/// 2. a resumed preprocess rebuilds only what was lost and restores a
+///    **byte-identical** shard set (including the MANIFEST);
+/// 3. a query engine over the recovered directory serves the same
+///    bytes as one over the reference directory.
+fn chaos_crash(args: &Args) -> CmdResult {
+    use ngs_bamx::repo::ShardRepo;
+    use ngs_converter::MemSource;
+    use ngs_fault::{Fault, FaultPlan, FaultyFs};
+    use ngs_query::{EngineConfig, QueryEngine, QueryKind, QueryOutcome, QueryRequest};
+    use std::sync::Arc;
+
+    let points: u64 = args.get_or("points", 10u64)?;
+    let records: usize = args.get_or("records", 400usize)?;
+    let ranks: usize = args.get_or("ranks", 3usize)?;
+    let seed: u64 = args.get_or("seed", 20140519u64)?;
+
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: records,
+        n_chroms: 2,
+        coordinate_sorted: true,
+        seed,
+        ..Default::default()
+    });
+    let source = MemSource::new(ds.to_sam_bytes());
+    let conv = SamxConverter::new(ConvertConfig::with_ranks(ranks));
+    let dir = tempfile::tempdir()?;
+
+    // Reference run through an instrumented (fault-free) fs, to learn the
+    // total publication stream length and snapshot the expected bytes.
+    let ref_dir = dir.path().join("reference");
+    let fs = FaultyFs::new(FaultPlan::none());
+    let total = {
+        let state = Arc::clone(fs.state());
+        let repo = ShardRepo::create_with(&ref_dir, Arc::new(fs))?;
+        conv.preprocess_source_repo(&source, &repo, "x", false)?;
+        state.written()
+    };
+    let mut reference = std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(&ref_dir)? {
+        let path = entry?.path();
+        if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+            reference.insert(name.to_string(), std::fs::read(&path)?);
+        }
+    }
+
+    // Reference query bytes: one region conversion over the clean repo.
+    let query_bytes = |shard_dir: &Path, out: std::path::PathBuf| -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+        let engine = QueryEngine::new(shard_dir, EngineConfig::with_workers(1))?;
+        let dataset = engine
+            .store()
+            .datasets()?
+            .first()
+            .cloned()
+            .ok_or_else(|| err("no datasets in repaired directory"))?;
+        let outcome = engine
+            .submit(QueryRequest {
+                dataset,
+                region: "chr1".into(),
+                kind: QueryKind::Convert { format: TargetFormat::Sam, out_dir: out },
+                deadline: None,
+            })
+            .map_err(|e| err(format!("submit: {e}")))?
+            .wait()
+            .outcome;
+        match outcome {
+            Ok(QueryOutcome::Converted { output, .. }) => Ok(std::fs::read(output)?),
+            other => Err(err(format!("query failed: {other:?}"))),
+        }
+    };
+    let baseline_query = query_bytes(&ref_dir, dir.path().join("ref-out"))?;
+
+    // Evenly spaced crash points, plus tail points: the rank threads
+    // publish concurrently, so most shards seal near the stream's end —
+    // only late crashes leave recorded shards for resume to skip, and the
+    // matrix must exercise that path too (not just full rebuilds).
+    let mut offsets: Vec<u64> = (0..points).map(|p| total * p / points).collect();
+    offsets.push(total.saturating_sub(total / 50).max(1));
+    offsets.push(total.saturating_sub(1));
+    offsets.dedup();
+
+    let (mut crashed, mut resumed_shards, mut rebuilt_shards) = (0u64, 0u64, 0u64);
+    for (p, offset) in offsets.iter().copied().enumerate() {
+        let crash_dir = dir.path().join(format!("crash-{p}"));
+        let plan = FaultPlan::new(vec![Fault::CrashAtByte { offset }]);
+        let run = ShardRepo::create_with(&crash_dir, Arc::new(FaultyFs::new(plan)))
+            .and_then(|repo| conv.preprocess_source_repo(&source, &repo, "x", false));
+        if run.is_err() {
+            crashed += 1;
+        } else {
+            return Err(err(format!(
+                "crash point {p} (byte {offset} of {total}): run survived its own crash"
+            )));
+        }
+
+        // Invariant 1: the repository reopens and nothing the manifest
+        // lists is torn — a crash leaves old state or new state, never a
+        // half-written artifact behind a manifest entry.
+        let repo = ShardRepo::create(&crash_dir)?;
+        let report = repo.verify()?;
+        if !report.is_clean() {
+            return Err(err(format!(
+                "crash point {p} (byte {offset}): manifest references damaged artifacts: {:?}",
+                report.damaged
+            )));
+        }
+        repo.clean_stray_temps()?;
+
+        // Invariant 2: resume redoes only the lost tail and restores a
+        // byte-identical shard set, MANIFEST included.
+        let prep = conv.preprocess_source_repo(&source, &repo, "x", true)?;
+        resumed_shards += prep.shards.iter().filter(|s| s.resumed).count() as u64;
+        rebuilt_shards += prep.shards.iter().filter(|s| !s.resumed).count() as u64;
+        for (name, bytes) in &reference {
+            let recovered = std::fs::read(crash_dir.join(name))?;
+            if recovered != *bytes {
+                return Err(err(format!(
+                    "crash point {p} (byte {offset}): {name} diverged after resume \
+                     ({} vs {} bytes)",
+                    recovered.len(),
+                    bytes.len()
+                )));
+            }
+        }
+        let mut names: Vec<String> = std::fs::read_dir(&crash_dir)?
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .collect();
+        names.sort();
+        let expected: Vec<&String> = reference.keys().collect();
+        if names.iter().collect::<Vec<_>>() != expected {
+            return Err(err(format!(
+                "crash point {p} (byte {offset}): directory contents diverged: {names:?}"
+            )));
+        }
+
+        // Invariant 3: the query engine serves the recovered repository
+        // identically to the reference.
+        let out = query_bytes(&crash_dir, dir.path().join(format!("crash-out-{p}")))?;
+        if out != baseline_query {
+            return Err(err(format!(
+                "crash point {p} (byte {offset}): query output diverged after recovery"
+            )));
+        }
+    }
+    outln!(
+        "crash matrix: {crashed} simulated power cuts over a {total}-byte publication \
+         stream ({ranks} ranks) -> every repository reopened clean, {resumed_shards} \
+         shard(s) resumed, {rebuilt_shards} rebuilt, all byte-identical, queries identical"
+    )?;
+    outln!(
+        "chaos --crash: all checks passed ({} crash points, seed {seed})",
+        offsets.len()
+    )?;
+    Ok(())
+}
+
+/// `ngsp verify SHARD_DIR`
+///
+/// Integrity scan of a manifest-managed shard directory: every artifact
+/// the MANIFEST lists is checked for exact length, whole-file CRC32, and
+/// layout fingerprint. Exits nonzero if anything is damaged.
+pub fn verify_cmd(args: &Args) -> CmdResult {
+    let dir = args.one_positional("shard directory")?;
+    let repo = ngs_bamx::repo::ShardRepo::open(dir)?;
+    let report = repo.verify()?;
+    for name in &report.verified {
+        outln!("verified     {name}")?;
+    }
+    for name in &report.unpublished {
+        outln!("unpublished  {name} (present on disk, not in MANIFEST)")?;
+    }
+    for name in &report.stray_temps {
+        outln!("stray-temp   {name} (crash debris; `ngsp repair` removes it)")?;
+    }
+    for d in &report.damaged {
+        outln!("DAMAGED      {} [{}] {}", d.name, d.kind, d.detail)?;
+    }
+    outln!(
+        "{} verified, {} damaged, {} unpublished, {} stray temp(s)",
+        report.verified.len(),
+        report.damaged.len(),
+        report.unpublished.len(),
+        report.stray_temps.len()
+    )?;
+    if !report.is_clean() {
+        return Err(err(format!(
+            "{} damaged artifact(s); re-derive them with `ngsp repair {dir} --from INPUT`",
+            report.damaged.len()
+        )));
+    }
+    Ok(())
+}
+
+/// `ngsp repair SHARD_DIR --from INPUT [--ranks N] [--compress]`
+///
+/// Self-healing: sweeps crash debris, then re-derives every damaged or
+/// missing shard from the original SAM/BAM via resumable preprocessing —
+/// manifest-verified shards are kept byte-for-byte, only the torn tail
+/// is rebuilt. `--ranks`/`--compress` must match the original
+/// preprocessing run (a mismatch rebuilds everything, by design).
+pub fn repair_cmd(args: &Args) -> CmdResult {
+    use ngs_bamx::repo::ShardRepo;
+    use ngs_converter::FileSource;
+
+    let dir = args.one_positional("shard directory")?;
+    let input = args.required("from")?;
+    let ranks: usize = args.get_or("ranks", 4)?;
+    let compression = if args.switch("compress") {
+        ngs_bamx::BamxCompression::Bgzf
+    } else {
+        ngs_bamx::BamxCompression::Plain
+    };
+
+    // `create`, not `open`: a crash before the very first manifest write
+    // leaves no MANIFEST, and repair must recover from that too.
+    let repo = ShardRepo::create(dir)?;
+    let swept = repo.clean_stray_temps()?;
+    if !swept.is_empty() {
+        outln!("swept {} stray temp file(s): {}", swept.len(), swept.join(", "))?;
+    }
+
+    if input.ends_with(".bam") {
+        let mut conv = BamConverter::new(ConvertConfig::with_ranks(ranks));
+        conv.bamx_compression = compression;
+        let prep = conv.preprocess_repo(input, &repo, true)?;
+        if prep.skipped {
+            outln!("all shards verified; nothing to rebuild")?;
+        } else {
+            outln!(
+                "rebuilt {} + {} ({} records) in {:?}",
+                prep.bamx_path.display(),
+                prep.baix_path.display(),
+                prep.records,
+                prep.elapsed
+            )?;
+        }
+    } else {
+        let mut conv = SamxConverter::new(ConvertConfig::with_ranks(ranks));
+        conv.bamx_compression = compression;
+        let source = FileSource::open(Path::new(input))?;
+        let stem = Path::new(input)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "input".into());
+        let prep = conv.preprocess_source_repo(&source, &repo, &stem, true)?;
+        let rebuilt = prep.shards.iter().filter(|s| !s.resumed).count();
+        outln!(
+            "{} shard(s) kept (manifest-verified), {} rebuilt in {:?}",
+            prep.shards.len() - rebuilt,
+            rebuilt,
+            prep.elapsed
+        )?;
+    }
+
+    let report = repo.verify()?;
+    if !report.is_clean() {
+        return Err(err(format!(
+            "repair finished but {} artifact(s) still damaged — is --from the right source?",
+            report.damaged.len()
+        )));
+    }
+    outln!("repository clean: {} artifact(s) verified", report.verified.len())?;
     Ok(())
 }

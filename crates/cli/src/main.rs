@@ -50,6 +50,14 @@ COMMANDS:
               [--plans N] [--records R] [--seed S]
               (byte-level corruption, engine retry byte-identity,
                shard-store quarantine; exits nonzero on any violation)
+              --crash [--points N] [--records R] [--ranks M] [--seed S]
+              (power-cut matrix: kill preprocessing at every byte
+               offset, reopen, resume, assert byte-identical recovery)
+  verify      integrity-scan a manifest-managed shard directory
+              SHARD_DIR   (exits nonzero if any artifact is damaged)
+  repair      re-derive damaged shards from the original input
+              SHARD_DIR --from INPUT [--ranks N] [--compress]
+              (manifest-verified shards are kept byte-for-byte)
 
 Formats for --to: sam bam bed bedgraph fasta fastq json yaml wig gff3
 ";
@@ -116,6 +124,8 @@ fn main() {
         "pipeline" => commands::pipeline_cmd(&args),
         "query" => commands::query_cmd(&args),
         "chaos" => commands::chaos_cmd(&args),
+        "verify" => commands::verify_cmd(&args),
+        "repair" => commands::repair_cmd(&args),
         "help" | "--help" | "-h" => {
             eprint!("{USAGE}");
             return;

@@ -10,6 +10,7 @@ use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use ngs_bamx::repo::{layout_fingerprint, ShardRepo, FINGERPRINT_NONE};
 use ngs_bamx::{Baix, BamxCompression, BamxFile, BamxLayout, BamxWriter, Region};
 use ngs_cluster::run_ranks;
 use ngs_formats::bam::BamReader;
@@ -32,6 +33,18 @@ pub struct PreprocessReport {
     pub elapsed: Duration,
     /// The layout chosen.
     pub layout: BamxLayout,
+    /// True when a resume found the shards already manifest-verified and
+    /// skipped the rebuild entirely.
+    pub skipped: bool,
+}
+
+/// Stable name recorded in manifest `compression` metadata so a resume
+/// can tell whether existing shards match the requested encoding.
+pub(crate) fn compression_name(c: BamxCompression) -> &'static str {
+    match c {
+        BamxCompression::Plain => "plain",
+        BamxCompression::Bgzf => "bgzf",
+    }
 }
 
 /// The BAM format converter.
@@ -52,23 +65,60 @@ impl BamConverter {
     ///
     /// Two passes over the input: the first computes the padding layout,
     /// the second writes aligned records. Both passes read through the
-    /// third-party-free `ngs-bgzf`/`ngs-formats` stack.
+    /// third-party-free `ngs-bgzf`/`ngs-formats` stack. The shards are
+    /// published through a crash-safe [`ShardRepo`] (temp → fsync →
+    /// rename → manifest record), so a crash at any byte leaves either
+    /// the old state or the new state — never a torn artifact.
     pub fn preprocess(
         &self,
         input_bam: impl AsRef<Path>,
         out_dir: impl AsRef<Path>,
     ) -> Result<PreprocessReport> {
+        let repo = ShardRepo::create(out_dir.as_ref())?;
+        self.preprocess_repo(input_bam, &repo, false)
+    }
+
+    /// [`BamConverter::preprocess`] against an explicit repository, with
+    /// optional resume: when `resume` is set and both shards are already
+    /// manifest-verified (and the compression matches), the rebuild is
+    /// skipped — restarting after a crash redoes only the torn tail and
+    /// produces a byte-identical shard set (preprocessing is
+    /// deterministic in the input).
+    pub fn preprocess_repo(
+        &self,
+        input_bam: impl AsRef<Path>,
+        repo: &ShardRepo,
+        resume: bool,
+    ) -> Result<PreprocessReport> {
         let input_bam = input_bam.as_ref();
-        let out_dir = out_dir.as_ref();
-        std::fs::create_dir_all(out_dir)?;
         let stem = input_bam
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "input".into());
-        let bamx_path = out_dir.join(format!("{stem}.bamx"));
-        let baix_path = out_dir.join(format!("{stem}.baix"));
+        let bamx_name = format!("{stem}.bamx");
+        let baix_name = format!("{stem}.baix");
+        let bamx_path = repo.dir().join(&bamx_name);
+        let baix_path = repo.dir().join(&baix_name);
+        let compression = compression_name(self.bamx_compression);
 
         let start = Instant::now();
+
+        if resume
+            && repo.manifest()?.meta.get("compression").map(String::as_str) == Some(compression)
+            && repo.contains_verified(&bamx_name)
+            && repo.contains_verified(&baix_name)
+        {
+            let bamx = BamxFile::open(&bamx_path)?;
+            return Ok(PreprocessReport {
+                records: bamx.len(),
+                layout: *bamx.layout(),
+                bamx_path,
+                baix_path,
+                elapsed: start.elapsed(),
+                skipped: true,
+            });
+        }
+        repo.set_meta("compression", compression)?;
 
         // Pass 1: layout maxima.
         let mut reader = BamReader::new(BufReader::new(std::fs::File::open(input_bam)?))?;
@@ -79,21 +129,32 @@ impl BamConverter {
             n += 1;
         }
 
-        // Pass 2: write padded records.
+        // Pass 2: write padded records into a staged (temp) artifact.
         let mut reader = BamReader::new(BufReader::new(std::fs::File::open(input_bam)?))?;
         let header = reader.header().clone();
-        let mut writer =
-            BamxWriter::create(&bamx_path, header, layout, self.bamx_compression)?;
+        let staged = repo.stage(&bamx_name)?;
+        let mut writer = BamxWriter::new(
+            std::io::BufWriter::new(staged),
+            header,
+            layout,
+            self.bamx_compression,
+        )?;
         while let Some(rec) = reader.read_record()? {
             writer.write_record(&rec)?;
         }
         debug_assert_eq!(writer.record_count(), n);
-        writer.finish()?;
+        let staged = writer.finish()?.into_inner().map_err(|e| Error::Io(e.into_error()))?;
+        let bamx_entry = staged.seal(layout_fingerprint(&layout))?;
 
-        // Index construction (part of preprocessing in the paper).
+        // Index construction (part of preprocessing in the paper), staged
+        // the same way; both entries are recorded together so the
+        // manifest never lists a BAMX without its BAIX.
         let bamx = BamxFile::open(&bamx_path)?;
         let baix = Baix::build(&bamx)?;
-        baix.save(&baix_path)?;
+        let mut staged = repo.stage(&baix_name)?;
+        baix.write_to(&mut staged)?;
+        let baix_entry = staged.seal(FINGERPRINT_NONE)?;
+        repo.record(vec![bamx_entry, baix_entry])?;
 
         Ok(PreprocessReport {
             bamx_path,
@@ -101,6 +162,7 @@ impl BamConverter {
             records: n,
             elapsed: start.elapsed(),
             layout,
+            skipped: false,
         })
     }
 
@@ -446,6 +508,59 @@ mod tests {
         let path = dir.join("input.bam");
         ds.write_bam(&path).unwrap();
         path
+    }
+
+    #[test]
+    fn preprocess_publishes_through_manifest_and_resume_skips() {
+        let ds = sorted_dataset(300);
+        let dir = tempdir().unwrap();
+        let bam = write_bam(&ds, dir.path());
+        let out = dir.path().join("shards");
+        let conv = BamConverter::new(ConvertConfig::with_ranks(2));
+
+        let prep = conv.preprocess(&bam, &out).unwrap();
+        assert!(!prep.skipped);
+        let repo = ShardRepo::open(&out).unwrap();
+        assert!(repo.verify().unwrap().is_clean());
+        let bamx_bytes = std::fs::read(&prep.bamx_path).unwrap();
+        let baix_bytes = std::fs::read(&prep.baix_path).unwrap();
+
+        // Resume over a clean repository skips the rebuild entirely.
+        let again = conv.preprocess_repo(&bam, &repo, true).unwrap();
+        assert!(again.skipped);
+        assert_eq!(again.records, 300);
+        assert_eq!(again.layout, prep.layout);
+        assert_eq!(std::fs::read(&prep.bamx_path).unwrap(), bamx_bytes);
+
+        // Corrupt the published BAMX: resume detects the CRC mismatch,
+        // rebuilds, and restores byte-identical shards.
+        let mut scribbled = bamx_bytes.clone();
+        let mid = scribbled.len() / 2;
+        scribbled[mid] ^= 0xFF;
+        std::fs::write(&prep.bamx_path, &scribbled).unwrap();
+        let repaired = conv.preprocess_repo(&bam, &repo, true).unwrap();
+        assert!(!repaired.skipped);
+        assert_eq!(std::fs::read(&prep.bamx_path).unwrap(), bamx_bytes);
+        assert_eq!(std::fs::read(&prep.baix_path).unwrap(), baix_bytes);
+        assert!(repo.verify().unwrap().is_clean());
+    }
+
+    #[test]
+    fn resume_rebuilds_when_compression_changes() {
+        let ds = sorted_dataset(200);
+        let dir = tempdir().unwrap();
+        let bam = write_bam(&ds, dir.path());
+        let out = dir.path().join("shards");
+        let plain = BamConverter::new(ConvertConfig::with_ranks(1));
+        plain.preprocess(&bam, &out).unwrap();
+
+        let mut bgzf = BamConverter::new(ConvertConfig::with_ranks(1));
+        bgzf.bamx_compression = BamxCompression::Bgzf;
+        let repo = ShardRepo::open(&out).unwrap();
+        let prep = bgzf.preprocess_repo(&bam, &repo, true).unwrap();
+        assert!(!prep.skipped, "compression mismatch must force a rebuild");
+        let f = BamxFile::open(&prep.bamx_path).unwrap();
+        assert_eq!(f.len(), 200);
     }
 
     #[test]

@@ -9,11 +9,12 @@
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use ngs_bamx::repo::{layout_fingerprint, ShardRepo, FINGERPRINT_NONE};
 use ngs_bamx::{Baix, BamxCompression, BamxFile, BamxLayout, BamxWriter};
 use ngs_cluster::run_ranks;
-use ngs_formats::error::Result;
+use ngs_formats::error::{Error, Result};
 
-use crate::bam_converter::convert_record_range;
+use crate::bam_converter::{compression_name, convert_record_range};
 use crate::partition::partition_distributed;
 use crate::runtime::{scan_sam_header, ConvertConfig, ConvertReport, RankStats};
 use crate::scan::scan_records;
@@ -29,6 +30,9 @@ pub struct Shard {
     pub baix_path: PathBuf,
     /// Records in the shard.
     pub records: u64,
+    /// True when a resume found the shard already manifest-verified and
+    /// skipped rebuilding it.
+    pub resumed: bool,
 }
 
 /// Result of parallel SAM preprocessing.
@@ -83,20 +87,60 @@ impl SamxConverter {
         self.preprocess_source(&source, out_dir.as_ref(), &stem)
     }
 
-    /// Parallel preprocessing over any byte source.
+    /// Parallel preprocessing over any byte source. Shards publish
+    /// through a crash-safe [`ShardRepo`] in `out_dir`.
     pub fn preprocess_source<S: ByteSource + ?Sized>(
         &self,
         source: &S,
         out_dir: &Path,
         stem: &str,
     ) -> Result<SamxPreprocessReport> {
-        std::fs::create_dir_all(out_dir)?;
+        let repo = ShardRepo::create(out_dir)?;
+        self.preprocess_source_repo(source, &repo, stem, false)
+    }
+
+    /// [`SamxConverter::preprocess_source`] against an explicit
+    /// repository, with optional resume: ranks whose shard pair is
+    /// already manifest-verified (and whose recorded `ranks` /
+    /// `compression` metadata match this run) skip both scan passes.
+    /// Partitioning and layout derivation are deterministic in the input
+    /// and rank count, so crash + resume yields a byte-identical shard
+    /// set. Every rank still joins [`partition_distributed`] — it is a
+    /// collective, and skipping it would deadlock the non-resumed ranks.
+    pub fn preprocess_source_repo<S: ByteSource + ?Sized>(
+        &self,
+        source: &S,
+        repo: &ShardRepo,
+        stem: &str,
+        resume: bool,
+    ) -> Result<SamxPreprocessReport> {
         let (header, _) = scan_sam_header(source)?;
+        let compression = compression_name(self.bamx_compression);
+        let ranks_meta = self.config.ranks.to_string();
+        let resume = resume && {
+            let meta = repo.manifest()?.meta;
+            meta.get("ranks") == Some(&ranks_meta)
+                && meta.get("compression").map(String::as_str) == Some(compression)
+        };
+        repo.set_meta("ranks", &ranks_meta)?;
+        repo.set_meta("compression", compression)?;
         let t = Instant::now();
 
         let results: Vec<Result<Shard>> = run_ranks(self.config.ranks, |comm| {
             let rank = comm.rank();
+            // Collective: always runs, even for ranks that will resume.
             let range = partition_distributed(source, comm, self.config.variant)?;
+
+            let bamx_name = format!("{stem}.shard{rank:04}.bamx");
+            let baix_name = format!("{stem}.shard{rank:04}.baix");
+            let bamx_path = repo.dir().join(&bamx_name);
+            let baix_path = repo.dir().join(&baix_name);
+
+            if resume && repo.contains_verified(&bamx_name) && repo.contains_verified(&baix_name)
+            {
+                let records = BamxFile::open(&bamx_path)?.len();
+                return Ok(Shard { bamx_path, baix_path, records, resumed: true });
+            }
 
             // Pass 1: per-rank layout maxima.
             let mut layout = BamxLayout::empty();
@@ -104,29 +148,64 @@ impl SamxConverter {
                 layout.observe(&rec)
             })?;
 
-            // Pass 2: write the padded shard.
-            let bamx_path = out_dir.join(format!("{stem}.shard{rank:04}.bamx"));
-            let baix_path = out_dir.join(format!("{stem}.shard{rank:04}.baix"));
-            let mut writer =
-                BamxWriter::create(&bamx_path, header.clone(), layout, self.bamx_compression)?;
+            // Pass 2: write the padded shard into a staged (temp)
+            // artifact; it only reaches its final name after fsync.
+            let staged = repo.stage(&bamx_name)?;
+            let mut writer = BamxWriter::new(
+                std::io::BufWriter::new(staged),
+                header.clone(),
+                layout,
+                self.bamx_compression,
+            )?;
             scan_records(source, range, self.config.read_buffer, |rec| {
                 writer.write_record(&rec)
             })?;
             let records = writer.record_count();
-            writer.finish()?;
+            let staged =
+                writer.finish()?.into_inner().map_err(|e| Error::Io(e.into_error()))?;
+            let bamx_entry = staged.seal(layout_fingerprint(&layout))?;
 
-            // Per-shard BAIX for partial conversion.
+            // Per-shard BAIX for partial conversion; recorded together
+            // with the BAMX so the pair publishes atomically.
             let shard_file = BamxFile::open(&bamx_path)?;
-            Baix::build(&shard_file)?.save(&baix_path)?;
+            let baix = Baix::build(&shard_file)?;
+            let mut staged = repo.stage(&baix_name)?;
+            baix.write_to(&mut staged)?;
+            let baix_entry = staged.seal(FINGERPRINT_NONE)?;
+            repo.record(vec![bamx_entry, baix_entry])?;
 
-            Ok(Shard { bamx_path, baix_path, records })
+            Ok(Shard { bamx_path, baix_path, records, resumed: false })
         });
 
         let mut shards = Vec::with_capacity(self.config.ranks);
         for r in results {
             shards.push(r?);
         }
+        self.prune_stale_shards(repo, stem)?;
         Ok(SamxPreprocessReport { shards, elapsed: t.elapsed() })
+    }
+
+    /// Drops manifest entries (and files) for shards of `stem` whose rank
+    /// is beyond this run's rank count — leftovers from an earlier run
+    /// with more ranks would otherwise be served alongside the fresh set.
+    fn prune_stale_shards(&self, repo: &ShardRepo, stem: &str) -> Result<()> {
+        let prefix = format!("{stem}.shard");
+        let stale: Vec<String> = repo
+            .manifest()?
+            .entries
+            .keys()
+            .filter(|name| {
+                name.strip_prefix(&prefix)
+                    .and_then(|rest| rest.split('.').next())
+                    .and_then(|digits| digits.parse::<usize>().ok())
+                    .is_some_and(|rank| rank >= self.config.ranks)
+            })
+            .cloned()
+            .collect();
+        for name in stale {
+            repo.remove(&name)?;
+        }
+        Ok(())
     }
 
     /// Parallel conversion phase (Figure 5, right): converts each BAMX
@@ -274,6 +353,52 @@ mod tests {
         };
         assert_eq!(cat(&report), cat(&direct));
         assert!(report.preprocess_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn resume_rebuilds_only_the_damaged_shard_byte_identically() {
+        let ds = dataset(800);
+        let src = MemSource::new(ds.to_sam_bytes());
+        let dir = tempdir().unwrap();
+        let conv = SamxConverter::new(ConvertConfig::with_ranks(4));
+        let prep = conv.preprocess_source(&src, dir.path(), "x").unwrap();
+        let snapshots: Vec<Vec<u8>> =
+            prep.shards.iter().map(|s| std::fs::read(&s.bamx_path).unwrap()).collect();
+
+        // Simulate a torn write: truncate shard 2's BAMX mid-body.
+        let victim = &prep.shards[2].bamx_path;
+        let bytes = std::fs::read(victim).unwrap();
+        std::fs::write(victim, &bytes[..bytes.len() / 2]).unwrap();
+
+        let repo = ShardRepo::open(dir.path()).unwrap();
+        assert!(!repo.verify().unwrap().is_clean());
+        let resumed = conv.preprocess_source_repo(&src, &repo, "x", true).unwrap();
+        for (rank, shard) in resumed.shards.iter().enumerate() {
+            assert_eq!(shard.resumed, rank != 2, "only the torn shard rebuilds");
+            assert_eq!(std::fs::read(&shard.bamx_path).unwrap(), snapshots[rank]);
+        }
+        assert!(repo.verify().unwrap().is_clean());
+        assert_eq!(resumed.records(), 800);
+    }
+
+    #[test]
+    fn rank_count_change_forces_rebuild_and_prunes_stale_shards() {
+        let ds = dataset(500);
+        let src = MemSource::new(ds.to_sam_bytes());
+        let dir = tempdir().unwrap();
+        let wide = SamxConverter::new(ConvertConfig::with_ranks(4));
+        wide.preprocess_source(&src, dir.path(), "x").unwrap();
+
+        let narrow = SamxConverter::new(ConvertConfig::with_ranks(2));
+        let repo = ShardRepo::open(dir.path()).unwrap();
+        let prep = narrow.preprocess_source_repo(&src, &repo, "x", true).unwrap();
+        assert!(prep.shards.iter().all(|s| !s.resumed), "ranks mismatch disables resume");
+        assert_eq!(prep.records(), 500);
+        // Shards 2 and 3 from the 4-rank run are gone from manifest and disk.
+        let manifest = repo.manifest().unwrap();
+        assert!(manifest.entries.keys().all(|n| !n.contains("shard0002")));
+        assert!(!dir.path().join("x.shard0003.bamx").exists());
+        assert!(repo.verify().unwrap().is_clean());
     }
 
     #[test]

@@ -200,7 +200,7 @@ impl SamxConverter {
             let shard_file = BamxFile::open(&bamx_path)?;
             Baix::build(&shard_file)?.save(&baix_path)?;
             makespan = makespan.max(t.elapsed());
-            shards.push(Shard { bamx_path, baix_path, records });
+            shards.push(Shard { bamx_path, baix_path, records, resumed: false });
         }
         Ok(SamxPreprocessReport { shards, elapsed: makespan })
     }

@@ -1,0 +1,173 @@
+//! Fault-injecting [`RepoFs`]: deterministic write-side faults for the
+//! crash-safe shard repository (`ngs_bamx::repo`, DESIGN.md §7.5).
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use ngs_bamx::repo::{RepoFs, StdFs};
+
+use crate::plan::{crash_error, FaultPlan};
+use crate::write::{FaultyWrite, WriteState};
+
+/// A [`RepoFs`] that injects the write-side faults of a [`FaultPlan`]
+/// into every file the repository publishes:
+///
+/// * `CrashAtByte` counts bytes across *all* writers the fs creates, so
+///   one seeded offset pins the crash to a deterministic point in a whole
+///   preprocessing run; once it strikes, every later create/fsync/rename
+///   fails — the simulated process is dead, and whatever reached the
+///   filesystem so far is exactly the debris a power cut leaves.
+/// * `TornWrite` drops bytes past its offset while reporting success,
+///   modelling page-cache loss that fsync-before-rename would normally
+///   prevent — this is how the manifest's detection path is exercised.
+/// * `TransientFsync` / `TransientRename` fail the first N calls then
+///   recover, so publication retry paths can be proven to retry rather
+///   than quarantine (`Error::is_transient`).
+pub struct FaultyFs {
+    plan: FaultPlan,
+    state: Arc<WriteState>,
+}
+
+impl FaultyFs {
+    /// A fault-injecting filesystem driven by `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let state = WriteState::new(&plan);
+        FaultyFs { plan, state }
+    }
+
+    /// The shared write state (crash flag, byte counter, budgets).
+    pub fn state(&self) -> &Arc<WriteState> {
+        &self.state
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.state.is_crashed() {
+            return Err(crash_error());
+        }
+        Ok(())
+    }
+}
+
+impl RepoFs for FaultyFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn Write + Send>> {
+        self.check_alive()?;
+        let file = File::create(path)?;
+        Ok(Box::new(FaultyWrite::with_state(file, &self.plan, Arc::clone(&self.state))))
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        if let Some(err) = self.state.take_fsync_failure() {
+            return Err(err);
+        }
+        StdFs.sync_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        if let Some(err) = self.state.take_rename_failure() {
+            return Err(err);
+        }
+        StdFs.rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        StdFs.sync_dir(dir)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        StdFs.remove_file(path)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+    use ngs_bamx::repo::ShardRepo;
+
+    #[test]
+    fn crash_mid_publish_leaves_old_state() {
+        let dir = tempfile::tempdir().unwrap();
+        // Survives: published before the crash strikes.
+        {
+            let repo = ShardRepo::create(dir.path()).unwrap();
+            repo.publish_bytes("old.bin", b"previously durable").unwrap();
+        }
+        let fs = Arc::new(FaultyFs::new(FaultPlan::new(vec![Fault::CrashAtByte {
+            offset: 4,
+        }])));
+        let repo = ShardRepo::create_with(dir.path(), fs).unwrap();
+        // The 9-byte payload hits the crash at byte 4 of the temp file.
+        assert!(repo.publish_bytes("new.bin", b"incoming!").is_err());
+        // Everything after the crash fails too — the process is dead.
+        assert!(repo.publish_bytes("later.bin", b"x").is_err());
+
+        // Reopen on a healthy fs: old state intact, crash debris visible
+        // only as a stray temp, never a torn published artifact.
+        let repo = ShardRepo::open(dir.path()).unwrap();
+        let report = repo.verify().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.verified, vec!["old.bin"]);
+        assert_eq!(report.stray_temps, vec![".new.bin.tmp"]);
+    }
+
+    #[test]
+    fn transient_fsync_and_rename_recover_on_retry() {
+        let dir = tempfile::tempdir().unwrap();
+        let fs = Arc::new(FaultyFs::new(FaultPlan::new(vec![
+            Fault::TransientFsync { failures: 1 },
+            Fault::TransientRename { failures: 1 },
+        ])));
+        let repo = ShardRepo::create_with(dir.path(), Arc::clone(&fs) as Arc<dyn RepoFs>);
+        // create() itself syncs the fresh manifest; the budgets may fail it.
+        let repo = match repo {
+            Ok(r) => r,
+            Err(_) => ShardRepo::create_with(dir.path(), Arc::clone(&fs) as _)
+                .or_else(|_| ShardRepo::create_with(dir.path(), Arc::clone(&fs) as _))
+                .unwrap(),
+        };
+        // Publication may trip the remaining transient failures; a retry
+        // against the same fs must eventually succeed (budgets exhaust).
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match repo.publish_bytes("a.bin", b"payload") {
+                Ok(()) => break,
+                Err(e) => {
+                    assert!(e.is_transient(), "fsync/rename faults must be transient: {e}");
+                    assert!(attempts < 10, "budgets must exhaust");
+                }
+            }
+        }
+        assert!(repo.contains_verified("a.bin"));
+    }
+
+    #[test]
+    fn torn_write_is_detected_by_verify() {
+        let dir = tempfile::tempdir().unwrap();
+        // Torn offset far enough in that the manifest writes (small) are
+        // unaffected but the artifact body is silently cut short.
+        let fs = Arc::new(FaultyFs::new(FaultPlan::new(vec![Fault::TornWrite {
+            offset: 600,
+        }])));
+        let repo = ShardRepo::create_with(dir.path(), fs).unwrap();
+        let payload = vec![0xAB; 4096];
+        // Publication "succeeds" — the loss is silent, like a lying disk.
+        repo.publish_bytes("quiet.bin", &payload).unwrap();
+
+        let repo = ShardRepo::open(dir.path()).unwrap();
+        let report = repo.verify().unwrap();
+        assert_eq!(report.damaged.len(), 1);
+        assert_eq!(report.damaged[0].name, "quiet.bin");
+        assert_eq!(
+            report.damaged[0].kind,
+            ngs_formats::error::DecodeErrorKind::Torn
+        );
+    }
+}

@@ -19,6 +19,13 @@
 //!   faults plus short reads and transient errors in flight. This is how
 //!   `ShardStore` retry/quarantine behaviour is exercised without touching
 //!   the filesystem.
+//! * **Write level** — [`FaultyWrite`] wraps any [`std::io::Write`] and
+//!   [`FaultyFs`] implements `ngs_bamx::repo::RepoFs`, injecting crashes
+//!   at a deterministic byte ([`Fault::CrashAtByte`]), silent tail loss
+//!   ([`Fault::TornWrite`]), and transient fsync/rename failures — the
+//!   power-cut side of the failure model (DESIGN.md §7.5). Plans come
+//!   from [`FaultPlan::random_write`]; the read-side [`FaultPlan::random`]
+//!   distribution is untouched so existing seeded corpora replay.
 //!
 //! ```
 //! use ngs_fault::{Fault, FaultPlan};
@@ -32,9 +39,13 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod file;
+pub mod fs;
 pub mod plan;
 pub mod read;
+pub mod write;
 
 pub use file::FaultyFile;
+pub use fs::FaultyFs;
 pub use plan::{Fault, FaultPlan};
 pub use read::FaultyRead;
+pub use write::{FaultyWrite, WriteState};

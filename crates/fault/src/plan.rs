@@ -4,7 +4,10 @@ use ngs_simgen::rng::Rng;
 
 /// One injected fault. Byte-level faults (`TruncateAt`, `BitFlip`,
 /// `ZeroRun`) alter the bytes a consumer observes; I/O-level faults
-/// (`ShortRead`, `TransientIo`) alter the *delivery* of pristine bytes.
+/// (`ShortRead`, `TransientIo`) alter the *delivery* of pristine bytes;
+/// write-side faults (`CrashAtByte`, `TornWrite`, `TransientFsync`,
+/// `TransientRename`) interrupt or degrade publication of new bytes
+/// ([`crate::FaultyWrite`] / [`crate::FaultyFs`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
     /// The source appears to end at `offset` (no-op past the real end).
@@ -35,6 +38,33 @@ pub enum Fault {
     /// The first `failures` read calls fail with an I/O error, then the
     /// source recovers — modelling a flaky disk or network mount.
     TransientIo {
+        /// Number of failed attempts before recovery.
+        failures: u32,
+    },
+    /// Write-side: the process "dies" once `offset` total bytes have been
+    /// written — bytes up to the offset reach the filesystem, and every
+    /// later write, fsync, or rename fails permanently, leaving exactly
+    /// the debris a power cut would (DESIGN.md §7.5).
+    CrashAtByte {
+        /// Total written bytes at which the crash strikes.
+        offset: u64,
+    },
+    /// Write-side: writes past `offset` report success but the bytes are
+    /// silently dropped — modelling page-cache loss on a power cut when a
+    /// writer skips fsync before publishing.
+    TornWrite {
+        /// Stream position after which bytes are dropped.
+        offset: u64,
+    },
+    /// The first `failures` fsync calls fail with an I/O error, then the
+    /// filesystem recovers — publication must retry, not quarantine.
+    TransientFsync {
+        /// Number of failed attempts before recovery.
+        failures: u32,
+    },
+    /// The first `failures` rename calls fail with an I/O error, then the
+    /// filesystem recovers — publication must retry, not quarantine.
+    TransientRename {
         /// Number of failed attempts before recovery.
         failures: u32,
     },
@@ -84,15 +114,86 @@ impl FaultPlan {
         FaultPlan { faults }
     }
 
+    /// Derives a random *write-side* plan for a stream of `len` bytes:
+    /// one crash/torn-write point plus optional transient fsync/rename
+    /// failures. Deterministic in `seed`, like [`FaultPlan::random`]
+    /// (whose read-side distribution is left untouched so existing seeded
+    /// corpora replay unchanged).
+    pub fn random_write(seed: u64, len: u64) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        let bound = len.max(1);
+        let mut faults = vec![match rng.next_below(2) {
+            0 => Fault::CrashAtByte { offset: rng.next_below(bound) },
+            _ => Fault::TornWrite { offset: rng.next_below(bound) },
+        }];
+        if rng.next_below(2) == 1 {
+            faults.push(Fault::TransientFsync { failures: 1 + rng.next_below(2) as u32 });
+        }
+        if rng.next_below(2) == 1 {
+            faults.push(Fault::TransientRename { failures: 1 + rng.next_below(2) as u32 });
+        }
+        FaultPlan { faults }
+    }
+
     /// True when the plan never alters observed bytes — only their
-    /// delivery (short reads, transient errors). A resilient consumer
-    /// must produce byte-identical output under a lossless plan.
+    /// delivery (short reads, transient errors that recover on retry).
+    /// A resilient consumer must produce byte-identical output under a
+    /// lossless plan.
     pub fn is_lossless(&self) -> bool {
         self.faults.iter().all(|f| {
-            matches!(f, Fault::ShortRead { .. } | Fault::TransientIo { .. })
-                || matches!(f, Fault::BitFlip { mask: 0, .. })
+            matches!(
+                f,
+                Fault::ShortRead { .. }
+                    | Fault::TransientIo { .. }
+                    | Fault::TransientFsync { .. }
+                    | Fault::TransientRename { .. }
+            ) || matches!(f, Fault::BitFlip { mask: 0, .. })
                 || matches!(f, Fault::ZeroRun { len: 0, .. })
         })
+    }
+
+    /// The crash point, if any (the earliest one wins).
+    pub fn crash_offset(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::CrashAtByte { offset } => Some(*offset),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// The torn-write point, if any (the earliest one wins).
+    pub fn torn_offset(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::TornWrite { offset } => Some(*offset),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Total injected fsync failures before recovery.
+    pub fn total_fsync_failures(&self) -> u32 {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                Fault::TransientFsync { failures } => *failures,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total injected rename failures before recovery.
+    pub fn total_rename_failures(&self) -> u32 {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                Fault::TransientRename { failures } => *failures,
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Total transient failures the plan injects before recovery.
@@ -140,7 +241,12 @@ impl FaultPlan {
                         .min(out.len());
                     out[start..end].fill(0);
                 }
-                Fault::ShortRead { .. } | Fault::TransientIo { .. } => {}
+                Fault::ShortRead { .. }
+                | Fault::TransientIo { .. }
+                | Fault::CrashAtByte { .. }
+                | Fault::TornWrite { .. }
+                | Fault::TransientFsync { .. }
+                | Fault::TransientRename { .. } => {}
             }
         }
         out
@@ -167,7 +273,11 @@ impl FaultPlan {
                 }
                 Fault::TruncateAt { .. }
                 | Fault::ShortRead { .. }
-                | Fault::TransientIo { .. } => {}
+                | Fault::TransientIo { .. }
+                | Fault::CrashAtByte { .. }
+                | Fault::TornWrite { .. }
+                | Fault::TransientFsync { .. }
+                | Fault::TransientRename { .. } => {}
             }
         }
     }
@@ -189,6 +299,12 @@ pub(crate) fn transient_error(remaining: u32) -> std::io::Error {
     std::io::Error::other(format!(
         "injected transient I/O fault ({remaining} more before recovery)"
     ))
+}
+
+/// The error produced once an injected crash has struck: the simulated
+/// process is dead, so every subsequent mutation fails with this.
+pub(crate) fn crash_error() -> std::io::Error {
+    std::io::Error::other("injected crash: process terminated mid-write")
 }
 
 #[cfg(test)]
@@ -246,6 +362,52 @@ mod tests {
         ]);
         assert_eq!(plan.effective_len(100), 40);
         assert_eq!(plan.effective_len(20), 20);
+    }
+
+    #[test]
+    fn random_write_is_deterministic_and_always_has_a_write_fault() {
+        for seed in 0..50 {
+            assert_eq!(FaultPlan::random_write(seed, 1 << 20), FaultPlan::random_write(seed, 1 << 20));
+            let plan = FaultPlan::random_write(seed, 1 << 20);
+            assert!(plan.crash_offset().is_some() || plan.torn_offset().is_some());
+        }
+        assert_ne!(FaultPlan::random_write(1, 4096), FaultPlan::random_write(2, 4096));
+    }
+
+    #[test]
+    fn random_read_distribution_is_unchanged() {
+        // Seeded read-side corpora must replay byte-for-byte across
+        // releases; pin one plan to catch accidental distribution drift.
+        let plan = FaultPlan::random(7, 4096);
+        assert!(plan.faults.iter().all(|f| !matches!(
+            f,
+            Fault::CrashAtByte { .. }
+                | Fault::TornWrite { .. }
+                | Fault::TransientFsync { .. }
+                | Fault::TransientRename { .. }
+        )));
+    }
+
+    #[test]
+    fn write_fault_accessors() {
+        let plan = FaultPlan::new(vec![
+            Fault::CrashAtByte { offset: 100 },
+            Fault::CrashAtByte { offset: 50 },
+            Fault::TornWrite { offset: 70 },
+            Fault::TransientFsync { failures: 2 },
+            Fault::TransientRename { failures: 3 },
+            Fault::TransientFsync { failures: 1 },
+        ]);
+        assert_eq!(plan.crash_offset(), Some(50));
+        assert_eq!(plan.torn_offset(), Some(70));
+        assert_eq!(plan.total_fsync_failures(), 3);
+        assert_eq!(plan.total_rename_failures(), 3);
+        assert!(!plan.is_lossless());
+        assert!(FaultPlan::new(vec![
+            Fault::TransientFsync { failures: 1 },
+            Fault::TransientRename { failures: 1 }
+        ])
+        .is_lossless());
     }
 
     #[test]

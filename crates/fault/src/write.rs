@@ -1,0 +1,267 @@
+//! Fault-injecting writer: wraps any [`std::io::Write`], mirroring
+//! [`crate::FaultyRead`] for the publication direction.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::plan::{crash_error, transient_error, FaultPlan};
+
+/// Shared write-fault state. One [`WriteState`] can back several writers
+/// (and a [`crate::FaultyFs`]), so a `CrashAtByte` offset counts *total*
+/// bytes written across a whole preprocessing run — the crash strikes at
+/// one deterministic point in the combined stream, exactly like a power
+/// cut would.
+#[derive(Debug)]
+pub struct WriteState {
+    written: AtomicU64,
+    crashed: AtomicBool,
+    remaining_write_failures: AtomicU32,
+    remaining_fsync_failures: AtomicU32,
+    remaining_rename_failures: AtomicU32,
+}
+
+impl WriteState {
+    /// Fresh state with the transient budgets of `plan`.
+    pub fn new(plan: &FaultPlan) -> Arc<Self> {
+        Arc::new(WriteState {
+            written: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            remaining_write_failures: AtomicU32::new(plan.total_transient_failures()),
+            remaining_fsync_failures: AtomicU32::new(plan.total_fsync_failures()),
+            remaining_rename_failures: AtomicU32::new(plan.total_rename_failures()),
+        })
+    }
+
+    /// Total bytes accepted so far across all writers sharing this state.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    /// True once an injected crash has struck.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Marks the simulated process dead.
+    pub(crate) fn crash(&self) {
+        self.crashed.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn take_failure(counter: &AtomicU32) -> Option<io::Error> {
+        counter
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .ok()
+            .map(|before| transient_error(before - 1))
+    }
+
+    pub(crate) fn take_write_failure(&self) -> Option<io::Error> {
+        Self::take_failure(&self.remaining_write_failures)
+    }
+
+    pub(crate) fn take_fsync_failure(&self) -> Option<io::Error> {
+        Self::take_failure(&self.remaining_fsync_failures)
+    }
+
+    pub(crate) fn take_rename_failure(&self) -> Option<io::Error> {
+        Self::take_failure(&self.remaining_rename_failures)
+    }
+}
+
+/// Wraps a writer and injects the write-side faults of a [`FaultPlan`]:
+/// `TransientIo` fails the first N write calls (no bytes consumed),
+/// `TornWrite` silently drops bytes past this writer's own offset while
+/// reporting success, and `CrashAtByte` delivers bytes up to its offset
+/// in the shared stream then fails every subsequent operation — the
+/// wrapper behaves like a process that died mid-stream, leaving a
+/// partial file behind.
+pub struct FaultyWrite<W> {
+    inner: W,
+    crash_offset: Option<u64>,
+    torn_offset: Option<u64>,
+    /// Bytes accepted by *this* writer — `TornWrite` offsets are
+    /// per-file (each file loses its own un-fsynced tail), while
+    /// `CrashAtByte` counts the shared stream in `state`.
+    local: u64,
+    state: Arc<WriteState>,
+}
+
+impl<W: Write> FaultyWrite<W> {
+    /// Wraps `inner`, injecting `plan` with private state.
+    pub fn new(inner: W, plan: FaultPlan) -> Self {
+        let state = WriteState::new(&plan);
+        Self::with_state(inner, &plan, state)
+    }
+
+    /// Wraps `inner`, injecting `plan` against shared `state` — used by
+    /// [`crate::FaultyFs`] so the crash offset spans every file of a run.
+    pub fn with_state(inner: W, plan: &FaultPlan, state: Arc<WriteState>) -> Self {
+        FaultyWrite {
+            inner,
+            crash_offset: plan.crash_offset(),
+            torn_offset: plan.torn_offset(),
+            local: 0,
+            state,
+        }
+    }
+
+    /// Total bytes accepted (including torn bytes that were dropped).
+    pub fn written(&self) -> u64 {
+        self.state.written()
+    }
+
+    /// True once the injected crash has struck.
+    pub fn is_crashed(&self) -> bool {
+        self.state.is_crashed()
+    }
+
+    /// Consumes the wrapper, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.state.is_crashed() {
+            return Err(crash_error());
+        }
+        if let Some(err) = self.state.take_write_failure() {
+            return Err(err);
+        }
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        // Reserve this write's position in the combined stream.
+        let start = self.state.written.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        let end = start + buf.len() as u64;
+        // The crash cuts the write short; bytes before the point land.
+        let (deliver, crashes) = match self.crash_offset {
+            Some(c) if c <= start => {
+                self.state.crash();
+                // Roll the unconsumed reservation back so written() counts
+                // only accepted bytes.
+                self.state.written.fetch_sub(buf.len() as u64, Ordering::Relaxed);
+                return Err(crash_error());
+            }
+            Some(c) if c < end => {
+                self.state.written.fetch_sub(end - c, Ordering::Relaxed);
+                ((c - start) as usize, true)
+            }
+            _ => (buf.len(), false),
+        };
+        // Torn writes: bytes at per-file positions >= torn_offset are
+        // swallowed (reported as written but never reaching the inner
+        // writer) — this file's un-fsynced tail is lost.
+        let durable = match self.torn_offset {
+            Some(t) if t <= self.local => 0,
+            Some(t) => deliver.min((t - self.local) as usize),
+            None => deliver,
+        };
+        self.inner.write_all(&buf[..durable])?;
+        self.local += deliver as u64;
+        if crashes {
+            self.state.crash();
+            if deliver == 0 {
+                return Err(crash_error());
+            }
+        }
+        Ok(deliver)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.state.is_crashed() {
+            return Err(crash_error());
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let mut w = FaultyWrite::new(Vec::new(), FaultPlan::none());
+        w.write_all(b"hello world").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.written(), 11);
+        assert!(!w.is_crashed());
+        assert_eq!(w.into_inner(), b"hello world");
+    }
+
+    #[test]
+    fn crash_delivers_prefix_then_fails_forever() {
+        let mut w = FaultyWrite::new(
+            Vec::new(),
+            FaultPlan::new(vec![Fault::CrashAtByte { offset: 5 }]),
+        );
+        // First write straddles the crash point: the prefix lands.
+        assert_eq!(w.write(b"0123456789").unwrap(), 5);
+        assert!(w.is_crashed());
+        assert!(w.write(b"more").is_err());
+        assert!(w.flush().is_err());
+        assert_eq!(w.written(), 5);
+        assert_eq!(w.into_inner(), b"01234");
+    }
+
+    #[test]
+    fn crash_at_exact_boundary_fails_next_write() {
+        let mut w = FaultyWrite::new(
+            Vec::new(),
+            FaultPlan::new(vec![Fault::CrashAtByte { offset: 4 }]),
+        );
+        w.write_all(b"0123").unwrap();
+        assert!(!w.is_crashed());
+        assert!(w.write(b"x").is_err());
+        assert!(w.is_crashed());
+        assert_eq!(w.written(), 4);
+        assert_eq!(w.into_inner(), b"0123");
+    }
+
+    #[test]
+    fn torn_write_reports_success_but_drops_bytes() {
+        let mut w = FaultyWrite::new(
+            Vec::new(),
+            FaultPlan::new(vec![Fault::TornWrite { offset: 6 }]),
+        );
+        w.write_all(b"0123456789").unwrap();
+        w.write_all(b"abc").unwrap();
+        w.flush().unwrap();
+        // The caller believes all 13 bytes landed...
+        assert_eq!(w.written(), 13);
+        // ...but only the first 6 are durable.
+        assert_eq!(w.into_inner(), b"012345");
+    }
+
+    #[test]
+    fn transient_write_failures_recover() {
+        let mut w = FaultyWrite::new(
+            Vec::new(),
+            FaultPlan::new(vec![Fault::TransientIo { failures: 2 }]),
+        );
+        assert!(w.write(b"x").is_err());
+        assert!(w.write(b"x").is_err());
+        w.write_all(b"durable").unwrap();
+        assert_eq!(w.into_inner(), b"durable");
+    }
+
+    #[test]
+    fn shared_state_crashes_across_writers() {
+        let plan = FaultPlan::new(vec![Fault::CrashAtByte { offset: 10 }]);
+        let state = WriteState::new(&plan);
+        let mut a = FaultyWrite::with_state(Vec::new(), &plan, Arc::clone(&state));
+        let mut b = FaultyWrite::with_state(Vec::new(), &plan, Arc::clone(&state));
+        a.write_all(b"123456").unwrap();
+        // b picks up at global offset 6; crash at 10 cuts it short.
+        assert_eq!(b.write(b"789012").unwrap(), 4);
+        assert!(state.is_crashed());
+        assert!(a.write(b"x").is_err());
+        assert_eq!(state.written(), 10);
+        assert_eq!(a.into_inner(), b"123456");
+        assert_eq!(b.into_inner(), b"7890");
+    }
+}

@@ -14,6 +14,13 @@ pub enum DecodeErrorKind {
     /// A length or count field is beyond any plausible value (allocation
     /// bombs are rejected under this kind before any buffer is reserved).
     Implausible,
+    /// An artifact's on-disk bytes stop short of what its manifest entry
+    /// promises (or the artifact is missing entirely) — the signature of a
+    /// write interrupted before publication completed (DESIGN.md §7.5).
+    Torn,
+    /// An artifact disagrees with its manifest entry (checksum or layout
+    /// fingerprint), or the manifest's own trailing checksum fails.
+    ManifestMismatch,
 }
 
 impl fmt::Display for DecodeErrorKind {
@@ -23,6 +30,8 @@ impl fmt::Display for DecodeErrorKind {
             DecodeErrorKind::Truncated => "truncated",
             DecodeErrorKind::Corrupt => "corrupt",
             DecodeErrorKind::Implausible => "implausible field",
+            DecodeErrorKind::Torn => "torn artifact",
+            DecodeErrorKind::ManifestMismatch => "manifest mismatch",
         })
     }
 }

@@ -36,6 +36,7 @@ pub mod metrics;
 use std::path::Path;
 use std::sync::Arc;
 
+use ngs_bamx::repo::ShardRepo;
 use ngs_bamx::{Baix, BamxFile, Region};
 use ngs_converter::TargetFormat;
 use ngs_formats::error::Result;
@@ -77,7 +78,7 @@ impl Pipeline {
     ) -> Result<ConvertRun> {
         let bamx_path = bamx_path.as_ref();
         let stem = file_stem(bamx_path);
-        let bamx = Arc::new(BamxFile::open(bamx_path)?);
+        let bamx = Arc::new(open_verified(bamx_path)?);
         let shard = ShardInput { name: stem.clone(), bamx, indices: None };
         self.converter().convert(vec![shard], target, out_dir.as_ref(), &stem, 0, true)
     }
@@ -94,7 +95,7 @@ impl Pipeline {
         out_dir: impl AsRef<Path>,
     ) -> Result<ConvertRun> {
         let bamx_path = bamx_path.as_ref();
-        let bamx = Arc::new(BamxFile::open(bamx_path)?);
+        let bamx = Arc::new(open_verified(bamx_path)?);
         let ref_id = region.resolve(bamx.header())?;
         let baix = Baix::load(baix_path.as_ref())?;
         let indices = baix.shard_indices(baix.locate(ref_id, region));
@@ -115,7 +116,7 @@ impl Pipeline {
         options: AnalyzeOptions,
     ) -> Result<AnalyzeRun> {
         let bamx_path = bamx_path.as_ref();
-        let bamx = Arc::new(BamxFile::open(bamx_path)?);
+        let bamx = Arc::new(open_verified(bamx_path)?);
         let shard = ShardInput { name: file_stem(bamx_path), bamx, indices: None };
         StreamAnalyzer::with_clock(self.config.clone(), Arc::clone(&self.clock))
             .analyze(vec![shard], options)
@@ -130,4 +131,19 @@ fn file_stem(path: &Path) -> String {
     path.file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "input".into())
+}
+
+/// Opens a BAMX shard for streaming, honoring the durability manifest:
+/// when the shard's directory is [`ShardRepo`]-managed, the artifact
+/// must verify (length + CRC32 + layout fingerprint) before a single
+/// byte enters the graph — a torn or scribbled shard fails here with a
+/// typed error instead of feeding the pipeline corrupt batches.
+/// Unmanaged directories open directly, as before.
+fn open_verified(bamx_path: &Path) -> Result<BamxFile> {
+    if let (Some(dir), Some(name)) = (bamx_path.parent(), bamx_path.file_name()) {
+        if ShardRepo::is_managed(dir) {
+            ShardRepo::open(dir)?.verify_artifact(&name.to_string_lossy())?;
+        }
+    }
+    BamxFile::open(bamx_path)
 }

@@ -85,6 +85,47 @@ fn streaming_full_file_matches_one_shot_for_every_format() {
     }
 }
 
+/// The streaming source honors the durability manifest: in a
+/// [`ShardRepo`](ngs_bamx::repo::ShardRepo)-managed directory a verified
+/// shard streams byte-identically to the one-shot path, while a torn
+/// shard is refused with a typed error before any batch is produced.
+#[test]
+fn streaming_source_honors_the_manifest() {
+    use ngs_bamx::repo::ShardRepo;
+    use ngs_formats::error::{DecodeErrorKind, Error};
+
+    let dir = tempdir().unwrap();
+    let scratch = tempdir().unwrap();
+    let (bamx, baix) = make_shard(scratch.path(), 400, 23);
+    let repo = ShardRepo::create(dir.path()).unwrap();
+    repo.publish_bytes("input.bamx", &std::fs::read(&bamx).unwrap()).unwrap();
+    repo.publish_bytes("input.baix", &std::fs::read(&baix).unwrap()).unwrap();
+    let managed_bamx = dir.path().join("input.bamx");
+
+    // Verified shard: streams exactly like the unmanaged one-shot path.
+    let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+    let report = conv.convert_bamx(&bamx, TargetFormat::Sam, dir.path().join("oneshot")).unwrap();
+    let run = pipeline(2, 64)
+        .convert_file(&managed_bamx, TargetFormat::Sam, dir.path().join("stream"))
+        .unwrap();
+    assert_eq!(
+        std::fs::read(&run.path).unwrap(),
+        std::fs::read(&report.outputs[0]).unwrap()
+    );
+
+    // Torn shard (truncated behind the manifest's back): refused with a
+    // typed Torn error before the graph starts.
+    let bytes = std::fs::read(&managed_bamx).unwrap();
+    std::fs::write(&managed_bamx, &bytes[..bytes.len() - 7]).unwrap();
+    let err = pipeline(2, 64)
+        .convert_file(&managed_bamx, TargetFormat::Sam, dir.path().join("torn"))
+        .unwrap_err();
+    match err {
+        Error::Decode(d) => assert_eq!(d.kind, DecodeErrorKind::Torn, "{d}"),
+        other => panic!("expected a typed Torn decode error, got: {other}"),
+    }
+}
+
 /// Graph (a), region subset: byte-identical to one-rank
 /// `BamConverter::convert_partial` (same BAIX lookup, same stem).
 #[test]

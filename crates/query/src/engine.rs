@@ -203,6 +203,8 @@ impl QueryEngine {
         stats.transient_retries = counters.transient_retries;
         stats.quarantined = counters.quarantined;
         stats.backoff_rejections = counters.backoff_rejections;
+        stats.repairs = counters.repairs;
+        stats.repaired = counters.repaired;
         stats
     }
 

@@ -46,4 +46,4 @@ pub use clock::{Clock, ManualClock, SystemClock};
 pub use engine::{EngineConfig, QueryEngine, Ticket};
 pub use metrics::{QueryStats, RequestMetrics};
 pub use request::{QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse};
-pub use store::{CacheCounters, CachedShard, RetryPolicy, ShardStore, SourceOpener};
+pub use store::{CacheCounters, CachedShard, Repairer, RetryPolicy, ShardStore, SourceOpener};

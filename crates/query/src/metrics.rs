@@ -80,6 +80,12 @@ pub struct QueryStats {
     /// Lookups refused because their dataset was in transient backoff
     /// (filled from the shard store, like `transient_retries`).
     pub backoff_rejections: u64,
+    /// Self-heal attempts after structural shard failures (filled from
+    /// the shard store, like `transient_retries`).
+    pub repairs: u64,
+    /// Self-heal attempts that restored and served the dataset (filled
+    /// from the shard store, like `transient_retries`).
+    pub repaired: u64,
 }
 
 impl QueryStats {

@@ -29,12 +29,13 @@
 //! deadline comparison, so tests drive everything with a
 //! [`ManualClock`](crate::ManualClock).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use ngs_bamx::repo::ShardRepo;
 use ngs_bamx::{Baix, BamxFile};
 use ngs_bgzf::ReadAt;
 use ngs_formats::error::{Error, Result};
@@ -46,6 +47,13 @@ use crate::clock::{Clock, SystemClock};
 /// what lets tests and the `ngsp chaos` harness substitute fault-
 /// injecting sources (`ngs_fault::FaultyFile`) for plain files.
 pub type SourceOpener = dyn Fn(&Path) -> std::io::Result<Box<dyn ReadAt>> + Send + Sync;
+
+/// Re-derives a damaged dataset from its source of truth (typically a
+/// resumable `preprocess_repo` run over the original BAM/SAM). Invoked
+/// by the store at most once per structural failure before the dataset
+/// is quarantined; returning `Ok` means the artifacts on disk were
+/// rebuilt and the store should re-verify and reopen them.
+pub type Repairer = dyn Fn(&str) -> Result<()> + Send + Sync;
 
 /// How the store handles transient open failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +129,12 @@ pub struct CacheCounters {
     pub quarantined: u64,
     /// Lookups refused because the dataset was in transient backoff.
     pub backoff_rejections: u64,
+    /// Self-heal attempts: structural failures handed to the wired
+    /// [`Repairer`] instead of quarantining outright.
+    pub repairs: u64,
+    /// Self-heal attempts that ended with the dataset verified, reopened
+    /// and served.
+    pub repaired: u64,
 }
 
 impl CacheCounters {
@@ -143,16 +157,31 @@ struct StoreState {
     /// `cache` (a successful open clears the entry) and bounded by the
     /// number of distinct failing datasets, so it needs no eviction.
     health: HashMap<String, ShardHealth>,
+    /// Datasets with a repair in flight or already spent: one structural
+    /// failure gets one repair attempt; a second structural failure
+    /// quarantines (no repair loops). Cleared on successful admit.
+    repair_spent: HashSet<String>,
     tick: u64,
 }
 
 /// Discovers and caches the BAMX+BAIX datasets of one directory.
+///
+/// When the directory is manifest-managed (a `MANIFEST` written by
+/// [`ShardRepo`] is present), only manifest-verified shards are
+/// admitted: every cold open first checks length + CRC32 + layout
+/// fingerprint against the manifest, and discovery lists manifest
+/// entries rather than raw directory contents. Directories without a
+/// manifest behave as before. A wired [`Repairer`]
+/// ([`ShardStore::with_repairer`]) turns structural failures into one
+/// self-heal attempt before quarantine.
 pub struct ShardStore {
     dir: PathBuf,
     capacity: usize,
     policy: RetryPolicy,
     clock: Arc<dyn Clock>,
     opener: Box<SourceOpener>,
+    repo: Option<ShardRepo>,
+    repairer: Option<Box<Repairer>>,
     state: Mutex<StoreState>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -160,6 +189,8 @@ pub struct ShardStore {
     transient_retries: AtomicU64,
     quarantined: AtomicU64,
     backoff_rejections: AtomicU64,
+    repairs: AtomicU64,
+    repaired: AtomicU64,
 }
 
 impl ShardStore {
@@ -187,6 +218,7 @@ impl ShardStore {
                 dir.display()
             )));
         }
+        let repo = if ShardRepo::is_managed(&dir) { Some(ShardRepo::open(&dir)?) } else { None };
         Ok(ShardStore {
             dir,
             capacity: capacity.max(1),
@@ -195,9 +227,12 @@ impl ShardStore {
             opener: Box::new(|path: &Path| -> std::io::Result<Box<dyn ReadAt>> {
                 Ok(Box::new(std::fs::File::open(path)?))
             }),
+            repo,
+            repairer: None,
             state: Mutex::new(StoreState {
                 cache: HashMap::new(),
                 health: HashMap::new(),
+                repair_spent: HashSet::new(),
                 tick: 0,
             }),
             hits: AtomicU64::new(0),
@@ -206,6 +241,8 @@ impl ShardStore {
             transient_retries: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             backoff_rejections: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
+            repaired: AtomicU64::new(0),
         })
     }
 
@@ -215,6 +252,24 @@ impl ShardStore {
     pub fn with_opener(mut self, opener: Box<SourceOpener>) -> Self {
         self.opener = opener;
         self
+    }
+
+    /// Wires a repair callback — the self-healing seam. On a structural
+    /// failure (corrupt bytes, torn artifact, manifest mismatch) the
+    /// store invokes it once with the dataset name instead of
+    /// quarantining; if it returns `Ok` and the reopened shard verifies,
+    /// the request is served. A failed repair (or a second structural
+    /// failure) quarantines as before, and transient repair errors feed
+    /// the normal backoff machinery.
+    pub fn with_repairer(mut self, repairer: Box<Repairer>) -> Self {
+        self.repairer = Some(repairer);
+        self
+    }
+
+    /// Whether the directory is manifest-managed (shards must verify
+    /// against a [`ShardRepo`] manifest before being served).
+    pub fn is_managed(&self) -> bool {
+        self.repo.is_some()
     }
 
     /// The directory being served.
@@ -232,17 +287,31 @@ impl ShardStore {
         self.policy
     }
 
-    /// Dataset names in the directory: every `NAME.bamx` with a sibling
-    /// `NAME.baix`, sorted.
+    /// Dataset names served, sorted. In a manifest-managed directory
+    /// these are the *published* pairs — every `NAME.bamx` manifest
+    /// entry with a sibling `NAME.baix` entry; files on disk that never
+    /// completed publication are invisible. Otherwise, every `NAME.bamx`
+    /// file with a sibling `NAME.baix` file.
     pub fn datasets(&self) -> Result<Vec<String>> {
         let mut names = Vec::new();
-        for entry in std::fs::read_dir(&self.dir)? {
-            let path = entry?.path();
-            if path.extension().is_some_and(|e| e == "bamx")
-                && path.with_extension("baix").is_file()
-            {
-                if let Some(stem) = path.file_stem() {
-                    names.push(stem.to_string_lossy().into_owned());
+        if let Some(repo) = &self.repo {
+            let manifest = repo.manifest()?;
+            for name in manifest.entries.keys() {
+                if let Some(stem) = name.strip_suffix(".bamx") {
+                    if manifest.entries.contains_key(&format!("{stem}.baix")) {
+                        names.push(stem.to_string());
+                    }
+                }
+            }
+        } else {
+            for entry in std::fs::read_dir(&self.dir)? {
+                let path = entry?.path();
+                if path.extension().is_some_and(|e| e == "bamx")
+                    && path.with_extension("baix").is_file()
+                {
+                    if let Some(stem) = path.file_stem() {
+                        names.push(stem.to_string_lossy().into_owned());
+                    }
                 }
             }
         }
@@ -268,9 +337,13 @@ impl ShardStore {
         }
         // An unknown dataset is a client error, not a shard failure: it
         // must never create health state (a typo'd name is not a
-        // quarantine candidate).
+        // quarantine candidate). A manifest-listed dataset whose file is
+        // missing is *known* (and repairable), not unknown.
         let bamx_path = self.dir.join(format!("{name}.bamx"));
-        if !bamx_path.is_file() {
+        let listed = self.repo.as_ref().is_some_and(|repo| {
+            repo.manifest().is_ok_and(|m| m.entries.contains_key(&format!("{name}.bamx")))
+        });
+        if !bamx_path.is_file() && !listed {
             return Err(Error::InvalidRecord(format!(
                 "unknown dataset {name:?} in {}",
                 self.dir.display()
@@ -304,33 +377,39 @@ impl ShardStore {
             if attempt > 0 {
                 self.transient_retries.fetch_add(1, Ordering::Relaxed);
             }
-            match self.open_shard(&bamx_path) {
+            match self.open_verified(name, &bamx_path) {
                 Ok(shard) => {
-                    state.health.remove(name);
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    state.cache.insert(name.to_string(), (shard.clone(), tick));
-                    if state.cache.len() > self.capacity {
-                        if let Some(victim) = state
-                            .cache
-                            .iter()
-                            .min_by_key(|(_, (_, stamp))| *stamp)
-                            .map(|(k, _)| k.clone())
-                        {
-                            state.cache.remove(&victim);
-                            self.evictions.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
+                    self.admit(&mut state, name, &shard, tick);
                     return Ok((shard, false));
                 }
                 Err(e) if e.is_transient() => last_err = Some(e),
                 Err(e) => {
-                    // Structural: corrupt bytes cannot heal. Quarantine so
-                    // later lookups fail fast instead of re-decoding.
-                    state
-                        .health
-                        .insert(name.to_string(), ShardHealth::Quarantined { reason: e.to_string() });
-                    self.quarantined.fetch_add(1, Ordering::Relaxed);
-                    return Err(e);
+                    // Structural: corrupt bytes cannot heal on their own.
+                    // One self-heal attempt through the wired repairer;
+                    // otherwise quarantine so later lookups fail fast
+                    // instead of re-decoding.
+                    match self.attempt_repair(&mut state, name, &bamx_path, e) {
+                        Ok(shard) => {
+                            self.admit(&mut state, name, &shard, tick);
+                            return Ok((shard, false));
+                        }
+                        Err(e) if e.is_transient() => {
+                            // The repair touched a flaky disk: leave the
+                            // dataset repairable and fall through to the
+                            // normal backoff bookkeeping.
+                            last_err = Some(e);
+                            state.repair_spent.remove(name);
+                            break;
+                        }
+                        Err(e) => {
+                            state.health.insert(
+                                name.to_string(),
+                                ShardHealth::Quarantined { reason: e.to_string() },
+                            );
+                            self.quarantined.fetch_add(1, Ordering::Relaxed);
+                            return Err(e);
+                        }
+                    }
                 }
             }
         }
@@ -346,6 +425,61 @@ impl ShardStore {
         Err(last_err.unwrap_or_else(|| {
             Error::InvalidRecord(format!("dataset {name:?} failed to open"))
         }))
+    }
+
+    /// Inserts a freshly opened shard, clearing failure bookkeeping and
+    /// enforcing the capacity bound.
+    fn admit(&self, state: &mut StoreState, name: &str, shard: &CachedShard, tick: u64) {
+        state.health.remove(name);
+        state.repair_spent.remove(name);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        state.cache.insert(name.to_string(), (shard.clone(), tick));
+        if state.cache.len() > self.capacity {
+            if let Some(victim) = state
+                .cache
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                state.cache.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// One open attempt. In a manifest-managed directory the admission
+    /// gate runs first: both artifacts must verify (length, CRC32,
+    /// layout fingerprint) against the manifest before any decode.
+    fn open_verified(&self, name: &str, bamx_path: &Path) -> Result<CachedShard> {
+        if let Some(repo) = &self.repo {
+            repo.verify_artifact(&format!("{name}.bamx"))?;
+            repo.verify_artifact(&format!("{name}.baix"))?;
+        }
+        self.open_shard(bamx_path)
+    }
+
+    /// One self-heal attempt after the structural failure `cause`.
+    /// Without a repairer — or when this dataset's one attempt is
+    /// already spent — the cause passes straight through (the caller
+    /// quarantines). The repairer runs with the store lock held: repair
+    /// is a cold-path rebuild and serializing it prevents two requests
+    /// from re-deriving the same shard concurrently.
+    fn attempt_repair(
+        &self,
+        state: &mut StoreState,
+        name: &str,
+        bamx_path: &Path,
+        cause: Error,
+    ) -> Result<CachedShard> {
+        let Some(repairer) = &self.repairer else { return Err(cause) };
+        if !state.repair_spent.insert(name.to_string()) {
+            return Err(cause);
+        }
+        self.repairs.fetch_add(1, Ordering::Relaxed);
+        repairer(name)?;
+        let shard = self.open_verified(name, bamx_path)?;
+        self.repaired.fetch_add(1, Ordering::Relaxed);
+        Ok(shard)
     }
 
     /// One open attempt: both the shard and its index, through the
@@ -392,6 +526,8 @@ impl ShardStore {
             transient_retries: self.transient_retries.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             backoff_rejections: self.backoff_rejections.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            repaired: self.repaired.load(Ordering::Relaxed),
         }
     }
 }
@@ -606,6 +742,176 @@ mod tests {
         // Healthy datasets are unaffected.
         assert!(store.get("good").is_ok());
         assert_eq!(store.counters().transient_retries, 0);
+    }
+
+    /// Builds a manifest-managed shard directory: fixture files from
+    /// `write_shard` published through a [`ShardRepo`]. Returns the
+    /// published bytes of `NAME.bamx` and `NAME.baix`.
+    fn write_managed_shard(dir: &Path, name: &str, starts: &[i64]) -> (Vec<u8>, Vec<u8>) {
+        let scratch = tempfile::tempdir().unwrap();
+        write_shard(scratch.path(), name, starts);
+        let bamx = std::fs::read(scratch.path().join(format!("{name}.bamx"))).unwrap();
+        let baix = std::fs::read(scratch.path().join(format!("{name}.baix"))).unwrap();
+        let repo = ShardRepo::create(dir).unwrap();
+        repo.publish_bytes(&format!("{name}.bamx"), &bamx).unwrap();
+        repo.publish_bytes(&format!("{name}.baix"), &baix).unwrap();
+        (bamx, baix)
+    }
+
+    #[test]
+    fn managed_store_serves_verified_and_hides_unpublished() {
+        let dir = tempfile::tempdir().unwrap();
+        write_managed_shard(dir.path(), "pub", &[100, 200]);
+        // A pair dropped into the directory without publication is
+        // invisible: it never completed the temp→fsync→rename protocol.
+        write_shard(dir.path(), "sneaky", &[300]);
+        let store = ShardStore::open(dir.path(), 4).unwrap();
+        assert!(store.is_managed());
+        assert_eq!(store.datasets().unwrap(), vec!["pub"]);
+        let (shard, _) = store.get("pub").unwrap();
+        assert_eq!(shard.bamx.len(), 2);
+    }
+
+    #[test]
+    fn managed_store_refuses_corrupt_shard_without_repairer() {
+        let dir = tempfile::tempdir().unwrap();
+        let (bamx, _) = write_managed_shard(dir.path(), "d", &[100, 200]);
+        // Scribble the published BAMX behind the manifest's back.
+        let mut bad = bamx.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        std::fs::write(dir.path().join("d.bamx"), &bad).unwrap();
+
+        let store = ShardStore::open(dir.path(), 4).unwrap();
+        let err = store.get("d").unwrap_err();
+        assert!(!err.is_transient(), "manifest mismatch must be structural: {err}");
+        assert!(err.to_string().contains("CRC32"), "got: {err}");
+        assert!(store.is_quarantined("d"));
+        assert_eq!(store.counters().quarantined, 1);
+    }
+
+    #[test]
+    fn repairer_heals_corrupt_shard_instead_of_quarantining() {
+        let dir = tempfile::tempdir().unwrap();
+        let (bamx, _) = write_managed_shard(dir.path(), "d", &[100, 200, 300]);
+        let mut bad = bamx.clone();
+        bad[bamx.len() / 2] ^= 0xFF;
+        std::fs::write(dir.path().join("d.bamx"), &bad).unwrap();
+
+        let repair_calls = Arc::new(AtomicU32::new(0));
+        let (repo_dir, good, calls) =
+            (dir.path().to_path_buf(), bamx.clone(), repair_calls.clone());
+        let store = ShardStore::open(dir.path(), 4).unwrap().with_repairer(Box::new(
+            move |name: &str| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                let repo = ShardRepo::open(&repo_dir)?;
+                repo.publish_bytes(&format!("{name}.bamx"), &good)?;
+                Ok(())
+            },
+        ));
+        let (shard, hit) = store.get("d").unwrap();
+        assert!(!hit);
+        assert_eq!(shard.bamx.len(), 3);
+        assert!(!store.is_quarantined("d"));
+        assert_eq!(repair_calls.load(Ordering::Relaxed), 1);
+        let c = store.counters();
+        assert_eq!((c.repairs, c.repaired, c.quarantined), (1, 1, 0));
+        // Served from cache afterwards; the repairer is not consulted.
+        let (_, hit) = store.get("d").unwrap();
+        assert!(hit);
+        assert_eq!(repair_calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn failed_repair_quarantines_and_is_not_retried() {
+        let dir = tempfile::tempdir().unwrap();
+        let (bamx, _) = write_managed_shard(dir.path(), "d", &[100]);
+        let mut bad = bamx.clone();
+        bad[bamx.len() / 2] ^= 0xFF;
+        std::fs::write(dir.path().join("d.bamx"), &bad).unwrap();
+
+        let repair_calls = Arc::new(AtomicU32::new(0));
+        let calls = repair_calls.clone();
+        // A repairer that "succeeds" without fixing anything: the reopen
+        // still fails structurally, so the dataset quarantines.
+        let store = ShardStore::open(dir.path(), 4)
+            .unwrap()
+            .with_repairer(Box::new(move |_name: &str| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }));
+        assert!(store.get("d").is_err());
+        assert!(store.is_quarantined("d"));
+        assert!(store.get("d").is_err());
+        assert_eq!(repair_calls.load(Ordering::Relaxed), 1, "quarantine is fail-fast");
+        let c = store.counters();
+        assert_eq!((c.repairs, c.repaired, c.quarantined), (1, 0, 1));
+    }
+
+    #[test]
+    fn transient_repair_failure_feeds_backoff_not_quarantine() {
+        // Regression: fsync/rename failures during repair surface as
+        // `Error::Io` — transient — so the store backs off and retries
+        // instead of permanently quarantining a healthy shard.
+        let dir = tempfile::tempdir().unwrap();
+        let (bamx, _) = write_managed_shard(dir.path(), "d", &[100, 200]);
+        let mut bad = bamx.clone();
+        bad[bamx.len() / 2] ^= 0xFF;
+        std::fs::write(dir.path().join("d.bamx"), &bad).unwrap();
+
+        let clock = Arc::new(ManualClock::new());
+        let repair_calls = Arc::new(AtomicU32::new(0));
+        let (repo_dir, good, calls) =
+            (dir.path().to_path_buf(), bamx.clone(), repair_calls.clone());
+        let policy = RetryPolicy {
+            attempts: 1,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        };
+        let store = ShardStore::open_with(dir.path(), 4, clock.clone(), policy)
+            .unwrap()
+            .with_repairer(Box::new(move |name: &str| {
+                if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                    // First attempt: the disk hiccups mid-repair, exactly
+                    // like an fsync/rename failure inside ShardRepo.
+                    return Err(Error::Io(std::io::Error::other("injected fsync failure")));
+                }
+                let repo = ShardRepo::open(&repo_dir)?;
+                repo.publish_bytes(&format!("{name}.bamx"), &good)?;
+                Ok(())
+            }));
+
+        let err = store.get("d").unwrap_err();
+        assert!(err.is_transient(), "fsync failure must stay transient: {err}");
+        assert!(!store.is_quarantined("d"), "transient repair error must not quarantine");
+        // Backoff gates the next lookup, then the retry heals the shard.
+        assert!(store.get("d").is_err());
+        assert_eq!(store.counters().backoff_rejections, 1);
+        clock.advance(Duration::from_millis(10));
+        let (shard, _) = store.get("d").unwrap();
+        assert_eq!(shard.bamx.len(), 2);
+        assert_eq!(repair_calls.load(Ordering::Relaxed), 2);
+        let c = store.counters();
+        assert_eq!((c.repairs, c.repaired, c.quarantined), (2, 1, 0));
+    }
+
+    #[test]
+    fn manifest_listed_but_missing_file_is_repairable_not_unknown() {
+        let dir = tempfile::tempdir().unwrap();
+        let (bamx, _) = write_managed_shard(dir.path(), "d", &[100]);
+        std::fs::remove_file(dir.path().join("d.bamx")).unwrap();
+
+        let (repo_dir, good) = (dir.path().to_path_buf(), bamx.clone());
+        let store = ShardStore::open(dir.path(), 4).unwrap().with_repairer(Box::new(
+            move |name: &str| {
+                let repo = ShardRepo::open(&repo_dir)?;
+                repo.publish_bytes(&format!("{name}.bamx"), &good)?;
+                Ok(())
+            },
+        ));
+        let (shard, _) = store.get("d").unwrap();
+        assert_eq!(shard.bamx.len(), 1);
+        assert_eq!(store.counters().repaired, 1);
     }
 
     #[test]

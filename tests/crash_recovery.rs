@@ -1,0 +1,225 @@
+//! Crash matrix (DESIGN.md §7.5): preprocessing is killed at injected
+//! byte offsets of its publication stream, and after every simulated
+//! power cut the full recovery contract must hold end to end:
+//!
+//! 1. the shard repository reopens and `verify()` is clean — the
+//!    manifest never references a torn artifact;
+//! 2. resumed preprocessing skips manifest-verified shards and rebuilds
+//!    only the lost tail, restoring a byte-identical shard set
+//!    (MANIFEST included);
+//! 3. the query engine serves correct results before the crash, during
+//!    the damage (healing through its repairer seam), and after repair.
+
+use std::sync::Arc;
+
+use ngs_bamx::repo::ShardRepo;
+use ngs_converter::{BamConverter, ConvertConfig, MemSource, SamxConverter, TargetFormat};
+use ngs_fault::{Fault, FaultPlan, FaultyFs};
+use ngs_query::{EngineConfig, ManualClock, QueryEngine, QueryKind, QueryOutcome, QueryRequest, RetryPolicy, ShardStore};
+use ngs_simgen::{Dataset, DatasetSpec};
+use tempfile::tempdir;
+
+fn dataset(records: usize) -> Dataset {
+    Dataset::generate(&DatasetSpec {
+        n_records: records,
+        n_chroms: 2,
+        coordinate_sorted: true,
+        seed: 0xC0FFEE,
+        ..Default::default()
+    })
+}
+
+/// Kill multi-rank preprocessing at a sweep of byte offsets; every
+/// crashed repository must reopen with a clean manifest, and resume must
+/// restore the reference byte set exactly.
+#[test]
+fn crash_matrix_reopens_clean_and_resumes_byte_identically() {
+    let ds = dataset(600);
+    let source = MemSource::new(ds.to_sam_bytes());
+    let conv = SamxConverter::new(ConvertConfig::with_ranks(3));
+    let dir = tempdir().unwrap();
+
+    // Reference run through an instrumented (fault-free) filesystem to
+    // learn the publication stream length and snapshot expected bytes.
+    let ref_dir = dir.path().join("reference");
+    let fs = FaultyFs::new(FaultPlan::none());
+    let state = Arc::clone(fs.state());
+    let repo = ShardRepo::create_with(&ref_dir, Arc::new(fs)).unwrap();
+    conv.preprocess_source_repo(&source, &repo, "x", false).unwrap();
+    let total = state.written();
+
+    let mut reference = std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(&ref_dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        reference.insert(name, std::fs::read(&path).unwrap());
+    }
+    assert!(reference.contains_key("MANIFEST"));
+    assert_eq!(reference.len(), 7, "MANIFEST + 3 × (bamx + baix)");
+
+    // Crash points: an even sweep plus tail offsets (rank threads
+    // publish concurrently, so only late crashes leave resumable shards).
+    let mut offsets: Vec<u64> = (0..6).map(|p| total * p / 6).collect();
+    offsets.push(total - total / 64);
+    offsets.push(total - 1);
+
+    let mut any_resumed = false;
+    for (i, offset) in offsets.into_iter().enumerate() {
+        let crash_dir = dir.path().join(format!("crash-{i}"));
+        let plan = FaultPlan::new(vec![Fault::CrashAtByte { offset }]);
+        let run = ShardRepo::create_with(&crash_dir, Arc::new(FaultyFs::new(plan)))
+            .and_then(|repo| conv.preprocess_source_repo(&source, &repo, "x", false));
+        assert!(run.is_err(), "crash at byte {offset}/{total} must abort the run");
+
+        // (1) Reopen: the manifest never references a torn artifact.
+        let repo = ShardRepo::create(&crash_dir).unwrap();
+        let report = repo.verify().unwrap();
+        assert!(
+            report.is_clean(),
+            "crash at byte {offset}: damaged artifacts behind the manifest: {:?}",
+            report.damaged
+        );
+        repo.clean_stray_temps().unwrap();
+
+        // (2) Resume: byte-identical shard set, nothing extra on disk.
+        let prep = conv.preprocess_source_repo(&source, &repo, "x", true).unwrap();
+        any_resumed |= prep.shards.iter().any(|s| s.resumed);
+        for (name, bytes) in &reference {
+            let recovered = std::fs::read(crash_dir.join(name))
+                .unwrap_or_else(|e| panic!("crash at {offset}: missing {name}: {e}"));
+            assert_eq!(&recovered, bytes, "crash at byte {offset}: {name} diverged");
+        }
+        let mut names: Vec<String> = std::fs::read_dir(&crash_dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, reference.keys().cloned().collect::<Vec<_>>());
+    }
+    assert!(any_resumed, "the tail crash points must exercise the resume path");
+}
+
+/// The query engine across the whole damage lifecycle: correct answers
+/// before the damage, self-healing through the repairer seam while the
+/// shard is torn, and normal (cache-hit) service afterwards.
+#[test]
+fn engine_serves_correctly_before_during_and_after_repair() {
+    let ds = dataset(800);
+    let dir = tempdir().unwrap();
+    let bam_path = dir.path().join("input.bam");
+    ds.write_bam(&bam_path).unwrap();
+
+    let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+    let shard_dir = dir.path().join("shards");
+    conv.preprocess(&bam_path, &shard_dir).unwrap();
+    assert!(ShardRepo::is_managed(&shard_dir), "preprocess publishes through a manifest");
+
+    let request = |out: std::path::PathBuf| QueryRequest {
+        dataset: "input".into(),
+        region: "chr1:1-50000".into(),
+        kind: QueryKind::Convert { format: TargetFormat::Sam, out_dir: out },
+        deadline: None,
+    };
+    let run = |engine: &QueryEngine, out: std::path::PathBuf| {
+        let outcome = engine.submit(request(out)).unwrap().wait().outcome;
+        match outcome {
+            Ok(QueryOutcome::Converted { output, .. }) => std::fs::read(output).unwrap(),
+            other => panic!("query failed: {other:?}"),
+        }
+    };
+
+    // BEFORE: a clean engine answers; this is the byte oracle.
+    let clean_engine = QueryEngine::new(&shard_dir, EngineConfig::with_workers(1)).unwrap();
+    let baseline = run(&clean_engine, dir.path().join("before"));
+    drop(clean_engine);
+
+    // Tear the shard the way a power cut mid-rewrite would.
+    let bamx_path = shard_dir.join("input.bamx");
+    let pristine = std::fs::read(&bamx_path).unwrap();
+    std::fs::write(&bamx_path, &pristine[..pristine.len() / 3]).unwrap();
+
+    // DURING: an engine whose store carries a repairer — re-deriving the
+    // shard from the source BAM via resumable preprocessing — must heal
+    // on first touch and serve the same bytes as the clean engine.
+    let clock = Arc::new(ManualClock::new());
+    let store = ShardStore::open_with(&shard_dir, 4, clock.clone(), RetryPolicy::default())
+        .unwrap()
+        .with_repairer(Box::new({
+            let bam_path = bam_path.clone();
+            let shard_dir = shard_dir.clone();
+            move |_dataset: &str| {
+                let repo = ShardRepo::create(&shard_dir)?;
+                repo.clean_stray_temps()?;
+                let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+                conv.preprocess_repo(&bam_path, &repo, true)?;
+                Ok(())
+            }
+        }));
+    let engine =
+        QueryEngine::with_store(Arc::new(store), EngineConfig::with_workers(1), clock).unwrap();
+    let healed = run(&engine, dir.path().join("during"));
+    assert_eq!(healed, baseline, "healed engine must serve the clean bytes");
+
+    // The repair really happened: counters say so, and the shard's bytes
+    // are restored exactly.
+    let stats = engine.stats();
+    assert_eq!(stats.repairs, 1, "one structural failure → one repair attempt");
+    assert_eq!(stats.repaired, 1, "the repair succeeded");
+    assert_eq!(std::fs::read(&bamx_path).unwrap(), pristine);
+
+    // AFTER: the same engine keeps serving (now from cache), and a fresh
+    // engine over the repaired directory agrees without any repairer.
+    let after = run(&engine, dir.path().join("after"));
+    assert_eq!(after, baseline);
+    assert_eq!(engine.stats().repairs, 1, "no further repairs needed");
+    drop(engine);
+    let fresh = QueryEngine::new(&shard_dir, EngineConfig::with_workers(1)).unwrap();
+    assert_eq!(run(&fresh, dir.path().join("fresh")), baseline);
+}
+
+/// A crash mid-preprocessing of a *single-dataset* (BAM) repository:
+/// the repaired repository must be byte-identical to an uncrashed one,
+/// and `preprocess_repo` with resume must skip work when nothing is
+/// damaged.
+#[test]
+fn bam_preprocess_crash_then_repair_is_byte_identical() {
+    let ds = dataset(500);
+    let dir = tempdir().unwrap();
+    let bam_path = dir.path().join("input.bam");
+    ds.write_bam(&bam_path).unwrap();
+    let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+
+    // Reference (instrumented to learn the stream length).
+    let ref_dir = dir.path().join("reference");
+    let fs = FaultyFs::new(FaultPlan::none());
+    let state = Arc::clone(fs.state());
+    let repo = ShardRepo::create_with(&ref_dir, Arc::new(fs)).unwrap();
+    conv.preprocess_repo(&bam_path, &repo, false).unwrap();
+    let total = state.written();
+
+    for frac in [3u64, 2, 1] {
+        let crash_dir = dir.path().join(format!("crash-{frac}"));
+        let offset = total - total / (frac * 2 + 1);
+        let plan = FaultPlan::new(vec![Fault::CrashAtByte { offset }]);
+        let run = ShardRepo::create_with(&crash_dir, Arc::new(FaultyFs::new(plan)))
+            .and_then(|repo| conv.preprocess_repo(&bam_path, &repo, false));
+        assert!(run.is_err());
+
+        let repo = ShardRepo::create(&crash_dir).unwrap();
+        assert!(repo.verify().unwrap().is_clean());
+        repo.clean_stray_temps().unwrap();
+        conv.preprocess_repo(&bam_path, &repo, true).unwrap();
+
+        for name in ["MANIFEST", "input.bamx", "input.baix"] {
+            assert_eq!(
+                std::fs::read(crash_dir.join(name)).unwrap(),
+                std::fs::read(ref_dir.join(name)).unwrap(),
+                "crash at byte {offset}: {name} diverged"
+            );
+        }
+
+        // Resume over an intact repository is a no-op.
+        let again = conv.preprocess_repo(&bam_path, &repo, true).unwrap();
+        assert!(again.skipped, "verified shards must be skipped, not rebuilt");
+    }
+}
