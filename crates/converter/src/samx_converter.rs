@@ -412,3 +412,44 @@ mod tests {
         assert_eq!(prep.records(), 100);
     }
 }
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod review_repro {
+    use super::*;
+    use crate::runtime::ConvertConfig;
+    use crate::source::MemSource;
+    use ngs_simgen::{Dataset, DatasetSpec};
+    use tempfile::tempdir;
+
+    #[test]
+    fn crash_after_set_meta_with_rank_change_resumes_stale_shards() {
+        let ds = Dataset::generate(&DatasetSpec {
+            n_records: 500,
+            n_chroms: 2,
+            coordinate_sorted: true,
+            seed: 0xC0FFEE,
+            ..Default::default()
+        });
+        let src = MemSource::new(ds.to_sam_bytes());
+        let dir = tempdir().unwrap();
+        let wide = SamxConverter::new(ConvertConfig::with_ranks(4));
+        wide.preprocess_source(&src, dir.path(), "x").unwrap();
+
+        // Simulate: a 2-rank run starts, writes set_meta("ranks","2") and
+        // set_meta("compression", ...), then the process dies before any
+        // shard is rebuilt/recorded. The manifest state after that crash:
+        let repo = ShardRepo::open(dir.path()).unwrap();
+        repo.set_meta("ranks", "2").unwrap();
+
+        // Restart the 2-rank run with resume=true.
+        let narrow = SamxConverter::new(ConvertConfig::with_ranks(2));
+        let prep = narrow.preprocess_source_repo(&src, &repo, "x", true).unwrap();
+        eprintln!(
+            "resumed={:?} records={} (expected 500)",
+            prep.shards.iter().map(|s| s.resumed).collect::<Vec<_>>(),
+            prep.records()
+        );
+        assert_eq!(prep.records(), 500, "resume must not serve stale 4-rank shards");
+    }
+}
