@@ -58,4 +58,19 @@ cargo test --quiet -p ngs-pipeline --test streaming_identity -- \
     corrupt_shard_is_quarantined_and_graph_drains \
     transient_faults_are_retried_to_identical_output
 
+# Observability smoke: the unified registry report must stay valid JSON
+# (CI is the consumer the byte-determinism contract protects), and the
+# overhead experiment must run end to end (DESIGN.md §9).
+echo "==> ngsp stats smoke (registry JSON parses, trace is valid JSONL)"
+cargo run -p ngs-cli --bin ngsp -- stats --records 800 --json \
+    | python3 -c 'import json,sys; json.load(sys.stdin)'
+cargo run -p ngs-cli --bin ngsp -- \
+    pipeline "$smoke/in.bam" --to sam --out "$smoke/trace-out" \
+    --trace "$smoke/pipeline.trace" --workers 2 > /dev/null
+python3 -c 'import json,sys; [json.loads(l) for l in open(sys.argv[1])]' \
+    "$smoke/pipeline.trace"
+echo "==> repro obs (instrumentation overhead, BENCH_obs.json)"
+cargo run --release -p ngs-bench --bin repro -- obs --scale 0.05 > /dev/null
+python3 -c 'import json; json.load(open("BENCH_obs.json"))'
+
 echo "==> ci.sh: all green"

@@ -41,6 +41,42 @@ use ngs_formats::error::{DecodeErrorKind, Error, Result};
 
 use crate::layout::BamxLayout;
 
+/// Repository lifecycle counters published into the global `ngs-obs`
+/// registry (`repo.*`). The repo has no injected-registry seam — it is
+/// constructed deep inside converters and repair callbacks — so, like
+/// the BGZF codec, it uses cached global handles behind the
+/// [`ngs_obs::enabled`] gate.
+mod obs {
+    use std::sync::{Arc, OnceLock};
+
+    use ngs_obs::Counter;
+
+    pub(super) struct Counters {
+        pub(super) published: Arc<Counter>,
+        pub(super) removed: Arc<Counter>,
+        pub(super) verify_ok: Arc<Counter>,
+        pub(super) verify_failed: Arc<Counter>,
+        pub(super) stray_temps_cleaned: Arc<Counter>,
+    }
+
+    pub(super) fn counters() -> Option<&'static Counters> {
+        if !ngs_obs::enabled() {
+            return None;
+        }
+        static COUNTERS: OnceLock<Counters> = OnceLock::new();
+        Some(COUNTERS.get_or_init(|| {
+            let r = ngs_obs::global();
+            Counters {
+                published: r.counter("repo.artifacts_published"),
+                removed: r.counter("repo.artifacts_removed"),
+                verify_ok: r.counter("repo.verifications_ok"),
+                verify_failed: r.counter("repo.verifications_failed"),
+                stray_temps_cleaned: r.counter("repo.stray_temps_cleaned"),
+            }
+        }))
+    }
+}
+
 /// The manifest file name inside a shard directory.
 pub const MANIFEST_NAME: &str = "MANIFEST";
 
@@ -451,11 +487,16 @@ impl ShardRepo {
     /// returned by [`StagedArtifact::seal`] — the artifact bytes must
     /// already be durable, or the crash-consistency invariant breaks.
     pub fn record(&self, entries: Vec<ManifestEntry>) -> Result<()> {
+        let published = entries.len() as u64;
         self.update_manifest(|m| {
             for e in entries {
                 m.entries.insert(e.name.clone(), e);
             }
-        })
+        })?;
+        if let Some(c) = obs::counters() {
+            c.published.add(published);
+        }
+        Ok(())
     }
 
     /// Unpublishes an artifact: drops its manifest entry (atomic
@@ -468,10 +509,14 @@ impl ShardRepo {
             m.entries.remove(name);
         })?;
         match self.fs.remove_file(&self.dir.join(name)) {
-            Ok(()) => Ok(()),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(Error::Io(e)),
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(Error::Io(e)),
         }
+        if let Some(c) = obs::counters() {
+            c.removed.inc();
+        }
+        Ok(())
     }
 
     /// Sets a metadata key in the manifest (atomic rewrite).
@@ -512,7 +557,14 @@ impl ShardRepo {
                 "artifact not listed in MANIFEST",
             )
         })?;
-        self.check_entry(entry).map(|()| entry.clone())
+        let checked = self.check_entry(entry).map(|()| entry.clone());
+        if let Some(c) = obs::counters() {
+            match &checked {
+                Ok(_) => c.verify_ok.inc(),
+                Err(_) => c.verify_failed.inc(),
+            }
+        }
+        checked
     }
 
     fn check_entry(&self, entry: &ManifestEntry) -> Result<()> {
@@ -610,6 +662,9 @@ impl ShardRepo {
         for name in self.verify()?.stray_temps {
             self.fs.remove_file(&self.dir.join(&name))?;
             removed.push(name);
+        }
+        if let Some(c) = obs::counters() {
+            c.stray_temps_cleaned.add(removed.len() as u64);
         }
         Ok(removed)
     }

@@ -49,6 +49,7 @@ pub fn compress_block(payload: &[u8], opts: Options) -> Vec<u8> {
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     debug_assert_eq!(out.len(), bsize);
+    crate::obs::record_deflate(payload.len(), out.len());
     out
 }
 
@@ -120,6 +121,7 @@ pub fn decompress_block(data: &[u8]) -> Result<(Vec<u8>, usize)> {
     if payload.len() != isize as usize {
         return Err(Error::SizeMismatch { expected: isize, actual: payload.len() as u32 });
     }
+    crate::obs::record_inflate(bsize, payload.len());
     Ok((payload, bsize))
 }
 

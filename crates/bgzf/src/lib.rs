@@ -44,6 +44,7 @@ pub mod gzip;
 pub mod huffman;
 pub mod inflate;
 pub mod lz77;
+mod obs;
 pub mod read_at;
 pub mod reader;
 pub mod voffset;

@@ -1,0 +1,81 @@
+//! Codec-level observability: block and byte counters published into
+//! the global `ngs-obs` registry.
+//!
+//! The BGZF codec has no injected context to thread a registry through
+//! (it is called from deep inside readers, writers, and rayon pools),
+//! so it publishes to [`ngs_obs::global`], with handles registered once
+//! and cached — the per-block cost is one branch on
+//! [`ngs_obs::enabled`] plus four relaxed `fetch_add`s. `repro obs`
+//! quantifies that overhead (< 5 % on the pipeline convert graph).
+
+use std::sync::{Arc, OnceLock};
+
+use ngs_obs::Counter;
+
+struct Counters {
+    blocks_inflated: Arc<Counter>,
+    inflated_bytes_in: Arc<Counter>,
+    inflated_bytes_out: Arc<Counter>,
+    blocks_deflated: Arc<Counter>,
+    deflated_bytes_in: Arc<Counter>,
+    deflated_bytes_out: Arc<Counter>,
+}
+
+fn counters() -> &'static Counters {
+    static COUNTERS: OnceLock<Counters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = ngs_obs::global();
+        Counters {
+            blocks_inflated: r.counter("bgzf.blocks_inflated"),
+            inflated_bytes_in: r.counter("bgzf.inflated_bytes_in"),
+            inflated_bytes_out: r.counter("bgzf.inflated_bytes_out"),
+            blocks_deflated: r.counter("bgzf.blocks_deflated"),
+            deflated_bytes_in: r.counter("bgzf.deflated_bytes_in"),
+            deflated_bytes_out: r.counter("bgzf.deflated_bytes_out"),
+        }
+    })
+}
+
+/// Records one decompressed block (`bytes_in` compressed block size,
+/// `bytes_out` inflated payload size).
+pub(crate) fn record_inflate(bytes_in: usize, bytes_out: usize) {
+    if !ngs_obs::enabled() {
+        return;
+    }
+    let c = counters();
+    c.blocks_inflated.inc();
+    c.inflated_bytes_in.add(bytes_in as u64);
+    c.inflated_bytes_out.add(bytes_out as u64);
+}
+
+/// Records one compressed block (`bytes_in` payload size, `bytes_out`
+/// framed block size).
+pub(crate) fn record_deflate(bytes_in: usize, bytes_out: usize) {
+    if !ngs_obs::enabled() {
+        return;
+    }
+    let c = counters();
+    c.blocks_deflated.inc();
+    c.deflated_bytes_in.add(bytes_in as u64);
+    c.deflated_bytes_out.add(bytes_out as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::block::{compress_block, decompress_block};
+    use crate::deflate::Options;
+
+    #[test]
+    fn codec_publishes_block_and_byte_counters() {
+        let registry = ngs_obs::global();
+        let before_in = registry.counter("bgzf.blocks_inflated").get();
+        let before_out = registry.counter("bgzf.blocks_deflated").get();
+        let payload = b"counted payload".repeat(8);
+        let block = compress_block(&payload, Options::default());
+        let (back, _) = decompress_block(&block).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(registry.counter("bgzf.blocks_deflated").get(), before_out + 1);
+        assert_eq!(registry.counter("bgzf.blocks_inflated").get(), before_in + 1);
+        assert!(registry.counter("bgzf.deflated_bytes_in").get() >= payload.len() as u64);
+    }
+}

@@ -24,7 +24,8 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Boolean flags that take no value.
-const SWITCHES: &[&str] = &["sorted", "compress", "simulated", "analyze", "crash", "help"];
+const SWITCHES: &[&str] =
+    &["sorted", "compress", "simulated", "analyze", "crash", "json", "help"];
 
 impl Args {
     /// Parses raw arguments (after the subcommand name).

@@ -37,6 +37,38 @@ fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
     Box::new(ArgError(msg.into()))
 }
 
+/// Writes a tracer's retained spans as JSON lines to `path` and prints a
+/// one-line summary (shared by the `--trace FILE` flags).
+fn write_trace(path: &str, tracer: &ngs_obs::Tracer) -> CmdResult {
+    std::fs::write(path, tracer.render_jsonl())?;
+    outln!(
+        "trace: {} span(s) written to {path} ({} evicted by the ring bound)",
+        tracer.events().len(),
+        tracer.dropped()
+    )?;
+    Ok(())
+}
+
+/// Synthesizes one trace event per pipeline stage (busy time, sequential
+/// layout on the start axis) plus a whole-run event, for `--trace` on
+/// commands that time themselves through `PipelineMetrics` instead of
+/// live spans.
+fn pipeline_trace(metrics: &ngs_core::pipeline::PipelineMetrics) -> std::sync::Arc<ngs_obs::Tracer> {
+    let clock = std::sync::Arc::new(ngs_obs::ManualClock::new());
+    let tracer = ngs_obs::Tracer::new(metrics.stages.len() + 1, clock);
+    for s in &metrics.stages {
+        tracer.event(&format!("pipeline.{}", s.name), "", std::time::Duration::ZERO, s.busy, "ok");
+    }
+    tracer.event(
+        "pipeline.run",
+        "",
+        std::time::Duration::ZERO,
+        metrics.elapsed,
+        if metrics.cancelled { "cancelled" } else { "ok" },
+    );
+    tracer
+}
+
 /// Reads all records (and the header) from a `.sam` or `.bam` path.
 pub fn read_alignments(path: &str) -> Result<(ngs_formats::SamHeader, Vec<AlignmentRecord>), Box<dyn std::error::Error>> {
     if path.ends_with(".bam") {
@@ -131,6 +163,20 @@ pub fn convert(args: &Args) -> CmdResult {
         (other, _) => return Err(err(format!("unknown instance {other:?}"))),
     };
     print_report(&report)?;
+    if let Some(path) = args.optional("trace") {
+        // The one-shot converter times itself; synthesize the two phases.
+        let clock = std::sync::Arc::new(ngs_obs::ManualClock::new());
+        let tracer = ngs_obs::Tracer::new(2, clock);
+        tracer.event(
+            "convert.preprocess",
+            input,
+            std::time::Duration::ZERO,
+            report.preprocess_time,
+            "ok",
+        );
+        tracer.event("convert.convert", input, report.preprocess_time, report.convert_time, "ok");
+        write_trace(path, &tracer)?;
+    }
     Ok(())
 }
 
@@ -560,6 +606,9 @@ pub fn pipeline_cmd(args: &Args) -> CmdResult {
             outln!("quarantined shard {:?}: {}", q.shard, q.error)?;
         }
         print_metrics(&run.metrics)?;
+        if let Some(path) = args.optional("trace") {
+            write_trace(path, &pipeline_trace(&run.metrics))?;
+        }
         return Ok(());
     }
 
@@ -583,11 +632,14 @@ pub fn pipeline_cmd(args: &Args) -> CmdResult {
         outln!("quarantined shard {:?}: {}", q.shard, q.error)?;
     }
     print_metrics(&run.metrics)?;
+    if let Some(path) = args.optional("trace") {
+        write_trace(path, &pipeline_trace(&run.metrics))?;
+    }
     Ok(())
 }
 
 /// `ngsp query SHARD_DIR [--requests FILE] [--out DIR] [--workers N]
-/// [--queue N] [--cache N] [--deadline-ms D]`
+/// [--queue N] [--cache N] [--deadline-ms D] [--trace FILE]`
 ///
 /// Batch mode over the long-lived query engine: one
 /// `DATASET REGION FORMAT` request per line (`#` starts a comment;
@@ -609,10 +661,15 @@ pub fn query_cmd(args: &Args) -> CmdResult {
         None => None,
         Some(v) => Some(v.parse().map_err(|_| err(format!("bad --deadline-ms {v:?}")))?),
     };
+    // Live spans (one per executed request) when --trace is given.
+    let tracer = args.optional("trace").map(|_| {
+        ngs_obs::Tracer::new(4096, std::sync::Arc::new(ngs_obs::SystemClock::new()) as _)
+    });
     let config = EngineConfig {
         workers: args.get_or("workers", 4usize)?,
         queue_capacity: args.get_or("queue", 64usize)?,
         cache_capacity: args.get_or("cache", 8usize)?,
+        tracer: tracer.clone(),
         ..EngineConfig::default()
     };
     let engine = QueryEngine::new(shard_dir, config)?;
@@ -718,6 +775,99 @@ pub fn query_cmd(args: &Args) -> CmdResult {
         stats.mean_latency(),
         stats.max_latency,
     )?;
+    drop(out);
+    if let (Some(path), Some(tracer)) = (args.optional("trace"), &tracer) {
+        write_trace(path, tracer)?;
+    }
+    Ok(())
+}
+
+/// `ngsp stats [--records N] [--seed S] [--json]`
+///
+/// Runs a self-contained instrumented smoke workload — synthesize a
+/// dataset, preprocess it into crash-safe shards (BGZF-compressed, so
+/// the codec counters move), stream one shard through the pipeline
+/// convert graph, then serve convert + coverage queries over the shard
+/// directory — and renders the unified `ngs-obs` registry: the shared
+/// workload registry (query/store/pipeline) merged with the global one
+/// (BGZF codec, shard repository).
+pub fn stats_cmd(args: &Args) -> CmdResult {
+    use ngs_core::pipeline::{Pipeline, PipelineConfig};
+    use ngs_query::{EngineConfig, QueryEngine, QueryKind, QueryRequest};
+    use std::sync::Arc;
+
+    let records: usize = args.get_or("records", 2000usize)?;
+    let seed: u64 = args.get_or("seed", 20140519u64)?;
+    let tmp = tempfile::tempdir()?;
+    let registry = Arc::new(ngs_obs::Registry::new());
+
+    let sam = tmp.path().join("stats.sam");
+    let spec = DatasetSpec {
+        n_records: records,
+        n_chroms: 2,
+        seed,
+        coordinate_sorted: true,
+        ..Default::default()
+    };
+    Dataset::generate(&spec).write_sam(&sam)?;
+    let shard_dir = tmp.path().join("shards");
+    let mut conv = SamxConverter::new(ConvertConfig::with_ranks(2));
+    conv.bamx_compression = ngs_bamx::BamxCompression::Bgzf;
+    let prep = conv.preprocess_file(&sam, &shard_dir)?;
+
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let first = prep
+        .shards
+        .first()
+        .ok_or_else(|| err("preprocessing produced no shards"))?;
+    let run = pipeline.convert_file(
+        &first.bamx_path,
+        TargetFormat::Bed,
+        tmp.path().join("pipe-out"),
+    )?;
+    run.metrics.publish(&registry);
+
+    let config = EngineConfig {
+        workers: 2,
+        obs: Some(Arc::clone(&registry)),
+        ..EngineConfig::default()
+    };
+    let engine = QueryEngine::new(&shard_dir, config)?;
+    let out_dir = tmp.path().join("query-out");
+    let mut tickets = Vec::new();
+    for dataset in engine.store().datasets()? {
+        for kind in [
+            QueryKind::Convert { format: TargetFormat::Bed, out_dir: out_dir.clone() },
+            QueryKind::Coverage { bin_size: 50 },
+        ] {
+            let request = QueryRequest {
+                dataset: dataset.clone(),
+                region: "chr1".to_string(),
+                kind,
+                deadline: None,
+            };
+            tickets.push(engine.submit(request).map_err(Box::new)?);
+        }
+    }
+    for t in tickets {
+        if let Err(e) = t.wait().outcome {
+            return Err(err(format!("smoke query failed: {e}")));
+        }
+    }
+    drop(engine);
+
+    let mut snapshot = ngs_obs::global().snapshot();
+    snapshot.merge(&registry.snapshot());
+    if args.switch("json") {
+        outln!("{}", snapshot.render_json().trim_end())?;
+    } else {
+        outln!(
+            "instrumented smoke workload: {records} records, {} shards, 1 pipeline run, {} queries",
+            prep.shards.len(),
+            snapshot.counters.get("query.submitted").copied().unwrap_or(0),
+        )?;
+        outln!("{}", snapshot.render_text().trim_end())?;
+    }
     Ok(())
 }
 
@@ -943,6 +1093,10 @@ pub fn chaos_cmd(args: &Args) -> CmdResult {
 ///    **byte-identical** shard set (including the MANIFEST);
 /// 3. a query engine over the recovered directory serves the same
 ///    bytes as one over the reference directory.
+///
+/// A second sweep kills a *rank-count-change* rerun at byte offsets of
+/// its publication stream — covering the prune / meta-rewrite / rebuild
+/// window — and asserts resume never serves shards from the old layout.
 fn chaos_crash(args: &Args) -> CmdResult {
     use ngs_bamx::repo::ShardRepo;
     use ngs_converter::MemSource;
@@ -1087,9 +1241,108 @@ fn chaos_crash(args: &Args) -> CmdResult {
          stream ({ranks} ranks) -> every repository reopened clean, {resumed_shards} \
          shard(s) resumed, {rebuilt_shards} rebuilt, all byte-identical, queries identical"
     )?;
+
+    // --- Meta-update window ------------------------------------------------
+    // A rank-count change rewrites the manifest meta before rebuilding a
+    // single shard; a crash inside that window leaves a meta that matches
+    // the *next* run over shards built under the old layout. Sweep byte
+    // offsets of a narrow rerun's publication stream over a wide
+    // repository (covering prune, meta rewrite, and rebuild), and assert
+    // the same three invariants after each cut.
+    let wide = SamxConverter::new(ConvertConfig::with_ranks(ranks + 1));
+    let wide_dir = dir.path().join("meta-wide");
+    wide.preprocess_source(&source, &wide_dir, "x")?;
+    let copy_dir = |from: &Path, to: &Path| -> std::io::Result<()> {
+        std::fs::create_dir_all(to)?;
+        for entry in std::fs::read_dir(from)? {
+            let entry = entry?;
+            std::fs::copy(entry.path(), to.join(entry.file_name()))?;
+        }
+        Ok(())
+    };
+    // Instrumented uncrashed rerun to learn the rank-change stream length.
+    let rerun_total = {
+        let probe_dir = dir.path().join("meta-probe");
+        copy_dir(&wide_dir, &probe_dir)?;
+        let fs = FaultyFs::new(FaultPlan::none());
+        let state = Arc::clone(fs.state());
+        let repo = ShardRepo::open_with(&probe_dir, Arc::new(fs))?;
+        conv.preprocess_source_repo(&source, &repo, "x", true)?;
+        state.written()
+    };
+    let meta_points = points.clamp(4, 8);
+    let mut meta_offsets: Vec<u64> =
+        (0..meta_points).map(|p| 1 + rerun_total * p / meta_points).collect();
+    meta_offsets.push(rerun_total.saturating_sub(1));
+    meta_offsets.dedup();
+    let mut meta_crashes = 0u64;
+    for (p, offset) in meta_offsets.iter().copied().enumerate() {
+        let crash_dir = dir.path().join(format!("meta-crash-{p}"));
+        copy_dir(&wide_dir, &crash_dir)?;
+        let plan = FaultPlan::new(vec![Fault::CrashAtByte { offset }]);
+        let run = ShardRepo::open_with(&crash_dir, Arc::new(FaultyFs::new(plan)))
+            .and_then(|repo| conv.preprocess_source_repo(&source, &repo, "x", true));
+        if run.is_err() {
+            meta_crashes += 1;
+        } else {
+            return Err(err(format!(
+                "meta-window point {p} (byte {offset} of {rerun_total}): run survived \
+                 its own crash"
+            )));
+        }
+
+        let repo = ShardRepo::create(&crash_dir)?;
+        let report = repo.verify()?;
+        if !report.is_clean() {
+            return Err(err(format!(
+                "meta-window point {p} (byte {offset}): damaged artifacts behind the \
+                 manifest: {:?}",
+                report.damaged
+            )));
+        }
+        repo.clean_stray_temps()?;
+
+        let prep = conv.preprocess_source_repo(&source, &repo, "x", true)?;
+        let total_records: u64 = prep.shards.iter().map(|s| s.records).sum();
+        if total_records != records as u64 {
+            return Err(err(format!(
+                "meta-window point {p} (byte {offset}): resume served {total_records} of \
+                 {records} records — stale shards survived the rank change"
+            )));
+        }
+        for (name, bytes) in &reference {
+            let recovered = std::fs::read(crash_dir.join(name))?;
+            if recovered != *bytes {
+                return Err(err(format!(
+                    "meta-window point {p} (byte {offset}): {name} diverged after resume"
+                )));
+            }
+        }
+        let mut names: Vec<String> = std::fs::read_dir(&crash_dir)?
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .collect();
+        names.sort();
+        if names.iter().collect::<Vec<_>>() != reference.keys().collect::<Vec<_>>() {
+            return Err(err(format!(
+                "meta-window point {p} (byte {offset}): stale shards left behind: {names:?}"
+            )));
+        }
+        let out = query_bytes(&crash_dir, dir.path().join(format!("meta-out-{p}")))?;
+        if out != baseline_query {
+            return Err(err(format!(
+                "meta-window point {p} (byte {offset}): query output diverged"
+            )));
+        }
+    }
+    outln!(
+        "meta-update window: {meta_crashes} power cuts across a {} -> {ranks} rank change \
+         ({rerun_total}-byte rerun stream) -> no stale shard served, all byte-identical",
+        ranks + 1
+    )?;
+
     outln!(
         "chaos --crash: all checks passed ({} crash points, seed {seed})",
-        offsets.len()
+        offsets.len() + meta_offsets.len()
     )?;
     Ok(())
 }

@@ -16,7 +16,7 @@ COMMANDS:
               --records N --out FILE [--chroms C] [--sorted] [--seed S]
   convert     convert SAM/BAM into another format, in parallel
               INPUT --to FMT --out DIR [--ranks N] [--region R]
-              [--instance sam|bam|samx]
+              [--instance sam|bam|samx] [--trace FILE]
   preprocess  build BAMX + BAIX from SAM/BAM
               INPUT --out DIR [--ranks N] [--compress]
   index       build a binned region index for a BAM file
@@ -37,15 +37,19 @@ COMMANDS:
               INPUT [--target-fdr 0.05] [--gap G] [--out FILE.bed]
   pipeline    stream records through the bounded dataflow engine
               INPUT --to FMT --out DIR [--workers N] [--batch B]
-              [--bound C] [--region R]
+              [--bound C] [--region R] [--trace FILE]
               INPUT --analyze [--bin 25] [--rounds B]  (coverage+FDR)
               (byte-identical to convert at bounded memory; prints
                per-stage throughput and stall metrics)
   query       batch region queries over preprocessed BAMX/BAIX shards
               SHARD_DIR [--requests FILE] [--out DIR] [--workers N]
-              [--queue N] [--cache N] [--deadline-ms D]
+              [--queue N] [--cache N] [--deadline-ms D] [--trace FILE]
               one request per line: DATASET REGION FORMAT
               (FORMAT: a --to format, or coverage[:BIN])
+  stats       run an instrumented smoke workload and print the unified
+              ngs-obs metrics registry   [--records N] [--seed S] [--json]
+              (counters, gauges, and log2 latency/size histograms with
+               p50/p95/p99 across BGZF, shard repo, pipeline, and query)
   chaos       verify the failure model with seeded fault injection
               [--plans N] [--records R] [--seed S]
               (byte-level corruption, engine retry byte-identity,
@@ -123,6 +127,7 @@ fn main() {
         "peaks" => commands::peaks_cmd(&args),
         "pipeline" => commands::pipeline_cmd(&args),
         "query" => commands::query_cmd(&args),
+        "stats" => commands::stats_cmd(&args),
         "chaos" => commands::chaos_cmd(&args),
         "verify" => commands::verify_cmd(&args),
         "repair" => commands::repair_cmd(&args),

@@ -107,6 +107,16 @@ impl SamxConverter {
     /// and rank count, so crash + resume yields a byte-identical shard
     /// set. Every rank still joins [`partition_distributed`] — it is a
     /// collective, and skipping it would deadlock the non-resumed ranks.
+    ///
+    /// The on-disk shard set is reconciled against the manifest meta
+    /// *before* any verified-skip decision: shards built under a
+    /// different rank count or compression are pruned up front, and a
+    /// meta that already matches this run while out-of-range shards
+    /// still exist is the signature of a crash inside a previous run's
+    /// meta-update window — those shards predate the meta write and are
+    /// never trusted. This ordering (reconcile, then meta, then build)
+    /// means a crash at any point leaves a state a restart classifies
+    /// correctly instead of resuming stale shards.
     pub fn preprocess_source_repo<S: ByteSource + ?Sized>(
         &self,
         source: &S,
@@ -117,11 +127,8 @@ impl SamxConverter {
         let (header, _) = scan_sam_header(source)?;
         let compression = compression_name(self.bamx_compression);
         let ranks_meta = self.config.ranks.to_string();
-        let resume = resume && {
-            let meta = repo.manifest()?.meta;
-            meta.get("ranks") == Some(&ranks_meta)
-                && meta.get("compression").map(String::as_str) == Some(compression)
-        };
+        let trusted = self.reconcile_shard_set(repo, stem, &ranks_meta, compression)?;
+        let resume = resume && trusted;
         repo.set_meta("ranks", &ranks_meta)?;
         repo.set_meta("compression", compression)?;
         let t = Instant::now();
@@ -181,31 +188,60 @@ impl SamxConverter {
         for r in results {
             shards.push(r?);
         }
-        self.prune_stale_shards(repo, stem)?;
         Ok(SamxPreprocessReport { shards, elapsed: t.elapsed() })
     }
 
-    /// Drops manifest entries (and files) for shards of `stem` whose rank
-    /// is beyond this run's rank count — leftovers from an earlier run
-    /// with more ranks would otherwise be served alongside the fresh set.
-    fn prune_stale_shards(&self, repo: &ShardRepo, stem: &str) -> Result<()> {
+    /// Reconciles the recorded shard set of `stem` against this run's
+    /// layout parameters, *before* the run writes any meta or trusts any
+    /// verified entry. Returns whether the surviving entries may be
+    /// resumed.
+    ///
+    /// The set is untrusted (and pruned wholesale) in two cases:
+    ///
+    /// * the recorded `ranks` / `compression` meta differs from this run
+    ///   — partitioning depends on both, so every shard is stale;
+    /// * the meta *matches* but entries exist for ranks beyond this
+    ///   run's count — impossible for a run that completed its
+    ///   reconcile, so a previous run must have died between its
+    ///   `set_meta` and its rebuild, and every recorded shard predates
+    ///   the meta it appears to match.
+    ///
+    /// Pruning goes through [`ShardRepo::remove`] (manifest entry first,
+    /// then the file), so a crash mid-prune leaves a state this same
+    /// classification handles on the next restart.
+    fn reconcile_shard_set(
+        &self,
+        repo: &ShardRepo,
+        stem: &str,
+        ranks_meta: &str,
+        compression: &str,
+    ) -> Result<bool> {
+        let manifest = repo.manifest()?;
+        let meta_matches = manifest.meta.get("ranks").map(String::as_str) == Some(ranks_meta)
+            && manifest.meta.get("compression").map(String::as_str) == Some(compression);
         let prefix = format!("{stem}.shard");
-        let stale: Vec<String> = repo
-            .manifest()?
+        let shard_rank = |name: &str| {
+            name.strip_prefix(&prefix)
+                .and_then(|rest| rest.split('.').next())
+                .and_then(|digits| digits.parse::<usize>().ok())
+        };
+        let stale_high = manifest
             .entries
             .keys()
-            .filter(|name| {
-                name.strip_prefix(&prefix)
-                    .and_then(|rest| rest.split('.').next())
-                    .and_then(|digits| digits.parse::<usize>().ok())
-                    .is_some_and(|rank| rank >= self.config.ranks)
-            })
-            .cloned()
-            .collect();
-        for name in stale {
-            repo.remove(&name)?;
+            .any(|name| shard_rank(name).is_some_and(|rank| rank >= self.config.ranks));
+        let trusted = meta_matches && !stale_high;
+        if !trusted {
+            let doomed: Vec<String> = manifest
+                .entries
+                .keys()
+                .filter(|name| shard_rank(name).is_some())
+                .cloned()
+                .collect();
+            for name in doomed {
+                repo.remove(&name)?;
+            }
         }
-        Ok(())
+        Ok(trusted)
     }
 
     /// Parallel conversion phase (Figure 5, right): converts each BAMX
@@ -410,46 +446,5 @@ mod tests {
         let prep = conv.preprocess_source(&src, dir.path(), "x").unwrap();
         assert_eq!(prep.shards.len(), 1);
         assert_eq!(prep.records(), 100);
-    }
-}
-
-#[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used)]
-mod review_repro {
-    use super::*;
-    use crate::runtime::ConvertConfig;
-    use crate::source::MemSource;
-    use ngs_simgen::{Dataset, DatasetSpec};
-    use tempfile::tempdir;
-
-    #[test]
-    fn crash_after_set_meta_with_rank_change_resumes_stale_shards() {
-        let ds = Dataset::generate(&DatasetSpec {
-            n_records: 500,
-            n_chroms: 2,
-            coordinate_sorted: true,
-            seed: 0xC0FFEE,
-            ..Default::default()
-        });
-        let src = MemSource::new(ds.to_sam_bytes());
-        let dir = tempdir().unwrap();
-        let wide = SamxConverter::new(ConvertConfig::with_ranks(4));
-        wide.preprocess_source(&src, dir.path(), "x").unwrap();
-
-        // Simulate: a 2-rank run starts, writes set_meta("ranks","2") and
-        // set_meta("compression", ...), then the process dies before any
-        // shard is rebuilt/recorded. The manifest state after that crash:
-        let repo = ShardRepo::open(dir.path()).unwrap();
-        repo.set_meta("ranks", "2").unwrap();
-
-        // Restart the 2-rank run with resume=true.
-        let narrow = SamxConverter::new(ConvertConfig::with_ranks(2));
-        let prep = narrow.preprocess_source_repo(&src, &repo, "x", true).unwrap();
-        eprintln!(
-            "resumed={:?} records={} (expected 500)",
-            prep.shards.iter().map(|s| s.resumed).collect::<Vec<_>>(),
-            prep.records()
-        );
-        assert_eq!(prep.records(), 500, "resume must not serve stale 4-rank shards");
     }
 }

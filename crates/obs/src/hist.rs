@@ -1,0 +1,231 @@
+//! Lock-free log2-bucket histograms for latencies and sizes.
+//!
+//! A [`Histogram`] has 65 power-of-two buckets: bucket 0 holds exact
+//! zeros and bucket `b ≥ 1` holds values in `[2^(b-1), 2^b - 1]` —
+//! enough range for any `u64` (nanoseconds or bytes) at a fixed, tiny
+//! footprint. Recording is one `fetch_add` per bucket plus count and
+//! sum, so concurrent writers never contend on a lock; snapshots are
+//! plain copies of the bucket array, and percentile estimates are read
+//! off the snapshot as the *upper bound* of the bucket containing the
+//! target rank (a deterministic, conservative estimate whose error is
+//! bounded by the bucket width).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: one for zero plus one per possible `u64` log2.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of a value: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last).
+#[inline]
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+#[inline]
+pub fn bucket_lower_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+/// A concurrent log2 histogram. All updates are relaxed atomics — the
+/// aggregate is exact in count and sum, and bucket-exact in shape.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state. Merging is elementwise
+/// addition, so it is associative and commutative — partial snapshots
+/// from independent registries fold in any order to the same result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKETS], count: 0, sum: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds another snapshot into this one (elementwise addition,
+    /// saturating — unsigned saturating addition is still associative
+    /// and commutative, so pathological totals pin at `u64::MAX`
+    /// instead of panicking).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            // Exact division over u128: the u64 sum cannot overflow it.
+            (u128::from(self.sum) / u128::from(self.count)) as u64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// containing the target rank; 0 when empty. Deterministic: depends
+    /// only on the bucket counts.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based, at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(bucket);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(b)), b);
+            assert_eq!(bucket_index(bucket_upper_bound(b)), b);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = Histogram::new();
+        for _ in 0..98 {
+            h.record(100); // bucket 7, upper bound 127
+        }
+        h.record(1_000_000); // bucket 20
+        h.record(2_000_000); // bucket 21
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50(), 127);
+        assert_eq!(s.p95(), 127);
+        assert_eq!(s.p99(), bucket_upper_bound(bucket_index(1_000_000)));
+        assert_eq!(s.quantile(1.0), bucket_upper_bound(bucket_index(2_000_000)));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.p99(), 0);
+    }
+
+    #[test]
+    fn duration_recording_uses_nanos() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_nanos(7));
+        let s = h.snapshot();
+        assert_eq!(s.sum, 7);
+        assert_eq!(s.buckets[bucket_index(7)], 1);
+    }
+}

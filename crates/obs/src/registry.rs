@@ -1,0 +1,358 @@
+//! The shared metrics registry: named counters, gauges, and histograms.
+//!
+//! Registration (first lookup of a name) takes a short lock; every
+//! *update* after that is a relaxed atomic on a handle the caller keeps,
+//! so hot paths never contend. Names are dotted lowercase paths
+//! (`bgzf.blocks_inflated`, `query.latency_ns`) and live in [`BTreeMap`]s
+//! so snapshots — and everything rendered from them — are byte-
+//! deterministic: the same sequence of updates always produces the same
+//! text and JSON, regardless of registration order races.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing named count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named level with a sticky peak (`fetch_max`), e.g. bytes in flight
+/// or cache occupancy.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// Raises the level by `n`, updating the peak.
+    pub fn add(&self, n: u64) {
+        let now = self.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n` (saturating at zero).
+    pub fn sub(&self, n: u64) {
+        // fetch_update loop rather than fetch_sub: a release racing a
+        // snapshot must never wrap the gauge to ~u64::MAX.
+        let _ = self.current.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(n))
+        });
+    }
+
+    /// Sets the level outright, updating the peak.
+    pub fn set(&self, v: u64) {
+        self.current.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Highest level observed.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time copy of a gauge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Level at snapshot time.
+    pub current: u64,
+    /// Sticky peak.
+    pub peak: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// The metrics registry every subsystem publishes through (see
+/// CLAUDE.md: no new ad-hoc counter structs). Cheap to share via `Arc`;
+/// [`crate::global`] holds the process-wide instance the CLI reports.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it on first use. Keep the
+    /// returned handle for hot paths — lookups take a read lock.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.inner.read().counters.get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.inner.write().counters.entry(name.to_string()).or_default(),
+        )
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.inner.read().gauges.get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.inner.write().gauges.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.inner.read().histograms.get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.inner.write().histograms.entry(name.to_string()).or_default(),
+        )
+    }
+
+    /// A deterministic point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.read();
+        RegistrySnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| {
+                    (k.clone(), GaugeSnapshot { current: v.get(), peak: v.peak() })
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Everything a [`Registry`] held at one moment, in name order. Renders
+/// to byte-deterministic text and JSON; merges associatively and
+/// commutatively (counters/histograms add, gauge levels add and peaks
+/// max — partial views from independent registries fold in any order to
+/// the same aggregate).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels and peaks by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Folds another snapshot into this one. Additions saturate (still
+    /// associative/commutative) so adversarial totals cannot panic.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, v) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, g) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_default();
+            slot.current = slot.current.saturating_add(g.current);
+            slot.peak = slot.peak.max(g.peak);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Human-readable table, one metric per line, in name order.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:<40} {v}");
+        }
+        for (name, g) in &self.gauges {
+            let _ = writeln!(out, "{name:<40} {} (peak {})", g.current, g.peak);
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<40} n={} sum={} mean={} p50<={} p95<={} p99<={}",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            );
+        }
+        out
+    }
+
+    /// JSON object with `counters` / `gauges` / `histograms` sections, in
+    /// name order (histogram buckets are trimmed of the all-zero tail).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            let sep = if first { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", escape(name));
+            first = false;
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        first = true;
+        for (name, g) in &self.gauges {
+            let sep = if first { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"current\": {}, \"peak\": {}}}",
+                escape(name),
+                g.current,
+                g.peak
+            );
+            first = false;
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (name, h) in &self.histograms {
+            let last = h
+                .buckets
+                .iter()
+                .rposition(|&n| n != 0)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            let buckets: Vec<String> =
+                h.buckets[..last].iter().map(|n| n.to_string()).collect();
+            let sep = if first { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                escape(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                buckets.join(", ")
+            );
+            first = false;
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Escapes a metric name for a JSON string (names are plain dotted
+/// identifiers by convention, but never trust that in output).
+fn escape(name: &str) -> String {
+    name.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        r.counter("a.b").add(3);
+        r.counter("a.b").add(4);
+        assert_eq!(r.counter("a.b").get(), 7);
+        assert_eq!(r.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_peak() {
+        let r = Registry::new();
+        let g = r.gauge("mem");
+        g.add(100);
+        g.add(50);
+        g.sub(120);
+        assert_eq!(g.get(), 30);
+        assert_eq!(g.peak(), 150);
+        g.sub(1000);
+        assert_eq!(g.get(), 0, "gauge never wraps below zero");
+    }
+
+    #[test]
+    fn snapshot_orders_by_name_and_renders_deterministically() {
+        let r = Registry::new();
+        r.counter("z.last").inc();
+        r.counter("a.first").add(2);
+        r.histogram("h.lat").record(100);
+        r.gauge("g.mem").set(5);
+        let s1 = r.snapshot();
+        let s2 = r.snapshot();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.render_text(), s2.render_text());
+        assert_eq!(s1.render_json(), s2.render_json());
+        let text = s1.render_text();
+        let a = text.find("a.first").unwrap();
+        let z = text.find("z.last").unwrap();
+        assert!(a < z, "name order, not registration order");
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let r = Registry::new();
+        r.counter("we\"ird\\name").inc();
+        let json = r.snapshot().render_json();
+        assert!(json.contains("we\\\"ird\\\\name"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_peaks() {
+        let a = Registry::new();
+        a.counter("c").add(2);
+        a.gauge("g").set(10);
+        a.histogram("h").record(1);
+        let b = Registry::new();
+        b.counter("c").add(3);
+        b.gauge("g").set(4);
+        b.histogram("h").record(1);
+
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counters["c"], 5);
+        assert_eq!(m.gauges["g"].peak, 10);
+        assert_eq!(m.histograms["h"].count, 2);
+    }
+}

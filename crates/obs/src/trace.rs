@@ -1,0 +1,250 @@
+//! Bounded ring-buffer span tracing.
+//!
+//! A [`Tracer`] records *why* a request or stage was slow: each
+//! [`Span`] guard stamps its start on the injected [`Clock`], and on
+//! drop appends one [`TraceEvent`] (stage, shard, start, duration,
+//! outcome) to a fixed-capacity ring — old events are evicted, never
+//! reallocated, so tracing is safe to leave on in long-lived servers.
+//! Under a `ManualClock` every duration is exactly the advanced time,
+//! keeping trace dumps byte-deterministic in tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Dense per-tracer sequence number (survives ring eviction, so gaps
+    /// reveal how much history was dropped).
+    pub seq: u64,
+    /// Subsystem or stage name (`query.execute`, `pipeline.decode`, …).
+    pub stage: String,
+    /// The shard/dataset/artifact the span worked on ("" when n/a).
+    pub shard: String,
+    /// Span start on the tracer's clock axis.
+    pub start: Duration,
+    /// Span duration.
+    pub duration: Duration,
+    /// How the span ended (`ok`, `error`, or a subsystem-specific word).
+    pub outcome: String,
+}
+
+impl TraceEvent {
+    /// One JSON-lines record.
+    fn render(&self) -> String {
+        format!(
+            "{{\"seq\": {}, \"stage\": \"{}\", \"shard\": \"{}\", \"start_ns\": {}, \
+             \"duration_ns\": {}, \"outcome\": \"{}\"}}",
+            self.seq,
+            escape(&self.stage),
+            escape(&self.shard),
+            self.start.as_nanos(),
+            self.duration.as_nanos(),
+            escape(&self.outcome),
+        )
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+}
+
+/// The bounded span/event recorder. Cheap to clone via `Arc`; spans keep
+/// their tracer alive.
+pub struct Tracer {
+    clock: Arc<dyn Clock>,
+    ring: Mutex<Ring>,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ring = self.ring.lock();
+        f.debug_struct("Tracer")
+            .field("capacity", &ring.capacity)
+            .field("events", &ring.events.len())
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` events on `clock`.
+    pub fn new(capacity: usize, clock: Arc<dyn Clock>) -> Arc<Self> {
+        Arc::new(Tracer {
+            clock,
+            ring: Mutex::new(Ring {
+                events: std::collections::VecDeque::with_capacity(capacity.max(1)),
+                capacity: capacity.max(1),
+            }),
+            next_seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens a span; dropping the guard records the event. Set a
+    /// non-default outcome with [`Span::set_outcome`] before the drop.
+    pub fn span(self: &Arc<Self>, stage: &str, shard: &str) -> Span {
+        Span {
+            tracer: Arc::clone(self),
+            stage: stage.to_string(),
+            shard: shard.to_string(),
+            start: self.clock.now(),
+            outcome: "ok".to_string(),
+        }
+    }
+
+    /// Records an already-measured event (for subsystems that time
+    /// themselves, e.g. pipeline stage snapshots).
+    pub fn event(&self, stage: &str, shard: &str, start: Duration, duration: Duration, outcome: &str) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let event = TraceEvent {
+            seq,
+            stage: stage.to_string(),
+            shard: shard.to_string(),
+            start,
+            duration,
+            outcome: outcome.to_string(),
+        };
+        let mut ring = self.ring.lock();
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().events.iter().cloned().collect()
+    }
+
+    /// Events evicted by the ring bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// JSON-lines dump of the retained events, oldest first —
+    /// byte-deterministic under a `ManualClock`.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.ring.lock().events.iter() {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A live span; records its [`TraceEvent`] when dropped.
+pub struct Span {
+    tracer: Arc<Tracer>,
+    stage: String,
+    shard: String,
+    start: Duration,
+    outcome: String,
+}
+
+impl Span {
+    /// Overrides the default `ok` outcome (e.g. `error`, `quarantined`).
+    pub fn set_outcome(&mut self, outcome: &str) {
+        self.outcome = outcome.to_string();
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let duration = self.tracer.clock.now().saturating_sub(self.start);
+        self.tracer.event(&self.stage, &self.shard, self.start, duration, &self.outcome);
+    }
+}
+
+/// Opens a [`Span`] on an `Option<Arc<Tracer>>`-style expression:
+/// `span!(tracer, "query.execute", dataset)` evaluates to
+/// `Option<Span>` and records nothing when the tracer is `None`.
+#[macro_export]
+macro_rules! span {
+    ($tracer:expr, $stage:expr, $shard:expr) => {
+        $tracer.as_ref().map(|t| t.span($stage, $shard))
+    };
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn span_guard_records_duration_on_manual_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(8, clock.clone());
+        {
+            let mut span = tracer.span("stage.a", "shard0");
+            clock.advance(Duration::from_millis(5));
+            span.set_outcome("error");
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].stage, "stage.a");
+        assert_eq!(events[0].duration, Duration::from_millis(5));
+        assert_eq!(events[0].outcome, "error");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_seq_survives_eviction() {
+        let tracer = Tracer::new(3, Arc::new(ManualClock::new()));
+        for i in 0..10 {
+            tracer.event("s", &format!("{i}"), Duration::ZERO, Duration::ZERO, "ok");
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(tracer.dropped(), 7);
+        assert_eq!(events[0].seq, 7, "oldest retained event");
+        assert_eq!(events[2].seq, 9);
+    }
+
+    #[test]
+    fn jsonl_dump_is_deterministic() {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(8, clock.clone());
+        drop(tracer.span("a", "x"));
+        clock.advance(Duration::from_micros(3));
+        drop(tracer.span("b", "y"));
+        let dump = tracer.render_jsonl();
+        assert_eq!(dump, tracer.render_jsonl());
+        assert_eq!(
+            dump.lines().next().unwrap(),
+            "{\"seq\": 0, \"stage\": \"a\", \"shard\": \"x\", \"start_ns\": 0, \
+             \"duration_ns\": 0, \"outcome\": \"ok\"}"
+        );
+    }
+
+    #[test]
+    fn span_macro_is_noop_without_tracer() {
+        let none: Option<Arc<Tracer>> = None;
+        assert!(span!(none, "s", "x").is_none());
+        let tracer = Tracer::new(4, Arc::new(ManualClock::new()) as Arc<dyn Clock>);
+        let some = Some(Arc::clone(&tracer));
+        drop(span!(some, "s", "x"));
+        assert_eq!(tracer.events().len(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property and concurrency tests for the ngs-obs registry
+//! (ISSUE satellite: percentile bounds, merge algebra, and a
+//! multi-thread hammer proving no increments are lost).
+
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+
+use ngs_obs::hist::{bucket_index, bucket_lower_bound, bucket_upper_bound};
+use ngs_obs::{Histogram, HistogramSnapshot, Registry};
+
+/// Snapshot built from a plain value list.
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The exact rank the quantile estimator targets (1-based).
+fn rank_of(q: f64, count: u64) -> u64 {
+    ((q * count as f64).ceil() as u64).clamp(1, count)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The reported quantile is exactly the upper bound of the bucket
+    /// holding the rank-th smallest sample — so the true rank value is
+    /// always within that bucket's [lower, upper] bounds.
+    #[test]
+    fn quantile_is_the_rank_buckets_upper_bound(
+        mut values in proptest::collection::vec(any::<u64>(), 1..200),
+        q_permille in 0u64..=1000,
+    ) {
+        let q = q_permille as f64 / 1000.0;
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        let rank = rank_of(q, snap.count);
+        let true_value = values[(rank - 1) as usize];
+        let bucket = bucket_index(true_value);
+        prop_assert_eq!(snap.quantile(q), bucket_upper_bound(bucket));
+        prop_assert!(bucket_lower_bound(bucket) <= true_value);
+        prop_assert!(true_value <= snap.quantile(q));
+    }
+
+    /// count and sum are exact regardless of the samples.
+    #[test]
+    fn count_and_sum_are_exact(values in proptest::collection::vec(0u64..=u64::MAX / 1024, 0..200)) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+    }
+
+    /// Histogram-snapshot merge is associative and commutative.
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        // Bounded so the combined sums stay exact (merge saturates, but
+        // the merged-equals-batch comparison below wants no overflow).
+        a in proptest::collection::vec(0u64..=u64::MAX / 512, 0..100),
+        b in proptest::collection::vec(0u64..=u64::MAX / 512, 0..100),
+        c in proptest::collection::vec(0u64..=u64::MAX / 512, 0..100),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+
+        // Merged == recorded all at once.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(left, snapshot_of(&all));
+    }
+
+    /// Registry-snapshot merge is associative and commutative across
+    /// counters, gauges (levels add, peaks max), and histograms — the
+    /// algebra `ngsp stats` relies on to fold the global and workload
+    /// registries into one report.
+    #[test]
+    fn registry_merge_is_associative_and_commutative(
+        counts in proptest::collection::vec((0u8..4, 0u64..=u64::MAX / 4), 0..24),
+    ) {
+        // Scatter the same update stream across three registries.
+        let regs = [Registry::new(), Registry::new(), Registry::new()];
+        for (i, &(key, v)) in counts.iter().enumerate() {
+            let reg = &regs[i % 3];
+            reg.counter(&format!("c.{key}")).add(v);
+            reg.gauge(&format!("g.{key}")).set(v);
+            reg.histogram(&format!("h.{key}")).record(v);
+        }
+        let [sa, sb, sc] = [regs[0].snapshot(), regs[1].snapshot(), regs[2].snapshot()];
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+
+        // Determinism: rendering the merged snapshot twice is
+        // byte-identical.
+        prop_assert_eq!(left.render_json(), right.render_json());
+        prop_assert_eq!(left.render_text(), right.render_text());
+    }
+}
+
+/// Many writer threads hammering shared handles: every increment lands
+/// (counts and sums are exact), and the gauge peak is the monotone max
+/// of everything any thread set.
+#[test]
+fn concurrent_hammer_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                // Handles resolved once per thread, as hot paths do.
+                let counter = registry.counter("hammer.count");
+                let gauge = registry.gauge("hammer.level");
+                let hist = registry.histogram("hammer.values");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.set(t * PER_THREAD + i);
+                    gauge.add(1);
+                    gauge.sub(1);
+                    hist.record(i % 1024);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total = THREADS * PER_THREAD;
+    assert_eq!(registry.counter("hammer.count").get(), total);
+
+    // The peak is sticky and monotone: it must be at least the largest
+    // value any thread set, and since each thread has at most one
+    // transient `add(1)` outstanding, races can never push it past
+    // max_set + THREADS.
+    let max_set = THREADS * PER_THREAD - 1;
+    let peak = registry.gauge("hammer.level").peak();
+    assert!(peak >= max_set, "peak {peak} lost the max set {max_set}");
+    assert!(peak <= max_set + THREADS, "peak {peak} exceeds any possible level");
+
+    let snap = registry.histogram("hammer.values").snapshot();
+    assert_eq!(snap.count, total);
+    let per_thread_sum: u64 = (0..PER_THREAD).map(|i| i % 1024).sum();
+    assert_eq!(snap.sum, THREADS * per_thread_sum);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), total);
+}
+
+/// Snapshots taken mid-hammer are internally sane (never torn into
+/// impossible states that would panic a renderer).
+#[test]
+fn concurrent_snapshots_are_sane() {
+    let registry = Arc::new(Registry::new());
+    let writer = {
+        let registry = Arc::clone(&registry);
+        thread::spawn(move || {
+            let hist = registry.histogram("snap.values");
+            for i in 0..50_000u64 {
+                hist.record(i);
+            }
+        })
+    };
+    for _ in 0..100 {
+        let snap = registry.snapshot();
+        if let Some(h) = snap.histograms.get("snap.values") {
+            // Quantiles stay within the u64 bucket lattice and the
+            // renderings never panic, whatever interleaving we caught.
+            let q = h.quantile(0.99);
+            assert_eq!(q, bucket_upper_bound(bucket_index(q)));
+            let _ = snap.render_text();
+            let _ = snap.render_json();
+        }
+    }
+    writer.join().unwrap();
+}

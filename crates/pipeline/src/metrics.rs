@@ -102,6 +102,40 @@ impl PipelineMetrics {
             _ => 0.0,
         }
     }
+
+    /// Publishes this run into a shared `ngs-obs` registry: per-stage
+    /// `pipeline.<stage>.*` counters (items/batches in and out, busy and
+    /// wait nanoseconds) plus the whole-graph
+    /// `pipeline.peak_buffered_bytes` gauge and `pipeline.runs` counter.
+    /// Repeated runs accumulate — the registry is the long-lived view,
+    /// the `PipelineMetrics` value the per-run one.
+    pub fn publish(&self, registry: &ngs_obs::Registry) {
+        registry.counter("pipeline.runs").inc();
+        if self.cancelled {
+            registry.counter("pipeline.cancelled").inc();
+        }
+        registry.gauge("pipeline.peak_buffered_bytes").set(self.peak_buffered_bytes);
+        registry
+            .histogram("pipeline.run_elapsed_ns")
+            .record_duration(self.elapsed);
+        for s in &self.stages {
+            let base = format!("pipeline.{}", s.name);
+            registry.counter(&format!("{base}.batches_in")).add(s.batches_in);
+            registry.counter(&format!("{base}.batches_out")).add(s.batches_out);
+            registry.counter(&format!("{base}.items_in")).add(s.items_in);
+            registry.counter(&format!("{base}.items_out")).add(s.items_out);
+            registry.histogram(&format!("{base}.busy_ns")).record_duration(s.busy);
+            registry
+                .histogram(&format!("{base}.recv_wait_ns"))
+                .record_duration(s.recv_wait);
+            registry
+                .histogram(&format!("{base}.send_wait_ns"))
+                .record_duration(s.send_wait);
+            registry
+                .gauge(&format!("{base}.max_queue_depth"))
+                .set(s.max_queue_depth as u64);
+        }
+    }
 }
 
 /// Tracks bytes resident in channel buffers: charged when a batch is
@@ -167,6 +201,28 @@ mod tests {
         let slot = AtomicU64::new(0);
         timed(&clock, &slot, || ());
         assert_eq!(slot.load(Ordering::Relaxed), 0, "manual clock → exact zero");
+    }
+
+    #[test]
+    fn publish_maps_stages_into_registry_names() {
+        let r = StageRecorder::default();
+        r.items_in.store(7, Ordering::Relaxed);
+        r.busy_nanos.store(1_000, Ordering::Relaxed);
+        let metrics = PipelineMetrics {
+            stages: vec![r.snapshot("decode", 2)],
+            peak_buffered_bytes: 4096,
+            elapsed: Duration::from_millis(3),
+            cancelled: false,
+        };
+        let registry = ngs_obs::Registry::new();
+        metrics.publish(&registry);
+        metrics.publish(&registry); // runs accumulate
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["pipeline.runs"], 2);
+        assert_eq!(snap.counters["pipeline.decode.items_in"], 14);
+        assert_eq!(snap.gauges["pipeline.peak_buffered_bytes"].peak, 4096);
+        assert_eq!(snap.histograms["pipeline.decode.busy_ns"].sum, 2_000);
+        assert!(!snap.counters.contains_key("pipeline.cancelled"));
     }
 
     #[test]

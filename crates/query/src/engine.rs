@@ -22,6 +22,7 @@ use ngs_bamx::Region;
 use ngs_converter::bam_converter::convert_index_list;
 use ngs_converter::ConvertConfig;
 use ngs_formats::error::{Error, Result};
+use ngs_obs::{span, Registry, Tracer};
 use ngs_pipeline::{PipelineConfig, ShardInput, StreamConverter};
 use ngs_stats::CoverageHistogram;
 
@@ -52,6 +53,13 @@ pub struct EngineConfig {
     /// peak working set per request is bounded by the pipeline window
     /// instead of the coalesced read-range size.
     pub streaming: Option<PipelineConfig>,
+    /// Shared observability registry the ledger publishes into (so
+    /// `ngsp stats` sees the same `query.*` counters the engine uses).
+    /// `None` gives the ledger a private registry.
+    pub obs: Option<Arc<Registry>>,
+    /// When set, workers record a `query.execute` span per request
+    /// (shard = dataset, outcome = ok/error/deadline) into this tracer.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +70,8 @@ impl Default for EngineConfig {
             cache_capacity: 8,
             convert: ConvertConfig::with_ranks(1),
             streaming: None,
+            obs: None,
+            tracer: None,
         }
     }
 }
@@ -129,13 +139,16 @@ impl QueryEngine {
         config: EngineConfig,
         clock: Arc<dyn Clock>,
     ) -> Result<Self> {
-        let store = Arc::new(ShardStore::open_with(
+        let mut store = ShardStore::open_with(
             shard_dir,
             config.cache_capacity,
             Arc::clone(&clock),
             crate::store::RetryPolicy::default(),
-        )?);
-        Self::with_store(store, config, clock)
+        )?;
+        if let Some(registry) = &config.obs {
+            store = store.with_obs(registry);
+        }
+        Self::with_store(Arc::new(store), config, clock)
     }
 
     /// Starts an engine over a pre-built store — the seam through which
@@ -146,7 +159,10 @@ impl QueryEngine {
         config: EngineConfig,
         clock: Arc<dyn Clock>,
     ) -> Result<Self> {
-        let ledger = Arc::new(Ledger::default());
+        let ledger = Arc::new(match &config.obs {
+            Some(registry) => Ledger::with_registry(Arc::clone(registry)),
+            None => Ledger::default(),
+        });
         let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
@@ -156,10 +172,13 @@ impl QueryEngine {
             let clock = Arc::clone(&clock);
             let convert = config.convert.clone();
             let streaming = config.streaming.clone();
+            let tracer = config.tracer.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ngs-query-{i}"))
-                    .spawn(move || worker_loop(rx, store, ledger, clock, convert, streaming))?,
+                    .spawn(move || {
+                        worker_loop(rx, store, ledger, clock, convert, streaming, tracer)
+                    })?,
             );
         }
         Ok(QueryEngine { store, ledger, clock, tx: Some(tx), _rx_keepalive: rx, workers })
@@ -236,6 +255,7 @@ fn worker_loop(
     clock: Arc<dyn Clock>,
     convert: ConvertConfig,
     streaming: Option<PipelineConfig>,
+    tracer: Option<Arc<Tracer>>,
 ) {
     while let Ok(Job { request, submitted_at, reply }) = rx.recv() {
         let started_at = clock.now();
@@ -247,9 +267,13 @@ fn worker_loop(
             queue_wait,
             ..Default::default()
         };
+        let mut span = span!(tracer, "query.execute", &request.dataset);
         if let Some(deadline) = request.deadline {
             if started_at > deadline {
                 ledger.record_finished(&metrics, Completion::DeadlineMissed);
+                if let Some(s) = span.as_mut() {
+                    s.set_outcome("deadline");
+                }
                 let _ = reply.send(QueryResponse {
                     outcome: Err(QueryError::DeadlineExceeded { deadline, now: started_at }),
                     metrics,
@@ -260,6 +284,12 @@ fn worker_loop(
         let executed = execute(&store, &request, &convert, streaming.as_ref(), &clock);
         metrics.finished_at = clock.now();
         metrics.service_time = metrics.finished_at.saturating_sub(started_at);
+        if executed.is_err() {
+            if let Some(s) = span.as_mut() {
+                s.set_outcome("error");
+            }
+        }
+        drop(span);
         let outcome = match executed {
             Ok((outcome, cache_hit)) => {
                 metrics.cache_hit = cache_hit;
@@ -595,6 +625,48 @@ mod tests {
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.transient_retries, 2);
         assert_eq!(stats.quarantined, 0);
+    }
+
+    #[test]
+    fn obs_registry_and_tracer_observe_requests() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "d", &[100, 200]);
+        let clock = Arc::new(ManualClock::new());
+        let registry = Arc::new(ngs_obs::Registry::new());
+        let tracer = ngs_obs::Tracer::new(16, clock.clone());
+        let config = EngineConfig {
+            workers: 1,
+            obs: Some(Arc::clone(&registry)),
+            tracer: Some(Arc::clone(&tracer)),
+            ..EngineConfig::default()
+        };
+        let engine = QueryEngine::with_clock(dir.path(), config, clock).unwrap();
+        let out = dir.path().join("out");
+        assert!(engine.submit(convert_request("d", "chr1", &out)).unwrap().wait().outcome.is_ok());
+        assert!(engine
+            .submit(convert_request("nope", "chr1", &out))
+            .unwrap()
+            .wait()
+            .outcome
+            .is_err());
+        drop(engine);
+        // The shared registry saw both the ledger and the store.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["query.submitted"], 2);
+        assert_eq!(snap.counters["query.completed"], 1);
+        assert_eq!(snap.counters["query.failed"], 1);
+        assert_eq!(snap.counters["store.cache_misses"], 1);
+        assert_eq!(snap.histograms["query.latency_ns"].count, 2);
+        // Under the manual clock the snapshot renders byte-identically.
+        assert_eq!(snap.render_json(), registry.snapshot().render_json());
+        // The tracer recorded one span per executed request, in order.
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].stage, "query.execute");
+        assert_eq!(events[0].shard, "d");
+        assert_eq!(events[0].outcome, "ok");
+        assert_eq!(events[1].shard, "nope");
+        assert_eq!(events[1].outcome, "error");
     }
 
     #[test]

@@ -1,8 +1,16 @@
 //! The per-request metrics ledger and its aggregated snapshot.
+//!
+//! Since the `ngs-obs` unification the ledger is *histogram-backed*: it
+//! owns no sums of its own but publishes counters and log2 histograms
+//! (`query.latency_ns`, `query.queue_wait_ns`, `query.service_ns`) into
+//! a shared [`Registry`] — the same registry `ngsp stats` renders —
+//! and [`QueryStats`] is a snapshot view read back out of it, now with
+//! p50/p95/p99 estimates alongside the exact totals.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use ngs_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 
 /// Timing and cache measurements of one finished request. All instants
 /// are on the engine clock's axis.
@@ -70,6 +78,12 @@ pub struct QueryStats {
     pub total_latency: Duration,
     /// Largest end-to-end latency seen.
     pub max_latency: Duration,
+    /// End-to-end latency distribution (nanoseconds).
+    pub latency_hist: HistogramSnapshot,
+    /// Queue-wait distribution (nanoseconds).
+    pub queue_wait_hist: HistogramSnapshot,
+    /// Service-time distribution (nanoseconds).
+    pub service_hist: HistogramSnapshot,
     /// Immediate in-store retries after transient shard-open failures.
     /// Filled from the shard store by `QueryEngine::stats`, not by the
     /// ledger (always zero in a bare [`Ledger::snapshot`]).
@@ -104,63 +118,152 @@ impl QueryStats {
         }
     }
 
-    /// Mean end-to-end latency over finished requests.
+    /// Mean end-to-end latency over finished requests. The division runs
+    /// over the total's full nanosecond range in `u128` — a `u32` divisor
+    /// would silently truncate past 2³² finished requests.
     pub fn mean_latency(&self) -> Duration {
         let n = self.finished();
         if n == 0 {
             Duration::ZERO
         } else {
-            self.total_latency / n as u32
+            let mean = self.total_latency.as_nanos() / u128::from(n);
+            // A mean of per-request durations always fits u64 nanoseconds.
+            Duration::from_nanos(u64::try_from(mean).unwrap_or(u64::MAX))
         }
+    }
+
+    /// Median end-to-end latency estimate (log2-bucket upper bound).
+    pub fn p50_latency(&self) -> Duration {
+        Duration::from_nanos(self.latency_hist.p50())
+    }
+
+    /// 95th-percentile end-to-end latency estimate.
+    pub fn p95_latency(&self) -> Duration {
+        Duration::from_nanos(self.latency_hist.p95())
+    }
+
+    /// 99th-percentile end-to-end latency estimate.
+    pub fn p99_latency(&self) -> Duration {
+        Duration::from_nanos(self.latency_hist.p99())
     }
 }
 
-/// Thread-safe accumulator the workers write into.
-#[derive(Debug, Default)]
+/// Thread-safe accumulator the workers write into: handles onto the
+/// shared [`Registry`], so every update is one relaxed atomic and the
+/// same numbers surface in `ngsp stats`.
+#[derive(Debug)]
 pub struct Ledger {
-    stats: Mutex<QueryStats>,
+    registry: Arc<Registry>,
+    submitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    deadline_missed: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    queue_wait: Arc<Histogram>,
+    service: Arc<Histogram>,
+    latency: Arc<Histogram>,
+    /// Peak = largest latency seen (`fetch_max` via the gauge's peak).
+    max_latency: Arc<Gauge>,
+}
+
+impl Default for Ledger {
+    fn default() -> Self {
+        Self::with_registry(Arc::new(Registry::new()))
+    }
 }
 
 impl Ledger {
+    /// A ledger publishing its `query.*` metrics into `registry`.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Ledger {
+            submitted: registry.counter("query.submitted"),
+            rejected: registry.counter("query.rejected"),
+            completed: registry.counter("query.completed"),
+            failed: registry.counter("query.failed"),
+            deadline_missed: registry.counter("query.deadline_missed"),
+            cache_hits: registry.counter("query.cache_hits"),
+            cache_misses: registry.counter("query.cache_misses"),
+            bytes_out: registry.counter("query.bytes_out"),
+            queue_wait: registry.histogram("query.queue_wait_ns"),
+            service: registry.histogram("query.service_ns"),
+            latency: registry.histogram("query.latency_ns"),
+            max_latency: registry.gauge("query.max_latency_ns"),
+            registry,
+        }
+    }
+
+    /// The registry this ledger publishes into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// Counts an accepted submission.
     pub fn record_submitted(&self) {
-        self.stats.lock().submitted += 1;
+        self.submitted.inc();
     }
 
     /// Counts an admission-control rejection.
     pub fn record_rejected(&self) {
-        self.stats.lock().rejected += 1;
+        self.rejected.inc();
     }
 
     /// Folds one finished request into the aggregate.
     pub fn record_finished(&self, metrics: &RequestMetrics, completion: Completion) {
-        let mut s = self.stats.lock();
         match completion {
-            Completion::Completed => s.completed += 1,
-            Completion::Failed => s.failed += 1,
-            Completion::DeadlineMissed => s.deadline_missed += 1,
+            Completion::Completed => self.completed.inc(),
+            Completion::Failed => self.failed.inc(),
+            Completion::DeadlineMissed => self.deadline_missed.inc(),
         }
         // Cache accounting only makes sense for requests that actually
         // completed a lookup: deadline drops never touch the store and
         // failures may have died before (or during) it.
         if completion == Completion::Completed {
             if metrics.cache_hit {
-                s.cache_hits += 1;
+                self.cache_hits.inc();
             } else {
-                s.cache_misses += 1;
+                self.cache_misses.inc();
             }
         }
-        s.bytes_out += metrics.bytes_out;
-        s.total_queue_wait += metrics.queue_wait;
-        s.total_service += metrics.service_time;
+        self.bytes_out.add(metrics.bytes_out);
+        self.queue_wait.record_duration(metrics.queue_wait);
+        self.service.record_duration(metrics.service_time);
         let latency = metrics.latency();
-        s.total_latency += latency;
-        s.max_latency = s.max_latency.max(latency);
+        self.latency.record_duration(latency);
+        self.max_latency.set(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
     }
 
-    /// A copy of the aggregate at this moment.
+    /// A copy of the aggregate at this moment. Each field is exact for
+    /// the updates that preceded the snapshot; totals come from the
+    /// histograms' exact sums, so nothing is lost to bucketing.
     pub fn snapshot(&self) -> QueryStats {
-        self.stats.lock().clone()
+        let queue_wait = self.queue_wait.snapshot();
+        let service = self.service.snapshot();
+        let latency = self.latency.snapshot();
+        QueryStats {
+            submitted: self.submitted.get(),
+            rejected: self.rejected.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            deadline_missed: self.deadline_missed.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            bytes_out: self.bytes_out.get(),
+            total_queue_wait: Duration::from_nanos(queue_wait.sum),
+            total_service: Duration::from_nanos(service.sum),
+            total_latency: Duration::from_nanos(latency.sum),
+            max_latency: Duration::from_nanos(self.max_latency.peak()),
+            latency_hist: latency,
+            queue_wait_hist: queue_wait,
+            service_hist: service,
+            transient_retries: 0,
+            quarantined: 0,
+            backoff_rejections: 0,
+            repairs: 0,
+            repaired: 0,
+        }
     }
 }
 
@@ -206,6 +309,23 @@ mod tests {
         assert_eq!(s.total_service, Duration::from_millis(24));
         assert_eq!(s.max_latency, Duration::from_millis(25));
         assert_eq!(s.mean_latency(), Duration::from_millis(13));
+        // Histogram views agree with the exact aggregates.
+        assert_eq!(s.latency_hist.count, 3);
+        assert!(s.p99_latency() >= Duration::from_millis(25));
+        assert!(s.p50_latency() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn ledger_publishes_into_a_shared_registry() {
+        let registry = Arc::new(Registry::new());
+        let ledger = Ledger::with_registry(Arc::clone(&registry));
+        ledger.record_submitted();
+        ledger.record_finished(&metrics(1, 2, true, 10), Completion::Completed);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["query.submitted"], 1);
+        assert_eq!(snap.counters["query.completed"], 1);
+        assert_eq!(snap.counters["query.bytes_out"], 10);
+        assert_eq!(snap.histograms["query.latency_ns"].count, 1);
     }
 
     #[test]
@@ -214,5 +334,21 @@ mod tests {
         assert_eq!(s.finished(), 0);
         assert_eq!(s.cache_hit_rate(), 0.0);
         assert_eq!(s.mean_latency(), Duration::ZERO);
+        assert_eq!(s.p99_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_latency_is_exact_past_u32_finished_requests() {
+        // 2³² + 6 finished requests of 1 ms each: a `u32` divisor wraps
+        // to 6 and reports a mean ~715 million times too large.
+        let n = u64::from(u32::MAX) + 7;
+        let per_request = Duration::from_millis(1);
+        let s = QueryStats {
+            completed: n,
+            total_latency: per_request * u32::MAX + per_request * 7,
+            ..Default::default()
+        };
+        assert_eq!(s.finished(), n);
+        assert_eq!(s.mean_latency(), per_request);
     }
 }

@@ -31,7 +31,6 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -39,6 +38,7 @@ use ngs_bamx::repo::ShardRepo;
 use ngs_bamx::{Baix, BamxFile};
 use ngs_bgzf::ReadAt;
 use ngs_formats::error::{Error, Result};
+use ngs_obs::{Counter, Registry};
 use parking_lot::Mutex;
 
 use crate::clock::{Clock, SystemClock};
@@ -183,14 +183,16 @@ pub struct ShardStore {
     repo: Option<ShardRepo>,
     repairer: Option<Box<Repairer>>,
     state: Mutex<StoreState>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    transient_retries: AtomicU64,
-    quarantined: AtomicU64,
-    backoff_rejections: AtomicU64,
-    repairs: AtomicU64,
-    repaired: AtomicU64,
+    // Counter handles — private by default, or registered in a shared
+    // `ngs-obs` registry via `with_obs` (no ad-hoc counter structs).
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    transient_retries: Arc<Counter>,
+    quarantined: Arc<Counter>,
+    backoff_rejections: Arc<Counter>,
+    repairs: Arc<Counter>,
+    repaired: Arc<Counter>,
 }
 
 impl ShardStore {
@@ -235,15 +237,31 @@ impl ShardStore {
                 repair_spent: HashSet::new(),
                 tick: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            transient_retries: AtomicU64::new(0),
-            quarantined: AtomicU64::new(0),
-            backoff_rejections: AtomicU64::new(0),
-            repairs: AtomicU64::new(0),
-            repaired: AtomicU64::new(0),
+            hits: Arc::default(),
+            misses: Arc::default(),
+            evictions: Arc::default(),
+            transient_retries: Arc::default(),
+            quarantined: Arc::default(),
+            backoff_rejections: Arc::default(),
+            repairs: Arc::default(),
+            repaired: Arc::default(),
         })
+    }
+
+    /// Publishes the store's counters into a shared `ngs-obs` registry
+    /// under `store.*` names (so `ngsp stats` sees cache and shard-health
+    /// activity). Call at construction time, before any lookups — the
+    /// handles are replaced, not mirrored.
+    pub fn with_obs(mut self, registry: &Registry) -> Self {
+        self.hits = registry.counter("store.cache_hits");
+        self.misses = registry.counter("store.cache_misses");
+        self.evictions = registry.counter("store.evictions");
+        self.transient_retries = registry.counter("store.transient_retries");
+        self.quarantined = registry.counter("store.quarantined");
+        self.backoff_rejections = registry.counter("store.backoff_rejections");
+        self.repairs = registry.counter("store.repairs");
+        self.repaired = registry.counter("store.repaired");
+        self
     }
 
     /// Replaces how shard files are opened — the fault-injection seam.
@@ -332,7 +350,7 @@ impl ShardStore {
         let tick = state.tick;
         if let Some((shard, stamp)) = state.cache.get_mut(name) {
             *stamp = tick;
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok((shard.clone(), true));
         }
         // An unknown dataset is a client error, not a shard failure: it
@@ -360,7 +378,7 @@ impl ShardStore {
             Some(ShardHealth::Backoff { consecutive_failures, retry_at }) => {
                 let now = self.clock.now();
                 if now < *retry_at {
-                    self.backoff_rejections.fetch_add(1, Ordering::Relaxed);
+                    self.backoff_rejections.inc();
                     return Err(Error::InvalidRecord(format!(
                         "dataset {name:?} is backing off after {consecutive_failures} \
                          transient failure(s); retry at {retry_at:?} (now {now:?})"
@@ -375,7 +393,7 @@ impl ShardStore {
         let mut last_err = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                self.transient_retries.fetch_add(1, Ordering::Relaxed);
+                self.transient_retries.inc();
             }
             match self.open_verified(name, &bamx_path) {
                 Ok(shard) => {
@@ -406,7 +424,7 @@ impl ShardStore {
                                 name.to_string(),
                                 ShardHealth::Quarantined { reason: e.to_string() },
                             );
-                            self.quarantined.fetch_add(1, Ordering::Relaxed);
+                            self.quarantined.inc();
                             return Err(e);
                         }
                     }
@@ -432,7 +450,7 @@ impl ShardStore {
     fn admit(&self, state: &mut StoreState, name: &str, shard: &CachedShard, tick: u64) {
         state.health.remove(name);
         state.repair_spent.remove(name);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         state.cache.insert(name.to_string(), (shard.clone(), tick));
         if state.cache.len() > self.capacity {
             if let Some(victim) = state
@@ -442,7 +460,7 @@ impl ShardStore {
                 .map(|(k, _)| k.clone())
             {
                 state.cache.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
     }
@@ -475,10 +493,10 @@ impl ShardStore {
         if !state.repair_spent.insert(name.to_string()) {
             return Err(cause);
         }
-        self.repairs.fetch_add(1, Ordering::Relaxed);
+        self.repairs.inc();
         repairer(name)?;
         let shard = self.open_verified(name, bamx_path)?;
-        self.repaired.fetch_add(1, Ordering::Relaxed);
+        self.repaired.inc();
         Ok(shard)
     }
 
@@ -520,14 +538,14 @@ impl ShardStore {
     /// Current cache and health counters.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            transient_retries: self.transient_retries.load(Ordering::Relaxed),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
-            backoff_rejections: self.backoff_rejections.load(Ordering::Relaxed),
-            repairs: self.repairs.load(Ordering::Relaxed),
-            repaired: self.repaired.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            transient_retries: self.transient_retries.get(),
+            quarantined: self.quarantined.get(),
+            backoff_rejections: self.backoff_rejections.get(),
+            repairs: self.repairs.get(),
+            repaired: self.repaired.get(),
         }
     }
 }
@@ -535,6 +553,7 @@ impl ShardStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
     use crate::clock::ManualClock;
     use crate::testutil::write_shard;
     use std::sync::atomic::AtomicU32;

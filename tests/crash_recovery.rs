@@ -99,6 +99,54 @@ fn crash_matrix_reopens_clean_and_resumes_byte_identically() {
     assert!(any_resumed, "the tail crash points must exercise the resume path");
 }
 
+/// A crash inside the meta-update window: a rank-count change writes
+/// `set_meta("ranks", ...)` and dies before rebuilding a single shard,
+/// leaving a manifest whose meta matches the *next* run over shards
+/// built under the old layout. Resume must detect the inconsistency
+/// (meta matches but out-of-range shard entries survive), distrust the
+/// whole stem, and rebuild — never serve the stale shard subset.
+/// Formerly `samx_converter::review_repro`, committed failing by the
+/// PR-4 review.
+#[test]
+fn crash_in_meta_update_window_rebuilds_instead_of_serving_stale_shards() {
+    let ds = dataset(500);
+    let src = MemSource::new(ds.to_sam_bytes());
+    let dir = tempdir().unwrap();
+    let wide = SamxConverter::new(ConvertConfig::with_ranks(4));
+    wide.preprocess_source(&src, dir.path(), "x").unwrap();
+
+    // Reference: what an uncrashed 2-rank run over a fresh directory
+    // produces (deterministic partitioning → the recovery oracle).
+    let ref_dir = dir.path().join("reference");
+    let narrow = SamxConverter::new(ConvertConfig::with_ranks(2));
+    narrow.preprocess_source(&src, &ref_dir, "x").unwrap();
+
+    // Simulate: a 2-rank run starts, writes set_meta("ranks","2"), then
+    // the process dies before any shard is rebuilt/recorded.
+    let repo = ShardRepo::open(dir.path()).unwrap();
+    repo.set_meta("ranks", "2").unwrap();
+
+    // Restart the 2-rank run with resume=true.
+    let prep = narrow.preprocess_source_repo(&src, &repo, "x", true).unwrap();
+    assert_eq!(prep.records(), 500, "resume must not serve stale 4-rank shards");
+    assert!(prep.shards.iter().all(|s| !s.resumed), "no stale shard may be resumed");
+
+    // The stale 4-rank shards are gone from manifest and disk, and the
+    // recovered set is byte-identical to the uncrashed reference.
+    let manifest = repo.manifest().unwrap();
+    assert!(manifest.entries.keys().all(|n| !n.contains("shard0002")));
+    assert!(!dir.path().join("x.shard0003.bamx").exists());
+    assert!(repo.verify().unwrap().is_clean());
+    for name in ["x.shard0000.bamx", "x.shard0000.baix", "x.shard0001.bamx", "x.shard0001.baix"]
+    {
+        assert_eq!(
+            std::fs::read(dir.path().join(name)).unwrap(),
+            std::fs::read(ref_dir.join(name)).unwrap(),
+            "{name} diverged from the uncrashed reference"
+        );
+    }
+}
+
 /// The query engine across the whole damage lifecycle: correct answers
 /// before the damage, self-healing through the repairer seam while the
 /// shard is torn, and normal (cache-hit) service afterwards.
