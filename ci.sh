@@ -58,6 +58,27 @@ cargo test --quiet -p ngs-pipeline --test streaming_identity -- \
     corrupt_shard_is_quarantined_and_graph_drains \
     transient_faults_are_retried_to_identical_output
 
+# Collate smoke: the three keyed-regroup workloads over a seeded
+# duplicate-bearing fixture. Each runs once in memory and once with a
+# tiny spill budget (forcing ShardRepo-published runs + k-way merge);
+# output must be byte-identical either way (DESIGN.md §10.5), and the
+# identity/crash proptest suites must pass.
+echo "==> ngsp collate/markdup/sort smoke (spill vs in-memory byte-identity)"
+cargo run -p ngs-cli --bin ngsp -- \
+    generate --records 1200 --duplicates 0.15 --out "$smoke/dup.bam"
+for cmd in "sort --by coord" "sort --by name" "collate" "markdup"; do
+    cargo run -p ngs-cli --bin ngsp -- \
+        $cmd "$smoke/dup.bam" --out "$smoke/mem.bam" > /dev/null
+    cargo run -p ngs-cli --bin ngsp -- \
+        $cmd "$smoke/dup.bam" --out "$smoke/spill.bam" \
+        --spill-budget 8000 --workers 2 > /dev/null
+    cmp "$smoke/mem.bam" "$smoke/spill.bam"
+done
+cargo test --quiet -p ngs-collate --test collate_identity
+echo "==> repro collate (shuffle scaling + spill sweep, BENCH_collate.json)"
+cargo run --release -p ngs-bench --bin repro -- collate --scale 0.05 > /dev/null
+python3 -c 'import json; json.load(open("BENCH_collate.json"))'
+
 # Observability smoke: the unified registry report must stay valid JSON
 # (CI is the consumer the byte-determinism contract protects), and the
 # overhead experiment must run end to end (DESIGN.md §9).

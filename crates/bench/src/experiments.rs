@@ -1166,6 +1166,176 @@ pub fn recovery_bench(cfg: &ExperimentConfig) -> Result<String> {
     Ok(table)
 }
 
+// ---------------------------------------------------------------------------
+// Collate shuffle (BENCH_collate.json)
+// ---------------------------------------------------------------------------
+
+/// Collate-shuffle experiment (DESIGN.md §10; no corresponding paper
+/// figure — it extends the paper's removal of the sort/merge bottleneck
+/// to the post-conversion regroup stages): duplicate marking over the
+/// keyed regroup engine, on two axes.
+///
+/// * **Simulated-cluster scaling** — records are partitioned by
+///   signature-key hash modulo R (key-disjoint, so no duplicate group
+///   straddles a rank), each rank's in-memory reference pass is timed
+///   alone, makespan = max(rank times) — the shuffle's scaling shape
+///   independent of host core count. Correctness gate: the per-rank
+///   passes together must mark exactly as many duplicates as the
+///   sequential pass.
+/// * **Spill-threshold sweep** — the thread-parallel streaming engine
+///   runs under budgets from "never spill" down to an eighth of the
+///   input's gauge working set; each run must produce output identical
+///   to the in-memory reference while spill runs, merge fan-in, and the
+///   buffered-bytes peak track the budget.
+///
+/// Writes `BENCH_collate.json` and returns a rendered table.
+pub fn collate_bench(cfg: &ExperimentConfig) -> Result<String> {
+    use ngs_collate::{keys, reference_run, CollateConfig, Collator, Workload};
+    use ngs_formats::record::AlignmentRecord;
+    use ngs_pipeline::{Cost, PipelineConfig};
+    use ngs_simgen::{Dataset, DatasetSpec, ReadProfile};
+
+    const RANK_AXIS: [usize; 5] = [1, 2, 4, 8, 16];
+    const WORKLOAD: Workload = Workload::MarkDup;
+    let records = cfg.scale.pipeline_records();
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: records,
+        n_chroms: 3,
+        seed: 20140519,
+        profile: ReadProfile { duplicate_rate: 0.15, ..Default::default() },
+        ..Default::default()
+    });
+    let header = ds.header();
+    let n = ds.records.len();
+
+    // Sequential baseline: the in-memory reference pass over everything.
+    // Its output is also the identity oracle for the spill sweep.
+    let (expected, seq_counts) = reference_run(&header, &ds.records, WORKLOAD);
+    let seq = cfg.best_of(|| {
+        let t = Instant::now();
+        std::hint::black_box(reference_run(&header, &ds.records, WORKLOAD));
+        Ok(t.elapsed())
+    })?;
+
+    let mut table = String::from("Collate shuffle: duplicate marking over the regroup stage\n");
+    table.push_str(&format!(
+        "{n} records ({} duplicates), sequential reference pass {seq:.2?}\n",
+        seq_counts.duplicates_marked
+    ));
+
+    // Simulated-cluster scaling: key-disjoint partitions, per-rank
+    // passes timed alone, makespan = max.
+    let key_fn = keys::key_fn_for(WORKLOAD, std::sync::Arc::new(header.clone()));
+    table.push_str("simulated shuffle scaling (makespan = max rank time):\n");
+    table.push_str("        ranks  makespan    speedup\n");
+    let mut scaling_rows = Vec::new();
+    for &ranks in &RANK_AXIS {
+        let mut parts: Vec<Vec<AlignmentRecord>> = vec![Vec::new(); ranks];
+        for r in &ds.records {
+            let slot = (keys::fnv1a64(&key_fn(r)) % ranks as u64) as usize;
+            parts[slot].push(r.clone());
+        }
+        let mut makespan = Duration::ZERO;
+        for part in &parts {
+            let t = cfg.best_of(|| {
+                let t = Instant::now();
+                std::hint::black_box(reference_run(&header, part, WORKLOAD));
+                Ok(t.elapsed())
+            })?;
+            makespan = makespan.max(t);
+        }
+        let total_marked: u64 = parts
+            .iter()
+            .map(|p| reference_run(&header, p, WORKLOAD).1.duplicates_marked)
+            .sum();
+        if total_marked != seq_counts.duplicates_marked {
+            return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                "{ranks}-rank partition marked {total_marked} duplicates, sequential marked {}",
+                seq_counts.duplicates_marked
+            )));
+        }
+        let speedup = seq.as_secs_f64() / makespan.as_secs_f64().max(1e-12);
+        table.push_str(&format!("{ranks:>13}  {makespan:>8.2?}  {speedup:>8.2}x\n"));
+        scaling_rows.push(format!(
+            "    {{\"ranks\": {ranks}, \"makespan_seconds\": {:.6}, \"speedup\": {speedup:.3}}}",
+            makespan.as_secs_f64(),
+        ));
+    }
+
+    // Spill-threshold sweep: thread-parallel engine, identity-gated.
+    let working_set = AlignmentRecord::slice_cost(&ds.records);
+    let budgets: [u64; 4] = [0, working_set / 2, working_set / 4, working_set / 8];
+    let spill_root = cfg.cache.scratch("collate-spill")?;
+    table.push_str(&format!(
+        "spill-threshold sweep ({working_set}-byte working set, 4 workers):\n"
+    ));
+    table.push_str("       budget    rec/s   runs  fan-in  peak buffered\n");
+    let mut sweep_rows = Vec::new();
+    for (i, &budget) in budgets.iter().enumerate() {
+        let collator = Collator::new(CollateConfig {
+            pipeline: PipelineConfig::with_workers(4),
+            spill_budget: budget,
+            spill_dir: (budget > 0).then(|| spill_root.join(format!("budget-{i}"))),
+            ..Default::default()
+        });
+        let mut best = Duration::MAX;
+        let mut stats = None;
+        for _ in 0..cfg.repeats.max(1) {
+            let mut out = Vec::with_capacity(n);
+            let t = Instant::now();
+            let run = collator.run_records(&header, ds.records.clone(), WORKLOAD, &mut |r| {
+                out.push(r);
+                Ok(())
+            })?;
+            best = best.min(t.elapsed());
+            if out != expected {
+                return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                    "budget {budget}: streaming output diverged from the reference"
+                )));
+            }
+            stats = Some(run);
+        }
+        let run = stats.ok_or_else(|| {
+            ngs_formats::error::Error::InvalidRecord("no repeats configured".into())
+        })?;
+        let spill_runs =
+            run.regroup.spill_runs + run.restore.as_ref().map_or(0, |r| r.spill_runs);
+        let spilled_bytes =
+            run.regroup.spilled_bytes + run.restore.as_ref().map_or(0, |r| r.spilled_bytes);
+        let peak = run
+            .regroup
+            .peak_buffered_bytes
+            .max(run.restore.as_ref().map_or(0, |r| r.peak_buffered_bytes));
+        let rps = n as f64 / best.as_secs_f64().max(1e-12);
+        table.push_str(&format!(
+            "{budget:>13}  {rps:>7.0}  {spill_runs:>5}  {:>6}  {peak:>10} B\n",
+            run.regroup.merge_fan_in
+        ));
+        sweep_rows.push(format!(
+            "    {{\"budget_bytes\": {budget}, \"seconds\": {:.6}, \
+             \"records_per_sec\": {rps:.2}, \"spill_runs\": {spill_runs}, \
+             \"spilled_bytes\": {spilled_bytes}, \"merge_fan_in\": {}, \
+             \"peak_buffered_bytes\": {peak}}}",
+            best.as_secs_f64(),
+            run.regroup.merge_fan_in,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"collate_shuffle\",\n  \"workload\": \"markdup\",\n  \
+         \"records\": {n},\n  \"duplicates_marked\": {},\n  \
+         \"sequential_seconds\": {:.6},\n  \"working_set_bytes\": {working_set},\n  \
+         \"simulated_scaling\": [\n{}\n  ],\n  \"spill_sweep\": [\n{}\n  ]\n}}\n",
+        seq_counts.duplicates_marked,
+        seq.as_secs_f64(),
+        scaling_rows.join(",\n"),
+        sweep_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_collate.json", json)?;
+    table.push_str("JSON written to BENCH_collate.json\n");
+    Ok(table)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

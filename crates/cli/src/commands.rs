@@ -15,7 +15,8 @@ use ngs_simgen::{Dataset, DatasetSpec};
 use ngs_stats::{
     build_fdr_input, fdr_fused, nlmeans_sequential, CoverageHistogram, NlMeansParams, NullModel,
 };
-use ngs_tools::{cat_bam_parts, cat_sam_parts, depth, flagstat, sort_records, SortOrder};
+use ngs_collate::{CollateConfig, Collator, SortBy, Workload};
+use ngs_tools::{cat_bam_parts, cat_sam_parts, depth, flagstat};
 
 use crate::args::{ArgError, Args};
 
@@ -99,17 +100,22 @@ fn print_report(report: &ConvertReport) -> CmdResult {
     Ok(())
 }
 
-/// `ngsp generate --records N --out FILE [--chroms C] [--sorted] [--seed S]`
+/// `ngsp generate --records N --out FILE [--chroms C] [--sorted] [--seed S]
+///  [--duplicates F]`
 pub fn generate(args: &Args) -> CmdResult {
     let records: usize = args.get_required("records")?;
     let out = args.required("out")?;
+    let duplicates: f64 = args.get_or("duplicates", 0.0)?;
+    if !(0.0..=1.0).contains(&duplicates) {
+        return Err(err("--duplicates must be in [0, 1]"));
+    }
     let spec = DatasetSpec {
         n_records: records,
         n_chroms: args.get_or("chroms", 3usize)?,
         chr1_len: args.get_or("chr1-len", (records as u64 * 40).max(100_000))?,
         seed: args.get_or("seed", 20140519u64)?,
         coordinate_sorted: args.switch("sorted"),
-        ..Default::default()
+        profile: ngs_simgen::ReadProfile { duplicate_rate: duplicates, ..Default::default() },
     };
     let ds = Dataset::generate(&spec);
     let bytes = if out.ends_with(".bam") {
@@ -225,36 +231,103 @@ pub fn flagstat_cmd(args: &Args) -> CmdResult {
 
 /// `ngsp sort INPUT --out FILE [--by coord|name]`
 pub fn sort_cmd(args: &Args) -> CmdResult {
-    let input = args.one_positional("input file")?;
-    let out = args.required("out")?;
-    let order = match args.optional("by").unwrap_or("coord") {
-        "coord" | "coordinate" => SortOrder::Coordinate,
-        "name" | "queryname" => SortOrder::QueryName,
+    let workload = match args.optional("by").unwrap_or("coord") {
+        "coord" | "coordinate" => Workload::Sort(SortBy::Coordinate),
+        "name" | "queryname" => Workload::Sort(SortBy::QueryName),
         other => return Err(err(format!("unknown sort order {other:?}"))),
     };
-    let (header, mut records) = read_alignments(input)?;
-    sort_records(&mut records, &header, order);
+    collate_run(args, workload)
+}
 
-    if out.ends_with(".bam") {
+/// `ngsp collate INPUT --out FILE [--workers N] [--batch B]
+/// [--spill-budget BYTES] [--spill-dir DIR]`
+pub fn collate_cmd(args: &Args) -> CmdResult {
+    collate_run(args, Workload::Collate)
+}
+
+/// `ngsp markdup INPUT --out FILE [--workers N] [--batch B]
+/// [--spill-budget BYTES] [--spill-dir DIR]`
+pub fn markdup_cmd(args: &Args) -> CmdResult {
+    collate_run(args, Workload::MarkDup)
+}
+
+/// Shared driver for `collate`, `markdup`, and `sort`: reads the input,
+/// streams it through the keyed regroup engine (DESIGN.md §10), and
+/// writes SAM or BAM by output extension. With `--spill-budget` the
+/// shuffle buffers at most that many gauge bytes, spilling sorted runs
+/// to a crash-safe repository under `--spill-dir` (default `OUT.spill`,
+/// removed again after a clean run).
+fn collate_run(args: &Args, workload: Workload) -> CmdResult {
+    let input = args.one_positional("input file")?;
+    let out = args.required("out")?;
+    let (header, records) = read_alignments(input)?;
+
+    let spill_budget: u64 = args.get_or("spill-budget", 0u64)?;
+    let spill_dir_flag = args.optional("spill-dir").map(std::path::PathBuf::from);
+    let default_spill = std::path::PathBuf::from(format!("{out}.spill"));
+    let config = CollateConfig {
+        pipeline: ngs_core::pipeline::PipelineConfig {
+            workers: args.get_or("workers", ngs_core::pipeline::PipelineConfig::default().workers)?,
+            batch_size: args.get_or("batch", 256usize)?,
+            ..Default::default()
+        },
+        spill_budget,
+        spill_dir: (spill_budget > 0)
+            .then(|| spill_dir_flag.clone().unwrap_or_else(|| default_spill.clone())),
+        ..Default::default()
+    };
+    let collator = Collator::new(config);
+
+    let run = if out.ends_with(".bam") {
         let mut w = ngs_formats::bam::BamWriter::new(
             std::io::BufWriter::new(std::fs::File::create(out)?),
-            header,
+            header.clone(),
         )?;
-        for r in &records {
-            w.write_record(r)?;
-        }
+        let run =
+            collator.run_records(&header, records, workload, &mut |r| w.write_record(&r))?;
         w.finish()?;
+        run
     } else {
         let mut w = ngs_formats::sam::SamWriter::new(
             std::io::BufWriter::new(std::fs::File::create(out)?),
             &header,
         )?;
-        for r in &records {
-            w.write_record(r)?;
-        }
+        let run =
+            collator.run_records(&header, records, workload, &mut |r| w.write_record(&r))?;
         w.finish()?;
+        run
+    };
+    if spill_budget > 0 && spill_dir_flag.is_none() {
+        // Clean run: the default scratch repository is no longer needed.
+        let _ = std::fs::remove_dir_all(&default_spill);
     }
-    outln!("sorted {} records into {out}", records.len())?;
+
+    let spilled = run.regroup.spill_runs + run.restore.as_ref().map_or(0, |r| r.spill_runs);
+    let spill_note = if spilled > 0 {
+        format!(
+            ", {spilled} spilled run(s) ({} bytes, merge fan-in {})",
+            run.regroup.spilled_bytes + run.restore.as_ref().map_or(0, |r| r.spilled_bytes),
+            run.regroup.merge_fan_in
+        )
+    } else {
+        String::new()
+    };
+    match workload {
+        Workload::Collate => outln!(
+            "collated {} records into {out}: {} pair(s) joined, {} singleton(s){spill_note}",
+            run.records_out,
+            run.counts.pairs_joined,
+            run.counts.singletons
+        )?,
+        Workload::MarkDup => outln!(
+            "marked {} duplicate(s) across {} records into {out}{spill_note}",
+            run.counts.duplicates_marked,
+            run.records_out
+        )?,
+        Workload::Sort(_) => {
+            outln!("sorted {} records into {out}{spill_note}", run.records_out)?
+        }
+    }
     Ok(())
 }
 
@@ -787,10 +860,11 @@ pub fn query_cmd(args: &Args) -> CmdResult {
 /// Runs a self-contained instrumented smoke workload — synthesize a
 /// dataset, preprocess it into crash-safe shards (BGZF-compressed, so
 /// the codec counters move), stream one shard through the pipeline
-/// convert graph, then serve convert + coverage queries over the shard
-/// directory — and renders the unified `ngs-obs` registry: the shared
-/// workload registry (query/store/pipeline) merged with the global one
-/// (BGZF codec, shard repository).
+/// convert graph, serve convert + coverage queries over the shard
+/// directory, then run a duplicate-marking collate pass with forced
+/// spilling — and renders the unified `ngs-obs` registry: the shared
+/// workload registry (query/store/pipeline/collate) merged with the
+/// global one (BGZF codec, shard repository).
 pub fn stats_cmd(args: &Args) -> CmdResult {
     use ngs_core::pipeline::{Pipeline, PipelineConfig};
     use ngs_query::{EngineConfig, QueryEngine, QueryKind, QueryRequest};
@@ -856,13 +930,36 @@ pub fn stats_cmd(args: &Args) -> CmdResult {
     }
     drop(engine);
 
+    // Collate smoke: duplicate marking through the keyed regroup engine
+    // with a forced spill, so the `collate.*` names (spill counters
+    // included) land in the registry. A ManualClock keeps the run's
+    // duration histogram deterministic.
+    let collate_ds = Dataset::generate(&DatasetSpec {
+        profile: ngs_simgen::ReadProfile { duplicate_rate: 0.1, ..Default::default() },
+        ..spec
+    });
+    let collate_header = collate_ds.header();
+    let collator = Collator::with_clock(
+        CollateConfig {
+            spill_budget: 64 * 1024,
+            spill_dir: Some(tmp.path().join("collate-spill")),
+            obs: Some(Arc::clone(&registry)),
+            ..Default::default()
+        },
+        Arc::new(ngs_obs::ManualClock::new()),
+    );
+    collator.run_records(&collate_header, collate_ds.records, Workload::MarkDup, &mut |_| {
+        Ok(())
+    })?;
+
     let mut snapshot = ngs_obs::global().snapshot();
     snapshot.merge(&registry.snapshot());
     if args.switch("json") {
         outln!("{}", snapshot.render_json().trim_end())?;
     } else {
         outln!(
-            "instrumented smoke workload: {records} records, {} shards, 1 pipeline run, {} queries",
+            "instrumented smoke workload: {records} records, {} shards, 1 pipeline run, \
+             1 collate run, {} queries",
             prep.shards.len(),
             snapshot.counters.get("query.submitted").copied().unwrap_or(0),
         )?;
@@ -1097,6 +1194,12 @@ pub fn chaos_cmd(args: &Args) -> CmdResult {
 /// A second sweep kills a *rank-count-change* rerun at byte offsets of
 /// its publication stream — covering the prune / meta-rewrite / rebuild
 /// window — and asserts resume never serves shards from the old layout.
+///
+/// A third sweep targets the collate shuffle (DESIGN.md §10): power
+/// cuts at byte offsets of a spilling duplicate-marking run's spill
+/// stream, plus merge-consumer kills partway through the merged output.
+/// After every cut the spill repositories must verify clean and a rerun
+/// over the same directory must be byte-identical.
 fn chaos_crash(args: &Args) -> CmdResult {
     use ngs_bamx::repo::ShardRepo;
     use ngs_converter::MemSource;
@@ -1340,9 +1443,144 @@ fn chaos_crash(args: &Args) -> CmdResult {
         ranks + 1
     )?;
 
+    // --- Collate spill / merge kill points ---------------------------------
+    // The regroup shuffle publishes every spilled run through the same
+    // temp+rename manifest protocol (DESIGN.md §10.3). Kill the writer
+    // at swept byte offsets of its spill stream, reopen, and assert the
+    // spill repositories verify clean and a rerun over the same
+    // directory is byte-identical. A second sweep kills the *merge
+    // consumer* after k emitted records — the merge is read-only, so
+    // the repositories must stay clean there too.
+    let dup_ds = Dataset::generate(&DatasetSpec {
+        n_records: records,
+        n_chroms: 2,
+        seed,
+        profile: ngs_simgen::ReadProfile { duplicate_rate: 0.15, ..Default::default() },
+        ..Default::default()
+    });
+    let header = dup_ds.header();
+    let collate_config = |spill_dir: std::path::PathBuf,
+                          fs: Option<Arc<dyn ngs_bamx::repo::RepoFs>>| CollateConfig {
+        spill_budget: 4_000,
+        spill_dir: Some(spill_dir),
+        spill_fs: fs,
+        ..Default::default()
+    };
+    let run_markdup = |config: CollateConfig| -> Result<Vec<AlignmentRecord>, Box<dyn std::error::Error>> {
+        let mut out = Vec::new();
+        Collator::new(config).run_records(&header, dup_ds.records.clone(), Workload::MarkDup, &mut |r| {
+            out.push(r);
+            Ok(())
+        })?;
+        Ok(out)
+    };
+
+    // Instrumented fault-free reference: learn the spill stream length
+    // and the expected output.
+    let spill_ref = dir.path().join("collate-ref");
+    let fs = FaultyFs::new(FaultPlan::none());
+    let spill_state = Arc::clone(fs.state());
+    let expected_out = run_markdup(collate_config(spill_ref.clone(), Some(Arc::new(fs))))?;
+    let spill_total = spill_state.written();
+    if spill_total == 0 {
+        return Err(err("collate crash sweep: the budget did not force spilling"));
+    }
+
+    let spill_points = points.clamp(4, 10);
+    let mut spill_offsets: Vec<u64> =
+        (0..spill_points).map(|p| 1 + spill_total * p / spill_points).collect();
+    spill_offsets.push(spill_total.saturating_sub(1));
+    spill_offsets.dedup();
+    let verify_spill_repos = |spill_dir: &Path| -> CmdResult {
+        for phase in ["markdup", "restore"] {
+            let phase_dir = spill_dir.join(phase);
+            // A crash can land before a phase publishes anything.
+            if !ngs_bamx::repo::ShardRepo::is_managed(&phase_dir) {
+                continue;
+            }
+            let repo = ngs_bamx::repo::ShardRepo::open(&phase_dir)?;
+            let report = repo.verify()?;
+            if !report.is_clean() {
+                return Err(err(format!(
+                    "collate spill repo {phase:?} damaged after kill: {:?}",
+                    report.damaged
+                )));
+            }
+            repo.clean_stray_temps()?;
+        }
+        Ok(())
+    };
+    let mut spill_kills = 0u64;
+    for (p, offset) in spill_offsets.iter().copied().enumerate() {
+        let spill_dir = dir.path().join(format!("collate-crash-{p}"));
+        let plan = FaultPlan::new(vec![Fault::CrashAtByte { offset }]);
+        let killed = run_markdup(collate_config(
+            spill_dir.clone(),
+            Some(Arc::new(FaultyFs::new(plan))),
+        ));
+        if killed.is_err() {
+            spill_kills += 1;
+        } else {
+            return Err(err(format!(
+                "collate spill point {p} (byte {offset} of {spill_total}): run survived \
+                 its own crash"
+            )));
+        }
+        verify_spill_repos(&spill_dir)?;
+        // Rerun over the surviving directory: deterministic run names
+        // republish through the manifest; output must be byte-identical.
+        let rerun = run_markdup(collate_config(spill_dir.clone(), None))?;
+        if rerun != expected_out {
+            return Err(err(format!(
+                "collate spill point {p} (byte {offset}): rerun output diverged"
+            )));
+        }
+        verify_spill_repos(&spill_dir)?;
+    }
+
+    // Merge-kill: fail the emit sink partway through the merged stream.
+    let mut merge_kills = 0u64;
+    for (p, keep) in [1u64, records as u64 / 2, records as u64 - 1].iter().enumerate() {
+        let spill_dir = dir.path().join(format!("collate-merge-kill-{p}"));
+        let mut emitted = 0u64;
+        let run = Collator::new(collate_config(spill_dir.clone(), None)).run_records(
+            &header,
+            dup_ds.records.clone(),
+            Workload::MarkDup,
+            &mut |_| {
+                if emitted == *keep {
+                    return Err(ngs_formats::Error::InvalidRecord(
+                        "injected merge-consumer kill".into(),
+                    ));
+                }
+                emitted += 1;
+                Ok(())
+            },
+        );
+        if run.is_err() {
+            merge_kills += 1;
+        } else {
+            return Err(err(format!(
+                "collate merge kill {p} (after {keep} records): run survived its own kill"
+            )));
+        }
+        verify_spill_repos(&spill_dir)?;
+        let rerun = run_markdup(collate_config(spill_dir.clone(), None))?;
+        if rerun != expected_out {
+            return Err(err(format!(
+                "collate merge kill {p}: rerun output diverged"
+            )));
+        }
+    }
+    outln!(
+        "collate kill matrix: {spill_kills} spill-stream power cuts \
+         ({spill_total}-byte stream) + {merge_kills} merge-consumer kills -> every spill \
+         repository reopened clean, reruns byte-identical"
+    )?;
+
     outln!(
         "chaos --crash: all checks passed ({} crash points, seed {seed})",
-        offsets.len() + meta_offsets.len()
+        offsets.len() + meta_offsets.len() + spill_offsets.len() + 3
     )?;
     Ok(())
 }

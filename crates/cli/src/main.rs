@@ -14,6 +14,7 @@ USAGE:
 COMMANDS:
   generate    synthesize a SAM/BAM dataset
               --records N --out FILE [--chroms C] [--sorted] [--seed S]
+              [--duplicates F]  (PCR-duplicate fraction, 0..1)
   convert     convert SAM/BAM into another format, in parallel
               INPUT --to FMT --out DIR [--ranks N] [--region R]
               [--instance sam|bam|samx] [--trace FILE]
@@ -23,7 +24,16 @@ COMMANDS:
               INPUT.bam [--out FILE.nbai]
   view        print records as SAM, optionally region-restricted
               INPUT [REGION]   (uses INPUT.nbai when present)
-  sort        sort records   INPUT --out FILE [--by coord|name]
+  sort        sort records through the spill-to-disk regroup engine
+              INPUT --out FILE [--by coord|name] [--workers N]
+              [--batch B] [--spill-budget BYTES] [--spill-dir DIR]
+  collate     group mates adjacently by read name (pairs joined,
+              singletons pass through)   INPUT --out FILE
+              [--workers N] [--batch B] [--spill-budget BYTES]
+              [--spill-dir DIR]
+  markdup     mark duplicates by alignment signature, input order
+              preserved   INPUT --out FILE [--workers N] [--batch B]
+              [--spill-budget BYTES] [--spill-dir DIR]
   merge       stitch converter part files   --out FILE PART...
   flagstat    samtools-flagstat-style summary   INPUT
   depth       per-chromosome coverage depth   INPUT [--window W]
@@ -55,8 +65,9 @@ COMMANDS:
               (byte-level corruption, engine retry byte-identity,
                shard-store quarantine; exits nonzero on any violation)
               --crash [--points N] [--records R] [--ranks M] [--seed S]
-              (power-cut matrix: kill preprocessing at every byte
-               offset, reopen, resume, assert byte-identical recovery)
+              (power-cut matrix: kill preprocessing and collate
+               spill/merge at swept byte offsets, reopen, resume,
+               assert byte-identical recovery)
   verify      integrity-scan a manifest-managed shard directory
               SHARD_DIR   (exits nonzero if any artifact is damaged)
   repair      re-derive damaged shards from the original input
@@ -118,6 +129,8 @@ fn main() {
         "index" => commands::index_cmd(&args),
         "view" => commands::view_cmd(&args),
         "sort" => commands::sort_cmd(&args),
+        "collate" => commands::collate_cmd(&args),
+        "markdup" => commands::markdup_cmd(&args),
         "merge" => commands::merge_cmd(&args),
         "flagstat" => commands::flagstat_cmd(&args),
         "depth" => commands::depth_cmd(&args),

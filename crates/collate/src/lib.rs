@@ -1,0 +1,54 @@
+//! # ngs-collate
+//!
+//! Keyed regroup workloads over the `ngs-pipeline` shuffle platform
+//! (DESIGN.md §10): the post-conversion stages users chain after BAM
+//! conversion — read-pair collation, duplicate marking, and
+//! name/coordinate sort — built as thin group-processing passes over
+//! one external-merge regroup stage with crash-safe spill-to-repo.
+//!
+//! * [`keys`] — the pure per-record key functions (QNAME hash
+//!   collation, duplicate signatures, coordinate/name sort keys).
+//! * [`codec`] — BAM-body spill encoding (exact round-trip).
+//! * [`workloads`] — group logic shared verbatim by the streaming
+//!   engine and the in-memory [`reference_run`] the equivalence suites
+//!   compare against.
+//! * [`engine`] — [`Collator`]: graph → regroup → group loop, with
+//!   `collate.*` metrics on an injected `ngs-obs` registry.
+//!
+//! Every workload's streaming output is byte-identical to
+//! [`reference_run`] for any worker count, batch size, and spill budget
+//! (`tests/collate_identity.rs` proptests it, including under seeded
+//! `ngs-fault` plans).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod codec;
+pub mod engine;
+pub mod keys;
+pub mod workloads;
+
+pub use codec::RecordCodec;
+pub use engine::{CollateConfig, CollateRun, Collator};
+pub use workloads::{reference_run, WorkloadCounts};
+
+/// The sort orders of the sort/merge workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortBy {
+    /// `(reference id, position)`, unmapped last — `SO:coordinate`.
+    Coordinate,
+    /// Lexicographic QNAME, first-of-pair before second — `SO:queryname`.
+    QueryName,
+}
+
+/// The three workloads built on the regroup stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Mate join by QNAME: pairs emitted adjacently, singletons pass
+    /// through.
+    Collate,
+    /// Deterministic duplicate marking by alignment signature; input
+    /// order preserved.
+    MarkDup,
+    /// Total sort with k-way merge of spilled runs.
+    Sort(SortBy),
+}

@@ -1,0 +1,249 @@
+//! Group-processing logic shared by the streaming engine and the
+//! in-memory reference implementations — byte-identity between the two
+//! paths is guaranteed by construction because they call the *same*
+//! functions on the *same* `(key, seq)`-ordered groups.
+
+use ngs_formats::header::SamHeader;
+use ngs_formats::record::AlignmentRecord;
+use ngs_formats::Flags;
+
+use crate::keys;
+use crate::{SortBy, Workload};
+
+/// Workload-specific tallies of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkloadCounts {
+    /// First/second mates the collation joined into adjacent pairs.
+    pub pairs_joined: u64,
+    /// Records emitted outside a joined pair (collation only).
+    pub singletons: u64,
+    /// Records whose DUPLICATE flag this run set.
+    pub duplicates_marked: u64,
+}
+
+/// Reorders one QNAME group for pair collation: joined (first, second)
+/// pairs lead, then unpaired firsts, unpaired seconds, and everything
+/// else, each in arrival order. Returns emission order as indices into
+/// `group`.
+pub fn collate_group_order(group: &[AlignmentRecord], counts: &mut WorkloadCounts) -> Vec<usize> {
+    let mut firsts = Vec::new();
+    let mut seconds = Vec::new();
+    let mut rest = Vec::new();
+    for (i, rec) in group.iter().enumerate() {
+        let first = rec.flag.contains(Flags::FIRST_IN_PAIR);
+        let second = rec.flag.contains(Flags::SECOND_IN_PAIR);
+        if rec.flag.is_paired() && first && !second {
+            firsts.push(i);
+        } else if rec.flag.is_paired() && second && !first {
+            seconds.push(i);
+        } else {
+            rest.push(i);
+        }
+    }
+    let joined = firsts.len().min(seconds.len());
+    let mut order = Vec::with_capacity(group.len());
+    for i in 0..joined {
+        order.push(firsts[i]);
+        order.push(seconds[i]);
+    }
+    order.extend_from_slice(&firsts[joined..]);
+    order.extend_from_slice(&seconds[joined..]);
+    order.extend_from_slice(&rest);
+    counts.pairs_joined += joined as u64;
+    counts.singletons += (group.len() - 2 * joined) as u64;
+    order
+}
+
+/// Summed base quality of a record — the duplicate-marking fitness
+/// score (raw Phred values, missing qualities score 0).
+pub fn summed_quality(rec: &AlignmentRecord) -> u64 {
+    rec.qual.iter().map(|&q| u64::from(q)).sum()
+}
+
+/// Marks duplicates within one signature group, in place over
+/// `(seq, record)` pairs: the best record — highest summed base
+/// quality, ties to the lexicographically smallest QNAME, then the
+/// smallest arrival seq — survives; every other member gets the
+/// DUPLICATE flag. Single-member and exempt groups pass unchanged.
+/// The tie-break chain makes the winner scheduling-independent.
+pub fn markdup_group(
+    key: &[u8],
+    group: &mut [(u64, AlignmentRecord)],
+    counts: &mut WorkloadCounts,
+) {
+    if group.len() < 2 || !keys::is_markable_signature(key) {
+        return;
+    }
+    let mut best = 0usize;
+    for i in 1..group.len() {
+        let (bq, bi) = (summed_quality(&group[best].1), best);
+        let qi = summed_quality(&group[i].1);
+        let better = qi > bq
+            || (qi == bq
+                && (group[i].1.qname < group[bi].1.qname
+                    || (group[i].1.qname == group[bi].1.qname && group[i].0 < group[bi].0)));
+        if better {
+            best = i;
+        }
+    }
+    for (i, (_, rec)) in group.iter_mut().enumerate() {
+        if i != best {
+            rec.flag = Flags(rec.flag.0 | Flags::DUPLICATE.0);
+            counts.duplicates_marked += 1;
+        }
+    }
+}
+
+/// In-memory reference implementation: the exact output the streaming
+/// engine must reproduce byte-for-byte for any worker count, batch
+/// size, or spill budget. Stable-sorts `(key, arrival index)` — the
+/// same total order the regrouper merges into — then applies the same
+/// group logic.
+pub fn reference_run(
+    header: &SamHeader,
+    records: &[AlignmentRecord],
+    workload: Workload,
+) -> (Vec<AlignmentRecord>, WorkloadCounts) {
+    let key_fn = keys::key_fn_for(workload, std::sync::Arc::new(header.clone()));
+    let mut keyed: Vec<(Vec<u8>, u64, AlignmentRecord)> = records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (key_fn(r), i as u64, r.clone()))
+        .collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut counts = WorkloadCounts::default();
+    match workload {
+        Workload::Sort(SortBy::Coordinate) | Workload::Sort(SortBy::QueryName) => {
+            (keyed.into_iter().map(|(_, _, r)| r).collect(), counts)
+        }
+        Workload::Collate => {
+            let mut out = Vec::with_capacity(keyed.len());
+            let mut i = 0;
+            while i < keyed.len() {
+                let mut j = i + 1;
+                while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+                    j += 1;
+                }
+                let group: Vec<AlignmentRecord> =
+                    keyed[i..j].iter().map(|(_, _, r)| r.clone()).collect();
+                for idx in collate_group_order(&group, &mut counts) {
+                    out.push(group[idx].clone());
+                }
+                i = j;
+            }
+            (out, counts)
+        }
+        Workload::MarkDup => {
+            let mut decided: Vec<(u64, AlignmentRecord)> = Vec::with_capacity(keyed.len());
+            let mut i = 0;
+            while i < keyed.len() {
+                let mut j = i + 1;
+                while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+                    j += 1;
+                }
+                let key = keyed[i].0.clone();
+                let mut group: Vec<(u64, AlignmentRecord)> =
+                    keyed[i..j].iter().map(|(_, s, r)| (*s, r.clone())).collect();
+                markdup_group(&key, &mut group, &mut counts);
+                decided.extend(group);
+                i = j;
+            }
+            // Restore arrival order — markdup output keeps input order.
+            decided.sort_by_key(|(s, _)| *s);
+            (decided.into_iter().map(|(_, r)| r).collect(), counts)
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use ngs_simgen::{Dataset, DatasetSpec, ReadProfile};
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::generate(&DatasetSpec {
+            n_records: n,
+            profile: ReadProfile { duplicate_rate: 0.1, ..Default::default() },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn collate_reference_joins_pairs_adjacent() {
+        let ds = dataset(400);
+        let (out, counts) = reference_run(&ds.header(), &ds.records, Workload::Collate);
+        assert_eq!(out.len(), ds.records.len());
+        assert!(counts.pairs_joined > 0);
+        // Every joined position i (even, within a pair) shares QNAME
+        // with i+1 and has the first/second bits in order.
+        let mut i = 0;
+        let mut seen_pairs = 0;
+        while i + 1 < out.len() {
+            if out[i].qname == out[i + 1].qname
+                && out[i].flag.contains(Flags::FIRST_IN_PAIR)
+                && out[i + 1].flag.contains(Flags::SECOND_IN_PAIR)
+            {
+                seen_pairs += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        assert_eq!(seen_pairs, counts.pairs_joined);
+    }
+
+    #[test]
+    fn markdup_reference_preserves_order_and_marks() {
+        let ds = dataset(600);
+        let (out, counts) = reference_run(&ds.header(), &ds.records, Workload::MarkDup);
+        assert_eq!(out.len(), ds.records.len());
+        assert!(counts.duplicates_marked > 0, "duplicate_rate 0.1 must produce marks");
+        // Order preserved: non-flag fields match input pointwise.
+        for (a, b) in out.iter().zip(&ds.records) {
+            assert_eq!(a.qname, b.qname);
+            assert_eq!(a.pos, b.pos);
+            assert_eq!(a.flag.0 & !Flags::DUPLICATE.0, b.flag.0 & !Flags::DUPLICATE.0);
+        }
+        // Marks are new — input had none.
+        assert!(ds.records.iter().all(|r| !r.flag.contains(Flags::DUPLICATE)));
+    }
+
+    #[test]
+    fn markdup_best_of_group_survives() {
+        let ds = dataset(600);
+        let header = ds.header();
+        let (out, _) = reference_run(&header, &ds.records, Workload::MarkDup);
+        // Recompute groups; in each markable group exactly one survivor,
+        // and no marked record outscores it.
+        use std::collections::HashMap;
+        let mut groups: HashMap<Vec<u8>, Vec<&AlignmentRecord>> = HashMap::new();
+        for r in &out {
+            let k = keys::signature_key(&header, r);
+            if keys::is_markable_signature(&k) {
+                groups.entry(k).or_default().push(r);
+            }
+        }
+        for (_, members) in groups {
+            let survivors: Vec<_> =
+                members.iter().filter(|r| !r.flag.contains(Flags::DUPLICATE)).collect();
+            assert_eq!(survivors.len(), 1, "exactly one survivor per group");
+            let best = summed_quality(survivors[0]);
+            for m in &members {
+                if m.flag.contains(Flags::DUPLICATE) {
+                    assert!(summed_quality(m) <= best);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_reference_orders_coordinates() {
+        let ds = dataset(300);
+        let header = ds.header();
+        let (out, _) = reference_run(&header, &ds.records, Workload::Sort(SortBy::Coordinate));
+        let keys: Vec<_> = out.iter().map(|r| keys::coord_key(&header, r)).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,380 @@
+//! Streaming-vs-reference equivalence for every collate workload.
+//!
+//! The contract under test (ISSUE / DESIGN.md §10): for **any** worker
+//! count, batch size, and spill budget, `Collator::run_records` output
+//! is byte-identical (BAM body encoding) to the in-memory
+//! [`reference_run`]; when spilling is forced, the `MemoryGauge` peak
+//! stays under the budget plus a constant merge overhead and every
+//! spilled run publishes through a clean crash-safe manifest; seeded
+//! `ngs-fault` plans keep transient reads retried to identical output
+//! and structural corruption quarantined while the graph drains.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use ngs_bamx::repo::ShardRepo;
+use ngs_bamx::{BamxCompression, BamxFile};
+use ngs_collate::{keys, reference_run, CollateConfig, CollateRun, Collator, SortBy, Workload};
+use ngs_fault::{FaultPlan, FaultyFile};
+use ngs_formats::bam;
+use ngs_formats::header::SamHeader;
+use ngs_formats::record::AlignmentRecord;
+use ngs_pipeline::regroup::RegroupStats;
+use ngs_pipeline::{Cost, ManualClock, PipelineConfig, ShardInput};
+use ngs_simgen::{Dataset, DatasetSpec, ReadProfile};
+use proptest::prelude::*;
+use tempfile::tempdir;
+
+const WORKLOADS: [Workload; 4] = [
+    Workload::Collate,
+    Workload::MarkDup,
+    Workload::Sort(SortBy::Coordinate),
+    Workload::Sort(SortBy::QueryName),
+];
+
+fn dataset(n: usize, seed: u64, duplicate_rate: f64) -> Dataset {
+    Dataset::generate(&DatasetSpec {
+        n_records: n,
+        n_chroms: 2,
+        seed,
+        profile: ReadProfile { duplicate_rate, ..Default::default() },
+        ..Default::default()
+    })
+}
+
+fn collator(
+    workers: usize,
+    batch_size: usize,
+    spill_budget: u64,
+    spill_dir: Option<PathBuf>,
+) -> Collator {
+    let config = CollateConfig {
+        pipeline: PipelineConfig { workers, batch_size, channel_bound: 2, retry_attempts: 3 },
+        spill_budget,
+        spill_dir,
+        ..Default::default()
+    };
+    Collator::with_clock(config, Arc::new(ManualClock::new()))
+}
+
+fn run_collect(
+    c: &Collator,
+    header: &SamHeader,
+    records: &[AlignmentRecord],
+    workload: Workload,
+) -> (Vec<AlignmentRecord>, CollateRun) {
+    let mut out = Vec::new();
+    let run = c
+        .run_records(header, records.to_vec(), workload, &mut |r| {
+            out.push(r);
+            Ok(())
+        })
+        .unwrap();
+    (out, run)
+}
+
+/// BAM body encoding of a record stream — the byte-identity yardstick.
+fn encode_all(header: &SamHeader, records: &[AlignmentRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for r in records {
+        bam::encode_record(r, header, &mut buf).unwrap();
+    }
+    buf
+}
+
+/// The largest single-entry gauge charge a workload can see for these
+/// records (key bytes + record cost + the regrouper's per-entry
+/// overhead, which is < 64).
+fn max_entry_cost(header: &SamHeader, records: &[AlignmentRecord], workload: Workload) -> u64 {
+    let key_fn = keys::key_fn_for(workload, Arc::new(header.clone()));
+    records
+        .iter()
+        .map(|r| key_fn(r).len() as u64 + r.cost_bytes() + 64)
+        .max()
+        .unwrap_or(64)
+}
+
+fn assert_peak_bounded(
+    stats: &RegroupStats,
+    budget: u64,
+    merge_read_buffer: u64,
+    max_entry: u64,
+    what: &str,
+) {
+    let bound = budget + max_entry + stats.merge_fan_in * (merge_read_buffer + max_entry);
+    assert!(
+        stats.peak_buffered_bytes <= bound,
+        "{what}: peak {} exceeds budget-plus-overhead bound {} (budget {budget}, fan-in {})",
+        stats.peak_buffered_bytes,
+        bound,
+        stats.merge_fan_in,
+    );
+}
+
+/// Every workload, purely in memory: streaming output is byte-identical
+/// to the reference and the tallies line up.
+#[test]
+fn streaming_matches_reference_for_every_workload() {
+    let ds = dataset(600, 41, 0.15);
+    let header = ds.header();
+    for workload in WORKLOADS {
+        let (expected, ref_counts) = reference_run(&header, &ds.records, workload);
+        let (out, run) = run_collect(&collator(4, 64, 0, None), &header, &ds.records, workload);
+        assert_eq!(
+            encode_all(&header, &out),
+            encode_all(&header, &expected),
+            "{workload:?}: streaming must match the in-memory reference"
+        );
+        assert_eq!(run.counts, ref_counts, "{workload:?}: workload tallies");
+        assert_eq!(run.records_in, ds.records.len() as u64);
+        assert_eq!(run.records_out, ds.records.len() as u64);
+        assert_eq!(run.regroup.spill_runs, 0, "no spilling without a budget");
+        assert!(run.quarantined.is_empty());
+    }
+}
+
+/// Forced spilling: a tiny budget produces multiple runs, the merged
+/// output stays byte-identical, every run published through a clean
+/// manifest, and the gauge peak respects budget + constant overhead.
+#[test]
+fn forced_spill_is_byte_identical_manifest_clean_and_budget_bounded() {
+    let ds = dataset(500, 7, 0.2);
+    let header = ds.header();
+    let budget = 4_000u64;
+    for workload in WORKLOADS {
+        let dir = tempdir().unwrap();
+        let c = collator(3, 32, budget, Some(dir.path().to_path_buf()));
+        let merge_read_buffer = c.config.merge_read_buffer as u64;
+        let (expected, _) = reference_run(&header, &ds.records, workload);
+        let (out, run) = run_collect(&c, &header, &ds.records, workload);
+
+        assert_eq!(
+            encode_all(&header, &out),
+            encode_all(&header, &expected),
+            "{workload:?}: spilled output must match the in-memory reference"
+        );
+        assert!(run.regroup.spill_runs > 1, "{workload:?}: tiny budget must force spilling");
+        assert!(run.regroup.spilled_bytes > 0);
+        assert_eq!(run.regroup.run_bytes.len() as u64, run.regroup.spill_runs);
+        assert!(run.regroup.merge_fan_in >= run.regroup.spill_runs);
+
+        let max_entry = max_entry_cost(&header, &ds.records, workload);
+        assert_peak_bounded(&run.regroup, budget, merge_read_buffer, max_entry, "shuffle");
+        if let Some(restore) = &run.restore {
+            // Restore keys are 8 bytes — shuffle max_entry dominates.
+            assert_peak_bounded(restore, budget, merge_read_buffer, max_entry, "restore");
+        }
+
+        // Every spill phase left a crash-safe repository in a clean,
+        // fully-manifested state.
+        let spill_root = dir.path().join(workload.stem());
+        assert!(ShardRepo::is_managed(&spill_root), "{workload:?}: managed spill dir");
+        let repo = ShardRepo::open(&spill_root).unwrap();
+        let report = repo.verify().unwrap();
+        assert!(report.is_clean(), "{workload:?}: {report:?}");
+        if matches!(workload, Workload::MarkDup) {
+            let restore_root = dir.path().join("restore");
+            assert!(ShardRepo::is_managed(&restore_root));
+            assert!(ShardRepo::open(&restore_root).unwrap().verify().unwrap().is_clean());
+        }
+    }
+}
+
+/// Empty input: every workload emits nothing and never spills.
+#[test]
+fn empty_input_yields_empty_output() {
+    let ds = dataset(0, 3, 0.0);
+    let header = ds.header();
+    for workload in WORKLOADS {
+        let (out, run) = run_collect(&collator(2, 16, 0, None), &header, &[], workload);
+        assert!(out.is_empty(), "{workload:?}");
+        assert_eq!(run.records_out, 0);
+        assert_eq!(run.regroup.spill_runs, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property: for any worker count, batch size, and spill budget
+    /// (including forced-tiny ones), every workload's streaming output
+    /// is byte-identical to the in-memory reference.
+    #[test]
+    fn prop_output_independent_of_workers_batch_and_budget(
+        n_records in 1usize..300,
+        workers in 1usize..5,
+        batch_size in 1usize..128,
+        budget_choice in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let ds = dataset(n_records, seed, 0.12);
+        let header = ds.header();
+        let budget = [0u64, 1_500, 16_000][budget_choice];
+        let dir = tempdir().unwrap();
+        let spill_dir = (budget > 0).then(|| dir.path().to_path_buf());
+        for workload in WORKLOADS {
+            let (expected, ref_counts) = reference_run(&header, &ds.records, workload);
+            let c = collator(workers, batch_size, budget, spill_dir.clone());
+            let (out, run) = run_collect(&c, &header, &ds.records, workload);
+            prop_assert_eq!(
+                encode_all(&header, &out),
+                encode_all(&header, &expected),
+                "{:?} n={} workers={} batch={} budget={}",
+                workload, n_records, workers, batch_size, budget
+            );
+            prop_assert_eq!(run.counts, ref_counts);
+            prop_assert_eq!(run.records_out, ds.records.len() as u64);
+        }
+    }
+}
+
+/// Writes a dataset's shard to `dir` and returns its bytes.
+fn shard_bytes(dir: &Path, ds: &Dataset, name: &str) -> Vec<u8> {
+    let path = dir.join(name);
+    ngs_bamx::write_bamx_file(&path, &ds.genome.header(), &ds.records, BamxCompression::Plain)
+        .unwrap();
+    std::fs::read(&path).unwrap()
+}
+
+/// A `ReadAt` source serving pristine bytes until `arm()`, then failing
+/// the next `remaining` reads with a transient I/O error.
+struct FlakyShard {
+    bytes: Vec<u8>,
+    armed: std::sync::atomic::AtomicBool,
+    remaining: std::sync::atomic::AtomicU32,
+}
+
+impl FlakyShard {
+    fn new(bytes: Vec<u8>, failures: u32) -> Self {
+        FlakyShard {
+            bytes,
+            armed: std::sync::atomic::AtomicBool::new(false),
+            remaining: std::sync::atomic::AtomicU32::new(failures),
+        }
+    }
+
+    fn arm(&self) {
+        self.armed.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl ngs_bgzf::ReadAt for FlakyShard {
+    fn len(&self) -> std::io::Result<u64> {
+        Ok(self.bytes.len() as u64)
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
+        use std::sync::atomic::Ordering;
+        if self.armed.load(Ordering::SeqCst) {
+            let took = self
+                .remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok();
+            if took {
+                return Err(std::io::Error::other("injected flaky read"));
+            }
+        }
+        let start = (offset as usize).min(self.bytes.len());
+        let n = buf.len().min(self.bytes.len() - start);
+        buf[..n].copy_from_slice(&self.bytes[start..start + n]);
+        Ok(n)
+    }
+}
+
+/// Transient read faults inside the retry budget are absorbed at the
+/// source: the collate output — spilled and merged — stays byte-identical
+/// to a pristine run.
+#[test]
+fn transient_shard_faults_retried_to_identical_output() {
+    let dir = tempdir().unwrap();
+    let ds = dataset(400, 13, 0.1);
+    let header = ds.header();
+    let bytes = shard_bytes(dir.path(), &ds, "input.bamx");
+    let (expected, _) = reference_run(&header, &ds.records, Workload::Sort(SortBy::Coordinate));
+
+    let flaky = Arc::new(FlakyShard::new(bytes, 2));
+    let shard =
+        Arc::new(BamxFile::open_with(Box::new(Arc::clone(&flaky)), "flaky.bamx").unwrap());
+    flaky.arm();
+
+    let c = collator(2, 32, 3_000, Some(dir.path().join("spill")));
+    let mut out = Vec::new();
+    let run = c
+        .run_shards(
+            vec![ShardInput { name: "flaky".into(), bamx: shard, indices: None }],
+            Workload::Sort(SortBy::Coordinate),
+            &mut |r| {
+                out.push(r);
+                Ok(())
+            },
+        )
+        .unwrap();
+
+    assert!(run.transient_retries > 0, "the injected faults must be hit");
+    assert!(run.quarantined.is_empty(), "transient ≠ structural");
+    assert!(run.regroup.spill_runs > 0, "budget forces spilling under faults too");
+    assert_eq!(
+        encode_all(&header, &out),
+        encode_all(&header, &expected),
+        "retries must not change a single output byte"
+    );
+}
+
+/// Opens a BGZF shard through a `FaultyFile` so open succeeds but record
+/// reads hit a corrupt payload — a structural decode error mid-stream.
+fn corrupt_bgzf_shard(dir: &Path, seed: u64) -> Arc<BamxFile> {
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: 300,
+        n_chroms: 2,
+        coordinate_sorted: true,
+        seed,
+        ..Default::default()
+    });
+    let path = dir.join("bad.bamx");
+    ngs_bamx::write_bamx_file(&path, &ds.genome.header(), &ds.records, BamxCompression::Bgzf)
+        .unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let target = bytes.len() / 2;
+    bytes[target] ^= 0xFF;
+    let source = FaultyFile::new(bytes, FaultPlan::new(vec![]));
+    Arc::new(BamxFile::open_with(Box::new(source), "bad.bamx").unwrap())
+}
+
+/// A structurally corrupt shard quarantines while the graph drains: the
+/// run succeeds and the healthy shard's records collate exactly as if
+/// the bad shard were never offered.
+#[test]
+fn corrupt_shard_is_quarantined_and_graph_drains() {
+    let dir = tempdir().unwrap();
+    let good_ds = dataset(400, 5, 0.1);
+    let header = good_ds.header();
+    shard_bytes(dir.path(), &good_ds, "good.bamx");
+    let good = Arc::new(BamxFile::open(dir.path().join("good.bamx")).unwrap());
+    let bad = corrupt_bgzf_shard(dir.path(), 5);
+
+    let (expected, _) = reference_run(&header, &good_ds.records, Workload::Collate);
+    let c = collator(2, 32, 0, None);
+    let mut out = Vec::new();
+    let run = c
+        .run_shards(
+            vec![
+                ShardInput { name: "good".into(), bamx: good, indices: None },
+                ShardInput { name: "bad".into(), bamx: bad, indices: None },
+            ],
+            Workload::Collate,
+            &mut |r| {
+                out.push(r);
+                Ok(())
+            },
+        )
+        .unwrap();
+
+    assert_eq!(run.quarantined.len(), 1, "exactly the corrupt shard");
+    assert_eq!(run.quarantined[0].shard, "bad");
+    assert_eq!(run.records_in, good_ds.records.len() as u64, "good shard fully collated");
+    assert_eq!(
+        encode_all(&header, &out),
+        encode_all(&header, &expected),
+        "quarantine must not perturb the healthy shard's output"
+    );
+}

@@ -191,7 +191,7 @@ impl StreamConverter {
 
 /// Checks every shard against the first shard's reference dictionary and
 /// returns that header.
-fn validate_shards(shards: &[ShardInput]) -> Result<ngs_formats::header::SamHeader> {
+pub fn validate_shards(shards: &[ShardInput]) -> Result<ngs_formats::header::SamHeader> {
     let first = shards.first().ok_or_else(|| {
         Error::InvalidRecord("streaming conversion needs at least one shard".into())
     })?;
@@ -213,11 +213,12 @@ fn validate_shards(shards: &[ShardInput]) -> Result<ngs_formats::header::SamHead
     Ok(header)
 }
 
-/// Builds the shared record source for both pipeline graphs: decodes
-/// bounded batches per shard (coalescing index runs exactly like
-/// `convert_index_list`), retries transient I/O in place, and
-/// quarantines structurally corrupt shards without failing the run.
-pub(crate) fn record_source(
+/// Builds the shared record source for the pipeline graphs (including
+/// downstream crates like `ngs-collate`): decodes bounded batches per
+/// shard (coalescing index runs exactly like `convert_index_list`),
+/// retries transient I/O in place, and quarantines structurally corrupt
+/// shards without failing the run.
+pub fn record_source(
     shards: Vec<ShardInput>,
     batch_size: usize,
     quarantined: Arc<Mutex<Vec<ShardQuarantine>>>,

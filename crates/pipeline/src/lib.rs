@@ -32,6 +32,7 @@ pub mod clock;
 pub mod convert;
 pub mod engine;
 pub mod metrics;
+pub mod regroup;
 
 use std::path::Path;
 use std::sync::Arc;
@@ -44,9 +45,13 @@ use ngs_formats::error::Result;
 pub use analysis::{AnalyzeOptions, AnalyzeRun, StreamAnalyzer};
 pub use cancel::CancelToken;
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use convert::{ConvertRun, ShardInput, ShardQuarantine, StreamConverter};
+pub use convert::{record_source, ConvertRun, ShardInput, ShardQuarantine, StreamConverter};
 pub use engine::{stage_fn, Batch, Cost, Graph, PipelineConfig, Sink, SourceCtx, Stage};
 pub use metrics::{MemoryGauge, PipelineMetrics, StageMetrics};
+pub use regroup::{
+    Key, Keyed, RegroupConfig, RegroupSink, RegroupStats, Regrouped, Regrouper, SpillCodec,
+    U64Codec,
+};
 
 /// High-level facade over both graphs, mirroring the one-shot
 /// `BamConverter` entry points file-for-file (same stems, same part

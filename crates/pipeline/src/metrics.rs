@@ -169,6 +169,11 @@ impl MemoryGauge {
     pub fn peak(&self) -> u64 {
         self.peak.load(Ordering::Relaxed)
     }
+
+    /// Bytes currently in flight (charged but not yet released).
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
 }
 
 /// Measures one closure on the clock and accumulates into `slot`.

@@ -520,6 +520,85 @@ fn empty_inputs_stream_to_prologue_only_output() {
     assert_eq!(run.records_in, 0);
 }
 
+/// The keyed regroup stage (DESIGN.md §10), registered in the
+/// equivalence suite: for any worker count and spill budget, the
+/// ordered sink's merged `(key, arrival-seq)` stream equals an
+/// in-memory stable sort of the same keyed items, and forced spills
+/// publish through a clean crash-safe manifest.
+#[test]
+fn regroup_stage_matches_stable_sort_for_any_budget() {
+    use ngs_bamx::repo::ShardRepo;
+    use ngs_pipeline::{
+        stage_fn, Batch, Graph, Keyed, RegroupConfig, RegroupSink, Regrouper, SpillCodec,
+        SourceCtx, U64Codec,
+    };
+
+    let items: Vec<u64> =
+        (0..2_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48).collect();
+    let key_of = |v: u64| (v % 13).to_be_bytes().to_vec();
+    let mut expected: Vec<(Vec<u8>, u64, u64)> = items
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (key_of(v), i as u64, v))
+        .collect();
+    expected.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    for budget in [0u64, 512] {
+        let dir = tempdir().unwrap();
+        for workers in [1usize, 4] {
+            let feed = items.clone();
+            let graph = Graph::source(
+                config(workers, 64),
+                Arc::new(ManualClock::new()),
+                "regroup-source",
+                move |ctx: &mut SourceCtx<u64>| {
+                    for chunk in feed.chunks(64) {
+                        ctx.emit(chunk.to_vec())?;
+                    }
+                    Ok(())
+                },
+            )
+            .stage("regroup-key", workers, move |_| {
+                stage_fn(move |b: Batch<u64>| {
+                    Ok(Batch {
+                        seq: b.seq,
+                        items: b
+                            .items
+                            .into_iter()
+                            .map(|v| Keyed { key: key_of(v), item: v })
+                            .collect(),
+                    })
+                })
+            });
+            let regrouper = Regrouper::new(
+                RegroupConfig {
+                    spill_budget: budget,
+                    spill_dir: (budget > 0).then(|| dir.path().join(format!("w{workers}"))),
+                    ..Default::default()
+                },
+                Arc::new(U64Codec) as Arc<dyn SpillCodec<u64>>,
+            )
+            .unwrap();
+            let (mut merged, _) =
+                graph.run("regroup", true, RegroupSink::new(regrouper)).unwrap();
+
+            let mut got = Vec::with_capacity(items.len());
+            while let Some((key, seq, item)) = merged.next_entry().unwrap() {
+                got.push((key, seq, item));
+            }
+            assert_eq!(got, expected, "workers={workers} budget={budget}");
+            if budget > 0 {
+                assert!(merged.stats().spill_runs > 1, "tiny budget must force spilling");
+                let spill = dir.path().join(format!("w{workers}"));
+                assert!(ShardRepo::is_managed(&spill));
+                assert!(ShardRepo::open(&spill).unwrap().verify().unwrap().is_clean());
+            } else {
+                assert_eq!(merged.stats().spill_runs, 0);
+            }
+        }
+    }
+}
+
 /// Cost model sanity on real records: a record's gauge cost covers its
 /// heap payload, so the working-set proxy cannot undercount.
 #[test]

@@ -29,6 +29,10 @@ pub struct ReadProfile {
     pub softclip_rate: f64,
     /// Fraction of reads left unmapped.
     pub unmapped_rate: f64,
+    /// Probability a mapped pair is followed by a PCR-duplicate pair:
+    /// same alignment signature (positions, strands, CIGARs), a fresh
+    /// QNAME, and re-rolled base qualities — honest markdup input.
+    pub duplicate_rate: f64,
     /// Read-group name written in the `RG` tag.
     pub read_group: String,
 }
@@ -43,6 +47,7 @@ impl Default for ReadProfile {
             indel_rate: 0.02,
             softclip_rate: 0.03,
             unmapped_rate: 0.01,
+            duplicate_rate: 0.0,
             read_group: "sim1".to_string(),
         }
     }
@@ -54,16 +59,26 @@ pub struct ReadSimulator<'g> {
     profile: ReadProfile,
     rng: Rng,
     next_pair: u64,
+    pending: std::collections::VecDeque<[AlignmentRecord; 2]>,
 }
 
 impl<'g> ReadSimulator<'g> {
     /// Creates a simulator with its own RNG stream.
     pub fn new(genome: &'g Genome, profile: ReadProfile, seed: u64) -> Self {
-        ReadSimulator { genome, profile, rng: Rng::seed_from_u64(seed), next_pair: 0 }
+        ReadSimulator {
+            genome,
+            profile,
+            rng: Rng::seed_from_u64(seed),
+            next_pair: 0,
+            pending: std::collections::VecDeque::new(),
+        }
     }
 
     /// Generates the next read *pair* (two records).
     pub fn next_pair(&mut self) -> [AlignmentRecord; 2] {
+        if let Some(dup) = self.pending.pop_front() {
+            return dup;
+        }
         let pair_id = self.next_pair;
         self.next_pair += 1;
         let qname = format!("sim.{:09}", pair_id).into_bytes();
@@ -96,7 +111,38 @@ impl<'g> ReadSimulator<'g> {
         let tlen = (r2.end0().unwrap_or(r2.pos) - r1.start0().unwrap_or(0)).max(0);
         r1.tlen = tlen;
         r2.tlen = -tlen;
+
+        // Duplicate injection. The `> 0.0` guard keeps the RNG stream
+        // of every existing seeded fixture byte-identical: a zero rate
+        // must not consume a draw.
+        if self.profile.duplicate_rate > 0.0 && self.rng.chance(self.profile.duplicate_rate) {
+            let dup = self.duplicate_of(&[r1.clone(), r2.clone()]);
+            self.pending.push_back(dup);
+        }
         [r1, r2]
+    }
+
+    /// A PCR-duplicate of `pair`: identical alignment signature (RNAME,
+    /// POS, CIGAR, strand, mate fields), a fresh QNAME in the normal
+    /// sequence, and independently re-rolled base qualities so
+    /// best-of-group selection has real work to do.
+    fn duplicate_of(&mut self, pair: &[AlignmentRecord; 2]) -> [AlignmentRecord; 2] {
+        let pair_id = self.next_pair;
+        self.next_pair += 1;
+        let qname = format!("sim.{:09}", pair_id).into_bytes();
+        let mut dup = pair.clone();
+        for rec in dup.iter_mut() {
+            rec.qname = qname.clone();
+            let rl = rec.qual.len();
+            let mut qual = Vec::with_capacity(rl);
+            for i in 0..rl {
+                let base_q = 37.0 - 12.0 * (i as f64 / rl as f64).powi(2);
+                let q = (base_q + 2.5 * self.rng.normal()).clamp(2.0, 41.0);
+                qual.push(q as u8);
+            }
+            rec.qual = qual;
+        }
+        dup
     }
 
     /// Generates `n` single records (pairs flattened in order).
@@ -309,6 +355,80 @@ mod tests {
             assert!(matches!(r.tag(*b"NM"), Some(TagValue::Int(_))));
             assert!(matches!(r.tag(*b"RG"), Some(TagValue::String(_))));
         }
+    }
+
+    #[test]
+    fn properly_paired_invariants() {
+        // RNEXT/PNEXT/TLEN and the FLAG mate bits must be mutually
+        // consistent — collation and markdup fixtures rely on it.
+        let g = genome();
+        let mut sim = ReadSimulator::new(&g, ReadProfile::default(), 11);
+        for _ in 0..200 {
+            let [r1, r2] = sim.next_pair();
+            if r1.is_unmapped() {
+                continue;
+            }
+            assert_eq!(r1.rnext, b"=");
+            assert_eq!(r2.rnext, b"=");
+            assert_eq!(r1.pnext, r2.pos);
+            assert_eq!(r2.pnext, r1.pos);
+            assert_eq!(r1.rname, r2.rname, "mates map to one reference");
+            assert!(r1.flag.contains(Flags::PROPER_PAIR));
+            assert!(r2.flag.contains(Flags::PROPER_PAIR));
+            assert!(!r1.flag.is_reverse() && r2.flag.is_reverse(), "FR orientation");
+            assert!(r1.flag.contains(Flags::MATE_REVERSE));
+            assert!(!r2.flag.contains(Flags::MATE_REVERSE));
+            assert!(r1.tlen >= 0 && r1.tlen == -r2.tlen);
+        }
+    }
+
+    #[test]
+    fn duplicate_rate_injects_signature_sharing_pairs() {
+        let g = genome();
+        let profile = ReadProfile {
+            duplicate_rate: 0.3,
+            unmapped_rate: 0.0,
+            ..Default::default()
+        };
+        let mut sim = ReadSimulator::new(&g, profile, 12);
+        let mut pairs = Vec::new();
+        for _ in 0..600 {
+            pairs.push(sim.next_pair());
+        }
+        // A duplicate pair follows its original with the same alignment
+        // signature under a fresh name.
+        let mut dups = 0;
+        for w in pairs.windows(2) {
+            let ([a1, a2], [b1, b2]) = (&w[0], &w[1]);
+            if a1.pos == b1.pos
+                && a2.pos == b2.pos
+                && a1.rname == b1.rname
+                && a1.cigar == b1.cigar
+                && a2.cigar == b2.cigar
+                && a1.qname != b1.qname
+            {
+                dups += 1;
+                assert_eq!(a1.flag, b1.flag);
+                assert_eq!(a2.flag, b2.flag);
+                assert_eq!(a1.tlen, b1.tlen);
+            }
+        }
+        // ~30% of 600 ≈ 180, generous tolerance.
+        assert!((90..320).contains(&dups), "duplicate pairs {dups}");
+        // QNAMEs stay unique across the stream.
+        let mut names: Vec<_> = pairs.iter().map(|[r1, _]| r1.qname.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), pairs.len());
+    }
+
+    #[test]
+    fn duplicate_knob_is_deterministic() {
+        let g = genome();
+        let profile = ReadProfile { duplicate_rate: 0.25, ..Default::default() };
+        let a = ReadSimulator::new(&g, profile.clone(), 13).take_records(400);
+        let b = ReadSimulator::new(&g, profile, 13).take_records(400);
+        assert_eq!(a, b);
     }
 
     #[test]

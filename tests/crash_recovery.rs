@@ -225,6 +225,133 @@ fn engine_serves_correctly_before_during_and_after_repair() {
     assert_eq!(run(&fresh, dir.path().join("fresh")), baseline);
 }
 
+/// Kill the collate shuffle (DESIGN.md §10) mid-spill at a sweep of
+/// byte offsets of its spill publication stream: every spill repository
+/// must reopen with a clean manifest (no torn run behind an entry), and
+/// a rerun over the surviving directory must produce byte-identical
+/// output — deterministic run names republish through the manifest.
+#[test]
+fn collate_spill_crash_reopens_clean_and_rerun_is_byte_identical() {
+    use ngs_collate::{CollateConfig, Collator, Workload};
+    use ngs_formats::record::AlignmentRecord;
+    use ngs_simgen::ReadProfile;
+
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: 400,
+        n_chroms: 2,
+        seed: 0xC0FFEE,
+        profile: ReadProfile { duplicate_rate: 0.15, ..Default::default() },
+        ..Default::default()
+    });
+    let header = ds.header();
+    let dir = tempdir().unwrap();
+
+    let config = |spill_dir: std::path::PathBuf,
+                  fs: Option<Arc<dyn ngs_bamx::repo::RepoFs>>| CollateConfig {
+        spill_budget: 4_000,
+        spill_dir: Some(spill_dir),
+        spill_fs: fs,
+        ..Default::default()
+    };
+    let run = |config: CollateConfig| -> Result<Vec<AlignmentRecord>, _> {
+        let mut out = Vec::new();
+        Collator::new(config)
+            .run_records(&header, ds.records.clone(), Workload::MarkDup, &mut |r| {
+                out.push(r);
+                Ok(())
+            })
+            .map(|_| out)
+    };
+    let verify_clean = |spill_dir: &std::path::Path, what: &str| {
+        for phase in ["markdup", "restore"] {
+            let phase_dir = spill_dir.join(phase);
+            if !ShardRepo::is_managed(&phase_dir) {
+                continue; // the kill landed before this phase published
+            }
+            let repo = ShardRepo::open(&phase_dir).unwrap();
+            let report = repo.verify().unwrap();
+            assert!(report.is_clean(), "{what}: damaged spill runs: {:?}", report.damaged);
+            repo.clean_stray_temps().unwrap();
+        }
+    };
+
+    // Instrumented fault-free reference: spill stream length + oracle.
+    let fs = FaultyFs::new(FaultPlan::none());
+    let state = Arc::clone(fs.state());
+    let expected = run(config(dir.path().join("reference"), Some(Arc::new(fs)))).unwrap();
+    let total = state.written();
+    assert!(total > 0, "the tiny budget must force spilling");
+
+    let mut offsets: Vec<u64> = (0..6).map(|p| 1 + total * p / 6).collect();
+    offsets.push(total - 1);
+    offsets.dedup();
+    for (i, offset) in offsets.into_iter().enumerate() {
+        let spill_dir = dir.path().join(format!("kill-{i}"));
+        let plan = FaultPlan::new(vec![Fault::CrashAtByte { offset }]);
+        let killed = run(config(spill_dir.clone(), Some(Arc::new(FaultyFs::new(plan)))));
+        assert!(killed.is_err(), "kill at byte {offset}/{total} must abort the run");
+        verify_clean(&spill_dir, &format!("kill at byte {offset}"));
+
+        let rerun = run(config(spill_dir.clone(), None)).unwrap();
+        assert_eq!(rerun, expected, "kill at byte {offset}: rerun diverged");
+        verify_clean(&spill_dir, &format!("rerun after byte {offset}"));
+    }
+}
+
+/// Kill the collate *merge consumer* partway through the merged stream:
+/// the merge is read-only over sealed runs, so the spill repositories
+/// must stay clean and a rerun over the same directory byte-identical.
+#[test]
+fn collate_merge_kill_leaves_repo_clean_and_rerun_is_byte_identical() {
+    use ngs_collate::{CollateConfig, Collator, SortBy, Workload};
+    use ngs_formats::record::AlignmentRecord;
+
+    let ds = dataset(300);
+    let header = ds.header();
+    let dir = tempdir().unwrap();
+    let spill_dir = dir.path().join("spill");
+    let config = || CollateConfig {
+        spill_budget: 4_000,
+        spill_dir: Some(spill_dir.clone()),
+        ..Default::default()
+    };
+    let workload = Workload::Sort(SortBy::Coordinate);
+
+    let mut expected: Vec<AlignmentRecord> = Vec::new();
+    Collator::new(config())
+        .run_records(&header, ds.records.clone(), workload, &mut |r| {
+            expected.push(r);
+            Ok(())
+        })
+        .unwrap();
+
+    for keep in [0u64, 1, 150, 299] {
+        let mut emitted = 0u64;
+        let killed = Collator::new(config()).run_records(&header, ds.records.clone(), workload, &mut |_| {
+            if emitted == keep {
+                return Err(ngs_formats::Error::InvalidRecord(
+                    "injected merge-consumer kill".into(),
+                ));
+            }
+            emitted += 1;
+            Ok(())
+        });
+        assert!(killed.is_err(), "kill after {keep} records must abort the run");
+
+        let repo = ShardRepo::open(spill_dir.join(workload.stem())).unwrap();
+        assert!(repo.verify().unwrap().is_clean(), "merge kill after {keep} records");
+
+        let mut rerun: Vec<AlignmentRecord> = Vec::new();
+        Collator::new(config())
+            .run_records(&header, ds.records.clone(), workload, &mut |r| {
+                rerun.push(r);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(rerun, expected, "kill after {keep} records: rerun diverged");
+    }
+}
+
 /// A crash mid-preprocessing of a *single-dataset* (BAM) repository:
 /// the repaired repository must be byte-identical to an uncrashed one,
 /// and `preprocess_repo` with resume must skip work when nothing is
