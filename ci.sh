@@ -94,4 +94,21 @@ echo "==> repro obs (instrumentation overhead, BENCH_obs.json)"
 cargo run --release -p ngs-bench --bin repro -- obs --scale 0.05 > /dev/null
 python3 -c 'import json; json.load(open("BENCH_obs.json"))'
 
+# Query-scaling smoke: the concurrency battery behind the segmented
+# store + single-flight decode (DESIGN.md §11), then a smoke-scale
+# BENCH_query.json regeneration gated on the regression this exists to
+# kill — warm throughput at 8 workers must not drop below 1 worker.
+echo "==> query-scaling (segmented store + single-flight + engine identity)"
+cargo test --quiet -p ngs-query --test store_concurrency --test single_flight
+cargo test --quiet -p ngs-repro --test query_engine
+echo "==> repro query (worker-scaling gate, BENCH_query.json)"
+cargo run --release -p ngs-bench --bin repro -- query --scale 0.05 > /dev/null
+python3 - <<'PY'
+import json
+rows = json.load(open("BENCH_query.json"))["rows"]
+warm = {r["workers"]: r["warm"]["requests_per_sec"] for r in rows}
+assert warm[8] >= warm[1], f"warm req/s regressed with workers: {warm}"
+print(f"warm req/s 1->8 workers: {warm[1]} -> {warm[8]}")
+PY
+
 echo "==> ci.sh: all green"

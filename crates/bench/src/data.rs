@@ -57,6 +57,15 @@ impl Scale {
         self.n(8_000)
     }
 
+    /// Requests per pass in the query-engine throughput experiment.
+    /// Sized so a warm pass runs long enough (hundreds of ms at scale
+    /// 1.0) that worker-count differences exceed run-to-run timer noise
+    /// — the old fixed 64-request pass finished in ~5 ms and measured
+    /// mostly scheduling jitter.
+    pub fn query_requests(&self) -> usize {
+        self.n(2_048).max(128)
+    }
+
     /// Records in the streaming-pipeline experiment.
     pub fn pipeline_records(&self) -> usize {
         self.n(24_000)

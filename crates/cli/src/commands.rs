@@ -712,7 +712,8 @@ pub fn pipeline_cmd(args: &Args) -> CmdResult {
 }
 
 /// `ngsp query SHARD_DIR [--requests FILE] [--out DIR] [--workers N]
-/// [--queue N] [--cache N] [--deadline-ms D] [--trace FILE]`
+/// [--queue N] [--cache N] [--segments N] [--batch N] [--deadline-ms D]
+/// [--trace FILE]`
 ///
 /// Batch mode over the long-lived query engine: one
 /// `DATASET REGION FORMAT` request per line (`#` starts a comment;
@@ -742,6 +743,8 @@ pub fn query_cmd(args: &Args) -> CmdResult {
         workers: args.get_or("workers", 4usize)?,
         queue_capacity: args.get_or("queue", 64usize)?,
         cache_capacity: args.get_or("cache", 8usize)?,
+        segments: args.get_or("segments", EngineConfig::default().segments)?,
+        batch: args.get_or("batch", EngineConfig::default().batch)?,
         tracer: tracer.clone(),
         ..EngineConfig::default()
     };

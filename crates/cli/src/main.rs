@@ -53,7 +53,8 @@ COMMANDS:
                per-stage throughput and stall metrics)
   query       batch region queries over preprocessed BAMX/BAIX shards
               SHARD_DIR [--requests FILE] [--out DIR] [--workers N]
-              [--queue N] [--cache N] [--deadline-ms D] [--trace FILE]
+              [--queue N] [--cache N] [--segments N] [--batch N]
+              [--deadline-ms D] [--trace FILE]
               one request per line: DATASET REGION FORMAT
               (FORMAT: a --to format, or coverage[:BIN])
   stats       run an instrumented smoke workload and print the unified

@@ -42,6 +42,19 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// Datasets the shard cache may hold open at once.
     pub cache_capacity: usize,
+    /// Independently-locked cache segments in the shard store (minimum
+    /// 1). One segment reproduces the classic single-lock LRU exactly;
+    /// more let unrelated requests proceed without contending
+    /// (DESIGN.md §11). Applies to stores the engine builds itself —
+    /// a store injected via [`QueryEngine::with_store`] keeps its own
+    /// segmentation.
+    pub segments: usize,
+    /// Requests a worker may claim per wakeup (minimum 1). After
+    /// blocking for one job, a worker opportunistically drains up to
+    /// `batch - 1` more that are already queued and runs them
+    /// back-to-back, amortizing queue traffic across small requests.
+    /// Deadlines are still checked per request at its own start time.
+    pub batch: usize,
     /// Converter runtime settings for `Convert` requests. Each request
     /// converts on the one worker that picked it up (rank 0);
     /// parallelism comes from concurrent requests, so `ranks` is
@@ -68,6 +81,8 @@ impl Default for EngineConfig {
             workers: std::thread::available_parallelism().map(usize::from).unwrap_or(4),
             queue_capacity: 64,
             cache_capacity: 8,
+            segments: 8,
+            batch: 8,
             convert: ConvertConfig::with_ranks(1),
             streaming: None,
             obs: None,
@@ -144,7 +159,8 @@ impl QueryEngine {
             config.cache_capacity,
             Arc::clone(&clock),
             crate::store::RetryPolicy::default(),
-        )?;
+        )?
+        .with_segments(config.segments.max(1));
         if let Some(registry) = &config.obs {
             store = store.with_obs(registry);
         }
@@ -164,6 +180,7 @@ impl QueryEngine {
             None => Ledger::default(),
         });
         let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
+        let batch = config.batch.max(1);
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
             let rx = rx.clone();
@@ -177,7 +194,7 @@ impl QueryEngine {
                 std::thread::Builder::new()
                     .name(format!("ngs-query-{i}"))
                     .spawn(move || {
-                        worker_loop(rx, store, ledger, clock, convert, streaming, tracer)
+                        worker_loop(rx, store, ledger, clock, convert, streaming, tracer, batch)
                     })?,
             );
         }
@@ -248,6 +265,7 @@ impl Drop for QueryEngine {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rx: Receiver<Job>,
     store: Arc<ShardStore>,
@@ -256,59 +274,90 @@ fn worker_loop(
     convert: ConvertConfig,
     streaming: Option<PipelineConfig>,
     tracer: Option<Arc<Tracer>>,
+    batch: usize,
 ) {
-    while let Ok(Job { request, submitted_at, reply }) = rx.recv() {
-        let started_at = clock.now();
-        let queue_wait = started_at.saturating_sub(submitted_at);
-        let mut metrics = RequestMetrics {
-            submitted_at,
-            started_at,
-            finished_at: started_at,
-            queue_wait,
-            ..Default::default()
-        };
-        let mut span = span!(tracer, "query.execute", &request.dataset);
-        if let Some(deadline) = request.deadline {
-            if started_at > deadline {
-                ledger.record_finished(&metrics, Completion::DeadlineMissed);
-                if let Some(s) = span.as_mut() {
-                    s.set_outcome("deadline");
-                }
-                let _ = reply.send(QueryResponse {
-                    outcome: Err(QueryError::DeadlineExceeded { deadline, now: started_at }),
-                    metrics,
-                });
-                continue;
+    // One blocking recv per wakeup, then an opportunistic non-blocking
+    // drain of whatever else is already queued (up to `batch` total):
+    // small requests amortize their queue/wakeup overhead instead of
+    // paying it per request. Submission order is preserved — the drain
+    // pulls from the same MPMC queue FIFO — and each job's deadline is
+    // judged at its own start time, not the wakeup time.
+    let mut claimed = Vec::with_capacity(batch);
+    while let Ok(first) = rx.recv() {
+        claimed.push(first);
+        while claimed.len() < batch {
+            match rx.try_recv() {
+                Ok(job) => claimed.push(job),
+                Err(_) => break,
             }
         }
-        let executed = execute(&store, &request, &convert, streaming.as_ref(), &clock);
-        metrics.finished_at = clock.now();
-        metrics.service_time = metrics.finished_at.saturating_sub(started_at);
-        if executed.is_err() {
-            if let Some(s) = span.as_mut() {
-                s.set_outcome("error");
-            }
+        ledger.record_batch(claimed.len() as u64);
+        for job in claimed.drain(..) {
+            run_job(job, &store, &ledger, &clock, &convert, streaming.as_ref(), tracer.as_ref());
         }
-        drop(span);
-        let outcome = match executed {
-            Ok((outcome, cache_hit)) => {
-                metrics.cache_hit = cache_hit;
-                metrics.bytes_out = match &outcome {
-                    QueryOutcome::Converted { bytes_out, .. } => *bytes_out,
-                    QueryOutcome::Coverage { bins, .. } => {
-                        (bins.len() * std::mem::size_of::<f64>()) as u64
-                    }
-                };
-                ledger.record_finished(&metrics, Completion::Completed);
-                Ok(outcome)
-            }
-            Err(e) => {
-                ledger.record_finished(&metrics, Completion::Failed);
-                Err(QueryError::Failed(e.to_string()))
-            }
-        };
-        let _ = reply.send(QueryResponse { outcome, metrics });
     }
+}
+
+fn run_job(
+    job: Job,
+    store: &Arc<ShardStore>,
+    ledger: &Arc<Ledger>,
+    clock: &Arc<dyn Clock>,
+    convert: &ConvertConfig,
+    streaming: Option<&PipelineConfig>,
+    tracer: Option<&Arc<Tracer>>,
+) {
+    let Job { request, submitted_at, reply } = job;
+    let started_at = clock.now();
+    let queue_wait = started_at.saturating_sub(submitted_at);
+    let mut metrics = RequestMetrics {
+        submitted_at,
+        started_at,
+        finished_at: started_at,
+        queue_wait,
+        ..Default::default()
+    };
+    let mut span = span!(tracer, "query.execute", &request.dataset);
+    if let Some(deadline) = request.deadline {
+        if started_at > deadline {
+            ledger.record_finished(&metrics, Completion::DeadlineMissed);
+            if let Some(s) = span.as_mut() {
+                s.set_outcome("deadline");
+            }
+            let _ = reply.send(QueryResponse {
+                outcome: Err(QueryError::DeadlineExceeded { deadline, now: started_at }),
+                metrics,
+            });
+            return;
+        }
+    }
+    let executed = execute(store, &request, convert, streaming, clock);
+    metrics.finished_at = clock.now();
+    metrics.service_time = metrics.finished_at.saturating_sub(started_at);
+    if executed.is_err() {
+        if let Some(s) = span.as_mut() {
+            s.set_outcome("error");
+        }
+    }
+    drop(span);
+    let outcome = match executed {
+        Ok((outcome, cache_hit)) => {
+            metrics.cache_hit = cache_hit;
+            metrics.bytes_out = match &outcome {
+                QueryOutcome::Converted { bytes_out, .. } => *bytes_out,
+                QueryOutcome::Coverage { bins, .. } => {
+                    (bins.len() * std::mem::size_of::<f64>()) as u64
+                }
+            };
+            ledger.record_finished(&metrics, Completion::Completed);
+            Ok(outcome)
+        }
+        Err(e) => {
+            ledger.record_finished(&metrics, Completion::Failed);
+            Err(QueryError::Failed(e.to_string()))
+        }
+    };
+    let _ = reply.send(QueryResponse { outcome, metrics });
 }
 
 /// Resolves and runs one request against the store. Returns the outcome

@@ -14,6 +14,11 @@
 //!   engine's injected [`Clock`]; expired requests are dropped with
 //!   [`QueryError::DeadlineExceeded`] without touching the disk.
 //!   Injecting a [`ManualClock`] makes deadline tests deterministic.
+//! * **Concurrent hot path** — the store's cache is sharded into
+//!   independently-locked segments, concurrent misses on one dataset
+//!   coalesce into a single decode (single-flight), responses are
+//!   zero-copy `Arc` clones of the cached block, and workers batch
+//!   queued requests per wakeup (DESIGN.md §11).
 //! * **Two request kinds** — region→format conversion (byte-identical
 //!   to single-rank `convert_partial`, sharing its code path) and
 //!   region coverage histograms feeding `ngs-stats`.
@@ -46,4 +51,6 @@ pub use clock::{Clock, ManualClock, SystemClock};
 pub use engine::{EngineConfig, QueryEngine, Ticket};
 pub use metrics::{QueryStats, RequestMetrics};
 pub use request::{QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse};
-pub use store::{CacheCounters, CachedShard, Repairer, RetryPolicy, ShardStore, SourceOpener};
+pub use store::{
+    CacheCounters, CachedShard, Repairer, RetryPolicy, SegmentCounters, ShardStore, SourceOpener,
+};

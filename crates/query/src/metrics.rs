@@ -167,6 +167,12 @@ pub struct Ledger {
     latency: Arc<Histogram>,
     /// Peak = largest latency seen (`fetch_max` via the gauge's peak).
     max_latency: Arc<Gauge>,
+    /// Worker wakeups (one blocking dequeue each, however many jobs the
+    /// wakeup then claims).
+    wakeups: Arc<Counter>,
+    /// Jobs claimed per wakeup — how well batching amortizes queue
+    /// traffic (mean = finished jobs / wakeups).
+    batch_jobs: Arc<Histogram>,
 }
 
 impl Default for Ledger {
@@ -191,6 +197,8 @@ impl Ledger {
             service: registry.histogram("query.service_ns"),
             latency: registry.histogram("query.latency_ns"),
             max_latency: registry.gauge("query.max_latency_ns"),
+            wakeups: registry.counter("query.worker_wakeups"),
+            batch_jobs: registry.histogram("query.batch_jobs"),
             registry,
         }
     }
@@ -208,6 +216,12 @@ impl Ledger {
     /// Counts an admission-control rejection.
     pub fn record_rejected(&self) {
         self.rejected.inc();
+    }
+
+    /// Counts one worker wakeup that claimed `jobs` queued requests.
+    pub fn record_batch(&self, jobs: u64) {
+        self.wakeups.inc();
+        self.batch_jobs.record(jobs);
     }
 
     /// Folds one finished request into the aggregate.

@@ -1,11 +1,41 @@
-//! The shard store: dataset discovery plus a capacity-bounded LRU cache
-//! of open BAMX handles and decoded BAIX indexes.
+//! The shard store: dataset discovery plus a capacity-bounded,
+//! *segmented* LRU cache of open BAMX handles and decoded BAIX indexes,
+//! with single-flight coalescing of cold opens.
 //!
 //! Opening a BAMX shard walks its (possibly BGZF-compressed) block
 //! structure and loading a BAIX deserializes the whole index, so a
 //! long-lived engine amortizes both across requests. `BamxFile` reads
 //! are positional (`read_at` on `&self`), which is what makes sharing
 //! one cached handle across worker threads sound.
+//!
+//! # Concurrency (DESIGN.md §11)
+//!
+//! The store used to serialize every lookup — hits included — on one
+//! `Mutex<StoreState>`, which made the serving tier contention-bound
+//! (`BENCH_query.json` showed *negative* worker scaling). The rebuilt
+//! store removes that sequential bottleneck in three moves:
+//!
+//! * **Segmentation** — cache, health, and in-flight state are
+//!   partitioned into N independently-locked segments by a
+//!   deterministic FNV-1a hash of the dataset name
+//!   ([`ShardStore::segment_index`]). Requests for datasets in
+//!   different segments never touch the same lock. The capacity bound
+//!   is a *global* cost budget (`occupancy` atomic); eviction picks the
+//!   LRU victim of the *inserting* segment, so no lookup ever holds two
+//!   segment locks (a segment down to its last entry tolerates a
+//!   bounded overage rather than reach into a sibling).
+//! * **Single-flight** — a cold open publishes an in-flight entry in
+//!   its segment before releasing the lock; concurrent misses on the
+//!   same dataset park on that entry and receive the *shared* decode
+//!   result (`Arc` clones — zero copies, zero duplicate decodes).
+//!   Failures broadcast a typed copy preserving `is_transient`, and the
+//!   entry is removed *before* waiters wake, so a failed decode never
+//!   poisons the key: the next lookup starts a fresh attempt (or hits
+//!   the health gate the leader recorded).
+//! * **Lock order** — at most one segment lock is held at any time, and
+//!   never across a decode, repair, or filesystem probe; the in-flight
+//!   slot lock is only taken with no segment lock held. Decodes and
+//!   repairs for *different* datasets now run concurrently.
 //!
 //! # Failure handling
 //!
@@ -31,6 +61,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,8 +69,8 @@ use ngs_bamx::repo::ShardRepo;
 use ngs_bamx::{Baix, BamxFile};
 use ngs_bgzf::ReadAt;
 use ngs_formats::error::{Error, Result};
-use ngs_obs::{Counter, Registry};
-use parking_lot::Mutex;
+use ngs_obs::{Counter, Histogram, Registry};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::clock::{Clock, SystemClock};
 
@@ -97,6 +128,8 @@ enum ShardHealth {
 }
 
 /// An open dataset: the shared BAMX handle plus its decoded BAIX index.
+/// Cloning is two `Arc` bumps — responses built from a cached shard are
+/// zero-copy views of the decoded block, never re-decodes.
 #[derive(Clone)]
 pub struct CachedShard {
     /// Open BAMX shard (thread-safe positional reads).
@@ -114,12 +147,14 @@ impl std::fmt::Debug for CachedShard {
     }
 }
 
-/// Snapshot of the store's cache and health counters.
+/// Snapshot of the store's cache and health counters (cross-segment
+/// totals; per-segment views come from [`ShardStore::segment_counters`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounters {
-    /// Lookups served from the cache.
+    /// Lookups served from the cache — including lookups that parked on
+    /// an in-flight decode and received the shared result.
     pub hits: u64,
-    /// Lookups that had to open and index a dataset.
+    /// Lookups that had to open and index a dataset (decode leaders).
     pub misses: u64,
     /// Entries dropped to respect the capacity bound.
     pub evictions: u64,
@@ -135,6 +170,14 @@ pub struct CacheCounters {
     /// Self-heal attempts that ended with the dataset verified, reopened
     /// and served.
     pub repaired: u64,
+    /// Cold decode operations actually performed (shard + index opens,
+    /// including per-`get` retry attempts). With single-flight
+    /// coalescing this stays at one per cold dataset no matter how many
+    /// requests raced for it.
+    pub decodes: u64,
+    /// Lookups that parked on another request's in-flight decode instead
+    /// of starting their own (single-flight coalescing).
+    pub coalesced: u64,
 }
 
 impl CacheCounters {
@@ -149,7 +192,62 @@ impl CacheCounters {
     }
 }
 
-struct StoreState {
+/// Per-segment cache counters ([`ShardStore::segment_counters`]). The
+/// segment-wise sums of these equal the global [`CacheCounters`] fields
+/// of the same name — the concurrency suite asserts exactly that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentCounters {
+    /// Lookups this segment served from cache (including coalesced
+    /// waiters on this segment's in-flight decodes).
+    pub hits: u64,
+    /// Cold opens admitted into this segment.
+    pub misses: u64,
+    /// Entries this segment evicted for the global budget.
+    pub evictions: u64,
+}
+
+/// The outcome an in-flight decode broadcasts to its waiters. `Error`
+/// is not `Clone`, so the shared copy lives behind an `Arc` and each
+/// waiter reconstructs an owned error preserving classification.
+type SharedOutcome = std::result::Result<CachedShard, Arc<Error>>;
+
+/// One in-flight cold open: waiters park on `done` until the leader
+/// publishes the shared outcome in `slot`. The entry is removed from
+/// its segment's map *before* the outcome is published, so the key is
+/// never poisoned — a request arriving after a failure starts fresh.
+#[derive(Default)]
+struct InFlight {
+    slot: Mutex<Option<SharedOutcome>>,
+    done: Condvar,
+}
+
+impl InFlight {
+    /// Parks until the leader publishes, then returns a shared copy.
+    fn wait(&self) -> SharedOutcome {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return match outcome {
+                    Ok(shard) => Ok(shard.clone()),
+                    Err(e) => Err(Arc::clone(e)),
+                };
+            }
+            self.done.wait(&mut slot);
+        }
+    }
+
+    /// Publishes the outcome and wakes every waiter.
+    fn complete(&self, outcome: SharedOutcome) {
+        *self.slot.lock() = Some(outcome);
+        self.done.notify_all();
+    }
+}
+
+/// Mutable state of one segment. Everything here is keyed by dataset
+/// name, and a name only ever maps to one segment, so the maps of
+/// different segments are disjoint by construction.
+#[derive(Default)]
+struct SegmentState {
     /// name → (shard, last-use stamp). Eviction removes the smallest
     /// stamp — O(n), fine for the single-digit capacities used here.
     cache: HashMap<String, (CachedShard, u64)>,
@@ -161,7 +259,27 @@ struct StoreState {
     /// failure gets one repair attempt; a second structural failure
     /// quarantines (no repair loops). Cleared on successful admit.
     repair_spent: HashSet<String>,
+    /// name → in-flight cold open other requests coalesce onto.
+    inflight: HashMap<String, Arc<InFlight>>,
+    /// Per-segment LRU clock (monotonic within the segment).
     tick: u64,
+}
+
+/// One independently-locked cache segment. The counters sit outside the
+/// mutex so coalesced waiters can account a hit without re-locking.
+#[derive(Default)]
+struct Segment {
+    state: Mutex<SegmentState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// What a lookup found under the segment lock: an in-flight entry to
+/// park on, or leadership of a fresh cold open.
+enum Role {
+    Waiter(Arc<InFlight>),
+    Leader(Arc<InFlight>),
 }
 
 /// Discovers and caches the BAMX+BAIX datasets of one directory.
@@ -174,6 +292,10 @@ struct StoreState {
 /// manifest behave as before. A wired [`Repairer`]
 /// ([`ShardStore::with_repairer`]) turns structural failures into one
 /// self-heal attempt before quarantine.
+///
+/// Cache state is per-segment (see the module docs); the default is a
+/// single segment — exactly the old single-lock LRU semantics — and
+/// [`ShardStore::with_segments`] shards it for concurrent serving.
 pub struct ShardStore {
     dir: PathBuf,
     capacity: usize,
@@ -182,7 +304,10 @@ pub struct ShardStore {
     opener: Box<SourceOpener>,
     repo: Option<ShardRepo>,
     repairer: Option<Box<Repairer>>,
-    state: Mutex<StoreState>,
+    segments: Vec<Segment>,
+    /// Datasets currently cached across all segments (the global cost
+    /// budget `capacity` bounds this, with per-segment victim selection).
+    occupancy: AtomicUsize,
     // Counter handles — private by default, or registered in a shared
     // `ngs-obs` registry via `with_obs` (no ad-hoc counter structs).
     hits: Arc<Counter>,
@@ -193,6 +318,10 @@ pub struct ShardStore {
     backoff_rejections: Arc<Counter>,
     repairs: Arc<Counter>,
     repaired: Arc<Counter>,
+    decodes: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    seg_contended: Arc<Counter>,
+    lock_wait: Arc<Histogram>,
 }
 
 impl ShardStore {
@@ -206,7 +335,8 @@ impl ShardStore {
     /// Opens a store with an injected clock and retry policy. Backoff
     /// deadlines live on the clock's axis, so a
     /// [`ManualClock`](crate::ManualClock) makes retry behaviour fully
-    /// deterministic.
+    /// deterministic. Starts with one segment; see
+    /// [`ShardStore::with_segments`].
     pub fn open_with(
         dir: impl AsRef<Path>,
         capacity: usize,
@@ -231,12 +361,8 @@ impl ShardStore {
             }),
             repo,
             repairer: None,
-            state: Mutex::new(StoreState {
-                cache: HashMap::new(),
-                health: HashMap::new(),
-                repair_spent: HashSet::new(),
-                tick: 0,
-            }),
+            segments: vec![Segment::default()],
+            occupancy: AtomicUsize::new(0),
             hits: Arc::default(),
             misses: Arc::default(),
             evictions: Arc::default(),
@@ -245,7 +371,22 @@ impl ShardStore {
             backoff_rejections: Arc::default(),
             repairs: Arc::default(),
             repaired: Arc::default(),
+            decodes: Arc::default(),
+            coalesced: Arc::default(),
+            seg_contended: Arc::default(),
+            lock_wait: Arc::default(),
         })
+    }
+
+    /// Shards the cache into `n` independently-locked segments (minimum
+    /// 1). Call at construction time, before any lookups — existing
+    /// cache state is discarded, not rehashed. One segment reproduces
+    /// the old single-lock LRU exactly; the query engine defaults to
+    /// several so unrelated requests never contend.
+    pub fn with_segments(mut self, n: usize) -> Self {
+        self.segments = (0..n.max(1)).map(|_| Segment::default()).collect();
+        self.occupancy = AtomicUsize::new(0);
+        self
     }
 
     /// Publishes the store's counters into a shared `ngs-obs` registry
@@ -261,6 +402,10 @@ impl ShardStore {
         self.backoff_rejections = registry.counter("store.backoff_rejections");
         self.repairs = registry.counter("store.repairs");
         self.repaired = registry.counter("store.repaired");
+        self.decodes = registry.counter("store.decodes");
+        self.coalesced = registry.counter("store.singleflight.coalesced");
+        self.seg_contended = registry.counter("store.segment.contended");
+        self.lock_wait = registry.histogram("store.segment.lock_wait_ns");
         self
     }
 
@@ -295,9 +440,38 @@ impl ShardStore {
         &self.dir
     }
 
-    /// The cache capacity bound.
+    /// The cache capacity bound (global cost budget across segments).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of independently-locked cache segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segment a dataset name maps to: FNV-1a over the name bytes,
+    /// mod the segment count. Deterministic across runs and processes —
+    /// the concurrency suite models per-segment behaviour with it.
+    pub fn segment_index(&self, name: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.segments.len() as u64) as usize
+    }
+
+    /// Cache counters of one segment (panics on an out-of-range index).
+    /// Summed over all segments these equal the hit/miss/eviction fields
+    /// of [`ShardStore::counters`].
+    pub fn segment_counters(&self, idx: usize) -> SegmentCounters {
+        let seg = &self.segments[idx];
+        SegmentCounters {
+            hits: seg.hits.load(Ordering::Relaxed),
+            misses: seg.misses.load(Ordering::Relaxed),
+            evictions: seg.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// The retry policy in force.
@@ -337,22 +511,117 @@ impl ShardStore {
         Ok(names)
     }
 
+    /// Locks one segment, counting contention: an uncontended lookup is
+    /// a single `try_lock`; a contended one bumps
+    /// `store.segment.contended` and records the wait on the injected
+    /// clock in `store.segment.lock_wait_ns`.
+    fn lock_segment(&self, idx: usize) -> MutexGuard<'_, SegmentState> {
+        if let Some(guard) = self.segments[idx].state.try_lock() {
+            return guard;
+        }
+        self.seg_contended.inc();
+        let waited_from = self.clock.now();
+        let guard = self.segments[idx].state.lock();
+        self.lock_wait
+            .record_duration(self.clock.now().saturating_sub(waited_from));
+        guard
+    }
+
     /// Fetches a dataset, opening it on a miss. Returns the shard and
-    /// whether the lookup hit the cache. Transient open failures retry
-    /// per the [`RetryPolicy`]; structural decode failures quarantine
-    /// the dataset (see the module docs).
+    /// whether the lookup was served from shared state (cache hit or a
+    /// coalesced in-flight decode). Transient open failures retry per
+    /// the [`RetryPolicy`]; structural decode failures quarantine the
+    /// dataset (see the module docs). Concurrent misses on the same
+    /// dataset coalesce into exactly one decode.
     pub fn get(&self, name: &str) -> Result<(CachedShard, bool)> {
         if name.contains(['/', '\\']) || name.is_empty() {
             return Err(Error::InvalidRecord(format!("bad dataset name {name:?}")));
         }
-        let mut state = self.state.lock();
-        state.tick += 1;
-        let tick = state.tick;
-        if let Some((shard, stamp)) = state.cache.get_mut(name) {
-            *stamp = tick;
-            self.hits.inc();
-            return Ok((shard.clone(), true));
+        let idx = self.segment_index(name);
+        let role = {
+            let mut state = self.lock_segment(idx);
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some((shard, stamp)) = state.cache.get_mut(name) {
+                *stamp = tick;
+                self.hits.inc();
+                self.segments[idx].hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((shard.clone(), true));
+            }
+            // Health gates, cheapest first: quarantine is permanent,
+            // backoff holds until its deadline on the injected clock.
+            match state.health.get(name) {
+                Some(ShardHealth::Quarantined { reason }) => {
+                    return Err(Error::InvalidRecord(format!(
+                        "dataset {name:?} is quarantined after a decode failure: {reason}"
+                    )));
+                }
+                Some(ShardHealth::Backoff { consecutive_failures, retry_at }) => {
+                    let now = self.clock.now();
+                    if now < *retry_at {
+                        self.backoff_rejections.inc();
+                        return Err(Error::InvalidRecord(format!(
+                            "dataset {name:?} is backing off after {consecutive_failures} \
+                             transient failure(s); retry at {retry_at:?} (now {now:?})"
+                        )));
+                    }
+                }
+                None => {}
+            }
+            match state.inflight.get(name) {
+                Some(entry) => Role::Waiter(Arc::clone(entry)),
+                None => {
+                    let entry = Arc::new(InFlight::default());
+                    state.inflight.insert(name.to_string(), Arc::clone(&entry));
+                    Role::Leader(entry)
+                }
+            }
+        };
+        match role {
+            Role::Waiter(entry) => {
+                // Someone else is already decoding this dataset: park on
+                // the in-flight entry and share its result — no second
+                // decode, no copy.
+                self.coalesced.inc();
+                match entry.wait() {
+                    Ok(shard) => {
+                        // In serialized order this lookup would have
+                        // found the cache populated, so it counts as a
+                        // hit — keeping hits + misses == lookups.
+                        self.hits.inc();
+                        self.segments[idx].hits.fetch_add(1, Ordering::Relaxed);
+                        Ok((shard, true))
+                    }
+                    Err(shared) => Err(copy_for_waiter(&shared)),
+                }
+            }
+            Role::Leader(entry) => {
+                let outcome = self.lead_open(idx, name);
+                // Remove the in-flight entry *before* publishing the
+                // outcome: requests arriving after a failure must start
+                // a fresh attempt, not inherit a stale error.
+                self.lock_segment(idx).inflight.remove(name);
+                match outcome {
+                    Ok(shard) => {
+                        entry.complete(Ok(shard.clone()));
+                        Ok((shard, false))
+                    }
+                    Err(e) => {
+                        entry.complete(Err(Arc::new(copy_for_waiter(&e))));
+                        Err(e)
+                    }
+                }
+            }
         }
+    }
+
+    /// The leader's cold-open path: runs with **no segment lock held**
+    /// (filesystem probes, decodes, and repairs must not block sibling
+    /// lookups), re-acquiring the lock briefly for each state update.
+    /// Only one leader per dataset exists at a time (the in-flight
+    /// entry), so the brief lock windows cannot interleave with another
+    /// writer of this dataset's health state.
+    fn lead_open(&self, idx: usize, name: &str) -> Result<CachedShard> {
         // An unknown dataset is a client error, not a shard failure: it
         // must never create health state (a typo'd name is not a
         // quarantine candidate). A manifest-listed dataset whose file is
@@ -367,28 +636,6 @@ impl ShardStore {
                 self.dir.display()
             )));
         }
-        // Health gates, cheapest first: quarantine is permanent, backoff
-        // holds until its deadline on the injected clock.
-        match state.health.get(name) {
-            Some(ShardHealth::Quarantined { reason }) => {
-                return Err(Error::InvalidRecord(format!(
-                    "dataset {name:?} is quarantined after a decode failure: {reason}"
-                )));
-            }
-            Some(ShardHealth::Backoff { consecutive_failures, retry_at }) => {
-                let now = self.clock.now();
-                if now < *retry_at {
-                    self.backoff_rejections.inc();
-                    return Err(Error::InvalidRecord(format!(
-                        "dataset {name:?} is backing off after {consecutive_failures} \
-                         transient failure(s); retry at {retry_at:?} (now {now:?})"
-                    )));
-                }
-            }
-            None => {}
-        }
-        // Miss: open under the lock. This serializes cold opens, which
-        // keeps a thundering herd from opening the same dataset twice.
         let attempts = self.policy.attempts.max(1);
         let mut last_err = None;
         for attempt in 0..attempts {
@@ -397,8 +644,8 @@ impl ShardStore {
             }
             match self.open_verified(name, &bamx_path) {
                 Ok(shard) => {
-                    self.admit(&mut state, name, &shard, tick);
-                    return Ok((shard, false));
+                    self.admit(idx, name, &shard);
+                    return Ok(shard);
                 }
                 Err(e) if e.is_transient() => last_err = Some(e),
                 Err(e) => {
@@ -406,21 +653,21 @@ impl ShardStore {
                     // One self-heal attempt through the wired repairer;
                     // otherwise quarantine so later lookups fail fast
                     // instead of re-decoding.
-                    match self.attempt_repair(&mut state, name, &bamx_path, e) {
+                    match self.attempt_repair(idx, name, &bamx_path, e) {
                         Ok(shard) => {
-                            self.admit(&mut state, name, &shard, tick);
-                            return Ok((shard, false));
+                            self.admit(idx, name, &shard);
+                            return Ok(shard);
                         }
                         Err(e) if e.is_transient() => {
                             // The repair touched a flaky disk: leave the
                             // dataset repairable and fall through to the
                             // normal backoff bookkeeping.
                             last_err = Some(e);
-                            state.repair_spent.remove(name);
+                            self.lock_segment(idx).repair_spent.remove(name);
                             break;
                         }
                         Err(e) => {
-                            state.health.insert(
+                            self.lock_segment(idx).health.insert(
                                 name.to_string(),
                                 ShardHealth::Quarantined { reason: e.to_string() },
                             );
@@ -432,6 +679,7 @@ impl ShardStore {
             }
         }
         // All attempts failed transiently: enter (or escalate) backoff.
+        let mut state = self.lock_segment(idx);
         let failures = match state.health.get(name) {
             Some(ShardHealth::Backoff { consecutive_failures, .. }) => consecutive_failures + 1,
             _ => 1,
@@ -440,19 +688,32 @@ impl ShardStore {
         state
             .health
             .insert(name.to_string(), ShardHealth::Backoff { consecutive_failures: failures, retry_at });
+        drop(state);
         Err(last_err.unwrap_or_else(|| {
             Error::InvalidRecord(format!("dataset {name:?} failed to open"))
         }))
     }
 
     /// Inserts a freshly opened shard, clearing failure bookkeeping and
-    /// enforcing the capacity bound.
-    fn admit(&self, state: &mut StoreState, name: &str, shard: &CachedShard, tick: u64) {
+    /// enforcing the global budget with per-segment victim selection.
+    fn admit(&self, idx: usize, name: &str, shard: &CachedShard) {
+        let seg = &self.segments[idx];
+        let mut state = self.lock_segment(idx);
         state.health.remove(name);
         state.repair_spent.remove(name);
         self.misses.inc();
-        state.cache.insert(name.to_string(), (shard.clone(), tick));
-        if state.cache.len() > self.capacity {
+        seg.misses.fetch_add(1, Ordering::Relaxed);
+        state.tick += 1;
+        let tick = state.tick;
+        if state.cache.insert(name.to_string(), (shard.clone(), tick)).is_none() {
+            self.occupancy.fetch_add(1, Ordering::Relaxed);
+        }
+        // Evict this segment's LRU while the *global* budget is
+        // exceeded. The freshest stamp belongs to the entry just
+        // inserted, so the victim is never the new entry; a segment down
+        // to one entry stops (bounded overage beats holding two segment
+        // locks).
+        while self.occupancy.load(Ordering::Relaxed) > self.capacity && state.cache.len() > 1 {
             if let Some(victim) = state
                 .cache
                 .iter()
@@ -460,7 +721,11 @@ impl ShardStore {
                 .map(|(k, _)| k.clone())
             {
                 state.cache.remove(&victim);
+                self.occupancy.fetch_sub(1, Ordering::Relaxed);
                 self.evictions.inc();
+                seg.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break;
             }
         }
     }
@@ -469,6 +734,7 @@ impl ShardStore {
     /// gate runs first: both artifacts must verify (length, CRC32,
     /// layout fingerprint) against the manifest before any decode.
     fn open_verified(&self, name: &str, bamx_path: &Path) -> Result<CachedShard> {
+        self.decodes.inc();
         if let Some(repo) = &self.repo {
             repo.verify_artifact(&format!("{name}.bamx"))?;
             repo.verify_artifact(&format!("{name}.baix"))?;
@@ -479,18 +745,19 @@ impl ShardStore {
     /// One self-heal attempt after the structural failure `cause`.
     /// Without a repairer — or when this dataset's one attempt is
     /// already spent — the cause passes straight through (the caller
-    /// quarantines). The repairer runs with the store lock held: repair
-    /// is a cold-path rebuild and serializing it prevents two requests
-    /// from re-deriving the same shard concurrently.
+    /// quarantines). The repairer runs with **no segment lock held**:
+    /// the in-flight entry already guarantees at most one rebuild per
+    /// dataset, and repairs of different datasets may proceed in
+    /// parallel.
     fn attempt_repair(
         &self,
-        state: &mut StoreState,
+        idx: usize,
         name: &str,
         bamx_path: &Path,
         cause: Error,
     ) -> Result<CachedShard> {
         let Some(repairer) = &self.repairer else { return Err(cause) };
-        if !state.repair_spent.insert(name.to_string()) {
+        if !self.lock_segment(idx).repair_spent.insert(name.to_string()) {
             return Err(cause);
         }
         self.repairs.inc();
@@ -514,28 +781,38 @@ impl ShardStore {
 
     /// Whether `name` is permanently quarantined.
     pub fn is_quarantined(&self, name: &str) -> bool {
-        matches!(self.state.lock().health.get(name), Some(ShardHealth::Quarantined { .. }))
+        let idx = self.segment_index(name);
+        matches!(
+            self.lock_segment(idx).health.get(name),
+            Some(ShardHealth::Quarantined { .. })
+        )
     }
 
-    /// Names currently quarantined, sorted.
+    /// Names currently quarantined, sorted (walks every segment).
     pub fn quarantined_datasets(&self) -> Vec<String> {
-        let state = self.state.lock();
-        let mut names: Vec<String> = state
-            .health
-            .iter()
-            .filter(|(_, h)| matches!(h, ShardHealth::Quarantined { .. }))
-            .map(|(k, _)| k.clone())
-            .collect();
+        let mut names = Vec::new();
+        for idx in 0..self.segments.len() {
+            let state = self.lock_segment(idx);
+            names.extend(
+                state
+                    .health
+                    .iter()
+                    .filter(|(_, h)| matches!(h, ShardHealth::Quarantined { .. }))
+                    .map(|(k, _)| k.clone()),
+            );
+        }
         names.sort();
         names
     }
 
-    /// Number of datasets currently open.
+    /// Number of datasets currently open across all segments.
     pub fn cached(&self) -> usize {
-        self.state.lock().cache.len()
+        self.occupancy.load(Ordering::Relaxed)
     }
 
-    /// Current cache and health counters.
+    /// Current cache and health counters (cross-segment totals — the
+    /// only sanctioned way to read totals; never sum segment state under
+    /// multiple locks).
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.hits.get(),
@@ -546,7 +823,25 @@ impl ShardStore {
             backoff_rejections: self.backoff_rejections.get(),
             repairs: self.repairs.get(),
             repaired: self.repaired.get(),
+            decodes: self.decodes.get(),
+            coalesced: self.coalesced.get(),
         }
+    }
+}
+
+/// Rebuilds an owned copy of `e` for broadcasting to single-flight
+/// waiters. [`Error`] is not `Clone` (it wraps `std::io::Error`), so
+/// the copy reconstructs the variant — preserving the
+/// [`Error::is_transient`] classification exactly, which is what the
+/// retry/quarantine decisions of every consumer key on.
+fn copy_for_waiter(e: &Error) -> Error {
+    match e {
+        Error::Io(io) => Error::Io(std::io::Error::new(io.kind(), io.to_string())),
+        Error::Decode(d) => {
+            Error::decode(d.kind, d.offset, d.context.clone(), d.detail.clone())
+        }
+        e if e.is_transient() => Error::Io(std::io::Error::other(e.to_string())),
+        e => Error::InvalidRecord(e.to_string()),
     }
 }
 
@@ -582,7 +877,7 @@ mod tests {
         assert_eq!(shard.baix.len(), 3);
         assert_eq!(
             store.counters(),
-            CacheCounters { hits: 1, misses: 1, ..CacheCounters::default() }
+            CacheCounters { hits: 1, misses: 1, decodes: 1, ..CacheCounters::default() }
         );
     }
 
@@ -603,6 +898,46 @@ mod tests {
         let (_, hit) = store.get("b").unwrap();
         assert!(!hit, "LRU entry must have been evicted");
         assert_eq!(store.counters().evictions, 2); // c's insert + b's re-insert
+    }
+
+    #[test]
+    fn segment_counters_sum_to_global_totals() {
+        let dir = tempfile::tempdir().unwrap();
+        for name in ["a", "b", "c", "d"] {
+            write_shard(dir.path(), name, &[100]);
+        }
+        let store = ShardStore::open(dir.path(), 2).unwrap().with_segments(4);
+        assert_eq!(store.segment_count(), 4);
+        for name in ["a", "b", "c", "d", "a", "b", "c", "d"] {
+            let _ = store.get(name).unwrap();
+        }
+        let totals = store.counters();
+        let (mut hits, mut misses, mut evictions) = (0, 0, 0);
+        for idx in 0..store.segment_count() {
+            let seg = store.segment_counters(idx);
+            hits += seg.hits;
+            misses += seg.misses;
+            evictions += seg.evictions;
+        }
+        assert_eq!(hits, totals.hits);
+        assert_eq!(misses, totals.misses);
+        assert_eq!(evictions, totals.evictions);
+        assert_eq!(hits + misses, 8, "every lookup is a hit or a miss");
+        assert!(store.cached() <= 2 + 3, "budget 2, overage bounded by segments - 1");
+    }
+
+    #[test]
+    fn segment_index_is_deterministic_and_in_range() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = ShardStore::open(dir.path(), 2).unwrap().with_segments(4);
+        for name in ["a", "b", "chr1-shard", "input"] {
+            let idx = store.segment_index(name);
+            assert!(idx < 4);
+            assert_eq!(idx, store.segment_index(name), "stable per name");
+        }
+        // FNV-1a reference value: "a" hashes to 0xaf63dc4c8601ec8c.
+        let one = ShardStore::open(dir.path(), 2).unwrap();
+        assert_eq!(one.segment_index("anything"), 0, "single segment maps everything to 0");
     }
 
     #[test]
@@ -651,6 +986,7 @@ mod tests {
         let c = store.counters();
         assert_eq!(c.transient_retries, 2);
         assert_eq!(c.misses, 1);
+        assert_eq!(c.decodes, 3, "each retry round is one decode attempt");
         assert_eq!(c.backoff_rejections, 0);
         assert_eq!(c.quarantined, 0);
         // 2 failed bamx opens + 1 good bamx + 1 good baix.
@@ -954,5 +1290,20 @@ mod tests {
         assert_eq!(c.quarantined, 0);
         assert_eq!(c.backoff_rejections, 0);
         assert_eq!(calls.load(Ordering::Relaxed), 0, "no open is ever attempted");
+    }
+
+    #[test]
+    fn waiter_error_copies_preserve_classification() {
+        let transient = Error::Io(std::io::Error::other("flaky"));
+        assert!(copy_for_waiter(&transient).is_transient());
+        let structural = Error::decode(
+            ngs_formats::error::DecodeErrorKind::Corrupt,
+            7,
+            "shard",
+            "bad bytes",
+        );
+        let copy = copy_for_waiter(&structural);
+        assert!(!copy.is_transient());
+        assert!(copy.to_string().contains("bad bytes"));
     }
 }

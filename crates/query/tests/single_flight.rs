@@ -1,0 +1,220 @@
+//! Single-flight determinism proof (DESIGN.md §11): concurrent misses
+//! on one cold shard coalesce into exactly one decode, every waiter
+//! receives the *shared* `Arc` payload, and a failed in-flight decode
+//! broadcasts its typed error to all waiters without poisoning the key.
+//!
+//! The decode path is gated behind an injected blocking opener, so the
+//! test controls exactly when the leader's open completes — K requesters
+//! are provably parked on the in-flight entry (the `coalesced` counter
+//! says so) before the decode is allowed to finish.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
+use ngs_formats::header::{ReferenceSequence, SamHeader};
+use ngs_formats::sam;
+use ngs_query::store::SourceOpener;
+use ngs_query::{ManualClock, RetryPolicy, ShardStore};
+
+fn write_shard(dir: &Path, name: &str, starts: &[i64]) {
+    let header = SamHeader::from_references(vec![ReferenceSequence {
+        name: b"chr1".to_vec(),
+        length: 100_000,
+    }]);
+    let records: Vec<_> = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let line = format!("r{i}\t0\tchr1\t{p}\t60\t10M\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII");
+            sam::parse_record(line.as_bytes(), 1).unwrap()
+        })
+        .collect();
+    let bamx_path = dir.join(format!("{name}.bamx"));
+    write_bamx_file(&bamx_path, &header, &records, BamxCompression::Plain).unwrap();
+    let baix = Baix::build(&BamxFile::open(&bamx_path).unwrap()).unwrap();
+    baix.save(dir.join(format!("{name}.baix"))).unwrap();
+}
+
+/// A latch the test opens once all waiters are provably parked.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Spins until `cond` holds (bounded, so a regression fails instead of
+/// hanging the suite).
+fn await_condition(what: &str, cond: impl Fn() -> bool) {
+    for _ in 0..10_000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+const K: usize = 8;
+
+#[test]
+fn k_concurrent_cold_requests_coalesce_into_one_decode() {
+    let dir = tempfile::tempdir().unwrap();
+    write_shard(dir.path(), "d", &[100, 200, 300]);
+
+    let gate = Arc::new(Gate::default());
+    let bamx_opens = Arc::new(AtomicU32::new(0));
+    let (g, opens) = (Arc::clone(&gate), Arc::clone(&bamx_opens));
+    let opener: Box<SourceOpener> = Box::new(move |path| {
+        if path.extension().is_some_and(|e| e == "bamx") {
+            opens.fetch_add(1, Ordering::SeqCst);
+            // Block the decode until the test has verified that every
+            // other requester is parked on the in-flight entry.
+            g.wait();
+        }
+        Ok(Box::new(std::fs::File::open(path)?))
+    });
+    let store = Arc::new(
+        ShardStore::open(dir.path(), 4)
+            .unwrap()
+            .with_segments(4)
+            .with_opener(opener),
+    );
+
+    let shards = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                scope.spawn(move || store.get("d").unwrap())
+            })
+            .collect();
+        // Exactly one requester reached the opener (the leader)...
+        await_condition("leader inside the gated open", || {
+            bamx_opens.load(Ordering::SeqCst) == 1
+        });
+        // ...and the other K-1 are parked on its in-flight entry.
+        await_condition("K-1 waiters coalesced", || {
+            store.counters().coalesced == (K - 1) as u64
+        });
+        gate.release();
+        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    });
+
+    // Exactly one decode no matter how many requesters raced for it.
+    let c = store.counters();
+    assert_eq!(c.decodes, 1, "single-flight must deduplicate the decode");
+    assert_eq!(bamx_opens.load(Ordering::SeqCst), 1);
+    assert_eq!(c.misses, 1, "only the leader is a miss");
+    assert_eq!(c.hits, (K - 1) as u64, "waiters count as hits");
+    assert_eq!(c.coalesced, (K - 1) as u64);
+
+    // Every response shares the same Arc payload — zero-copy fan-out.
+    let (leader_shard, _) = &shards[0];
+    for (shard, _) in &shards {
+        assert!(
+            Arc::ptr_eq(&shard.bamx, &leader_shard.bamx),
+            "responses must share one decoded BAMX"
+        );
+        assert!(Arc::ptr_eq(&shard.baix, &leader_shard.baix));
+    }
+    assert_eq!(leader_shard.bamx.len(), 3);
+    // Exactly one of the K lookups reported itself as the decode miss.
+    assert_eq!(shards.iter().filter(|(_, hit)| !hit).count(), 1);
+}
+
+#[test]
+fn failed_inflight_decode_broadcasts_typed_error_without_poisoning() {
+    let dir = tempfile::tempdir().unwrap();
+    write_shard(dir.path(), "d", &[100, 200]);
+
+    let gate = Arc::new(Gate::default());
+    let bamx_opens = Arc::new(AtomicU32::new(0));
+    let (g, opens) = (Arc::clone(&gate), Arc::clone(&bamx_opens));
+    let opener: Box<SourceOpener> = Box::new(move |path| {
+        if path.extension().is_some_and(|e| e == "bamx") {
+            let call = opens.fetch_add(1, Ordering::SeqCst);
+            if call == 0 {
+                // The in-flight decode everyone coalesced on: hold it
+                // until the waiters are parked, then fail transiently.
+                g.wait();
+                return Err(std::io::Error::other("injected transient open failure"));
+            }
+        }
+        Ok(Box::new(std::fs::File::open(path)?))
+    });
+    let clock = Arc::new(ManualClock::new());
+    let policy = RetryPolicy {
+        attempts: 1, // no in-call retry: the gated failure is the outcome
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_secs(1),
+    };
+    let store = Arc::new(
+        ShardStore::open_with(dir.path(), 4, clock.clone(), policy)
+            .unwrap()
+            .with_segments(4)
+            .with_opener(opener),
+    );
+
+    let errors = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                scope.spawn(move || store.get("d").unwrap_err())
+            })
+            .collect();
+        await_condition("leader inside the gated open", || {
+            bamx_opens.load(Ordering::SeqCst) == 1
+        });
+        await_condition("K-1 waiters coalesced", || {
+            store.counters().coalesced == (K - 1) as u64
+        });
+        gate.release();
+        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    });
+
+    // All K requesters got the typed, still-transient error; the opener
+    // ran once (one decode attempt, shared by everyone).
+    assert_eq!(errors.len(), K);
+    for e in &errors {
+        assert!(e.is_transient(), "waiters must see the transient classification: {e}");
+        assert!(e.to_string().contains("injected transient open failure"), "got: {e}");
+    }
+    assert_eq!(bamx_opens.load(Ordering::SeqCst), 1);
+    let c = store.counters();
+    assert_eq!(c.decodes, 1);
+    assert_eq!((c.hits, c.misses), (0, 0), "a failed open is neither hit nor miss");
+    assert!(!store.is_quarantined("d"), "transient failure must not quarantine");
+
+    // The key is not poisoned: the backoff window (normal transient
+    // bookkeeping) gates immediately-following lookups...
+    let err = store.get("d").unwrap_err();
+    assert!(err.to_string().contains("backing off"), "got: {err}");
+    assert_eq!(store.counters().backoff_rejections, 1);
+    assert_eq!(bamx_opens.load(Ordering::SeqCst), 1, "backoff never touches the disk");
+    // ...and once it passes, a fresh lookup decodes successfully — a
+    // new in-flight entry, not the stale failed one.
+    clock.advance(Duration::from_millis(10));
+    let (shard, hit) = store.get("d").unwrap();
+    assert!(!hit);
+    assert_eq!(shard.bamx.len(), 2);
+    assert_eq!(bamx_opens.load(Ordering::SeqCst), 2);
+    let c = store.counters();
+    assert_eq!(c.decodes, 2);
+    assert_eq!((c.hits, c.misses), (0, 1));
+}

@@ -1,0 +1,293 @@
+//! Concurrency battery for the segmented [`ShardStore`] (DESIGN.md §11).
+//!
+//! Two layers of proof:
+//!
+//! * A **proptest equivalence oracle**: for arbitrary access sequences,
+//!   capacities, and segment counts, the segmented cache behaves
+//!   exactly like a reference model of the classic single-lock LRU
+//!   applied per segment under a global budget — hit/miss/eviction
+//!   counts (global *and* per-segment-sum), final occupancy, and the
+//!   record content of every served shard. With one segment the model
+//!   *is* the old single-lock LRU, so the old semantics are preserved
+//!   verbatim.
+//! * **Thread hammers**: 1..=8 threads over shared stores, asserting no
+//!   lost decodes (every lookup succeeds with the right bytes), no
+//!   duplicate decodes (with capacity ≥ datasets, each shard file is
+//!   opened exactly once no matter the interleaving), and that the
+//!   per-segment counters always sum to the global totals.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
+use ngs_formats::header::{ReferenceSequence, SamHeader};
+use ngs_formats::sam;
+use ngs_query::store::SourceOpener;
+use ngs_query::{CachedShard, ShardStore};
+use proptest::prelude::*;
+
+/// Writes `NAME.bamx` + `NAME.baix` under `dir` with one 10-bp chr1
+/// record per 1-based start in `starts` (mirror of the crate-private
+/// `testutil::write_shard`).
+fn write_shard(dir: &Path, name: &str, starts: &[i64]) {
+    let header = SamHeader::from_references(vec![ReferenceSequence {
+        name: b"chr1".to_vec(),
+        length: 100_000,
+    }]);
+    let records: Vec<_> = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let line = format!("r{i}\t0\tchr1\t{p}\t60\t10M\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII");
+            sam::parse_record(line.as_bytes(), 1).unwrap()
+        })
+        .collect();
+    let bamx_path = dir.join(format!("{name}.bamx"));
+    write_bamx_file(&bamx_path, &header, &records, BamxCompression::Plain).unwrap();
+    let baix = Baix::build(&BamxFile::open(&bamx_path).unwrap()).unwrap();
+    baix.save(dir.join(format!("{name}.baix"))).unwrap();
+}
+
+/// The 1-based starts dataset `i` was written with: distinct per
+/// dataset, so served bytes identify their dataset unambiguously.
+fn starts_of(i: usize) -> Vec<i64> {
+    (0..=i as i64).map(|k| 100 * (i as i64 + 1) + 10 * k).collect()
+}
+
+/// Decodes every record of a served shard back to 1-based starts — the
+/// content-identity probe (same decoded bytes ⇒ same starts, and the
+/// fixtures make starts unique per dataset).
+fn served_starts(shard: &CachedShard) -> Vec<i64> {
+    shard
+        .bamx
+        .read_range(0, shard.bamx.len())
+        .unwrap()
+        .iter()
+        .map(|r| r.pos)
+        .collect()
+}
+
+const DATASETS: usize = 6;
+
+/// One shared fixture directory for every proptest case (building BAMX
+/// shards per case would dominate the suite's runtime).
+fn fixture_dir() -> &'static Path {
+    static DIR: OnceLock<tempfile::TempDir> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = tempfile::tempdir().unwrap();
+        for i in 0..DATASETS {
+            write_shard(dir.path(), &format!("d{i}"), &starts_of(i));
+        }
+        dir
+    })
+    .path()
+}
+
+/// Reference model: the classic single-lock LRU applied per segment
+/// under a global budget — the specified semantics of the segmented
+/// store for any serialized access sequence.
+struct Model {
+    /// Per segment: name → last-use stamp.
+    segments: Vec<HashMap<String, u64>>,
+    ticks: Vec<u64>,
+    capacity: usize,
+    occupancy: usize,
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+    evictions: Vec<u64>,
+}
+
+impl Model {
+    fn new(capacity: usize, segments: usize) -> Self {
+        Model {
+            segments: (0..segments).map(|_| HashMap::new()).collect(),
+            ticks: vec![0; segments],
+            capacity: capacity.max(1),
+            occupancy: 0,
+            hits: vec![0; segments],
+            misses: vec![0; segments],
+            evictions: vec![0; segments],
+        }
+    }
+
+    /// Serialized lookup; returns the predicted hit flag.
+    fn access(&mut self, seg: usize, name: &str) -> bool {
+        self.ticks[seg] += 1;
+        let tick = self.ticks[seg];
+        if let Some(stamp) = self.segments[seg].get_mut(name) {
+            *stamp = tick;
+            self.hits[seg] += 1;
+            return true;
+        }
+        self.misses[seg] += 1;
+        self.ticks[seg] += 1; // admit() stamps with a fresh tick
+        let tick = self.ticks[seg];
+        self.segments[seg].insert(name.to_string(), tick);
+        self.occupancy += 1;
+        while self.occupancy > self.capacity && self.segments[seg].len() > 1 {
+            let victim = self.segments[seg]
+                .iter()
+                .min_by_key(|(_, stamp)| **stamp)
+                .map(|(k, _)| k.clone())
+                .unwrap();
+            self.segments[seg].remove(&victim);
+            self.occupancy -= 1;
+            self.evictions[seg] += 1;
+        }
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equivalence oracle: for arbitrary serialized access sequences,
+    /// the segmented store matches the reference LRU model — hit flags,
+    /// served content, global counters, per-segment counters, and
+    /// occupancy. One segment is exactly the old single-lock semantics.
+    #[test]
+    fn segmented_store_matches_single_lock_lru_model(
+        accesses in proptest::collection::vec(0usize..DATASETS, 0..60),
+        capacity in 1usize..=4,
+        segments in 1usize..=4,
+    ) {
+        let store = ShardStore::open(fixture_dir(), capacity)
+            .unwrap()
+            .with_segments(segments);
+        let mut model = Model::new(capacity, segments);
+        for &i in &accesses {
+            let name = format!("d{i}");
+            let seg = store.segment_index(&name);
+            prop_assert!(seg < segments);
+            let expect_hit = model.access(seg, &name);
+            let (shard, hit) = store.get(&name).unwrap();
+            prop_assert_eq!(hit, expect_hit, "hit flag diverged on {}", name);
+            prop_assert_eq!(served_starts(&shard), starts_of(i), "served bytes diverged");
+        }
+        let totals = store.counters();
+        let (mut hits, mut misses, mut evictions) = (0, 0, 0);
+        for seg in 0..segments {
+            let c = store.segment_counters(seg);
+            prop_assert_eq!(c.hits, model.hits[seg], "segment {} hits", seg);
+            prop_assert_eq!(c.misses, model.misses[seg], "segment {} misses", seg);
+            prop_assert_eq!(c.evictions, model.evictions[seg], "segment {} evictions", seg);
+            hits += c.hits;
+            misses += c.misses;
+            evictions += c.evictions;
+        }
+        prop_assert_eq!(hits, totals.hits, "per-segment hits must sum to the global total");
+        prop_assert_eq!(misses, totals.misses);
+        prop_assert_eq!(evictions, totals.evictions);
+        prop_assert_eq!(totals.hits + totals.misses, accesses.len() as u64);
+        prop_assert_eq!(store.cached(), model.occupancy);
+        // Serialized lookups never coalesce; every miss decodes once.
+        prop_assert_eq!(totals.coalesced, 0);
+        prop_assert_eq!(totals.decodes, totals.misses);
+    }
+}
+
+/// Deterministic per-thread access plan (no RNG, no clock): thread `t`
+/// walks the datasets with a stride coprime to their count.
+fn plan(thread: usize, len: usize) -> Vec<usize> {
+    (0..len).map(|i| (thread * 7 + i * 5 + i / DATASETS) % DATASETS).collect()
+}
+
+#[test]
+fn threads_1_to_8_serve_identical_bytes_and_consistent_counters() {
+    // Small capacity forces eviction churn *while* threads race; the
+    // store must still serve every lookup with the right bytes, keep
+    // hits + misses == lookups, and keep per-segment sums == totals.
+    for threads in 1..=8usize {
+        let store = Arc::new(
+            ShardStore::open(fixture_dir(), 2).unwrap().with_segments(4),
+        );
+        let per_thread = 64usize;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    for i in plan(t, per_thread) {
+                        let (shard, _) = store.get(&format!("d{i}")).unwrap();
+                        assert_eq!(served_starts(&shard), starts_of(i), "lost or corrupt decode");
+                    }
+                });
+            }
+        });
+        let totals = store.counters();
+        assert_eq!(
+            totals.hits + totals.misses,
+            (threads * per_thread) as u64,
+            "every lookup is exactly one hit or one miss ({threads} threads)"
+        );
+        let (mut hits, mut misses, mut evictions) = (0, 0, 0);
+        for seg in 0..store.segment_count() {
+            let c = store.segment_counters(seg);
+            hits += c.hits;
+            misses += c.misses;
+            evictions += c.evictions;
+        }
+        assert_eq!(hits, totals.hits);
+        assert_eq!(misses, totals.misses);
+        assert_eq!(evictions, totals.evictions);
+        // The global budget holds up to the documented bounded overage.
+        assert!(
+            store.cached() < 2 + store.segment_count(),
+            "occupancy {} exceeds budget + overage",
+            store.cached()
+        );
+    }
+}
+
+#[test]
+fn eight_thread_hammer_has_no_lost_or_duplicate_decodes() {
+    // Capacity ≥ datasets ⇒ nothing is ever evicted, so "each shard
+    // file opened exactly once" is the no-duplicate-decode invariant,
+    // and it must hold under any 8-thread interleaving thanks to
+    // single-flight coalescing of concurrent misses.
+    let dir = tempfile::tempdir().unwrap();
+    for i in 0..DATASETS {
+        write_shard(dir.path(), &format!("d{i}"), &starts_of(i));
+    }
+    let opens: Arc<Mutex<HashMap<PathBuf, u32>>> = Arc::default();
+    let counted = Arc::clone(&opens);
+    let opener: Box<SourceOpener> = Box::new(move |path| {
+        *counted.lock().unwrap().entry(path.to_path_buf()).or_insert(0) += 1;
+        Ok(Box::new(std::fs::File::open(path)?))
+    });
+    let store = Arc::new(
+        ShardStore::open(dir.path(), DATASETS)
+            .unwrap()
+            .with_segments(4)
+            .with_opener(opener),
+    );
+    let threads = 8usize;
+    let per_thread = 200usize;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for i in plan(t, per_thread) {
+                    // No lost decodes: every lookup must succeed.
+                    let (shard, _) = store.get(&format!("d{i}")).unwrap();
+                    assert_eq!(served_starts(&shard), starts_of(i));
+                }
+            });
+        }
+    });
+    let opens = opens.lock().unwrap();
+    assert_eq!(opens.len(), DATASETS * 2, "every .bamx and .baix was touched");
+    for (path, count) in opens.iter() {
+        assert_eq!(*count, 1, "duplicate decode of {}", path.display());
+    }
+    let totals = store.counters();
+    assert_eq!(totals.decodes, DATASETS as u64, "one decode per cold dataset");
+    assert_eq!(totals.misses, DATASETS as u64);
+    assert_eq!(totals.evictions, 0);
+    assert_eq!(
+        totals.hits + totals.misses,
+        (threads * per_thread) as u64,
+        "no lookup lost, none double-counted"
+    );
+    assert_eq!(store.cached(), DATASETS);
+}

@@ -310,6 +310,124 @@ fn engine_retries_transient_faults_to_byte_identical_output() {
     assert_eq!(stats.cache_hits, 1);
 }
 
+/// The identity guarantee must survive the segmented-store rebuild: for
+/// every worker count × segment count × streaming mode, and for every
+/// region × format in a mixed request batch submitted all at once, the
+/// part file is byte-identical to single-threaded one-shot partial
+/// conversion (`convert_index_list` under `convert_partial`). Workers
+/// race on the shared cache — including the cold single-flight decode —
+/// and batching drains several queued requests per wakeup; none of that
+/// may change a single output byte.
+#[test]
+fn engine_byte_identity_holds_across_workers_segments_and_streaming() {
+    use ngs_pipeline::PipelineConfig;
+
+    let ds = Dataset::generate(&DatasetSpec {
+        n_records: 1_000,
+        n_chroms: 2,
+        coordinate_sorted: true,
+        ..Default::default()
+    });
+    let dir = tempdir().unwrap();
+    let bam_path = dir.path().join("input.bam");
+    ds.write_bam(&bam_path).unwrap();
+    let conv = BamConverter::new(ConvertConfig::with_ranks(1));
+    let shard_dir = dir.path().join("shards");
+    let prep = conv.preprocess(&bam_path, &shard_dir).unwrap();
+
+    // Reference bytes: one-shot single-threaded partial conversion.
+    let header_probe = ngs_bamx::BamxFile::open(&prep.bamx_path).unwrap();
+    let regions = ["chr1:1-2500", "chr1:4001-8000", "chr2:1-100000"];
+    let formats = [TargetFormat::Sam, TargetFormat::Bed];
+    let mix: Vec<(&str, TargetFormat)> =
+        regions.iter().flat_map(|r| formats.iter().map(move |t| (*r, *t))).collect();
+    let reference: Vec<(std::ffi::OsString, Vec<u8>)> = mix
+        .iter()
+        .enumerate()
+        .map(|(i, (region_text, target))| {
+            let region = Region::parse(region_text, header_probe.header()).unwrap();
+            let out = dir.path().join(format!("m-ref-{i}"));
+            let oneshot = conv
+                .convert_partial(&prep.bamx_path, &prep.baix_path, &region, *target, &out)
+                .unwrap();
+            let path = &oneshot.outputs[0];
+            (path.file_name().unwrap().to_os_string(), std::fs::read(path).unwrap())
+        })
+        .collect();
+
+    for workers in [1usize, 4, 8] {
+        for segments in [1usize, 4] {
+            for streaming in [false, true] {
+                let config = EngineConfig {
+                    workers,
+                    segments,
+                    convert: ConvertConfig::with_ranks(1),
+                    streaming: streaming.then(|| PipelineConfig {
+                        workers: 2,
+                        batch_size: 64,
+                        channel_bound: 2,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                };
+                let engine = QueryEngine::new(&shard_dir, config).unwrap();
+                assert_eq!(engine.store().segment_count(), segments);
+                // Submit the whole mix at once so the workers genuinely
+                // race (and the cold open genuinely coalesces).
+                let tickets: Vec<_> = mix
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (region_text, target))| {
+                        let out_dir = dir
+                            .path()
+                            .join(format!("m-w{workers}-s{segments}-p{streaming}-{i}"));
+                        engine
+                            .submit(QueryRequest {
+                                dataset: "input".into(),
+                                region: (*region_text).into(),
+                                kind: QueryKind::Convert { format: *target, out_dir },
+                                deadline: None,
+                            })
+                            .unwrap()
+                    })
+                    .collect();
+                for (i, ticket) in tickets.into_iter().enumerate() {
+                    let label = format!(
+                        "workers={workers} segments={segments} streaming={streaming} \
+                         request={:?}",
+                        mix[i]
+                    );
+                    let QueryOutcome::Converted { output, .. } = ticket
+                        .wait()
+                        .outcome
+                        .unwrap_or_else(|e| panic!("{label}: failed: {e}"))
+                    else {
+                        panic!("{label}: expected a conversion outcome");
+                    };
+                    assert_eq!(
+                        output.file_name().unwrap(),
+                        reference[i].0,
+                        "{label}: part-file name"
+                    );
+                    assert_eq!(
+                        std::fs::read(&output).unwrap(),
+                        reference[i].1,
+                        "{label}: bytes must match single-threaded one-shot"
+                    );
+                }
+                // One dataset: exactly one decode however many workers
+                // raced for the cold shard.
+                let counters = engine.store().counters();
+                assert_eq!(counters.decodes, 1, "workers={workers} segments={segments}");
+                assert_eq!(counters.hits + counters.misses, mix.len() as u64);
+                let stats = engine.drain();
+                assert_eq!(stats.completed, mix.len() as u64, "workers={workers}");
+                assert_eq!(stats.failed, 0);
+            }
+        }
+    }
+}
+
 /// Coverage requests agree with a direct histogram over the same region,
 /// and deadline bookkeeping stays deterministic under a manual clock.
 #[test]
