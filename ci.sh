@@ -111,4 +111,20 @@ assert warm[8] >= warm[1], f"warm req/s regressed with workers: {warm}"
 print(f"warm req/s 1->8 workers: {warm[1]} -> {warm[8]}")
 PY
 
+# Dist smoke: the distributed tier's acceptance gates (DESIGN.md §12) —
+# placement math stays proptest-pinned, the socket loopback failover
+# path answers byte-identically with a dead rank, the chaos matrix
+# (kill-a-rank + injected delivery faults) passes, and repro dist
+# emits parseable JSON.
+echo "==> dist-smoke (placement proptests + socket failover + chaos matrix)"
+cargo test --quiet -p ngs-dist --test placement_props
+cargo test --quiet -p ngs-dist --test failover -- \
+    socket_failover_after_rank_death_is_byte_identical
+cargo run -p ngs-cli --bin ngsp -- chaos --dist --plans 8 --records 200
+cargo run -p ngs-cli --bin ngsp -- \
+    dist --transport socket --kill 0 --records 200 > /dev/null
+echo "==> repro dist (placement scaling + failover latency, BENCH_dist.json)"
+cargo run --release -p ngs-bench --bin repro -- dist --scale 0.05 > /dev/null
+python3 -c 'import json; json.load(open("BENCH_dist.json"))'
+
 echo "==> ci.sh: all green"

@@ -11,13 +11,13 @@
 use std::io::Write;
 
 use ngs_bench::{
-    collate_bench, fault_bench, fig10, fig11, fig12, fig6, fig7, fig8, fig9, obs_bench,
-    pipeline_bench, query_bench, recovery_bench, table1, ExperimentConfig, Scale,
+    collate_bench, dist_bench, fault_bench, fig10, fig11, fig12, fig6, fig7, fig8, fig9,
+    obs_bench, pipeline_bench, query_bench, recovery_bench, table1, ExperimentConfig, Scale,
 };
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "query", "fault",
-    "pipeline", "recovery", "obs", "collate",
+    "pipeline", "recovery", "obs", "collate", "dist",
 ];
 
 fn usage() -> ! {
@@ -94,6 +94,7 @@ fn main() {
             "recovery" => recovery_bench(&cfg).expect("recovery"),
             "obs" => obs_bench(&cfg).expect("obs"),
             "collate" => collate_bench(&cfg).expect("collate"),
+            "dist" => dist_bench(&cfg).expect("dist"),
             _ => unreachable!(),
         };
         eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());

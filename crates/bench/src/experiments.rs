@@ -1513,6 +1513,212 @@ pub fn collate_bench(cfg: &ExperimentConfig) -> Result<String> {
     Ok(table)
 }
 
+// ---------------------------------------------------------------------------
+// Distributed serving (BENCH_dist.json)
+// ---------------------------------------------------------------------------
+
+/// Distributed placement-and-serving experiment (DESIGN.md §12; extends
+/// the paper's stage decomposition past the process boundary), on two
+/// axes:
+///
+/// * **Simulated-cluster scaling** — shards placed with R = 2 over a
+///   rank axis; each rank serves the queries whose *primary* replica it
+///   holds, timed alone against its own replica repository; makespan =
+///   max(rank times), speedup vs. one rank serving the whole plan. A
+///   byte-identity gate checks every answer against the single-rank
+///   baseline, so partitioned serving can never drift.
+/// * **Failover** — a [`Router`] over the same replicas on the real
+///   clock: the busiest primary is killed mid-plan, every query must
+///   still answer byte-identically, and the detour latencies recorded in
+///   `dist.failover_latency_ns` are reported as p50/p95/p99.
+///
+/// Writes `BENCH_dist.json` and returns a rendered table.
+pub fn dist_bench(cfg: &ExperimentConfig) -> Result<String> {
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
+    use ngs_dist::{
+        place, rank_repo_dir, replicate, serve_query, DistQuery, PlacementConfig, Router,
+        RouterConfig,
+    };
+    use ngs_query::{RetryPolicy, ShardStore};
+    use ngs_simgen::{Dataset, DatasetSpec};
+
+    const RANK_AXIS: [usize; 5] = [1, 2, 4, 8, 16];
+    let n_shards = cfg.scale.dist_shards();
+    let records = cfg.scale.dist_records();
+
+    // Deterministic shard fixtures.
+    let source = cfg.cache.scratch("dist-source")?;
+    let mut datasets = Vec::with_capacity(n_shards);
+    for i in 0..n_shards {
+        let name = format!("d{i:03}");
+        let ds = Dataset::generate(&DatasetSpec {
+            n_records: records,
+            n_chroms: 2,
+            coordinate_sorted: true,
+            seed: 20140519 + i as u64,
+            ..Default::default()
+        });
+        let bamx_path = source.join(format!("{name}.bamx"));
+        write_bamx_file(&bamx_path, &ds.header(), &ds.records, BamxCompression::Bgzf)?;
+        Baix::build(&BamxFile::open(&bamx_path)?)?.save(bamx_path.with_extension("baix"))?;
+        datasets.push(name);
+    }
+    let queries: Vec<DistQuery> = datasets
+        .iter()
+        .flat_map(|d| {
+            ["chr1", "chr1:1-60000", "chr2"].into_iter().map(move |region| DistQuery {
+                dataset: d.clone(),
+                region: region.into(),
+                format: TargetFormat::Sam,
+            })
+        })
+        .collect();
+    let n_queries = queries.len();
+
+    let clock = || Arc::new(ngs_obs::SystemClock::new());
+    let open_store = |root: &std::path::Path, rank: usize| -> Result<ShardStore> {
+        ShardStore::open_with(rank_repo_dir(root, rank), 64, clock(), RetryPolicy::default())
+    };
+    let convert = ConvertConfig::with_ranks(1);
+
+    let mut table = String::from("Distributed serving: placement, scaling, failover\n");
+    table.push_str(&format!(
+        "{n_shards} shards x {records} records, {n_queries} queries, R = 2\n"
+    ));
+
+    // Simulated-cluster scaling over the rank axis. The 1-rank pass is
+    // both the sequential baseline and the byte-identity oracle.
+    table.push_str("simulated serving scaling (makespan = max rank time):\n");
+    table.push_str("        ranks  makespan    speedup\n");
+    let mut baseline: Vec<Vec<u8>> = Vec::new();
+    let mut seq = Duration::ZERO;
+    let mut scaling_rows = Vec::new();
+    for &ranks in &RANK_AXIS {
+        let members: BTreeSet<usize> = (0..ranks).collect();
+        let map = place(&datasets, &members, &PlacementConfig::default());
+        let root = cfg.cache.scratch(&format!("dist-root-{ranks}"))?;
+        replicate(&source, &map, &root)?;
+
+        // Each rank serves the queries whose primary replica it holds.
+        let mut makespan = Duration::ZERO;
+        let mut answers: Vec<(usize, Vec<u8>)> = Vec::new();
+        for rank in 0..ranks {
+            let share: Vec<(usize, &DistQuery)> = queries
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| map.replicas(&q.dataset).first() == Some(&rank))
+                .collect();
+            if share.is_empty() {
+                continue;
+            }
+            let store = open_store(&root, rank)?;
+            let out_dir = root.join(format!("serve{rank:03}"));
+            let elapsed = cfg.best_of(|| {
+                let t = Instant::now();
+                for (_, q) in &share {
+                    std::hint::black_box(serve_query(&store, q, &convert, &out_dir)?);
+                }
+                Ok(t.elapsed())
+            })?;
+            makespan = makespan.max(elapsed);
+            for (i, q) in &share {
+                answers.push((*i, serve_query(&store, q, &convert, &out_dir)?));
+            }
+        }
+        answers.sort_by_key(|(i, _)| *i);
+        if answers.len() != n_queries {
+            return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                "{ranks}-rank serving answered {} of {n_queries} queries",
+                answers.len()
+            )));
+        }
+        if ranks == 1 {
+            seq = makespan;
+            baseline = answers.into_iter().map(|(_, b)| b).collect();
+        } else {
+            for (i, got) in &answers {
+                if got != &baseline[*i] {
+                    return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                        "{ranks}-rank serving diverged from the 1-rank baseline on query {i}"
+                    )));
+                }
+            }
+        }
+        let speedup = seq.as_secs_f64() / makespan.as_secs_f64().max(1e-12);
+        table.push_str(&format!("{ranks:>13}  {makespan:>8.2?}  {speedup:>8.2}x\n"));
+        scaling_rows.push(format!(
+            "    {{\"ranks\": {ranks}, \"makespan_seconds\": {:.6}, \"speedup\": {speedup:.3}}}",
+            makespan.as_secs_f64(),
+        ));
+    }
+
+    // Failover: kill the busiest primary under a Router on the real
+    // clock; identity gate + latency percentiles from the histogram.
+    let fo_ranks = 4usize;
+    let members: BTreeSet<usize> = (0..fo_ranks).collect();
+    let map = place(&datasets, &members, &PlacementConfig::default());
+    let root = cfg.cache.scratch("dist-failover")?;
+    replicate(&source, &map, &root)?;
+    let victim = (0..fo_ranks)
+        .max_by_key(|&r| {
+            (datasets.iter().filter(|d| map.replicas(d).first() == Some(&r)).count(), r)
+        })
+        .unwrap_or(0);
+
+    let registry = Arc::new(ngs_obs::Registry::new());
+    let router = Router::new(
+        map,
+        &root,
+        &root.join("scratch"),
+        clock(),
+        Arc::clone(&registry),
+        RouterConfig::default(),
+    )?;
+    router.kill(victim);
+    for _ in 0..cfg.repeats.max(1) {
+        for (q, want) in queries.iter().zip(&baseline) {
+            let got = router.query(q)?;
+            if &got != want {
+                return Err(ngs_formats::error::Error::InvalidRecord(format!(
+                    "failover answer diverged from the healthy baseline on {q:?}"
+                )));
+            }
+        }
+    }
+    let failovers = registry.counter("dist.failovers").get();
+    let hist = registry.histogram("dist.failover_latency_ns").snapshot();
+    table.push_str(&format!(
+        "failover ({fo_ranks} ranks, killed busiest primary {victim}): {failovers} detours, \
+         latency p50 {} ns, p95 {} ns, p99 {} ns ({} samples), all byte-identical\n",
+        hist.p50(),
+        hist.p95(),
+        hist.p99(),
+        hist.count,
+    ));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"dist_serving\",\n  \"shards\": {n_shards},\n  \
+         \"records_per_shard\": {records},\n  \"queries\": {n_queries},\n  \
+         \"replicas\": 2,\n  \"simulated_scaling\": [\n{}\n  ],\n  \
+         \"failover\": {{\"ranks\": {fo_ranks}, \"killed_rank\": {victim}, \
+         \"failovers\": {failovers}, \"byte_identical\": true, \
+         \"latency_ns\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \
+         \"p99\": {}}}}}\n}}\n",
+        scaling_rows.join(",\n"),
+        hist.count,
+        hist.mean(),
+        hist.p50(),
+        hist.p95(),
+        hist.p99(),
+    );
+    std::fs::write("BENCH_dist.json", json)?;
+    table.push_str("JSON written to BENCH_dist.json\n");
+    Ok(table)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

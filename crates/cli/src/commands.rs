@@ -1000,6 +1000,9 @@ pub fn chaos_cmd(args: &Args) -> CmdResult {
     if args.switch("crash") {
         return chaos_crash(args);
     }
+    if args.switch("dist") {
+        return chaos_dist(args);
+    }
 
     let plans: u64 = args.get_or("plans", 64u64)?;
     let records: usize = args.get_or("records", 400usize)?;
@@ -1585,6 +1588,382 @@ fn chaos_crash(args: &Args) -> CmdResult {
         "chaos --crash: all checks passed ({} crash points, seed {seed})",
         offsets.len() + meta_offsets.len() + spill_offsets.len() + 3
     )?;
+    Ok(())
+}
+
+/// Writes `n_shards` deterministic datasets (`d00.bamx`/`.baix`, …)
+/// into `source`, returning their names. Shared by `ngsp dist` and
+/// `ngsp chaos --dist`.
+fn dist_fixture(source: &Path, n_shards: usize, records: usize, seed: u64) -> CmdResult2<Vec<String>> {
+    use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
+    let mut names = Vec::with_capacity(n_shards);
+    for i in 0..n_shards {
+        let name = format!("d{i:02}");
+        let ds = Dataset::generate(&DatasetSpec {
+            n_records: records,
+            n_chroms: 2,
+            coordinate_sorted: true,
+            seed: seed.wrapping_add(i as u64),
+            ..Default::default()
+        });
+        let bamx_path = source.join(format!("{name}.bamx"));
+        write_bamx_file(&bamx_path, &ds.header(), &ds.records, BamxCompression::Bgzf)?;
+        Baix::build(&BamxFile::open(&bamx_path)?)?.save(bamx_path.with_extension("baix"))?;
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// Value-returning sibling of [`CmdResult`].
+type CmdResult2<T> = Result<T, Box<dyn std::error::Error>>;
+
+/// The query plan `ngsp dist` serves: whole-chromosome and windowed
+/// regions per dataset, SAM output (the paper's partial-conversion
+/// query shape).
+fn dist_queries(datasets: &[String]) -> Vec<ngs_dist::DistQuery> {
+    let mut out = Vec::new();
+    for d in datasets {
+        for region in ["chr1", "chr1:1-60000", "chr2"] {
+            out.push(ngs_dist::DistQuery {
+                dataset: d.clone(),
+                region: region.into(),
+                format: TargetFormat::Sam,
+            });
+        }
+    }
+    out
+}
+
+/// `ngsp dist [--ranks N] [--replicas R] [--shards S] [--records N]
+///            [--kill RANK] [--transport thread|socket] [--seed S] [--vnodes V]`
+///
+/// End-to-end distributed serving (DESIGN.md §12): synthesizes datasets,
+/// places them with R-way replication (seeded rendezvous hashing),
+/// materialises replicas into per-rank crash-safe repositories, then
+/// serves the query plan — through the in-process failover [`Router`]
+/// (`--transport thread`, default) or over the framed loopback socket
+/// transport with one RPC server per rank (`--transport socket`).
+/// `--kill RANK` kills that rank mid-plan and verifies every answer
+/// stays byte-identical to the healthy run. Prints the `dist.*` metrics.
+pub fn dist_cmd(args: &Args) -> CmdResult {
+    use ngs_dist::{place, replicate, PlacementConfig, Router, RouterConfig};
+    use ngs_query::ManualClock;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    let n_ranks: usize = args.get_or("ranks", 3usize)?;
+    let replicas: usize = args.get_or("replicas", 2usize)?;
+    let n_shards: usize = args.get_or("shards", 4usize)?;
+    let records: usize = args.get_or("records", 300usize)?;
+    let seed: u64 = args.get_or("seed", 20140519u64)?;
+    let vnodes: u32 = args.get_or("vnodes", 16u32)?;
+    let kill: Option<usize> = match args.optional("kill") {
+        Some(k) => Some(k.parse().map_err(|_| err(format!("--kill {k:?}: not a rank")))?),
+        None => None,
+    };
+    let transport = args.optional("transport").unwrap_or("thread");
+    if n_ranks == 0 {
+        return Err(err("--ranks must be at least 1"));
+    }
+    if let Some(k) = kill {
+        if k >= n_ranks {
+            return Err(err(format!("--kill {k} out of range (world has {n_ranks} ranks)")));
+        }
+        if n_ranks < 2 || replicas < 2 {
+            return Err(err("--kill needs --ranks >= 2 and --replicas >= 2 to fail over"));
+        }
+    }
+
+    let dir = tempfile::tempdir()?;
+    let source = dir.path().join("source");
+    std::fs::create_dir_all(&source)?;
+    let datasets = dist_fixture(&source, n_shards, records, seed)?;
+    let ranks: BTreeSet<usize> = (0..n_ranks).collect();
+    let config = PlacementConfig { seed, vnodes, replicas };
+    let map = place(&datasets, &ranks, &config);
+    let published = replicate(&source, &map, dir.path())?;
+    outln!(
+        "placement: {n_shards} shards x {} replicas over {n_ranks} ranks \
+         (seed {seed}, {vnodes} vnodes), {published} artifacts published"
+    , map.config().replicas.min(n_ranks))?;
+    for d in &datasets {
+        outln!("  {d} -> ranks {:?}", map.replicas(d))?;
+    }
+
+    let queries = dist_queries(&datasets);
+    let registry = Arc::new(ngs_obs::Registry::new());
+    let scratch = dir.path().join("scratch");
+
+    // Healthy baseline through the in-process router (replicas serve
+    // identical bytes, so this is the reference for both transports).
+    let (healthy, _) = {
+        let reg = Arc::new(ngs_obs::Registry::new());
+        let router = Router::new(
+            map.clone(),
+            dir.path(),
+            &dir.path().join("healthy-scratch"),
+            Arc::new(ManualClock::new()),
+            Arc::clone(&reg),
+            RouterConfig::default(),
+        )?;
+        (router, reg)
+    };
+    let mut baseline = Vec::with_capacity(queries.len());
+    for q in &queries {
+        baseline.push(healthy.query(q).map_err(|e| err(format!("healthy {q:?}: {e}")))?);
+    }
+    drop(healthy);
+
+    match transport {
+        "thread" => {
+            let router = Router::new(
+                map.clone(),
+                dir.path(),
+                &scratch,
+                Arc::new(ManualClock::new()),
+                Arc::clone(&registry),
+                RouterConfig::default(),
+            )?;
+            if let Some(k) = kill {
+                router.kill(k);
+                outln!("killed rank {k} before serving")?;
+            }
+            for (q, want) in queries.iter().zip(&baseline) {
+                let got = router.query(q).map_err(|e| err(format!("{q:?}: {e}")))?;
+                if &got != want {
+                    return Err(err(format!("{q:?}: bytes diverged from healthy run")));
+                }
+            }
+        }
+        "socket" => {
+            // World layout: ranks 0..n_ranks serve their repos over the
+            // wire; the extra last rank is the client, so placement
+            // ranks and world ids coincide and --kill means the same
+            // rank in both transports.
+            let client_rank = n_ranks;
+            let world = ngs_dist::SocketTransport::create_world_obs(n_ranks + 1, &registry)
+                .map_err(|e| err(format!("socket world: {e}")))?;
+            let dist_metrics = ngs_dist::DistMetrics::register(&registry);
+            let convert = ConvertConfig::with_ranks(1);
+            let root = dir.path();
+            let outcome: CmdResult = std::thread::scope(|s| {
+                let (world, queries, baseline, convert, map, scratch, dist_metrics) =
+                    (&world, &queries, &baseline, &convert, &map, &scratch, &dist_metrics);
+                let mut handles = Vec::with_capacity(n_ranks);
+                for (rank, endpoint) in world.iter().take(n_ranks).enumerate() {
+                    handles.push((rank, s.spawn(move || -> ngs_formats::error::Result<()> {
+                        let store = ngs_query::ShardStore::open_with(
+                            ngs_dist::rank_repo_dir(root, rank),
+                            16,
+                            Arc::new(ManualClock::new()),
+                            ngs_query::RetryPolicy::default(),
+                        )?;
+                        ngs_dist::rpc::serve(
+                            endpoint,
+                            client_rank,
+                            &store,
+                            convert,
+                            &scratch.join(format!("rank{rank:03}")),
+                        )
+                    })));
+                }
+                let client = ngs_dist::DistClient::new(&world[client_rank]);
+                if let Some(k) = kill {
+                    world[k].close();
+                    outln!("killed rank {k} (socket endpoint closed) before serving")?;
+                }
+                for (q, want) in queries.iter().zip(baseline.iter()) {
+                    let got = client
+                        .query_with_failover(map.replicas(&q.dataset), q, Some(dist_metrics))
+                        .map_err(|e| err(format!("{q:?}: {e}")))?;
+                    if &got != want {
+                        return Err(err(format!("{q:?}: bytes diverged from healthy run")));
+                    }
+                }
+                // Release the surviving server loops, then surface any
+                // server-side error.
+                for rank in 0..n_ranks {
+                    if kill != Some(rank) {
+                        client.shutdown(rank)?;
+                    }
+                }
+                for (rank, h) in handles {
+                    match h.join() {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => return Err(err(format!("rank {rank} server: {e}"))),
+                        Err(_) => return Err(err(format!("rank {rank} server panicked"))),
+                    }
+                }
+                Ok(())
+            });
+            outcome?;
+        }
+        other => return Err(err(format!("--transport {other:?}: use thread or socket"))),
+    }
+
+    outln!(
+        "served {} queries over {transport} transport{}: all byte-identical to the healthy run",
+        queries.len(),
+        match kill {
+            Some(k) => format!(" with rank {k} dead"),
+            None => String::new(),
+        }
+    )?;
+    let snapshot = registry.snapshot();
+    for (name, value) in &snapshot.counters {
+        if name.starts_with("dist.") {
+            outln!("  {name} = {value}")?;
+        }
+    }
+    Ok(())
+}
+
+/// `ngsp chaos --dist [--plans N] [--records R] [--ranks M] [--seed S]`
+///
+/// The distributed failure matrix (DESIGN.md §12):
+///
+/// 1. **Kill-a-rank** — R = 2 replicas over `--ranks` ranks; each rank
+///    in turn is killed mid-query-plan and every query must answer
+///    byte-identically to the healthy run, both via failover routing
+///    and after a permanent `apply_leave` rebalance.
+/// 2. **Delivery faults** — `--plans` seeded
+///    [`ngs_fault::FaultPlan::random_transport`] plans (drop, duplicate,
+///    delay, mid-frame disconnect) strike the RPC client's transport;
+///    every response must stay byte-identical.
+///
+/// Exits nonzero on any violation.
+fn chaos_dist(args: &Args) -> CmdResult {
+    use ngs_cluster::Communicator;
+    use ngs_dist::{place, replicate, PlacementConfig, Router, RouterConfig};
+    use ngs_fault::{FaultPlan, FaultyTransport};
+    use ngs_query::ManualClock;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    let plans: u64 = args.get_or("plans", 12u64)?;
+    let records: usize = args.get_or("records", 300usize)?;
+    let n_ranks: usize = args.get_or("ranks", 3usize)?;
+    let seed: u64 = args.get_or("seed", 20140519u64)?;
+    if n_ranks < 2 {
+        return Err(err("--dist needs --ranks >= 2 (failover requires a survivor)"));
+    }
+
+    let dir = tempfile::tempdir()?;
+    let source = dir.path().join("source");
+    std::fs::create_dir_all(&source)?;
+    let datasets = dist_fixture(&source, 3, records, seed)?;
+    let ranks: BTreeSet<usize> = (0..n_ranks).collect();
+    let config = PlacementConfig { seed, ..Default::default() };
+    let map = place(&datasets, &ranks, &config);
+    replicate(&source, &map, dir.path())?;
+    let queries = dist_queries(&datasets);
+
+    let build_router = |scratch: &Path| -> CmdResult2<Router> {
+        Ok(Router::new(
+            map.clone(),
+            dir.path(),
+            scratch,
+            Arc::new(ManualClock::new()),
+            Arc::new(ngs_obs::Registry::new()),
+            RouterConfig::default(),
+        )?)
+    };
+    let healthy = build_router(&dir.path().join("scratch-healthy"))?;
+    let mut baseline = Vec::with_capacity(queries.len());
+    for q in &queries {
+        baseline.push(healthy.query(q)?);
+    }
+    drop(healthy);
+
+    // --- 1. Kill-a-rank matrix ---------------------------------------------
+    for dead in 0..n_ranks {
+        let router = build_router(&dir.path().join(format!("scratch-kill{dead}")))?;
+        router.kill(dead);
+        for (q, want) in queries.iter().zip(&baseline) {
+            let got = router.query(q).map_err(|e| {
+                err(format!("rank {dead} dead: {q:?} unanswerable: {e}"))
+            })?;
+            if &got != want {
+                return Err(err(format!("rank {dead} dead: {q:?} diverged from healthy run")));
+            }
+        }
+    }
+    // Permanent departure: rebalance, then verify identity again.
+    let mut router = build_router(&dir.path().join("scratch-leave"))?;
+    let plan = router.apply_leave(n_ranks - 1)?;
+    for (q, want) in queries.iter().zip(&baseline) {
+        if &router.query(q)? != want {
+            return Err(err(format!("after apply_leave: {q:?} diverged from healthy run")));
+        }
+    }
+    outln!(
+        "kill matrix: {n_ranks} single-rank deaths + 1 permanent leave \
+         ({} slots rebalanced) -> {} queries byte-identical each time",
+        plan.moves.len(),
+        queries.len()
+    )?;
+
+    // --- 2. Delivery-fault RPC matrix --------------------------------------
+    // A dedicated 2-rank, R = 2 placement so rank 0's repo holds every
+    // dataset and one RPC server can answer the whole query plan.
+    let rpc_root = dir.path().join("rpc");
+    let rpc_ranks: BTreeSet<usize> = (0..2).collect();
+    let rpc_map = place(&datasets, &rpc_ranks, &config);
+    replicate(&source, &rpc_map, &rpc_root)?;
+    let convert = ConvertConfig::with_ranks(1);
+    for p in 0..plans {
+        let fault_plan = FaultPlan::random_transport(seed.wrapping_add(p), 24);
+        let world = Communicator::create_world(2);
+        let server_out = dir.path().join(format!("rpc-out-{p}"));
+        let outcome: CmdResult = std::thread::scope(|s| {
+            let (queries, baseline, convert, fault_plan, rpc_root, server_out) =
+                (&queries, &baseline, &convert, &fault_plan, &rpc_root, &server_out);
+            let (client_t, server_t) = {
+                let mut it = world.iter();
+                let c = it.next().ok_or_else(|| err("empty world"))?;
+                (c, it.next().ok_or_else(|| err("one-rank world"))?)
+            };
+            let handle = s.spawn(move || -> ngs_formats::error::Result<()> {
+                let store = ngs_query::ShardStore::open_with(
+                    ngs_dist::rank_repo_dir(rpc_root, 0),
+                    16,
+                    Arc::new(ManualClock::new()),
+                    ngs_query::RetryPolicy::default(),
+                )?;
+                ngs_dist::rpc::serve(server_t, 0, &store, convert, server_out)
+            });
+            // Faults strike the client's side of the wire; every reply
+            // must still be byte-identical to the healthy baseline.
+            let faulty = FaultyTransport::new(client_t, fault_plan.clone());
+            let client = ngs_dist::DistClient::new(&faulty);
+            for (q, want) in queries.iter().zip(baseline.iter()) {
+                let got = client
+                    .query(1, q)
+                    .map_err(|e| err(format!("plan {p} ({fault_plan:?}): {q:?}: {e}")))?;
+                if &got != want {
+                    return Err(err(format!(
+                        "plan {p} ({fault_plan:?}): {q:?} diverged under delivery faults"
+                    )));
+                }
+            }
+            // Clean shutdown over the raw transport (a fault on the
+            // shutdown exchange could strand the server).
+            ngs_dist::DistClient::new(client_t)
+                .shutdown(1)
+                .map_err(|e| err(format!("plan {p}: shutdown: {e}")))?;
+            match handle.join() {
+                Ok(Ok(())) => Ok(()),
+                Ok(Err(e)) => Err(err(format!("plan {p}: server: {e}"))),
+                Err(_) => Err(err(format!("plan {p}: server panicked"))),
+            }
+        });
+        outcome?;
+    }
+    outln!(
+        "delivery matrix: {plans} transport fault plans (drop/duplicate/delay/mid-frame) \
+         -> all RPC responses byte-identical"
+    )?;
+    outln!("chaos --dist: all checks passed ({n_ranks} ranks, {plans} plans, seed {seed})")?;
     Ok(())
 }
 

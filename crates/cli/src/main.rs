@@ -69,6 +69,15 @@ COMMANDS:
               (power-cut matrix: kill preprocessing and collate
                spill/merge at swept byte offsets, reopen, resume,
                assert byte-identical recovery)
+              --dist [--plans N] [--records R] [--ranks M] [--seed S]
+              (distributed matrix: kill each rank mid-query-plan and
+               assert failover answers byte-identical to the healthy
+               run; RPC byte-identity under injected delivery faults)
+  dist        place, replicate, and serve shards with R-way replication
+              and failover routing (DESIGN.md §12)
+              [--ranks N] [--replicas R] [--shards S] [--records N]
+              [--kill RANK] [--transport thread|socket] [--seed S]
+              [--vnodes V]
   verify      integrity-scan a manifest-managed shard directory
               SHARD_DIR   (exits nonzero if any artifact is damaged)
   repair      re-derive damaged shards from the original input
@@ -143,6 +152,7 @@ fn main() {
         "query" => commands::query_cmd(&args),
         "stats" => commands::stats_cmd(&args),
         "chaos" => commands::chaos_cmd(&args),
+        "dist" => commands::dist_cmd(&args),
         "verify" => commands::verify_cmd(&args),
         "repair" => commands::repair_cmd(&args),
         "help" | "--help" | "-h" => {

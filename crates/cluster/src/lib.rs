@@ -22,6 +22,8 @@
 
 pub mod comm;
 pub mod scope;
+pub mod transport;
 
 pub use comm::Communicator;
 pub use scope::{run_ranks, time_ranks};
+pub use transport::{Transport, BARRIER_TAG, RESERVED_TAG_BASE};

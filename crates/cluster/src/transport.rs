@@ -1,0 +1,318 @@
+//! The [`Transport`] seam: the [`Communicator`] collective surface
+//! (send/recv/barrier/gather/broadcast/all_reduce) extracted into a
+//! trait, so distributed algorithms can run unchanged over ranks that
+//! are threads in one address space (the in-process [`Communicator`])
+//! *or* separate endpoints behind a wire (the framed socket transport
+//! in `ngs-dist`). See DESIGN.md §12.
+//!
+//! Trait methods are fallible — a wire can fail where a shared mailbox
+//! cannot — and failures keep the workspace's transient-vs-structural
+//! contract: a peer disconnect surfaces as a transient
+//! [`Error::Io`](ngs_formats::error::Error), while corrupt framing
+//! surfaces as a structural decode error, so
+//! [`Error::is_transient`](ngs_formats::error::Error::is_transient)
+//! routing (retry / fail over vs quarantine) carries over unchanged.
+//!
+//! Collectives have default implementations built only on
+//! [`Transport::send`] / [`Transport::recv`], mirroring the
+//! [`Communicator`] algorithms (rank-0-rooted gather + broadcast), so a
+//! new transport needs just the four core methods. [`Communicator`]
+//! overrides them to delegate to its original infallible inherent
+//! methods — retrofitting the existing impl behind the trait without
+//! changing its behaviour.
+
+use ngs_formats::error::{DecodeErrorKind, Error, Result};
+
+use crate::comm::Communicator;
+
+/// Tag reserved for the default [`Transport::barrier`]; user traffic
+/// must stay below [`RESERVED_TAG_BASE`].
+pub const BARRIER_TAG: u64 = u64::MAX;
+
+/// Tags at or above this value are reserved for transport-internal
+/// control traffic (barriers, future handshakes).
+pub const RESERVED_TAG_BASE: u64 = u64::MAX - 16;
+
+/// Decodes a little-endian 8-byte scalar message, with a typed error
+/// (never a panic) on short payloads.
+fn fixed8(bytes: &[u8], what: &str) -> Result<[u8; 8]> {
+    match bytes.get(..8).and_then(|b| <[u8; 8]>::try_from(b).ok()) {
+        Some(arr) => Ok(arr),
+        None => Err(Error::decode(
+            DecodeErrorKind::Truncated,
+            bytes.len() as u64,
+            "transport message",
+            format!("{what} payload is {} bytes, need 8", bytes.len()),
+        )),
+    }
+}
+
+/// Message-passing endpoint for one rank of a world: the exact
+/// [`Communicator`] surface, made fallible and pluggable.
+///
+/// Implementations must deliver messages FIFO per `(from, tag)` channel
+/// and keep distinct tags independent. All methods take `&self`; an
+/// endpoint is shared across threads of its rank.
+pub trait Transport: Send + Sync {
+    /// This rank's id (0-based).
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the world.
+    fn size(&self) -> usize;
+
+    /// Sends `data` to rank `to` under `tag` (buffered; an error means
+    /// the message was *not* delivered and may be retried).
+    fn send(&self, to: usize, tag: u64, data: Vec<u8>) -> Result<()>;
+
+    /// Receives the next message from rank `from` under `tag`,
+    /// blocking. A transient error means the peer is unreachable
+    /// (disconnected); a structural one means its bytes were corrupt.
+    fn recv(&self, from: usize, tag: u64) -> Result<Vec<u8>>;
+
+    /// Blocks until every rank has entered the barrier. Default:
+    /// rank-0-rooted gather + release under [`BARRIER_TAG`].
+    fn barrier(&self) -> Result<()> {
+        if self.rank() == 0 {
+            for r in 1..self.size() {
+                self.recv(r, BARRIER_TAG)?;
+            }
+            for r in 1..self.size() {
+                self.send(r, BARRIER_TAG, Vec::new())?;
+            }
+        } else {
+            self.send(0, BARRIER_TAG, Vec::new())?;
+            self.recv(0, BARRIER_TAG)?;
+        }
+        Ok(())
+    }
+
+    /// Typed convenience: send one `u64`.
+    fn send_u64(&self, to: usize, tag: u64, value: u64) -> Result<()> {
+        self.send(to, tag, value.to_le_bytes().to_vec())
+    }
+
+    /// Typed convenience: receive one `u64`.
+    fn recv_u64(&self, from: usize, tag: u64) -> Result<u64> {
+        Ok(u64::from_le_bytes(fixed8(&self.recv(from, tag)?, "u64")?))
+    }
+
+    /// Typed convenience: send one `f64`.
+    fn send_f64(&self, to: usize, tag: u64, value: f64) -> Result<()> {
+        self.send(to, tag, value.to_le_bytes().to_vec())
+    }
+
+    /// Typed convenience: receive one `f64`.
+    fn recv_f64(&self, from: usize, tag: u64) -> Result<f64> {
+        Ok(f64::from_le_bytes(fixed8(&self.recv(from, tag)?, "f64")?))
+    }
+
+    /// Gathers every rank's `data` at rank 0 (returns `Some(all)` on
+    /// rank 0 in rank order, `None` elsewhere).
+    fn gather(&self, tag: u64, data: Vec<u8>) -> Result<Option<Vec<Vec<u8>>>> {
+        if self.rank() == 0 {
+            let mut all = Vec::with_capacity(self.size());
+            all.push(data);
+            for r in 1..self.size() {
+                all.push(self.recv(r, tag)?);
+            }
+            Ok(Some(all))
+        } else {
+            self.send(0, tag, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Broadcasts rank 0's `data` to every rank; each rank passes its
+    /// own input and receives rank 0's.
+    fn broadcast(&self, tag: u64, data: Vec<u8>) -> Result<Vec<u8>> {
+        if self.rank() == 0 {
+            for r in 1..self.size() {
+                self.send(r, tag, data.clone())?;
+            }
+            Ok(data)
+        } else {
+            self.recv(0, tag)
+        }
+    }
+
+    /// Sum-reduction of one `f64` across all ranks; every rank receives
+    /// the total (allreduce).
+    fn all_reduce_sum_f64(&self, tag: u64, value: f64) -> Result<f64> {
+        let total = match self.gather(tag, value.to_le_bytes().to_vec())? {
+            Some(all) => {
+                let mut sum = 0.0;
+                for bytes in &all {
+                    sum += f64::from_le_bytes(fixed8(bytes, "f64")?);
+                }
+                self.broadcast(tag, sum.to_le_bytes().to_vec())?
+            }
+            None => self.broadcast(tag, Vec::new())?,
+        };
+        Ok(f64::from_le_bytes(fixed8(&total, "f64")?))
+    }
+
+    /// Sum-reduction of one `u64` across all ranks (allreduce).
+    fn all_reduce_sum_u64(&self, tag: u64, value: u64) -> Result<u64> {
+        let total = match self.gather(tag, value.to_le_bytes().to_vec())? {
+            Some(all) => {
+                let mut sum = 0u64;
+                for bytes in &all {
+                    sum = sum.wrapping_add(u64::from_le_bytes(fixed8(bytes, "u64")?));
+                }
+                self.broadcast(tag, sum.to_le_bytes().to_vec())?
+            }
+            None => self.broadcast(tag, Vec::new())?,
+        };
+        Ok(u64::from_le_bytes(fixed8(&total, "u64")?))
+    }
+}
+
+/// Shared references delegate, so `&Communicator` (the shape
+/// [`crate::scope::run_ranks`] hands out) is itself a transport.
+impl<T: Transport + ?Sized> Transport for &T {
+    fn rank(&self) -> usize {
+        (**self).rank()
+    }
+    fn size(&self) -> usize {
+        (**self).size()
+    }
+    fn send(&self, to: usize, tag: u64, data: Vec<u8>) -> Result<()> {
+        (**self).send(to, tag, data)
+    }
+    fn recv(&self, from: usize, tag: u64) -> Result<Vec<u8>> {
+        (**self).recv(from, tag)
+    }
+    fn barrier(&self) -> Result<()> {
+        (**self).barrier()
+    }
+    fn gather(&self, tag: u64, data: Vec<u8>) -> Result<Option<Vec<Vec<u8>>>> {
+        (**self).gather(tag, data)
+    }
+    fn broadcast(&self, tag: u64, data: Vec<u8>) -> Result<Vec<u8>> {
+        (**self).broadcast(tag, data)
+    }
+    fn all_reduce_sum_f64(&self, tag: u64, value: f64) -> Result<f64> {
+        (**self).all_reduce_sum_f64(tag, value)
+    }
+    fn all_reduce_sum_u64(&self, tag: u64, value: u64) -> Result<u64> {
+        (**self).all_reduce_sum_u64(tag, value)
+    }
+}
+
+/// The original in-process thread impl, retrofitted behind the trait
+/// unchanged: every method delegates to the infallible inherent one, so
+/// behaviour (FIFO order, barrier semantics, gather order) is identical
+/// whether callers use `Communicator` directly or through `dyn
+/// Transport`.
+impl Transport for Communicator {
+    fn rank(&self) -> usize {
+        Communicator::rank(self)
+    }
+
+    fn size(&self) -> usize {
+        Communicator::size(self)
+    }
+
+    fn send(&self, to: usize, tag: u64, data: Vec<u8>) -> Result<()> {
+        Communicator::send(self, to, tag, data);
+        Ok(())
+    }
+
+    fn recv(&self, from: usize, tag: u64) -> Result<Vec<u8>> {
+        Ok(Communicator::recv(self, from, tag))
+    }
+
+    fn barrier(&self) -> Result<()> {
+        Communicator::barrier(self);
+        Ok(())
+    }
+
+    fn gather(&self, tag: u64, data: Vec<u8>) -> Result<Option<Vec<Vec<u8>>>> {
+        Ok(Communicator::gather(self, tag, data))
+    }
+
+    fn broadcast(&self, tag: u64, data: Vec<u8>) -> Result<Vec<u8>> {
+        Ok(Communicator::broadcast(self, tag, data))
+    }
+
+    fn all_reduce_sum_f64(&self, tag: u64, value: f64) -> Result<f64> {
+        Ok(Communicator::all_reduce_sum_f64(self, tag, value))
+    }
+
+    fn all_reduce_sum_u64(&self, tag: u64, value: u64) -> Result<u64> {
+        Ok(Communicator::all_reduce_sum_u64(self, tag, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::run_ranks;
+
+    /// The trait impl must match the inherent methods exactly.
+    #[test]
+    fn communicator_behind_trait_matches_inherent() {
+        let results = run_ranks(4, |comm| {
+            let t: &dyn Transport = comm;
+            t.barrier().unwrap();
+            let sum = t.all_reduce_sum_u64(1, t.rank() as u64 + 1).unwrap();
+            let bcast = t.broadcast(2, if t.rank() == 0 { vec![7] } else { vec![0] }).unwrap();
+            (sum, bcast)
+        });
+        for (sum, bcast) in results {
+            assert_eq!(sum, 10);
+            assert_eq!(bcast, vec![7]);
+        }
+    }
+
+    /// Default collectives (built on send/recv only) agree with the
+    /// overridden Communicator ones.
+    struct SendRecvOnly<'a>(&'a Communicator);
+
+    impl Transport for SendRecvOnly<'_> {
+        fn rank(&self) -> usize {
+            self.0.rank()
+        }
+        fn size(&self) -> usize {
+            self.0.size()
+        }
+        fn send(&self, to: usize, tag: u64, data: Vec<u8>) -> Result<()> {
+            self.0.send(to, tag, data);
+            Ok(())
+        }
+        fn recv(&self, from: usize, tag: u64) -> Result<Vec<u8>> {
+            Ok(self.0.recv(from, tag))
+        }
+    }
+
+    #[test]
+    fn default_collectives_over_send_recv() {
+        let results = run_ranks(5, |comm| {
+            let t = SendRecvOnly(comm);
+            t.barrier().unwrap();
+            let g = t.gather(3, vec![t.rank() as u8]).unwrap();
+            let s = t.all_reduce_sum_f64(4, t.rank() as f64).unwrap();
+            t.barrier().unwrap();
+            (g, s)
+        });
+        let root = results[0].0.as_ref().unwrap();
+        assert_eq!(root, &vec![vec![0], vec![1], vec![2], vec![3], vec![4]]);
+        for (_, s) in &results {
+            assert!((s - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scalar_decode_is_typed_not_panicking() {
+        run_ranks(2, |comm| {
+            let t: &dyn Transport = comm;
+            if t.rank() == 0 {
+                t.send(1, 9, vec![1, 2, 3]).unwrap();
+            } else {
+                let err = t.recv_u64(0, 9).unwrap_err();
+                assert!(!err.is_transient());
+                assert!(err.to_string().contains("need 8"));
+            }
+        });
+    }
+}

@@ -1,0 +1,261 @@
+//! Length-prefixed message framing for the socket transport.
+//!
+//! Wire layout of one frame (all integers little-endian):
+//!
+//! ```text
+//! magic   4 bytes  "NGSD"
+//! from    4 bytes  sender rank (u32)
+//! tag     8 bytes  message tag (u64)
+//! len     4 bytes  payload length (u32, capped at MAX_PAYLOAD)
+//! crc     4 bytes  CRC32 of the payload
+//! payload len bytes
+//! ```
+//!
+//! Decoding follows the workspace decode policy (DESIGN.md §7): it is
+//! panic-free on arbitrary bytes, rejects allocation bombs via a length
+//! cap *before* reserving any buffer, and classifies every failure as a
+//! typed [`DecodeError`](ngs_formats::error::DecodeError) — bad magic,
+//! CRC mismatch, and implausible lengths are **structural** (the bytes
+//! themselves are wrong), while an incomplete trailing frame is not an
+//! error at all until the caller declares end-of-stream
+//! ([`FrameDecoder::finish`]), because a wire may simply not have
+//! delivered the rest yet. The socket layer maps EOF mid-frame to a
+//! *transient* I/O error (peer death), keeping
+//! [`Error::is_transient`](ngs_formats::error::Error::is_transient)
+//! routing intact. The corruption corpus in `tests/frame_corrupt.rs`
+//! proves the never-panics property over arbitrary and truncated bytes.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use ngs_bgzf::crc32::crc32;
+use ngs_formats::error::{DecodeErrorKind, Error, Result};
+
+/// Frame preamble identifying the ngs-dist wire protocol.
+pub const MAGIC: [u8; 4] = *b"NGSD";
+
+/// Bytes of header before the payload.
+pub const HEADER_LEN: usize = 24;
+
+/// Payload length cap: anything larger is rejected as
+/// [`DecodeErrorKind::Implausible`] before allocation (64 MiB is far
+/// above any collective or RPC message this workspace sends).
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sender rank.
+    pub from: u32,
+    /// Message tag.
+    pub tag: u64,
+    /// Message bytes (CRC-verified).
+    pub payload: Vec<u8>,
+}
+
+/// Encodes one frame ready for the wire.
+pub fn encode_frame(from: u32, tag: u64, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize, "frame payload over cap");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&from.to_le_bytes());
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Reads a fixed-size little-endian field out of `buf` at `at`; the
+/// caller guarantees the range (checked arithmetic keeps this
+/// panic-free regardless).
+fn field<const N: usize>(buf: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    if let Some(src) = buf.get(at..at + N) {
+        out.copy_from_slice(src);
+    }
+    out
+}
+
+/// Incremental frame decoder: push wire bytes in arbitrary chunks, pull
+/// complete frames out. Panic-free on any input.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes consumed from the stream so far (error-offset context).
+    consumed: u64,
+    context: String,
+}
+
+impl FrameDecoder {
+    /// A decoder whose errors carry `context` (e.g. `"rank 2 wire"`).
+    pub fn new(context: impl Into<String>) -> Self {
+        FrameDecoder { buf: Vec::new(), consumed: 0, context: context.into() }
+    }
+
+    /// Appends raw wire bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Stream offset of the next undecoded byte.
+    pub fn offset(&self) -> u64 {
+        self.consumed
+    }
+
+    fn structural(&self, kind: DecodeErrorKind, detail: String) -> Error {
+        Error::decode(kind, self.consumed, self.context.clone(), detail)
+    }
+
+    /// Pulls the next complete frame, `Ok(None)` if more bytes are
+    /// needed, or a structural decode error if the buffered bytes
+    /// cannot be a valid frame (bad magic, implausible length, CRC
+    /// mismatch). After an error the decoder is poisoned — a corrupt
+    /// wire has lost framing, so resynchronisation is not attempted.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic: [u8; 4] = field(&self.buf, 0);
+        if magic != MAGIC {
+            return Err(self.structural(
+                DecodeErrorKind::BadMagic,
+                format!("expected frame magic {MAGIC:?}, found {magic:?}"),
+            ));
+        }
+        let from = u32::from_le_bytes(field(&self.buf, 4));
+        let tag = u64::from_le_bytes(field(&self.buf, 8));
+        let len = u32::from_le_bytes(field(&self.buf, 16));
+        let crc = u32::from_le_bytes(field(&self.buf, 20));
+        if len > MAX_PAYLOAD {
+            return Err(self.structural(
+                DecodeErrorKind::Implausible,
+                format!("frame payload length {len} exceeds cap {MAX_PAYLOAD}"),
+            ));
+        }
+        let total = HEADER_LEN + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[HEADER_LEN..total].to_vec();
+        let actual = crc32(&payload);
+        if actual != crc {
+            return Err(self.structural(
+                DecodeErrorKind::Corrupt,
+                format!("frame payload CRC mismatch: stored {crc:#010x}, computed {actual:#010x}"),
+            ));
+        }
+        self.buf.drain(..total);
+        self.consumed += total as u64;
+        Ok(Some(Frame { from, tag, payload }))
+    }
+
+    /// Declares end-of-stream: leftover bytes mean the final frame was
+    /// cut short. The *caller* decides what truncation means — the
+    /// socket layer treats it as a transient peer death, a file-replay
+    /// consumer as structural [`DecodeErrorKind::Truncated`] (returned
+    /// here).
+    pub fn finish(&self) -> Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(self.structural(
+                DecodeErrorKind::Truncated,
+                format!("stream ended with {} bytes of an incomplete frame", self.buf.len()),
+            ))
+        }
+    }
+
+    /// Bytes buffered but not yet decoded (mid-frame when non-zero at
+    /// EOF).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_and_split_delivery() {
+        let wire = encode_frame(3, 77, b"hello");
+        let mut d = FrameDecoder::new("test");
+        // Deliver one byte at a time: no frame until the last byte.
+        for (i, b) in wire.iter().enumerate() {
+            d.push(&[*b]);
+            let got = d.next_frame().unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none());
+            } else {
+                let f = got.unwrap();
+                assert_eq!((f.from, f.tag, f.payload.as_slice()), (3, 77, b"hello".as_slice()));
+            }
+        }
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut wire = encode_frame(0, 1, b"a");
+        wire.extend_from_slice(&encode_frame(0, 2, b"bb"));
+        let mut d = FrameDecoder::new("test");
+        d.push(&wire);
+        assert_eq!(d.next_frame().unwrap().unwrap().payload, b"a");
+        assert_eq!(d.next_frame().unwrap().unwrap().payload, b"bb");
+        assert!(d.next_frame().unwrap().is_none());
+        assert_eq!(d.offset(), wire.len() as u64);
+    }
+
+    #[test]
+    fn bad_magic_is_structural() {
+        let mut wire = encode_frame(0, 1, b"x");
+        wire[0] ^= 0xFF;
+        let mut d = FrameDecoder::new("test");
+        d.push(&wire);
+        let err = d.next_frame().unwrap_err();
+        assert!(!err.is_transient());
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn crc_mismatch_is_structural() {
+        let mut wire = encode_frame(0, 1, b"payload");
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        let mut d = FrameDecoder::new("test");
+        d.push(&wire);
+        let err = d.next_frame().unwrap_err();
+        assert!(!err.is_transient());
+        assert!(err.to_string().contains("CRC mismatch"));
+    }
+
+    #[test]
+    fn implausible_length_rejected_before_allocation() {
+        let mut wire = encode_frame(0, 1, b"");
+        wire[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut d = FrameDecoder::new("test");
+        d.push(&wire);
+        let err = d.next_frame().unwrap_err();
+        assert!(err.to_string().contains("exceeds cap"));
+    }
+
+    #[test]
+    fn truncated_stream_flagged_at_finish() {
+        let wire = encode_frame(0, 1, b"payload");
+        let mut d = FrameDecoder::new("test");
+        d.push(&wire[..wire.len() - 2]);
+        assert!(d.next_frame().unwrap().is_none());
+        let err = d.finish().unwrap_err();
+        assert!(err.to_string().contains("incomplete frame"));
+        assert!(d.pending() > 0);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let mut d = FrameDecoder::new("test");
+        d.push(&encode_frame(9, 0, b""));
+        let f = d.next_frame().unwrap().unwrap();
+        assert_eq!((f.from, f.tag, f.payload.len()), (9, 0, 0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Rank liveness via missed-heartbeat epochs on the injected
+//! [`Clock`] (DESIGN.md §12).
+//!
+//! Every rank is expected to [`beat`](HealthTracker::beat) within each
+//! TTL window; a rank whose last beat is more than one TTL old has
+//! "missed an epoch" and is considered dead until it beats again. All
+//! time comes from the injected clock, so tests drive liveness with a
+//! `ManualClock` — no wall-clock, no sleeps, per the workspace clock
+//! convention. In socket deployments a disconnect additionally surfaces
+//! as a transient transport error; the epoch tracker is what lets the
+//! *in-process* transport (where nothing ever disconnects) observe
+//! death too.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ngs_obs::{Clock, Counter, Registry};
+use parking_lot::Mutex;
+
+/// Tracks last-heartbeat times and derives liveness.
+pub struct HealthTracker {
+    clock: Arc<dyn Clock>,
+    ttl: Duration,
+    last: Mutex<BTreeMap<usize, Option<Duration>>>,
+    missed: Option<Arc<Counter>>,
+}
+
+impl std::fmt::Debug for HealthTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthTracker").field("ttl", &self.ttl).finish_non_exhaustive()
+    }
+}
+
+impl HealthTracker {
+    /// A tracker where every rank in `ranks` starts alive (beaten at
+    /// construction time).
+    pub fn new(
+        ranks: impl IntoIterator<Item = usize>,
+        ttl: Duration,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let now = clock.now();
+        let last = ranks.into_iter().map(|r| (r, Some(now))).collect();
+        HealthTracker { clock, ttl, last: Mutex::new(last), missed: None }
+    }
+
+    /// Publishes `dist.heartbeats_missed` to `registry`.
+    pub fn with_obs(mut self, registry: &Registry) -> Self {
+        self.missed = Some(registry.counter("dist.heartbeats_missed"));
+        self
+    }
+
+    /// Records a heartbeat from `rank` at the clock's current time.
+    pub fn beat(&self, rank: usize) {
+        self.last.lock().insert(rank, Some(self.clock.now()));
+    }
+
+    /// Marks `rank` administratively dead (no beat will revive it until
+    /// the next [`beat`](Self::beat)).
+    pub fn mark_dead(&self, rank: usize) {
+        self.last.lock().insert(rank, None);
+    }
+
+    /// Whole TTL windows elapsed since `rank` last beat (0 = alive).
+    /// Unknown or administratively dead ranks report `u64::MAX`.
+    pub fn missed_epochs(&self, rank: usize) -> u64 {
+        let last = self.last.lock().get(&rank).copied();
+        match last {
+            Some(Some(at)) => {
+                let elapsed = self.clock.now().saturating_sub(at);
+                (elapsed.as_nanos() / self.ttl.as_nanos().max(1)) as u64
+            }
+            _ => u64::MAX,
+        }
+    }
+
+    /// True when `rank` has beaten within the current TTL window.
+    pub fn alive(&self, rank: usize) -> bool {
+        let missed = self.missed_epochs(rank);
+        if missed > 0 {
+            if let Some(c) = &self.missed {
+                if ngs_obs::enabled() {
+                    c.add(1);
+                }
+            }
+        }
+        missed == 0
+    }
+
+    /// Ranks currently alive, sorted.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        let ranks: Vec<usize> = self.last.lock().keys().copied().collect();
+        ranks.into_iter().filter(|&r| self.alive(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_obs::ManualClock;
+
+    #[test]
+    fn epochs_advance_with_the_injected_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let h = HealthTracker::new(0..3, Duration::from_secs(1), clock.clone());
+        assert!(h.alive(0) && h.alive(1) && h.alive(2));
+        clock.advance(Duration::from_millis(900));
+        assert!(h.alive(1));
+        clock.advance(Duration::from_millis(200));
+        assert!(!h.alive(1));
+        assert_eq!(h.missed_epochs(1), 1);
+        h.beat(1);
+        assert!(h.alive(1));
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(h.missed_epochs(1), 5);
+        assert_eq!(h.alive_ranks(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn mark_dead_and_unknown_ranks() {
+        let clock = Arc::new(ManualClock::new());
+        let h = HealthTracker::new(0..2, Duration::from_secs(1), clock);
+        h.mark_dead(0);
+        assert!(!h.alive(0));
+        assert_eq!(h.missed_epochs(0), u64::MAX);
+        assert_eq!(h.missed_epochs(7), u64::MAX);
+        assert_eq!(h.alive_ranks(), vec![1]);
+    }
+
+    #[test]
+    fn missed_counter_publishes() {
+        let reg = Registry::new();
+        let clock = Arc::new(ManualClock::new());
+        let h = HealthTracker::new(0..1, Duration::from_secs(1), clock.clone()).with_obs(&reg);
+        clock.advance(Duration::from_secs(2));
+        assert!(!h.alive(0));
+        assert_eq!(reg.counter("dist.heartbeats_missed").get(), 1);
+    }
+}

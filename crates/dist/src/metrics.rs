@@ -1,0 +1,44 @@
+//! `dist.*` metric handles on an injected [`Registry`] (the CLAUDE.md
+//! obs convention: register once, keep the `Arc` handles hot).
+
+use std::sync::Arc;
+
+use ngs_obs::{Counter, Histogram, Registry};
+
+/// The distributed tier's metric family.
+#[derive(Clone)]
+pub struct DistMetrics {
+    /// Queries routed (any outcome).
+    pub queries: Arc<Counter>,
+    /// Replica attempts abandoned (dead rank skipped or attempt
+    /// failed) with routing moving to the next replica.
+    pub failovers: Arc<Counter>,
+    /// End-to-end latency of queries that needed at least one failover.
+    pub failover_latency_ns: Arc<Histogram>,
+    /// Replica slots materialised by rebalance plans.
+    pub rebalanced_shards: Arc<Counter>,
+    /// Transport messages sent (wire transports only).
+    pub messages: Arc<Counter>,
+    /// Transport payload bytes sent (wire transports only).
+    pub bytes_sent: Arc<Counter>,
+}
+
+impl DistMetrics {
+    /// Registers (or re-resolves) the family on `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        DistMetrics {
+            queries: registry.counter("dist.queries"),
+            failovers: registry.counter("dist.failovers"),
+            failover_latency_ns: registry.histogram("dist.failover_latency_ns"),
+            rebalanced_shards: registry.counter("dist.rebalanced_shards"),
+            messages: registry.counter("dist.messages"),
+            bytes_sent: registry.counter("dist.bytes_sent"),
+        }
+    }
+}
+
+impl std::fmt::Debug for DistMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistMetrics").finish_non_exhaustive()
+    }
+}

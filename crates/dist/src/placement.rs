@@ -1,0 +1,488 @@
+//! Pure, deterministic shard placement: seeded rendezvous (HRW) hashing
+//! with virtual nodes, R-way replication, and minimal-movement
+//! rebalance plans (DESIGN.md §12).
+//!
+//! Everything in this module is a **pure function** of its inputs — no
+//! I/O, clock, RNG state, or iteration-order dependence (all maps are
+//! `BTree*`) — so the same seed + membership always produces the same
+//! [`PlacementMap`], byte for byte ([`PlacementMap::encode`]). The
+//! proptests in `tests/placement_props.rs` pin:
+//!
+//! * **determinism** — `place` is a function; `encode` is byte-stable;
+//! * **balance** — no rank holds more than
+//!   `cap = ceil(shards·R / ranks)` replica slots (the greedy pass may
+//!   overflow at the feasibility boundary; a deterministic shed pass
+//!   then moves excess to under-loaded ranks until the cap holds);
+//! * **minimal movement** — [`rebalance_leave`] moves only the slots
+//!   the dead rank held (≤ `cap + R` = `ceil(R·shards/ranks) + R`, the
+//!   R-replica generalisation of the classic `ceil(shards/ranks) + 1`
+//!   consistent-hashing bound), and [`rebalance_join`] moves slots
+//!   only *to* the newcomer (≤ its fair share), never between
+//!   pre-existing ranks;
+//! * **durability** — after any single-rank death, rebalancing restores
+//!   `min(R, live)` distinct live replicas for every shard.
+//!
+//! Replica *order* matters: `replicas(shard)[0]` is the primary the
+//! router tries first, later entries are failover targets, appended
+//! replacements last (they are the newest copies).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Placement knobs. `seed` and `vnodes` pin the hash space; `replicas`
+/// is R. All three are part of the placement identity — change any and
+/// every assignment may move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementConfig {
+    /// Seed mixed into every rendezvous score.
+    pub seed: u64,
+    /// Virtual nodes per rank: more vnodes smooth the score
+    /// distribution (classic consistent-hashing variance control).
+    pub vnodes: u32,
+    /// Replication factor R (effective R is `min(R, ranks)`).
+    pub replicas: usize,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig { seed: 20140519, vnodes: 16, replicas: 2 }
+    }
+}
+
+/// One replica slot movement in a rebalance plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Move {
+    /// Which shard's replica moves.
+    pub shard: String,
+    /// Rank losing the slot (`None` when the slot is newly created, e.g.
+    /// growing toward R as ranks join).
+    pub from: Option<usize>,
+    /// Rank gaining the slot.
+    pub to: usize,
+}
+
+/// An ordered, deterministic list of replica movements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RebalancePlan {
+    /// Movements in sorted shard order.
+    pub moves: Vec<Move>,
+}
+
+/// A complete shard→replica-ranks assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementMap {
+    config: PlacementConfig,
+    ranks: BTreeSet<usize>,
+    /// shard → ordered replica ranks (primary first).
+    assignments: BTreeMap<String, Vec<usize>>,
+}
+
+/// SplitMix64 finaliser: the avalanche stage shared with the
+/// `ngs-simgen` xoshiro discipline.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the shard id, seeded.
+fn shard_hash(seed: u64, shard: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325 ^ mix(seed);
+    for b in shard.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Rendezvous score of `rank` for a shard: the max over its virtual
+/// nodes of the mixed (shard, rank, vnode) hash. Pure in all inputs.
+fn score(shard_h: u64, seed: u64, rank: usize, vnodes: u32) -> u64 {
+    let mut best = 0u64;
+    for v in 0..vnodes.max(1) {
+        let s = mix(shard_h ^ mix(seed ^ ((rank as u64) << 32) ^ u64::from(v)));
+        best = best.max(s);
+    }
+    best
+}
+
+/// `ceil(a / b)` without floats.
+fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b.max(1))
+}
+
+impl PlacementMap {
+    /// The configuration the map was placed under.
+    pub fn config(&self) -> PlacementConfig {
+        self.config
+    }
+
+    /// Member ranks.
+    pub fn ranks(&self) -> &BTreeSet<usize> {
+        &self.ranks
+    }
+
+    /// All shard ids, sorted.
+    pub fn shards(&self) -> impl Iterator<Item = &str> {
+        self.assignments.keys().map(String::as_str)
+    }
+
+    /// Ordered replica ranks for `shard` (primary first); empty slice
+    /// for unknown shards.
+    pub fn replicas(&self, shard: &str) -> &[usize] {
+        self.assignments.get(shard).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Replica slots held by `rank`.
+    pub fn load(&self, rank: usize) -> usize {
+        self.assignments.values().filter(|rs| rs.contains(&rank)).count()
+    }
+
+    /// Total replica slots.
+    pub fn total_slots(&self) -> usize {
+        self.assignments.values().map(Vec::len).sum()
+    }
+
+    /// The per-rank balance target: `ceil(total_slots / ranks)`.
+    pub fn cap(&self) -> usize {
+        div_ceil(self.total_slots(), self.ranks.len())
+    }
+
+    /// Byte-stable text encoding: header (version, seed, vnodes, R,
+    /// ranks) then one sorted `shard\trank,rank` line per shard. The
+    /// same map always encodes to the same bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::from("ngs-placement v1\n");
+        out.push_str(&format!(
+            "seed={} vnodes={} replicas={}\n",
+            self.config.seed, self.config.vnodes, self.config.replicas
+        ));
+        let ranks: Vec<String> = self.ranks.iter().map(usize::to_string).collect();
+        out.push_str(&format!("ranks={}\n", ranks.join(",")));
+        for (shard, replicas) in &self.assignments {
+            let rs: Vec<String> = replicas.iter().map(usize::to_string).collect();
+            out.push_str(&format!("{shard}\t{}\n", rs.join(",")));
+        }
+        out.into_bytes()
+    }
+}
+
+/// Places `shards` across `ranks` with R-way replication: for each
+/// shard (in sorted order) the `min(R, ranks)` highest-scoring ranks
+/// that are still under the load cap, overflowing to the least-loaded
+/// eligible rank only at the feasibility boundary; a final shed pass
+/// restores `load ≤ cap = ceil(shards·R/ranks)` everywhere.
+/// Deterministic in (shards, ranks, config).
+pub fn place<S: AsRef<str>>(
+    shards: &[S],
+    ranks: &BTreeSet<usize>,
+    config: &PlacementConfig,
+) -> PlacementMap {
+    assert!(!ranks.is_empty(), "placement needs at least one rank");
+    let r_eff = config.replicas.clamp(1, ranks.len());
+    let mut sorted: Vec<&str> = shards.iter().map(AsRef::as_ref).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let cap = div_ceil(sorted.len() * r_eff, ranks.len());
+
+    let mut loads: BTreeMap<usize, usize> = ranks.iter().map(|&r| (r, 0)).collect();
+    let mut assignments = BTreeMap::new();
+    for shard in sorted {
+        let sh = shard_hash(config.seed, shard);
+        // Preference order: score descending, rank id as tiebreak.
+        let mut prefs: Vec<(u64, usize)> =
+            ranks.iter().map(|&r| (score(sh, config.seed, r, config.vnodes), r)).collect();
+        prefs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut chosen: Vec<usize> = Vec::with_capacity(r_eff);
+        for &(_, r) in &prefs {
+            if chosen.len() == r_eff {
+                break;
+            }
+            if loads[&r] < cap {
+                chosen.push(r);
+            }
+        }
+        // Feasibility-boundary overflow: fewer than R ranks under cap.
+        while chosen.len() < r_eff {
+            let next = prefs
+                .iter()
+                .filter(|&&(_, r)| !chosen.contains(&r))
+                .min_by_key(|&&(s, r)| (loads[&r], std::cmp::Reverse(s), r))
+                .map(|&(_, r)| r);
+            match next {
+                Some(r) => chosen.push(r),
+                None => break,
+            }
+        }
+        for &r in &chosen {
+            *loads.get_mut(&r).unwrap_or(&mut 0) += 1;
+        }
+        assignments.insert(shard.to_string(), chosen);
+    }
+
+    // Shed pass: the one-pass greedy can overflow past the cap at the
+    // feasibility boundary. While any rank exceeds the cap, move one of
+    // its replicas to the least-loaded rank (which is provably under
+    // cap: if some rank is over and all others were at/above cap, total
+    // slots would exceed cap·ranks ≥ total — contradiction). A movable
+    // shard always exists: if every overloaded rank's shard were also
+    // on the under-loaded rank, the latter's load would dominate the
+    // former's. Each step strictly shrinks total excess, so this
+    // terminates with **max load ≤ cap**, and every choice is
+    // deterministic (BTree order + explicit tiebreaks).
+    while let Some((&over, _)) = loads
+        .iter()
+        .filter(|&(_, &l)| l > cap)
+        .max_by_key(|&(&r, &l)| (l, std::cmp::Reverse(r)))
+    {
+        let Some((&under, _)) = loads.iter().min_by_key(|&(&r, &l)| (l, r)) else { break };
+        let moved = assignments
+            .iter()
+            .filter(|(_, rs)| rs.contains(&over) && !rs.contains(&under))
+            .max_by(|(sa, _), (sb, _)| {
+                let score_of = |s: &str| {
+                    score(shard_hash(config.seed, s), config.seed, under, config.vnodes)
+                };
+                score_of(sa).cmp(&score_of(sb)).then(sb.cmp(sa))
+            })
+            .map(|(shard, _)| shard.clone());
+        let Some(shard) = moved else { break };
+        if let Some(rs) = assignments.get_mut(&shard) {
+            if let Some(pos) = rs.iter().position(|&r| r == over) {
+                rs[pos] = under;
+                *loads.entry(over).or_insert(1) -= 1;
+                *loads.entry(under).or_insert(0) += 1;
+            }
+        }
+    }
+    PlacementMap { config: *config, ranks: ranks.clone(), assignments }
+}
+
+/// Rebalances after `dead` leaves: only slots the dead rank held move
+/// (to the highest-scoring under-cap survivor not already holding the
+/// shard); every other assignment is untouched. Returns the new map
+/// and the plan. Moves ≤ slots `dead` held ≤ `cap + R`.
+pub fn rebalance_leave(map: &PlacementMap, dead: usize) -> (PlacementMap, RebalancePlan) {
+    let mut ranks = map.ranks.clone();
+    ranks.remove(&dead);
+    assert!(!ranks.is_empty(), "cannot remove the last rank");
+    let config = map.config;
+    let r_eff = config.replicas.clamp(1, ranks.len());
+    let cap = div_ceil(map.assignments.len() * r_eff, ranks.len());
+
+    let mut loads: BTreeMap<usize, usize> = ranks.iter().map(|&r| (r, 0)).collect();
+    for (_, replicas) in map.assignments.iter() {
+        for r in replicas {
+            if let Some(l) = loads.get_mut(r) {
+                *l += 1;
+            }
+        }
+    }
+
+    let mut moves = Vec::new();
+    let mut assignments = BTreeMap::new();
+    for (shard, replicas) in &map.assignments {
+        let mut survivors: Vec<usize> = replicas.iter().copied().filter(|&r| r != dead).collect();
+        if survivors.len() == replicas.len() || survivors.len() >= r_eff {
+            // Not hit, or the world shrank below R: nothing to move.
+            assignments.insert(shard.clone(), survivors);
+            continue;
+        }
+        let sh = shard_hash(config.seed, shard);
+        let mut prefs: Vec<(u64, usize)> = ranks
+            .iter()
+            .filter(|r| !survivors.contains(r))
+            .map(|&r| (score(sh, config.seed, r, config.vnodes), r))
+            .collect();
+        prefs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let replacement = prefs
+            .iter()
+            .find(|&&(_, r)| loads[&r] < cap)
+            .or_else(|| prefs.iter().min_by_key(|&&(s, r)| (loads[&r], std::cmp::Reverse(s), r)))
+            .map(|&(_, r)| r);
+        if let Some(r) = replacement {
+            *loads.get_mut(&r).unwrap_or(&mut 0) += 1;
+            survivors.push(r);
+            moves.push(Move { shard: shard.clone(), from: Some(dead), to: r });
+        }
+        assignments.insert(shard.clone(), survivors);
+    }
+    (PlacementMap { config, ranks, assignments }, RebalancePlan { moves })
+}
+
+/// Rebalances after `newcomer` joins: slots move only *to* the
+/// newcomer — the shards where its rendezvous score beats the current
+/// weakest replica, strongest wins first, capped at its fair share
+/// `ceil(total_slots / new_ranks)`. Pre-existing ranks never exchange
+/// slots. If the world was below R, the newcomer also picks up missing
+/// replica slots (`from: None`).
+pub fn rebalance_join(map: &PlacementMap, newcomer: usize) -> (PlacementMap, RebalancePlan) {
+    assert!(!map.ranks.contains(&newcomer), "rank {newcomer} already a member");
+    let mut ranks = map.ranks.clone();
+    ranks.insert(newcomer);
+    let config = map.config;
+    let r_eff = config.replicas.clamp(1, ranks.len());
+    let share = div_ceil(map.assignments.len() * r_eff, ranks.len());
+
+    let mut assignments = map.assignments.clone();
+    let mut moves = Vec::new();
+    let mut gained = 0usize;
+
+    // Grow-toward-R first: shards short of r_eff replicas get the
+    // newcomer as an extra copy.
+    for (shard, replicas) in assignments.iter_mut() {
+        if gained >= share {
+            break;
+        }
+        if replicas.len() < r_eff && !replicas.contains(&newcomer) {
+            replicas.push(newcomer);
+            moves.push(Move { shard: shard.clone(), from: None, to: newcomer });
+            gained += 1;
+        }
+    }
+
+    // Steal: shards where the newcomer outranks the weakest current
+    // replica, strongest claim first (then shard id for determinism).
+    let mut candidates: Vec<(u64, String, usize)> = Vec::new();
+    for (shard, replicas) in &assignments {
+        if replicas.contains(&newcomer) || replicas.is_empty() {
+            continue;
+        }
+        let sh = shard_hash(config.seed, shard);
+        let new_score = score(sh, config.seed, newcomer, config.vnodes);
+        let (victim, victim_score) = replicas
+            .iter()
+            .map(|&r| (r, score(sh, config.seed, r, config.vnodes)))
+            .min_by_key(|&(r, s)| (s, std::cmp::Reverse(r)))
+            .unwrap_or((usize::MAX, u64::MAX));
+        if new_score > victim_score {
+            candidates.push((new_score, shard.clone(), victim));
+        }
+    }
+    candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for (_, shard, victim) in candidates {
+        if gained >= share {
+            break;
+        }
+        if let Some(replicas) = assignments.get_mut(&shard) {
+            if let Some(pos) = replicas.iter().position(|&r| r == victim) {
+                replicas[pos] = newcomer;
+                moves.push(Move { shard, from: Some(victim), to: newcomer });
+                gained += 1;
+            }
+        }
+    }
+    (PlacementMap { config, ranks, assignments }, RebalancePlan { moves })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard_ids(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("shard{i:04}")).collect()
+    }
+
+    fn ranks(n: usize) -> BTreeSet<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_replicated() {
+        let cfg = PlacementConfig::default();
+        let shards = shard_ids(40);
+        let a = place(&shards, &ranks(5), &cfg);
+        let b = place(&shards, &ranks(5), &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.encode(), b.encode());
+        for s in &shards {
+            let rs = a.replicas(s);
+            assert_eq!(rs.len(), 2);
+            assert_ne!(rs[0], rs[1], "replicas must be distinct ranks");
+        }
+    }
+
+    #[test]
+    fn seed_changes_move_assignments() {
+        let shards = shard_ids(64);
+        let a = place(&shards, &ranks(4), &PlacementConfig { seed: 1, ..Default::default() });
+        let b = place(&shards, &ranks(4), &PlacementConfig { seed: 2, ..Default::default() });
+        assert_ne!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn balance_within_cap() {
+        let cfg = PlacementConfig::default();
+        let shards = shard_ids(100);
+        let map = place(&shards, &ranks(7), &cfg);
+        let cap = div_ceil(100 * 2, 7);
+        for &r in map.ranks() {
+            assert!(map.load(r) <= cap, "rank {r} holds {} > {}", map.load(r), cap);
+        }
+    }
+
+    #[test]
+    fn leave_moves_only_dead_slots() {
+        let cfg = PlacementConfig::default();
+        let shards = shard_ids(50);
+        let map = place(&shards, &ranks(5), &cfg);
+        let dead = 2;
+        let held = map.load(dead);
+        let (after, plan) = rebalance_leave(&map, dead);
+        assert_eq!(plan.moves.len(), held);
+        assert!(plan.moves.iter().all(|m| m.from == Some(dead)));
+        for s in &shards {
+            let rs = after.replicas(s);
+            assert_eq!(rs.len(), 2);
+            assert!(!rs.contains(&dead));
+            // Survivor replicas are untouched.
+            let before: Vec<usize> =
+                map.replicas(s).iter().copied().filter(|&r| r != dead).collect();
+            assert_eq!(&rs[..before.len()], &before[..]);
+        }
+    }
+
+    #[test]
+    fn join_moves_only_to_newcomer_within_share() {
+        let cfg = PlacementConfig::default();
+        let shards = shard_ids(60);
+        let map = place(&shards, &ranks(4), &cfg);
+        let (after, plan) = rebalance_join(&map, 9);
+        let share = div_ceil(60 * 2, 5);
+        assert!(plan.moves.len() <= share);
+        assert!(plan.moves.iter().all(|m| m.to == 9));
+        assert!(after.ranks().contains(&9));
+        // No movement between pre-existing ranks: any shard's replica
+        // set differs from before only by a victim→newcomer swap.
+        for s in &shards {
+            let b: BTreeSet<_> = map.replicas(s).iter().copied().collect();
+            let a: BTreeSet<_> = after.replicas(s).iter().copied().collect();
+            let lost: Vec<_> = b.difference(&a).collect();
+            let won: Vec<_> = a.difference(&b).collect();
+            assert!(won.len() <= 1 && lost.len() <= 1);
+            if let Some(&&w) = won.first() {
+                assert_eq!(w, 9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let cfg = PlacementConfig::default();
+        let shards = shard_ids(5);
+        let map = place(&shards, &ranks(1), &cfg);
+        for s in &shards {
+            assert_eq!(map.replicas(s), &[0]);
+        }
+    }
+
+    #[test]
+    fn encode_is_byte_stable_and_versioned() {
+        let map = place(&shard_ids(3), &ranks(2), &PlacementConfig::default());
+        let text = String::from_utf8(map.encode()).unwrap();
+        assert!(text.starts_with("ngs-placement v1\n"));
+        assert!(text.contains("seed=20140519 vnodes=16 replicas=2"));
+        assert_eq!(map.encode(), map.encode());
+    }
+}

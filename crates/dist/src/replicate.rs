@@ -1,0 +1,261 @@
+//! Replica materialisation: placing shard artifact bytes into per-rank
+//! crash-safe repositories.
+//!
+//! Every rank's replica set lives in its own [`ShardRepo`] directory
+//! (`rank{NNN}/` under a shared root), and **all** artifact writes go
+//! through the manifest's temp+rename publication path
+//! (`ShardRepo::publish_bytes`) — never a direct file write — so a
+//! crash mid-replication leaves a repository that reopens clean and a
+//! resumed replication rebuilds exactly the missing artifacts
+//! (DESIGN.md §7.5 invariants carry over unchanged). Shards already
+//! `contains_verified` are skipped byte-untouched, making replication
+//! idempotent and resumable.
+
+use std::path::{Path, PathBuf};
+
+use ngs_bamx::repo::ShardRepo;
+use ngs_formats::error::{Error, Result};
+use ngs_obs::Registry;
+
+use crate::placement::{PlacementMap, RebalancePlan};
+
+/// Artifact extensions that make up one shard replica.
+const SHARD_EXTS: [&str; 2] = ["bamx", "baix"];
+
+/// The repository directory of `rank` under `root`.
+pub fn rank_repo_dir(root: &Path, rank: usize) -> PathBuf {
+    root.join(format!("rank{rank:03}"))
+}
+
+/// Opens (or creates) the managed repository for `rank`.
+pub fn open_rank_repo(root: &Path, rank: usize) -> Result<ShardRepo> {
+    let dir = rank_repo_dir(root, rank);
+    if ShardRepo::is_managed(&dir) {
+        ShardRepo::open(dir)
+    } else {
+        std::fs::create_dir_all(&dir)?;
+        ShardRepo::create(dir)
+    }
+}
+
+/// Reads one verified artifact's bytes out of a rank repo.
+fn read_artifact(root: &Path, rank: usize, name: &str) -> Result<Vec<u8>> {
+    let repo = open_rank_repo(root, rank)?;
+    repo.verify_artifact(name)?;
+    Ok(std::fs::read(rank_repo_dir(root, rank).join(name))?)
+}
+
+/// Publishes every placed replica from `source_dir` (a directory of
+/// `NAME.bamx` / `NAME.baix` artifacts) into the per-rank repos under
+/// `root`. Idempotent: verified artifacts are skipped. Returns the
+/// number of artifacts published.
+pub fn replicate(source_dir: &Path, map: &PlacementMap, root: &Path) -> Result<u64> {
+    let mut published = 0u64;
+    for shard in map.shards() {
+        for &rank in map.replicas(shard) {
+            let repo = open_rank_repo(root, rank)?;
+            for ext in SHARD_EXTS {
+                let name = format!("{shard}.{ext}");
+                if repo.contains_verified(&name) {
+                    continue;
+                }
+                let bytes = std::fs::read(source_dir.join(&name))?;
+                repo.publish_bytes(&name, &bytes)?;
+                published += 1;
+            }
+        }
+    }
+    Ok(published)
+}
+
+/// Applies a rebalance plan: each moved slot is copied (through the
+/// publication path) to its destination rank from a surviving replica
+/// in `after`, then — for join-steals where the victim is still a
+/// member — removed from the victim's repo (manifest entry strictly
+/// before file deletion, inside `ShardRepo::remove`). Returns the
+/// number of shard replicas materialised and bumps
+/// `dist.rebalanced_shards` when a registry is given.
+pub fn apply_rebalance(
+    plan: &RebalancePlan,
+    after: &PlacementMap,
+    root: &Path,
+    registry: Option<&Registry>,
+) -> Result<u64> {
+    let mut moved = 0u64;
+    for m in &plan.moves {
+        // Any live replica other than the destination can source the
+        // bytes; manifest verification picks only intact copies.
+        let source = after
+            .replicas(&m.shard)
+            .iter()
+            .copied()
+            .filter(|&r| r != m.to)
+            .find(|&r| {
+                SHARD_EXTS.iter().all(|ext| {
+                    open_rank_repo(root, r)
+                        .map(|repo| repo.contains_verified(&format!("{}.{ext}", m.shard)))
+                        .unwrap_or(false)
+                })
+            });
+        let Some(source) = source else {
+            return Err(Error::InvalidRecord(format!(
+                "no live verified replica of shard {:?} to rebalance from",
+                m.shard
+            )));
+        };
+        let dest = open_rank_repo(root, m.to)?;
+        for ext in SHARD_EXTS {
+            let name = format!("{}.{ext}", m.shard);
+            if dest.contains_verified(&name) {
+                continue;
+            }
+            let bytes = read_artifact(root, source, &name)?;
+            dest.publish_bytes(&name, &bytes)?;
+        }
+        if let Some(victim) = m.from {
+            if after.ranks().contains(&victim) {
+                let repo = open_rank_repo(root, victim)?;
+                for ext in SHARD_EXTS {
+                    repo.remove(&format!("{}.{ext}", m.shard))?;
+                }
+            }
+        }
+        moved += 1;
+    }
+    if let Some(reg) = registry {
+        reg.counter("dist.rebalanced_shards").add(moved);
+    }
+    Ok(moved)
+}
+
+/// A repairer closure for `rank`'s [`ShardStore`]: re-copies verified
+/// bytes of a damaged dataset from another live replica's repo through
+/// the publication path. Wire it via `ShardStore::with_repairer` so
+/// structural decode failures heal lazily (the PR-4 seam) instead of
+/// quarantining while a good copy exists.
+///
+/// [`ShardStore`]: ngs_query::ShardStore
+pub fn replica_repairer(
+    root: PathBuf,
+    rank: usize,
+    map: PlacementMap,
+) -> impl Fn(&str) -> Result<()> + Send + Sync {
+    move |dataset: &str| {
+        let source = map
+            .replicas(dataset)
+            .iter()
+            .copied()
+            .filter(|&r| r != rank)
+            .find(|&r| {
+                SHARD_EXTS.iter().all(|ext| {
+                    open_rank_repo(&root, r)
+                        .map(|repo| repo.contains_verified(&format!("{dataset}.{ext}")))
+                        .unwrap_or(false)
+                })
+            })
+            .ok_or_else(|| {
+                Error::InvalidRecord(format!(
+                    "no live verified replica of {dataset:?} to repair rank {rank} from"
+                ))
+            })?;
+        let dest = open_rank_repo(&root, rank)?;
+        for ext in SHARD_EXTS {
+            let name = format!("{dataset}.{ext}");
+            let bytes = read_artifact(&root, source, &name)?;
+            dest.publish_bytes(&name, &bytes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{place, rebalance_leave, PlacementConfig};
+    use std::collections::BTreeSet;
+
+    fn fixture_dir(dir: &Path, shards: &[&str]) {
+        for s in shards {
+            std::fs::write(dir.join(format!("{s}.bamx")), format!("bamx-{s}")).unwrap();
+            std::fs::write(dir.join(format!("{s}.baix")), format!("baix-{s}")).unwrap();
+        }
+    }
+
+    #[test]
+    fn replicate_places_r_copies_and_is_idempotent() {
+        let tmp = tempfile::tempdir().unwrap();
+        let src = tmp.path().join("src");
+        let root = tmp.path().join("cluster");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::create_dir_all(&root).unwrap();
+        let shards = ["a", "b", "c"];
+        fixture_dir(&src, &shards);
+        let ranks: BTreeSet<usize> = (0..3).collect();
+        let map = place(&shards, &ranks, &PlacementConfig::default());
+        let published = replicate(&src, &map, &root).unwrap();
+        assert_eq!(published, 3 * 2 * 2); // shards × R × {bamx, baix}
+        // Every placed replica is verified in its rank repo.
+        for s in &shards {
+            for &r in map.replicas(s) {
+                let repo = open_rank_repo(&root, r).unwrap();
+                assert!(repo.contains_verified(&format!("{s}.bamx")));
+                assert!(repo.contains_verified(&format!("{s}.baix")));
+            }
+        }
+        // Second run publishes nothing.
+        assert_eq!(replicate(&src, &map, &root).unwrap(), 0);
+    }
+
+    #[test]
+    fn rebalance_copies_from_survivor_after_death() {
+        let tmp = tempfile::tempdir().unwrap();
+        let src = tmp.path().join("src");
+        let root = tmp.path().join("cluster");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::create_dir_all(&root).unwrap();
+        let shards: Vec<String> = (0..8).map(|i| format!("s{i}")).collect();
+        let names: Vec<&str> = shards.iter().map(String::as_str).collect();
+        fixture_dir(&src, &names);
+        let ranks: BTreeSet<usize> = (0..4).collect();
+        let map = place(&names, &ranks, &PlacementConfig::default());
+        replicate(&src, &map, &root).unwrap();
+
+        let dead = 1;
+        let (after, plan) = rebalance_leave(&map, dead);
+        let reg = Registry::new();
+        let moved = apply_rebalance(&plan, &after, &root, Some(&reg)).unwrap();
+        assert_eq!(moved as usize, plan.moves.len());
+        assert_eq!(reg.counter("dist.rebalanced_shards").get(), moved);
+        // Every shard has R verified replicas on live ranks.
+        for s in &names {
+            for &r in after.replicas(s) {
+                assert_ne!(r, dead);
+                let repo = open_rank_repo(&root, r).unwrap();
+                assert!(repo.contains_verified(&format!("{s}.bamx")), "{s} on rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn repairer_recopies_from_live_replica() {
+        let tmp = tempfile::tempdir().unwrap();
+        let src = tmp.path().join("src");
+        let root = tmp.path().join("cluster");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::create_dir_all(&root).unwrap();
+        fixture_dir(&src, &["d"]);
+        let ranks: BTreeSet<usize> = (0..2).collect();
+        let map = place(&["d"], &ranks, &PlacementConfig::default());
+        replicate(&src, &map, &root).unwrap();
+        let rank = map.replicas("d")[0];
+        // Damage rank's copy on disk (simulating bit rot the store's
+        // decode catches), then repair from its sibling.
+        let victim_path = rank_repo_dir(&root, rank).join("d.bamx");
+        std::fs::write(&victim_path, b"garbage").unwrap();
+        let repair = replica_repairer(root.clone(), rank, map.clone());
+        repair("d").unwrap();
+        assert_eq!(std::fs::read(&victim_path).unwrap(), b"bamx-d");
+        let repo = open_rank_repo(&root, rank).unwrap();
+        assert!(repo.contains_verified("d.bamx"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Frame-codec hardening corpus (DESIGN.md §7 decode policy applied to
+//! the §12 wire): the [`FrameDecoder`] must never panic — on arbitrary
+//! bytes, on truncated valid streams, on bit-flipped frames — and every
+//! rejection must be a typed *structural* decode error, so the socket
+//! layer's transient-vs-structural routing stays trustworthy.
+
+use ngs_dist::{encode_frame, FrameDecoder};
+use proptest::prelude::*;
+
+/// Drains a decoder to completion, returning the frames decoded before
+/// the stream ended or an error poisoned it.
+fn drain(bytes: &[u8], chunk: usize) -> (Vec<ngs_dist::Frame>, bool) {
+    let mut d = FrameDecoder::new("corpus");
+    let mut frames = Vec::new();
+    for piece in bytes.chunks(chunk.max(1)) {
+        d.push(piece);
+        loop {
+            match d.next_frame() {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => break,
+                Err(e) => {
+                    assert!(!e.is_transient(), "frame decode errors are structural: {e}");
+                    return (frames, true);
+                }
+            }
+        }
+    }
+    (frames, false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary bytes never panic; they decode, wait for more input,
+    /// or fail structurally.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512),
+                                   chunk in 1usize..64) {
+        let _ = drain(&bytes, chunk);
+    }
+
+    /// A valid multi-frame stream round-trips regardless of chunking.
+    #[test]
+    fn valid_streams_roundtrip(payloads in proptest::collection::vec(
+                                   proptest::collection::vec(any::<u8>(), 0..64), 1..6),
+                               from in any::<u32>(),
+                               tag in any::<u64>(),
+                               chunk in 1usize..48) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend_from_slice(&encode_frame(from, tag, p));
+        }
+        let (frames, poisoned) = drain(&wire, chunk);
+        prop_assert!(!poisoned);
+        prop_assert_eq!(frames.len(), payloads.len());
+        for (f, p) in frames.iter().zip(&payloads) {
+            prop_assert_eq!(f.from, from);
+            prop_assert_eq!(f.tag, tag);
+            prop_assert_eq!(&f.payload, p);
+        }
+    }
+
+    /// Truncating a valid stream anywhere never panics: complete
+    /// prefixes decode, the cut frame is reported only at finish().
+    #[test]
+    fn truncated_valid_streams_never_panic(n_frames in 1usize..5,
+                                           payload_len in 0usize..48,
+                                           cut_permille in 0usize..1000) {
+        let mut wire = Vec::new();
+        for i in 0..n_frames {
+            let payload = vec![i as u8; payload_len];
+            wire.extend_from_slice(&encode_frame(i as u32, i as u64, &payload));
+        }
+        let cut = wire.len() * cut_permille / 1000;
+        let mut d = FrameDecoder::new("truncated");
+        d.push(&wire[..cut]);
+        let mut decoded = 0usize;
+        while let Ok(Some(_)) = d.next_frame() {
+            decoded += 1;
+        }
+        prop_assert!(decoded <= n_frames);
+        if d.pending() > 0 {
+            let err = d.finish().unwrap_err();
+            prop_assert!(!err.is_transient());
+        } else {
+            prop_assert!(d.finish().is_ok());
+        }
+    }
+
+    /// Any single bit flip in a frame either still decodes to *that*
+    /// frame's length (header fields from/tag are not integrity-checked)
+    /// or fails structurally — never panics, never yields a frame with a
+    /// corrupted payload.
+    #[test]
+    fn bit_flips_never_panic_and_never_corrupt_payload(payload in proptest::collection::vec(any::<u8>(), 1..64),
+                                                       bit in 0usize..128) {
+        let mut wire = encode_frame(1, 7, &payload);
+        let idx = (bit / 8) % wire.len();
+        wire[idx] ^= 1 << (bit % 8);
+        let mut d = FrameDecoder::new("flipped");
+        d.push(&wire);
+        match d.next_frame() {
+            Ok(Some(f)) => {
+                // A flip that survives decoding must have hit from/tag:
+                // payload integrity is CRC-protected.
+                prop_assert_eq!(&f.payload, &payload);
+            }
+            Ok(None) => {
+                // Flipped length field now asks for more bytes: fine,
+                // finish() flags the incomplete frame.
+                prop_assert!(d.finish().is_err());
+            }
+            Err(e) => prop_assert!(!e.is_transient()),
+        }
+    }
+}
+
+/// The length cap rejects allocation bombs before reserving anything.
+#[test]
+fn allocation_bomb_is_rejected_structurally() {
+    let mut wire = encode_frame(0, 0, b"");
+    wire[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    let mut d = FrameDecoder::new("bomb");
+    d.push(&wire);
+    let err = d.next_frame().unwrap_err();
+    assert!(!err.is_transient());
+    assert!(err.to_string().contains("exceeds cap"));
+}

@@ -1,0 +1,145 @@
+//! Placement-math property suite (DESIGN.md §12): placement is a pure
+//! function (determinism, byte-stable encoding), balanced within its
+//! cap, rebalances with minimal movement, and keeps every shard at
+//! `min(R, live)` distinct live replicas through any single-rank death.
+
+use std::collections::BTreeSet;
+
+use ngs_dist::{place, rebalance_join, rebalance_leave, PlacementConfig, PlacementMap};
+use proptest::prelude::*;
+
+fn shard_ids(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("shard{i:04}")).collect()
+}
+
+fn rank_set(n: usize) -> BTreeSet<usize> {
+    (0..n).collect()
+}
+
+fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b.max(1))
+}
+
+/// Every shard must hold `min(R, ranks)` *distinct* replicas.
+fn assert_replicated(map: &PlacementMap, shards: &[String], live: usize) {
+    let r_eff = map.config().replicas.min(live);
+    for s in shards {
+        let rs = map.replicas(s);
+        assert_eq!(rs.len(), r_eff, "shard {s} has {} replicas, want {r_eff}", rs.len());
+        let distinct: BTreeSet<_> = rs.iter().collect();
+        assert_eq!(distinct.len(), rs.len(), "shard {s} repeats a rank: {rs:?}");
+        assert!(rs.iter().all(|r| map.ranks().contains(r)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Same seed + membership → identical `PlacementMap`, byte for byte.
+    #[test]
+    fn same_seed_and_membership_is_identical(seed in any::<u64>(),
+                                             n_shards in 1usize..80,
+                                             n_ranks in 1usize..9) {
+        let cfg = PlacementConfig { seed, ..Default::default() };
+        let shards = shard_ids(n_shards);
+        let a = place(&shards, &rank_set(n_ranks), &cfg);
+        let b = place(&shards, &rank_set(n_ranks), &cfg);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.encode(), b.encode());
+        assert_replicated(&a, &shards, n_ranks);
+    }
+
+    /// No rank holds more than `cap = ceil(shards·R/ranks)` slots: the
+    /// shed pass guarantees the cap exactly, not just within slack.
+    #[test]
+    fn balance_within_bound(seed in any::<u64>(),
+                            n_shards in 1usize..100,
+                            n_ranks in 1usize..10) {
+        let cfg = PlacementConfig { seed, ..Default::default() };
+        let map = place(&shard_ids(n_shards), &rank_set(n_ranks), &cfg);
+        let r_eff = cfg.replicas.min(n_ranks);
+        let cap = div_ceil(n_shards * r_eff, n_ranks);
+        for &r in map.ranks() {
+            prop_assert!(map.load(r) <= cap,
+                         "rank {} holds {} > cap {}", r, map.load(r), cap);
+        }
+    }
+
+    /// Leave moves only the dead rank's slots — bounded by
+    /// `ceil(R·shards/ranks) + R` — survivors' replica sets untouched,
+    /// and every shard keeps `min(R, live)` distinct live replicas.
+    #[test]
+    fn leave_is_minimal_and_restores_replication(seed in any::<u64>(),
+                                                 n_shards in 1usize..80,
+                                                 n_ranks in 2usize..9,
+                                                 dead_pick in any::<usize>()) {
+        let cfg = PlacementConfig { seed, ..Default::default() };
+        let shards = shard_ids(n_shards);
+        let map = place(&shards, &rank_set(n_ranks), &cfg);
+        let dead = dead_pick % n_ranks;
+        let (after, plan) = rebalance_leave(&map, dead);
+
+        // Minimal movement: exactly the slots `dead` held (when the
+        // survivor count still supports R), all `from: dead`, within the
+        // movement bound.
+        let r_eff_after = cfg.replicas.min(n_ranks - 1);
+        let lost: usize = shards.iter()
+            .filter(|s| map.replicas(s).contains(&dead)
+                        && map.replicas(s).iter().filter(|&&r| r != dead).count() < r_eff_after)
+            .count();
+        prop_assert_eq!(plan.moves.len(), lost);
+        prop_assert!(plan.moves.iter().all(|m| m.from == Some(dead)));
+        let bound = div_ceil(cfg.replicas * n_shards, n_ranks) + cfg.replicas;
+        prop_assert!(plan.moves.len() <= bound,
+                     "{} moves > bound {}", plan.moves.len(), bound);
+
+        // Durability + untouched survivors.
+        assert_replicated(&after, &shards, n_ranks - 1);
+        for s in &shards {
+            prop_assert!(!after.replicas(s).contains(&dead));
+            let survivors: Vec<usize> =
+                map.replicas(s).iter().copied().filter(|&r| r != dead).collect();
+            prop_assert_eq!(&after.replicas(s)[..survivors.len()], &survivors[..]);
+        }
+    }
+
+    /// Join moves slots only *to* the newcomer, at most its fair share;
+    /// pre-existing ranks never exchange slots.
+    #[test]
+    fn join_moves_only_to_newcomer(seed in any::<u64>(),
+                                   n_shards in 1usize..80,
+                                   n_ranks in 1usize..8) {
+        let cfg = PlacementConfig { seed, ..Default::default() };
+        let shards = shard_ids(n_shards);
+        let map = place(&shards, &rank_set(n_ranks), &cfg);
+        let newcomer = n_ranks + 3;
+        let (after, plan) = rebalance_join(&map, newcomer);
+
+        let r_eff = cfg.replicas.min(n_ranks + 1);
+        let share = div_ceil(n_shards * r_eff, n_ranks + 1);
+        prop_assert!(plan.moves.len() <= share);
+        prop_assert!(plan.moves.iter().all(|m| m.to == newcomer));
+        assert_replicated(&after, &shards, n_ranks + 1);
+        for s in &shards {
+            let b: BTreeSet<usize> = map.replicas(s).iter().copied().collect();
+            let a: BTreeSet<usize> = after.replicas(s).iter().copied().collect();
+            // Only a victim→newcomer swap (or pure gain) is allowed.
+            prop_assert!(a.difference(&b).all(|&r| r == newcomer));
+            prop_assert!(b.difference(&a).count() <= 1);
+        }
+    }
+
+    /// Death + rebalance then a join still yields a valid, fully
+    /// replicated map (plans compose).
+    #[test]
+    fn leave_then_join_composes(seed in any::<u64>(),
+                                n_shards in 1usize..60,
+                                n_ranks in 2usize..7) {
+        let cfg = PlacementConfig { seed, ..Default::default() };
+        let shards = shard_ids(n_shards);
+        let map = place(&shards, &rank_set(n_ranks), &cfg);
+        let (after_leave, _) = rebalance_leave(&map, 0);
+        let (after_join, _) = rebalance_join(&after_leave, n_ranks + 1);
+        assert_replicated(&after_join, &shards, n_ranks);
+    }
+}

@@ -26,6 +26,12 @@
 //!   power-cut side of the failure model (DESIGN.md §7.5). Plans come
 //!   from [`FaultPlan::random_write`]; the read-side [`FaultPlan::random`]
 //!   distribution is untouched so existing seeded corpora replay.
+//! * **Delivery level** — [`FaultyTransport`] wraps any
+//!   `ngs_cluster::Transport`, injecting dropped, duplicated, and
+//!   delayed sends plus mid-frame disconnects on recv
+//!   ([`FaultPlan::random_transport`]) — the distributed tier's failure
+//!   weather (DESIGN.md §12), routed through the same
+//!   transient-vs-structural contract.
 //!
 //! ```
 //! use ngs_fault::{Fault, FaultPlan};
@@ -42,10 +48,12 @@ pub mod file;
 pub mod fs;
 pub mod plan;
 pub mod read;
+pub mod transport;
 pub mod write;
 
 pub use file::FaultyFile;
 pub use fs::FaultyFs;
 pub use plan::{Fault, FaultPlan};
 pub use read::FaultyRead;
+pub use transport::FaultyTransport;
 pub use write::{FaultyWrite, WriteState};

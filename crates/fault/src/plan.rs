@@ -68,6 +68,37 @@ pub enum Fault {
         /// Number of failed attempts before recovery.
         failures: u32,
     },
+    /// Transport-level: the `nth` send (0-based) fails with a transient
+    /// error *without* delivering — the sender knows and may retry, so
+    /// no message is ever silently lost ([`crate::FaultyTransport`]).
+    MsgDrop {
+        /// Which send fails.
+        nth: u64,
+    },
+    /// Transport-level: the `nth` send is delivered twice. Receivers
+    /// must discard duplicates (the dist RPC layer discards by request
+    /// id; re-executed queries are idempotent).
+    MsgDuplicate {
+        /// Which send duplicates.
+        nth: u64,
+    },
+    /// Transport-level: the `nth` send is deferred until the endpoint's
+    /// *next* transport operation (send or recv), modelling reordering
+    /// delay. Flushing on recv too keeps request/response protocols
+    /// deadlock-free.
+    MsgDelay {
+        /// Which send is delayed.
+        nth: u64,
+    },
+    /// Transport-level: the `nth` recv consumes its message but the
+    /// connection "drops mid-frame" — the bytes are lost and the caller
+    /// sees a transient error. Protocols recover by re-requesting
+    /// (idempotent re-execution), exactly like a real half-delivered
+    /// frame at peer death.
+    MidFrameDisconnect {
+        /// Which recv loses its message.
+        nth: u64,
+    },
 }
 
 /// An ordered list of faults, applied in sequence.
@@ -136,8 +167,9 @@ impl FaultPlan {
     }
 
     /// True when the plan never alters observed bytes — only their
-    /// delivery (short reads, transient errors that recover on retry).
-    /// A resilient consumer must produce byte-identical output under a
+    /// delivery (short reads, transient errors that recover on retry,
+    /// transport delivery faults a retrying protocol absorbs). A
+    /// resilient consumer must produce byte-identical output under a
     /// lossless plan.
     pub fn is_lossless(&self) -> bool {
         self.faults.iter().all(|f| {
@@ -147,9 +179,34 @@ impl FaultPlan {
                     | Fault::TransientIo { .. }
                     | Fault::TransientFsync { .. }
                     | Fault::TransientRename { .. }
+                    | Fault::MsgDrop { .. }
+                    | Fault::MsgDuplicate { .. }
+                    | Fault::MsgDelay { .. }
+                    | Fault::MidFrameDisconnect { .. }
             ) || matches!(f, Fault::BitFlip { mask: 0, .. })
                 || matches!(f, Fault::ZeroRun { len: 0, .. })
         })
+    }
+
+    /// Derives a random *transport* plan: 1–3 delivery faults (drop,
+    /// duplicate, delay, mid-frame disconnect) striking within the
+    /// first `ops` operations. Deterministic in `seed`; a **new**
+    /// derivation — [`FaultPlan::random`] and
+    /// [`FaultPlan::random_write`] distributions are untouched so
+    /// existing seeded corpora replay byte-for-byte.
+    pub fn random_transport(seed: u64, ops: u64) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = 1 + rng.next_below(3);
+        let bound = ops.max(1);
+        let faults = (0..n)
+            .map(|_| match rng.next_below(4) {
+                0 => Fault::MsgDrop { nth: rng.next_below(bound) },
+                1 => Fault::MsgDuplicate { nth: rng.next_below(bound) },
+                2 => Fault::MsgDelay { nth: rng.next_below(bound) },
+                _ => Fault::MidFrameDisconnect { nth: rng.next_below(bound) },
+            })
+            .collect();
+        FaultPlan { faults }
     }
 
     /// The crash point, if any (the earliest one wins).
@@ -246,7 +303,11 @@ impl FaultPlan {
                 | Fault::CrashAtByte { .. }
                 | Fault::TornWrite { .. }
                 | Fault::TransientFsync { .. }
-                | Fault::TransientRename { .. } => {}
+                | Fault::TransientRename { .. }
+                | Fault::MsgDrop { .. }
+                | Fault::MsgDuplicate { .. }
+                | Fault::MsgDelay { .. }
+                | Fault::MidFrameDisconnect { .. } => {}
             }
         }
         out
@@ -277,7 +338,11 @@ impl FaultPlan {
                 | Fault::CrashAtByte { .. }
                 | Fault::TornWrite { .. }
                 | Fault::TransientFsync { .. }
-                | Fault::TransientRename { .. } => {}
+                | Fault::TransientRename { .. }
+                | Fault::MsgDrop { .. }
+                | Fault::MsgDuplicate { .. }
+                | Fault::MsgDelay { .. }
+                | Fault::MidFrameDisconnect { .. } => {}
             }
         }
     }
@@ -385,7 +450,32 @@ mod tests {
                 | Fault::TornWrite { .. }
                 | Fault::TransientFsync { .. }
                 | Fault::TransientRename { .. }
+                | Fault::MsgDrop { .. }
+                | Fault::MsgDuplicate { .. }
+                | Fault::MsgDelay { .. }
+                | Fault::MidFrameDisconnect { .. }
         )));
+    }
+
+    #[test]
+    fn random_transport_is_deterministic_and_only_transport_faults() {
+        for seed in 0..50 {
+            assert_eq!(
+                FaultPlan::random_transport(seed, 32),
+                FaultPlan::random_transport(seed, 32)
+            );
+            let plan = FaultPlan::random_transport(seed, 32);
+            assert!(!plan.faults.is_empty() && plan.faults.len() <= 3);
+            assert!(plan.is_lossless());
+            assert!(plan.faults.iter().all(|f| matches!(
+                f,
+                Fault::MsgDrop { .. }
+                    | Fault::MsgDuplicate { .. }
+                    | Fault::MsgDelay { .. }
+                    | Fault::MidFrameDisconnect { .. }
+            )));
+        }
+        assert_ne!(FaultPlan::random_transport(1, 32), FaultPlan::random_transport(2, 32));
     }
 
     #[test]
