@@ -127,4 +127,27 @@ echo "==> repro dist (placement scaling + failover latency, BENCH_dist.json)"
 cargo run --release -p ngs-bench --bin repro -- dist --scale 0.05 > /dev/null
 python3 -c 'import json; json.load(open("BENCH_dist.json"))'
 
+# Load-smoke: graceful degradation under sustained overload
+# (DESIGN.md §13). The deadline/priority/shed acceptance suites run in
+# the workspace tests above; here the overload chaos matrix verifies
+# typed shed-before-decode + byte-identity + no-quarantine under
+# delivery faults end to end, and a smoke-scale BENCH_load.json is
+# gated on the headline property: goodput *rate* at 2x offered load must
+# hold at >= 80% of the rate at 1x (shedding the excess, not collapsing;
+# completion counts are not comparable across rows because the open-loop
+# replay span shrinks as the offered rate rises).
+echo "==> load-smoke (overload chaos matrix + goodput-retention gate)"
+cargo test --quiet -p ngs-query --test overload --test deadline_edges
+cargo run -p ngs-cli --bin ngsp -- chaos --overload --plans 4 --records 200
+echo "==> repro load (open-loop overload sweep, BENCH_load.json)"
+cargo run --release -p ngs-bench --bin repro -- load --scale 0.05 > /dev/null
+python3 - <<'PY'
+import json
+rows = json.load(open("BENCH_load.json"))["rows"]
+rps = {r["offered_multiplier"]: r["goodput_rps"] for r in rows}
+assert rps[2.0] >= 0.8 * rps[1.0], \
+    f"goodput rate collapsed under 2x overload: {rps}"
+print(f"goodput req/s 1x -> 2x offered: {rps[1.0]} -> {rps[2.0]}")
+PY
+
 echo "==> ci.sh: all green"

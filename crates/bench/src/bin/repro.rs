@@ -12,12 +12,13 @@ use std::io::Write;
 
 use ngs_bench::{
     collate_bench, dist_bench, fault_bench, fig10, fig11, fig12, fig6, fig7, fig8, fig9,
-    obs_bench, pipeline_bench, query_bench, recovery_bench, table1, ExperimentConfig, Scale,
+    load_bench, obs_bench, pipeline_bench, query_bench, recovery_bench, table1,
+    ExperimentConfig, Scale,
 };
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "query", "fault",
-    "pipeline", "recovery", "obs", "collate", "dist",
+    "pipeline", "recovery", "obs", "collate", "dist", "load",
 ];
 
 fn usage() -> ! {
@@ -95,6 +96,7 @@ fn main() {
             "obs" => obs_bench(&cfg).expect("obs"),
             "collate" => collate_bench(&cfg).expect("collate"),
             "dist" => dist_bench(&cfg).expect("dist"),
+            "load" => load_bench(&cfg).expect("load"),
             _ => unreachable!(),
         };
         eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());

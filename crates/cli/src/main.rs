@@ -55,8 +55,15 @@ COMMANDS:
               SHARD_DIR [--requests FILE] [--out DIR] [--workers N]
               [--queue N] [--cache N] [--segments N] [--batch N]
               [--deadline-ms D] [--trace FILE]
-              one request per line: DATASET REGION FORMAT
-              (FORMAT: a --to format, or coverage[:BIN])
+              one request per line: DATASET REGION FORMAT [CLASS]
+              (FORMAT: a --to format, or coverage[:BIN];
+               CLASS: interactive|batch, default interactive)
+  load        open-loop graceful-degradation drill: calibrate
+              saturation, then offer 0.5/1/2/4x that rate and print
+              goodput, shed, and per-class p99 latency
+              [--records N] [--requests N] [--workers N] [--seed S]
+              [--hot PCT] [--interactive PCT] [--deadline-ms D]
+              [--batch-deadline-ms D] [--multipliers 0.5,1,2,4]
   stats       run an instrumented smoke workload and print the unified
               ngs-obs metrics registry   [--records N] [--seed S] [--json]
               (counters, gauges, and log2 latency/size histograms with
@@ -73,6 +80,11 @@ COMMANDS:
               (distributed matrix: kill each rank mid-query-plan and
                assert failover answers byte-identical to the healthy
                run; RPC byte-identity under injected delivery faults)
+              --overload [--plans N] [--records R] [--seed S]
+              (overload matrix: delivery faults under a burst far past
+               queue capacity; typed rejections only, accepted output
+               byte-identical to an unloaded engine, exact ledger
+               drain, no quarantine of healthy shards)
   dist        place, replicate, and serve shards with R-way replication
               and failover routing (DESIGN.md §12)
               [--ranks N] [--replicas R] [--shards S] [--records N]
@@ -150,6 +162,7 @@ fn main() {
         "peaks" => commands::peaks_cmd(&args),
         "pipeline" => commands::pipeline_cmd(&args),
         "query" => commands::query_cmd(&args),
+        "load" => commands::load_cmd(&args),
         "stats" => commands::stats_cmd(&args),
         "chaos" => commands::chaos_cmd(&args),
         "dist" => commands::dist_cmd(&args),

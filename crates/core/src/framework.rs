@@ -310,6 +310,7 @@ mod tests {
                 region: "chr1".into(),
                 kind: ngs_query::QueryKind::Coverage { bin_size: 25 },
                 deadline: None,
+                class: ngs_query::QueryClass::Interactive,
             })
             .unwrap();
         match ticket.wait().outcome.unwrap() {

@@ -39,5 +39,8 @@ pub use placement::{
 };
 pub use replicate::{apply_rebalance, open_rank_repo, rank_repo_dir, replica_repairer, replicate};
 pub use router::{serve_query, DistQuery, Router, RouterConfig};
-pub use rpc::{DistClient, Request, Response, REQ_TAG, RESP_TAG};
+pub use rpc::{
+    serve_gated, AdmissionGate, DistClient, GatePermit, Request, Response, WireError, REQ_TAG,
+    RESP_TAG,
+};
 pub use socket::SocketTransport;

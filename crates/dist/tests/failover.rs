@@ -7,20 +7,23 @@
 
 use std::collections::BTreeSet;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
-use ngs_cluster::Communicator;
+use ngs_cluster::{Communicator, Transport};
 use ngs_converter::{ConvertConfig, TargetFormat};
 use ngs_dist::{
-    place, replicate, rpc, serve_query, DistClient, DistQuery, PlacementConfig, Router,
-    RouterConfig, SocketTransport,
+    place, replicate, rpc, serve_gated, serve_query, AdmissionGate, DistClient, DistQuery,
+    PlacementConfig, Router, RouterConfig, SocketTransport, REQ_TAG,
 };
 use ngs_fault::{FaultPlan, FaultyTransport};
+use ngs_formats::error::Error;
 use ngs_formats::header::{ReferenceSequence, SamHeader};
 use ngs_formats::sam;
 use ngs_obs::Registry;
-use ngs_query::{ManualClock, RetryPolicy, ShardStore};
+use ngs_query::{ManualClock, RetryBudget, RetryBudgetConfig, RetryPolicy, ShardStore};
 use tempfile::tempdir;
 
 fn write_dataset(dir: &Path, name: &str, starts: &[i64]) {
@@ -297,4 +300,193 @@ fn faulty_transport_rpc_is_byte_identical() {
             DistClient::new(client_t).shutdown(1).unwrap();
         });
     }
+}
+
+/// Deterministic brown-out: every other request send (starting with the
+/// first) is dropped before it reaches the wire, with a transient error
+/// — the message is provably undelivered, so retrying is safe. Counts
+/// total request sends so retry amplification is exactly observable.
+struct BrownoutTransport<'a, T: Transport> {
+    inner: &'a T,
+    req_sends: AtomicU64,
+}
+
+impl<T: Transport> Transport for BrownoutTransport<'_, T> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&self, to: usize, tag: u64, data: Vec<u8>) -> ngs_formats::error::Result<()> {
+        if tag == REQ_TAG {
+            let n = self.req_sends.fetch_add(1, Ordering::SeqCst);
+            if n.is_multiple_of(2) {
+                return Err(Error::Io(std::io::Error::other("brown-out: send dropped")));
+            }
+        }
+        self.inner.send(to, tag, data)
+    }
+
+    fn recv(&self, from: usize, tag: u64) -> ngs_formats::error::Result<Vec<u8>> {
+        self.inner.recv(from, tag)
+    }
+}
+
+/// Under a sustained brown-out (half of all sends dropped), a client
+/// with a retry budget keeps total attempts within the budget bound —
+/// `N + initial_tokens + ⌊deposit·N⌋` — instead of retrying every
+/// request to the attempt cap, and the brown-out alone never quarantines
+/// a healthy shard. Every arithmetic step is on deterministic integer
+/// milli-tokens, so the whole trace is exact.
+#[test]
+fn retry_budget_bounds_attempts_under_brownout() {
+    let source = tempdir().unwrap();
+    let root = tempdir().unwrap();
+    let (datasets, _map) = placed(source.path(), root.path(), 2);
+    let root_path = root.path();
+    let qs = queries(&datasets);
+    assert_eq!(qs.len(), 12, "the exact trace below assumes 12 requests");
+    let convert = ConvertConfig::with_ranks(1);
+
+    let local_out = tempdir().unwrap();
+    let store = store_over(&ngs_dist::rank_repo_dir(root_path, 0));
+    let baseline: Vec<Vec<u8>> =
+        qs.iter().map(|q| serve_query(&store, q, &convert, local_out.path()).unwrap()).collect();
+
+    let world = Communicator::create_world(2);
+    let server_out = tempdir().unwrap();
+    let server_store = store_over(&ngs_dist::rank_repo_dir(root_path, 0));
+    std::thread::scope(|s| {
+        let (qs, baseline, convert, server_store) = (&qs, &baseline, &convert, &server_store);
+        let (client_t, server_t) = {
+            let mut it = world.iter();
+            let c = it.next().unwrap();
+            (c, it.next().unwrap())
+        };
+        s.spawn(move || {
+            rpc::serve(server_t, 0, server_store, convert, server_out.path()).unwrap();
+        });
+
+        let brown = BrownoutTransport { inner: client_t, req_sends: AtomicU64::new(0) };
+        let budget = Arc::new(RetryBudget::new(
+            RetryBudgetConfig {
+                deposit_milli: 100, // 10%: one earned retry per ten requests
+                cap_tokens: 10,
+                initial_tokens: 2,
+                trickle_milli_per_sec: 0,
+            },
+            Arc::new(ManualClock::new()),
+        ));
+        let client = DistClient::with_retry_budget(&brown, Arc::clone(&budget));
+
+        let (mut served, mut refused) = (0u64, 0u64);
+        for (q, want) in qs.iter().zip(baseline.iter()) {
+            match client.query(1, q) {
+                Ok(bytes) => {
+                    assert_eq!(&bytes, want, "a served answer must stay byte-identical");
+                    served += 1;
+                }
+                Err(e) => {
+                    assert!(e.is_transient(), "budget exhaustion surfaces as transient: {e}");
+                    refused += 1;
+                }
+            }
+        }
+
+        // Exact budget arithmetic: 2 initial tokens + 12 deposits of
+        // 0.1 afford exactly 3 retries; first-send drops whose retry
+        // can't be paid fail, odd-numbered sends go through clean.
+        assert_eq!(budget.withdrawals(), 3);
+        assert_eq!(budget.exhausted(), 5);
+        assert_eq!(served, 7);
+        assert_eq!(refused, 5);
+        // The headline bound: 15 = N + initial + ⌊deposit·N⌋ attempts
+        // for 12 requests. A budget-free client under the same brown-out
+        // pays 2 sends per request (24) — the budget caps amplification.
+        assert_eq!(brown.req_sends.load(Ordering::SeqCst), 15);
+
+        // The wire is clean (every delivered response was consumed):
+        // a fresh budget-free client still gets every byte.
+        let clean = DistClient::new(client_t);
+        for (q, want) in qs.iter().zip(baseline.iter()) {
+            assert_eq!(&clean.query(1, q).unwrap(), want);
+        }
+        clean.shutdown(1).unwrap();
+    });
+
+    // Brown-out is a delivery problem, not a data problem: nothing on
+    // the serving rank may have been quarantined by it.
+    assert_eq!(server_store.counters().quarantined, 0);
+}
+
+/// A saturated [`AdmissionGate`] sheds on the wire with the exact
+/// depth-derived `retry_after` hint, the shed classifies as transient so
+/// `query_with_failover` detours to an ungated replica byte-identically,
+/// and releasing the permit restores service on the gated rank.
+#[test]
+fn gated_serve_sheds_with_hint_then_fails_over() {
+    let source = tempdir().unwrap();
+    let root = tempdir().unwrap();
+    let (datasets, _map) = placed(source.path(), root.path(), 2);
+    let root_path = root.path();
+    let qs = queries(&datasets);
+    let convert = ConvertConfig::with_ranks(1);
+
+    let local_out = tempdir().unwrap();
+    let store = store_over(&ngs_dist::rank_repo_dir(root_path, 0));
+    let baseline: Vec<Vec<u8>> =
+        qs.iter().map(|q| serve_query(&store, q, &convert, local_out.path()).unwrap()).collect();
+
+    // Wire ranks: 0 = client, 1 = gated server (capacity 1), 2 =
+    // ungated server over the other replica's repo.
+    let world = Communicator::create_world(3);
+    let gate = AdmissionGate::new(1, Duration::from_millis(1));
+    let outs: Vec<_> = (0..3).map(|_| tempdir().unwrap()).collect();
+    std::thread::scope(|s| {
+        let (qs, baseline, convert, gate, outs) = (&qs, &baseline, &convert, &gate, &outs);
+        let (client_t, gated_t, healthy_t) = {
+            let mut it = world.iter();
+            let c = it.next().unwrap();
+            let g = it.next().unwrap();
+            (c, g, it.next().unwrap())
+        };
+        s.spawn(move || {
+            let store = store_over(&ngs_dist::rank_repo_dir(root_path, 0));
+            serve_gated(gated_t, 0, &store, convert, outs[1].path(), Some(gate.as_ref()))
+                .unwrap();
+        });
+        s.spawn(move || {
+            let store = store_over(&ngs_dist::rank_repo_dir(root_path, 1));
+            rpc::serve(healthy_t, 0, &store, convert, outs[2].path()).unwrap();
+        });
+
+        let client = DistClient::new(client_t);
+        let q0 = &qs[0];
+
+        // Fill the gate's single slot from the test side; the server now
+        // sheds before any decode, hinting unit × (inflight + 1) = 2 ms.
+        let permit = gate.try_enter().unwrap();
+        match client.query(1, q0) {
+            Err(Error::Overloaded { retry_after }) => {
+                assert_eq!(retry_after, Duration::from_millis(2));
+                assert!(Error::Overloaded { retry_after }.is_transient());
+            }
+            other => panic!("expected a shed, got {other:?}"),
+        }
+
+        // Shed-at-replica is a transient detour, not a dead end.
+        let got = client.query_with_failover(&[1, 2], q0, None).unwrap();
+        assert_eq!(&got, &baseline[0], "failover past a shedding rank must stay byte-identical");
+
+        // Capacity returns with the permit; the gated rank serves again.
+        drop(permit);
+        for (q, want) in qs.iter().zip(baseline.iter()) {
+            assert_eq!(&client.query(1, q).unwrap(), want);
+        }
+        client.shutdown(1).unwrap();
+        client.shutdown(2).unwrap();
+    });
 }

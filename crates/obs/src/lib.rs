@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use hist::{Histogram, HistogramSnapshot};
+pub use hist::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, GaugeSnapshot, Registry, RegistrySnapshot};
 pub use trace::{Span, TraceEvent, Tracer};
 

@@ -1,23 +1,30 @@
 //! The long-lived concurrent query engine: a bounded worker pool over a
-//! [`ShardStore`], with admission control, per-request deadlines, a
-//! metrics ledger, and graceful drain.
+//! [`ShardStore`], with class-aware admission control, deadline-aware
+//! shedding, per-request deadlines, a metrics ledger, and graceful
+//! drain.
 //!
-//! Architecture: `submit` `try_send`s a job onto one bounded crossbeam
-//! channel shared by all workers (MPMC work queue). A full queue is a
-//! typed [`QueryError::Overloaded`] rejection, never a block — the
-//! paper's design point of keeping the interactive path latency-bounded
-//! instead of piling work behind a sequential bottleneck. Each worker
-//! resolves the region through the cached BAIX index and either
-//! converts the located records (same code path as partial conversion,
-//! so output bytes are identical to a one-shot single-rank
-//! `BamConverter::convert_partial`) or accumulates them into an
-//! `ngs_stats` coverage histogram.
+//! Architecture (DESIGN.md §13): `submit` places a job on one of the
+//! bounded **per-class queues** (interactive, batch) guarded by a single
+//! scheduler mutex + condvar. Admission never blocks: a full class queue
+//! is a typed [`QueryError::Overloaded`] rejection carrying a
+//! `retry_after` hint derived from queue depth; a request whose deadline
+//! has already passed, or whose dataset has exhausted its per-shard
+//! admission cap, is shed with a typed [`QueryError::Shed`] — both
+//! before any decode work. Workers dequeue strict-priority with aging
+//! (a batch job that has waited past `age_promote` jumps ahead so bulk
+//! traffic cannot be starved forever), re-check deadlines at dequeue
+//! (lazy expiry, still before decode), and either convert the located
+//! records (same code path as partial conversion, so output bytes are
+//! identical to a one-shot single-rank `BamConverter::convert_partial`)
+//! or accumulate them into an `ngs_stats` coverage histogram.
 
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use ngs_bamx::Region;
 use ngs_converter::bam_converter::convert_index_list;
 use ngs_converter::ConvertConfig;
@@ -25,10 +32,13 @@ use ngs_formats::error::{Error, Result};
 use ngs_obs::{span, Registry, Tracer};
 use ngs_pipeline::{PipelineConfig, ShardInput, StreamConverter};
 use ngs_stats::CoverageHistogram;
+use parking_lot::{Condvar, Mutex};
 
 use crate::clock::{Clock, SystemClock};
 use crate::metrics::{Completion, Ledger, QueryStats, RequestMetrics};
-use crate::request::{QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse};
+use crate::request::{
+    QueryClass, QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse, ShedReason,
+};
 use crate::store::ShardStore;
 
 /// Engine sizing knobs.
@@ -37,8 +47,9 @@ pub struct EngineConfig {
     /// Worker threads. Zero is allowed (nothing executes; useful for
     /// deterministic admission-control tests).
     pub workers: usize,
-    /// Bound of the shared request queue; `submit` rejects with
-    /// [`QueryError::Overloaded`] when it is full.
+    /// Bound of each **per-class** request queue; `submit` rejects with
+    /// [`QueryError::Overloaded`] when the request's class queue is
+    /// full.
     pub queue_capacity: usize,
     /// Datasets the shard cache may hold open at once.
     pub cache_capacity: usize,
@@ -50,11 +61,27 @@ pub struct EngineConfig {
     /// segmentation.
     pub segments: usize,
     /// Requests a worker may claim per wakeup (minimum 1). After
-    /// blocking for one job, a worker opportunistically drains up to
-    /// `batch - 1` more that are already queued and runs them
-    /// back-to-back, amortizing queue traffic across small requests.
-    /// Deadlines are still checked per request at its own start time.
+    /// waking for one job, a worker claims up to `batch - 1` more that
+    /// are already queued (same priority rules) and runs them
+    /// back-to-back, amortizing scheduler traffic across small
+    /// requests. Deadlines are still checked per request at its own
+    /// start time.
     pub batch: usize,
+    /// Per-shard in-admission cap: how many queued-or-running requests
+    /// one dataset may hold at once. `0` disables the cap. With a cap,
+    /// a hot key sheds ([`ShedReason::HotShard`]) instead of
+    /// monopolizing every queue slot and worker (DESIGN.md §13).
+    pub hot_shard_cap: usize,
+    /// Aging threshold for the strict-priority dequeue: a queued
+    /// request (any class) whose wait reaches this bound is promoted
+    /// ahead of fresher higher-priority work, so batch traffic cannot
+    /// be starved indefinitely by a steady interactive stream.
+    pub age_promote: Duration,
+    /// Unit of the `retry_after` hint on [`QueryError::Overloaded`] and
+    /// [`QueryError::Shed`]: the hint is `shed_retry_unit × (class
+    /// queue depth + 1)`, so back-off scales with how far behind the
+    /// engine is.
+    pub shed_retry_unit: Duration,
     /// Converter runtime settings for `Convert` requests. Each request
     /// converts on the one worker that picked it up (rank 0);
     /// parallelism comes from concurrent requests, so `ranks` is
@@ -71,7 +98,7 @@ pub struct EngineConfig {
     /// `None` gives the ledger a private registry.
     pub obs: Option<Arc<Registry>>,
     /// When set, workers record a `query.execute` span per request
-    /// (shard = dataset, outcome = ok/error/deadline) into this tracer.
+    /// (shard = dataset, outcome = ok/error/shed) into this tracer.
     pub tracer: Option<Arc<Tracer>>,
 }
 
@@ -83,6 +110,9 @@ impl Default for EngineConfig {
             cache_capacity: 8,
             segments: 8,
             batch: 8,
+            hot_shard_cap: 0,
+            age_promote: Duration::from_millis(100),
+            shed_retry_unit: Duration::from_micros(500),
             convert: ConvertConfig::with_ranks(1),
             streaming: None,
             obs: None,
@@ -127,16 +157,169 @@ impl Ticket {
     }
 }
 
+/// Mutable scheduler state behind the one scheduler lock. A thread
+/// holds this lock only for queue surgery — never across a decode.
+struct SchedState {
+    /// One bounded FIFO per traffic class, indexed by
+    /// [`QueryClass::index`].
+    queues: [VecDeque<Job>; QueryClass::COUNT],
+    /// Queued-or-running requests per dataset (only maintained when the
+    /// hot-shard cap is enabled).
+    admitted: HashMap<String, usize>,
+    /// `false` once drain begins: no new admissions, workers exit when
+    /// the queues are empty.
+    open: bool,
+}
+
+/// The class-aware admission scheduler (DESIGN.md §13): bounded
+/// per-class queues, strict-priority + aging dequeue, shed-before-decode
+/// deadline checks, and a per-shard admission cap.
+struct Scheduler {
+    state: Mutex<SchedState>,
+    available: Condvar,
+    /// Per-class queue depths mirrored outside the lock so `retry_after`
+    /// hints can be derived without taking it.
+    depths: [AtomicUsize; QueryClass::COUNT],
+    per_class_capacity: usize,
+    hot_shard_cap: usize,
+    age_promote: Duration,
+    shed_retry_unit: Duration,
+}
+
+impl Scheduler {
+    fn new(config: &EngineConfig) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                queues: std::array::from_fn(|_| VecDeque::new()),
+                admitted: HashMap::new(),
+                open: true,
+            }),
+            available: Condvar::new(),
+            depths: std::array::from_fn(|_| AtomicUsize::new(0)),
+            per_class_capacity: config.queue_capacity.max(1),
+            hot_shard_cap: config.hot_shard_cap,
+            age_promote: config.age_promote,
+            shed_retry_unit: config.shed_retry_unit,
+        }
+    }
+
+    /// The back-off hint for `class` right now: `shed_retry_unit ×
+    /// (queue depth + 1)`.
+    fn retry_after(&self, class: QueryClass) -> Duration {
+        let depth = self.depths[class.index()].load(Ordering::Relaxed);
+        self.shed_retry_unit * u32::try_from(depth.saturating_add(1)).unwrap_or(u32::MAX)
+    }
+
+    /// Non-blocking admission. Ordering of the checks is part of the
+    /// contract: shutting-down, then expired-deadline shed, then
+    /// hot-shard shed, then queue-full overload.
+    fn admit(&self, job: Job, now: Duration, ledger: &Ledger) -> std::result::Result<(), QueryError> {
+        let class = job.request.class;
+        let idx = class.index();
+        let mut st = self.state.lock();
+        if !st.open {
+            return Err(QueryError::ShuttingDown);
+        }
+        if let Some(deadline) = job.request.deadline {
+            if now > deadline {
+                drop(st);
+                ledger.record_shed(class, ShedReason::Expired);
+                return Err(QueryError::Shed {
+                    reason: ShedReason::Expired,
+                    retry_after: self.retry_after(class),
+                });
+            }
+        }
+        if self.hot_shard_cap > 0 {
+            let in_admission = st.admitted.get(&job.request.dataset).copied().unwrap_or(0);
+            if in_admission >= self.hot_shard_cap {
+                drop(st);
+                ledger.record_shed(class, ShedReason::HotShard);
+                return Err(QueryError::Shed {
+                    reason: ShedReason::HotShard,
+                    retry_after: self.retry_after(class),
+                });
+            }
+        }
+        if st.queues[idx].len() >= self.per_class_capacity {
+            drop(st);
+            ledger.record_rejected(class);
+            return Err(QueryError::Overloaded { retry_after: self.retry_after(class) });
+        }
+        if self.hot_shard_cap > 0 {
+            *st.admitted.entry(job.request.dataset.clone()).or_insert(0) += 1;
+        }
+        st.queues[idx].push_back(job);
+        let depth = st.queues[idx].len();
+        drop(st);
+        self.depths[idx].store(depth, Ordering::Relaxed);
+        ledger.record_submitted(class);
+        ledger.set_queue_depth(class, depth as u64);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue under the already-held lock: strict priority with aging.
+    /// Any class front whose wait has reached `age_promote` is urgent;
+    /// the earliest-submitted urgent front wins (ties go to the higher
+    /// priority class, because it is scanned first). With no urgent
+    /// front, the highest-priority non-empty queue serves. Returns the
+    /// job and whether picking it was an aging *promotion* (a
+    /// lower-priority job jumping ahead of queued higher-priority
+    /// work).
+    fn pick(&self, st: &mut SchedState, now: Duration, ledger: &Ledger) -> Option<Job> {
+        let strict = QueryClass::ALL.iter().position(|c| !st.queues[c.index()].is_empty())?;
+        let mut chosen = strict;
+        let mut best_submitted = None;
+        for class in QueryClass::ALL {
+            let idx = class.index();
+            if let Some(front) = st.queues[idx].front() {
+                if now.saturating_sub(front.submitted_at) >= self.age_promote
+                    && best_submitted.is_none_or(|b| front.submitted_at < b)
+                {
+                    best_submitted = Some(front.submitted_at);
+                    chosen = idx;
+                }
+            }
+        }
+        // `chosen` is non-empty by construction (strict or aged front).
+        let job = st.queues[chosen].pop_front()?;
+        let depth = st.queues[chosen].len();
+        self.depths[chosen].store(depth, Ordering::Relaxed);
+        if chosen != strict {
+            ledger.record_aged_promotion();
+        }
+        ledger.set_queue_depth(job.request.class, depth as u64);
+        Some(job)
+    }
+
+    /// Releases one admission slot for `dataset` after its job ran (or
+    /// was shed at dequeue). Only called when the hot-shard cap is on.
+    fn release(&self, dataset: &str) {
+        let mut st = self.state.lock();
+        if let Some(n) = st.admitted.get_mut(dataset) {
+            *n -= 1;
+            if *n == 0 {
+                st.admitted.remove(dataset);
+            }
+        }
+    }
+
+    /// Begins drain: stop admission and wake every worker so they can
+    /// finish the queues and exit.
+    fn close(&self) {
+        self.state.lock().open = false;
+        self.available.notify_all();
+    }
+}
+
 /// The query engine. Dropping it drains gracefully: queued requests
 /// finish, then the workers exit.
 pub struct QueryEngine {
     store: Arc<ShardStore>,
     ledger: Arc<Ledger>,
     clock: Arc<dyn Clock>,
-    tx: Option<Sender<Job>>,
-    // Keeps the queue alive when `workers == 0`, so admission control
-    // still reports Full (not Disconnected) with no consumers.
-    _rx_keepalive: Receiver<Job>,
+    sched: Arc<Scheduler>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -179,11 +362,11 @@ impl QueryEngine {
             Some(registry) => Ledger::with_registry(Arc::clone(registry)),
             None => Ledger::default(),
         });
-        let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
+        let sched = Arc::new(Scheduler::new(&config));
         let batch = config.batch.max(1);
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
-            let rx = rx.clone();
+            let sched = Arc::clone(&sched);
             let store = Arc::clone(&store);
             let ledger = Arc::clone(&ledger);
             let clock = Arc::clone(&clock);
@@ -194,11 +377,11 @@ impl QueryEngine {
                 std::thread::Builder::new()
                     .name(format!("ngs-query-{i}"))
                     .spawn(move || {
-                        worker_loop(rx, store, ledger, clock, convert, streaming, tracer, batch)
+                        worker_loop(sched, store, ledger, clock, convert, streaming, tracer, batch)
                     })?,
             );
         }
-        Ok(QueryEngine { store, ledger, clock, tx: Some(tx), _rx_keepalive: rx, workers })
+        Ok(QueryEngine { store, ledger, clock, sched, workers })
     }
 
     /// The underlying shard store (for cache counters or discovery).
@@ -211,24 +394,18 @@ impl QueryEngine {
         &self.clock
     }
 
-    /// Submits a request without blocking. A full queue returns
-    /// [`QueryError::Overloaded`]; a draining engine returns
-    /// [`QueryError::ShuttingDown`].
+    /// Submits a request without blocking. A full class queue returns
+    /// [`QueryError::Overloaded`]; an expired deadline or exhausted
+    /// hot-shard cap returns [`QueryError::Shed`] (both carry a
+    /// `retry_after` hint); a draining engine returns
+    /// [`QueryError::ShuttingDown`]. Shed and overloaded requests never
+    /// reach the store — the shed-before-decode invariant.
     pub fn submit(&self, request: QueryRequest) -> std::result::Result<Ticket, QueryError> {
-        let tx = self.tx.as_ref().ok_or(QueryError::ShuttingDown)?;
+        let now = self.clock.now();
         let (reply, rx) = bounded(1);
-        let job = Job { submitted_at: self.clock.now(), request, reply };
-        match tx.try_send(job) {
-            Ok(()) => {
-                self.ledger.record_submitted();
-                Ok(Ticket { rx })
-            }
-            Err(TrySendError::Full(_)) => {
-                self.ledger.record_rejected();
-                Err(QueryError::Overloaded)
-            }
-            Err(TrySendError::Disconnected(_)) => Err(QueryError::ShuttingDown),
-        }
+        let job = Job { submitted_at: now, request, reply };
+        self.sched.admit(job, now, &self.ledger)?;
+        Ok(Ticket { rx })
     }
 
     /// Aggregated statistics so far, including the store's shard-health
@@ -252,7 +429,7 @@ impl QueryEngine {
     }
 
     fn shutdown(&mut self) {
-        self.tx.take(); // close the queue: workers drain it, then exit
+        self.sched.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -267,7 +444,7 @@ impl Drop for QueryEngine {
 
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
-    rx: Receiver<Job>,
+    sched: Arc<Scheduler>,
     store: Arc<ShardStore>,
     ledger: Arc<Ledger>,
     clock: Arc<dyn Clock>,
@@ -276,30 +453,47 @@ fn worker_loop(
     tracer: Option<Arc<Tracer>>,
     batch: usize,
 ) {
-    // One blocking recv per wakeup, then an opportunistic non-blocking
-    // drain of whatever else is already queued (up to `batch` total):
-    // small requests amortize their queue/wakeup overhead instead of
-    // paying it per request. Submission order is preserved — the drain
-    // pulls from the same MPMC queue FIFO — and each job's deadline is
-    // judged at its own start time, not the wakeup time.
+    // One condvar wakeup, then an opportunistic claim of whatever else
+    // is already queued (up to `batch` total, same priority rules):
+    // small requests amortize their scheduler traffic instead of paying
+    // it per request. Each job's deadline is judged at its own start
+    // time, not the wakeup time.
     let mut claimed = Vec::with_capacity(batch);
-    while let Ok(first) = rx.recv() {
-        claimed.push(first);
-        while claimed.len() < batch {
-            match rx.try_recv() {
-                Ok(job) => claimed.push(job),
-                Err(_) => break,
+    loop {
+        {
+            let mut st = sched.state.lock();
+            loop {
+                if let Some(job) = sched.pick(&mut st, clock.now(), &ledger) {
+                    claimed.push(job);
+                    break;
+                }
+                if !st.open {
+                    return;
+                }
+                sched.available.wait(&mut st);
+            }
+            while claimed.len() < batch {
+                match sched.pick(&mut st, clock.now(), &ledger) {
+                    Some(job) => claimed.push(job),
+                    None => break,
+                }
             }
         }
         ledger.record_batch(claimed.len() as u64);
         for job in claimed.drain(..) {
-            run_job(job, &store, &ledger, &clock, &convert, streaming.as_ref(), tracer.as_ref());
+            let slot = (sched.hot_shard_cap > 0).then(|| job.request.dataset.clone());
+            run_job(job, &sched, &store, &ledger, &clock, &convert, streaming.as_ref(), tracer.as_ref());
+            if let Some(dataset) = slot {
+                sched.release(&dataset);
+            }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     job: Job,
+    sched: &Scheduler,
     store: &Arc<ShardStore>,
     ledger: &Arc<Ledger>,
     clock: &Arc<dyn Clock>,
@@ -308,6 +502,7 @@ fn run_job(
     tracer: Option<&Arc<Tracer>>,
 ) {
     let Job { request, submitted_at, reply } = job;
+    let class = request.class;
     let started_at = clock.now();
     let queue_wait = started_at.saturating_sub(submitted_at);
     let mut metrics = RequestMetrics {
@@ -319,13 +514,20 @@ fn run_job(
     };
     let mut span = span!(tracer, "query.execute", &request.dataset);
     if let Some(deadline) = request.deadline {
+        // Lazy expiry: the deadline passed while the request was
+        // queued. Shed it here, before any store or decode work — a
+        // request dequeued exactly at its deadline tick still runs.
         if started_at > deadline {
-            ledger.record_finished(&metrics, Completion::DeadlineMissed);
+            ledger.record_finished(&metrics, Completion::DeadlineMissed, class, false);
+            ledger.record_shed(class, ShedReason::ExpiredInQueue);
             if let Some(s) = span.as_mut() {
-                s.set_outcome("deadline");
+                s.set_outcome("shed");
             }
             let _ = reply.send(QueryResponse {
-                outcome: Err(QueryError::DeadlineExceeded { deadline, now: started_at }),
+                outcome: Err(QueryError::Shed {
+                    reason: ShedReason::ExpiredInQueue,
+                    retry_after: sched.retry_after(class),
+                }),
                 metrics,
             });
             return;
@@ -349,11 +551,14 @@ fn run_job(
                     (bins.len() * std::mem::size_of::<f64>()) as u64
                 }
             };
-            ledger.record_finished(&metrics, Completion::Completed);
+            // Goodput = completed *within deadline*; deadline-free
+            // requests always count.
+            let in_deadline = request.deadline.is_none_or(|d| metrics.finished_at <= d);
+            ledger.record_finished(&metrics, Completion::Completed, class, in_deadline);
             Ok(outcome)
         }
         Err(e) => {
-            ledger.record_finished(&metrics, Completion::Failed);
+            ledger.record_finished(&metrics, Completion::Failed, class, false);
             Err(QueryError::Failed(e.to_string()))
         }
     };
@@ -475,6 +680,7 @@ mod tests {
                 out_dir: out_dir.to_path_buf(),
             },
             deadline: None,
+            class: QueryClass::Interactive,
         }
     }
 
@@ -493,6 +699,7 @@ mod tests {
                 region: "chr1".into(),
                 kind: QueryKind::Coverage { bin_size: 25 },
                 deadline: None,
+                class: QueryClass::Batch,
             })
             .unwrap();
 
@@ -515,6 +722,11 @@ mod tests {
         assert_eq!(stats.submitted, 2);
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.cache_hits + stats.cache_misses, 2);
+        // One request per class, both completed within (absent)
+        // deadlines — goodput counts both.
+        assert_eq!(stats.class_submitted, [1, 1]);
+        assert_eq!(stats.class_completed, [1, 1]);
+        assert_eq!(stats.goodput_completed, 2);
     }
 
     #[test]
@@ -525,6 +737,7 @@ mod tests {
         let config = EngineConfig {
             workers: 0,
             queue_capacity: 2,
+            shed_retry_unit: Duration::from_millis(1),
             ..EngineConfig::default()
         };
         let engine = QueryEngine::new(dir.path(), config).unwrap();
@@ -532,8 +745,14 @@ mod tests {
         let _t1 = engine.submit(convert_request("d", "chr1", &out)).unwrap();
         let _t2 = engine.submit(convert_request("d", "chr1", &out)).unwrap();
         let err = engine.submit(convert_request("d", "chr1", &out)).unwrap_err();
-        assert_eq!(err, QueryError::Overloaded);
+        // Depth 2 at rejection time → retry_after = unit × 3.
+        assert_eq!(err, QueryError::Overloaded { retry_after: Duration::from_millis(3) });
+        assert_eq!(err.retry_after(), Some(Duration::from_millis(3)));
         assert_eq!(engine.stats().rejected, 1);
+        // Queues are per class: the batch queue still has room.
+        let mut batch_req = convert_request("d", "chr1", &out);
+        batch_req.class = QueryClass::Batch;
+        let _t3 = engine.submit(batch_req).unwrap();
         // Tickets of never-run requests resolve to ShuttingDown on drain.
         let t = _t1;
         drop(engine);
@@ -541,7 +760,7 @@ mod tests {
     }
 
     #[test]
-    fn expired_deadline_is_not_executed() {
+    fn expired_deadline_is_shed_at_admission() {
         let dir = tempfile::tempdir().unwrap();
         write_shard(dir.path(), "d", &[100]);
         let clock = Arc::new(ManualClock::new());
@@ -554,17 +773,47 @@ mod tests {
         .unwrap();
         let mut req = convert_request("d", "chr1", &dir.path().join("out"));
         req.deadline = Some(Duration::from_secs(5)); // already past
-        let resp = engine.submit(req).unwrap().wait();
-        match resp.outcome.unwrap_err() {
-            QueryError::DeadlineExceeded { deadline, now } => {
-                assert_eq!(deadline, Duration::from_secs(5));
-                assert_eq!(now, Duration::from_secs(10));
+        let err = engine.submit(req).unwrap_err();
+        match err {
+            QueryError::Shed { reason, retry_after } => {
+                assert_eq!(reason, ShedReason::Expired);
+                assert!(retry_after > Duration::ZERO);
             }
-            other => panic!("expected DeadlineExceeded, got {other:?}"),
+            other => panic!("expected Shed, got {other:?}"),
         }
+        // The store was never touched: shed-before-decode.
+        assert_eq!(engine.store().counters().decodes, 0);
         let stats = engine.drain();
-        assert_eq!(stats.deadline_missed, 1);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.shed_expired, 1);
         assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn hot_shard_cap_sheds_the_monopolist_only() {
+        let dir = tempfile::tempdir().unwrap();
+        write_shard(dir.path(), "hot", &[100]);
+        write_shard(dir.path(), "cold", &[200]);
+        let config = EngineConfig {
+            workers: 0, // deterministic: nothing dequeues
+            queue_capacity: 16,
+            hot_shard_cap: 2,
+            ..EngineConfig::default()
+        };
+        let engine = QueryEngine::new(dir.path(), config).unwrap();
+        let out = dir.path().join("out");
+        let _h1 = engine.submit(convert_request("hot", "chr1", &out)).unwrap();
+        let _h2 = engine.submit(convert_request("hot", "chr1", &out)).unwrap();
+        let err = engine.submit(convert_request("hot", "chr1", &out)).unwrap_err();
+        assert!(
+            matches!(err, QueryError::Shed { reason: ShedReason::HotShard, .. }),
+            "expected hot-shard shed, got {err:?}"
+        );
+        // Other datasets are unaffected by the hot key's cap.
+        let _c = engine.submit(convert_request("cold", "chr1", &out)).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.shed_hot_shard, 1);
+        assert_eq!(stats.submitted, 3);
     }
 
     #[test]
@@ -704,6 +953,8 @@ mod tests {
         assert_eq!(snap.counters["query.submitted"], 2);
         assert_eq!(snap.counters["query.completed"], 1);
         assert_eq!(snap.counters["query.failed"], 1);
+        assert_eq!(snap.counters["query.class.interactive.submitted"], 2);
+        assert_eq!(snap.counters["query.goodput_completed"], 1);
         assert_eq!(snap.counters["store.cache_misses"], 1);
         assert_eq!(snap.histograms["query.latency_ns"].count, 2);
         // Under the manual clock the snapshot renders byte-identically.
@@ -740,5 +991,74 @@ mod tests {
         // Same dataset every time: exactly one miss, the rest hits.
         assert_eq!(stats.cache_misses, 1);
         assert_eq!(stats.cache_hits, 7);
+    }
+
+    /// Direct scheduler-level pin of the dequeue contract: strict
+    /// priority flips submission order, and an aged batch front jumps
+    /// ahead of fresher interactive work (counted as a promotion).
+    #[test]
+    fn scheduler_dequeues_strict_priority_with_aging() {
+        fn job(class: QueryClass, name: &str, submitted_at: Duration) -> Job {
+            // The receiver is dropped: replies to these jobs go nowhere,
+            // which is fine — only dequeue order is under test.
+            let (reply, _rx) = bounded(1);
+            Job {
+                request: QueryRequest {
+                    dataset: name.into(),
+                    region: "chr1".into(),
+                    kind: QueryKind::Coverage { bin_size: 25 },
+                    deadline: None,
+                    class,
+                },
+                submitted_at,
+                reply,
+            }
+        }
+        let config = EngineConfig {
+            queue_capacity: 16,
+            age_promote: Duration::from_millis(100),
+            ..EngineConfig::default()
+        };
+        let sched = Scheduler::new(&config);
+        let ledger = Ledger::default();
+
+        // Batch submitted first, interactive second: strict priority
+        // serves interactive first while nothing has aged.
+        sched.admit(job(QueryClass::Batch, "b0", Duration::ZERO), Duration::ZERO, &ledger).unwrap();
+        sched
+            .admit(
+                job(QueryClass::Interactive, "i0", Duration::from_millis(10)),
+                Duration::from_millis(10),
+                &ledger,
+            )
+            .unwrap();
+        {
+            let mut st = sched.state.lock();
+            let first = sched.pick(&mut st, Duration::from_millis(10), &ledger).unwrap();
+            assert_eq!(first.request.dataset, "i0");
+            let second = sched.pick(&mut st, Duration::from_millis(10), &ledger).unwrap();
+            assert_eq!(second.request.dataset, "b0");
+            assert!(sched.pick(&mut st, Duration::from_millis(10), &ledger).is_none());
+        }
+        assert_eq!(ledger.snapshot().aged_promotions, 0);
+
+        // Now an old batch job vs a fresh interactive one: once the
+        // batch front's wait reaches `age_promote`, it is promoted.
+        sched.admit(job(QueryClass::Batch, "b1", Duration::ZERO), Duration::ZERO, &ledger).unwrap();
+        sched
+            .admit(
+                job(QueryClass::Interactive, "i1", Duration::from_millis(120)),
+                Duration::from_millis(120),
+                &ledger,
+            )
+            .unwrap();
+        {
+            let mut st = sched.state.lock();
+            let first = sched.pick(&mut st, Duration::from_millis(120), &ledger).unwrap();
+            assert_eq!(first.request.dataset, "b1", "aged batch job must be promoted");
+            let second = sched.pick(&mut st, Duration::from_millis(120), &ledger).unwrap();
+            assert_eq!(second.request.dataset, "i1");
+        }
+        assert_eq!(ledger.snapshot().aged_promotions, 1);
     }
 }

@@ -7,13 +7,21 @@
 //! datasets open in a capacity-bounded LRU [`ShardStore`] and answers a
 //! stream of region requests from a bounded worker pool:
 //!
-//! * **Admission control** — the request queue is bounded; a full queue
-//!   rejects with the typed [`QueryError::Overloaded`] instead of
-//!   blocking the caller.
-//! * **Deadlines** — each request may carry an absolute deadline on the
-//!   engine's injected [`Clock`]; expired requests are dropped with
-//!   [`QueryError::DeadlineExceeded`] without touching the disk.
-//!   Injecting a [`ManualClock`] makes deadline tests deterministic.
+//! * **Class-aware admission control** — bounded *per-class* queues
+//!   (interactive, batch) with strict-priority + aging dequeue; a full
+//!   class queue rejects with the typed [`QueryError::Overloaded`]
+//!   (carrying a `retry_after` hint) instead of blocking the caller,
+//!   and a per-shard admission cap sheds hot-key monopolists
+//!   (DESIGN.md §13).
+//! * **Deadline-aware shedding** — each request may carry an absolute
+//!   deadline on the engine's injected [`Clock`]; expired requests are
+//!   shed with [`QueryError::Shed`] at admission or at dequeue, always
+//!   *before* any decode work. Injecting a [`ManualClock`] makes
+//!   deadline tests deterministic.
+//! * **Overload tooling** — a deterministic open-loop load-plan
+//!   generator ([`load`]) and a client-side retry budget ([`retry`])
+//!   bound measurement and retry amplification under sustained
+//!   overload.
 //! * **Concurrent hot path** — the store's cache is sharded into
 //!   independently-locked segments, concurrent misses on one dataset
 //!   coalesce into a single decode (single-flight), responses are
@@ -40,8 +48,10 @@
 
 pub mod clock;
 pub mod engine;
+pub mod load;
 pub mod metrics;
 pub mod request;
+pub mod retry;
 pub mod store;
 
 #[cfg(test)]
@@ -49,8 +59,12 @@ pub(crate) mod testutil;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use engine::{EngineConfig, QueryEngine, Ticket};
+pub use load::{generate as generate_load, Arrival, LoadProfile, TrafficKind};
 pub use metrics::{QueryStats, RequestMetrics};
-pub use request::{QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse};
+pub use request::{
+    QueryClass, QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse, ShedReason,
+};
+pub use retry::{RetryBudget, RetryBudgetConfig};
 pub use store::{
     CacheCounters, CachedShard, Repairer, RetryPolicy, SegmentCounters, ShardStore, SourceOpener,
 };

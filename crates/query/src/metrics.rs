@@ -12,6 +12,8 @@ use std::time::Duration;
 
 use ngs_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 
+use crate::request::{QueryClass, ShedReason};
+
 /// Timing and cache measurements of one finished request. All instants
 /// are on the engine clock's axis.
 #[derive(Debug, Clone, Default)]
@@ -62,8 +64,34 @@ pub struct QueryStats {
     pub failed: u64,
     /// Requests dropped for missing their deadline.
     pub deadline_missed: u64,
-    /// Requests rejected at admission (queue full).
+    /// Requests rejected at admission (class queue full).
     pub rejected: u64,
+    /// Requests shed by load control before any decode work (expired
+    /// deadline at admission or in queue, hot-shard cap) — DESIGN.md §13.
+    pub shed: u64,
+    /// Sheds whose deadline had already passed at admission.
+    pub shed_expired: u64,
+    /// Sheds whose deadline passed while queued (lazy expiry at
+    /// dequeue; these also count in `deadline_missed`).
+    pub shed_expired_in_queue: u64,
+    /// Sheds from the per-shard admission cap.
+    pub shed_hot_shard: u64,
+    /// Aged dequeues where a lower-priority job jumped ahead of queued
+    /// higher-priority work (anti-starvation promotions).
+    pub aged_promotions: u64,
+    /// Completed requests that finished within their deadline (or had
+    /// none) — the goodput numerator.
+    pub goodput_completed: u64,
+    /// Per-class accepted submissions, indexed by [`QueryClass::index`].
+    pub class_submitted: [u64; QueryClass::COUNT],
+    /// Per-class successful completions.
+    pub class_completed: [u64; QueryClass::COUNT],
+    /// Per-class queue-full rejections.
+    pub class_rejected: [u64; QueryClass::COUNT],
+    /// Per-class load-control sheds (all reasons).
+    pub class_shed: [u64; QueryClass::COUNT],
+    /// Per-class end-to-end latency distributions (nanoseconds).
+    pub class_latency: [HistogramSnapshot; QueryClass::COUNT],
     /// Completed requests whose dataset lookup hit the cache.
     pub cache_hits: u64,
     /// Completed requests whose dataset lookup missed.
@@ -148,6 +176,18 @@ impl QueryStats {
     }
 }
 
+/// Per-class handle bundle (one per [`QueryClass`]), published under
+/// `query.class.<name>.*`.
+#[derive(Debug)]
+struct ClassHandles {
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    shed: Arc<Counter>,
+    latency: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+}
+
 /// Thread-safe accumulator the workers write into: handles onto the
 /// shared [`Registry`], so every update is one relaxed atomic and the
 /// same numbers surface in `ngsp stats`.
@@ -173,6 +213,17 @@ pub struct Ledger {
     /// Jobs claimed per wakeup — how well batching amortizes queue
     /// traffic (mean = finished jobs / wakeups).
     batch_jobs: Arc<Histogram>,
+    /// Load-control sheds, total and by reason (DESIGN.md §13).
+    shed: Arc<Counter>,
+    shed_expired: Arc<Counter>,
+    shed_expired_in_queue: Arc<Counter>,
+    shed_hot_shard: Arc<Counter>,
+    /// Anti-starvation promotions in the aged dequeue.
+    aged_promotions: Arc<Counter>,
+    /// Completions within deadline — the goodput numerator.
+    goodput_completed: Arc<Counter>,
+    /// Per-class handles, indexed by [`QueryClass::index`].
+    classes: [ClassHandles; QueryClass::COUNT],
 }
 
 impl Default for Ledger {
@@ -184,6 +235,17 @@ impl Default for Ledger {
 impl Ledger {
     /// A ledger publishing its `query.*` metrics into `registry`.
     pub fn with_registry(registry: Arc<Registry>) -> Self {
+        let classes = std::array::from_fn(|i| {
+            let name = QueryClass::ALL[i].name();
+            ClassHandles {
+                submitted: registry.counter(&format!("query.class.{name}.submitted")),
+                completed: registry.counter(&format!("query.class.{name}.completed")),
+                rejected: registry.counter(&format!("query.class.{name}.rejected")),
+                shed: registry.counter(&format!("query.class.{name}.shed")),
+                latency: registry.histogram(&format!("query.class.{name}.latency_ns")),
+                queue_depth: registry.gauge(&format!("query.class.{name}.queue_depth")),
+            }
+        });
         Ledger {
             submitted: registry.counter("query.submitted"),
             rejected: registry.counter("query.rejected"),
@@ -199,6 +261,13 @@ impl Ledger {
             max_latency: registry.gauge("query.max_latency_ns"),
             wakeups: registry.counter("query.worker_wakeups"),
             batch_jobs: registry.histogram("query.batch_jobs"),
+            shed: registry.counter("query.shed"),
+            shed_expired: registry.counter("query.shed.expired"),
+            shed_expired_in_queue: registry.counter("query.shed.expired_in_queue"),
+            shed_hot_shard: registry.counter("query.shed.hot_shard"),
+            aged_promotions: registry.counter("query.aged_promotions"),
+            goodput_completed: registry.counter("query.goodput_completed"),
+            classes,
             registry,
         }
     }
@@ -209,13 +278,36 @@ impl Ledger {
     }
 
     /// Counts an accepted submission.
-    pub fn record_submitted(&self) {
+    pub fn record_submitted(&self, class: QueryClass) {
         self.submitted.inc();
+        self.classes[class.index()].submitted.inc();
     }
 
-    /// Counts an admission-control rejection.
-    pub fn record_rejected(&self) {
+    /// Counts an admission-control (queue-full) rejection.
+    pub fn record_rejected(&self, class: QueryClass) {
         self.rejected.inc();
+        self.classes[class.index()].rejected.inc();
+    }
+
+    /// Counts a load-control shed (before any decode work).
+    pub fn record_shed(&self, class: QueryClass, reason: ShedReason) {
+        self.shed.inc();
+        self.classes[class.index()].shed.inc();
+        match reason {
+            ShedReason::Expired => self.shed_expired.inc(),
+            ShedReason::ExpiredInQueue => self.shed_expired_in_queue.inc(),
+            ShedReason::HotShard => self.shed_hot_shard.inc(),
+        }
+    }
+
+    /// Counts one anti-starvation promotion in the aged dequeue.
+    pub fn record_aged_promotion(&self) {
+        self.aged_promotions.inc();
+    }
+
+    /// Publishes the current depth of `class`'s queue.
+    pub fn set_queue_depth(&self, class: QueryClass, depth: u64) {
+        self.classes[class.index()].queue_depth.set(depth);
     }
 
     /// Counts one worker wakeup that claimed `jobs` queued requests.
@@ -224,10 +316,24 @@ impl Ledger {
         self.batch_jobs.record(jobs);
     }
 
-    /// Folds one finished request into the aggregate.
-    pub fn record_finished(&self, metrics: &RequestMetrics, completion: Completion) {
+    /// Folds one finished request into the aggregate. `in_deadline` is
+    /// whether a completed request finished within its deadline (or had
+    /// none) — the goodput criterion; it is ignored for non-completions.
+    pub fn record_finished(
+        &self,
+        metrics: &RequestMetrics,
+        completion: Completion,
+        class: QueryClass,
+        in_deadline: bool,
+    ) {
         match completion {
-            Completion::Completed => self.completed.inc(),
+            Completion::Completed => {
+                self.completed.inc();
+                self.classes[class.index()].completed.inc();
+                if in_deadline {
+                    self.goodput_completed.inc();
+                }
+            }
             Completion::Failed => self.failed.inc(),
             Completion::DeadlineMissed => self.deadline_missed.inc(),
         }
@@ -246,6 +352,7 @@ impl Ledger {
         self.service.record_duration(metrics.service_time);
         let latency = metrics.latency();
         self.latency.record_duration(latency);
+        self.classes[class.index()].latency.record_duration(latency);
         self.max_latency.set(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
     }
 
@@ -262,6 +369,17 @@ impl Ledger {
             completed: self.completed.get(),
             failed: self.failed.get(),
             deadline_missed: self.deadline_missed.get(),
+            shed: self.shed.get(),
+            shed_expired: self.shed_expired.get(),
+            shed_expired_in_queue: self.shed_expired_in_queue.get(),
+            shed_hot_shard: self.shed_hot_shard.get(),
+            aged_promotions: self.aged_promotions.get(),
+            goodput_completed: self.goodput_completed.get(),
+            class_submitted: std::array::from_fn(|i| self.classes[i].submitted.get()),
+            class_completed: std::array::from_fn(|i| self.classes[i].completed.get()),
+            class_rejected: std::array::from_fn(|i| self.classes[i].rejected.get()),
+            class_shed: std::array::from_fn(|i| self.classes[i].shed.get()),
+            class_latency: std::array::from_fn(|i| self.classes[i].latency.snapshot()),
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
             bytes_out: self.bytes_out.get(),
@@ -302,16 +420,22 @@ mod tests {
     #[test]
     fn ledger_aggregates() {
         let ledger = Ledger::default();
-        ledger.record_submitted();
-        ledger.record_submitted();
-        ledger.record_submitted();
-        ledger.record_rejected();
-        ledger.record_finished(&metrics(5, 20, false, 100), Completion::Completed);
-        ledger.record_finished(&metrics(1, 4, true, 50), Completion::Completed);
-        ledger.record_finished(&metrics(9, 0, false, 0), Completion::DeadlineMissed);
+        ledger.record_submitted(QueryClass::Interactive);
+        ledger.record_submitted(QueryClass::Interactive);
+        ledger.record_submitted(QueryClass::Batch);
+        ledger.record_rejected(QueryClass::Interactive);
+        ledger.record_finished(&metrics(5, 20, false, 100), Completion::Completed, QueryClass::Interactive, true);
+        ledger.record_finished(&metrics(1, 4, true, 50), Completion::Completed, QueryClass::Batch, false);
+        ledger.record_finished(&metrics(9, 0, false, 0), Completion::DeadlineMissed, QueryClass::Interactive, false);
         let s = ledger.snapshot();
         assert_eq!(s.submitted, 3);
         assert_eq!(s.rejected, 1);
+        assert_eq!(s.class_submitted, [2, 1]);
+        assert_eq!(s.class_completed, [1, 1]);
+        assert_eq!(s.class_rejected, [1, 0]);
+        assert_eq!(s.goodput_completed, 1);
+        assert_eq!(s.class_latency[0].count, 2);
+        assert_eq!(s.class_latency[1].count, 1);
         assert_eq!(s.completed, 2);
         assert_eq!(s.deadline_missed, 1);
         assert_eq!(s.finished(), 3);
@@ -333,13 +457,21 @@ mod tests {
     fn ledger_publishes_into_a_shared_registry() {
         let registry = Arc::new(Registry::new());
         let ledger = Ledger::with_registry(Arc::clone(&registry));
-        ledger.record_submitted();
-        ledger.record_finished(&metrics(1, 2, true, 10), Completion::Completed);
+        ledger.record_submitted(QueryClass::Interactive);
+        ledger.record_finished(&metrics(1, 2, true, 10), Completion::Completed, QueryClass::Interactive, true);
+        ledger.record_shed(QueryClass::Batch, ShedReason::HotShard);
+        ledger.set_queue_depth(QueryClass::Batch, 5);
         let snap = registry.snapshot();
         assert_eq!(snap.counters["query.submitted"], 1);
         assert_eq!(snap.counters["query.completed"], 1);
         assert_eq!(snap.counters["query.bytes_out"], 10);
+        assert_eq!(snap.counters["query.shed"], 1);
+        assert_eq!(snap.counters["query.shed.hot_shard"], 1);
+        assert_eq!(snap.counters["query.class.batch.shed"], 1);
+        assert_eq!(snap.counters["query.goodput_completed"], 1);
+        assert_eq!(snap.gauges["query.class.batch.queue_depth"].current, 5);
         assert_eq!(snap.histograms["query.latency_ns"].count, 1);
+        assert_eq!(snap.histograms["query.class.interactive.latency_ns"].count, 1);
     }
 
     #[test]

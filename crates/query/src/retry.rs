@@ -1,0 +1,236 @@
+//! Client-side retry budget: a token bucket on the injected [`Clock`]
+//! that bounds retry *amplification* under brown-out (DESIGN.md §13).
+//!
+//! Every initial request deposits a configurable fraction of a token;
+//! every retry withdraws a whole token. With deposit ratio `r`, initial
+//! reserve `i`, and an optional clock-driven trickle `t` tokens/sec,
+//! total attempts over a window of `N` requests and `s` seconds are
+//! bounded by `N + i + r·N + t·s` — retries amplify offered load by a
+//! bounded factor instead of melting a browning-out cluster. All
+//! arithmetic is integer milli-tokens, so outcomes are deterministic
+//! and exactly testable on a `ManualClock`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ngs_obs::{Counter, Registry};
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+
+/// Milli-tokens per whole token.
+const MILLI: u64 = 1000;
+
+/// Sizing of a [`RetryBudget`].
+#[derive(Debug, Clone)]
+pub struct RetryBudgetConfig {
+    /// Milli-tokens deposited per *initial* attempt (100 = a retry per
+    /// ten requests; the budget factor is `1 + deposit_milli/1000`).
+    pub deposit_milli: u64,
+    /// Whole tokens the bucket may hold (burst bound).
+    pub cap_tokens: u64,
+    /// Whole tokens in the bucket at construction (lets a cold client
+    /// retry before any deposits accrue).
+    pub initial_tokens: u64,
+    /// Milli-tokens trickled in per second of clock time, independent
+    /// of traffic (keeps an idle client able to retry occasionally).
+    /// Zero disables the trickle.
+    pub trickle_milli_per_sec: u64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            deposit_milli: 100, // 10% retry ratio
+            cap_tokens: 10,
+            initial_tokens: 5,
+            trickle_milli_per_sec: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BudgetState {
+    milli_tokens: u64,
+    last_trickle: Duration,
+}
+
+/// The token bucket. Shared by every retry site of one logical client
+/// (clone the `Arc`): local engine resubmissions and
+/// `DistClient::query_with_failover` draw from the same budget, so
+/// their combined amplification is bounded together.
+pub struct RetryBudget {
+    config: RetryBudgetConfig,
+    clock: Arc<dyn Clock>,
+    state: Mutex<BudgetState>,
+    deposits: Arc<Counter>,
+    withdrawals: Arc<Counter>,
+    exhausted: Arc<Counter>,
+}
+
+impl RetryBudget {
+    /// A budget with private metrics counters.
+    pub fn new(config: RetryBudgetConfig, clock: Arc<dyn Clock>) -> Self {
+        Self::with_obs(config, clock, &Registry::new())
+    }
+
+    /// A budget publishing `retry.budget_*` counters into `registry`.
+    pub fn with_obs(config: RetryBudgetConfig, clock: Arc<dyn Clock>, registry: &Registry) -> Self {
+        let now = clock.now();
+        RetryBudget {
+            state: Mutex::new(BudgetState {
+                milli_tokens: (config.initial_tokens.min(config.cap_tokens)) * MILLI,
+                last_trickle: now,
+            }),
+            deposits: registry.counter("retry.budget_deposits"),
+            withdrawals: registry.counter("retry.budget_withdrawals"),
+            exhausted: registry.counter("retry.budget_exhausted"),
+            config,
+            clock,
+        }
+    }
+
+    fn cap_milli(&self) -> u64 {
+        self.config.cap_tokens * MILLI
+    }
+
+    /// Accrues the clock-driven trickle since the last accrual. Called
+    /// under the state lock by both public operations.
+    fn trickle(&self, st: &mut BudgetState) {
+        if self.config.trickle_milli_per_sec == 0 {
+            return;
+        }
+        let now = self.clock.now();
+        let elapsed = now.saturating_sub(st.last_trickle);
+        // Whole-second granularity keeps the arithmetic exact; the
+        // un-accrued remainder stays on the clock for next time.
+        let secs = elapsed.as_secs();
+        if secs > 0 {
+            let add = secs.saturating_mul(self.config.trickle_milli_per_sec);
+            st.milli_tokens = (st.milli_tokens + add).min(self.cap_milli());
+            st.last_trickle += Duration::from_secs(secs);
+        }
+    }
+
+    /// Records one *initial* (non-retry) attempt, depositing its
+    /// fraction of a token.
+    pub fn on_attempt(&self) {
+        let mut st = self.state.lock();
+        self.trickle(&mut st);
+        st.milli_tokens = (st.milli_tokens + self.config.deposit_milli).min(self.cap_milli());
+        drop(st);
+        self.deposits.inc();
+    }
+
+    /// Tries to pay for one retry. `true` withdraws a whole token and
+    /// permits the retry; `false` means the budget is exhausted — the
+    /// caller must give up (and surface the original error) rather than
+    /// amplify load.
+    pub fn try_withdraw(&self) -> bool {
+        let mut st = self.state.lock();
+        self.trickle(&mut st);
+        if st.milli_tokens >= MILLI {
+            st.milli_tokens -= MILLI;
+            drop(st);
+            self.withdrawals.inc();
+            true
+        } else {
+            drop(st);
+            self.exhausted.inc();
+            false
+        }
+    }
+
+    /// Whole tokens currently available (diagnostics and tests).
+    pub fn balance(&self) -> u64 {
+        let mut st = self.state.lock();
+        self.trickle(&mut st);
+        st.milli_tokens / MILLI
+    }
+
+    /// Retries permitted so far.
+    pub fn withdrawals(&self) -> u64 {
+        self.withdrawals.get()
+    }
+
+    /// Retries refused so far.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn budget(config: RetryBudgetConfig) -> (RetryBudget, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (RetryBudget::new(config, clock.clone()), clock)
+    }
+
+    #[test]
+    fn initial_reserve_then_ratio_bound() {
+        let (b, _clock) = budget(RetryBudgetConfig {
+            deposit_milli: 100,
+            cap_tokens: 10,
+            initial_tokens: 2,
+            trickle_milli_per_sec: 0,
+        });
+        // Burn the initial reserve.
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "reserve spent, no deposits yet");
+        assert_eq!(b.exhausted(), 1);
+        // Ten initial attempts at 10% earn exactly one retry.
+        for _ in 0..9 {
+            b.on_attempt();
+            assert!(!b.try_withdraw());
+        }
+        b.on_attempt();
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw());
+        assert_eq!(b.withdrawals(), 3);
+    }
+
+    #[test]
+    fn cap_bounds_burst() {
+        let (b, _clock) = budget(RetryBudgetConfig {
+            deposit_milli: 1000, // a whole token per attempt
+            cap_tokens: 3,
+            initial_tokens: 0,
+            trickle_milli_per_sec: 0,
+        });
+        for _ in 0..100 {
+            b.on_attempt();
+        }
+        // However many deposits, only `cap_tokens` retries are stored.
+        let mut allowed = 0;
+        while b.try_withdraw() {
+            allowed += 1;
+        }
+        assert_eq!(allowed, 3);
+    }
+
+    #[test]
+    fn trickle_accrues_on_the_injected_clock() {
+        let (b, clock) = budget(RetryBudgetConfig {
+            deposit_milli: 0,
+            cap_tokens: 10,
+            initial_tokens: 0,
+            trickle_milli_per_sec: 500, // a token every 2 s
+        });
+        assert!(!b.try_withdraw());
+        clock.advance(Duration::from_secs(1));
+        assert!(!b.try_withdraw(), "only half a token has trickled in");
+        clock.advance(Duration::from_secs(1));
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw());
+        // Sub-second remainders are never lost: 1.5 s + 0.5 s = 1 token.
+        clock.advance(Duration::from_millis(1500));
+        assert!(!b.try_withdraw());
+        clock.advance(Duration::from_millis(500));
+        assert!(b.try_withdraw());
+        assert_eq!(b.balance(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Deadline edge cases on a `ManualClock` (DESIGN.md §13).
+//!
+//! Every test here is exact — the clock only moves when the test moves
+//! it, so deadline comparisons, shed decisions, and queue-wait
+//! measurements have single correct answers:
+//!
+//! * a deadline that expires **while queued** sheds at dequeue, before
+//!   any decode work (the store's decode counter proves it);
+//! * a request dequeued **exactly at** its deadline tick still executes
+//!   (deadline-inclusive);
+//! * a request already expired at admission is shed there, with the
+//!   exact depth-derived `retry_after`;
+//! * the queue-wait histogram records the *per-request* submit→dequeue
+//!   interval on the injected clock, pinned to its exact log2 bucket —
+//!   the regression gate for the old backlog-drain measurement, whose
+//!   percentiles were a constant of the plan size.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
+use ngs_formats::header::{ReferenceSequence, SamHeader};
+use ngs_formats::sam;
+use ngs_obs::Registry;
+use ngs_query::store::SourceOpener;
+use ngs_query::{
+    Clock, EngineConfig, ManualClock, QueryEngine, QueryError, QueryKind, QueryRequest,
+    RetryPolicy, ShardStore, ShedReason,
+};
+
+fn write_shard(dir: &std::path::Path, name: &str, starts: &[i64]) {
+    let header = SamHeader::from_references(vec![ReferenceSequence {
+        name: b"chr1".to_vec(),
+        length: 100_000,
+    }]);
+    let records: Vec<_> = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let line = format!("{name}{i}\t0\tchr1\t{p}\t60\t10M\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII");
+            sam::parse_record(line.as_bytes(), 1).unwrap()
+        })
+        .collect();
+    let bamx_path = dir.join(format!("{name}.bamx"));
+    write_bamx_file(&bamx_path, &header, &records, BamxCompression::Plain).unwrap();
+    let baix = Baix::build(&BamxFile::open(&bamx_path).unwrap()).unwrap();
+    baix.save(dir.join(format!("{name}.baix"))).unwrap();
+}
+
+/// A latch the test opens once the worker is provably parked inside the
+/// gated decode.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+fn await_condition(what: &str, cond: impl Fn() -> bool) {
+    for _ in 0..10_000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+fn coverage(dataset: &str, deadline: Option<Duration>) -> QueryRequest {
+    QueryRequest {
+        dataset: dataset.into(),
+        region: "chr1:1-5000".into(),
+        kind: QueryKind::Coverage { bin_size: 100 },
+        deadline,
+        class: Default::default(),
+    }
+}
+
+/// Opener that gates decodes of `gated` (by dataset stem) and counts
+/// every `.bamx` open.
+fn gated_opener(gate: Arc<Gate>, gated: &'static str, opens: Arc<AtomicU32>) -> Box<SourceOpener> {
+    Box::new(move |path| {
+        if path.extension().is_some_and(|e| e == "bamx") {
+            opens.fetch_add(1, Ordering::SeqCst);
+            if path.file_stem().is_some_and(|s| s == gated) {
+                gate.wait();
+            }
+        }
+        Ok(Box::new(std::fs::File::open(path)?))
+    })
+}
+
+fn engine_with_gate(
+    dir: &std::path::Path,
+    clock: &Arc<ManualClock>,
+    registry: &Arc<Registry>,
+    gate: Arc<Gate>,
+    gated: &'static str,
+    opens: Arc<AtomicU32>,
+    config: EngineConfig,
+) -> QueryEngine {
+    let store = ShardStore::open_with(dir, 4, clock.clone(), RetryPolicy::default())
+        .unwrap()
+        .with_segments(config.segments.max(1))
+        .with_opener(gated_opener(gate, gated, opens));
+    let config = EngineConfig { obs: Some(Arc::clone(registry)), ..config };
+    QueryEngine::with_store(Arc::new(store), config, clock.clone()).unwrap()
+}
+
+/// The deadline passes while the request waits behind a stuck worker:
+/// the request is shed at dequeue with `ExpiredInQueue`, and its
+/// dataset is **never decoded** — shed-before-decode, observed through
+/// the store's decode counter.
+#[test]
+fn expire_while_queued_sheds_before_any_decode() {
+    let dir = tempfile::tempdir().unwrap();
+    write_shard(dir.path(), "plug", &[100, 200]);
+    write_shard(dir.path(), "victim", &[300, 400]);
+
+    let clock = Arc::new(ManualClock::new());
+    let registry = Arc::new(Registry::new());
+    let gate = Arc::new(Gate::default());
+    let opens = Arc::new(AtomicU32::new(0));
+    let engine = engine_with_gate(
+        dir.path(),
+        &clock,
+        &registry,
+        Arc::clone(&gate),
+        "plug",
+        Arc::clone(&opens),
+        EngineConfig { workers: 1, queue_capacity: 4, ..EngineConfig::default() },
+    );
+
+    // The worker picks up the plug and parks inside its decode.
+    let plug = engine.submit(coverage("plug", None)).unwrap();
+    await_condition("worker parked in plug decode", || opens.load(Ordering::SeqCst) >= 1);
+
+    // The victim is admitted with 10 ms of slack ... which then expires
+    // while it waits in the queue.
+    let deadline = clock.now() + Duration::from_millis(10);
+    let victim = engine.submit(coverage("victim", Some(deadline))).unwrap();
+    clock.advance(Duration::from_millis(11));
+    gate.release();
+
+    let response = victim.wait();
+    match response.outcome {
+        Err(QueryError::Shed { reason: ShedReason::ExpiredInQueue, retry_after }) => {
+            assert!(retry_after > Duration::ZERO);
+        }
+        other => panic!("expected in-queue shed, got {other:?}"),
+    }
+    assert!(plug.wait().outcome.is_ok());
+
+    // Exactly one dataset was ever decoded: the plug. The shed victim
+    // produced zero store work.
+    assert_eq!(engine.store().counters().decodes, 1);
+    let stats = engine.drain();
+    assert_eq!(stats.shed_expired_in_queue, 1);
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.goodput_completed, 1, "the undeadlined plug still counts as goodput");
+}
+
+/// Deadline-inclusive semantics: a request whose deadline equals the
+/// clock *now* — at admission and at dequeue — executes normally and
+/// counts toward goodput.
+#[test]
+fn dequeue_exactly_at_deadline_tick_executes() {
+    let dir = tempfile::tempdir().unwrap();
+    write_shard(dir.path(), "d", &[100, 200, 300]);
+
+    let clock = Arc::new(ManualClock::new());
+    let store =
+        ShardStore::open_with(dir.path(), 4, clock.clone(), RetryPolicy::default()).unwrap();
+    let engine = QueryEngine::with_store(
+        Arc::new(store),
+        EngineConfig { workers: 1, queue_capacity: 4, ..EngineConfig::default() },
+        clock.clone(),
+    )
+    .unwrap();
+
+    // The clock never moves, so the request is admitted, dequeued, and
+    // finished all exactly at its deadline tick.
+    let deadline = clock.now();
+    let ticket = engine.submit(coverage("d", Some(deadline))).unwrap();
+    assert!(ticket.wait().outcome.is_ok(), "deadline == now must still execute");
+    let stats = engine.drain();
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.deadline_missed, 0);
+    assert_eq!(stats.goodput_completed, 1, "finished_at == deadline is within deadline");
+}
+
+/// A request already expired at admission is shed there — typed, with
+/// the exact depth-derived `retry_after`, and without ever reaching the
+/// store.
+#[test]
+fn expired_at_admission_is_shed_with_exact_retry_after() {
+    let dir = tempfile::tempdir().unwrap();
+    write_shard(dir.path(), "d", &[100]);
+
+    let clock = Arc::new(ManualClock::new());
+    let store =
+        ShardStore::open_with(dir.path(), 4, clock.clone(), RetryPolicy::default()).unwrap();
+    let engine = QueryEngine::with_store(
+        Arc::new(store),
+        EngineConfig {
+            workers: 0,
+            queue_capacity: 4,
+            shed_retry_unit: Duration::from_millis(1),
+            ..EngineConfig::default()
+        },
+        clock.clone(),
+    )
+    .unwrap();
+
+    clock.advance(Duration::from_nanos(1));
+    let err = engine.submit(coverage("d", Some(Duration::ZERO))).unwrap_err();
+    match err {
+        QueryError::Shed { reason: ShedReason::Expired, retry_after } => {
+            // Empty interactive queue: retry_after = unit × (0 + 1).
+            assert_eq!(retry_after, Duration::from_millis(1));
+        }
+        other => panic!("expected admission shed, got {other:?}"),
+    }
+    assert!(err.is_retryable());
+    assert_eq!(engine.store().counters().decodes, 0);
+    let stats = engine.drain();
+    assert_eq!(stats.shed_expired, 1);
+    assert_eq!(stats.submitted, 0, "a shed request is not admitted traffic");
+}
+
+/// Queue-wait regression gate: the histogram records each request's own
+/// submit→dequeue interval on the injected clock — an exactly known
+/// 1024 ns wait lands in exactly log2 bucket 11 (upper bound 2047 ns).
+/// The old measurement (drain time of a submit-everything backlog)
+/// pinned every percentile to a plan-size constant; this test fails if
+/// that ever comes back.
+#[test]
+fn queue_wait_histogram_places_exact_bucket() {
+    let dir = tempfile::tempdir().unwrap();
+    write_shard(dir.path(), "plug", &[100, 200]);
+    write_shard(dir.path(), "v", &[300, 400]);
+
+    let clock = Arc::new(ManualClock::new());
+    let registry = Arc::new(Registry::new());
+    let gate = Arc::new(Gate::default());
+    let opens = Arc::new(AtomicU32::new(0));
+    let engine = engine_with_gate(
+        dir.path(),
+        &clock,
+        &registry,
+        Arc::clone(&gate),
+        "plug",
+        Arc::clone(&opens),
+        EngineConfig { workers: 1, queue_capacity: 4, ..EngineConfig::default() },
+    );
+
+    // Plug dequeues at t=0 (zero wait, bucket 0) and parks; the victim
+    // waits exactly 1024 ns of manual time before the worker frees up.
+    let plug = engine.submit(coverage("plug", None)).unwrap();
+    await_condition("worker parked in plug decode", || opens.load(Ordering::SeqCst) >= 1);
+    let victim = engine.submit(coverage("v", None)).unwrap();
+    clock.advance(Duration::from_nanos(1024));
+    gate.release();
+    assert!(plug.wait().outcome.is_ok());
+    assert!(victim.wait().outcome.is_ok());
+
+    let hist = &registry.snapshot().histograms["query.queue_wait_ns"];
+    assert_eq!(hist.count, 2);
+    assert_eq!(hist.buckets[0], 1, "plug waited exactly zero ticks");
+    assert_eq!(
+        hist.buckets[ngs_obs::bucket_index(1024)],
+        1,
+        "a 1024 ns wait must land in its exact log2 bucket"
+    );
+    assert_eq!(hist.quantile(1.0), 2047, "log2 upper bound of the 1024 ns bucket");
+}

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use ngs_bamx::repo::ShardRepo;
 use ngs_converter::{BamConverter, ConvertConfig, MemSource, SamxConverter, TargetFormat};
 use ngs_fault::{Fault, FaultPlan, FaultyFs};
-use ngs_query::{EngineConfig, ManualClock, QueryEngine, QueryKind, QueryOutcome, QueryRequest, RetryPolicy, ShardStore};
+use ngs_query::{EngineConfig, ManualClock, QueryClass, QueryEngine, QueryKind, QueryOutcome, QueryRequest, RetryPolicy, ShardStore};
 use ngs_simgen::{Dataset, DatasetSpec};
 use tempfile::tempdir;
 
@@ -167,6 +167,7 @@ fn engine_serves_correctly_before_during_and_after_repair() {
         region: "chr1:1-50000".into(),
         kind: QueryKind::Convert { format: TargetFormat::Sam, out_dir: out },
         deadline: None,
+        class: QueryClass::Interactive,
     };
     let run = |engine: &QueryEngine, out: std::path::PathBuf| {
         let outcome = engine.submit(request(out)).unwrap().wait().outcome;

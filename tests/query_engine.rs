@@ -10,7 +10,7 @@ use std::sync::Arc;
 use ngs_bamx::Region;
 use ngs_converter::{BamConverter, ConvertConfig, TargetFormat};
 use ngs_query::{
-    EngineConfig, ManualClock, QueryEngine, QueryKind, QueryOutcome, QueryRequest,
+    EngineConfig, ManualClock, QueryClass, QueryEngine, QueryKind, QueryOutcome, QueryRequest,
 };
 use ngs_simgen::{Dataset, DatasetSpec};
 use tempfile::tempdir;
@@ -63,6 +63,7 @@ fn engine_matches_one_shot_partial_conversion_byte_for_byte() {
                 region: region_text.into(),
                 kind: QueryKind::Convert { format: target, out_dir: engine_dir },
                 deadline: None,
+                class: QueryClass::Interactive,
             })
             .unwrap();
         let response = ticket.wait();
@@ -159,6 +160,7 @@ fn engine_streaming_convert_matches_batch_engine_byte_for_byte() {
                     region: (*region_text).into(),
                     kind: QueryKind::Convert { format: target, out_dir },
                     deadline: None,
+                    class: QueryClass::Interactive,
                 })
                 .unwrap()
                 .wait();
@@ -283,6 +285,7 @@ fn engine_retries_transient_faults_to_byte_identical_output() {
                 region: (*region_text).into(),
                 kind: QueryKind::Convert { format: TargetFormat::Sam, out_dir: engine_dir },
                 deadline: None,
+                class: QueryClass::Interactive,
             })
             .unwrap()
             .wait();
@@ -387,6 +390,7 @@ fn engine_byte_identity_holds_across_workers_segments_and_streaming() {
                                 region: (*region_text).into(),
                                 kind: QueryKind::Convert { format: *target, out_dir },
                                 deadline: None,
+                                class: QueryClass::Interactive,
                             })
                             .unwrap()
                     })
@@ -458,6 +462,7 @@ fn engine_coverage_and_deadlines_are_deterministic() {
             region: "chr1".into(),
             kind: QueryKind::Coverage { bin_size: 100 },
             deadline: None,
+            class: QueryClass::Interactive,
         })
         .unwrap();
     let response = ticket.wait();
