@@ -150,4 +150,26 @@ assert rps[2.0] >= 0.8 * rps[1.0], \
 print(f"goodput req/s 1x -> 2x offered: {rps[1.0]} -> {rps[2.0]}")
 PY
 
+# BAMX v2 smoke: columnar-layout acceptance (DESIGN.md §14). The
+# corruption and byte-identity suites run in the workspace tests above;
+# here the v2 chaos sweep runs end to end and a smoke-scale
+# BENCH_bamx2.json is gated on the two headline properties: the v2 shard
+# is smaller than v1 on disk, and a positions-only projected scan
+# decodes strictly fewer column bytes than a full scan.
+echo "==> bamx2-smoke (v1/v2 identity + projection gate)"
+cargo test --quiet -p ngs-repro --test bamx_v2
+echo "==> repro bamx2 (columnar size + projection gate, BENCH_bamx2.json)"
+cargo run --release -p ngs-bench --bin repro -- bamx2 --scale 0.05 > /dev/null
+python3 - <<'PY'
+import json
+b = json.load(open("BENCH_bamx2.json"))
+assert b["v2_shard_bytes"] < b["v1_shard_bytes"], \
+    f"v2 shard not smaller: {b['v2_shard_bytes']} vs {b['v1_shard_bytes']}"
+assert b["positions_scan_column_bytes"] < b["full_scan_column_bytes"], \
+    "projection decoded no fewer bytes than a full scan"
+print(f"v2/v1 size ratio: {b['v2_over_v1_size_ratio']}; "
+      f"projected scan: {b['positions_scan_column_bytes']} "
+      f"of {b['full_scan_column_bytes']} column bytes")
+PY
+
 echo "==> ci.sh: all green"

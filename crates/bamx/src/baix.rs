@@ -74,9 +74,27 @@ impl Baix {
 
     /// Maps a genomic region to the *BAIX region*: the `lo..hi` range of
     /// index entries whose alignment start positions fall inside it.
+    ///
+    /// Region bounds are `i64` but stored start positions are `i32`; a
+    /// bound past `i32::MAX` saturates to "after every position on this
+    /// reference" instead of wrapping negative (which used to pack into a
+    /// huge u32 key and silently return the wrong — usually empty —
+    /// range).
     pub fn locate(&self, ref_id: i32, region: &Region) -> std::ops::Range<usize> {
-        let lo_key = position_key(ref_id, region.start0 as i32);
-        let hi_key = position_key(ref_id, region.end0 as i32);
+        // Saturating key: any in-domain bound packs exactly; a bound past
+        // i32::MAX maps to the first key of the *next* reference, which is
+        // the supremum of every key on this one. Negative bounds (the
+        // Region constructor rejects them, but stay total anyway) clamp
+        // to position 0.
+        let key_for = |bound: i64| -> u64 {
+            if bound > i32::MAX as i64 {
+                position_key(ref_id, i32::MAX).wrapping_add(1)
+            } else {
+                position_key(ref_id, bound.max(0) as i32)
+            }
+        };
+        let lo_key = key_for(region.start0);
+        let hi_key = key_for(region.end0);
         let lo = self.entries.partition_point(|e| e.key < lo_key);
         let hi = self.entries.partition_point(|e| e.key < hi_key);
         lo..hi
@@ -341,6 +359,37 @@ mod tests {
         let region = Region::new("chr2", 500_000, 600_000).unwrap();
         let range = baix.locate(1, &region);
         assert_eq!(range, baix.len()..baix.len());
+    }
+
+    /// Regression: region bounds are i64 and may legitimately exceed
+    /// 2^31 (e.g. "everything from here on" queries built with
+    /// `Region::new`). The old code truncated them through `as i32`,
+    /// wrapping negative and packing to a huge u32 key — a query like
+    /// [100, 2^31+10) silently returned an empty range. Bounds past
+    /// `i32::MAX` must saturate to "after every position on this
+    /// reference".
+    #[test]
+    fn locate_saturates_bounds_past_i32_max() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.bamx");
+        let recs = shuffled_records();
+        write_bamx_file(&path, &header(), &recs, BamxCompression::Plain).unwrap();
+        let f = BamxFile::open(&path).unwrap();
+        let baix = Baix::build(&f).unwrap();
+
+        // chr1 0-based starts: 99,299,399,499,699,799,999 (7 records).
+        // End bound past 2^31 must behave like "to the end of chr1".
+        let huge_end = Region::new("chr1", 100, (1i64 << 31) + 10).unwrap();
+        let range = baix.locate(0, &huge_end);
+        assert_eq!(range.len(), 6, "starts in [100, 2^31+10) on chr1");
+        let whole = Region::new("chr1", 0, i64::MAX).unwrap();
+        assert_eq!(baix.locate(0, &whole).len(), 7);
+        // chr2 must not leak into a saturated chr1 query.
+        let on_chr2 = baix.locate(1, &Region::new("chr2", 0, i64::MAX).unwrap());
+        assert_eq!(on_chr2.len(), 3);
+        // Start bound past i32::MAX: empty, anchored past chr1's entries.
+        let past = Region::new("chr1", (1i64 << 31) + 1, 1i64 << 32).unwrap();
+        assert!(baix.locate(0, &past).is_empty());
     }
 
     #[test]

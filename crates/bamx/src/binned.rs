@@ -13,14 +13,20 @@ use crate::file::BamxFile;
 use crate::region::Region;
 
 /// One indexed alignment interval.
+///
+/// Coordinates are `i64` like [`AlignmentRecord`](ngs_formats::record::
+/// AlignmentRecord) spans: a record's *end* is `start + CIGAR reference
+/// length` and can exceed `i32::MAX` even though starts are i32-bounded,
+/// so narrowing here would silently wrap the interval (the same
+/// truncation bug class as the old `Baix::locate`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BinnedEntry {
     /// Shard record index.
     index: u64,
     /// 0-based start.
-    start: i32,
+    start: i64,
     /// 0-based exclusive end.
-    end: i32,
+    end: i64,
 }
 
 /// Binned overlap index: per (reference, bin) lists of intervals.
@@ -58,8 +64,8 @@ impl BinnedIndex {
                 let bin = reg2bin(start, end);
                 map.entry((ref_id, bin)).or_default().push(BinnedEntry {
                     index: lo + off as u64,
-                    start: start as i32,
-                    end: end as i32,
+                    start,
+                    end,
                 });
             }
             lo = hi;
@@ -80,7 +86,7 @@ impl BinnedIndex {
         for bin in reg2bins(region.start0, region.end0.max(region.start0 + 1)) {
             if let Ok(slot) = self.keys.binary_search(&(ref_id, bin)) {
                 for e in &self.buckets[slot] {
-                    if region.overlaps(e.start as i64, e.end as i64) {
+                    if region.overlaps(e.start, e.end) {
                         out.push(e.index);
                     }
                 }
@@ -151,6 +157,26 @@ mod tests {
         let (_d, _f, idx) = build(&recs);
         let region = Region::new("chr1", 100_500, 100_600).unwrap();
         assert_eq!(idx.query(0, &region), vec![0]);
+    }
+
+    /// Regression: interval ends are `start + CIGAR reference length` and
+    /// can exceed `i32::MAX` even though starts fit in i32. The old
+    /// `BinnedEntry` narrowed both through `as i32`, wrapping the end
+    /// negative so the overlap test could never match — a query over the
+    /// far end of such a read silently came back empty.
+    #[test]
+    fn span_past_i32_max_still_matches() {
+        // Start near the top of the i32 domain, span 100 bases past it.
+        let start0 = i32::MAX as i64 - 8; // pos (1-based) = i32::MAX - 7
+        let recs = vec![rec("edge", start0 + 1, "100M")];
+        let (_d, _f, idx) = build(&recs);
+        assert_eq!(idx.len(), 1);
+        // Query a window strictly past i32::MAX but inside the span.
+        let region = Region::new("chr1", i32::MAX as i64 + 10, i32::MAX as i64 + 40).unwrap();
+        assert_eq!(idx.query(0, &region), vec![0]);
+        // And a window past the span stays empty.
+        let region = Region::new("chr1", start0 + 200, start0 + 300).unwrap();
+        assert!(idx.query(0, &region).is_empty());
     }
 
     #[test]

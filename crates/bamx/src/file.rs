@@ -18,7 +18,9 @@ use ngs_formats::error::{DecodeErrorKind, Error, Result};
 use ngs_formats::header::SamHeader;
 use ngs_formats::record::AlignmentRecord;
 
+use crate::column::ColumnSet;
 use crate::layout::BamxLayout;
+use crate::layout_v2::{V2Reader, V2Writer, MAGIC_V2};
 use crate::record_codec;
 
 /// BAMX file magic.
@@ -157,10 +159,9 @@ impl<W: Write> BamxWriter<W> {
     }
 }
 
-/// A BAMX shard opened for random access over any [`ReadAt`] source —
-/// a plain `File`, an in-memory buffer, or a fault-injecting wrapper.
-/// In practice each worker thread opens its own `BamxFile`.
-pub struct BamxFile {
+/// The v1 fixed-width reader. Wrapped by the version-dispatching
+/// [`BamxFile`]; not addressable outside the crate.
+pub(crate) struct V1Reader {
     source: Box<dyn ReadAt>,
     /// Shard identity carried into every decode error.
     context: String,
@@ -175,17 +176,10 @@ pub struct BamxFile {
     records_per_block: usize,
 }
 
-impl BamxFile {
-    /// Opens a BAMX file and reads its metadata.
-    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        let context = path.as_ref().display().to_string();
-        let file = File::open(path)?;
-        Self::open_with(Box::new(file), context)
-    }
-
-    /// Opens a BAMX shard over an arbitrary positional-read source.
+impl V1Reader {
+    /// Opens a v1 BAMX shard over an arbitrary positional-read source.
     /// `context` names the shard in decode errors (usually its path).
-    pub fn open_with(source: Box<dyn ReadAt>, context: impl Into<String>) -> Result<Self> {
+    pub(crate) fn open_with(source: Box<dyn ReadAt>, context: impl Into<String>) -> Result<Self> {
         let context = context.into();
         let bad = |kind, offset, detail: String| Error::decode(kind, offset, &context, detail);
 
@@ -239,7 +233,7 @@ impl BamxFile {
         source.read_exact_at(&mut trailer, total_len - 8)?;
         let n_records = u64::from_le_bytes(trailer);
 
-        let mut this = BamxFile {
+        let mut this = V1Reader {
             source,
             context,
             header,
@@ -337,11 +331,6 @@ impl BamxFile {
         self.n_records
     }
 
-    /// True when the shard holds no records.
-    pub fn is_empty(&self) -> bool {
-        self.n_records == 0
-    }
-
     /// The body compression mode.
     pub fn compression(&self) -> BamxCompression {
         self.compression
@@ -434,12 +423,6 @@ impl BamxFile {
         raw.chunks_exact(rsz).map(|c| record_codec::decode(c, &self.header, &self.layout)).collect()
     }
 
-    /// Decodes a single record by index.
-    pub fn read_record(&self, index: u64) -> Result<AlignmentRecord> {
-        let mut v = self.read_range(index, index + 1)?;
-        v.pop().ok_or_else(|| Error::InvalidRecord("empty read of a length-one range".into()))
-    }
-
     /// Streams `(ref_id, pos0)` keys for every record in file order —
     /// used by BAIX construction without full decodes.
     pub fn positions(&self) -> Result<Vec<(i32, i32)>> {
@@ -458,6 +441,263 @@ impl BamxFile {
     }
 }
 
+/// On-disk format version of a BAMX shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BamxVersion {
+    /// Fixed-width padded records (the paper's original layout).
+    #[default]
+    V1,
+    /// Block-columnar compressed layout with projection (DESIGN.md §14).
+    V2,
+}
+
+impl BamxVersion {
+    /// Stable name used in CLI flags and repository metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            BamxVersion::V1 => "v1",
+            BamxVersion::V2 => "v2",
+        }
+    }
+
+    /// Parses the CLI/metadata spelling (`"v1"`/`"1"`, `"v2"`/`"2"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "v1" | "1" => Some(BamxVersion::V1),
+            "v2" | "2" => Some(BamxVersion::V2),
+            _ => None,
+        }
+    }
+}
+
+/// A BAMX shard opened for random access over any [`ReadAt`] source —
+/// a plain `File`, an in-memory buffer, or a fault-injecting wrapper.
+/// In practice each worker thread opens its own `BamxFile`.
+///
+/// The on-disk version is sniffed from the magic at open time: v1
+/// (fixed-width, optionally BGZF) and v2 (block-columnar, DESIGN.md §14)
+/// shards present the same read API. v2 additionally honours column
+/// *projection* — [`read_range_projected`](Self::read_range_projected)
+/// decodes only the streams the caller's [`ColumnSet`] names.
+pub struct BamxFile {
+    inner: Inner,
+}
+
+enum Inner {
+    V1(V1Reader),
+    V2(V2Reader),
+}
+
+impl BamxFile {
+    /// Opens a BAMX file and reads its metadata.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let context = path.as_ref().display().to_string();
+        let file = File::open(path)?;
+        Self::open_with(Box::new(file), context)
+    }
+
+    /// Opens a BAMX shard over an arbitrary positional-read source,
+    /// dispatching on the magic's version byte. `context` names the
+    /// shard in decode errors (usually its path).
+    pub fn open_with(source: Box<dyn ReadAt>, context: impl Into<String>) -> Result<Self> {
+        let context = context.into();
+        let total_len = source.len()?;
+        if total_len < 5 {
+            return Err(Error::decode(
+                DecodeErrorKind::Truncated,
+                total_len,
+                &context,
+                format!("file is {total_len} bytes, too short for a BAMX magic"),
+            ));
+        }
+        let mut magic = [0u8; 5];
+        source.read_exact_at(&mut magic, 0)?;
+        if magic == MAGIC {
+            Ok(BamxFile { inner: Inner::V1(V1Reader::open_with(source, context)?) })
+        } else if magic == MAGIC_V2 {
+            Ok(BamxFile { inner: Inner::V2(V2Reader::open_with(source, context)?) })
+        } else {
+            Err(Error::decode(DecodeErrorKind::BadMagic, 0, &context, "bad BAMX magic"))
+        }
+    }
+
+    /// The on-disk format version this shard was written with.
+    pub fn version(&self) -> BamxVersion {
+        match &self.inner {
+            Inner::V1(_) => BamxVersion::V1,
+            Inner::V2(_) => BamxVersion::V2,
+        }
+    }
+
+    /// The shard identity used in decode errors (usually the file path).
+    pub fn context(&self) -> &str {
+        match &self.inner {
+            Inner::V1(v) => v.context(),
+            Inner::V2(v) => v.context(),
+        }
+    }
+
+    /// The embedded header (reference dictionary).
+    pub fn header(&self) -> &SamHeader {
+        match &self.inner {
+            Inner::V1(v) => v.header(),
+            Inner::V2(v) => v.header(),
+        }
+    }
+
+    /// The record layout (field maxima; v2 keeps it for validation
+    /// bounds and fingerprinting rather than padding).
+    pub fn layout(&self) -> &BamxLayout {
+        match &self.inner {
+            Inner::V1(v) => v.layout(),
+            Inner::V2(v) => v.layout(),
+        }
+    }
+
+    /// Number of records in the shard.
+    pub fn len(&self) -> u64 {
+        match &self.inner {
+            Inner::V1(v) => v.len(),
+            Inner::V2(v) => v.len(),
+        }
+    }
+
+    /// True when the shard holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The body compression mode. v2 shards report
+    /// [`BamxCompression::Plain`]: their compression is per-column, not
+    /// a body-wide wrapper.
+    pub fn compression(&self) -> BamxCompression {
+        match &self.inner {
+            Inner::V1(v) => v.compression(),
+            Inner::V2(_) => BamxCompression::Plain,
+        }
+    }
+
+    /// Reads the raw fixed-width bytes of records `lo..hi` — a v1-only
+    /// operation (v2 shards are columnar; there are no per-record fixed
+    /// slots to expose). Returns a typed error on v2.
+    pub fn read_raw_range(&self, lo: u64, hi: u64) -> Result<Vec<u8>> {
+        match &self.inner {
+            Inner::V1(v) => v.read_raw_range(lo, hi),
+            Inner::V2(_) => Err(Error::InvalidRecord(
+                "raw fixed-width access is a v1 operation; v2 shards are columnar".into(),
+            )),
+        }
+    }
+
+    /// Decodes records `lo..hi` in full.
+    pub fn read_range(&self, lo: u64, hi: u64) -> Result<Vec<AlignmentRecord>> {
+        self.read_range_projected(lo, hi, ColumnSet::ALL)
+    }
+
+    /// Decodes records `lo..hi` under a column projection. On v2 only
+    /// the selected streams are read and decompressed — unselected
+    /// fields come back as their empty defaults. On v1 the projection is
+    /// a no-op (one fixed-width `pread` already fetches everything), so
+    /// projected fields are byte-identical across versions and the
+    /// extras are simply ignored by the consumer.
+    pub fn read_range_projected(
+        &self,
+        lo: u64,
+        hi: u64,
+        set: ColumnSet,
+    ) -> Result<Vec<AlignmentRecord>> {
+        match &self.inner {
+            Inner::V1(v) => v.read_range(lo, hi),
+            Inner::V2(v) => v.read_range_projected(lo, hi, set),
+        }
+    }
+
+    /// Decodes a single record by index.
+    pub fn read_record(&self, index: u64) -> Result<AlignmentRecord> {
+        let mut v = self.read_range(index, index + 1)?;
+        v.pop().ok_or_else(|| Error::InvalidRecord("empty read of a length-one range".into()))
+    }
+
+    /// Streams `(ref_id, pos0)` keys for every record in file order —
+    /// used by BAIX construction without full decodes. On v2 this is the
+    /// flagship projection: only each block's position column is read.
+    pub fn positions(&self) -> Result<Vec<(i32, i32)>> {
+        match &self.inner {
+            Inner::V1(v) => v.positions(),
+            Inner::V2(v) => v.positions(),
+        }
+    }
+
+    /// Per-block first position keys (v2 only; empty iterator on v1) —
+    /// block-level pruning diagnostics for `repro bamx2`.
+    pub fn block_first_keys(&self) -> Vec<u64> {
+        match &self.inner {
+            Inner::V1(_) => Vec::new(),
+            Inner::V2(v) => v.block_first_keys().collect(),
+        }
+    }
+}
+
+/// A streaming writer for either on-disk version, so converter code can
+/// branch once at creation time and feed records through a single type.
+pub enum AnyBamxWriter<W: Write> {
+    /// Fixed-width v1 writer.
+    V1(BamxWriter<W>),
+    /// Block-columnar v2 writer.
+    V2(V2Writer<W>),
+}
+
+impl<W: Write> AnyBamxWriter<W> {
+    /// Wraps a sink with the requested version. `compression` applies to
+    /// v1 bodies only; v2 compresses per column and ignores it.
+    pub fn new(
+        version: BamxVersion,
+        inner: W,
+        header: SamHeader,
+        layout: BamxLayout,
+        compression: BamxCompression,
+    ) -> Result<Self> {
+        match version {
+            BamxVersion::V1 => {
+                Ok(AnyBamxWriter::V1(BamxWriter::new(inner, header, layout, compression)?))
+            }
+            BamxVersion::V2 => Ok(AnyBamxWriter::V2(V2Writer::new(inner, header, layout)?)),
+        }
+    }
+
+    /// Appends one record.
+    pub fn write_record(&mut self, record: &AlignmentRecord) -> Result<()> {
+        match self {
+            AnyBamxWriter::V1(w) => w.write_record(record),
+            AnyBamxWriter::V2(w) => w.write_record(record),
+        }
+    }
+
+    /// Records written so far.
+    pub fn record_count(&self) -> u64 {
+        match self {
+            AnyBamxWriter::V1(w) => w.record_count(),
+            AnyBamxWriter::V2(w) => w.record_count(),
+        }
+    }
+
+    /// The layout this writer validates against.
+    pub fn layout(&self) -> &BamxLayout {
+        match self {
+            AnyBamxWriter::V1(w) => w.layout(),
+            AnyBamxWriter::V2(w) => w.layout(),
+        }
+    }
+
+    /// Finalizes the file and returns the sink.
+    pub fn finish(self) -> Result<W> {
+        match self {
+            AnyBamxWriter::V1(w) => w.finish(),
+            AnyBamxWriter::V2(w) => w.finish(),
+        }
+    }
+}
+
 /// Convenience: writes `records` (two passes: layout, then records) to
 /// `path`, returning the record count.
 pub fn write_bamx_file(
@@ -468,6 +708,25 @@ pub fn write_bamx_file(
 ) -> Result<u64> {
     let layout = BamxLayout::compute(records)?;
     let mut w = BamxWriter::create(path, header.clone(), layout, compression)?;
+    for r in records {
+        w.write_record(r)?;
+    }
+    let n = w.record_count();
+    w.finish()?;
+    Ok(n)
+}
+
+/// Convenience: like [`write_bamx_file`] but for either format version.
+pub fn write_bamx_file_versioned(
+    path: impl AsRef<Path>,
+    header: &SamHeader,
+    records: &[AlignmentRecord],
+    compression: BamxCompression,
+    version: BamxVersion,
+) -> Result<u64> {
+    let layout = BamxLayout::compute(records)?;
+    let sink = BufWriter::new(File::create(path)?);
+    let mut w = AnyBamxWriter::new(version, sink, header.clone(), layout, compression)?;
     for r in records {
         w.write_record(r)?;
     }

@@ -39,9 +39,13 @@ pub fn encode(record: &AlignmentRecord, header: &SamHeader, layout: &BamxLayout,
     if tag_bytes.len() > layout.max_tags as usize {
         return Err(Error::InvalidRecord("tags exceed BAMX layout".into()));
     }
-    for (what, v) in [("POS", record.pos - 1), ("PNEXT", record.pnext - 1)] {
-        if v < i32::MIN as i64 || v > i32::MAX as i64 {
-            return Err(Error::InvalidRecord(format!("{what} {v} unrepresentable (i32)")));
+    for (what, raw) in [("POS", record.pos), ("PNEXT", record.pnext)] {
+        // checked_sub keeps the guard total even for i64::MIN.
+        match raw.checked_sub(1) {
+            Some(v) if v >= i32::MIN as i64 && v <= i32::MAX as i64 => {}
+            _ => {
+                return Err(Error::InvalidRecord(format!("{what} {raw} unrepresentable (i32)")));
+            }
         }
     }
 
@@ -89,7 +93,7 @@ pub fn encode(record: &AlignmentRecord, header: &SamHeader, layout: &BamxLayout,
     Ok(())
 }
 
-fn resolve_ref(header: &SamHeader, name: &[u8]) -> Result<i32> {
+pub(crate) fn resolve_ref(header: &SamHeader, name: &[u8]) -> Result<i32> {
     if name == b"*" || name.is_empty() {
         return Ok(-1);
     }
@@ -250,6 +254,37 @@ mod tests {
         let r = rec("toolong\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII");
         let mut buf = Vec::new();
         assert!(encode(&r, &h, &small, &mut buf).is_err());
+    }
+
+    /// Regression: POS/PNEXT are i64 on [`AlignmentRecord`] but i32 on
+    /// disk; a coordinate past `i32::MAX` must be a typed encode error,
+    /// never a silent `as i32` wrap that round-trips as a different
+    /// coordinate.
+    #[test]
+    fn pos_past_i32_max_rejected_at_encode() {
+        let h = header();
+        let mut r = rec("x\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII");
+        let layout = BamxLayout::compute([&r]).unwrap();
+        r.pos = i32::MAX as i64 + 2; // pos0 = i32::MAX + 1
+        let mut buf = Vec::new();
+        let err = encode(&r, &h, &layout, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("POS"), "{err}");
+        assert!(buf.is_empty(), "a rejected record must write nothing");
+        // The last representable coordinate still encodes and round-trips.
+        r.pos = i32::MAX as i64 + 1; // pos0 = i32::MAX exactly
+        encode(&r, &h, &layout, &mut buf).unwrap();
+        assert_eq!(decode(&buf, &h, &layout).unwrap().pos, r.pos);
+    }
+
+    #[test]
+    fn pnext_past_i32_max_rejected_at_encode() {
+        let h = header();
+        let mut r = rec("x\t99\tchr1\t100\t60\t4M\t=\t300\t290\tACGT\tIIII");
+        let layout = BamxLayout::compute([&r]).unwrap();
+        r.pnext = i32::MAX as i64 + 2;
+        let mut buf = Vec::new();
+        let err = encode(&r, &h, &layout, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("PNEXT"), "{err}");
     }
 
     #[test]

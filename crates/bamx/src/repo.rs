@@ -86,11 +86,27 @@ const MANIFEST_MAGIC: &str = "NGS-MANIFEST 1";
 /// Fingerprint recorded for artifacts without a BAMX layout (e.g. BAIX).
 pub const FINGERPRINT_NONE: u32 = 0;
 
-/// The layout fingerprint of a BAMX artifact: CRC32 of the 12 encoded
+/// The layout fingerprint of a v1 BAMX artifact: CRC32 of the 12 encoded
 /// layout bytes. Lets consumers detect a layout change without decoding
 /// the shard, and repair verify that a resumed shard pads identically.
 pub fn layout_fingerprint(layout: &BamxLayout) -> u32 {
     crc32(&layout.encode())
+}
+
+/// Version-tagged layout fingerprint: v1 stays [`layout_fingerprint`]
+/// (manifests written before v2 existed keep verifying), v2 prefixes the
+/// encoded layout with its version byte so re-encoding a shard under the
+/// other format always changes the fingerprint even when the layout
+/// maxima agree.
+pub fn layout_fingerprint_versioned(layout: &BamxLayout, version: crate::BamxVersion) -> u32 {
+    match version {
+        crate::BamxVersion::V1 => layout_fingerprint(layout),
+        crate::BamxVersion::V2 => {
+            let mut bytes = vec![0x02u8];
+            bytes.extend_from_slice(&layout.encode());
+            crc32(&bytes)
+        }
+    }
 }
 
 /// Filesystem mutation seam for atomic publication. Production uses
@@ -678,14 +694,29 @@ pub fn fingerprint_of(name: &str, bytes: &[u8]) -> u32 {
     if !name.ends_with(".bamx") {
         return FINGERPRINT_NONE;
     }
-    // BAMX framing: magic(5) + compression(1) + prologue_len u32 LE(4) +
-    // prologue + layout(12).
-    if bytes.len() < 10 || bytes[..5] != crate::file::MAGIC {
+    // Both versions share the prefix framing by design: magic(5) +
+    // version-specific byte(1) + prologue_len u32 LE(4) + prologue +
+    // layout(12), so one parse covers v1 and v2 — only the tag differs.
+    if bytes.len() < 10 {
         return FINGERPRINT_NONE;
     }
+    let version = if bytes[..5] == crate::file::MAGIC {
+        crate::BamxVersion::V1
+    } else if bytes[..5] == crate::layout_v2::MAGIC_V2 {
+        crate::BamxVersion::V2
+    } else {
+        return FINGERPRINT_NONE;
+    };
     let plen = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
     match bytes.get(10 + plen..10 + plen + 12) {
-        Some(layout_bytes) => crc32(layout_bytes),
+        Some(layout_bytes) => match version {
+            crate::BamxVersion::V1 => crc32(layout_bytes),
+            crate::BamxVersion::V2 => {
+                let mut tagged = vec![0x02u8];
+                tagged.extend_from_slice(layout_bytes);
+                crc32(&tagged)
+            }
+        },
         None => FINGERPRINT_NONE,
     }
 }

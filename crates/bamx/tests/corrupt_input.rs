@@ -3,7 +3,10 @@
 //! an attacker-chosen allocation. Each named test records a concrete
 //! corrupt-input panic found during the fault-injection audit (ISSUE 2).
 
-use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
+use ngs_bamx::{
+    write_bamx_file, write_bamx_file_versioned, Baix, BamxCompression, BamxFile, BamxVersion,
+    ColumnSet,
+};
 use ngs_formats::header::{ReferenceSequence, SamHeader};
 use ngs_formats::sam;
 use tempfile::tempdir;
@@ -127,6 +130,103 @@ fn bamx_prologue_past_eof_is_typed_error() {
     bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
     std::fs::write(&path, &bytes).unwrap();
     assert!(BamxFile::open(&path).is_err());
+}
+
+fn write_v2(dir: &std::path::Path, n: usize) -> std::path::PathBuf {
+    let path = dir.join("t2.bamx");
+    write_bamx_file_versioned(&path, &header(), &records(n), BamxCompression::Plain, BamxVersion::V2)
+        .unwrap();
+    path
+}
+
+/// Every prefix truncation of a v2 shard must be a typed error: the
+/// trailer/footer geometry accounts for the file size exactly, so no cut
+/// can look complete.
+#[test]
+fn bamx_v2_truncations_are_typed_errors() {
+    let dir = tempdir().unwrap();
+    let path = write_v2(dir.path(), 30);
+    let good = std::fs::read(&path).unwrap();
+    let cut_path = dir.path().join("cut.bamx");
+    for cut in 0..good.len() {
+        std::fs::write(&cut_path, &good[..cut]).unwrap();
+        assert!(BamxFile::open(&cut_path).is_err(), "cut at {cut}");
+    }
+}
+
+/// Single-byte corruption sweep over a v2 shard: open, full decode, the
+/// positions projection, and index construction must return `Ok`/`Err`,
+/// never panic. Flips inside the raw column streams may decode into
+/// different records (the same unchecksummed-region caveat as a plain v1
+/// body — manifest CRCs catch it in managed repositories).
+#[test]
+fn bamx_v2_single_byte_flips_never_panic() {
+    let dir = tempdir().unwrap();
+    let path = write_v2(dir.path(), 12);
+    let good = std::fs::read(&path).unwrap();
+    let bad_path = dir.path().join("bad2.bamx");
+    for pos in 0..good.len() {
+        let mut bad = good.clone();
+        bad[pos] ^= 0xFF;
+        std::fs::write(&bad_path, &bad).unwrap();
+        if let Ok(f) = BamxFile::open(&bad_path) {
+            let _ = f.read_range(0, f.len());
+            let _ = f.read_range_projected(0, f.len(), ColumnSet::POSITIONS);
+            let _ = f.positions();
+            let _ = Baix::build(&f);
+        }
+    }
+}
+
+/// A v2 records-per-block of zero or past the cap is rejected by
+/// arithmetic before any block allocation.
+#[test]
+fn bamx_v2_implausible_block_size_is_typed_error() {
+    let dir = tempdir().unwrap();
+    let path = write_v2(dir.path(), 8);
+    let good = std::fs::read(&path).unwrap();
+    // records_per_block lives right after magic(5)+flags(1)+plen(4)+
+    // prologue+layout(12).
+    let plen = u32::from_le_bytes([good[6], good[7], good[8], good[9]]) as usize;
+    let rpb_at = 10 + plen + 12;
+    for bogus in [0u32, u32::MAX, (1 << 20) + 1] {
+        let mut bad = good.clone();
+        bad[rpb_at..rpb_at + 4].copy_from_slice(&bogus.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(BamxFile::open(&path).is_err(), "rpb {bogus}");
+    }
+}
+
+/// A v2 trailer whose record count disagrees with the per-block counts
+/// (the v2 shape of "record count pointing past EOF") stays typed.
+#[test]
+fn bamx_v2_trailer_count_mismatch_is_typed_error() {
+    let dir = tempdir().unwrap();
+    let path = write_v2(dir.path(), 20);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let n = bytes.len();
+    bytes[n - 8..].copy_from_slice(&1_000_000u64.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(BamxFile::open(&path).is_err());
+}
+
+/// Flipping any byte of the v2 footer index (block offsets, counts,
+/// stream lengths) is caught by the footer CRC at open time.
+#[test]
+fn bamx_v2_footer_flips_rejected_at_open() {
+    let dir = tempdir().unwrap();
+    let path = write_v2(dir.path(), 40);
+    let good = std::fs::read(&path).unwrap();
+    let n = good.len();
+    let footer_off =
+        u64::from_le_bytes(good[n - 16..n - 8].try_into().unwrap()) as usize;
+    let bad_path = dir.path().join("bad.bamx");
+    for pos in footer_off..n - 28 {
+        let mut bad = good.clone();
+        bad[pos] ^= 0x01;
+        std::fs::write(&bad_path, &bad).unwrap();
+        assert!(BamxFile::open(&bad_path).is_err(), "footer flip at {pos}");
+    }
 }
 
 /// Single-byte corruption sweep across a whole small shard: open and full

@@ -11,14 +11,14 @@
 use std::io::Write;
 
 use ngs_bench::{
-    collate_bench, dist_bench, fault_bench, fig10, fig11, fig12, fig6, fig7, fig8, fig9,
-    load_bench, obs_bench, pipeline_bench, query_bench, recovery_bench, table1,
+    bamx2_bench, collate_bench, dist_bench, fault_bench, fig10, fig11, fig12, fig6, fig7, fig8,
+    fig9, load_bench, obs_bench, pipeline_bench, query_bench, recovery_bench, table1,
     ExperimentConfig, Scale,
 };
 
-const ALL: [&str; 16] = [
+const ALL: [&str; 17] = [
     "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "query", "fault",
-    "pipeline", "recovery", "obs", "collate", "dist", "load",
+    "pipeline", "recovery", "obs", "collate", "dist", "load", "bamx2",
 ];
 
 fn usage() -> ! {
@@ -97,6 +97,7 @@ fn main() {
             "collate" => collate_bench(&cfg).expect("collate"),
             "dist" => dist_bench(&cfg).expect("dist"),
             "load" => load_bench(&cfg).expect("load"),
+            "bamx2" => bamx2_bench(&cfg).expect("bamx2"),
             _ => unreachable!(),
         };
         eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());

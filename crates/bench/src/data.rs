@@ -71,6 +71,11 @@ impl Scale {
         self.n(24_000)
     }
 
+    /// Records in the BAMX v2 columnar-layout experiment.
+    pub fn bamx2_records(&self) -> usize {
+        self.n(24_000)
+    }
+
     /// Shards (datasets) in the distributed-serving experiment.
     pub fn dist_shards(&self) -> usize {
         ((8.0 * self.0) as usize).clamp(4, 64)

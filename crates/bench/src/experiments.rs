@@ -2042,6 +2042,150 @@ pub fn dist_bench(cfg: &ExperimentConfig) -> Result<String> {
     Ok(table)
 }
 
+// ---------------------------------------------------------------------------
+// BAMX v2 columnar layout (BENCH_bamx2.json)
+// ---------------------------------------------------------------------------
+
+/// Columnar-layout experiment (DESIGN.md §14; no corresponding paper
+/// figure — it extends the paper's fixed-width BAMX shard with a
+/// compressed column-block layout): shard size on disk, full-scan decode
+/// time, and the projected-scan savings from skipping column streams a
+/// target format never reads.
+///
+/// Byte accounting uses the `bamx.column_bytes_decoded` counter on the
+/// global `ngs-obs` registry — deltas around each pass, with metrics
+/// enabled for the duration of the experiment. The v1 reader does not
+/// feed this counter (its one `pread` always fetches whole records), so
+/// byte rows are reported for the v2 shard only; `ci.sh` gates that the
+/// v2 shard is smaller than v1 on disk and that a positions-only scan
+/// decodes strictly fewer column bytes than a full scan.
+pub fn bamx2_bench(cfg: &ExperimentConfig) -> Result<String> {
+    use ngs_bamx::{BamxFile, BamxVersion, ColumnKind, ColumnSet};
+
+    let records = cfg.scale.bamx2_records();
+    let bam = cfg.cache.bam(records, 3)?;
+
+    // One shard repo per version, same input, one rank (one shard).
+    let mut shards = Vec::new();
+    for version in [BamxVersion::V1, BamxVersion::V2] {
+        let dir = cfg.cache.scratch(&format!("bamx2-{}", version.name()))?;
+        let mut conv = BamConverter::new(ConvertConfig::with_ranks(1));
+        conv.format_version = version;
+        let prep = conv.preprocess(&bam, &dir)?;
+        let bytes = std::fs::metadata(&prep.bamx_path)?.len();
+        shards.push((version, prep.bamx_path, bytes));
+    }
+    let (v1_bytes, v2_bytes) = (shards[0].2, shards[1].2);
+
+    let was_enabled = ngs_obs::enabled();
+    ngs_obs::set_enabled(true);
+    let col_bytes = || {
+        ngs_obs::global()
+            .snapshot()
+            .counters
+            .get("bamx.column_bytes_decoded")
+            .copied()
+            .unwrap_or(0)
+    };
+
+    // Scan passes over the v2 shard under progressively narrower
+    // projections, plus the v1 shard as the time baseline. Each row
+    // decodes the whole shard; what varies is which column streams the
+    // reader touches.
+    let projections: [(&str, ColumnSet); 3] = [
+        ("full", ColumnSet::ALL),
+        ("bed (cigar+qname)", ColumnSet::of(&[ColumnKind::Cigar, ColumnKind::Qname])),
+        ("positions-only", ColumnSet::POSITIONS),
+    ];
+    let mut table = String::from("BAMX v2 columnar layout\n");
+    table.push_str(&format!(
+        "{records} records; v1 shard {v1_bytes} B, v2 shard {v2_bytes} B \
+         ({:.2}x smaller)\n",
+        v1_bytes as f64 / v2_bytes.max(1) as f64
+    ));
+    table.push_str("shard  projection         scan time   column bytes decoded\n");
+    let mut json_rows = Vec::new();
+    let mut full_scan_bytes = 0u64;
+    let mut positions_bytes = 0u64;
+    for (version, path, _) in &shards {
+        for (label, set) in &projections {
+            if *version == BamxVersion::V1 && *label != "full" {
+                continue; // v1 has no projected path — one pread fetches all
+            }
+            let mut decoded = 0u64;
+            let elapsed = cfg.best_of(|| {
+                let f = BamxFile::open(path)?;
+                let before = col_bytes();
+                let start = Instant::now();
+                let recs = f.read_range_projected(0, f.len(), *set)?;
+                let t = start.elapsed();
+                assert_eq!(recs.len() as u64, f.len());
+                decoded = col_bytes() - before;
+                Ok(t)
+            })?;
+            if *version == BamxVersion::V2 {
+                match *label {
+                    "full" => full_scan_bytes = decoded,
+                    "positions-only" => positions_bytes = decoded,
+                    _ => {}
+                }
+            }
+            table.push_str(&format!(
+                "{:>5}  {label:<17}  {:>8.1}ms  {decoded:>20}\n",
+                version.name(),
+                elapsed.as_secs_f64() * 1e3,
+            ));
+            json_rows.push(format!(
+                "    {{\"shard\": \"{}\", \"projection\": \"{label}\", \
+                 \"scan_seconds\": {:.6}, \"column_bytes_decoded\": {decoded}}}",
+                version.name(),
+                elapsed.as_secs_f64(),
+            ));
+        }
+    }
+    ngs_obs::set_enabled(was_enabled);
+
+    // O(1) region access: a point lookup in the middle of each shard
+    // touches one block (v2) or one record-sized pread (v1), not the
+    // whole file.
+    let mut point_json = Vec::new();
+    for (version, path, _) in &shards {
+        let f = BamxFile::open(path)?;
+        let mid = f.len() / 2;
+        let point = cfg.best_of(|| {
+            let start = Instant::now();
+            let recs = f.read_range(mid, mid + 1)?;
+            assert_eq!(recs.len(), 1);
+            Ok(start.elapsed())
+        })?;
+        table.push_str(&format!(
+            "{:>5}  point lookup (1 record): {:.1}us\n",
+            version.name(),
+            point.as_secs_f64() * 1e6
+        ));
+        point_json.push(format!(
+            "    {{\"shard\": \"{}\", \"point_lookup_seconds\": {:.9}}}",
+            version.name(),
+            point.as_secs_f64()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"bamx2_columnar_layout\",\n  \"records\": {records},\n  \
+         \"v1_shard_bytes\": {v1_bytes},\n  \"v2_shard_bytes\": {v2_bytes},\n  \
+         \"v2_over_v1_size_ratio\": {:.4},\n  \
+         \"full_scan_column_bytes\": {full_scan_bytes},\n  \
+         \"positions_scan_column_bytes\": {positions_bytes},\n  \
+         \"scans\": [\n{}\n  ],\n  \"point_lookups\": [\n{}\n  ]\n}}\n",
+        v2_bytes as f64 / v1_bytes.max(1) as f64,
+        json_rows.join(",\n"),
+        point_json.join(",\n"),
+    );
+    std::fs::write("BENCH_bamx2.json", json)?;
+    table.push_str("JSON written to BENCH_bamx2.json\n");
+    Ok(table)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

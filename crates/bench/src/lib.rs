@@ -11,7 +11,8 @@ pub mod series;
 
 pub use data::{DataCache, Scale};
 pub use experiments::{
-    collate_bench, dist_bench, fault_bench, fig10, fig11, fig12, fig6, fig7, fig8, fig9,
-    load_bench, obs_bench, pipeline_bench, query_bench, recovery_bench, table1, ExperimentConfig,
+    bamx2_bench, collate_bench, dist_bench, fault_bench, fig10, fig11, fig12, fig6, fig7, fig8,
+    fig9, load_bench, obs_bench, pipeline_bench, query_bench, recovery_bench, table1,
+    ExperimentConfig,
 };
 pub use series::{to_speedup, Figure, Series, Table1};

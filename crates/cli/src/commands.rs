@@ -186,7 +186,17 @@ pub fn convert(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `ngsp preprocess INPUT --out DIR [--ranks N] [--compress]`
+/// Parses the shared `--format-version v1|v2` flag (default v1).
+fn parse_format_version(args: &Args) -> Result<ngs_bamx::BamxVersion, Box<dyn std::error::Error>> {
+    match args.optional("format-version") {
+        None => Ok(ngs_bamx::BamxVersion::V1),
+        Some(s) => ngs_bamx::BamxVersion::parse(s)
+            .ok_or_else(|| err(format!("unknown --format-version {s:?} (expected v1 or v2)"))),
+    }
+}
+
+/// `ngsp preprocess INPUT --out DIR [--ranks N] [--compress]
+/// [--format-version v1|v2]`
 pub fn preprocess(args: &Args) -> CmdResult {
     let input = args.one_positional("input file")?;
     let out_dir = args.required("out")?;
@@ -196,10 +206,12 @@ pub fn preprocess(args: &Args) -> CmdResult {
     } else {
         ngs_bamx::BamxCompression::Plain
     };
+    let format_version = parse_format_version(args)?;
 
     if input.ends_with(".bam") {
         let mut conv = BamConverter::new(ConvertConfig::with_ranks(ranks));
         conv.bamx_compression = compression;
+        conv.format_version = format_version;
         let prep = conv.preprocess(input, out_dir)?;
         outln!(
             "{} records -> {} + {} in {:?} (record size {} bytes)",
@@ -212,6 +224,7 @@ pub fn preprocess(args: &Args) -> CmdResult {
     } else {
         let mut conv = SamxConverter::new(ConvertConfig::with_ranks(ranks));
         conv.bamx_compression = compression;
+        conv.format_version = format_version;
         let prep = conv.preprocess_file(input, out_dir)?;
         outln!("{} records -> {} shards in {:?}", prep.records(), prep.shards.len(), prep.elapsed)?;
         for s in &prep.shards {
@@ -1272,6 +1285,45 @@ pub fn chaos_cmd(args: &Args) -> CmdResult {
     outln!(
         "byte level: {plans} plans -> {rejected} rejected (typed), {decoded} decoded clean, \
          {diverged} diverged (unchecksummed region), 0 panics"
+    )?;
+
+    // --- 1b. Byte-level sweep over the v2 columnar layout -------------------
+    let bamx2_path = shard_dir.join("chaos2.bamx");
+    ngs_bamx::write_bamx_file_versioned(
+        &bamx2_path,
+        &ds.header(),
+        &ds.records,
+        BamxCompression::Plain,
+        ngs_bamx::BamxVersion::V2,
+    )?;
+    let pristine2 = std::fs::read(&bamx2_path)?;
+    // One shard directory must stay single-version for the engine runs
+    // below; the v2 copy only feeds the byte sweep.
+    std::fs::remove_file(&bamx2_path)?;
+    let len2 = pristine2.len() as u64;
+    let (mut rejected2, mut decoded2, mut diverged2) = (0u64, 0u64, 0u64);
+    for p in 0..plans {
+        let plan = FaultPlan::random(seed.wrapping_add(p).wrapping_mul(31), len2);
+        let bytes = plan.corrupt(&pristine2);
+        match BamxFile::open_with(Box::new(bytes), "chaos-v2") {
+            Err(_) => rejected2 += 1,
+            Ok(f) => {
+                let n = f.len();
+                let full = f.read_range(0, n);
+                let _ = f.positions();
+                let _ = f.read_range_projected(0, n, ngs_bamx::ColumnSet::POSITIONS);
+                let _ = Baix::build(&f);
+                match full {
+                    Err(_) => rejected2 += 1,
+                    Ok(recs) if recs == baseline_records => decoded2 += 1,
+                    Ok(_) => diverged2 += 1,
+                }
+            }
+        }
+    }
+    outln!(
+        "byte level (v2): {plans} plans -> {rejected2} rejected (typed), {decoded2} decoded \
+         clean, {diverged2} diverged (unchecksummed region), 0 panics"
     )?;
 
     // --- 2. Delivery-level engine runs --------------------------------------
@@ -2446,13 +2498,15 @@ pub fn verify_cmd(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `ngsp repair SHARD_DIR --from INPUT [--ranks N] [--compress]`
+/// `ngsp repair SHARD_DIR --from INPUT [--ranks N] [--compress]
+/// [--format-version v1|v2]`
 ///
 /// Self-healing: sweeps crash debris, then re-derives every damaged or
 /// missing shard from the original SAM/BAM via resumable preprocessing —
 /// manifest-verified shards are kept byte-for-byte, only the torn tail
-/// is rebuilt. `--ranks`/`--compress` must match the original
-/// preprocessing run (a mismatch rebuilds everything, by design).
+/// is rebuilt. `--ranks`/`--compress`/`--format-version` must match the
+/// original preprocessing run (a mismatch rebuilds everything, by
+/// design).
 pub fn repair_cmd(args: &Args) -> CmdResult {
     use ngs_bamx::repo::ShardRepo;
     use ngs_converter::FileSource;
@@ -2465,6 +2519,7 @@ pub fn repair_cmd(args: &Args) -> CmdResult {
     } else {
         ngs_bamx::BamxCompression::Plain
     };
+    let format_version = parse_format_version(args)?;
 
     // `create`, not `open`: a crash before the very first manifest write
     // leaves no MANIFEST, and repair must recover from that too.
@@ -2477,6 +2532,7 @@ pub fn repair_cmd(args: &Args) -> CmdResult {
     if input.ends_with(".bam") {
         let mut conv = BamConverter::new(ConvertConfig::with_ranks(ranks));
         conv.bamx_compression = compression;
+        conv.format_version = format_version;
         let prep = conv.preprocess_repo(input, &repo, true)?;
         if prep.skipped {
             outln!("all shards verified; nothing to rebuild")?;
@@ -2492,6 +2548,7 @@ pub fn repair_cmd(args: &Args) -> CmdResult {
     } else {
         let mut conv = SamxConverter::new(ConvertConfig::with_ranks(ranks));
         conv.bamx_compression = compression;
+        conv.format_version = format_version;
         let source = FileSource::open(Path::new(input))?;
         let stem = Path::new(input)
             .file_stem()

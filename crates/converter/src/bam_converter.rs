@@ -10,8 +10,10 @@ use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use ngs_bamx::repo::{layout_fingerprint, ShardRepo, FINGERPRINT_NONE};
-use ngs_bamx::{Baix, BamxCompression, BamxFile, BamxLayout, BamxWriter, Region};
+use ngs_bamx::repo::{layout_fingerprint_versioned, ShardRepo, FINGERPRINT_NONE};
+use ngs_bamx::{
+    AnyBamxWriter, Baix, BamxCompression, BamxFile, BamxLayout, BamxVersion, ColumnSet, Region,
+};
 use ngs_cluster::run_ranks;
 use ngs_formats::bam::BamReader;
 use ngs_formats::error::{Error, Result};
@@ -51,14 +53,22 @@ pub(crate) fn compression_name(c: BamxCompression) -> &'static str {
 pub struct BamConverter {
     /// Runtime configuration.
     pub config: ConvertConfig,
-    /// Compression of generated BAMX shards.
+    /// Compression of generated BAMX shards (v1 bodies only; v2
+    /// compresses per column).
     pub bamx_compression: BamxCompression,
+    /// On-disk BAMX version for generated shards (v1 fixed-width by
+    /// default; v2 block-columnar, DESIGN.md §14).
+    pub format_version: BamxVersion,
 }
 
 impl BamConverter {
-    /// Creates a converter with plain (uncompressed) BAMX output.
+    /// Creates a converter with plain (uncompressed) v1 BAMX output.
     pub fn new(config: ConvertConfig) -> Self {
-        BamConverter { config, bamx_compression: BamxCompression::Plain }
+        BamConverter {
+            config,
+            bamx_compression: BamxCompression::Plain,
+            format_version: BamxVersion::V1,
+        }
     }
 
     /// Sequential preprocessing: BAM → BAMX + BAIX (Figure 3, left box).
@@ -100,11 +110,17 @@ impl BamConverter {
         let bamx_path = repo.dir().join(&bamx_name);
         let baix_path = repo.dir().join(&baix_name);
         let compression = compression_name(self.bamx_compression);
+        let format = self.format_version.name();
 
         let start = Instant::now();
 
+        // Manifests written before v2 existed carry no "format" key;
+        // treat that as v1 so old repositories keep resuming.
+        let meta = repo.manifest()?.meta;
+        let meta_matches = meta.get("compression").map(String::as_str) == Some(compression)
+            && meta.get("format").map(String::as_str).unwrap_or("v1") == format;
         if resume
-            && repo.manifest()?.meta.get("compression").map(String::as_str) == Some(compression)
+            && meta_matches
             && repo.contains_verified(&bamx_name)
             && repo.contains_verified(&baix_name)
         {
@@ -119,6 +135,7 @@ impl BamConverter {
             });
         }
         repo.set_meta("compression", compression)?;
+        repo.set_meta("format", format)?;
 
         // Pass 1: layout maxima.
         let mut reader = BamReader::new(BufReader::new(std::fs::File::open(input_bam)?))?;
@@ -133,7 +150,8 @@ impl BamConverter {
         let mut reader = BamReader::new(BufReader::new(std::fs::File::open(input_bam)?))?;
         let header = reader.header().clone();
         let staged = repo.stage(&bamx_name)?;
-        let mut writer = BamxWriter::new(
+        let mut writer = AnyBamxWriter::new(
+            self.format_version,
             std::io::BufWriter::new(staged),
             header,
             layout,
@@ -144,7 +162,8 @@ impl BamConverter {
         }
         debug_assert_eq!(writer.record_count(), n);
         let staged = writer.finish()?.into_inner().map_err(|e| Error::Io(e.into_error()))?;
-        let bamx_entry = staged.seal(layout_fingerprint(&layout))?;
+        let bamx_entry =
+            staged.seal(layout_fingerprint_versioned(&layout, self.format_version))?;
 
         // Index construction (part of preprocessing in the paper), staged
         // the same way; both entries are recorded together so the
@@ -344,10 +363,11 @@ pub(crate) fn convert_record_range(
     let mut sink = Emitter::create(shard, target, out_dir, stem, rank, write_prologue, config)?;
 
     const BATCH: u64 = 2048;
+    let columns = sink.columns();
     let mut cur = lo;
     while cur < hi {
         let batch_hi = (cur + BATCH).min(hi);
-        for rec in shard.read_range(cur, batch_hi)? {
+        for rec in shard.read_range_projected(cur, batch_hi, columns)? {
             stats.records_in += 1;
             sink.emit(&rec, &mut stats)?;
         }
@@ -376,6 +396,7 @@ pub fn convert_index_list(
     let t = Instant::now();
     let mut stats = RankStats { rank, ..Default::default() };
     let mut sink = Emitter::create(shard, target, out_dir, stem, rank, write_prologue, config)?;
+    let columns = sink.columns();
     // Coalesce consecutive runs of indices into range reads.
     let mut i = 0usize;
     while i < indices.len() {
@@ -385,7 +406,7 @@ pub fn convert_index_list(
             j += 1;
         }
         let run_end = indices[j - 1] + 1;
-        for rec in shard.read_range(run_start, run_end)? {
+        for rec in shard.read_range_projected(run_start, run_end, columns)? {
             stats.records_in += 1;
             sink.emit(&rec, &mut stats)?;
         }
@@ -450,6 +471,15 @@ impl Emitter {
                 Emitter::Line { out, converter, buf: Vec::with_capacity(64 * 1024) }
             }
         })
+    }
+
+    /// The column projection this sink's target reads: the converter's
+    /// declared set for line formats, everything for BAM re-encode.
+    fn columns(&self) -> ColumnSet {
+        match self {
+            Emitter::Line { converter, .. } => converter.columns(),
+            Emitter::Bam { .. } => ColumnSet::ALL,
+        }
     }
 
     fn emit(&mut self, rec: &AlignmentRecord, stats: &mut RankStats) -> Result<()> {
@@ -561,6 +591,68 @@ mod tests {
         assert!(!prep.skipped, "compression mismatch must force a rebuild");
         let f = BamxFile::open(&prep.bamx_path).unwrap();
         assert_eq!(f.len(), 200);
+    }
+
+    #[test]
+    fn resume_rebuilds_when_format_changes() {
+        let ds = sorted_dataset(200);
+        let dir = tempdir().unwrap();
+        let bam = write_bam(&ds, dir.path());
+        let out = dir.path().join("shards");
+        let v1 = BamConverter::new(ConvertConfig::with_ranks(1));
+        v1.preprocess(&bam, &out).unwrap();
+
+        let mut v2 = BamConverter::new(ConvertConfig::with_ranks(1));
+        v2.format_version = BamxVersion::V2;
+        let repo = ShardRepo::open(&out).unwrap();
+        let prep = v2.preprocess_repo(&bam, &repo, true).unwrap();
+        assert!(!prep.skipped, "format mismatch must force a rebuild");
+        let f = BamxFile::open(&prep.bamx_path).unwrap();
+        assert_eq!(f.version(), BamxVersion::V2);
+        assert_eq!(f.len(), 200);
+
+        // And resuming under the same version now skips.
+        let again = v2.preprocess_repo(&bam, &repo, true).unwrap();
+        assert!(again.skipped);
+    }
+
+    #[test]
+    fn v2_preprocess_conversion_matches_v1() {
+        let ds = sorted_dataset(700);
+        let dir = tempdir().unwrap();
+        let bam = write_bam(&ds, dir.path());
+
+        let v1 = BamConverter::new(ConvertConfig::with_ranks(3));
+        let prep1 = v1.preprocess(&bam, dir.path().join("s1")).unwrap();
+        let mut v2 = BamConverter::new(ConvertConfig::with_ranks(3));
+        v2.format_version = BamxVersion::V2;
+        let prep2 = v2.preprocess(&bam, dir.path().join("s2")).unwrap();
+        assert_eq!(prep1.records, prep2.records);
+        assert_eq!(prep1.layout, prep2.layout);
+        // The BAIX is derived from positions only and must not notice
+        // the layout change.
+        assert_eq!(
+            std::fs::read(&prep1.baix_path).unwrap(),
+            std::fs::read(&prep2.baix_path).unwrap()
+        );
+
+        let cat = |r: &ConvertReport| {
+            let mut all = Vec::new();
+            for p in &r.outputs {
+                all.extend_from_slice(&std::fs::read(p).unwrap());
+            }
+            all
+        };
+        // Projected line targets and full SAM agree byte-for-byte.
+        for target in [TargetFormat::Sam, TargetFormat::Bed, TargetFormat::Fastq] {
+            let r1 = v1
+                .convert_bamx(&prep1.bamx_path, target, dir.path().join("o1"))
+                .unwrap();
+            let r2 = v2
+                .convert_bamx(&prep2.bamx_path, target, dir.path().join("o2"))
+                .unwrap();
+            assert_eq!(cat(&r1), cat(&r2), "{target:?}");
+        }
     }
 
     #[test]

@@ -9,8 +9,8 @@
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use ngs_bamx::repo::{layout_fingerprint, ShardRepo, FINGERPRINT_NONE};
-use ngs_bamx::{Baix, BamxCompression, BamxFile, BamxLayout, BamxWriter};
+use ngs_bamx::repo::{layout_fingerprint_versioned, ShardRepo, FINGERPRINT_NONE};
+use ngs_bamx::{AnyBamxWriter, Baix, BamxCompression, BamxFile, BamxLayout, BamxVersion};
 use ngs_cluster::run_ranks;
 use ngs_formats::error::{Error, Result};
 
@@ -56,14 +56,20 @@ pub struct SamxConverter {
     /// Runtime configuration (`ranks` = M for preprocessing, N for
     /// conversion).
     pub config: ConvertConfig,
-    /// Compression of generated shards.
+    /// Compression of generated shards (v1 bodies only).
     pub bamx_compression: BamxCompression,
+    /// On-disk BAMX version for generated shards.
+    pub format_version: BamxVersion,
 }
 
 impl SamxConverter {
-    /// Creates a converter with plain shards.
+    /// Creates a converter with plain v1 shards.
     pub fn new(config: ConvertConfig) -> Self {
-        SamxConverter { config, bamx_compression: BamxCompression::Plain }
+        SamxConverter {
+            config,
+            bamx_compression: BamxCompression::Plain,
+            format_version: BamxVersion::V1,
+        }
     }
 
     /// Parallel preprocessing (Figure 5, left): M ranks partition the SAM
@@ -127,10 +133,12 @@ impl SamxConverter {
         let (header, _) = scan_sam_header(source)?;
         let compression = compression_name(self.bamx_compression);
         let ranks_meta = self.config.ranks.to_string();
-        let trusted = self.reconcile_shard_set(repo, stem, &ranks_meta, compression)?;
+        let format = self.format_version.name();
+        let trusted = self.reconcile_shard_set(repo, stem, &ranks_meta, compression, format)?;
         let resume = resume && trusted;
         repo.set_meta("ranks", &ranks_meta)?;
         repo.set_meta("compression", compression)?;
+        repo.set_meta("format", format)?;
         let t = Instant::now();
 
         let results: Vec<Result<Shard>> = run_ranks(self.config.ranks, |comm| {
@@ -158,7 +166,8 @@ impl SamxConverter {
             // Pass 2: write the padded shard into a staged (temp)
             // artifact; it only reaches its final name after fsync.
             let staged = repo.stage(&bamx_name)?;
-            let mut writer = BamxWriter::new(
+            let mut writer = AnyBamxWriter::new(
+                self.format_version,
                 std::io::BufWriter::new(staged),
                 header.clone(),
                 layout,
@@ -170,7 +179,8 @@ impl SamxConverter {
             let records = writer.record_count();
             let staged =
                 writer.finish()?.into_inner().map_err(|e| Error::Io(e.into_error()))?;
-            let bamx_entry = staged.seal(layout_fingerprint(&layout))?;
+            let bamx_entry =
+                staged.seal(layout_fingerprint_versioned(&layout, self.format_version))?;
 
             // Per-shard BAIX for partial conversion; recorded together
             // with the BAMX so the pair publishes atomically.
@@ -215,10 +225,13 @@ impl SamxConverter {
         stem: &str,
         ranks_meta: &str,
         compression: &str,
+        format: &str,
     ) -> Result<bool> {
         let manifest = repo.manifest()?;
         let meta_matches = manifest.meta.get("ranks").map(String::as_str) == Some(ranks_meta)
-            && manifest.meta.get("compression").map(String::as_str) == Some(compression);
+            && manifest.meta.get("compression").map(String::as_str) == Some(compression)
+            // Pre-v2 manifests carry no "format" key; that means v1.
+            && manifest.meta.get("format").map(String::as_str).unwrap_or("v1") == format;
         let prefix = format!("{stem}.shard");
         let shard_rank = |name: &str| {
             name.strip_prefix(&prefix)

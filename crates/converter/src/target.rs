@@ -8,6 +8,7 @@
 //! and implementing the trait adds a new format with no changes to the
 //! runtime (the paper's extendibility claim).
 
+use ngs_bamx::{ColumnKind, ColumnSet};
 use ngs_formats::header::SamHeader;
 use ngs_formats::record::AlignmentRecord;
 use ngs_formats::{bed, bedgraph, fasta, fastq, gff, json, sam, wig, yaml};
@@ -104,6 +105,16 @@ pub trait RecordConverter: Send + Sync {
 
     /// Conventional extension for output files.
     fn extension(&self) -> &'static str;
+
+    /// The record columns this converter actually reads — the projection
+    /// handed to v2 BAMX shards so unused streams are never decompressed
+    /// (flags + coordinates always decode; declaring them is free).
+    /// Defaults to every column; override only when [`convert`](Self::
+    /// convert) provably ignores fields, because an understated set
+    /// silently feeds the converter empty defaults.
+    fn columns(&self) -> ColumnSet {
+        ColumnSet::ALL
+    }
 }
 
 /// SAM text target.
@@ -136,6 +147,13 @@ impl RecordConverter for ToBed {
     fn extension(&self) -> &'static str {
         "bed"
     }
+
+    fn columns(&self) -> ColumnSet {
+        // BED6: chrom/start come from the coordinates, end from the
+        // CIGAR span, name from qname, score from mapq, strand from
+        // flags.
+        ColumnSet::of(&[ColumnKind::Cigar, ColumnKind::Qname])
+    }
 }
 
 /// BEDGRAPH target.
@@ -148,6 +166,11 @@ impl RecordConverter for ToBedGraph {
 
     fn extension(&self) -> &'static str {
         "bedgraph"
+    }
+
+    fn columns(&self) -> ColumnSet {
+        // Coverage intervals need only the coordinates + CIGAR span.
+        ColumnSet::of(&[ColumnKind::Cigar])
     }
 }
 
@@ -162,6 +185,11 @@ impl RecordConverter for ToFasta {
     fn extension(&self) -> &'static str {
         "fa"
     }
+
+    fn columns(&self) -> ColumnSet {
+        // `>qname` + the (strand-corrected) sequence.
+        ColumnSet::of(&[ColumnKind::Qname, ColumnKind::Seq])
+    }
 }
 
 /// FASTQ target.
@@ -174,6 +202,10 @@ impl RecordConverter for ToFastq {
 
     fn extension(&self) -> &'static str {
         "fastq"
+    }
+
+    fn columns(&self) -> ColumnSet {
+        ColumnSet::of(&[ColumnKind::Qname, ColumnKind::Seq, ColumnKind::Qual])
     }
 }
 
@@ -213,6 +245,10 @@ impl RecordConverter for ToWig {
 
     fn extension(&self) -> &'static str {
         "wig"
+    }
+
+    fn columns(&self) -> ColumnSet {
+        ColumnSet::of(&[ColumnKind::Cigar])
     }
 }
 

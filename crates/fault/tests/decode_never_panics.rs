@@ -9,14 +9,19 @@ use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
-use ngs_bamx::{write_bamx_file, Baix, BamxCompression, BamxFile};
+use ngs_bamx::{
+    write_bamx_file, write_bamx_file_versioned, Baix, BamxCompression, BamxFile, BamxVersion,
+    ColumnSet,
+};
 use ngs_fault::{FaultPlan, FaultyFile, FaultyRead};
 use ngs_simgen::{Dataset, DatasetSpec};
 
-/// Pristine fixture bytes: (plain shard, bgzf shard, baix, bgzf file).
+/// Pristine fixture bytes: (plain shard, bgzf shard, v2 shard, baix,
+/// bgzf file).
 struct Fixtures {
     plain_bamx: Vec<u8>,
     bgzf_bamx: Vec<u8>,
+    v2_bamx: Vec<u8>,
     baix: Vec<u8>,
     bgzf_file: Vec<u8>,
 }
@@ -30,9 +35,12 @@ fn fixtures() -> &'static Fixtures {
         let dir = tempfile::tempdir().unwrap();
         let plain = dir.path().join("p.bamx");
         let bgzf = dir.path().join("z.bamx");
+        let v2 = dir.path().join("c.bamx");
         let baix = dir.path().join("p.baix");
         write_bamx_file(&plain, &header, &ds.records, BamxCompression::Plain).unwrap();
         write_bamx_file(&bgzf, &header, &ds.records, BamxCompression::Bgzf).unwrap();
+        write_bamx_file_versioned(&v2, &header, &ds.records, BamxCompression::Plain, BamxVersion::V2)
+            .unwrap();
         Baix::build(&BamxFile::open(&plain).unwrap()).unwrap().save(&baix).unwrap();
         let bgzf_file = {
             let sam = ds.to_sam_bytes();
@@ -41,6 +49,7 @@ fn fixtures() -> &'static Fixtures {
         Fixtures {
             plain_bamx: std::fs::read(&plain).unwrap(),
             bgzf_bamx: std::fs::read(&bgzf).unwrap(),
+            v2_bamx: std::fs::read(&v2).unwrap(),
             baix: std::fs::read(&baix).unwrap(),
             bgzf_file,
         }
@@ -57,6 +66,7 @@ fn drive_bamx(source: Box<dyn ngs_bgzf::ReadAt>) {
     };
     let n = f.len();
     let _ = f.read_range(0, n);
+    let _ = f.read_range_projected(0, n, ColumnSet::POSITIONS);
     let _ = f.read_record(n / 2);
     let _ = f.positions();
     let _ = Baix::build(&f);
@@ -81,6 +91,16 @@ proptest! {
         drive_bamx(Box::new(plan.corrupt(&fx.bgzf_bamx)));
     }
 
+    /// Byte-level corruption of a v2 columnar shard never panics: footer
+    /// geometry, varint chains, and DEFLATE raw-length prefixes all reject
+    /// by arithmetic, never by allocation or index overflow.
+    #[test]
+    fn corrupt_v2_bamx_never_panics(seed in any::<u64>()) {
+        let fx = fixtures();
+        let plan = FaultPlan::random(seed, fx.v2_bamx.len() as u64);
+        drive_bamx(Box::new(plan.corrupt(&fx.v2_bamx)));
+    }
+
     /// I/O-level faults (short reads, transient errors, in-flight flips)
     /// through [`FaultyFile`] never panic either.
     #[test]
@@ -88,6 +108,14 @@ proptest! {
         let fx = fixtures();
         let plan = FaultPlan::random(seed, fx.bgzf_bamx.len() as u64);
         drive_bamx(Box::new(FaultyFile::new(fx.bgzf_bamx.clone(), plan)));
+    }
+
+    /// The same I/O-level fault sweep against a v2 columnar shard.
+    #[test]
+    fn faulty_file_v2_bamx_never_panics(seed in any::<u64>()) {
+        let fx = fixtures();
+        let plan = FaultPlan::random(seed, fx.v2_bamx.len() as u64);
+        drive_bamx(Box::new(FaultyFile::new(fx.v2_bamx.clone(), plan)));
     }
 
     /// BAIX index corruption never panics (count validation, sortedness).
